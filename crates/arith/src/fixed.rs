@@ -1,0 +1,304 @@
+//! 64-bit fixed-point coordinates.
+//!
+//! GRAPE hardware stores particle positions as 64-bit two's-complement fixed
+//! point.  The motivation (Makino & Taiji 1998, ch. 4) is twofold:
+//!
+//! 1. the first pipeline operation is the coordinate difference
+//!    `x_j − x_i`; in fixed point this subtraction is *exact*, so the
+//!    pairwise separation carries no representation error even when the two
+//!    particles are close together far from the origin — precisely the
+//!    regime that matters in a collisional core;
+//! 2. the on-chip predictor (eqs. 6–7 of the paper) can then be implemented
+//!    with integer adders.
+//!
+//! The format is parameterised by the number of fraction bits `FRAC`; the
+//! representable range is `[-2^(63-FRAC), 2^(63-FRAC))` with resolution
+//! `2^-FRAC`.  The default position format [`PosFix`] uses `FRAC = 57`
+//! (range ±64 length units, resolution ≈ 6.9e-18), comfortably covering a
+//! Plummer model or planetesimal disk in Heggie units.
+//!
+//! Arithmetic wraps on overflow, exactly like the hardware registers; the
+//! host library is responsible for keeping particles inside the box (the
+//! real GRAPE-6 host library rescales coordinates the same way).
+
+use std::fmt;
+use std::ops::{Add, Neg, Sub};
+
+/// Fraction bits of the position format used throughout the machine.
+pub const POS_FRAC_BITS: u32 = 57;
+
+/// Position fixed-point word: range ±64, resolution 2⁻⁵⁷.
+pub type PosFix = Fix64<POS_FRAC_BITS>;
+
+/// A 64-bit two's-complement fixed-point number with `FRAC` fraction bits.
+///
+/// The raw integer `r` represents the real value `r · 2^-FRAC`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fix64<const FRAC: u32>(i64);
+
+impl<const FRAC: u32> Fix64<FRAC> {
+    /// Smallest positive representable increment (`2^-FRAC`).
+    pub const RESOLUTION: f64 = 1.0 / (1u128 << FRAC) as f64;
+
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+
+    /// Construct from the raw 64-bit word.
+    #[inline]
+    pub const fn from_raw(raw: i64) -> Self {
+        Self(raw)
+    }
+
+    /// The raw 64-bit word.
+    #[inline]
+    pub const fn raw(self) -> i64 {
+        self.0
+    }
+
+    /// Convert a double to fixed point, rounding to nearest (ties to even).
+    ///
+    /// Values outside the representable range wrap, mirroring what the real
+    /// memory interface would store; use [`Fix64::try_from_f64`] to detect
+    /// out-of-box particles instead.
+    #[inline]
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = x * (1u128 << FRAC) as f64;
+        // `f64 as i64` saturates in Rust; emulate hardware wrapping via i128.
+        let wide = round_ties_even_i128(scaled);
+        Self(wide as i64)
+    }
+
+    /// Convert a double to fixed point, failing if it falls outside the box.
+    pub fn try_from_f64(x: f64) -> Result<Self, FixRangeError> {
+        if !x.is_finite() {
+            return Err(FixRangeError { value: x });
+        }
+        let scaled = x * (1u128 << FRAC) as f64;
+        let wide = round_ties_even_i128(scaled);
+        if wide < i64::MIN as i128 || wide > i64::MAX as i128 {
+            return Err(FixRangeError { value: x });
+        }
+        Ok(Self(wide as i64))
+    }
+
+    /// Back to double precision.  Exact whenever `|raw| < 2^53`; for larger
+    /// magnitudes the nearest double is returned (sub-resolution error).
+    #[inline]
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 * Self::RESOLUTION
+    }
+
+    /// Exact difference `other − self` as a double.
+    ///
+    /// The subtraction happens in integer arithmetic (exact); only the final
+    /// conversion rounds, so nearby particles lose no significance.  This is
+    /// the operation the pipeline's front-end performs on the i/j positions.
+    #[inline]
+    pub fn exact_delta_to(self, other: Self) -> f64 {
+        other.0.wrapping_sub(self.0) as f64 * Self::RESOLUTION
+    }
+
+    /// Wrapping addition of a real-valued displacement (predictor use).
+    #[inline]
+    pub fn offset_f64(self, dx: f64) -> Self {
+        let d = round_ties_even_i128(dx * (1u128 << FRAC) as f64) as i64;
+        Self(self.0.wrapping_add(d))
+    }
+}
+
+/// Round a scaled value to the nearest integer (ties to even), in i128 so
+/// the caller can decide between wrapping and checked semantics.
+#[inline]
+fn round_ties_even_i128(x: f64) -> i128 {
+    // `f64::round_ties_even` exists since 1.77.
+    let r = x.round_ties_even();
+    if r >= i128::MAX as f64 {
+        i128::MAX
+    } else if r <= i128::MIN as f64 {
+        i128::MIN
+    } else {
+        r as i128
+    }
+}
+
+impl<const FRAC: u32> Add for Fix64<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> Sub for Fix64<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> Neg for Fix64<FRAC> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self(self.0.wrapping_neg())
+    }
+}
+
+impl<const FRAC: u32> fmt::Debug for Fix64<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Fix64<{}>({} = {:.17e})", FRAC, self.0, self.to_f64())
+    }
+}
+
+impl<const FRAC: u32> fmt::Display for Fix64<FRAC> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// A value could not be represented in the fixed-point box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixRangeError {
+    /// The offending value.
+    pub value: f64,
+}
+
+impl fmt::Display for FixRangeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "value {:e} is outside the fixed-point coordinate box",
+            self.value
+        )
+    }
+}
+
+impl std::error::Error for FixRangeError {}
+
+/// A fixed-point 3-vector (one position word per coordinate).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct FixVec3<const FRAC: u32> {
+    /// x component.
+    pub x: Fix64<FRAC>,
+    /// y component.
+    pub y: Fix64<FRAC>,
+    /// z component.
+    pub z: Fix64<FRAC>,
+}
+
+/// Position vector in the machine's coordinate format.
+pub type PosVec = FixVec3<POS_FRAC_BITS>;
+
+impl<const FRAC: u32> FixVec3<FRAC> {
+    /// Convert from a double-precision triple.
+    #[inline]
+    pub fn from_f64(v: [f64; 3]) -> Self {
+        Self {
+            x: Fix64::from_f64(v[0]),
+            y: Fix64::from_f64(v[1]),
+            z: Fix64::from_f64(v[2]),
+        }
+    }
+
+    /// Convert back to doubles.
+    #[inline]
+    pub fn to_f64(self) -> [f64; 3] {
+        [self.x.to_f64(), self.y.to_f64(), self.z.to_f64()]
+    }
+
+    /// Exact componentwise difference `other − self`, as doubles.
+    #[inline]
+    pub fn exact_delta_to(self, other: Self) -> [f64; 3] {
+        [
+            self.x.exact_delta_to(other.x),
+            self.y.exact_delta_to(other.y),
+            self.z.exact_delta_to(other.z),
+        ]
+    }
+
+    /// Offset by a real displacement (wrapping), used by the predictor.
+    #[inline]
+    pub fn offset_f64(self, d: [f64; 3]) -> Self {
+        Self {
+            x: self.x.offset_f64(d[0]),
+            y: self.y.offset_f64(d[1]),
+            z: self.z.offset_f64(d[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_zero_and_small() {
+        assert_eq!(PosFix::from_f64(0.0).to_f64(), 0.0);
+        let x = 0.125;
+        assert_eq!(PosFix::from_f64(x).to_f64(), x);
+    }
+
+    #[test]
+    fn resolution_matches_frac() {
+        assert_eq!(PosFix::RESOLUTION, 2f64.powi(-57));
+        let one_ulp = PosFix::from_raw(1);
+        assert_eq!(one_ulp.to_f64(), 2f64.powi(-57));
+    }
+
+    #[test]
+    fn exact_difference_of_close_particles() {
+        // Two particles 1 ulp apart at a large offset: the f64 positions are
+        // identical after rounding, but the fixed-point delta is exact.
+        let a = PosFix::from_f64(17.0);
+        let b = PosFix::from_raw(a.raw() + 3);
+        let d = a.exact_delta_to(b);
+        assert_eq!(d, 3.0 * PosFix::RESOLUTION);
+        // Converting to f64 first and subtracting loses the separation
+        // entirely (17·2^57 needs 62 bits of mantissa): this is exactly why
+        // the hardware subtracts in fixed point.
+        assert_ne!(b.to_f64() - a.to_f64(), d);
+    }
+
+    #[test]
+    fn range_error_detected() {
+        assert!(PosFix::try_from_f64(100.0).is_err());
+        assert!(PosFix::try_from_f64(f64::NAN).is_err());
+        assert!(PosFix::try_from_f64(63.9).is_ok());
+    }
+
+    #[test]
+    fn add_sub_roundtrip() {
+        let a = PosFix::from_f64(1.5);
+        let b = PosFix::from_f64(-0.25);
+        assert_eq!((a + b).to_f64(), 1.25);
+        assert_eq!((a - b).to_f64(), 1.75);
+        assert_eq!((-b).to_f64(), 0.25);
+    }
+
+    #[test]
+    fn rounding_is_to_nearest() {
+        // Half an ulp above a representable value rounds to even.
+        let v = 2.5 * PosFix::RESOLUTION;
+        let f = PosFix::from_f64(v);
+        assert_eq!(f.raw(), 2, "2.5 ulp rounds to 2 (ties to even)");
+        let v = 3.5 * PosFix::RESOLUTION;
+        assert_eq!(PosFix::from_f64(v).raw(), 4);
+    }
+
+    #[test]
+    fn vec3_roundtrip_and_delta() {
+        let p = PosVec::from_f64([0.5, -1.25, 3.0]);
+        assert_eq!(p.to_f64(), [0.5, -1.25, 3.0]);
+        let q = PosVec::from_f64([1.0, -1.0, 2.0]);
+        let d = p.exact_delta_to(q);
+        assert_eq!(d, [0.5, 0.25, -1.0]);
+    }
+
+    #[test]
+    fn offset_applies_displacement() {
+        let p = PosFix::from_f64(1.0);
+        let q = p.offset_f64(0.5);
+        assert_eq!(q.to_f64(), 1.5);
+    }
+}

@@ -1,0 +1,35 @@
+//! # grape6-arith — the GRAPE-6 hardware number formats
+//!
+//! The GRAPE-6 force-calculation pipeline does not compute in IEEE-754
+//! double precision.  Following the GRAPE design lineage (Makino et al. 1997,
+//! Makino & Taiji 1998), it mixes three representations, each chosen so that
+//! a large number of arithmetic units fits on one die while the *integration*
+//! accuracy of a collisional N-body code is preserved:
+//!
+//! * **64-bit fixed point** for particle positions — so that coordinate
+//!   *differences* (the input of every pairwise interaction) are exact, and
+//!   so that a hardware predictor can work in pure integer arithmetic
+//!   ([`fixed`]).
+//! * **reduced-precision floating point** inside the pipeline — every adder
+//!   and multiplier rounds to a short significand (default 24 bits in this
+//!   reproduction), and the `(r² + ε²)^(-3/2)` unit is a table-driven
+//!   functional unit of matching accuracy ([`pfloat`], [`rsqrt`]).
+//! * **fixed-point / block floating-point accumulation** for the force sums —
+//!   partial forces are shifted to a pre-declared *block exponent* and summed
+//!   as integers, which makes the sum **exact, associative and commutative**.
+//!   This is the property the SC'03 paper highlights in §3.4: the calculated
+//!   force is bit-identical no matter how many chips, modules or boards
+//!   partition the j-particles ([`blockfp`]).
+//!
+//! Everything here is deterministic and allocation-free; these types sit in
+//! the innermost loop of the chip simulator.
+
+pub mod blockfp;
+pub mod fixed;
+pub mod pfloat;
+pub mod rsqrt;
+
+pub use blockfp::{BlockAccum, BlockFpError, ForceWord};
+pub use fixed::{Fix64, PosFix, POS_FRAC_BITS};
+pub use pfloat::{quantize_sig, PFloat, PipeFloat, PIPE_SIG_BITS};
+pub use rsqrt::RsqrtCubedUnit;

@@ -1,0 +1,247 @@
+//! Reduced-precision pipeline floating point.
+//!
+//! Each adder and multiplier in the GRAPE-6 force pipeline works on a short
+//! custom float — long enough that the *accumulated* force meets the Hermite
+//! integrator's accuracy requirement (relative force error around 1e-7, cf.
+//! Makino & Taiji 1998 §4.3), short enough that ~60 arithmetic units fit in
+//! one pipeline.  We model this as IEEE-754 doubles that are re-rounded to a
+//! `SIG`-bit significand (hidden bit included, round-to-nearest-even) after
+//! **every** operation, which reproduces the error character of the hardware
+//! without committing to its exact gate-level encodings.
+//!
+//! The default [`PIPE_SIG_BITS`] is 24 (single-precision-like), matching the
+//! effective precision the GRAPE-6 pipeline delivers for the dominant force
+//! terms.
+//!
+//! The exponent range is left at f64's: in Heggie units the dynamic range of
+//! pairwise force terms never approaches the 8-bit hardware exponent limits,
+//! and keeping f64 exponents lets the quantisation be a pure significand
+//! rounding (two integer ops), fast enough for the innermost loop.
+
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+/// Significand width (incl. hidden bit) of the force pipeline arithmetic.
+pub const PIPE_SIG_BITS: u32 = 24;
+
+/// Round `x` to a `sig`-bit significand, round-to-nearest-even.
+///
+/// `sig` counts the hidden bit, so `sig = 53` is the identity and `sig = 24`
+/// produces the f32-like grid (with f64's exponent range).  Zero, infinities
+/// and NaN pass through unchanged.
+#[inline]
+pub fn quantize_sig(x: f64, sig: u32) -> f64 {
+    debug_assert!((1..=53).contains(&sig));
+    if sig >= 53 || x == 0.0 || !x.is_finite() {
+        return x;
+    }
+    let bits = x.to_bits();
+    let drop = (53 - sig) as u64; // low mantissa bits to discard
+    let half = 1u64 << (drop - 1);
+    let mask = (1u64 << drop) - 1;
+    let frac = bits & mask;
+    let trunc = bits & !mask;
+    let round_up = frac > half || (frac == half && (bits >> drop) & 1 == 1);
+    // A mantissa carry correctly propagates into the exponent field because
+    // of the IEEE bit layout (monotone encoding).
+    let out = if round_up {
+        trunc.wrapping_add(1u64 << drop)
+    } else {
+        trunc
+    };
+    f64::from_bits(out)
+}
+
+/// A value constrained to a `SIG`-bit significand grid.
+///
+/// All arithmetic re-quantizes its result, so chains of operations behave
+/// like the hardware pipeline: one rounding per functional unit.
+#[derive(Clone, Copy, PartialEq, PartialOrd, Default)]
+pub struct PFloat<const SIG: u32>(f64);
+
+/// The pipeline's working precision.
+pub type PipeFloat = PFloat<PIPE_SIG_BITS>;
+
+impl<const SIG: u32> PFloat<SIG> {
+    /// Zero.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Quantize a double into the format.
+    #[inline]
+    pub fn new(x: f64) -> Self {
+        Self(quantize_sig(x, SIG))
+    }
+
+    /// The stored (already quantized) value.
+    #[inline]
+    pub const fn get(self) -> f64 {
+        self.0
+    }
+
+    /// Fused square: `x²` with a single rounding.
+    #[inline]
+    pub fn square(self) -> Self {
+        Self::new(self.0 * self.0)
+    }
+
+    /// Multiply-accumulate `self + a·b` with *two* roundings (the hardware
+    /// has separate multiplier and adder units, not an FMA).
+    #[inline]
+    pub fn mul_add_2r(self, a: Self, b: Self) -> Self {
+        self + a * b
+    }
+
+    /// Machine epsilon of the format (spacing of numbers near 1).
+    pub const fn epsilon() -> f64 {
+        // 2^-(SIG-1)
+        let exp_bits = ((1023 - (SIG as i64 - 1)) as u64) << 52;
+        f64::from_bits(exp_bits)
+    }
+}
+
+impl<const SIG: u32> Add for PFloat<SIG> {
+    type Output = Self;
+    #[inline]
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.0 + rhs.0)
+    }
+}
+
+impl<const SIG: u32> Sub for PFloat<SIG> {
+    type Output = Self;
+    #[inline]
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.0 - rhs.0)
+    }
+}
+
+impl<const SIG: u32> Mul for PFloat<SIG> {
+    type Output = Self;
+    #[inline]
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(self.0 * rhs.0)
+    }
+}
+
+impl<const SIG: u32> Div for PFloat<SIG> {
+    type Output = Self;
+    #[inline]
+    fn div(self, rhs: Self) -> Self {
+        Self::new(self.0 / rhs.0)
+    }
+}
+
+impl<const SIG: u32> Neg for PFloat<SIG> {
+    type Output = Self;
+    #[inline]
+    fn neg(self) -> Self {
+        Self(-self.0) // negation is exact, no re-quantization needed
+    }
+}
+
+impl<const SIG: u32> From<f64> for PFloat<SIG> {
+    #[inline]
+    fn from(x: f64) -> Self {
+        Self::new(x)
+    }
+}
+
+impl<const SIG: u32> fmt::Debug for PFloat<SIG> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "PFloat<{}>({:e})", SIG, self.0)
+    }
+}
+
+impl<const SIG: u32> fmt::Display for PFloat<SIG> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_at_53_bits() {
+        let xs = [1.0, -3.5, 1e-300, 123456.789, f64::MIN_POSITIVE];
+        for &x in &xs {
+            assert_eq!(quantize_sig(x, 53), x);
+        }
+    }
+
+    #[test]
+    fn specials_pass_through() {
+        assert_eq!(quantize_sig(0.0, 24), 0.0);
+        assert!(quantize_sig(f64::NAN, 24).is_nan());
+        assert_eq!(quantize_sig(f64::INFINITY, 24), f64::INFINITY);
+        assert_eq!(quantize_sig(-0.0, 24).to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn matches_f32_grid_at_24_bits() {
+        // For values well inside f32's exponent range, quantize_sig(x, 24)
+        // must agree with a roundtrip through f32.
+        let xs = [
+            1.0,
+            std::f64::consts::PI,
+            -1.7e8,
+            3.0e-5,
+            0.1,
+            2.0f64.powi(100), // outside f32 range on purpose? no: 2^100 > f32 max
+        ];
+        for &x in &xs[..5] {
+            let q = quantize_sig(x, 24);
+            assert_eq!(q, x as f32 as f64, "x = {x:e}");
+        }
+        // Outside f32's exponent range the format keeps going (documented).
+        let big = 2.0f64.powi(300) * 1.2345678;
+        let q = quantize_sig(big, 24);
+        assert!((q / big - 1.0).abs() < 2.0f64.powi(-24));
+    }
+
+    #[test]
+    fn round_to_nearest_even_ties() {
+        // 1 + 2^-24 is exactly halfway between 1 and 1 + 2^-23 on the 24-bit
+        // grid; the even neighbour is 1.
+        let x = 1.0 + 2f64.powi(-24);
+        assert_eq!(quantize_sig(x, 24), 1.0);
+        // 1 + 3·2^-24 is halfway between 1+2^-23 and 1+2^-22; even neighbour
+        // is 1 + 2^-22.
+        let x = 1.0 + 3.0 * 2f64.powi(-24);
+        assert_eq!(quantize_sig(x, 24), 1.0 + 2f64.powi(-22));
+    }
+
+    #[test]
+    fn mantissa_carry_into_exponent() {
+        // Just below 2.0: rounds up to exactly 2.0 (carry out of mantissa).
+        let x = 2.0 - 2f64.powi(-25);
+        assert_eq!(quantize_sig(x, 24), 2.0);
+    }
+
+    #[test]
+    fn arithmetic_requantizes() {
+        let a = PipeFloat::new(1.0);
+        let b = PipeFloat::new(2f64.powi(-30));
+        // The tiny addend is below the format's resolution near 1.0.
+        assert_eq!((a + b).get(), 1.0);
+        let c = PipeFloat::new(3.0);
+        assert_eq!((a * c).get(), 3.0);
+    }
+
+    #[test]
+    fn epsilon_is_correct() {
+        assert_eq!(PipeFloat::epsilon(), 2f64.powi(-23));
+        assert_eq!(PFloat::<53>::epsilon(), f64::EPSILON);
+    }
+
+    #[test]
+    fn relative_error_bounded_by_half_ulp() {
+        let mut x: f64 = 0.9371;
+        for _ in 0..1000 {
+            x = (x * 1.618033988749).fract() + 0.1;
+            let q = quantize_sig(x, 24);
+            assert!(((q - x) / x).abs() <= 2f64.powi(-24), "x = {x:e}");
+        }
+    }
+}

@@ -1,0 +1,206 @@
+//! The pipeline's `x^(-3/2)` functional unit.
+//!
+//! The heart of the GRAPE force pipeline is a single hardware block that maps
+//! `x = r² + ε²` to `x^(-3/2)` (one output feeds the acceleration terms; its
+//! square root relative, `x^(-1/2)`, feeds the potential).  In silicon this
+//! is a table lookup with piecewise-polynomial correction — there is no
+//! divider or iterative square root in the pipeline, which is how one
+//! interaction per cycle is sustained.
+//!
+//! [`RsqrtCubedUnit`] reproduces that structure: the argument is decomposed
+//! as `x = m·4^k` with `m ∈ [1,4)`, the mantissa factor `m^(-3/2)` (and
+//! `m^(-1/2)`) is evaluated by a second-order Taylor segment from a table of
+//! `2^LOG2_SEGMENTS` entries, and the exponent factor `2^(-3k)` (resp.
+//! `2^-k`) is applied exactly.  With the default 10-bit table the relative
+//! error is below `2^-26`, i.e. below the pipeline's own rounding, matching
+//! the design rule that the functional unit must not dominate the force
+//! error budget.
+//!
+//! `x ≤ 0` returns `0`, mirroring the hardware convention that makes the
+//! self-interaction (`r = 0`, `ε = 0`) contribute zero force instead of NaN.
+
+/// Default table size exponent (1024 segments over `[1, 4)`).
+pub const DEFAULT_LOG2_SEGMENTS: u32 = 10;
+
+/// Table-driven evaluator for `x^(-3/2)` and `x^(-1/2)`.
+#[derive(Clone, Debug)]
+pub struct RsqrtCubedUnit {
+    /// Per-segment Taylor coefficients `(f, f', f''/2)` of `m^(-3/2)` at the
+    /// segment midpoint.
+    seg32: Vec<[f64; 3]>,
+    /// Same for `m^(-1/2)` (potential path).
+    seg12: Vec<[f64; 3]>,
+    /// Table size exponent this unit was built with.
+    pub log2_segments: u32,
+}
+
+impl Default for RsqrtCubedUnit {
+    fn default() -> Self {
+        Self::new(DEFAULT_LOG2_SEGMENTS)
+    }
+}
+
+impl RsqrtCubedUnit {
+    /// Build the unit with `2^log2_segments` table entries (4–16 supported).
+    pub fn new(log2_segments: u32) -> Self {
+        assert!(
+            (4..=16).contains(&log2_segments),
+            "table size exponent must be in 4..=16"
+        );
+        let n = 1usize << log2_segments;
+        let width = 3.0 / n as f64;
+        let mut seg32 = Vec::with_capacity(n);
+        let mut seg12 = Vec::with_capacity(n);
+        for i in 0..n {
+            let m0 = 1.0 + (i as f64 + 0.5) * width;
+            // f(m) = m^(-3/2): f' = -3/2 m^(-5/2), f'' = 15/4 m^(-7/2)
+            let f = m0.powf(-1.5);
+            seg32.push([f, -1.5 * f / m0, 0.5 * (15.0 / 4.0) * f / (m0 * m0)]);
+            // g(m) = m^(-1/2): g' = -1/2 m^(-3/2), g'' = 3/4 m^(-5/2)
+            let g = m0.powf(-0.5);
+            seg12.push([g, -0.5 * g / m0, 0.5 * (3.0 / 4.0) * g / (m0 * m0)]);
+        }
+        Self {
+            seg32,
+            seg12,
+            log2_segments,
+        }
+    }
+
+    /// Number of table segments.
+    #[inline]
+    pub fn segments(&self) -> usize {
+        self.seg32.len()
+    }
+
+    /// Evaluate `x^(-3/2)` (force path).
+    #[inline]
+    pub fn eval_pow_m32(&self, x: f64) -> f64 {
+        self.eval(x, true)
+    }
+
+    /// Evaluate `x^(-1/2)` (potential path).
+    #[inline]
+    pub fn eval_pow_m12(&self, x: f64) -> f64 {
+        self.eval(x, false)
+    }
+
+    #[inline]
+    fn eval(&self, x: f64, cubed: bool) -> f64 {
+        if x <= 0.0 || !x.is_finite() {
+            return 0.0;
+        }
+        // Decompose x = m · 4^k, m ∈ [1, 4).
+        let e = x.log2().floor() as i32;
+        let k = e.div_euclid(2);
+        let m = x * pow2(-2 * k);
+        debug_assert!((1.0..4.0 + 1e-12).contains(&m), "m = {m}");
+        let n = self.seg32.len() as f64;
+        let idx = (((m - 1.0) / 3.0) * n) as usize;
+        let idx = idx.min(self.seg32.len() - 1);
+        let width = 3.0 / n;
+        let m0 = 1.0 + (idx as f64 + 0.5) * width;
+        let d = m - m0;
+        let (c, scale) = if cubed {
+            (&self.seg32[idx], pow2(-3 * k))
+        } else {
+            (&self.seg12[idx], pow2(-k))
+        };
+        (c[0] + d * (c[1] + d * c[2])) * scale
+    }
+
+    /// Worst relative error of the `x^(-3/2)` path over a dense sweep —
+    /// used by tests and by the chip's self-check at construction.
+    pub fn max_rel_error_m32(&self, samples: usize) -> f64 {
+        let mut worst = 0.0f64;
+        for i in 0..samples {
+            // Sweep several binades to exercise the exponent logic.
+            let x = 2f64.powf(-8.0 + 16.0 * (i as f64 + 0.5) / samples as f64);
+            let approx = self.eval_pow_m32(x);
+            let exact = x.powf(-1.5);
+            worst = worst.max(((approx - exact) / exact).abs());
+        }
+        worst
+    }
+}
+
+/// Exact power of two; falls back to `powi` outside the normal range.
+#[inline]
+fn pow2(n: i32) -> f64 {
+    if (-1022..=1023).contains(&n) {
+        f64::from_bits(((1023 + n) as u64) << 52)
+    } else {
+        2f64.powi(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_at_powers_of_four() {
+        let u = RsqrtCubedUnit::default();
+        for k in -4..=4 {
+            let x = 4f64.powi(k);
+            let got = u.eval_pow_m32(x);
+            let want = x.powf(-1.5);
+            assert!(
+                ((got - want) / want).abs() < 1e-7,
+                "x = {x}: got {got}, want {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_below_pipeline_rounding() {
+        let u = RsqrtCubedUnit::default();
+        let err = u.max_rel_error_m32(20_000);
+        assert!(
+            err < 2f64.powi(-26),
+            "table unit error {err:e} exceeds 2^-26"
+        );
+    }
+
+    #[test]
+    fn coarse_table_is_worse_fine_table_is_better() {
+        let coarse = RsqrtCubedUnit::new(6);
+        let fine = RsqrtCubedUnit::new(12);
+        let ec = coarse.max_rel_error_m32(5_000);
+        let ef = fine.max_rel_error_m32(5_000);
+        assert!(ec > ef, "coarse {ec:e} should exceed fine {ef:e}");
+        // Quadratic segments: halving the width cuts the error ~8x; 6 extra
+        // bits of table should win at least a factor 100.
+        assert!(ec / ef > 100.0);
+    }
+
+    #[test]
+    fn potential_path_accuracy() {
+        let u = RsqrtCubedUnit::default();
+        for i in 0..5_000 {
+            let x = 2f64.powf(-6.0 + 12.0 * (i as f64 + 0.5) / 5_000.0);
+            let got = u.eval_pow_m12(x);
+            let want = x.powf(-0.5);
+            assert!(((got - want) / want).abs() < 2f64.powi(-26), "x = {x}");
+        }
+    }
+
+    #[test]
+    fn zero_and_negative_clamp_to_zero() {
+        let u = RsqrtCubedUnit::default();
+        assert_eq!(u.eval_pow_m32(0.0), 0.0);
+        assert_eq!(u.eval_pow_m32(-1.0), 0.0);
+        assert_eq!(u.eval_pow_m12(0.0), 0.0);
+        assert_eq!(u.eval_pow_m32(f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn tiny_and_huge_arguments() {
+        let u = RsqrtCubedUnit::default();
+        for &x in &[1e-12f64, 1e12, 3.7e-9, 8.1e7] {
+            let want = x.powf(-1.5);
+            let got = u.eval_pow_m32(x);
+            assert!(((got - want) / want).abs() < 1e-7, "x = {x:e}");
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation bench: block floating-point accumulation vs f64 summation.
+//!
+//! §3.4 chose block FP for the reduction tree because (a) fixed-point
+//! adders are cheap in an FPGA and (b) the sum becomes order-independent.
+//! This bench quantifies the *simulation* cost of that choice (the add
+//! path plus the shift/round) against a plain f64 accumulation, and a
+//! compensated (Kahan) sum as the software alternative that would restore
+//! determinism on a conventional machine.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use grape6_arith::blockfp::BlockAccum;
+
+fn values(n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|k| {
+            let a = k as f64 * 0.618_033_988_749;
+            (a.fract() - 0.5) * 1e-2
+        })
+        .collect()
+}
+
+fn bench_accumulation(c: &mut Criterion) {
+    let vals = values(4096);
+    let mut g = c.benchmark_group("accumulation_4096");
+    g.throughput(Throughput::Elements(4096));
+
+    g.bench_function("f64_sum", |b| {
+        b.iter(|| {
+            let mut s = 0.0f64;
+            for &v in &vals {
+                s += black_box(v);
+            }
+            s
+        })
+    });
+
+    g.bench_function("kahan_sum", |b| {
+        b.iter(|| {
+            let (mut s, mut comp) = (0.0f64, 0.0f64);
+            for &v in &vals {
+                let y = black_box(v) - comp;
+                let t = s + y;
+                comp = (t - s) - y;
+                s = t;
+            }
+            s
+        })
+    });
+
+    g.bench_function("block_fp", |b| {
+        b.iter(|| {
+            let mut acc = BlockAccum::new(8);
+            for &v in &vals {
+                acc.add(black_box(v)).unwrap();
+            }
+            acc.to_f64()
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_accumulation);
+criterion_main!(benches);

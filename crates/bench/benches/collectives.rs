@@ -1,0 +1,48 @@
+//! Criterion bench: the fabric's collectives (host wall clock of the
+//! *simulator* — thread spawn + channel traffic — which bounds how many
+//! virtual-cluster experiments fit in a CI run).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use grape6_net::collectives::{allgather, barrier, central_barrier};
+use grape6_net::fabric::run_ranks;
+use grape6_net::link::LinkProfile;
+
+fn bench_barriers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("collectives");
+    g.sample_size(10);
+    for p in [4usize, 16] {
+        g.bench_with_input(BenchmarkId::new("butterfly", p), &p, |b, &p| {
+            b.iter(|| {
+                run_ranks::<u8, f64, _>(p, LinkProfile::intel_82540em(), |mut ep| {
+                    for _ in 0..16 {
+                        barrier(&mut ep);
+                    }
+                    ep.clock()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("central", p), &p, |b, &p| {
+            b.iter(|| {
+                run_ranks::<u8, f64, _>(p, LinkProfile::intel_82540em(), |mut ep| {
+                    for _ in 0..16 {
+                        central_barrier(&mut ep);
+                    }
+                    ep.clock()
+                })
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("allgather_1k", p), &p, |b, &p| {
+            b.iter(|| {
+                run_ranks::<Vec<u8>, usize, _>(p, LinkProfile::intel_82540em(), |mut ep| {
+                    let mine = vec![ep.rank() as u8; 1024];
+                    let all = allgather(&mut ep, mine, 1024);
+                    all.len()
+                })
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_barriers);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench: the Hermite block-timestep driver's step cost.
+//!
+//! Measures real blocksteps per second of the reference (f64) stack and
+//! of the bit-level GRAPE-6 simulator stack at modest N — the numbers that
+//! determine how long the calibration runs and functional experiments
+//! take on a laptop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use grape6_core::engine::Grape6Engine;
+use grape6_core::{HermiteIntegrator, IntegratorConfig};
+use grape6_system::machine::MachineConfig;
+use nbody_core::force::DirectEngine;
+use nbody_core::ic::plummer::plummer_model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_direct_steps(c: &mut Criterion) {
+    let n = 1024;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(11));
+    let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, IntegratorConfig::default());
+    // Warm past the startup transient.
+    for _ in 0..64 {
+        it.step();
+    }
+    let mut g = c.benchmark_group("hermite");
+    g.sample_size(20);
+    g.bench_function("blockstep_direct_n1024", |b| b.iter(|| it.step()));
+    g.finish();
+}
+
+fn bench_grape_steps(c: &mut Criterion) {
+    let n = 256;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(12));
+    let engine = Grape6Engine::new(&MachineConfig::test_small(), n);
+    let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
+    for _ in 0..16 {
+        it.step();
+    }
+    let mut g = c.benchmark_group("hermite");
+    g.sample_size(10);
+    g.bench_function("blockstep_grapesim_n256", |b| b.iter(|| it.step()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_direct_steps, bench_grape_steps);
+criterion_main!(benches);

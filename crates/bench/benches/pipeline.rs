@@ -1,0 +1,85 @@
+//! Criterion micro-benchmarks of the simulated hardware's hot path.
+//!
+//! These measure the *simulator's* throughput (host wall clock), which is
+//! what bounds how large a functional (bit-level) experiment the workspace
+//! can run — the machine's own speed lives in virtual time and is covered
+//! by the figure binaries.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use grape6_arith::rsqrt::RsqrtCubedUnit;
+use grape6_chip::chip::{Chip, ChipConfig};
+use grape6_chip::pipeline::{interact, ExpSet, HwIParticle, PartialForce};
+use grape6_chip::predictor::predict;
+use grape6_chip::HwJParticle;
+use nbody_core::force::JParticle;
+use nbody_core::Vec3;
+
+fn jp(k: usize) -> JParticle {
+    let a = k as f64 * 0.37;
+    JParticle {
+        mass: 0.001,
+        t0: 0.0,
+        pos: Vec3::new(a.cos(), a.sin(), 0.1 * (k % 13) as f64 - 0.6),
+        vel: Vec3::new(-0.1 * a.sin(), 0.1 * a.cos(), 0.0),
+        acc: Vec3::new(0.01, -0.01, 0.0),
+        jerk: Vec3::ZERO,
+        snap: Vec3::ZERO,
+    }
+}
+
+fn bench_interact(c: &mut Criterion) {
+    let rsqrt = RsqrtCubedUnit::default();
+    let ip = HwIParticle::from_host(Vec3::new(0.3, -0.2, 0.1), Vec3::new(0.05, 0.0, 0.0), 1e-4);
+    let pj = predict(&HwJParticle::from_host(&jp(7)), 0.0);
+    let exps = ExpSet::from_magnitudes(1.0, 1.0, 1.0);
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("single_interaction", |b| {
+        b.iter_batched(
+            || PartialForce::new(exps),
+            |mut pf| {
+                interact(&rsqrt, &ip, &pj, &mut pf).unwrap();
+                pf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_chip_pass(c: &mut Criterion) {
+    let mut chip = Chip::new(ChipConfig::default());
+    let n_j = 1024;
+    for k in 0..n_j {
+        chip.load_j(k, &jp(k));
+    }
+    chip.set_time(0.0);
+    let i_regs: Vec<HwIParticle> = (0..48)
+        .map(|k| {
+            HwIParticle::from_host(
+                Vec3::new(0.01 * k as f64 - 0.2, 0.4, -0.3),
+                Vec3::ZERO,
+                1e-4,
+            )
+        })
+        .collect();
+    let exps = vec![ExpSet::from_magnitudes(5.0, 5.0, 5.0); 48];
+    let mut g = c.benchmark_group("chip");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements((48 * n_j) as u64));
+    g.bench_function("pass_48i_1024j", |b| {
+        b.iter(|| chip.compute_block(&i_regs, &exps).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let hw = HwJParticle::from_host(&jp(3));
+    let mut g = c.benchmark_group("predictor");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("predict_one", |b| b.iter(|| predict(&hw, 0.125)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_interact, bench_chip_pass, bench_predictor);
+criterion_main!(benches);

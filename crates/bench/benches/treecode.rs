@@ -1,0 +1,35 @@
+//! Criterion bench: the Barnes–Hut baseline (tree build + full traversal).
+//!
+//! Gives the particle-steps/s of the §5 comparison table its measured
+//! basis on this machine.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bh_tree::traverse::tree_forces;
+use bh_tree::tree::{Octree, TreeConfig};
+use nbody_core::ic::plummer::plummer_model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_tree(c: &mut Criterion) {
+    let n = 10_000;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(21));
+    let cfg = TreeConfig::default();
+
+    let mut g = c.benchmark_group("bh_tree");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function("build_10k", |b| {
+        b.iter(|| Octree::build(&set.mass, &set.pos, &cfg))
+    });
+    let tree = Octree::build(&set.mass, &set.pos, &cfg);
+    g.bench_function("traverse_theta0.6_10k", |b| {
+        b.iter(|| tree_forces(&tree, 0.6, 1e-4))
+    });
+    g.bench_function("traverse_theta0.3_10k", |b| {
+        b.iter(|| tree_forces(&tree, 0.3, 1e-4))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_tree);
+criterion_main!(benches);

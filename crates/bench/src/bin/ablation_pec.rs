@@ -1,0 +1,51 @@
+//! Ablation: corrector iterations — P(EC) vs P(EC)².
+//!
+//! The paper's benchmark uses the standard single-corrector Hermite cycle;
+//! a second corrector pass costs one extra GRAPE call per step and moves
+//! the scheme towards the implicit Hermite solution.  This study maps the
+//! accuracy/cost frontier on real integrations: at each η, the energy
+//! error and the pairwise-interaction count for one and two EC passes.
+
+use grape6_bench::print_table;
+use grape6_core::{HermiteIntegrator, IntegratorConfig};
+use nbody_core::diagnostics::energy;
+use nbody_core::force::{DirectEngine, ForceEngine};
+use nbody_core::ic::plummer::plummer_model;
+use nbody_core::softening::Softening;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let n = 256;
+    let duration = 0.5;
+    let mut rows = Vec::new();
+    for eta in [0.005f64, 0.01, 0.02, 0.04] {
+        let mut cells = vec![format!("{eta}")];
+        for pec in [1usize, 2] {
+            let set = plummer_model(n, &mut StdRng::seed_from_u64(77));
+            let eps2 = Softening::Constant.epsilon2(n);
+            let e0 = energy(&set, eps2);
+            let cfg = IntegratorConfig {
+                eta,
+                eta_start: eta / 4.0,
+                pec_iterations: pec,
+                ..Default::default()
+            };
+            let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, cfg);
+            it.run_until(duration);
+            let e1 = energy(&it.synchronized_snapshot(), eps2);
+            let err = ((e1.total() - e0.total()) / e0.total()).abs();
+            cells.push(format!("{err:.1e}"));
+            cells.push(format!("{:.2e}", it.engine().interactions() as f64));
+        }
+        rows.push(cells);
+    }
+    print_table(
+        &format!("P(EC) vs P(EC)^2, Plummer N = {n}, {duration} time units"),
+        &["eta", "|dE/E| PEC", "pairs PEC", "|dE/E| PEC2", "pairs PEC2"],
+        &rows,
+    );
+    println!("\nreading: the second corrector pass doubles the GRAPE work per step; whether");
+    println!("it pays depends on η — at loose η it buys accuracy, at tight η the truncation");
+    println!("error is already predictor-limited (the paper's production codes used PEC).");
+}

@@ -1,0 +1,60 @@
+//! Re-derive the block-statistics power laws from real integrations.
+//!
+//! The performance model extrapolates two measured power laws (particle
+//! steps per time unit, blocksteps per time unit) from laptop-affordable N
+//! to the paper's 10⁵–2×10⁶ range, leaning on §4.2's "the number of
+//! particles integrated in one blockstep is roughly proportional to N".
+//! This binary runs the actual Hermite block-timestep integrator at a
+//! ladder of sizes, fits the laws, and prints them next to the defaults
+//! baked into `grape6-model` — the provenance trail for every figure.
+//!
+//! Usage: `calibrate [--full]` (`--full` doubles the ladder and duration).
+
+use grape6_bench::{fit_block_stats, print_table};
+use nbody_core::softening::Softening;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes: Vec<usize> = if full {
+        vec![256, 512, 1024, 2048, 4096, 8192]
+    } else {
+        vec![256, 512, 1024, 2048]
+    };
+    let duration = if full { 0.25 } else { 0.125 };
+
+    for soft in Softening::PAPER_CHOICES {
+        let (fitted, measured) = fit_block_stats(&sizes, soft, duration, 1.0);
+        let default = grape6_bench::default_stats(soft);
+        let rows: Vec<Vec<String>> = measured
+            .iter()
+            .map(|m| {
+                vec![
+                    m.n.to_string(),
+                    format!("{:.0}", m.steps_per_unit),
+                    format!("{:.0}", m.blocks_per_unit),
+                    format!("{:.1}", m.mean_block),
+                    format!("{:.1}", default.mean_block(m.n as f64)),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("measured block statistics, {}", soft.label()),
+            &["N", "steps/unit", "blocks/unit", "<n_b>", "model <n_b>"],
+            &rows,
+        );
+        println!("\nfitted power laws (anchor N = 1024):");
+        println!(
+            "  steps/particle: measured {:.1}·(N/1024)^{:.2}   model default {:.1}·(N/1024)^{:.2}",
+            fitted.steps_per_particle_ref,
+            fitted.steps_slope,
+            default.steps_per_particle_ref,
+            default.steps_slope
+        );
+        println!(
+            "  blocks/unit:    measured {:.0}·(N/1024)^{:.2}   model default {:.0}·(N/1024)^{:.2}",
+            fitted.blocks_ref, fitted.blocks_slope, default.blocks_ref, default.blocks_slope
+        );
+    }
+    println!("\nNOTE: the model defaults are the fit of a --full run of this binary;");
+    println!("re-run with --full to reproduce them (takes a few minutes).");
+}

@@ -1,0 +1,56 @@
+//! Figure 13: single-node (1 host, 4 boards) calculation speed vs N.
+//!
+//! Paper: "Figure 13: The calculation speed of 1-host, 4-board system in
+//! Gflops, plotted as a function of the number of particles in the
+//! system", for the three softening choices ε = 1/64, ε = 1/[8(2N)^(1/3)]
+//! and ε = 4/N.  Expected shape: speed rising with N (larger blocks, more
+//! j-work per fixed cost) towards > 1 Tflops at N = 2×10⁵, and "the
+//! achieved speed is practically independent of the choice of the
+//! softening".
+
+use grape6_bench::{default_stats, log_n_sweep, measured_speed, print_table};
+use grape6_model::perf::{MachineLayout, PerfModel};
+use nbody_core::softening::Softening;
+
+fn main() {
+    // `--measure` adds a column where the speed comes from a *real*
+    // integration (the timing model charged block by block with the actual
+    // block sizes) instead of the mean-block workload model — affordable
+    // up to a few thousand particles.
+    let measure = std::env::args().any(|a| a == "--measure");
+    let model = PerfModel::default();
+    let layout = MachineLayout::SingleHost;
+    let sweep = log_n_sweep(256, 200_000, 4);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            for soft in Softening::PAPER_CHOICES {
+                let stats = default_stats(soft);
+                let s = model.speed(layout, n, &stats);
+                row.push(format!("{:.1}", s / 1e9));
+            }
+            if measure {
+                row.push(if n <= 4096 {
+                    let s = measured_speed(n, Softening::Constant, 0.125, &model, layout, 42);
+                    format!("{:.1}", s / 1e9)
+                } else {
+                    "-".into()
+                });
+            }
+            row
+        })
+        .collect();
+    let mut headers = vec!["N", "eps=1/64", "eps=1/[8(2N)^1/3]", "eps=4/N"];
+    if measure {
+        headers.push("real blocks (eps=1/64)");
+    }
+    print_table(
+        "Fig. 13 — single-node speed [Gflops] vs N",
+        &headers,
+        &rows,
+    );
+    let s = model.speed(layout, 200_000, &default_stats(Softening::Constant));
+    println!("\npaper anchor: >1 Tflops at N=2e5 (measured here: {:.2} Tflops)", s / 1e12);
+    println!("paper claim: speed practically independent of softening choice");
+}

@@ -1,0 +1,67 @@
+//! Figure 15: multi-node (single-cluster) speed vs N.
+//!
+//! Paper: "Solid, dashed and dotted curves show the results for 1, 2 and
+//! 4-node systems… The left panel shows the result for constant softening,
+//! and the right panel ε = 4/N.  … the two-host system becomes faster than
+//! the single-host system only at N ≈ 3000, and for ε = 4/N, this
+//! crossover point moves to around N ≈ 3×10⁴."
+
+use grape6_bench::{default_stats, log_n_sweep, print_table};
+use grape6_model::perf::{MachineLayout, PerfModel};
+use grape6_model::BlockStatsModel;
+use nbody_core::softening::Softening;
+
+fn crossover(
+    model: &PerfModel,
+    a: MachineLayout,
+    b: MachineLayout,
+    stats: &BlockStatsModel,
+) -> Option<usize> {
+    let mut n = 256usize;
+    while n <= 4 << 20 {
+        if model.speed(b, n, stats) > model.speed(a, n, stats) {
+            return Some(n);
+        }
+        n = ((n as f64) * 1.08) as usize + 1;
+    }
+    None
+}
+
+fn main() {
+    let model = PerfModel::default();
+    let layouts = [
+        MachineLayout::SingleHost,
+        MachineLayout::Cluster { hosts: 2 },
+        MachineLayout::Cluster { hosts: 4 },
+    ];
+    for (panel, soft) in [
+        ("left panel: eps = 1/64", Softening::Constant),
+        ("right panel: eps = 4/N", Softening::CloseEncounter),
+    ] {
+        let stats = default_stats(soft);
+        let sweep = log_n_sweep(512, 1_000_000, 3);
+        let rows: Vec<Vec<String>> = sweep
+            .iter()
+            .map(|&n| {
+                let mut row = vec![n.to_string()];
+                for l in layouts {
+                    row.push(format!("{:.1}", model.speed(l, n, &stats) / 1e9));
+                }
+                row
+            })
+            .collect();
+        print_table(
+            &format!("Fig. 15 ({panel}) — speed [Gflops] vs N"),
+            &["N", "1-node", "2-node", "4-node"],
+            &rows,
+        );
+        let c2 = crossover(&model, layouts[0], layouts[1], &stats);
+        let c4 = crossover(&model, layouts[0], layouts[2], &stats);
+        println!(
+            "\ncrossover vs 1-node: 2-node at N ≈ {}, 4-node at N ≈ {}",
+            c2.map_or("∞".into(), |v| v.to_string()),
+            c4.map_or("∞".into(), |v| v.to_string())
+        );
+    }
+    println!("\npaper anchors: constant-ε 2-node crossover ≈ 3×10³; ε=4/N crossover ≈ 3×10⁴.");
+}

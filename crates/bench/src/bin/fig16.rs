@@ -1,0 +1,51 @@
+//! Figure 16: calculation time per particle step, 4-node system.
+//!
+//! Paper: "This figure clearly shows why the value of N for the crossover
+//! is rather large.  For 'small' N (N < 10⁴), the calculation time is
+//! inversely proportional to the number of particles N.  This is because
+//! the communication between hosts, which takes constant time per one
+//! blockstep, dominates the total cost in this regime. … An extension of
+//! the performance model which includes the synchronization overhead
+//! reproduces the measured result quite accurately."
+
+use grape6_bench::{default_stats, log_n_sweep, print_table};
+use grape6_model::perf::{MachineLayout, PerfModel};
+use nbody_core::softening::Softening;
+
+fn main() {
+    let model = PerfModel::default();
+    let layout = MachineLayout::Cluster { hosts: 4 };
+    let stats = default_stats(Softening::Constant);
+    // The "theory without sync" curve shows what the naive model misses.
+    let sweep = log_n_sweep(512, 1_000_000, 3);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&n| {
+            let n_b = stats.mean_block(n as f64).round().max(1.0) as usize;
+            let bt = model.block_time(layout, n, n_b);
+            let with_sync = bt.total() / n_b as f64;
+            let without_sync = (bt.total() - bt.sync) / n_b as f64;
+            vec![
+                n.to_string(),
+                format!("{:.2}", with_sync * 1e6),
+                format!("{:.2}", without_sync * 1e6),
+                format!("{:.1}", bt.sync * 1e6),
+                format!("{:.0}", n_b),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 16 — time per particle step [µs] vs N (4-node)",
+        &["N", "model+sync", "model w/o sync", "sync/block [µs]", "<n_b>"],
+        &rows,
+    );
+    // Verify the 1/N branch quantitatively.
+    let t1 = model.time_per_step(layout, 1_000, &stats);
+    let t2 = model.time_per_step(layout, 4_000, &stats);
+    println!(
+        "\nsmall-N scaling: T(1000)/T(4000) = {:.2} (1/N behaviour would give ~{:.1})",
+        t1 / t2,
+        4f64.powf(1.0 + stats.steps_slope - stats.blocks_slope)
+    );
+    println!("paper shape: time/step ∝ 1/N for N < 10⁴ (sync-dominated), rising with N beyond.");
+}

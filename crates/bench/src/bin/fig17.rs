@@ -1,0 +1,64 @@
+//! Figure 17: multi-cluster speed vs N.
+//!
+//! Paper: "Solid, dashed and dotted curves show the results for 4, 8 and
+//! 16-node (1, 2, and 4-cluster) systems… The crossover point at which
+//! multi-cluster systems becomes faster than single-cluster system is
+//! rather high (N ≈ 10⁵), and even for N = 10⁶, the speedup factors
+//! achieved by multi-cluster systems are significantly smaller than the
+//! ideal speedup."  Constant softening for all runs.
+
+use grape6_bench::{default_stats, log_n_sweep, print_table};
+use grape6_model::perf::{MachineLayout, PerfModel};
+use nbody_core::softening::Softening;
+
+fn main() {
+    let model = PerfModel::default();
+    let stats = default_stats(Softening::Constant);
+    let layouts = [
+        MachineLayout::Cluster { hosts: 4 },
+        MachineLayout::MultiCluster {
+            clusters: 2,
+            hosts_per_cluster: 4,
+        },
+        MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        },
+    ];
+    let sweep = log_n_sweep(4_000, 2_000_000, 3);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&n| {
+            let mut row = vec![n.to_string()];
+            for l in layouts {
+                row.push(format!("{:.3}", model.speed(l, n, &stats) / 1e12));
+            }
+            row
+        })
+        .collect();
+    print_table(
+        "Fig. 17 — speed [Tflops] vs N (1/2/4 clusters, constant softening)",
+        &["N", "4-node", "8-node", "16-node"],
+        &rows,
+    );
+    // Crossover and speedup-at-1e6 anchors.
+    let mut crossover = None;
+    let mut n = 10_000usize;
+    while n <= 4 << 20 {
+        if model.speed(layouts[2], n, &stats) > model.speed(layouts[0], n, &stats) {
+            crossover = Some(n);
+            break;
+        }
+        n = (n as f64 * 1.05) as usize + 1;
+    }
+    let s1 = model.speed(layouts[0], 1_000_000, &stats);
+    let s4 = model.speed(layouts[2], 1_000_000, &stats);
+    println!(
+        "\n16-node vs 4-node crossover at N ≈ {} (paper: ≈ 10⁵)",
+        crossover.map_or("∞".into(), |v| v.to_string())
+    );
+    println!(
+        "speedup(16-node / 4-node) at N = 10⁶: {:.2}× (ideal 4×; paper: significantly below ideal)",
+        s4 / s1
+    );
+}

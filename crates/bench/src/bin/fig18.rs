@@ -1,0 +1,48 @@
+//! Figure 18: time per particle step, 16-node (4-cluster) system.
+//!
+//! Paper: "Theoretical estimate took into account the fact that hosts on
+//! different cluster need to exchange the data of particles.  Here, again,
+//! the calculation time per one particle step is inversely proportional to
+//! N, for N < 10⁵.  This means that the main bottleneck is again the
+//! synchronization time."
+
+use grape6_bench::{default_stats, log_n_sweep, print_table};
+use grape6_model::perf::{MachineLayout, PerfModel};
+use nbody_core::softening::Softening;
+
+fn main() {
+    let model = PerfModel::default();
+    let layout = MachineLayout::MultiCluster {
+        clusters: 4,
+        hosts_per_cluster: 4,
+    };
+    let stats = default_stats(Softening::Constant);
+    let sweep = log_n_sweep(1_000, 2_000_000, 3);
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|&n| {
+            let n_b = stats.mean_block(n as f64).round().max(1.0) as usize;
+            let bt = model.block_time(layout, n, n_b);
+            vec![
+                n.to_string(),
+                format!("{:.2}", bt.total() / n_b as f64 * 1e6),
+                format!("{:.1}", bt.sync * 1e6),
+                format!("{:.1}", bt.exchange * 1e6),
+                format!("{:.1}", bt.grape * 1e6),
+                format!("{:.0}", n_b),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 18 — time per particle step [µs] vs N (16-node, 4-cluster)",
+        &["N", "T/step", "sync/block", "exchange/block", "grape/block", "<n_b>"],
+        &rows,
+    );
+    let t1 = model.time_per_step(layout, 4_000, &stats);
+    let t2 = model.time_per_step(layout, 16_000, &stats);
+    println!(
+        "\nsmall-N scaling: T(4k)/T(16k) = {:.2} (sync-dominated 1/N regime)",
+        t1 / t2
+    );
+    println!("paper shape: 1/N branch up to N ≈ 10⁵, synchronization is the bottleneck.");
+}

@@ -1,0 +1,180 @@
+//! §5 "Performance for real applications": the two production runs.
+//!
+//! Paper numbers:
+//!
+//! * **Kuiper belt** — N = 1.8M planetesimals, 21120 dynamical time units,
+//!   1.911×10¹⁰ individual steps, 16.30 h wall ⇒
+//!   1.911×10¹⁰ × 1 799 999 × 57 = 1.961×10¹⁸ flops ⇒ **33.4 Tflops**;
+//! * **Binary black hole** — N = 2M Plummer + two 0.5 % "black hole"
+//!   particles, 36 time units, 4.143×10¹⁰ steps, 37.19 h ⇒
+//!   4.723×10¹⁸ flops ⇒ **35.3 Tflops**.
+//!
+//! This binary (a) re-derives the paper's own Tflops arithmetic, (b) runs
+//! *scaled-down real simulations* of both workloads through this
+//! workspace's stack (demonstrating the code paths exist and conserve
+//! energy), and (c) asks the performance model what the full-scale runs
+//! would sustain on the tuned 16-node machine.
+//!
+//! Pass `--grape` to run the scaled-down workloads through the bit-level
+//! hardware simulator instead of the f64 reference engine (slower).
+
+use grape6_bench::{default_stats, print_table};
+use grape6_core::{HermiteIntegrator, IntegratorConfig};
+use grape6_core::engine::Grape6Engine;
+use grape6_model::perf::{MachineLayout, PerfModel};
+use grape6_system::machine::MachineConfig;
+use nbody_core::diagnostics::energy;
+use nbody_core::force::DirectEngine;
+use nbody_core::ic::binary_bh::binary_bh_model;
+use nbody_core::ic::disk::{planetesimal_disk, DiskParams};
+use nbody_core::particle::ParticleSet;
+use nbody_core::softening::Softening;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+struct PaperRun {
+    name: &'static str,
+    n: f64,
+    steps: f64,
+    hours: f64,
+}
+
+fn paper_accounting() {
+    let runs = [
+        PaperRun {
+            name: "Kuiper belt (1.8M)",
+            n: 1_800_000.0,
+            steps: 1.911e10,
+            hours: 16.30,
+        },
+        PaperRun {
+            name: "Binary BH (2M)",
+            n: 2_000_000.0,
+            steps: 4.143e10,
+            hours: 37.19,
+        },
+    ];
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            // The paper multiplies by (N−1): each step interacts with the
+            // other particles.
+            let flops = r.steps * (r.n - 1.0) * 57.0;
+            let tflops = flops / (r.hours * 3600.0) / 1e12;
+            vec![
+                r.name.into(),
+                format!("{:.3e}", r.steps),
+                format!("{:.2}", r.hours),
+                format!("{:.3e}", flops),
+                format!("{:.1}", tflops),
+            ]
+        })
+        .collect();
+    print_table(
+        "§5 paper accounting (re-derived from the published step counts)",
+        &["run", "steps", "hours", "flops", "Tflops"],
+        &rows,
+    );
+    println!("\npaper quotes: 33.4 Tflops (Kuiper belt), 35.3 Tflops (binary BH) — the rows above");
+    println!("must reproduce those numbers exactly, since they are pure arithmetic.");
+}
+
+fn scaled_run(name: &str, set: ParticleSet, soft: Softening, t_end: f64, use_grape: bool) -> Vec<String> {
+    let n = set.n();
+    let eps2 = soft.epsilon2(n);
+    let e0 = energy(&set, eps2);
+    let cfg = IntegratorConfig {
+        softening: soft,
+        ..Default::default()
+    };
+    let (steps, blocks, err, engine_name) = if use_grape {
+        let engine = Grape6Engine::new(&MachineConfig::single_board(), n);
+        let mut it = HermiteIntegrator::new(engine, set, cfg);
+        it.run_until(t_end);
+        let e1 = energy(&it.synchronized_snapshot(), eps2);
+        (
+            it.stats().particle_steps,
+            it.stats().blocksteps,
+            ((e1.total() - e0.total()) / e0.total()).abs(),
+            "grape6-sim",
+        )
+    } else {
+        let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, cfg);
+        it.run_until(t_end);
+        let e1 = energy(&it.synchronized_snapshot(), eps2);
+        (
+            it.stats().particle_steps,
+            it.stats().blocksteps,
+            ((e1.total() - e0.total()) / e0.total()).abs(),
+            "direct-f64",
+        )
+    };
+    vec![
+        name.into(),
+        n.to_string(),
+        format!("{t_end}"),
+        steps.to_string(),
+        blocks.to_string(),
+        format!("{err:.2e}"),
+        engine_name.into(),
+    ]
+}
+
+fn main() {
+    let use_grape = std::env::args().any(|a| a == "--grape");
+    paper_accounting();
+
+    // Scaled-down real runs of both §5 workloads.
+    let mut rng = StdRng::seed_from_u64(2003);
+    let disk = planetesimal_disk(1_500, &DiskParams::default(), &mut rng);
+    let bbh = binary_bh_model(1_000, 0.005, 0.3, &mut rng);
+    let rows = vec![
+        scaled_run(
+            "Kuiper belt (scaled)",
+            disk,
+            Softening::Fixed(1e-4),
+            0.5,
+            use_grape,
+        ),
+        scaled_run(
+            "Binary BH (scaled)",
+            bbh,
+            Softening::Constant,
+            0.5,
+            use_grape,
+        ),
+    ];
+    print_table(
+        "scaled-down real runs through this workspace's stack",
+        &["run", "N", "t_end", "steps", "blocks", "|dE/E|", "engine"],
+        &rows,
+    );
+
+    // Model prediction for the full-scale runs on the tuned machine.
+    let model = PerfModel::tuned();
+    let layout = MachineLayout::MultiCluster {
+        clusters: 4,
+        hosts_per_cluster: 4,
+    };
+    let stats = default_stats(Softening::Constant);
+    let rows: Vec<Vec<String>> = [(1_800_000usize, 1.911e10), (2_000_000, 4.143e10)]
+        .iter()
+        .map(|&(n, steps)| {
+            let t_step = model.time_per_step(layout, n, &stats);
+            let hours = steps * t_step / 3600.0;
+            let tflops = steps * (n as f64 - 1.0) * 57.0 / (steps * t_step) / 1e12;
+            vec![
+                n.to_string(),
+                format!("{steps:.3e}"),
+                format!("{hours:.1}"),
+                format!("{tflops:.1}"),
+            ]
+        })
+        .collect();
+    print_table(
+        "model prediction for the full-scale runs (tuned 16-node machine)",
+        &["N", "steps", "model hours", "model Tflops"],
+        &rows,
+    );
+    println!("\npaper: 16.30 h / 33.4 Tflops (Kuiper), 37.19 h / 35.3 Tflops (binary BH).");
+}

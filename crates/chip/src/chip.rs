@@ -1,0 +1,467 @@
+//! The assembled GRAPE-6 processor chip.
+//!
+//! Six force pipelines, each 8-way virtually multipipelined (VMP), share one
+//! j-particle memory stream: every memory word is fetched once per 8 clock
+//! cycles and meanwhile each pipeline cycles through its 8 virtual
+//! i-particles, so the chip computes forces on **48 i-particles in
+//! parallel** (§3.4: "A GRAPE-6 chip integrates six 8-way VMP pipelines.
+//! Therefore it calculates the forces on 48 particles in parallel").
+//!
+//! Cycle accounting (the quantity the performance model consumes):
+//!
+//! ```text
+//! cycles(block) = pipeline_depth + vmp_ways · n_j      (per chip pass)
+//! ```
+//!
+//! — streaming `n_j` particles costs `vmp_ways · n_j` cycles because each
+//! j is held for 8 cycles while the virtual pipelines consume it, and the
+//! fill/drain latency of the ~30-stage arithmetic pipeline is paid once per
+//! pass.  At 90 MHz with 57 flops per interaction this yields the chip's
+//! 30.8 Gflops peak, reproduced in the tests.
+
+use grape6_arith::blockfp::BlockFpError;
+use grape6_arith::rsqrt::RsqrtCubedUnit;
+use nbody_core::force::JParticle;
+
+use crate::jmem::{HwJParticle, JMemory};
+use crate::pipeline::{interact, ExpSet, HwIParticle, PartialForce};
+use crate::predictor::{predict, PredictedJ};
+
+pub use crate::pipeline::HwIParticle as IRegister;
+
+/// i-particles processed in parallel by one chip (6 pipelines × 8-way VMP).
+pub const I_PARALLEL_PER_CHIP: usize = 48;
+
+/// Physical parameters of the chip.
+#[derive(Clone, Copy, Debug)]
+pub struct ChipConfig {
+    /// Number of force pipelines on the die (6 for the real chip).
+    pub pipelines: usize,
+    /// Virtual multipipelining ways per pipeline (8).
+    pub vmp_ways: usize,
+    /// Pipeline clock in Hz (90 MHz).
+    pub clock_hz: f64,
+    /// j-memory capacity in particles.
+    pub jmem_capacity: usize,
+    /// Fill/drain latency of the arithmetic pipeline, in cycles.
+    pub pipeline_depth: u64,
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self {
+            pipelines: 6,
+            vmp_ways: 8,
+            clock_hz: 90.0e6,
+            jmem_capacity: 16_384,
+            pipeline_depth: 30,
+        }
+    }
+}
+
+impl ChipConfig {
+    /// i-particles served in parallel by this configuration.
+    pub fn i_parallelism(&self) -> usize {
+        self.pipelines * self.vmp_ways
+    }
+
+    /// Theoretical peak in flops: `pipelines · clock · 57`.
+    pub fn peak_flops(&self) -> f64 {
+        self.pipelines as f64 * self.clock_hz * nbody_core::FLOPS_PER_INTERACTION
+    }
+}
+
+/// One simulated processor chip.
+#[derive(Clone, Debug)]
+pub struct Chip {
+    cfg: ChipConfig,
+    jmem: JMemory,
+    rsqrt: RsqrtCubedUnit,
+    time: f64,
+    cycles: u64,
+    interactions: u64,
+    /// Scratch buffer of predicted j-particles, reused across passes.
+    predicted: Vec<PredictedJ>,
+}
+
+impl Chip {
+    /// Build a chip.
+    pub fn new(cfg: ChipConfig) -> Self {
+        Self {
+            jmem: JMemory::new(cfg.jmem_capacity),
+            rsqrt: RsqrtCubedUnit::default(),
+            time: 0.0,
+            cycles: 0,
+            interactions: 0,
+            predicted: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// The chip's configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.cfg
+    }
+
+    /// Number of j-particles currently streamed.
+    pub fn n_j(&self) -> usize {
+        self.jmem.len()
+    }
+
+    /// Write a j-particle (host → interface card → memory format).
+    pub fn load_j(&mut self, addr: usize, p: &JParticle) {
+        self.jmem.write(addr, HwJParticle::from_host(p));
+    }
+
+    /// Set the system time the predictor pipeline targets.
+    pub fn set_time(&mut self, t: f64) {
+        self.time = t;
+    }
+
+    /// Current system time.
+    pub fn time(&self) -> f64 {
+        self.time
+    }
+
+    /// Total clock cycles consumed so far.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total pairwise interactions evaluated so far.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Virtual seconds of pipeline time consumed.
+    pub fn elapsed_secs(&self) -> f64 {
+        self.cycles as f64 / self.cfg.clock_hz
+    }
+
+    /// Drop all j-particles and reset time (not the counters).
+    pub fn clear(&mut self) {
+        self.jmem.clear();
+        self.time = 0.0;
+    }
+
+    /// Run one chip pass: forces on up to 48 i-particles from every stored
+    /// j-particle, with the given per-i block exponents.
+    ///
+    /// On any block-FP overflow the pass aborts with the error and consumed
+    /// cycles are still charged — the host pays for failed passes, exactly
+    /// as the real machine does when it retries with a corrected exponent.
+    pub fn compute_block(
+        &mut self,
+        i_regs: &[HwIParticle],
+        exps: &[ExpSet],
+    ) -> Result<Vec<PartialForce>, BlockFpError> {
+        assert!(
+            i_regs.len() <= self.cfg.i_parallelism(),
+            "block of {} exceeds chip i-parallelism {}",
+            i_regs.len(),
+            self.cfg.i_parallelism()
+        );
+        assert_eq!(i_regs.len(), exps.len(), "one ExpSet per i-particle");
+        let n_j = self.jmem.len();
+        // Charge cycles up front: the hardware streams the whole memory
+        // regardless of whether the host later accepts the result.
+        if n_j > 0 && !i_regs.is_empty() {
+            self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
+            self.interactions += (i_regs.len() * n_j) as u64;
+        }
+        // Predictor pipeline: each j predicted once per pass.
+        self.predicted.clear();
+        self.predicted.reserve(n_j);
+        let t = self.time;
+        for p in self.jmem.stream() {
+            self.predicted.push(predict(p, t));
+        }
+        // Force pipelines.  Accumulation order is irrelevant (block FP), so
+        // iterate i-outer/j-inner for locality.
+        let mut out = Vec::with_capacity(i_regs.len());
+        for (ip, &exp) in i_regs.iter().zip(exps) {
+            let mut pf = PartialForce::new(exp);
+            for jp in &self.predicted {
+                interact(&self.rsqrt, ip, jp, &mut pf)?;
+            }
+            out.push(pf);
+        }
+        Ok(out)
+    }
+
+    /// Like [`Chip::compute_block`], but also runs the hardware
+    /// neighbour-detection comparators: for each i-particle, the local
+    /// addresses of every j with unsoftened `r² < h2[i]` (the j-particle
+    /// coincident with the i-particle, `r = 0`, is not listed — the
+    /// pipeline does not flag self-pairs).
+    pub fn compute_block_nb(
+        &mut self,
+        i_regs: &[HwIParticle],
+        exps: &[ExpSet],
+        h2: &[f64],
+    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
+        assert!(i_regs.len() <= self.cfg.i_parallelism());
+        assert_eq!(i_regs.len(), exps.len());
+        assert_eq!(i_regs.len(), h2.len(), "one neighbour radius per i-particle");
+        let n_j = self.jmem.len();
+        if n_j > 0 && !i_regs.is_empty() {
+            self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
+            self.interactions += (i_regs.len() * n_j) as u64;
+        }
+        self.predicted.clear();
+        self.predicted.reserve(n_j);
+        let t = self.time;
+        for p in self.jmem.stream() {
+            self.predicted.push(predict(p, t));
+        }
+        let mut out = Vec::with_capacity(i_regs.len());
+        let mut lists = Vec::with_capacity(i_regs.len());
+        for ((ip, &exp), &h2i) in i_regs.iter().zip(exps).zip(h2) {
+            let mut pf = PartialForce::new(exp);
+            let mut nb = Vec::new();
+            for (addr, jp) in self.predicted.iter().enumerate() {
+                let r2 = interact(&self.rsqrt, ip, jp, &mut pf)?;
+                if r2 < h2i && r2 > 0.0 {
+                    nb.push(addr as u32);
+                }
+            }
+            out.push(pf);
+            lists.push(nb);
+        }
+        Ok((out, lists))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::force::{
+        DirectEngine, ForceEngine, ForceResult, IParticle,
+    };
+    use nbody_core::Vec3;
+
+    fn test_system(n: usize) -> (Vec<f64>, Vec<Vec3>, Vec<Vec3>) {
+        // Deterministic scattered particles in the unit box.
+        let mut mass = Vec::new();
+        let mut pos = Vec::new();
+        let mut vel = Vec::new();
+        let mut s = 0.4321f64;
+        let mut next = || {
+            s = (s * 9301.0 + 0.2113).fract();
+            s - 0.5
+        };
+        for _ in 0..n {
+            mass.push(0.5 / n as f64 + (next() + 0.5) / n as f64);
+            pos.push(Vec3::new(next(), next(), next()));
+            vel.push(Vec3::new(next(), next(), next()) * 0.3);
+        }
+        (mass, pos, vel)
+    }
+
+    fn load_chip(chip: &mut Chip, mass: &[f64], pos: &[Vec3], vel: &[Vec3]) {
+        for k in 0..mass.len() {
+            chip.load_j(
+                k,
+                &JParticle {
+                    mass: mass[k],
+                    t0: 0.0,
+                    pos: pos[k],
+                    vel: vel[k],
+                    ..Default::default()
+                },
+            );
+        }
+    }
+
+    #[test]
+    fn chip_matches_f64_engine_to_pipeline_precision() {
+        let (mass, pos, vel) = test_system(64);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        chip.set_time(0.0);
+
+        let mut reference = DirectEngine::new(64);
+        for k in 0..64 {
+            reference.set_j_particle(
+                k,
+                &JParticle {
+                    mass: mass[k],
+                    t0: 0.0,
+                    pos: pos[k],
+                    vel: vel[k],
+                    ..Default::default()
+                },
+            );
+        }
+        reference.set_time(0.0);
+
+        let eps2 = 1e-4;
+        let i_regs: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], eps2))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(30.0, 300.0, 30.0); 48];
+        let hw = chip.compute_block(&i_regs, &exps).unwrap();
+
+        let ips: Vec<IParticle> = (0..48)
+            .map(|k| IParticle {
+                pos: pos[k],
+                vel: vel[k],
+                eps2,
+            })
+            .collect();
+        let mut want = vec![ForceResult::default(); 48];
+        reference.compute(&ips, &mut want);
+
+        for k in 0..48 {
+            let got = hw[k].to_force_result();
+            let da = (got.acc - want[k].acc).norm() / want[k].acc.norm();
+            assert!(da < 3e-5, "i={k}: rel acc err {da:e}");
+            let dj = (got.jerk - want[k].jerk).norm() / want[k].jerk.norm().max(1e-3);
+            assert!(dj < 3e-4, "i={k}: rel jerk err {dj:e}");
+            let dp = (got.pot - want[k].pot).abs() / want[k].pot.abs();
+            assert!(dp < 3e-5, "i={k}: rel pot err {dp:e}");
+        }
+    }
+
+    #[test]
+    fn cycle_accounting_formula() {
+        let (mass, pos, vel) = test_system(100);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        let i_regs: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k % 100], vel[k % 100], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(50.0, 500.0, 50.0); 48];
+        chip.compute_block(&i_regs, &exps).unwrap();
+        assert_eq!(chip.cycles(), 30 + 8 * 100);
+        assert_eq!(chip.interactions(), 48 * 100);
+        // Second pass accumulates.
+        chip.compute_block(&i_regs, &exps).unwrap();
+        assert_eq!(chip.cycles(), 2 * (30 + 8 * 100));
+    }
+
+    #[test]
+    fn peak_flops_is_30_8_gflops() {
+        let cfg = ChipConfig::default();
+        assert!((cfg.peak_flops() / 1e9 - 30.78).abs() < 0.01);
+        assert_eq!(cfg.i_parallelism(), I_PARALLEL_PER_CHIP);
+    }
+
+    #[test]
+    fn sustained_flops_approach_peak_for_large_nj() {
+        // Efficiency = (48·n_j interactions) / ((depth + 8 n_j) cycles · 6
+        // pipes per cycle) → 1 as n_j → ∞.
+        let (mass, pos, vel) = test_system(2000);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        let i_regs: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(100.0, 5000.0, 100.0); 48];
+        chip.compute_block(&i_regs, &exps).unwrap();
+        let flops = chip.interactions() as f64 * nbody_core::FLOPS_PER_INTERACTION;
+        let sustained = flops / chip.elapsed_secs();
+        let eff = sustained / chip.config().peak_flops();
+        assert!(eff > 0.99, "efficiency {eff}");
+    }
+
+    #[test]
+    fn partial_blocks_waste_parallelism() {
+        // 1 i-particle costs the same cycles as 48 — the §3.4 argument for
+        // keeping the machine's i-parallelism near 100, not 1000.
+        let (mass, pos, vel) = test_system(500);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        let one = vec![HwIParticle::from_host(pos[0], vel[0], 1e-4)];
+        let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0)];
+        chip.compute_block(&one, &exps).unwrap();
+        let cycles_one = chip.cycles();
+        let mut chip2 = Chip::new(ChipConfig::default());
+        load_chip(&mut chip2, &mass, &pos, &vel);
+        let full: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 48];
+        chip2.compute_block(&full, &exps).unwrap();
+        assert_eq!(cycles_one, chip2.cycles());
+        assert_eq!(chip2.interactions(), 48 * chip.interactions());
+    }
+
+    #[test]
+    fn two_chip_partition_is_bit_identical() {
+        // Split the j-set over two chips and merge: mantissas must equal
+        // the single-chip result exactly (§3.4 reproducibility).
+        let (mass, pos, vel) = test_system(90);
+        let mut whole = Chip::new(ChipConfig::default());
+        load_chip(&mut whole, &mass, &pos, &vel);
+        let i_regs: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(40.0, 400.0, 40.0); 48];
+        let full = whole.compute_block(&i_regs, &exps).unwrap();
+
+        let mut a = Chip::new(ChipConfig::default());
+        let mut b = Chip::new(ChipConfig::default());
+        load_chip(&mut a, &mass[..40], &pos[..40], &vel[..40]);
+        load_chip(&mut b, &mass[40..], &pos[40..], &vel[40..]);
+        let fa = a.compute_block(&i_regs, &exps).unwrap();
+        let fb = b.compute_block(&i_regs, &exps).unwrap();
+        for k in 0..48 {
+            let mut merged = fa[k];
+            merged.merge(&fb[k]).unwrap();
+            for c in 0..3 {
+                assert_eq!(merged.acc[c].mant(), full[k].acc[c].mant(), "i={k} c={c}");
+                assert_eq!(merged.jerk[c].mant(), full[k].jerk[c].mant());
+            }
+            assert_eq!(merged.pot.mant(), full[k].pot.mant());
+        }
+    }
+
+    #[test]
+    fn neighbour_detection_matches_brute_force() {
+        let (mass, pos, vel) = test_system(300);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        chip.set_time(0.0);
+        let h2 = 0.09; // h = 0.3
+        let i_regs: Vec<HwIParticle> = (0..4)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 4];
+        let (forces, lists) = chip
+            .compute_block_nb(&i_regs, &exps, &[h2; 4])
+            .unwrap();
+        assert_eq!(forces.len(), 4);
+        for k in 0..4 {
+            let want: Vec<u32> = (0..300)
+                .filter(|&j| {
+                    let d2 = (pos[j] - pos[k]).norm2();
+                    d2 > 0.0 && d2 < h2
+                })
+                .map(|j| j as u32)
+                .collect();
+            // The comparator works in pipeline precision, so particles
+            // within a few ulps of the sphere may differ; for this data
+            // the lists must match exactly (no boundary coincidences).
+            assert_eq!(lists[k], want, "i={k}");
+        }
+        // And the forces are the same as the plain path.
+        let mut chip2 = Chip::new(ChipConfig::default());
+        load_chip(&mut chip2, &mass, &pos, &vel);
+        chip2.set_time(0.0);
+        let plain = chip2.compute_block(&i_regs, &exps).unwrap();
+        for k in 0..4 {
+            assert_eq!(forces[k].acc[0].mant(), plain[k].acc[0].mant());
+            assert_eq!(forces[k].pot.mant(), plain[k].pot.mant());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds chip i-parallelism")]
+    fn oversize_block_rejected() {
+        let mut chip = Chip::new(ChipConfig::default());
+        let regs = vec![HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 0.0); 49];
+        let exps = vec![ExpSet::DEFAULT; 49];
+        let _ = chip.compute_block(&regs, &exps);
+    }
+}

@@ -1,0 +1,185 @@
+//! The per-chip j-particle memory.
+//!
+//! GRAPE-6 attaches one memory unit to each pipeline chip ("the extreme
+//! solution", §3.4): the chip's memory interface drives a 72-bit (64 data +
+//! ECC) bus to local SSRAM holding, for every j-particle, the full predictor
+//! polynomial — mass, the particle's own time `t_j`, 64-bit fixed-point
+//! position, and floating-point velocity / acceleration / jerk / snap.
+//! Because the connection is point-to-point and physically short, it runs at
+//! the full 90 MHz pipeline clock — the design argument of §3.4.
+//!
+//! In this model the memory is a `Vec<HwJParticle>`; storing a particle
+//! performs the same format conversions the host interface card performs
+//! (double → fixed-point position, double → short-float dynamics), so
+//! everything downstream sees only hardware-representable values.
+
+use grape6_arith::fixed::PosVec;
+use grape6_arith::{quantize_sig, PIPE_SIG_BITS};
+use nbody_core::force::JParticle;
+
+/// A j-particle in hardware storage formats.
+#[derive(Clone, Copy, Debug)]
+pub struct HwJParticle {
+    /// Mass, rounded to pipeline precision.
+    pub mass: f64,
+    /// Validity time of the polynomial (held exactly; block times are
+    /// powers of two and representable).
+    pub t0: f64,
+    /// Position at `t0`, 64-bit fixed point per component.
+    pub pos: PosVec,
+    /// Velocity at `t0` (short float).
+    pub vel: [f64; 3],
+    /// Acceleration at `t0` (short float).
+    pub acc: [f64; 3],
+    /// Jerk at `t0` (short float).
+    pub jerk: [f64; 3],
+    /// Snap at `t0` (short float) — the `a⁽²⁾₀` of eq. 6.
+    pub snap: [f64; 3],
+}
+
+impl HwJParticle {
+    /// Convert a host-side j-particle into memory format.
+    pub fn from_host(p: &JParticle) -> Self {
+        let q = |v: nbody_core::Vec3| -> [f64; 3] {
+            [
+                quantize_sig(v.x, PIPE_SIG_BITS),
+                quantize_sig(v.y, PIPE_SIG_BITS),
+                quantize_sig(v.z, PIPE_SIG_BITS),
+            ]
+        };
+        Self {
+            mass: quantize_sig(p.mass, PIPE_SIG_BITS),
+            t0: p.t0,
+            pos: PosVec::from_f64(p.pos.to_array()),
+            vel: q(p.vel),
+            acc: q(p.acc),
+            jerk: q(p.jerk),
+            snap: q(p.snap),
+        }
+    }
+
+    /// A zero-mass particle parked at the origin; what unused memory slots
+    /// hold so they contribute nothing to any force sum.
+    pub fn vacant() -> Self {
+        Self {
+            mass: 0.0,
+            t0: 0.0,
+            pos: PosVec::from_f64([0.0; 3]),
+            vel: [0.0; 3],
+            acc: [0.0; 3],
+            jerk: [0.0; 3],
+            snap: [0.0; 3],
+        }
+    }
+}
+
+/// The j-memory attached to one chip.
+#[derive(Clone, Debug)]
+pub struct JMemory {
+    slots: Vec<HwJParticle>,
+    /// Highest occupied address + 1 — the range the pipelines stream over.
+    used: usize,
+}
+
+impl JMemory {
+    /// Memory with the given particle capacity (real boards shipped with
+    /// room for 16k–32k particles per chip).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            slots: vec![HwJParticle::vacant(); capacity],
+            used: 0,
+        }
+    }
+
+    /// Capacity in particles.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of addressable (written) particles.
+    pub fn len(&self) -> usize {
+        self.used
+    }
+
+    /// True if no particle has been written.
+    pub fn is_empty(&self) -> bool {
+        self.used == 0
+    }
+
+    /// Write a particle at `addr`.  Panics if the address is outside the
+    /// physical memory, mirroring a hardware address fault.
+    pub fn write(&mut self, addr: usize, p: HwJParticle) {
+        assert!(
+            addr < self.slots.len(),
+            "j-memory address {addr} out of range (capacity {})",
+            self.slots.len()
+        );
+        self.slots[addr] = p;
+        self.used = self.used.max(addr + 1);
+    }
+
+    /// The occupied address range the pipelines stream.
+    pub fn stream(&self) -> &[HwJParticle] {
+        &self.slots[..self.used]
+    }
+
+    /// Drop all content (new simulation).
+    pub fn clear(&mut self) {
+        for s in &mut self.slots[..self.used] {
+            *s = HwJParticle::vacant();
+        }
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::Vec3;
+
+    fn host_particle() -> JParticle {
+        JParticle {
+            mass: 0.1,
+            t0: 0.25,
+            pos: Vec3::new(1.0, -2.0, 0.5),
+            vel: Vec3::new(0.3, 0.0, -0.1),
+            acc: Vec3::new(0.01, 0.02, 0.03),
+            jerk: Vec3::new(-0.001, 0.0, 0.002),
+            snap: Vec3::new(0.0, 1e-4, 0.0),
+        }
+    }
+
+    #[test]
+    fn conversion_quantizes_dynamics_keeps_time() {
+        let hw = HwJParticle::from_host(&host_particle());
+        assert_eq!(hw.t0, 0.25);
+        // 0.1 is not exactly representable in 24 bits; check it rounded.
+        assert_eq!(hw.mass, quantize_sig(0.1, PIPE_SIG_BITS));
+        assert_ne!(hw.mass, 0.1);
+        // Position survives the fixed-point roundtrip at 2^-57 resolution.
+        let back = hw.pos.to_f64();
+        assert!((back[0] - 1.0).abs() < 1e-16);
+        assert!((back[1] + 2.0).abs() < 1e-16);
+    }
+
+    #[test]
+    fn memory_write_read_and_used_range() {
+        let mut m = JMemory::new(8);
+        assert!(m.is_empty());
+        m.write(3, HwJParticle::from_host(&host_particle()));
+        assert_eq!(m.len(), 4); // addresses 0..=3 streamed
+        assert_eq!(m.stream().len(), 4);
+        assert_eq!(m.stream()[0].mass, 0.0); // vacant slots are massless
+        assert!(m.stream()[3].mass > 0.0);
+        m.clear();
+        assert!(m.is_empty());
+        assert_eq!(m.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn address_fault_panics() {
+        let mut m = JMemory::new(4);
+        m.write(4, HwJParticle::vacant());
+    }
+}

@@ -1,0 +1,27 @@
+//! # grape6-chip — the GRAPE-6 processor chip
+//!
+//! A functional, cycle-accounted model of the custom chip described in §2.1
+//! of the paper: "A processor chip consists of six force calculation
+//! pipelines, a predictor pipeline, a memory interface and I/O ports",
+//! fabricated in 0.25 µm, clocked at 90 MHz, 30.8 Gflops per chip.
+//!
+//! * [`jmem`] — the per-chip j-particle memory (the local-memory design that
+//!   distinguishes GRAPE-6 from GRAPE-4's shared memory, §3.4), storing the
+//!   predictor polynomial of each particle in hardware formats;
+//! * [`predictor`] — the on-chip predictor pipeline evaluating eqs. (6)–(7);
+//! * [`pipeline`] — one force-calculation pipeline evaluating eqs. (1)–(3)
+//!   in reduced-precision arithmetic with exact fixed-point coordinate
+//!   differences and a table-driven `x^(-3/2)` unit;
+//! * [`chip`] — the assembled chip: six pipelines × 8-way virtual
+//!   multipipelining = forces on 48 i-particles per pass, block
+//!   floating-point partial-force output, and a cycle counter that feeds
+//!   the performance model.
+
+pub mod chip;
+pub mod jmem;
+pub mod pipeline;
+pub mod predictor;
+
+pub use chip::{Chip, ChipConfig, I_PARALLEL_PER_CHIP};
+pub use jmem::HwJParticle;
+pub use pipeline::{ExpSet, HwIParticle, PartialForce};

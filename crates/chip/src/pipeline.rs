@@ -1,0 +1,349 @@
+//! One force-calculation pipeline (fig. 8 of the paper): eqs. (1)–(3) in
+//! hardware arithmetic.
+//!
+//! Stage by stage, per (i, j) pair — one pair per clock cycle in the real
+//! chip:
+//!
+//! 1. `dx = x_j − x_i` in 64-bit fixed point (**exact**), then converted to
+//!    pipeline float; `dv = v_j − v_i` in pipeline float;
+//! 2. `r² = dx·dx + ε²` through a rounding adder tree;
+//! 3. the table-driven unit produces `(r²)^(-3/2)` (force path) and
+//!    `(r²)^(-1/2)` (potential path);
+//! 4. multiplier tree: `a += m·dx·r⁻³`,
+//!    `ȧ += m·dv·r⁻³ − 3(dx·dv)/r² · (m·dx·r⁻³)`, `φ −= m·r⁻¹`;
+//! 5. the seven results are shifted onto the per-i-particle **block
+//!    exponents** and accumulated in 64-bit fixed point.
+//!
+//! The accumulation (step 5) is where the §3.4 reproducibility property
+//! comes from; overflow of a window is reported so the host can retry with
+//! a corrected exponent.
+
+use grape6_arith::blockfp::{BlockAccum, BlockFpError};
+use grape6_arith::fixed::PosVec;
+use grape6_arith::pfloat::PipeFloat;
+use grape6_arith::rsqrt::RsqrtCubedUnit;
+use grape6_arith::{quantize_sig, PIPE_SIG_BITS};
+use nbody_core::force::ForceResult;
+use nbody_core::Vec3;
+
+use crate::predictor::PredictedJ;
+
+/// An i-particle as loaded into a pipeline's i-registers: predicted
+/// position in fixed point, predicted velocity and softening in pipeline
+/// float.
+#[derive(Clone, Copy, Debug)]
+pub struct HwIParticle {
+    /// Predicted position at the block time (fixed point).
+    pub pos: PosVec,
+    /// Predicted velocity (pipeline float values).
+    pub vel: [f64; 3],
+    /// ε², quantised.
+    pub eps2: f64,
+}
+
+impl HwIParticle {
+    /// Convert from host-side doubles.
+    pub fn from_host(pos: Vec3, vel: Vec3, eps2: f64) -> Self {
+        Self {
+            pos: PosVec::from_f64(pos.to_array()),
+            vel: [
+                quantize_sig(vel.x, PIPE_SIG_BITS),
+                quantize_sig(vel.y, PIPE_SIG_BITS),
+                quantize_sig(vel.z, PIPE_SIG_BITS),
+            ],
+            eps2: quantize_sig(eps2, PIPE_SIG_BITS),
+        }
+    }
+}
+
+/// The block exponents declared for one i-particle's accumulators (one per
+/// output group, as the host supplies them before the run starts).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExpSet {
+    /// Window exponent for the three acceleration components.
+    pub acc: i32,
+    /// Window exponent for the three jerk components.
+    pub jerk: i32,
+    /// Window exponent for the potential.
+    pub pot: i32,
+}
+
+impl ExpSet {
+    /// A safe default for standard-units systems before any force is known:
+    /// wide enough for O(10³) accelerations, narrow enough to keep 12+
+    /// significant digits.  The retry loop widens it when wrong.
+    pub const DEFAULT: ExpSet = ExpSet {
+        acc: 14,
+        jerk: 18,
+        pot: 8,
+    };
+
+    /// Guess exponents from known force magnitudes (the "previous timestep"
+    /// heuristic of §3.4).
+    pub fn from_magnitudes(acc: f64, jerk: f64, pot: f64) -> Self {
+        Self {
+            acc: BlockAccum::guess_exp(acc),
+            jerk: BlockAccum::guess_exp(jerk),
+            pot: BlockAccum::guess_exp(pot),
+        }
+    }
+
+    /// Widen every window by `bits` (retry escalation).
+    pub fn widened(self, bits: i32) -> Self {
+        Self {
+            acc: self.acc + bits,
+            jerk: self.jerk + bits,
+            pot: self.pot + bits,
+        }
+    }
+}
+
+/// Partial force on one i-particle: seven block floating-point accumulators.
+#[derive(Clone, Copy, Debug)]
+pub struct PartialForce {
+    /// Acceleration accumulators (x, y, z).
+    pub acc: [BlockAccum; 3],
+    /// Jerk accumulators (x, y, z).
+    pub jerk: [BlockAccum; 3],
+    /// Potential accumulator.
+    pub pot: BlockAccum,
+}
+
+impl PartialForce {
+    /// Fresh accumulators with the given window exponents.
+    pub fn new(exps: ExpSet) -> Self {
+        Self {
+            acc: [BlockAccum::new(exps.acc); 3],
+            jerk: [BlockAccum::new(exps.jerk); 3],
+            pot: BlockAccum::new(exps.pot),
+        }
+    }
+
+    /// The exponents this partial force was accumulated under.
+    pub fn exps(&self) -> ExpSet {
+        ExpSet {
+            acc: self.acc[0].exp(),
+            jerk: self.jerk[0].exp(),
+            pot: self.pot.exp(),
+        }
+    }
+
+    /// Exact merge with another partial force (reduction-tree step).
+    pub fn merge(&mut self, other: &PartialForce) -> Result<(), BlockFpError> {
+        for c in 0..3 {
+            self.acc[c].merge(&other.acc[c])?;
+            self.jerk[c].merge(&other.jerk[c])?;
+        }
+        self.pot.merge(&other.pot)
+    }
+
+    /// Convert to host doubles.
+    pub fn to_force_result(&self) -> ForceResult {
+        ForceResult {
+            acc: Vec3::new(
+                self.acc[0].to_f64(),
+                self.acc[1].to_f64(),
+                self.acc[2].to_f64(),
+            ),
+            jerk: Vec3::new(
+                self.jerk[0].to_f64(),
+                self.jerk[1].to_f64(),
+                self.jerk[2].to_f64(),
+            ),
+            pot: self.pot.to_f64(),
+        }
+    }
+}
+
+/// Execute one pipeline cycle: accumulate the interaction of `ip` with the
+/// predicted j-particle `jp` into `out`.
+///
+/// Returns the **unsoftened** squared separation (pipeline precision) —
+/// the quantity the hardware's neighbour-detection comparator uses: the
+/// real GRAPE-6 pipelines flag every j with `r² < h²ᵢ` and the board
+/// returns the list to the host, which is how the machine served the
+/// Ahmad–Cohen scheme's neighbour bookkeeping.
+#[inline]
+pub fn interact(
+    rsqrt: &RsqrtCubedUnit,
+    ip: &HwIParticle,
+    jp: &PredictedJ,
+    out: &mut PartialForce,
+) -> Result<f64, BlockFpError> {
+    // Stage 1: exact fixed-point coordinate difference, then quantise.
+    let d = ip.pos.exact_delta_to(jp.pos);
+    let dx = [
+        PipeFloat::new(d[0]),
+        PipeFloat::new(d[1]),
+        PipeFloat::new(d[2]),
+    ];
+    let dv = [
+        PipeFloat::new(jp.vel[0]) - PipeFloat::new(ip.vel[0]),
+        PipeFloat::new(jp.vel[1]) - PipeFloat::new(ip.vel[1]),
+        PipeFloat::new(jp.vel[2]) - PipeFloat::new(ip.vel[2]),
+    ];
+    // Stage 2: r² through the adder tree (two-level, as in hardware).
+    let r2_raw = (dx[0].square() + dx[1].square()) + dx[2].square();
+    let r2 = r2_raw + PipeFloat::new(ip.eps2);
+    // Stage 3: the functional unit.
+    let rinv3 = PipeFloat::new(rsqrt.eval_pow_m32(r2.get()));
+    let rinv = PipeFloat::new(rsqrt.eval_pow_m12(r2.get()));
+    // Stage 4: multiplier tree.
+    let m = PipeFloat::new(jp.mass);
+    let mr3 = m * rinv3;
+    let acc = [mr3 * dx[0], mr3 * dx[1], mr3 * dx[2]];
+    let rv = (dx[0] * dv[0] + dx[1] * dv[1]) + dx[2] * dv[2];
+    let rinv2 = rinv * rinv;
+    let beta = PipeFloat::new(3.0) * rv * rinv2;
+    let jerk = [
+        mr3 * dv[0] - beta * acc[0],
+        mr3 * dv[1] - beta * acc[1],
+        mr3 * dv[2] - beta * acc[2],
+    ];
+    let pot = -(m * rinv);
+    // Stage 5: block floating-point accumulation.
+    for c in 0..3 {
+        out.acc[c].add(acc[c].get())?;
+        out.jerk[c].add(jerk[c].get())?;
+    }
+    out.pot.add(pot.get())?;
+    Ok(r2_raw.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jmem::HwJParticle;
+    use crate::predictor::predict;
+    use nbody_core::force::{pair_force, JParticle};
+
+    fn predicted(mass: f64, pos: Vec3, vel: Vec3) -> PredictedJ {
+        let hw = HwJParticle::from_host(&JParticle {
+            mass,
+            t0: 0.0,
+            pos,
+            vel,
+            ..Default::default()
+        });
+        predict(&hw, 0.0)
+    }
+
+    #[test]
+    fn matches_f64_pair_force_to_pipeline_precision() {
+        let rsqrt = RsqrtCubedUnit::default();
+        let ipos = Vec3::new(0.1, 0.2, -0.3);
+        let ivel = Vec3::new(0.4, -0.1, 0.0);
+        let jpos = Vec3::new(-0.5, 0.7, 0.2);
+        let jvel = Vec3::new(-0.2, 0.3, 0.6);
+        let eps2 = 1e-4;
+        let ip = HwIParticle::from_host(ipos, ivel, eps2);
+        let jp = predicted(0.37, jpos, jvel);
+        let mut out = PartialForce::new(ExpSet::from_magnitudes(1.0, 1.0, 1.0));
+        interact(&rsqrt, &ip, &jp, &mut out).unwrap();
+        let hw = out.to_force_result();
+        let (a, j, p) = pair_force(jpos - ipos, jvel - ivel, 0.37, eps2);
+        assert!((hw.acc - a).norm() / a.norm() < 1e-5, "{:?} vs {a:?}", hw.acc);
+        assert!((hw.jerk - j).norm() / j.norm() < 1e-5);
+        assert!((hw.pot - p).abs() / p.abs() < 1e-5);
+    }
+
+    #[test]
+    fn self_interaction_zero_without_softening() {
+        let rsqrt = RsqrtCubedUnit::default();
+        let pos = Vec3::new(0.25, 0.25, 0.25);
+        let vel = Vec3::new(1.0, 2.0, 3.0);
+        let ip = HwIParticle::from_host(pos, vel, 0.0);
+        let jp = predicted(1.0, pos, vel);
+        let mut out = PartialForce::new(ExpSet::DEFAULT);
+        interact(&rsqrt, &ip, &jp, &mut out).unwrap();
+        let r = out.to_force_result();
+        assert_eq!(r.acc, Vec3::ZERO);
+        assert_eq!(r.jerk, Vec3::ZERO);
+        assert_eq!(r.pot, 0.0);
+    }
+
+    #[test]
+    fn self_interaction_pot_only_with_softening() {
+        let rsqrt = RsqrtCubedUnit::default();
+        let pos = Vec3::new(0.25, 0.25, 0.25);
+        let ip = HwIParticle::from_host(pos, Vec3::ZERO, 0.01);
+        let jp = predicted(2.0, pos, Vec3::ZERO);
+        let mut out = PartialForce::new(ExpSet::DEFAULT);
+        interact(&rsqrt, &ip, &jp, &mut out).unwrap();
+        let r = out.to_force_result();
+        assert_eq!(r.acc, Vec3::ZERO);
+        assert_eq!(r.jerk, Vec3::ZERO);
+        // −m/ε = −2/0.1 = −20, to pipeline precision.
+        assert!((r.pot + 20.0).abs() < 1e-4, "pot = {}", r.pot);
+    }
+
+    #[test]
+    fn window_overflow_surfaces() {
+        let rsqrt = RsqrtCubedUnit::default();
+        // A very close pair with a deliberately tiny acc window.
+        let ip = HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 0.0);
+        let jp = predicted(1.0, Vec3::new(1e-4, 0.0, 0.0), Vec3::ZERO);
+        let mut out = PartialForce::new(ExpSet {
+            acc: 2, // window ±4; actual acc is 1/r² = 1e8
+            jerk: 40,
+            pot: 20,
+        });
+        let err = interact(&rsqrt, &ip, &jp, &mut out).unwrap_err();
+        assert!(matches!(err, BlockFpError::SummandOverflow { .. }));
+        // The widened retry succeeds.
+        let mut out = PartialForce::new(
+            ExpSet {
+                acc: 2,
+                jerk: 40,
+                pot: 20,
+            }
+            .widened(28),
+        );
+        interact(&rsqrt, &ip, &jp, &mut out).unwrap();
+        assert!((out.to_force_result().acc.x - 1e8).abs() / 1e8 < 1e-4);
+    }
+
+    #[test]
+    fn merge_equals_single_accumulation() {
+        let rsqrt = RsqrtCubedUnit::default();
+        let ip = HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-4);
+        let sources: Vec<PredictedJ> = (0..16)
+            .map(|k| {
+                let ang = k as f64 * 0.7;
+                predicted(
+                    0.01 + 0.001 * k as f64,
+                    Vec3::new(ang.cos(), ang.sin(), 0.1 * k as f64 - 0.8),
+                    Vec3::new(0.1 * ang.sin(), -0.1 * ang.cos(), 0.0),
+                )
+            })
+            .collect();
+        let exps = ExpSet::from_magnitudes(0.2, 0.5, 0.2);
+        // Single accumulator over all sources.
+        let mut whole = PartialForce::new(exps);
+        for jp in &sources {
+            interact(&rsqrt, &ip, jp, &mut whole).unwrap();
+        }
+        // Two halves merged — must be bit-identical (mantissa equality).
+        let mut left = PartialForce::new(exps);
+        let mut right = PartialForce::new(exps);
+        for jp in &sources[..7] {
+            interact(&rsqrt, &ip, jp, &mut left).unwrap();
+        }
+        for jp in &sources[7..] {
+            interact(&rsqrt, &ip, jp, &mut right).unwrap();
+        }
+        left.merge(&right).unwrap();
+        for c in 0..3 {
+            assert_eq!(left.acc[c].mant(), whole.acc[c].mant());
+            assert_eq!(left.jerk[c].mant(), whole.jerk[c].mant());
+        }
+        assert_eq!(left.pot.mant(), whole.pot.mant());
+    }
+
+    #[test]
+    fn merge_rejects_mismatched_exponents() {
+        let a = PartialForce::new(ExpSet::DEFAULT);
+        let mut b = PartialForce::new(ExpSet::DEFAULT.widened(1));
+        assert!(b.merge(&a).is_err());
+    }
+}

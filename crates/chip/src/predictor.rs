@@ -1,0 +1,158 @@
+//! The on-chip predictor pipeline (eqs. 6–7 of the paper).
+//!
+//! "To attach memory chips directly to the processor chips, we need to
+//! integrate the predictor pipeline and the memory controller unit … to the
+//! processor chip" (§3.4).  The predictor streams j-particles out of the
+//! local memory and produces, for the current system time `t`, the predicted
+//! position and velocity that the six force pipelines consume.
+//!
+//! Numerics, mirroring the hardware:
+//!
+//! * `Δt = t − t_j` and all polynomial terms are evaluated in the short
+//!   pipeline float (each operation rounds);
+//! * the resulting position *displacement* is added to the 64-bit
+//!   fixed-point `x₀` — so the predicted position is again a fixed-point
+//!   word and the downstream `x_j − x_i` subtraction stays exact;
+//! * the predicted velocity stays in pipeline float.
+//!
+//! Note the sign of the quartic term: the paper's eq. (6) prints
+//! `−Δt⁴/24·a⁽²⁾₀`; we use the plain Taylor `+Δt⁴/24·a⁽²⁾₀` (the printed
+//! minus is an inconsistency in the paper — with their own eq. (7), whose
+//! `Δt³/6·a⁽²⁾₀` velocity term is positive, d(x_p)/dt = v_p only holds with
+//! the positive sign).  DESIGN.md records this deviation.
+
+use grape6_arith::fixed::PosVec;
+use grape6_arith::pfloat::PipeFloat;
+
+use crate::jmem::HwJParticle;
+
+/// Predicted j-particle state as delivered to the force pipelines.
+#[derive(Clone, Copy, Debug)]
+pub struct PredictedJ {
+    /// Mass (pass-through from memory).
+    pub mass: f64,
+    /// Predicted position, fixed point.
+    pub pos: PosVec,
+    /// Predicted velocity, pipeline float values.
+    pub vel: [f64; 3],
+}
+
+/// Evaluate the predictor polynomials for one j-particle at system time `t`.
+///
+/// Every arithmetic operation is performed in [`PipeFloat`] precision; the
+/// displacement is applied to the fixed-point position at the end.
+#[inline]
+pub fn predict(p: &HwJParticle, t: f64) -> PredictedJ {
+    let dt = PipeFloat::new(t - p.t0);
+    // Horner evaluation matches the hardware's chained multiply-adds:
+    // dx = dt(v + dt/2(a + dt/3(j + dt/4 s)))
+    let half = PipeFloat::new(0.5);
+    let third = PipeFloat::new(1.0 / 3.0);
+    let quarter = PipeFloat::new(0.25);
+    let mut dx = [0.0f64; 3];
+    let mut vp = [0.0f64; 3];
+    for c in 0..3 {
+        let v = PipeFloat::new(p.vel[c]);
+        let a = PipeFloat::new(p.acc[c]);
+        let j = PipeFloat::new(p.jerk[c]);
+        let s = PipeFloat::new(p.snap[c]);
+        let disp = dt * (v + dt * half * (a + dt * third * (j + dt * quarter * s)));
+        dx[c] = disp.get();
+        // v_p = v + dt(a + dt/2(j + dt/3 s))
+        let vel = v + dt * (a + dt * half * (j + dt * third * s));
+        vp[c] = vel.get();
+    }
+    PredictedJ {
+        mass: p.mass,
+        pos: p.pos.offset_f64(dx),
+        vel: vp,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::force::{predict_j, JParticle};
+    use nbody_core::Vec3;
+
+    fn host_particle() -> JParticle {
+        JParticle {
+            mass: 0.25,
+            t0: 0.5,
+            pos: Vec3::new(0.1, -0.7, 0.4),
+            vel: Vec3::new(0.5, 0.2, -0.3),
+            acc: Vec3::new(-0.1, 0.3, 0.05),
+            jerk: Vec3::new(0.02, -0.04, 0.01),
+            snap: Vec3::new(0.004, 0.001, -0.002),
+        }
+    }
+
+    #[test]
+    fn zero_dt_returns_stored_state() {
+        let host = host_particle();
+        let hw = HwJParticle::from_host(&host);
+        let pred = predict(&hw, 0.5);
+        assert_eq!(pred.pos, hw.pos);
+        assert_eq!(pred.vel, hw.vel);
+        assert_eq!(pred.mass, hw.mass);
+    }
+
+    #[test]
+    fn matches_f64_predictor_to_pipeline_precision() {
+        let host = host_particle();
+        let hw = HwJParticle::from_host(&host);
+        for &t in &[0.5625f64, 0.625, 0.75, 1.0] {
+            let pred = predict(&hw, t);
+            let (x_ref, v_ref) = predict_j(&host, t);
+            let x = pred.pos.to_f64();
+            for c in 0..3 {
+                // Displacements are O(0.1); pipeline rounding is 2^-24 per
+                // op over a short chain — allow a few ulps of slack.
+                assert!(
+                    (x[c] - x_ref[c]).abs() < 1e-6,
+                    "t={t} c={c}: {} vs {}",
+                    x[c],
+                    x_ref[c]
+                );
+                assert!((pred.vel[c] - v_ref[c]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn velocity_is_time_derivative_of_position() {
+        // Central check that the quartic-term sign is consistent between
+        // eqs. (6) and (7): (x(t+h) − x(t−h)) / 2h ≈ v(t).
+        let hw = HwJParticle::from_host(&host_particle());
+        let t = 0.75;
+        let h = 1e-3;
+        let xa = predict(&hw, t + h).pos.to_f64();
+        let xb = predict(&hw, t - h).pos.to_f64();
+        let v = predict(&hw, t).vel;
+        for c in 0..3 {
+            let num = (xa[c] - xb[c]) / (2.0 * h);
+            assert!(
+                (num - v[c]).abs() < 1e-4,
+                "c={c}: numeric {num} vs predicted {}",
+                v[c]
+            );
+        }
+    }
+
+    #[test]
+    fn prediction_error_grows_with_dt() {
+        // The quantised polynomial drifts from the f64 one as dt grows; the
+        // drift must be monotone-ish and tiny for block-sized dts.
+        let host = host_particle();
+        let hw = HwJParticle::from_host(&host);
+        let err_at = |t: f64| {
+            let pred = predict(&hw, t).pos.to_f64();
+            let (x_ref, _) = predict_j(&host, t);
+            (0..3)
+                .map(|c| (pred[c] - x_ref[c]).abs())
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err_at(0.500001) < 1e-9);
+        assert!(err_at(0.6) < 1e-6);
+    }
+}

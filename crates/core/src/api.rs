@@ -1,0 +1,159 @@
+//! A facade mimicking the classic GRAPE-6 host library.
+//!
+//! The original machine was driven through a small C API (`g6_open`,
+//! `g6_set_ti`, `g6_set_j_particle`, `g6calc_firsthalf`,
+//! `g6calc_lasthalf`, …).  This module offers the same call shapes over the
+//! simulator so that code translated from legacy GRAPE applications maps
+//! one-to-one.  The two-phase force call is preserved: `calc_firsthalf`
+//! ships the i-particles and starts the pipelines, `calc_lasthalf` collects
+//! the results — on the real machine the host overlapped its integration
+//! work between the two.
+
+use nbody_core::force::{ForceEngine, ForceResult, IParticle, JParticle};
+use nbody_core::Vec3;
+
+use crate::engine::Grape6Engine;
+use grape6_system::machine::MachineConfig;
+
+/// A GRAPE-6 "device" handle, in the style of the original library.
+pub struct G6 {
+    engine: Grape6Engine,
+    pending: Option<(Vec<IParticle>, usize)>,
+}
+
+impl G6 {
+    /// `g6_open`: acquire the hardware attached to this host.
+    pub fn open(cfg: &MachineConfig, max_particles: usize) -> Self {
+        Self {
+            engine: Grape6Engine::new(cfg, max_particles),
+            pending: None,
+        }
+    }
+
+    /// `g6_npipes`: how many i-particles one call can serve in parallel.
+    pub fn npipes(&self) -> usize {
+        48
+    }
+
+    /// `g6_set_ti`: set the system time for the predictor pipelines.
+    pub fn set_ti(&mut self, ti: f64) {
+        self.engine.set_time(ti);
+    }
+
+    /// `g6_set_j_particle`: write one particle's predictor polynomial.
+    #[allow(clippy::too_many_arguments)]
+    pub fn set_j_particle(
+        &mut self,
+        address: usize,
+        tj: f64,
+        mass: f64,
+        a2by18: Vec3, // snap/18 in the historical interface; we take snap
+        a1by6: Vec3,  // jerk/6 historically; we take jerk
+        aby2: Vec3,   // acc/2 historically; we take acc
+        v: Vec3,
+        x: Vec3,
+    ) {
+        // The historical interface pre-scaled the derivatives to save
+        // pipeline multipliers; the simulator takes them unscaled, so this
+        // facade simply forwards (parameter names keep the old order).
+        self.engine.set_j_particle(
+            address,
+            &JParticle {
+                mass,
+                t0: tj,
+                pos: x,
+                vel: v,
+                acc: aby2,
+                jerk: a1by6,
+                snap: a2by18,
+            },
+        );
+    }
+
+    /// `g6calc_firsthalf`: ship the i-particles and start the pipelines.
+    pub fn calc_firsthalf(&mut self, xi: &[Vec3], vi: &[Vec3], eps2: f64) {
+        assert_eq!(xi.len(), vi.len());
+        let ip: Vec<IParticle> = xi
+            .iter()
+            .zip(vi)
+            .map(|(&pos, &vel)| IParticle { pos, vel, eps2 })
+            .collect();
+        let n = ip.len();
+        self.pending = Some((ip, n));
+    }
+
+    /// `g6calc_lasthalf`: wait for the pipelines and read the results.
+    ///
+    /// Returns acceleration, jerk and potential per i-particle.
+    pub fn calc_lasthalf(&mut self) -> Vec<ForceResult> {
+        let (ip, n) = self
+            .pending
+            .take()
+            .expect("calc_lasthalf without a preceding calc_firsthalf");
+        let mut out = vec![ForceResult::default(); n];
+        self.engine.compute(&ip, &mut out);
+        out
+    }
+
+    /// Access the underlying engine (cycle counters etc.).
+    pub fn engine(&self) -> &Grape6Engine {
+        &self.engine
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::force::{DirectEngine, ForceEngine};
+
+    #[test]
+    fn two_phase_call_matches_reference() {
+        let n = 16;
+        let mut g6 = G6::open(&MachineConfig::test_small(), n);
+        let mut reference = DirectEngine::new(n);
+        for k in 0..n {
+            let a = k as f64;
+            let x = Vec3::new((a * 0.3).sin(), (a * 0.7).cos(), 0.1 * a - 0.8);
+            let v = Vec3::new(0.01 * a, -0.02, 0.0);
+            g6.set_j_particle(k, 0.0, 1.0 / n as f64, Vec3::ZERO, Vec3::ZERO, Vec3::ZERO, v, x);
+            reference.set_j_particle(
+                k,
+                &JParticle {
+                    mass: 1.0 / n as f64,
+                    t0: 0.0,
+                    pos: x,
+                    vel: v,
+                    ..Default::default()
+                },
+            );
+        }
+        g6.set_ti(0.0);
+        reference.set_time(0.0);
+        let xi = vec![Vec3::new(0.2, 0.2, 0.2), Vec3::new(-0.5, 0.0, 0.4)];
+        let vi = vec![Vec3::ZERO, Vec3::new(0.1, 0.0, 0.0)];
+        g6.calc_firsthalf(&xi, &vi, 1e-4);
+        let got = g6.calc_lasthalf();
+        let ip: Vec<IParticle> = xi
+            .iter()
+            .zip(&vi)
+            .map(|(&pos, &vel)| IParticle {
+                pos,
+                vel,
+                eps2: 1e-4,
+            })
+            .collect();
+        let mut want = vec![ForceResult::default(); 2];
+        reference.compute(&ip, &mut want);
+        for k in 0..2 {
+            assert!((got[k].acc - want[k].acc).norm() < 1e-4 * want[k].acc.norm());
+        }
+        assert_eq!(g6.npipes(), 48);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a preceding")]
+    fn lasthalf_without_firsthalf_panics() {
+        let mut g6 = G6::open(&MachineConfig::test_small(), 4);
+        let _ = g6.calc_lasthalf();
+    }
+}

@@ -1,0 +1,382 @@
+//! The GRAPE-6 engine: simulated hardware behind the standard interface.
+
+use grape6_chip::pipeline::{ExpSet, HwIParticle};
+use grape6_system::machine::{BoardArray, MachineConfig};
+use grape6_system::unit::GrapeUnit;
+use nbody_core::force::{ForceEngine, ForceResult, IParticle, JParticle};
+
+/// Widening applied to all windows on each overflow retry (bits).
+const RETRY_WIDEN_BITS: i32 = 8;
+
+/// Maximum retries before giving up (a magnitude this wrong means NaNs or a
+/// corrupted state, not a bad guess).
+const MAX_RETRIES: u32 = 12;
+
+/// The simulated GRAPE-6 hardware of one host, exposed as a
+/// [`ForceEngine`].
+///
+/// Exponent management follows §3.4: the engine keeps a slowly-decaying
+/// running maximum of the force magnitudes it has returned, uses it to
+/// declare the block floating-point windows for the next call, and on
+/// overflow widens the windows and recomputes the failing chunk.  Every
+/// retry costs real (virtual) pipeline cycles, exactly like the hardware.
+pub struct Grape6Engine {
+    hw: BoardArray,
+    n_slots: usize,
+    /// Running magnitude estimates (acceleration, jerk, potential).
+    mag: (f64, f64, f64),
+    retries: u64,
+    i_parallel: usize,
+}
+
+impl Grape6Engine {
+    /// Build the engine from a machine description.
+    pub fn new(cfg: &MachineConfig, n_particles: usize) -> Self {
+        assert!(
+            n_particles <= cfg.capacity(),
+            "system of {n_particles} exceeds machine capacity {}",
+            cfg.capacity()
+        );
+        Self {
+            hw: cfg.build(),
+            n_slots: n_particles,
+            mag: (1.0, 1.0, 1.0),
+            retries: 0,
+            i_parallel: 48,
+        }
+    }
+
+    /// Total pipeline cycles consumed (critical path).
+    pub fn hardware_cycles(&self) -> u64 {
+        self.hw.total_cycles()
+    }
+
+    /// Exponent-retry count (§3.4's repeat-until-good-guess loop).
+    pub fn exponent_retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Direct access to the hardware (tests, inspection).
+    pub fn hardware(&self) -> &BoardArray {
+        &self.hw
+    }
+
+    fn exps(&self) -> ExpSet {
+        ExpSet::from_magnitudes(self.mag.0, self.mag.1, self.mag.2)
+    }
+
+    fn update_mags(&mut self, out: &[ForceResult]) {
+        let mut a = 0.0f64;
+        let mut j = 0.0f64;
+        let mut p = 0.0f64;
+        for r in out {
+            a = a.max(r.acc.norm());
+            j = j.max(r.jerk.norm());
+            p = p.max(r.pot.abs());
+        }
+        // Slow decay keeps headroom; fast rise tracks deepening potentials.
+        self.mag.0 = (self.mag.0 * 0.9).max(a);
+        self.mag.1 = (self.mag.1 * 0.9).max(j);
+        self.mag.2 = (self.mag.2 * 0.9).max(p);
+    }
+}
+
+impl ForceEngine for Grape6Engine {
+    fn n_j(&self) -> usize {
+        self.n_slots
+    }
+
+    fn set_j_particle(&mut self, addr: usize, p: &JParticle) {
+        assert!(addr < self.n_slots, "j address {addr} out of range");
+        // The fixed-point coordinate box covers ±64 length units; a
+        // coordinate outside it would silently wrap in the memory format
+        // (hardware semantics).  The real host library rescales systems to
+        // fit; this simulator refuses loudly instead of corrupting forces.
+        for c in p.pos.to_array() {
+            assert!(
+                c.abs() < 64.0,
+                "particle {addr} position {c} outside the ±64 fixed-point box; \
+                 rescale the system (the paper's host library kept systems \
+                 well inside the box for exactly this reason)"
+            );
+        }
+        self.hw.load_j(addr, p);
+    }
+
+    fn set_time(&mut self, t: f64) {
+        self.hw.set_time(t);
+    }
+
+    fn compute(&mut self, i: &[IParticle], out: &mut [ForceResult]) {
+        assert_eq!(i.len(), out.len());
+        for (chunk_i, chunk_o) in i.chunks(self.i_parallel).zip(out.chunks_mut(self.i_parallel)) {
+            let regs: Vec<HwIParticle> = chunk_i
+                .iter()
+                .map(|p| HwIParticle::from_host(p.pos, p.vel, p.eps2))
+                .collect();
+            let mut exps = vec![self.exps(); regs.len()];
+            let mut attempt = 0u32;
+            let partials = loop {
+                match self.hw.compute_block(&regs, &exps) {
+                    Ok(p) => break p,
+                    Err(e) => {
+                        attempt += 1;
+                        self.retries += 1;
+                        assert!(
+                            attempt <= MAX_RETRIES,
+                            "block-FP exponent retry did not converge: {e}"
+                        );
+                        for x in &mut exps {
+                            *x = x.widened(RETRY_WIDEN_BITS * attempt as i32);
+                        }
+                    }
+                }
+            };
+            for (o, p) in chunk_o.iter_mut().zip(&partials) {
+                *o = p.to_force_result();
+            }
+            self.update_mags(chunk_o);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "grape6-sim"
+    }
+
+    fn interactions(&self) -> u64 {
+        self.hw.total_interactions()
+    }
+}
+
+impl Grape6Engine {
+    /// Compute forces **and hardware neighbour lists**: for each i-particle
+    /// the global j-addresses with unsoftened `r² < h2[k]`, as detected by
+    /// the pipeline comparators — the hardware service behind the
+    /// Ahmad–Cohen scheme's bookkeeping on the real machine.
+    pub fn compute_with_neighbours(
+        &mut self,
+        i: &[IParticle],
+        h2: &[f64],
+        out: &mut [ForceResult],
+    ) -> Vec<Vec<u32>> {
+        assert_eq!(i.len(), out.len());
+        assert_eq!(i.len(), h2.len());
+        let mut all_lists = Vec::with_capacity(i.len());
+        for ((chunk_i, chunk_o), chunk_h) in i
+            .chunks(self.i_parallel)
+            .zip(out.chunks_mut(self.i_parallel))
+            .zip(h2.chunks(self.i_parallel))
+        {
+            let regs: Vec<HwIParticle> = chunk_i
+                .iter()
+                .map(|p| HwIParticle::from_host(p.pos, p.vel, p.eps2))
+                .collect();
+            let mut exps = vec![self.exps(); regs.len()];
+            let mut attempt = 0u32;
+            let (partials, lists) = loop {
+                match self.hw.compute_block_nb(&regs, &exps, chunk_h) {
+                    Ok(r) => break r,
+                    Err(e) => {
+                        attempt += 1;
+                        self.retries += 1;
+                        assert!(
+                            attempt <= MAX_RETRIES,
+                            "block-FP exponent retry did not converge: {e}"
+                        );
+                        for x in &mut exps {
+                            *x = x.widened(RETRY_WIDEN_BITS * attempt as i32);
+                        }
+                    }
+                }
+            };
+            for (o, p) in chunk_o.iter_mut().zip(&partials) {
+                *o = p.to_force_result();
+            }
+            self.update_mags(chunk_o);
+            all_lists.extend(lists);
+        }
+        all_lists
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::force::DirectEngine;
+    use nbody_core::Vec3;
+
+    fn scattered(n: usize) -> Vec<JParticle> {
+        (0..n)
+            .map(|k| {
+                let a = k as f64 * 0.613;
+                JParticle {
+                    mass: 1.0 / n as f64,
+                    t0: 0.0,
+                    pos: Vec3::new(a.cos(), (1.7 * a).sin(), 0.3 * (0.9 * a).cos()),
+                    vel: Vec3::new(-a.sin() * 0.2, a.cos() * 0.2, 0.0),
+                    acc: Vec3::new(0.01, -0.02, 0.005),
+                    jerk: Vec3::ZERO,
+                    snap: Vec3::ZERO,
+                }
+            })
+            .collect()
+    }
+
+    fn engines(n: usize) -> (Grape6Engine, DirectEngine) {
+        let js = scattered(n);
+        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let mut d = DirectEngine::new(n);
+        for (k, j) in js.iter().enumerate() {
+            g.set_j_particle(k, j);
+            d.set_j_particle(k, j);
+        }
+        (g, d)
+    }
+
+    #[test]
+    fn matches_reference_engine_through_full_interface() {
+        let n = 100;
+        let (mut g, mut d) = engines(n);
+        // Predict to a later time to exercise the on-chip predictor too.
+        g.set_time(0.0625);
+        d.set_time(0.0625);
+        let probes: Vec<IParticle> = (0..60)
+            .map(|k| IParticle {
+                pos: Vec3::new(0.02 * k as f64 - 0.5, 0.3, -0.1),
+                vel: Vec3::new(0.0, 0.05, 0.0),
+                eps2: 1e-4,
+            })
+            .collect();
+        let mut got = vec![ForceResult::default(); probes.len()];
+        let mut want = vec![ForceResult::default(); probes.len()];
+        g.compute(&probes, &mut got);
+        d.compute(&probes, &mut want);
+        for k in 0..probes.len() {
+            let da = (got[k].acc - want[k].acc).norm() / want[k].acc.norm();
+            assert!(da < 1e-4, "i={k} rel acc err {da:e}");
+            let dp = (got[k].pot - want[k].pot).abs() / want[k].pot.abs();
+            assert!(dp < 1e-4, "i={k} rel pot err {dp:e}");
+        }
+        assert_eq!(g.interactions(), (probes.len() * n) as u64);
+        assert!(g.hardware_cycles() > 0);
+    }
+
+    #[test]
+    fn exponent_retry_recovers_from_cold_start() {
+        // Force magnitudes far above the initial unit guess: the engine
+        // must retry and still return the right answer.
+        let n = 4;
+        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let mut d = DirectEngine::new(n);
+        for k in 0..n {
+            let p = JParticle {
+                mass: 1000.0,
+                t0: 0.0,
+                pos: Vec3::new(k as f64 * 1e-3, 0.0, 0.0),
+                ..Default::default()
+            };
+            g.set_j_particle(k, &p);
+            d.set_j_particle(k, &p);
+        }
+        g.set_time(0.0);
+        d.set_time(0.0);
+        let probe = [IParticle {
+            pos: Vec3::new(-0.05, 0.0, 0.0),
+            vel: Vec3::ZERO,
+            eps2: 0.0,
+        }];
+        let mut got = [ForceResult::default()];
+        let mut want = [ForceResult::default()];
+        g.compute(&probe, &mut got);
+        d.compute(&probe, &mut want);
+        assert!(g.exponent_retries() > 0, "cold start must retry");
+        let rel = (got[0].acc - want[0].acc).norm() / want[0].acc.norm();
+        assert!(rel < 1e-4, "rel err {rel:e}");
+        // A second call reuses the learned exponents without retrying.
+        let before = g.exponent_retries();
+        g.compute(&probe, &mut got);
+        assert_eq!(g.exponent_retries(), before);
+    }
+
+    #[test]
+    fn multi_chunk_blocks_handled() {
+        // 130 i-particles = 3 chip passes on a 48-wide machine.
+        let n = 64;
+        let (mut g, mut d) = engines(n);
+        g.set_time(0.0);
+        d.set_time(0.0);
+        let probes: Vec<IParticle> = (0..130)
+            .map(|k| IParticle {
+                pos: Vec3::new((k as f64 * 0.37).sin(), (k as f64 * 0.11).cos(), 0.0),
+                vel: Vec3::ZERO,
+                eps2: 1e-2,
+            })
+            .collect();
+        let mut got = vec![ForceResult::default(); 130];
+        let mut want = vec![ForceResult::default(); 130];
+        g.compute(&probes, &mut got);
+        d.compute(&probes, &mut want);
+        for k in 0..130 {
+            assert!((got[k].acc - want[k].acc).norm() < 1e-4 * want[k].acc.norm().max(1e-6));
+        }
+    }
+
+    #[test]
+    fn hardware_neighbour_lists_match_brute_force() {
+        let n = 120;
+        let js = scattered(n);
+        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        for (k, j) in js.iter().enumerate() {
+            g.set_j_particle(k, j);
+        }
+        g.set_time(0.0);
+        let probes: Vec<IParticle> = (0..3)
+            .map(|k| IParticle {
+                pos: js[k].pos,
+                vel: js[k].vel,
+                eps2: 1e-4,
+            })
+            .collect();
+        let h2 = [0.25f64, 0.25, 0.25];
+        let mut out = vec![ForceResult::default(); 3];
+        let lists = g.compute_with_neighbours(&probes, &h2, &mut out);
+        for k in 0..3 {
+            let want: Vec<u32> = (0..n)
+                .filter(|&j| {
+                    let d2 = (js[j].pos - js[k].pos).norm2();
+                    d2 > 0.0 && d2 < h2[k]
+                })
+                .map(|j| j as u32)
+                .collect();
+            assert_eq!(lists[k], want, "probe {k}");
+            assert!(!lists[k].is_empty(), "probe {k} should have neighbours");
+        }
+        // Forces unchanged relative to the plain path.
+        let mut out2 = vec![ForceResult::default(); 3];
+        g.compute(&probes, &mut out2);
+        for k in 0..3 {
+            assert_eq!(out[k].acc, out2[k].acc);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "fixed-point box")]
+    fn out_of_box_particle_rejected() {
+        let mut g = Grape6Engine::new(&MachineConfig::test_small(), 4);
+        g.set_j_particle(
+            0,
+            &JParticle {
+                mass: 1.0,
+                pos: Vec3::new(100.0, 0.0, 0.0),
+                ..Default::default()
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds machine capacity")]
+    fn oversubscription_rejected() {
+        let cfg = MachineConfig::test_small(); // 4 chips × 2048
+        Grape6Engine::new(&cfg, 10_000);
+    }
+}

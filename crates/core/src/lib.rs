@@ -1,0 +1,38 @@
+//! # grape6-core — the host library and the block-timestep Hermite driver
+//!
+//! This is the layer a GRAPE-6 user actually links against.  The paper's
+//! division of labour (§1): "The GRAPE hardware performs the evaluation of
+//! the interaction.  The frontend processors perform all other operations,
+//! such as the time integration of the orbits of particles, I/O, on-the-fly
+//! analysis etc."
+//!
+//! * [`engine`] — [`engine::Grape6Engine`] wraps the simulated board array
+//!   behind the same [`nbody_core::ForceEngine`] interface the reference
+//!   f64 engine implements: it chunks i-particle blocks into 48-wide chip
+//!   passes, guesses the block floating-point exponents from the previous
+//!   results, and retries with widened windows on overflow (§3.4: "we
+//!   sometimes need to repeat the force calculation a few times until we
+//!   have a good guess for the exponent");
+//! * [`integrator`] — the individual block-timestep Hermite integrator
+//!   (predict → GRAPE force → correct → Aarseth step), generic over the
+//!   engine so the identical driver runs on the hardware simulator, the
+//!   f64 reference, or a remote rank of the parallel algorithms;
+//! * [`api`] — a thin facade mimicking the classic `g6_...` C library
+//!   entry points, for readers coming from the original software stack;
+//! * [`neighbor`] — the Ahmad–Cohen neighbour scheme of the paper's
+//!   reference \[10\], splitting the force into a frequently-updated
+//!   neighbour part (host) and a rarely-updated distant part (GRAPE);
+//! * [`stats`] — per-run counters (particle steps, blocksteps, block-size
+//!   histogram, exponent retries) that the benchmark harness converts into
+//!   virtual time via `grape6-model`.
+
+pub mod api;
+pub mod engine;
+pub mod integrator;
+pub mod neighbor;
+pub mod stats;
+
+pub use engine::Grape6Engine;
+pub use integrator::{HermiteIntegrator, IntegratorConfig};
+pub use neighbor::{AcConfig, AcHermiteIntegrator};
+pub use stats::RunStats;

@@ -1,0 +1,644 @@
+//! The Ahmad–Cohen neighbour scheme (Makino & Aarseth 1992).
+//!
+//! The paper's §4 benchmark uses the "standard Hermite integrator \[10\]" —
+//! reference \[10\] being *"On a Hermite integrator with Ahmad–Cohen scheme
+//! for gravitational many-body problems"*.  The scheme splits the force on
+//! particle `i` into
+//!
+//! * an **irregular** part from the ≲ few dozen neighbours inside radius
+//!   `h_i` — rapidly fluctuating, re-evaluated every (short) irregular
+//!   step on the *host* (cheap: O(n_nb) pairs), and
+//! * a **regular** part from everything else — slowly varying,
+//!   re-evaluated only every (long) regular step on the *GRAPE* (full
+//!   O(N) sum minus the neighbour sum), and Taylor-extrapolated between.
+//!
+//! The payoff is the ratio `dt_reg/dt_irr` (typically ~10): the expensive
+//! full-N force is needed that much less often, which on a GRAPE system
+//! translates directly into less pipeline and interface traffic.  The
+//! tests measure exactly that: engine interactions drop by a large factor
+//! relative to the plain Hermite driver at matched accuracy.
+//!
+//! This implementation keeps both force components to full Hermite order
+//! (position/velocity predicted with the summed polynomial, each component
+//! corrected with its own reconstructed derivatives) and adapts the
+//! neighbour radius to hold the list near a target size.
+
+use nbody_core::blockstep::{is_aligned, TimeGrid};
+use nbody_core::force::{pair_force, ForceEngine, ForceResult, IParticle};
+use nbody_core::hermite::{aarseth_dt, correct, predict, HermiteState};
+use nbody_core::particle::ParticleSet;
+use nbody_core::Vec3;
+
+use crate::integrator::IntegratorConfig;
+use crate::stats::RunStats;
+
+/// Configuration of the neighbour scheme on top of the base integrator.
+#[derive(Clone, Copy, Debug)]
+pub struct AcConfig {
+    /// Base accuracy/scheduling parameters (η applies to irregular steps).
+    pub base: IntegratorConfig,
+    /// Accuracy parameter for the regular (distant) force — larger than
+    /// the irregular η because the regular force is smooth.
+    pub eta_reg: f64,
+    /// Target neighbour count.
+    pub n_nb_target: usize,
+}
+
+impl Default for AcConfig {
+    fn default() -> Self {
+        Self {
+            base: IntegratorConfig::default(),
+            eta_reg: 0.04,
+            n_nb_target: 16,
+        }
+    }
+}
+
+/// Per-particle state of the two-component force.
+#[derive(Clone, Debug, Default)]
+struct AcParticle {
+    /// Irregular (neighbour) force at the particle time.
+    acc_irr: Vec3,
+    jerk_irr: Vec3,
+    snap_irr: Vec3,
+    crackle_irr: Vec3,
+    /// Regular (distant) force at `t_reg`.
+    acc_reg: Vec3,
+    jerk_reg: Vec3,
+    snap_reg: Vec3,
+    crackle_reg: Vec3,
+    /// Time of the last regular evaluation and the regular step.
+    t_reg: f64,
+    dt_reg: f64,
+    /// Neighbour list (indices) and radius.
+    neighbours: Vec<u32>,
+    h: f64,
+}
+
+/// Ahmad–Cohen Hermite driver over any [`ForceEngine`].
+pub struct AcHermiteIntegrator<E: ForceEngine> {
+    engine: E,
+    set: ParticleSet,
+    ac: Vec<AcParticle>,
+    cfg: AcConfig,
+    eps: f64,
+    eps2: f64,
+    t: f64,
+    stats: RunStats,
+    /// Regular (full-N, engine) force evaluations performed.
+    regular_evals: u64,
+    /// Irregular (neighbour, host) force evaluations performed.
+    irregular_evals: u64,
+}
+
+impl<E: ForceEngine> AcHermiteIntegrator<E> {
+    /// Initialise: full forces, neighbour lists, and both timesteps.
+    pub fn new(mut engine: E, mut set: ParticleSet, cfg: AcConfig) -> Self {
+        let n = set.n();
+        assert!(n >= 2);
+        let eps = cfg.base.softening.epsilon(n);
+        let eps2 = eps * eps;
+        for i in 0..n {
+            set.t[i] = 0.0;
+            engine.set_j_particle(i, &j_of(&set, i));
+        }
+        engine.set_time(0.0);
+        // Total forces from the engine.
+        let iparts: Vec<IParticle> = (0..n)
+            .map(|i| IParticle {
+                pos: set.pos[i],
+                vel: set.vel[i],
+                eps2,
+            })
+            .collect();
+        let mut tot = vec![ForceResult::default(); n];
+        engine.compute(&iparts, &mut tot);
+        // Initial neighbour radius from the mean interparticle spacing of
+        // the inner system (standard-units half-mass radius ≈ 0.77).
+        let h0 = 1.5 * (cfg.n_nb_target as f64 / n as f64).cbrt();
+        let mut ac: Vec<AcParticle> = (0..n)
+            .map(|_| AcParticle {
+                h: h0,
+                ..Default::default()
+            })
+            .collect();
+        // Split forces and set steps.
+        let grid = cfg.base.grid;
+        for i in 0..n {
+            let (nb, f_irr) = neighbour_force(&set, i, ac[i].h, eps2);
+            ac[i].neighbours = nb;
+            ac[i].acc_irr = f_irr.acc;
+            ac[i].jerk_irr = f_irr.jerk;
+            ac[i].acc_reg = tot[i].acc - f_irr.acc;
+            ac[i].jerk_reg = tot[i].jerk - f_irr.jerk;
+            ac[i].t_reg = 0.0;
+            set.acc[i] = tot[i].acc;
+            set.jerk[i] = tot[i].jerk;
+            set.pot[i] = corrected_pot(tot[i].pot, set.mass[i], eps);
+            // Startup steps: irregular from the total force ratio (the
+            // dominant fluctuation), regular 4x longer to start.
+            let a = set.acc[i].norm();
+            let j = set.jerk[i].norm().max(1e-300);
+            let dt = grid.quantize(cfg.base.eta_start * a / j);
+            set.dt[i] = dt;
+            ac[i].dt_reg = grid.quantize(dt * 4.0);
+        }
+        Self {
+            engine,
+            set,
+            ac,
+            cfg,
+            eps,
+            eps2,
+            t: 0.0,
+            stats: RunStats::new(),
+            regular_evals: 0,
+            irregular_evals: 0,
+        }
+    }
+
+    /// Current system time.
+    pub fn time(&self) -> f64 {
+        self.t
+    }
+
+    /// Particle state.
+    pub fn particles(&self) -> &ParticleSet {
+        &self.set
+    }
+
+    /// Run statistics.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The engine (counters).
+    pub fn engine(&self) -> &E {
+        &self.engine
+    }
+
+    /// Full-N (engine) force evaluations so far.
+    pub fn regular_evals(&self) -> u64 {
+        self.regular_evals
+    }
+
+    /// Neighbour-sum (host) force evaluations so far.
+    pub fn irregular_evals(&self) -> u64 {
+        self.irregular_evals
+    }
+
+    /// Mean neighbour count right now.
+    pub fn mean_neighbours(&self) -> f64 {
+        self.ac.iter().map(|p| p.neighbours.len()).sum::<usize>() as f64
+            / self.ac.len() as f64
+    }
+
+    /// Regular force (and derivative) extrapolated to time `t`.
+    fn regular_at(&self, i: usize, t: f64) -> (Vec3, Vec3) {
+        let p = &self.ac[i];
+        let dt = t - p.t_reg;
+        let a = p.acc_reg
+            + p.jerk_reg * dt
+            + p.snap_reg * (dt * dt / 2.0)
+            + p.crackle_reg * (dt * dt * dt / 6.0);
+        let j = p.jerk_reg + p.snap_reg * dt + p.crackle_reg * (dt * dt / 2.0);
+        (a, j)
+    }
+
+    /// Execute one (irregular) blockstep; regular updates fire for block
+    /// members whose regular time has come due.
+    pub fn step(&mut self) -> (f64, usize) {
+        let n = self.set.n();
+        let t_next = self.set.min_next_time();
+        debug_assert!(t_next > self.t);
+        let block: Vec<usize> = (0..n)
+            .filter(|&i| self.set.t[i] + self.set.dt[i] == t_next)
+            .collect();
+
+        // Predict every particle once (neighbour sums need predicted
+        // sources; an O(N) pass per block, same as the plain driver's
+        // engine-side prediction).
+        let mut pred_pos = vec![Vec3::ZERO; n];
+        let mut pred_vel = vec![Vec3::ZERO; n];
+        for i in 0..n {
+            let s = HermiteState {
+                pos: self.set.pos[i],
+                vel: self.set.vel[i],
+                acc: self.set.acc[i],
+                jerk: self.set.jerk[i],
+            };
+            let (pp, pv) = predict(&s, self.set.snap[i], t_next - self.set.t[i]);
+            pred_pos[i] = pp;
+            pred_vel[i] = pv;
+        }
+
+        // Batch the regular (full-N) evaluations: every block member whose
+        // regular time is due goes into ONE engine call, so the GRAPE's
+        // 48-wide i-parallelism is used exactly as the production codes
+        // use it for regular blocks (per-particle calls would waste the
+        // pipelines — a single i-particle costs a full memory pass).
+        let due: Vec<usize> = block
+            .iter()
+            .copied()
+            .filter(|&i| {
+                let p = &self.ac[i];
+                t_next >= p.t_reg + p.dt_reg - 1e-15
+            })
+            .collect();
+        let mut f_tot_batch: std::collections::HashMap<usize, ForceResult> =
+            std::collections::HashMap::with_capacity(due.len());
+        if !due.is_empty() {
+            self.engine.set_time(t_next);
+            let ip: Vec<IParticle> = due
+                .iter()
+                .map(|&i| IParticle {
+                    pos: pred_pos[i],
+                    vel: pred_vel[i],
+                    eps2: self.eps2,
+                })
+                .collect();
+            let mut out = vec![ForceResult::default(); due.len()];
+            self.engine.compute(&ip, &mut out);
+            self.regular_evals += due.len() as u64;
+            for (&i, f) in due.iter().zip(&out) {
+                f_tot_batch.insert(i, *f);
+            }
+        }
+
+        for &i in &block {
+            let dt = t_next - self.set.t[i];
+            // --- irregular update (always) -------------------------------
+            let (f_irr_new, _) = neighbour_force_predicted(
+                &self.set,
+                &self.ac[i].neighbours,
+                i,
+                &pred_pos,
+                &pred_vel,
+                self.eps2,
+            );
+            self.irregular_evals += 1;
+            // Jerk-truncated prediction of the irregular component alone,
+            // for its own corrector.
+            let s_irr = HermiteState {
+                pos: self.set.pos[i],
+                vel: self.set.vel[i],
+                acc: self.ac[i].acc_irr,
+                jerk: self.ac[i].jerk_irr,
+            };
+            let (pp_irr, pv_irr) = predict(&s_irr, Vec3::ZERO, dt);
+            let c_irr = correct(&s_irr, pp_irr, pv_irr, &f_irr_new, dt);
+
+            let due_regular = f_tot_batch.contains_key(&i);
+            if due_regular {
+                // --- regular update (force from the batched engine call) --
+                let f_tot = f_tot_batch[&i];
+                // The regular corrector must difference forces under a
+                // CONSISTENT split: both endpoints of [t_reg, t_next] use
+                // the *old* neighbour list.  (Differencing across a list
+                // change reconstructs the membership jump as a huge force
+                // derivative and collapses the timestep.)
+                let f_reg_old_def = ForceResult {
+                    acc: f_tot.acc - f_irr_new.acc,
+                    jerk: f_tot.jerk - f_irr_new.jerk,
+                    pot: f_tot.pot,
+                };
+                let dt_reg = t_next - self.ac[i].t_reg;
+                let s_reg = HermiteState {
+                    pos: self.set.pos[i],
+                    vel: self.set.vel[i],
+                    acc: self.ac[i].acc_reg,
+                    jerk: self.ac[i].jerk_reg,
+                };
+                let (ppr, pvr) = predict(&s_reg, Vec3::ZERO, dt_reg);
+                let c_reg = correct(&s_reg, ppr, pvr, &f_reg_old_def, dt_reg);
+                self.set.pot[i] = corrected_pot(f_tot.pot, self.set.mass[i], self.eps);
+                // New regular step from the smooth (old-definition)
+                // component, BEFORE the definition switch.
+                let want = aarseth_dt(
+                    f_reg_old_def.acc,
+                    f_reg_old_def.jerk,
+                    c_reg.snap,
+                    c_reg.crackle,
+                    self.cfg.eta_reg,
+                );
+                // Refresh the neighbour list around the predicted position
+                // and adapt the radius towards the target count, then
+                // switch the split definition ATOMICALLY at t_next: both
+                // components are re-derived from the same f_tot and the
+                // same new list, so their sum is continuous and each
+                // component is self-consistent from here on.
+                let (nb, _) = neighbour_list(&pred_pos, i, self.ac[i].h);
+                let (f_irr_new_def, _) = neighbour_force_predicted(
+                    &self.set,
+                    &nb,
+                    i,
+                    &pred_pos,
+                    &pred_vel,
+                    self.eps2,
+                );
+                self.irregular_evals += 1;
+                let p = &mut self.ac[i];
+                let ratio = (self.cfg.n_nb_target as f64 + 1.0) / (nb.len() as f64 + 1.0);
+                p.h *= ratio.cbrt().clamp(0.75, 1.35);
+                p.neighbours = nb;
+                p.acc_reg = f_tot.acc - f_irr_new_def.acc;
+                p.jerk_reg = f_tot.jerk - f_irr_new_def.jerk;
+                // Higher derivatives carry over from the old definition —
+                // the moved contributions live near the sphere boundary
+                // where they are small (standard NBODY practice).
+                p.snap_reg = c_reg.snap;
+                p.crackle_reg = c_reg.crackle;
+                p.t_reg = t_next;
+                p.dt_reg = regular_step(&self.cfg.base.grid, t_next, p.dt_reg, want);
+                p.acc_irr = f_irr_new_def.acc;
+                p.jerk_irr = f_irr_new_def.jerk;
+                p.snap_irr = c_irr.snap;
+                p.crackle_irr = c_irr.crackle;
+            }
+
+            // --- combine the two components ------------------------------
+            // After a regular update the stored components are already the
+            // new-definition pair at t_next; otherwise combine the fresh
+            // irregular force with the extrapolated regular one.  Either
+            // way the *total* is continuous.
+            let (a_reg, j_reg) = self.regular_at(i, t_next);
+            let (a_irr_c, j_irr_c) = if due_regular {
+                (self.ac[i].acc_irr, self.ac[i].jerk_irr)
+            } else {
+                (f_irr_new.acc, f_irr_new.jerk)
+            };
+            let s_tot = HermiteState {
+                pos: self.set.pos[i],
+                vel: self.set.vel[i],
+                acc: self.set.acc[i],
+                jerk: self.set.jerk[i],
+            };
+            let (pp_tot, pv_tot) = predict(&s_tot, Vec3::ZERO, dt);
+            let f_tot_new = ForceResult {
+                acc: a_irr_c + a_reg,
+                jerk: j_irr_c + j_reg,
+                pot: self.set.pot[i],
+            };
+            let c_tot = correct(&s_tot, pp_tot, pv_tot, &f_tot_new, dt);
+            self.set.pos[i] = c_tot.pos;
+            self.set.vel[i] = c_tot.vel;
+            self.set.acc[i] = f_tot_new.acc;
+            self.set.jerk[i] = f_tot_new.jerk;
+            self.set.snap[i] = c_tot.snap;
+            self.set.crackle[i] = c_tot.crackle;
+            self.set.t[i] = t_next;
+            if !due_regular {
+                // (A regular update already stored the new-definition
+                // irregular force above.)
+                self.ac[i].acc_irr = f_irr_new.acc;
+                self.ac[i].jerk_irr = f_irr_new.jerk;
+                self.ac[i].snap_irr = c_irr.snap;
+                self.ac[i].crackle_irr = c_irr.crackle;
+            }
+            // Irregular step from the fluctuating component (fall back to
+            // the total when the neighbour list is empty).
+            let (a_c, j_c, s_c, c_c) = if self.ac[i].neighbours.is_empty() {
+                (f_tot_new.acc, f_tot_new.jerk, c_tot.snap, c_tot.crackle)
+            } else {
+                (
+                    self.ac[i].acc_irr,
+                    self.ac[i].jerk_irr,
+                    self.ac[i].snap_irr,
+                    self.ac[i].crackle_irr,
+                )
+            };
+            let want = aarseth_dt(a_c, j_c, s_c, c_c, self.cfg.base.eta);
+            // NBODY-style scheduling: the regular update fires at the first
+            // irregular step that *crosses* the regular time (the
+            // `due_regular` test above), so the irregular step needs no
+            // clamping — the regular interval is then "at least dt_reg" and
+            // the corrector uses the actual elapsed span.
+            self.set.dt[i] = self.cfg.base.grid.next_step(t_next, dt, want);
+            self.engine.set_j_particle(i, &j_of(&self.set, i));
+        }
+        self.stats
+            .record_block(block.len(), t_next - self.t);
+        self.t = t_next;
+        (t_next, block.len())
+    }
+
+    /// Advance until `t_end`.
+    pub fn run_until(&mut self, t_end: f64) {
+        while self.t < t_end {
+            self.step();
+        }
+    }
+
+    /// All particles predicted to the current time.
+    pub fn synchronized_snapshot(&self) -> ParticleSet {
+        let mut snap = self.set.clone();
+        for i in 0..snap.n() {
+            let s = HermiteState {
+                pos: snap.pos[i],
+                vel: snap.vel[i],
+                acc: snap.acc[i],
+                jerk: snap.jerk[i],
+            };
+            let (pp, pv) = predict(&s, snap.snap[i], self.t - snap.t[i]);
+            snap.pos[i] = pp;
+            snap.vel[i] = pv;
+            snap.t[i] = self.t;
+        }
+        snap
+    }
+}
+
+/// A regular step: power of two, ≥ the current irregular grid, aligned,
+/// growth-limited — same rules as the base grid but with its own target.
+fn regular_step(grid: &TimeGrid, t: f64, dt_old: f64, want: f64) -> f64 {
+    let q = grid.quantize(want);
+    if q <= dt_old {
+        return q.max(grid.dt_min);
+    }
+    let doubled = (dt_old * 2.0).min(grid.dt_max);
+    if doubled > dt_old && is_aligned(t, doubled) {
+        doubled
+    } else {
+        dt_old
+    }
+}
+
+/// Neighbour list of particle `i` within radius `h` of `pos[i]`.
+fn neighbour_list(pos: &[Vec3], i: usize, h: f64) -> (Vec<u32>, f64) {
+    let h2 = h * h;
+    let mut nb = Vec::new();
+    for j in 0..pos.len() {
+        if j != i && (pos[j] - pos[i]).norm2() < h2 {
+            nb.push(j as u32);
+        }
+    }
+    (nb, h)
+}
+
+/// Neighbour force at stored (unpredicted) positions — initialisation.
+fn neighbour_force(set: &ParticleSet, i: usize, h: f64, eps2: f64) -> (Vec<u32>, ForceResult) {
+    let (nb, _) = neighbour_list(&set.pos, i, h);
+    let mut f = ForceResult::default();
+    for &j in &nb {
+        let j = j as usize;
+        let (a, jr, p) = pair_force(
+            set.pos[j] - set.pos[i],
+            set.vel[j] - set.vel[i],
+            set.mass[j],
+            eps2,
+        );
+        f.acc += a;
+        f.jerk += jr;
+        f.pot += p;
+    }
+    (nb, f)
+}
+
+/// Neighbour force at predicted positions (the per-step irregular sum).
+fn neighbour_force_predicted(
+    set: &ParticleSet,
+    nb: &[u32],
+    i: usize,
+    pred_pos: &[Vec3],
+    pred_vel: &[Vec3],
+    eps2: f64,
+) -> (ForceResult, usize) {
+    let mut f = ForceResult::default();
+    for &j in nb {
+        let j = j as usize;
+        let (a, jr, p) = pair_force(
+            pred_pos[j] - pred_pos[i],
+            pred_vel[j] - pred_vel[i],
+            set.mass[j],
+            eps2,
+        );
+        f.acc += a;
+        f.jerk += jr;
+        f.pot += p;
+    }
+    (f, nb.len())
+}
+
+#[inline]
+fn j_of(set: &ParticleSet, i: usize) -> nbody_core::force::JParticle {
+    nbody_core::force::JParticle {
+        mass: set.mass[i],
+        t0: set.t[i],
+        pos: set.pos[i],
+        vel: set.vel[i],
+        acc: set.acc[i],
+        jerk: set.jerk[i],
+        snap: set.snap[i],
+    }
+}
+
+#[inline]
+fn corrected_pot(pot: f64, m_i: f64, eps: f64) -> f64 {
+    if eps > 0.0 {
+        pot + m_i / eps
+    } else {
+        pot
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::integrator::HermiteIntegrator;
+    use nbody_core::diagnostics::energy;
+    use nbody_core::softening::Softening;
+    use nbody_core::force::DirectEngine;
+    use nbody_core::ic::plummer::plummer_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plummer(n: usize, seed: u64) -> ParticleSet {
+        plummer_model(n, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn conserves_energy() {
+        let n = 128;
+        let set = plummer(n, 500);
+        let eps2 = Softening::Constant.epsilon2(n);
+        let e0 = energy(&set, eps2);
+        let mut it = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
+        it.run_until(0.5);
+        let e1 = energy(&it.synchronized_snapshot(), eps2);
+        let err = ((e1.total() - e0.total()) / e0.total()).abs();
+        assert!(err < 5e-5, "Ahmad–Cohen energy error {err:e}");
+    }
+
+    #[test]
+    fn saves_full_force_evaluations() {
+        // The scheme's entire point: far fewer engine (full-N) evaluations
+        // than the plain Hermite driver over the same interval.
+        let n = 128;
+        let set = plummer(n, 501);
+        let mut plain =
+            HermiteIntegrator::new(DirectEngine::new(n), set.clone(), IntegratorConfig::default());
+        plain.run_until(0.25);
+        let plain_evals = plain.stats().particle_steps; // 1 engine eval each
+        let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
+        ac.run_until(0.25);
+        let ratio = plain_evals as f64 / ac.regular_evals() as f64;
+        assert!(
+            ratio > 1.8,
+            "AC scheme should cut full-force evaluations: plain {plain_evals} vs regular {} (ratio {ratio:.2})",
+            ac.regular_evals()
+        );
+        // And it does real irregular work in exchange.
+        assert!(ac.irregular_evals() >= ac.regular_evals());
+    }
+
+    #[test]
+    fn tracks_plain_hermite_trajectories() {
+        let n = 64;
+        let set = plummer(n, 502);
+        let mut plain =
+            HermiteIntegrator::new(DirectEngine::new(n), set.clone(), IntegratorConfig::default());
+        let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
+        plain.run_until(0.125);
+        ac.run_until(0.125);
+        let a = plain.synchronized_snapshot();
+        let b = ac.synchronized_snapshot();
+        let mut worst = 0.0f64;
+        for i in 0..n {
+            worst = worst.max((a.pos[i] - b.pos[i]).norm());
+        }
+        // Different truncation structure ⇒ not identical, but close on a
+        // short stretch.
+        assert!(worst < 1e-3, "AC diverged from plain Hermite by {worst:e}");
+    }
+
+    #[test]
+    fn neighbour_lists_adapt_towards_target() {
+        let n = 256;
+        let set = plummer(n, 503);
+        let cfg = AcConfig {
+            n_nb_target: 12,
+            ..Default::default()
+        };
+        let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, cfg);
+        ac.run_until(0.25);
+        let mean = ac.mean_neighbours();
+        assert!(
+            mean > 2.0 && mean < 60.0,
+            "mean neighbour count {mean} should be near the target 12"
+        );
+    }
+
+    #[test]
+    fn time_advances_and_blocks_nonempty() {
+        let n = 48;
+        let set = plummer(n, 504);
+        let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
+        let mut prev = 0.0;
+        for _ in 0..50 {
+            let (t, nb) = ac.step();
+            assert!(t > prev);
+            assert!(nb >= 1);
+            prev = t;
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Run statistics: what the benchmark harness needs from an integration.
+
+/// Counters accumulated over one integration run.
+#[derive(Clone, Debug, Default)]
+pub struct RunStats {
+    /// Total individual particle steps (the `n_steps` of paper eq. 9).
+    pub particle_steps: u64,
+    /// Total blocksteps executed.
+    pub blocksteps: u64,
+    /// Largest block seen.
+    pub max_block: usize,
+    /// Histogram of block sizes in powers of two: `hist[k]` counts blocks
+    /// with `2^k ≤ n_b < 2^(k+1)`.
+    pub block_hist: Vec<u64>,
+    /// Smallest spacing between consecutive block times (equals the
+    /// smallest active particle timestep whenever that particle steps
+    /// repeatedly).
+    pub dt_min: f64,
+    /// Largest spacing between consecutive block times.
+    pub dt_max: f64,
+}
+
+impl RunStats {
+    /// Fresh counters.
+    pub fn new() -> Self {
+        Self {
+            dt_min: f64::INFINITY,
+            dt_max: 0.0,
+            ..Default::default()
+        }
+    }
+
+    /// Record one blockstep of `n_b` particles at step `dt`.
+    pub fn record_block(&mut self, n_b: usize, dt: f64) {
+        self.particle_steps += n_b as u64;
+        self.blocksteps += 1;
+        self.max_block = self.max_block.max(n_b);
+        let bucket = (usize::BITS - 1 - n_b.max(1).leading_zeros()) as usize;
+        if self.block_hist.len() <= bucket {
+            self.block_hist.resize(bucket + 1, 0);
+        }
+        self.block_hist[bucket] += 1;
+        self.dt_min = self.dt_min.min(dt);
+        self.dt_max = self.dt_max.max(dt);
+    }
+
+    /// Mean block size.
+    pub fn mean_block(&self) -> f64 {
+        if self.blocksteps == 0 {
+            0.0
+        } else {
+            self.particle_steps as f64 / self.blocksteps as f64
+        }
+    }
+
+    /// Flops represented by this run under the paper's eq. 9 convention
+    /// (57 operations per interaction, N interactions per particle step).
+    pub fn flops(&self, n: usize) -> f64 {
+        57.0 * n as f64 * self.particle_steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_and_summaries() {
+        let mut s = RunStats::new();
+        s.record_block(1, 0.25);
+        s.record_block(3, 0.125);
+        s.record_block(8, 0.125);
+        assert_eq!(s.particle_steps, 12);
+        assert_eq!(s.blocksteps, 3);
+        assert_eq!(s.max_block, 8);
+        assert_eq!(s.mean_block(), 4.0);
+        assert_eq!(s.dt_min, 0.125);
+        assert_eq!(s.dt_max, 0.25);
+        // Histogram: bucket 0 (n=1), bucket 1 (n=3), bucket 3 (n=8).
+        assert_eq!(s.block_hist, vec![1, 1, 0, 1]);
+    }
+
+    #[test]
+    fn flops_accounting_is_eq9() {
+        let mut s = RunStats::new();
+        s.record_block(10, 0.5);
+        assert_eq!(s.flops(1000), 57.0 * 1000.0 * 10.0);
+    }
+
+    #[test]
+    fn empty_stats_safe() {
+        let s = RunStats::new();
+        assert_eq!(s.mean_block(), 0.0);
+        assert_eq!(s.flops(100), 0.0);
+    }
+}

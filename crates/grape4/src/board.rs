@@ -1,0 +1,296 @@
+//! The GRAPE-4 processor board: 48 pipeline chips on one shared memory.
+//!
+//! "One GRAPE-4 board housed 48 pipeline chips, all of which receive the
+//! same particle data from the memory and calculate the force on two
+//! particles.  This means that a single board calculates forces on 96
+//! particles in parallel" (§3.4).  The board-internal partial sums are
+//! per-i-particle accumulators inside each chip; since one chip sees *all*
+//! j-particles of the board's memory, no cross-chip reduction exists at
+//! this level — that is exactly why the design was simple, and exactly why
+//! it could not scale (§3.4's bandwidth arithmetic).
+
+use grape6_arith::pfloat::PipeFloat;
+use grape6_arith::rsqrt::RsqrtCubedUnit;
+use grape6_chip::jmem::HwJParticle;
+use grape6_chip::pipeline::HwIParticle;
+use grape6_chip::predictor::{predict, PredictedJ};
+use nbody_core::force::{ForceResult, JParticle};
+use nbody_core::Vec3;
+
+/// Physical parameters of one board.
+#[derive(Clone, Copy, Debug)]
+pub struct Grape4BoardConfig {
+    /// Pipeline chips per board (48 in the real machine).
+    pub chips: usize,
+    /// Virtual pipelines per chip (2-way VMP).
+    pub vmp_ways: usize,
+    /// Pipeline clock, Hz (the HARP chip ran at ~32 MHz).
+    pub clock_hz: f64,
+    /// Cycles per pairwise interaction per virtual pipeline ("forces on
+    /// two particles in every six clock cycles" ⇒ 3 cycles per pair).
+    pub cycles_per_pair: u64,
+    /// Shared memory capacity in particles.
+    pub jmem_capacity: usize,
+}
+
+impl Default for Grape4BoardConfig {
+    fn default() -> Self {
+        Self {
+            chips: 48,
+            vmp_ways: 2,
+            clock_hz: 32.0e6,
+            cycles_per_pair: 3,
+            jmem_capacity: 44_000, // ~N/boards for the machine's design N
+        }
+    }
+}
+
+impl Grape4BoardConfig {
+    /// i-particles served in parallel by the board.
+    pub fn i_parallelism(&self) -> usize {
+        self.chips * self.vmp_ways
+    }
+
+    /// Peak flops of one board: one pair per `cycles_per_pair` per chip.
+    pub fn peak_flops(&self) -> f64 {
+        self.chips as f64 * self.clock_hz / self.cycles_per_pair as f64
+            * nbody_core::FLOPS_PER_INTERACTION
+    }
+}
+
+/// One GRAPE-4 processor board with its shared j-memory.
+#[derive(Clone, Debug)]
+pub struct Grape4Board {
+    cfg: Grape4BoardConfig,
+    jmem: Vec<HwJParticle>,
+    used: usize,
+    time: f64,
+    cycles: u64,
+    interactions: u64,
+    rsqrt: RsqrtCubedUnit,
+    predicted: Vec<PredictedJ>,
+}
+
+impl Grape4Board {
+    /// Build a board.
+    pub fn new(cfg: Grape4BoardConfig) -> Self {
+        Self {
+            jmem: vec![HwJParticle::vacant(); cfg.jmem_capacity],
+            used: 0,
+            time: 0.0,
+            cycles: 0,
+            interactions: 0,
+            rsqrt: RsqrtCubedUnit::default(),
+            predicted: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Board configuration.
+    pub fn config(&self) -> &Grape4BoardConfig {
+        &self.cfg
+    }
+
+    /// Write a j-particle into the shared memory.
+    pub fn load_j(&mut self, addr: usize, p: &JParticle) {
+        assert!(addr < self.cfg.jmem_capacity, "GRAPE-4 board memory overflow");
+        self.jmem[addr] = HwJParticle::from_host(p);
+        self.used = self.used.max(addr + 1);
+    }
+
+    /// Particles stored.
+    pub fn n_j(&self) -> usize {
+        self.used
+    }
+
+    /// Set the prediction time.  On GRAPE-4 the predictor lived on the
+    /// *host interface* side (the chip had no predictor pipeline — another
+    /// §3.4 difference); functionally the result is the same polynomial.
+    pub fn set_time(&mut self, t: f64) {
+        self.time = t;
+    }
+
+    /// Total cycles consumed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total pairwise interactions.
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// Compute forces on up to 96 i-particles from every stored j.
+    ///
+    /// Results are accumulated **in pipeline floating point, in memory
+    /// order** — ordinary rounding on every add, exactly the property that
+    /// makes GRAPE-4 sums order-dependent.
+    pub fn compute_block(&mut self, i_regs: &[HwIParticle]) -> Vec<ForceResult> {
+        assert!(
+            i_regs.len() <= self.cfg.i_parallelism(),
+            "block of {} exceeds board i-parallelism {}",
+            i_regs.len(),
+            self.cfg.i_parallelism()
+        );
+        let n_j = self.used;
+        if n_j > 0 && !i_regs.is_empty() {
+            self.cycles += self.cfg.cycles_per_pair * n_j as u64;
+            self.interactions += (i_regs.len() * n_j) as u64;
+        }
+        self.predicted.clear();
+        for p in &self.jmem[..self.used] {
+            self.predicted.push(predict(p, self.time));
+        }
+        i_regs
+            .iter()
+            .map(|ip| {
+                let mut acc = [PipeFloat::ZERO; 3];
+                let mut jerk = [PipeFloat::ZERO; 3];
+                let mut pot = PipeFloat::ZERO;
+                for jp in &self.predicted {
+                    let (a, j, p) = pair_terms(&self.rsqrt, ip, jp);
+                    for c in 0..3 {
+                        acc[c] = acc[c] + a[c]; // rounds — order matters
+                        jerk[c] = jerk[c] + j[c];
+                    }
+                    pot = pot + p;
+                }
+                ForceResult {
+                    acc: Vec3::new(acc[0].get(), acc[1].get(), acc[2].get()),
+                    jerk: Vec3::new(jerk[0].get(), jerk[1].get(), jerk[2].get()),
+                    pot: pot.get(),
+                }
+            })
+            .collect()
+    }
+}
+
+/// One pipeline interaction in GRAPE-4 arithmetic: same stages as the
+/// GRAPE-6 pipeline (exact fixed-point dx, short-float multiplier tree),
+/// but the outputs stay in pipeline float for the running sums.
+#[inline]
+fn pair_terms(
+    rsqrt: &RsqrtCubedUnit,
+    ip: &HwIParticle,
+    jp: &PredictedJ,
+) -> ([PipeFloat; 3], [PipeFloat; 3], PipeFloat) {
+    let d = ip.pos.exact_delta_to(jp.pos);
+    let dx = [
+        PipeFloat::new(d[0]),
+        PipeFloat::new(d[1]),
+        PipeFloat::new(d[2]),
+    ];
+    let dv = [
+        PipeFloat::new(jp.vel[0]) - PipeFloat::new(ip.vel[0]),
+        PipeFloat::new(jp.vel[1]) - PipeFloat::new(ip.vel[1]),
+        PipeFloat::new(jp.vel[2]) - PipeFloat::new(ip.vel[2]),
+    ];
+    let r2 = (dx[0].square() + dx[1].square()) + (dx[2].square() + PipeFloat::new(ip.eps2));
+    let rinv3 = PipeFloat::new(rsqrt.eval_pow_m32(r2.get()));
+    let rinv = PipeFloat::new(rsqrt.eval_pow_m12(r2.get()));
+    let m = PipeFloat::new(jp.mass);
+    let mr3 = m * rinv3;
+    let acc = [mr3 * dx[0], mr3 * dx[1], mr3 * dx[2]];
+    let rv = (dx[0] * dv[0] + dx[1] * dv[1]) + dx[2] * dv[2];
+    let beta = PipeFloat::new(3.0) * rv * (rinv * rinv);
+    let jerk = [
+        mr3 * dv[0] - beta * acc[0],
+        mr3 * dv[1] - beta * acc[1],
+        mr3 * dv[2] - beta * acc[2],
+    ];
+    (acc, jerk, -(m * rinv))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::force::pair_force;
+
+    fn jp(k: usize) -> JParticle {
+        let a = k as f64 * 0.41;
+        JParticle {
+            mass: 0.02,
+            t0: 0.0,
+            pos: Vec3::new(a.cos(), (a * 1.3).sin(), 0.2),
+            vel: Vec3::new(0.0, 0.05, -0.05),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn board_geometry_and_peak() {
+        let cfg = Grape4BoardConfig::default();
+        assert_eq!(cfg.i_parallelism(), 96);
+        // 48 chips × 32 MHz / 3 cycles × 57 flops ≈ 29.2 Gflops/board.
+        assert!((cfg.peak_flops() / 1e9 - 29.18).abs() < 0.1);
+    }
+
+    #[test]
+    fn forces_match_f64_to_pipeline_precision() {
+        let mut b = Grape4Board::new(Grape4BoardConfig::default());
+        for k in 0..50 {
+            b.load_j(k, &jp(k));
+        }
+        b.set_time(0.0);
+        let probe = HwIParticle::from_host(Vec3::new(0.1, -0.1, 0.0), Vec3::ZERO, 1e-3);
+        let out = b.compute_block(&[probe])[0];
+        // f64 reference.
+        let mut want = ForceResult::default();
+        for k in 0..50 {
+            let p = jp(k);
+            let (a, j, po) = pair_force(
+                p.pos - Vec3::new(0.1, -0.1, 0.0),
+                p.vel - Vec3::ZERO,
+                p.mass,
+                1e-3,
+            );
+            want.acc += a;
+            want.jerk += j;
+            want.pot += po;
+        }
+        assert!((out.acc - want.acc).norm() / want.acc.norm() < 1e-4);
+        assert!((out.pot - want.pot).abs() / want.pot.abs() < 1e-4);
+    }
+
+    #[test]
+    fn cycle_model_one_pair_per_three_cycles() {
+        let mut b = Grape4Board::new(Grape4BoardConfig::default());
+        for k in 0..100 {
+            b.load_j(k, &jp(k));
+        }
+        let regs = vec![HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2); 96];
+        b.compute_block(&regs);
+        assert_eq!(b.cycles(), 3 * 100);
+        assert_eq!(b.interactions(), 96 * 100);
+    }
+
+    #[test]
+    fn summation_is_order_dependent() {
+        // The §3.4 defect, isolated: the same particles loaded in a
+        // different memory order give a (slightly) different force.
+        let probe = HwIParticle::from_host(Vec3::new(0.03, 0.02, 0.01), Vec3::ZERO, 1e-4);
+        let n = 200;
+        let forward = {
+            let mut b = Grape4Board::new(Grape4BoardConfig::default());
+            for k in 0..n {
+                b.load_j(k, &jp(k));
+            }
+            b.compute_block(&[probe])[0]
+        };
+        let reversed = {
+            let mut b = Grape4Board::new(Grape4BoardConfig::default());
+            for k in 0..n {
+                b.load_j(k, &jp(n - 1 - k));
+            }
+            b.compute_block(&[probe])[0]
+        };
+        // Physically identical…
+        assert!((forward.acc - reversed.acc).norm() / forward.acc.norm() < 1e-5);
+        // …but not bit-identical: float accumulation rounds differently.
+        assert_ne!(
+            (forward.acc, forward.pot),
+            (reversed.acc, reversed.pot),
+            "pipeline-float accumulation should be order-dependent"
+        );
+    }
+}

@@ -1,0 +1,39 @@
+//! # grape4 — the predecessor machine, as the paper's §3 foil
+//!
+//! "GRAPE-6 is the direct successor of the 1-Tflops GRAPE-4" (§1), and the
+//! whole of §3 is a point-by-point comparison of the two designs.  To make
+//! those arguments *executable* this crate provides a functional simulator
+//! of the GRAPE-4 architecture (Makino, Taiji, Ebisuzaki & Sugimoto 1997)
+//! at the same fidelity as the GRAPE-6 simulator:
+//!
+//! * **shared-memory boards** — 48 single-pipeline chips per board all
+//!   stream the *same* j-particles and compute *different* i-particles
+//!   (2-way VMP ⇒ 96 i-particles per board in parallel).  GRAPE-6
+//!   inverted this: per-chip j-memories, shared i-particles (§3.4);
+//! * **2-way VMP pipeline** — "a single pipeline, which calculates forces
+//!   on two particles in every six clock cycles", i.e. one pairwise
+//!   interaction per 3 cycles at ~32 MHz ⇒ ≈ 0.6 Gflops/chip, ≈ 30 Gflops
+//!   per 48-chip board, ≈ 1.06 Tflops for the 36-board machine;
+//! * **ordinary floating-point summation across boards** — GRAPE-4 used
+//!   "commercially available single-chip floating-point arithmetic units"
+//!   for the board-level sum, so "the round-off error generated in the
+//!   summation depends on the order in which the forces from different
+//!   particles are accumulated, and therefore the calculated force is not
+//!   exactly the same, if the number of boards in the system is different"
+//!   (§3.4).  This crate reproduces that defect faithfully — and the test
+//!   suite *demonstrates* it, as the contrast with GRAPE-6's block
+//!   floating point.
+//!
+//! The pipeline arithmetic reuses `grape6-arith`'s formats (fixed-point
+//! positions, short pipeline floats): the generational difference the
+//! paper cares about is architectural, not the word layouts, and keeping
+//! the arithmetic identical makes the order-dependence demonstration
+//! airtight (any difference comes from the summation design alone).
+
+pub mod board;
+pub mod engine;
+pub mod machine;
+
+pub use board::{Grape4Board, Grape4BoardConfig};
+pub use engine::Grape4Engine;
+pub use machine::Grape4Config;

@@ -1,0 +1,215 @@
+//! The full GRAPE-4 machine: 36 boards behind a control-board tree.
+//!
+//! "GRAPE-4 consisted of 36 processor boards, organized in a two-stage
+//! simple tree network.  Nine boards are housed in one rack, with one
+//! backplane bus.  These boards are all connected to a control board,
+//! which broadcasts the data from the host to all processor boards and
+//! take the summation of the calculated data on nine processor boards"
+//! (§3.3).  The j-particles are divided among the boards; the control
+//! boards sum the per-board partial forces with ordinary floating-point
+//! adders — sequentially over the shared backplane, in board order.
+
+use grape6_chip::pipeline::HwIParticle;
+use nbody_core::force::{ForceResult, JParticle};
+
+use crate::board::{Grape4Board, Grape4BoardConfig};
+
+/// Machine geometry.
+#[derive(Clone, Copy, Debug)]
+pub struct Grape4Config {
+    /// Processor boards (36 in the full machine).
+    pub boards: usize,
+    /// Boards per control board / rack (9).
+    pub boards_per_rack: usize,
+    /// Board parameters.
+    pub board: Grape4BoardConfig,
+    /// Host interface clock, Hz ("GRAPE-4 used 16 MHz clock", §3.3).
+    pub host_clock_hz: f64,
+}
+
+impl Default for Grape4Config {
+    fn default() -> Self {
+        Self::full_machine()
+    }
+}
+
+impl Grape4Config {
+    /// The 1995 Gordon-Bell machine: 36 boards ≈ 1.05 Tflops.
+    pub fn full_machine() -> Self {
+        Self {
+            boards: 36,
+            boards_per_rack: 9,
+            board: Grape4BoardConfig::default(),
+            host_clock_hz: 16.0e6,
+        }
+    }
+
+    /// A small configuration for fast functional tests.
+    pub fn test_small() -> Self {
+        Self {
+            boards: 2,
+            boards_per_rack: 2,
+            board: Grape4BoardConfig {
+                chips: 4,
+                jmem_capacity: 4_096,
+                ..Grape4BoardConfig::default()
+            },
+            host_clock_hz: 16.0e6,
+        }
+    }
+
+    /// Peak speed of the machine.
+    pub fn peak_flops(&self) -> f64 {
+        self.boards as f64 * self.board.peak_flops()
+    }
+
+    /// Total j capacity.
+    pub fn capacity(&self) -> usize {
+        self.boards * self.board.jmem_capacity
+    }
+}
+
+/// The assembled machine.
+#[derive(Clone, Debug)]
+pub struct Grape4Machine {
+    cfg: Grape4Config,
+    boards: Vec<Grape4Board>,
+    used: usize,
+}
+
+impl Grape4Machine {
+    /// Build the machine.
+    pub fn new(cfg: Grape4Config) -> Self {
+        Self {
+            boards: (0..cfg.boards).map(|_| Grape4Board::new(cfg.board)).collect(),
+            used: 0,
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Grape4Config {
+        &self.cfg
+    }
+
+    /// Number of j-particles loaded.
+    pub fn n_j(&self) -> usize {
+        self.used
+    }
+
+    /// Load particle `addr` (round-robin over boards, like GRAPE-6's
+    /// ensemble — the boards' memories are independent).
+    pub fn load_j(&mut self, addr: usize, p: &JParticle) {
+        let k = self.boards.len();
+        self.boards[addr % k].load_j(addr / k, p);
+        self.used = self.used.max(addr + 1);
+    }
+
+    /// Broadcast the prediction time.
+    pub fn set_time(&mut self, t: f64) {
+        for b in &mut self.boards {
+            b.set_time(t);
+        }
+    }
+
+    /// Total pipeline cycles (critical path ≈ max over boards since the
+    /// boards run concurrently; the serial backplane summation is charged
+    /// to the host interface, not the pipelines).
+    pub fn cycles(&self) -> u64 {
+        self.boards.iter().map(|b| b.cycles()).max().unwrap_or(0)
+    }
+
+    /// Total interactions.
+    pub fn interactions(&self) -> u64 {
+        self.boards.iter().map(|b| b.interactions()).sum()
+    }
+
+    /// Forces on up to 96 i-particles from all loaded j-particles.
+    ///
+    /// The control-board tree sums the per-board partials **in f64
+    /// floating point, in board order** — matching the single-chip FP
+    /// adders of the real control boards.  (f64 stands in for the wide
+    /// summation format of those parts; the essential property — ordinary
+    /// rounding, order dependence — is preserved.)
+    pub fn compute_block(&mut self, i_regs: &[HwIParticle]) -> Vec<ForceResult> {
+        assert!(i_regs.len() <= self.cfg.board.i_parallelism());
+        let mut total: Vec<ForceResult> = vec![ForceResult::default(); i_regs.len()];
+        for b in &mut self.boards {
+            let part = b.compute_block(i_regs);
+            for (t, p) in total.iter_mut().zip(&part) {
+                t.acc += p.acc;
+                t.jerk += p.jerk;
+                t.pot += p.pot;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::Vec3;
+
+    fn jp(k: usize) -> JParticle {
+        let a = k as f64 * 0.71;
+        JParticle {
+            mass: 0.01,
+            t0: 0.0,
+            pos: Vec3::new(a.sin(), (0.7 * a).cos(), 0.1 * (k % 5) as f64),
+            vel: Vec3::new(0.01, 0.0, -0.01),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn full_machine_peak_is_about_one_tflops() {
+        let cfg = Grape4Config::full_machine();
+        // "the 1-Tflops GRAPE-4" — 36 boards × 29.2 Gflops ≈ 1.05 Tflops.
+        assert!((cfg.peak_flops() / 1e12 - 1.05).abs() < 0.05);
+        // And the generational gap the paper quotes: the GRAPE-6 chip is
+        // "roughly 50 times faster" than the GRAPE-4 chip.
+        let g6_chip = grape6_chip::chip::ChipConfig::default().peak_flops();
+        let g4_chip = cfg.board.peak_flops() / cfg.board.chips as f64;
+        let ratio = g6_chip / g4_chip;
+        assert!((40.0..60.0).contains(&ratio), "chip ratio {ratio}");
+    }
+
+    #[test]
+    fn board_count_changes_the_bits_not_the_physics() {
+        // The §3.4 contrast with GRAPE-6: different machine sizes give
+        // *different* bits on GRAPE-4.
+        let n = 240;
+        let probe = HwIParticle::from_host(Vec3::new(0.05, 0.0, 0.0), Vec3::ZERO, 1e-4);
+        let run = |boards: usize| -> ForceResult {
+            let mut m = Grape4Machine::new(Grape4Config {
+                boards,
+                ..Grape4Config::test_small()
+            });
+            for k in 0..n {
+                m.load_j(k, &jp(k));
+            }
+            m.set_time(0.0);
+            m.compute_block(&[probe])[0]
+        };
+        let one = run(1);
+        let four = run(4);
+        // Physically the same force…
+        assert!((one.acc - four.acc).norm() / one.acc.norm() < 1e-5);
+        // …but not bit-identical (float summation order differs).
+        assert_ne!((one.acc, one.pot), (four.acc, four.pot));
+    }
+
+    #[test]
+    fn machine_distributes_and_counts() {
+        let mut m = Grape4Machine::new(Grape4Config::test_small());
+        for k in 0..100 {
+            m.load_j(k, &jp(k));
+        }
+        assert_eq!(m.n_j(), 100);
+        let regs = vec![HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2); 8];
+        m.compute_block(&regs);
+        assert_eq!(m.interactions(), 8 * 100);
+        assert_eq!(m.cycles(), 3 * 50); // 50 j on each of 2 boards
+    }
+}

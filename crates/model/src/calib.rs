@@ -1,0 +1,297 @@
+//! Hardware calibration constants.
+//!
+//! Every number here encodes a sentence of the paper (quoted in the doc
+//! comment that carries it) or a property of 2002-era commodity hardware
+//! consistent with the paper's measured aggregate performance.  The model
+//! is *tuned* — the paper's own title says "performance evaluation and
+//! tuning" — so these constants were chosen to reproduce the paper's curve
+//! shapes and crossover points; EXPERIMENTS.md records how well that works.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry and clocking of the GRAPE hardware attached to one host.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct GrapeTiming {
+    /// Pipeline clock (Hz).  "six pipelines operating at 90 MHz" (§1).
+    pub clock_hz: f64,
+    /// i-particles served in parallel (6 pipelines × 8-way VMP = 48, §3.4).
+    pub i_parallel: usize,
+    /// VMP ways: each j-particle occupies the memory stream for 8 cycles.
+    pub vmp_ways: usize,
+    /// Chips over which one host's j-particles are divided
+    /// (4 boards × 8 modules × 4 chips = 128).
+    pub chips_per_host: usize,
+    /// Pipeline fill/drain latency in cycles.
+    pub pipeline_depth: f64,
+    /// Host↔GRAPE interface bandwidth, bytes/s.  The PCI host interface
+    /// card sustains ≈ 200 MB/s for DMA bursts.
+    pub interface_bw: f64,
+    /// Bytes to ship one i-particle to the boards (position 3×8, velocity
+    /// 3×4, softening + padding ≈ 40 B).
+    pub i_word_bytes: f64,
+    /// Bytes returned per force (7 block-FP words + exponents ≈ 64 B).
+    pub f_word_bytes: f64,
+    /// Bytes to write one updated j-particle (full predictor polynomial,
+    /// ≈ 80 B).
+    pub j_word_bytes: f64,
+    /// Fixed cost to set up one DMA transfer, seconds.  "The overhead to
+    /// invoke DMA operations becomes visible" below N ≈ 1000 (§4.1).
+    pub dma_setup: f64,
+    /// DMA transfers per GRAPE call (i upload, force readback, j writeback).
+    pub dma_per_call: f64,
+}
+
+impl Default for GrapeTiming {
+    fn default() -> Self {
+        Self::paper_host()
+    }
+}
+
+impl GrapeTiming {
+    /// The paper's per-host hardware: 4 boards = 128 chips.
+    pub fn paper_host() -> Self {
+        Self {
+            clock_hz: 90.0e6,
+            i_parallel: 48,
+            vmp_ways: 8,
+            chips_per_host: 128,
+            pipeline_depth: 30.0,
+            interface_bw: 200.0e6,
+            i_word_bytes: 40.0,
+            f_word_bytes: 64.0,
+            j_word_bytes: 80.0,
+            dma_setup: 12.0e-6,
+            dma_per_call: 3.0,
+        }
+    }
+
+    /// Peak flops of the slice: `chips × 6 pipes × clock × 57`.
+    pub fn peak_flops(&self) -> f64 {
+        // i_parallel / vmp_ways = number of physical pipelines per chip.
+        let pipes = (self.i_parallel / self.vmp_ways) as f64;
+        self.chips_per_host as f64 * pipes * self.clock_hz * 57.0
+    }
+
+    /// Pipeline time for one pass over `n_j` j-particles (seconds):
+    /// `(depth + vmp·n_j/chips) / clock`.
+    pub fn pass_time(&self, n_j: usize) -> f64 {
+        let per_chip = (n_j as f64 / self.chips_per_host as f64).ceil();
+        (self.pipeline_depth + self.vmp_ways as f64 * per_chip) / self.clock_hz
+    }
+}
+
+/// A host CPU profile with the fig. 14 cache-hit refinement.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct HostProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Fixed host cost per *blockstep* (block assembly, scheduling,
+    /// system-call overhead), seconds.
+    pub t_block_fixed: f64,
+    /// Per-particle-step host cost with a hot cache, seconds.
+    pub t_step_fast: f64,
+    /// Per-particle-step host cost with a cold cache, seconds.
+    pub t_step_slow: f64,
+    /// Particle count at which the working set falls out of cache —
+    /// "For small N, the cache-hit rate is higher and therefore the
+    /// calculation on the host is faster" (§4.1).
+    pub n_cache: f64,
+}
+
+impl HostProfile {
+    /// The original frontend: "AMD Athlon XP 1800+ processors and ECS
+    /// K7S6A motherboards" (§2.2).
+    pub fn athlon_xp_1800() -> Self {
+        Self {
+            name: "Athlon XP 1800+",
+            t_block_fixed: 55.0e-6,
+            t_step_fast: 2.2e-6,
+            t_step_slow: 5.5e-6,
+            n_cache: 6.0e3,
+        }
+    }
+
+    /// The §4.4 upgrade: "Intel P4 2.53GHz processor, overclocked to
+    /// 2.85GHz" on an Iwill P4GB board — roughly 1.6× the per-particle
+    /// host speed of the Athlon.
+    pub fn pentium4_2_85() -> Self {
+        Self {
+            name: "P4 2.85GHz",
+            t_block_fixed: 38.0e-6,
+            t_step_fast: 1.4e-6,
+            t_step_slow: 3.6e-6,
+            n_cache: 8.0e3,
+        }
+    }
+
+    /// Per-particle-step host time at system size `n` — the fig. 14 dotted
+    /// curve: interpolates from the hot-cache to the cold-cache cost as the
+    /// working set outgrows the cache.
+    pub fn t_step(&self, n: f64) -> f64 {
+        let miss = n / (n + self.n_cache);
+        self.t_step_fast + (self.t_step_slow - self.t_step_fast) * miss
+    }
+
+    /// The *constant-T_host* fit of fig. 14 (dashed curve): the cold-cache
+    /// value, which is what a single-parameter fit converges to at large N.
+    pub fn t_step_const(&self) -> f64 {
+        self.t_step_slow
+    }
+}
+
+/// A network-interface profile — the §4.4 tuning study.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct NicProfile {
+    /// Display name.
+    pub name: &'static str,
+    /// Round-trip latency, seconds.
+    pub rtt: f64,
+    /// Sustained point-to-point bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Concurrent full-rate streams the NIC/driver pair sustains.  The
+    /// multi-cluster exchange relies on the four hosts of a cluster moving
+    /// different data in parallel (§2); "we found the performance of
+    /// MPICH/p4 on this network interface to be quite unsatisfactory"
+    /// (§4.2) — the NS 83820 driver of 2002 serialised under concurrent
+    /// load, which is a large part of why the 82540EM swap bought 50–100 %.
+    pub concurrency: f64,
+}
+
+/// Fixed software cost per barrier stage (syscalls, TCP stack, process
+/// wakeup) — identical for every NIC, so it damps the latency ratio
+/// between them.
+pub const BARRIER_SW_OVERHEAD: f64 = 40.0e-6;
+
+impl NicProfile {
+    /// "Originally, we used an AMD box and Gigabit NIC based on NS 83820
+    /// controller chip.  With this combination, round-trip latency was
+    /// around 200 µs, and the peak bandwidth was 60 MB/s."
+    pub fn ns83820() -> Self {
+        Self {
+            name: "NS 83820",
+            rtt: 200.0e-6,
+            bandwidth: 60.0e6,
+            concurrency: 1.0,
+        }
+    }
+
+    /// "Tigon 2 shows somewhat better throughput (85 MB/s), but not much
+    /// improvement in the latency."
+    pub fn tigon2() -> Self {
+        Self {
+            name: "Netgear GA621T (Tigon 2)",
+            rtt: 190.0e-6,
+            bandwidth: 85.0e6,
+            concurrency: 2.0,
+        }
+    }
+
+    /// "Intel 82540EM gave us a surprisingly good result.  The round-trip
+    /// latency was cut down to 67 µs, and the throughput is increased to
+    /// 105 MB/s."
+    pub fn intel_82540em() -> Self {
+        Self {
+            name: "Intel 82540EM",
+            rtt: 67.0e-6,
+            bandwidth: 105.0e6,
+            concurrency: 4.0,
+        }
+    }
+
+    /// One-way small-message latency (half the RTT).
+    pub fn latency(&self) -> f64 {
+        self.rtt / 2.0
+    }
+
+    /// Time to move `bytes` point-to-point (latency + serialisation).
+    pub fn transfer(&self, bytes: f64) -> f64 {
+        self.latency() + bytes / self.bandwidth
+    }
+
+    /// Butterfly-barrier time over `p` ranks: ⌈log₂ p⌉ exchange stages,
+    /// each costing one RTT of the exchanged pair plus the fixed software
+    /// overhead ("synchronization is done through butterfly message
+    /// exchange using TCP/IP", §4.4).
+    pub fn butterfly_barrier(&self, p: usize) -> f64 {
+        if p <= 1 {
+            return 0.0;
+        }
+        let stages = (p as f64).log2().ceil();
+        stages * (self.rtt + BARRIER_SW_OVERHEAD)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grape_peak_matches_paper() {
+        let g = GrapeTiming::paper_host();
+        // 128 chips ≈ 3.94 Tflops per host; 16 hosts ≈ 63.04 Tflops (§1).
+        assert!((g.peak_flops() / 1e12 - 3.94).abs() < 0.01);
+    }
+
+    #[test]
+    fn pass_time_scales_with_nj() {
+        let g = GrapeTiming::paper_host();
+        let t1 = g.pass_time(128 * 100);
+        // 100 j per chip → 30 + 800 cycles at 90 MHz.
+        assert!((t1 - 830.0 / 90.0e6).abs() < 1e-12);
+        assert!(g.pass_time(128 * 200) > t1);
+        // Empty memory still costs the pipeline depth.
+        assert!((g.pass_time(0) - 30.0 / 90.0e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn cache_model_monotone_between_bounds() {
+        let h = HostProfile::athlon_xp_1800();
+        let small = h.t_step(256.0);
+        let big = h.t_step(2.0e6);
+        assert!(small > h.t_step_fast && small < big);
+        assert!(big < h.t_step_slow);
+        assert!(h.t_step(1e9) < h.t_step_slow * 1.0001);
+        // Monotone in N.
+        let mut prev = 0.0;
+        for n in [1e2, 1e3, 1e4, 1e5, 1e6] {
+            let t = h.t_step(n);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn p4_is_faster_than_athlon() {
+        let a = HostProfile::athlon_xp_1800();
+        let p = HostProfile::pentium4_2_85();
+        assert!(p.t_step(1e5) < a.t_step(1e5));
+        assert!(p.t_block_fixed < a.t_block_fixed);
+    }
+
+    #[test]
+    fn nic_numbers_match_the_paper() {
+        assert_eq!(NicProfile::ns83820().rtt, 200.0e-6);
+        assert_eq!(NicProfile::ns83820().bandwidth, 60.0e6);
+        assert_eq!(NicProfile::intel_82540em().rtt, 67.0e-6);
+        assert_eq!(NicProfile::intel_82540em().bandwidth, 105.0e6);
+    }
+
+    #[test]
+    fn butterfly_barrier_scaling() {
+        let nic = NicProfile::intel_82540em();
+        let stage = 67.0e-6 + BARRIER_SW_OVERHEAD;
+        assert_eq!(nic.butterfly_barrier(1), 0.0);
+        assert!((nic.butterfly_barrier(2) - stage).abs() < 1e-12);
+        assert!((nic.butterfly_barrier(4) - 2.0 * stage).abs() < 1e-12);
+        assert!((nic.butterfly_barrier(16) - 4.0 * stage).abs() < 1e-12);
+        // Non-power-of-two rounds up.
+        assert!((nic.butterfly_barrier(5) - 3.0 * stage).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_is_latency_plus_serialisation() {
+        let nic = NicProfile::tigon2();
+        let t = nic.transfer(85.0e4); // 10 ms of payload
+        assert!((t - (95.0e-6 + 0.01)).abs() < 1e-9);
+    }
+}

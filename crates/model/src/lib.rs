@@ -1,0 +1,36 @@
+//! # grape6-model — the performance model of the SC'03 paper
+//!
+//! §4 of the paper models the calculation time per particle step as
+//!
+//! ```text
+//! T_single = T_host + T_comm + T_GRAPE          (paper eq. 10)
+//! ```
+//!
+//! and extends it with a host cache-hit refinement (fig. 14), a DMA-setup
+//! term visible at small N (§4.1), a synchronisation term per blockstep
+//! that explains the 1/N branch of figs. 16/18, and an inter-cluster
+//! exchange term (§4.3).  This crate implements that model as executable
+//! code:
+//!
+//! * [`calib`] — hardware profiles: the GRAPE pipeline/board geometry, the
+//!   two host CPUs and the three Gigabit-Ethernet NICs the paper measured
+//!   (§4.4), with every constant annotated by the sentence it encodes;
+//! * [`blockstats`] — how many particle steps and how many blocksteps a
+//!   Plummer integration of size N executes per time unit (measured at
+//!   small N by the harness, extrapolated with the paper's "the number of
+//!   particles integrated in one blockstep is roughly proportional to N");
+//! * [`perf`] — the blockstep-level time model for single-host,
+//!   single-cluster (2-D hardware network) and multi-cluster (copy
+//!   algorithm) configurations, and the speed curves `S = 57·N·n_steps/T`
+//!   (paper eq. 9) that the figure binaries plot.
+//!
+//! Everything here is *virtual time*: deterministic arithmetic over
+//! calibrated constants, no wall clocks anywhere.
+
+pub mod blockstats;
+pub mod calib;
+pub mod perf;
+
+pub use blockstats::{BlockStatsModel, SyntheticWorkload};
+pub use calib::{GrapeTiming, HostProfile, NicProfile};
+pub use perf::{BlockTime, MachineLayout, PerfModel};

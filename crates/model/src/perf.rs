@@ -1,0 +1,542 @@
+//! The blockstep-level time model (paper eq. 10 and its extensions).
+//!
+//! One blockstep of size `n_b` in an `N`-particle system is charged:
+//!
+//! | term | single host | 2-D cluster (`p` hosts) | multi-cluster (`c×h` hosts) |
+//! |---|---|---|---|
+//! | host | `t_fix + n_b·t_step(N)` | `t_fix + (n_b/p)·t_step(N)` | `t_fix + (n_b/ch)·t_step(N)` |
+//! | DMA  | per GRAPE call | idem, fewer calls | idem |
+//! | interface | i/force/j words over the PCI link | idem on the host's share; j-updates travel the *hardware* network | j-updates of the whole block written to every cluster's GRAPE |
+//! | GRAPE | `⌈n_b/48⌉·pass(N)` | `⌈(n_b/p)/48⌉·pass(N)` | `⌈(n_b/ch)/48⌉·pass(N)` |
+//! | sync | — | butterfly barrier over `p` | 2 barriers over `c·h` |
+//! | exchange | — | — (hardware broadcast) | block all-gather over Ethernet, `h` parallel streams |
+//!
+//! The per-host pass time is the same in every layout: dividing the system
+//! over `p` hosts also divides each host's j-memory contents, but the 2-D
+//! grid stores column subsets on each host's boards such that every host
+//! still streams `N/chips_per_host` particles per chip (§3.2) — that is
+//! exactly why the architecture scales.
+//!
+//! The figures then follow: for small N the constant-per-block terms (sync
+//! above all) dominate and the time *per particle step* goes as `B·T/R ∝
+//! 1/n_b ∝ 1/N` (figs. 16, 18); for large N the GRAPE term wins and speed
+//! saturates near the layout's peak (figs. 13, 15, 17).
+
+use serde::{Deserialize, Serialize};
+
+use crate::blockstats::{BlockStatsModel, SyntheticWorkload};
+use crate::calib::{GrapeTiming, HostProfile, NicProfile};
+
+/// Barrier rounds per blockstep inside one cluster (block agreement +
+/// commit — the real code synchronises more than once per step).
+pub const SYNC_ROUNDS_CLUSTER: f64 = 2.0;
+
+/// Barrier rounds per blockstep in the multi-cluster copy code — "the
+/// number of synchronization operation itself is larger with the
+/// multi-cluster code, since it requires data transfer between host
+/// computers" (§4.4).
+pub const SYNC_ROUNDS_MULTI: f64 = 3.0;
+
+/// Which machine configuration a blockstep runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineLayout {
+    /// One host, four boards (fig. 13/14).
+    SingleHost,
+    /// `hosts` (1, 2 or 4) hosts of one cluster, connected through the
+    /// GRAPE network boards (fig. 15/16).
+    Cluster {
+        /// Number of hosts (1–4).
+        hosts: usize,
+    },
+    /// `clusters` clusters of `hosts_per_cluster` hosts each, the copy
+    /// algorithm over Gigabit Ethernet between clusters (fig. 17/18).
+    MultiCluster {
+        /// Number of clusters (1–4).
+        clusters: usize,
+        /// Hosts per cluster (4 in the real machine).
+        hosts_per_cluster: usize,
+    },
+}
+
+impl MachineLayout {
+    /// Total participating hosts.
+    pub fn hosts(&self) -> usize {
+        match *self {
+            Self::SingleHost => 1,
+            Self::Cluster { hosts } => hosts,
+            Self::MultiCluster {
+                clusters,
+                hosts_per_cluster,
+            } => clusters * hosts_per_cluster,
+        }
+    }
+
+    /// The paper's node-count labels ("4-node" = 1 cluster of 4 hosts…).
+    pub fn label(&self) -> String {
+        match *self {
+            Self::SingleHost => "1 host".into(),
+            Self::Cluster { hosts } => format!("{hosts}-node cluster"),
+            Self::MultiCluster {
+                clusters,
+                hosts_per_cluster,
+            } => format!("{}-node ({clusters}-cluster)", clusters * hosts_per_cluster),
+        }
+    }
+}
+
+/// Time breakdown of one blockstep (seconds of virtual time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct BlockTime {
+    /// Host integrator work (predict/correct/timestep for the block).
+    pub host: f64,
+    /// DMA setup overhead.
+    pub dma: f64,
+    /// Host↔GRAPE interface transfers.
+    pub interface: f64,
+    /// Force-pipeline time.
+    pub grape: f64,
+    /// Host-host synchronisation (butterfly barriers).
+    pub sync: f64,
+    /// Inter-cluster particle exchange.
+    pub exchange: f64,
+}
+
+impl BlockTime {
+    /// Total blockstep time.
+    pub fn total(&self) -> f64 {
+        self.host + self.dma + self.interface + self.grape + self.sync + self.exchange
+    }
+}
+
+/// The assembled performance model.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+pub struct PerfModel {
+    /// GRAPE hardware timing.
+    pub grape: GrapeTiming,
+    /// Host CPU profile.
+    pub host: HostProfile,
+    /// Network interface profile.
+    pub nic: NicProfile,
+}
+
+impl Default for PerfModel {
+    /// The original system: Athlon hosts with NS 83820 NICs.
+    fn default() -> Self {
+        Self {
+            grape: GrapeTiming::paper_host(),
+            host: HostProfile::athlon_xp_1800(),
+            nic: NicProfile::ns83820(),
+        }
+    }
+}
+
+impl PerfModel {
+    /// The §4.4 tuned system: P4 hosts with Intel 82540EM NICs.
+    pub fn tuned() -> Self {
+        Self {
+            grape: GrapeTiming::paper_host(),
+            host: HostProfile::pentium4_2_85(),
+            nic: NicProfile::intel_82540em(),
+        }
+    }
+
+    /// Time for one blockstep of `n_b` particles in an `n`-particle system.
+    pub fn block_time(&self, layout: MachineLayout, n: usize, n_b: usize) -> BlockTime {
+        let hosts = layout.hosts() as f64;
+        let g = &self.grape;
+        // Each host integrates its share of the block.
+        let share = (n_b as f64 / hosts).ceil();
+        let passes = (share / g.i_parallel as f64).ceil();
+        let host = self.host.t_block_fixed + share * self.host.t_step(n as f64);
+        let dma = passes * g.dma_per_call * g.dma_setup;
+        let grape = passes * g.pass_time(n);
+        // Interface: upload the share's i-particles, read back forces,
+        // write back the updated j-particles.
+        let mut iface_bytes = share * (g.i_word_bytes + g.f_word_bytes + g.j_word_bytes);
+        let (sync, exchange) = match layout {
+            MachineLayout::SingleHost => (0.0, 0.0),
+            MachineLayout::Cluster { hosts } => {
+                // Intra-cluster j-updates travel the hardware network; the
+                // Ethernet is "used only for synchronization" (§4.2).
+                (
+                    SYNC_ROUNDS_CLUSTER * self.nic.butterfly_barrier(hosts),
+                    0.0,
+                )
+            }
+            MachineLayout::MultiCluster {
+                clusters,
+                hosts_per_cluster,
+            } => {
+                // Copy algorithm (§4.3): every cluster must apply every
+                // update, so each host writes the *whole* block into its
+                // GRAPE, not just its share.
+                iface_bytes += (n_b as f64 - share) * g.j_word_bytes;
+                // More barrier rounds than the single-cluster code, over
+                // more hosts — the larger and more frequent synchronisation
+                // the paper blames in §4.4.
+                let sync =
+                    SYNC_ROUNDS_MULTI * self.nic.butterfly_barrier(clusters * hosts_per_cluster);
+                // All-gather of the block between clusters; the four hosts
+                // of a cluster send/receive different data in parallel
+                // (§2: "the bandwidth is increased by a factor of four").
+                let incoming =
+                    n_b as f64 * g.j_word_bytes * (clusters as f64 - 1.0) / clusters as f64;
+                // The four hosts of a cluster receive different data in
+                // parallel — if the NIC/driver can actually sustain
+                // concurrent streams (the §4.4 tuning result).
+                let streams = (hosts_per_cluster as f64).min(self.nic.concurrency);
+                let exchange = if clusters > 1 {
+                    (clusters as f64).log2().ceil() * self.nic.latency()
+                        + incoming / streams / self.nic.bandwidth
+                } else {
+                    0.0
+                };
+                (sync, exchange)
+            }
+        };
+        BlockTime {
+            host,
+            dma,
+            interface: iface_bytes / g.interface_bw,
+            grape,
+            sync,
+            exchange,
+        }
+    }
+
+    /// Mean time per *particle step* (the fig. 14/16/18 quantity), using
+    /// the mean-block approximation of the workload model.
+    pub fn time_per_step(&self, layout: MachineLayout, n: usize, stats: &BlockStatsModel) -> f64 {
+        let nf = n as f64;
+        let n_b = stats.mean_block(nf).round().max(1.0) as usize;
+        let t = self.block_time(layout, n, n_b).total();
+        t / n_b as f64
+    }
+
+    /// Sustained speed in flops (paper eq. 9: `S = 57·N·n_steps/s`), using
+    /// the mean-block approximation.
+    pub fn speed(&self, layout: MachineLayout, n: usize, stats: &BlockStatsModel) -> f64 {
+        57.0 * n as f64 / self.time_per_step(layout, n, stats)
+    }
+
+    /// Sustained speed averaged over a synthetic block-size distribution —
+    /// slightly lower than [`PerfModel::speed`] because small blocks pay
+    /// the fixed costs at full price (Jensen's inequality).
+    pub fn speed_sampled(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        stats: &BlockStatsModel,
+        blocks: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut w = SyntheticWorkload::new(stats, n, seed);
+        let mut steps = 0.0f64;
+        let mut time = 0.0f64;
+        for _ in 0..blocks {
+            let n_b = w.next_block();
+            steps += n_b as f64;
+            time += self.block_time(layout, n, n_b).total();
+        }
+        57.0 * n as f64 * steps / time
+    }
+
+    /// The fig. 14 *dashed* curve: same model but with the constant-T_host
+    /// fit (no cache refinement).
+    pub fn time_per_step_const_host(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        stats: &BlockStatsModel,
+    ) -> f64 {
+        let mut flat = *self;
+        flat.host.t_step_fast = flat.host.t_step_slow;
+        flat.time_per_step(layout, n, stats)
+    }
+
+    /// Peak speed of the layout in flops.
+    pub fn peak(&self, layout: MachineLayout) -> f64 {
+        self.grape.peak_flops() * layout.hosts() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> BlockStatsModel {
+        BlockStatsModel::constant_softening()
+    }
+
+    #[test]
+    fn single_host_exceeds_1tflops_at_2e5() {
+        // §4.4: "the performance of a single-node system is pretty good
+        // with better than 1 Tflops at N = 2×10⁵."
+        let m = PerfModel::default();
+        let s = m.speed(MachineLayout::SingleHost, 200_000, &stats());
+        assert!(s > 1.0e12, "S = {:.3e}", s);
+        assert!(s < m.peak(MachineLayout::SingleHost));
+    }
+
+    #[test]
+    fn speed_increases_with_n_single_host() {
+        let m = PerfModel::default();
+        let mut prev = 0.0;
+        for n in [1_000usize, 4_000, 16_000, 64_000, 256_000] {
+            let s = m.speed(MachineLayout::SingleHost, n, &stats());
+            assert!(s > prev, "speed must grow with N");
+            prev = s;
+        }
+    }
+
+    #[test]
+    fn time_per_step_grows_with_n_at_large_n() {
+        // Fig. 14: the GRAPE term ∝ N eventually dominates.
+        let m = PerfModel::default();
+        let t1 = m.time_per_step(MachineLayout::SingleHost, 100_000, &stats());
+        let t2 = m.time_per_step(MachineLayout::SingleHost, 1_000_000, &stats());
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn four_node_crossover_exists_and_is_order_3000() {
+        // Fig. 15 (left panel): "the two-host system becomes faster than
+        // the single-host system only at N ≈ 3000" (constant softening).
+        let m = PerfModel::default();
+        let single = MachineLayout::SingleHost;
+        let two = MachineLayout::Cluster { hosts: 2 };
+        let s_small_1 = m.speed(single, 512, &stats());
+        let s_small_2 = m.speed(two, 512, &stats());
+        assert!(
+            s_small_2 < s_small_1,
+            "at tiny N the 2-node system must lose: {s_small_2:.3e} vs {s_small_1:.3e}"
+        );
+        let s_big_1 = m.speed(single, 100_000, &stats());
+        let s_big_2 = m.speed(two, 100_000, &stats());
+        assert!(s_big_2 > s_big_1, "at large N the 2-node system must win");
+        // Locate the crossover.
+        let mut crossover = None;
+        let mut n = 256usize;
+        while n <= 1 << 20 {
+            if m.speed(two, n, &stats()) > m.speed(single, n, &stats()) {
+                crossover = Some(n);
+                break;
+            }
+            n = (n as f64 * 1.25) as usize;
+        }
+        let c = crossover.expect("crossover must exist") as f64;
+        assert!(
+            (500.0..30_000.0).contains(&c),
+            "2-node crossover at N = {c}, expected O(10³)"
+        );
+    }
+
+    #[test]
+    fn close_encounter_softening_moves_crossover_up() {
+        // Fig. 15 right panel: ε = 4/N pushes the crossover to ~3×10⁴.
+        let m = PerfModel::default();
+        let hard = BlockStatsModel::close_encounter_softening();
+        let soft = stats();
+        let single = MachineLayout::SingleHost;
+        let four = MachineLayout::Cluster { hosts: 4 };
+        let find = |st: &BlockStatsModel| -> f64 {
+            let mut n = 256usize;
+            while n <= 4 << 20 {
+                if m.speed(four, n, st) > m.speed(single, n, st) {
+                    return n as f64;
+                }
+                n = (n as f64 * 1.2) as usize;
+            }
+            f64::INFINITY
+        };
+        let c_soft = find(&soft);
+        let c_hard = find(&hard);
+        assert!(
+            c_hard > 2.0 * c_soft,
+            "ε=4/N crossover {c_hard} should far exceed constant-ε {c_soft}"
+        );
+    }
+
+    #[test]
+    fn multicluster_crossover_near_1e5() {
+        // Fig. 17: "the crossover point at which multi-cluster systems
+        // becomes faster than single-cluster system is rather high
+        // (N ≈ 10⁵)".
+        let m = PerfModel::default();
+        let one = MachineLayout::Cluster { hosts: 4 };
+        let four = MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        };
+        assert!(m.speed(four, 30_000, &stats()) < m.speed(one, 30_000, &stats()));
+        assert!(m.speed(four, 1_000_000, &stats()) > m.speed(one, 1_000_000, &stats()));
+        let mut crossover = f64::INFINITY;
+        let mut n = 10_000usize;
+        while n <= 4 << 20 {
+            if m.speed(four, n, &stats()) > m.speed(one, n, &stats()) {
+                crossover = n as f64;
+                break;
+            }
+            n = (n as f64 * 1.15) as usize;
+        }
+        assert!(
+            (3.0e4..6.0e5).contains(&crossover),
+            "multi-cluster crossover at {crossover:.3e}, expected ~1e5"
+        );
+    }
+
+    #[test]
+    fn speedup_at_1e6_significantly_below_ideal() {
+        // Fig. 17: "even for N = 10⁶, the speedup factors achieved by
+        // multi-cluster systems are significantly smaller than the ideal".
+        let m = PerfModel::default();
+        let s1 = m.speed(MachineLayout::Cluster { hosts: 4 }, 1_000_000, &stats());
+        let s4 = m.speed(
+            MachineLayout::MultiCluster {
+                clusters: 4,
+                hosts_per_cluster: 4,
+            },
+            1_000_000,
+            &stats(),
+        );
+        let speedup = s4 / s1;
+        assert!(speedup > 1.2, "speedup {speedup}");
+        assert!(speedup < 3.6, "speedup {speedup} suspiciously ideal");
+    }
+
+    #[test]
+    fn small_n_regime_scales_as_one_over_n() {
+        // Figs. 16/18: per-particle-step time ∝ 1/N when sync dominates.
+        let m = PerfModel::default();
+        let layout = MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        };
+        let t1 = m.time_per_step(layout, 2_000, &stats());
+        let t2 = m.time_per_step(layout, 8_000, &stats());
+        let ratio = t1 / t2;
+        // Mean block ∝ N^0.87 ⇒ per-step time ratio ≈ 4^0.87 ≈ 3.3.
+        assert!(
+            ratio > 2.3 && ratio < 4.5,
+            "small-N scaling ratio {ratio}, expected ≈ 1/N"
+        );
+    }
+
+    #[test]
+    fn nic_upgrade_gives_50_to_100_percent() {
+        // Fig. 19: "the performance is improved by 50–100 % for the entire
+        // range of N" when switching NS83820+Athlon → 82540EM+P4.
+        let old = PerfModel::default();
+        let new = PerfModel::tuned();
+        let layout = MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        };
+        for n in [50_000usize, 200_000, 800_000, 1_800_000] {
+            let gain = new.speed(layout, n, &stats()) / old.speed(layout, n, &stats());
+            assert!(
+                gain > 1.25 && gain < 2.3,
+                "N = {n}: gain {gain}, expected ~1.5-2.0"
+            );
+        }
+        // And the improvement is larger at smaller N (§4.4).
+        let gain_small = new.speed(layout, 50_000, &stats()) / old.speed(layout, 50_000, &stats());
+        let gain_large =
+            new.speed(layout, 1_800_000, &stats()) / old.speed(layout, 1_800_000, &stats());
+        assert!(gain_small > gain_large);
+    }
+
+    #[test]
+    fn tuned_16_node_reaches_tens_of_tflops_at_1_8m() {
+        // Fig. 19: "For 1.8M particles, the measured speed reached 36.0
+        // Tflops."  Accept the right order and a sane fraction of peak.
+        let m = PerfModel::tuned();
+        let layout = MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        };
+        let s = m.speed(layout, 1_800_000, &stats());
+        assert!(
+            s > 20.0e12 && s < 63.0e12,
+            "S(1.8M) = {:.1} Tflops, expected ≈ 36",
+            s / 1e12
+        );
+    }
+
+    #[test]
+    fn sampled_speed_consistent_with_mean_block_speed() {
+        // Sustained speed is a ratio of sums (total steps / total time),
+        // which is linear in the block-size distribution up to the ceil()
+        // granularity of chip passes — so sampling a realistic block-size
+        // spread must land close to the mean-block approximation.
+        let m = PerfModel::default();
+        for layout in [
+            MachineLayout::SingleHost,
+            MachineLayout::MultiCluster {
+                clusters: 4,
+                hosts_per_cluster: 4,
+            },
+        ] {
+            for n in [2_000usize, 100_000] {
+                let s_mean = m.speed(layout, n, &stats());
+                let s_sampled = m.speed_sampled(layout, n, &stats(), 4_000, 1);
+                let ratio = s_sampled / s_mean;
+                assert!(
+                    (0.85..1.15).contains(&ratio),
+                    "layout {layout:?} N={n}: ratio {ratio}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn const_host_model_faster_at_small_n_only() {
+        // Fig. 14: the dashed (constant T_host) curve overestimates the
+        // time at small N where the cache is hot.
+        let m = PerfModel::default();
+        let st = stats();
+        let layout = MachineLayout::SingleHost;
+        let t_const = m.time_per_step_const_host(layout, 512, &st);
+        let t_refined = m.time_per_step(layout, 512, &st);
+        assert!(t_const > t_refined);
+        // At huge N they agree.
+        let a = m.time_per_step_const_host(layout, 2_000_000, &st);
+        let b = m.time_per_step(layout, 2_000_000, &st);
+        assert!((a / b - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn block_time_breakdown_consistency() {
+        let m = PerfModel::default();
+        let bt = m.block_time(MachineLayout::SingleHost, 100_000, 500);
+        assert!(bt.sync == 0.0 && bt.exchange == 0.0);
+        assert!(bt.host > 0.0 && bt.grape > 0.0 && bt.dma > 0.0 && bt.interface > 0.0);
+        let total = bt.host + bt.dma + bt.interface + bt.grape;
+        assert!((bt.total() - total).abs() < 1e-18);
+        // Multi-cluster pays sync + exchange.
+        let bt = m.block_time(
+            MachineLayout::MultiCluster {
+                clusters: 4,
+                hosts_per_cluster: 4,
+            },
+            100_000,
+            500,
+        );
+        assert!(bt.sync > 0.0 && bt.exchange > 0.0);
+    }
+
+    #[test]
+    fn layout_host_counts_and_labels() {
+        assert_eq!(MachineLayout::SingleHost.hosts(), 1);
+        assert_eq!(MachineLayout::Cluster { hosts: 4 }.hosts(), 4);
+        assert_eq!(
+            MachineLayout::MultiCluster {
+                clusters: 4,
+                hosts_per_cluster: 4
+            }
+            .hosts(),
+            16
+        );
+        assert!(MachineLayout::Cluster { hosts: 2 }.label().contains("2-node"));
+    }
+}

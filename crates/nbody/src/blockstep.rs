@@ -1,0 +1,166 @@
+//! Power-of-two block timestep quantisation.
+//!
+//! The individual-timestep algorithm becomes the *block*step algorithm
+//! (McMillan 1986, and §3.2 of the paper) when timesteps are quantised to
+//! powers of two: all particles whose next time coincides form a block and
+//! are advanced together, so the O(N) prediction pass and the GRAPE call are
+//! amortised over the whole block.  Every performance figure in the paper is
+//! phrased per blockstep, so the quantisation rules here directly shape the
+//! benchmark results:
+//!
+//! * a step is always `2^k` for integer `k` (`k` may be negative);
+//! * a particle's time must remain commensurate: `t` is a multiple of `dt`;
+//! * a step may at most *double* from one step to the next, and only when
+//!   the current time is aligned to the doubled step;
+//! * steps shrink freely (any power of two below the desired step).
+
+/// The scheduling grid: bounds on the allowed power-of-two steps.
+#[derive(Clone, Copy, Debug)]
+pub struct TimeGrid {
+    /// Largest allowed step (power of two), e.g. `2^-3`.
+    pub dt_max: f64,
+    /// Smallest allowed step; a required step below this is clamped (and
+    /// counted, so runs can report timestep underflow).
+    pub dt_min: f64,
+}
+
+impl Default for TimeGrid {
+    fn default() -> Self {
+        Self {
+            dt_max: 0.125,
+            dt_min: 2f64.powi(-40),
+        }
+    }
+}
+
+impl TimeGrid {
+    /// Largest power of two that is ≤ `dt`, clamped to the grid bounds.
+    pub fn quantize(&self, dt: f64) -> f64 {
+        block_dt(dt).clamp(self.dt_min, self.dt_max)
+    }
+
+    /// The block-scheme step update: starting from current step `dt_old` at
+    /// time `t` (just advanced), choose the next step towards desired
+    /// accuracy step `dt_want`.
+    ///
+    /// Shrinking: halve as often as needed.  Growing: at most double, and
+    /// only if `t` is aligned on the doubled step.
+    pub fn next_step(&self, t: f64, dt_old: f64, dt_want: f64) -> f64 {
+        let want = self.quantize(dt_want);
+        if want <= dt_old {
+            return want.max(self.dt_min);
+        }
+        let doubled = (dt_old * 2.0).min(self.dt_max);
+        if doubled > dt_old && is_aligned(t, doubled) {
+            doubled
+        } else {
+            dt_old
+        }
+    }
+}
+
+/// Largest power of two ≤ `dt` (for positive finite `dt`).
+pub fn block_dt(dt: f64) -> f64 {
+    if dt <= 0.0 || !dt.is_finite() {
+        // An infinite desired step means "no constraint": take a huge power
+        // of two and let the grid clamp it.
+        return if dt == f64::INFINITY { 2f64.powi(60) } else { 0.0 };
+    }
+    let e = dt.log2().floor();
+    let candidate = 2f64.powf(e);
+    // Guard against log2 rounding at exact powers of two.
+    if candidate * 2.0 <= dt {
+        candidate * 2.0
+    } else if candidate > dt {
+        candidate / 2.0
+    } else {
+        candidate
+    }
+}
+
+/// Is `t` an integer multiple of the power-of-two step `dt`?
+///
+/// Times and power-of-two steps are exactly representable in f64 (down to
+/// `2^-52` per unit), so this is an exact test, not an epsilon comparison.
+pub fn is_aligned(t: f64, dt: f64) -> bool {
+    if dt == 0.0 {
+        return false;
+    }
+    let q = t / dt;
+    q == q.floor()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_dt_is_floor_power_of_two() {
+        assert_eq!(block_dt(1.0), 1.0);
+        assert_eq!(block_dt(0.9), 0.5);
+        assert_eq!(block_dt(0.5), 0.5);
+        assert_eq!(block_dt(0.49999), 0.25);
+        assert_eq!(block_dt(3.7), 2.0);
+        assert_eq!(block_dt(2f64.powi(-17) * 1.5), 2f64.powi(-17));
+        assert_eq!(block_dt(0.0), 0.0);
+        assert_eq!(block_dt(-1.0), 0.0);
+    }
+
+    #[test]
+    fn block_dt_never_exceeds_input() {
+        let mut x = 1.0e-9;
+        while x < 1.0e9 {
+            let b = block_dt(x);
+            assert!(b <= x, "block_dt({x}) = {b}");
+            assert!(b > x / 2.0, "block_dt({x}) = {b} not the floor");
+            x *= 1.37;
+        }
+    }
+
+    #[test]
+    fn quantize_respects_bounds() {
+        let g = TimeGrid {
+            dt_max: 0.25,
+            dt_min: 2f64.powi(-10),
+        };
+        assert_eq!(g.quantize(10.0), 0.25);
+        assert_eq!(g.quantize(2f64.powi(-30)), 2f64.powi(-10));
+        assert_eq!(g.quantize(f64::INFINITY), 0.25);
+        assert_eq!(g.quantize(0.1), 0.0625);
+    }
+
+    #[test]
+    fn alignment_is_exact() {
+        assert!(is_aligned(0.0, 0.25));
+        assert!(is_aligned(0.75, 0.25));
+        assert!(!is_aligned(0.75, 0.5));
+        assert!(is_aligned(3.0, 1.0));
+        let t = 5.0 * 2f64.powi(-20);
+        assert!(is_aligned(t, 2f64.powi(-20)));
+        assert!(!is_aligned(t, 2f64.powi(-19)));
+    }
+
+    #[test]
+    fn growth_requires_alignment() {
+        let g = TimeGrid::default();
+        // At t = 3·2⁻⁵ with dt = 2⁻⁵, doubling to 2⁻⁴ is NOT allowed
+        // (t is not a multiple of 2⁻⁴); the step stays.
+        assert_eq!(g.next_step(0.09375, 0.03125, 1.0), 0.03125);
+        // At t = 0.125 doubling is allowed.
+        assert_eq!(g.next_step(0.125, 0.03125, 1.0), 0.0625);
+    }
+
+    #[test]
+    fn shrink_is_unrestricted() {
+        let g = TimeGrid::default();
+        assert_eq!(g.next_step(0.375, 0.125, 0.01), 2f64.powi(-7));
+        assert_eq!(g.next_step(0.375, 0.125, 1e-30), g.dt_min);
+    }
+
+    #[test]
+    fn growth_capped_at_doubling_and_dt_max() {
+        let g = TimeGrid::default();
+        assert_eq!(g.next_step(1.0, 0.03125, 1.0), 0.0625);
+        assert_eq!(g.next_step(1.0, g.dt_max, 10.0), g.dt_max);
+    }
+}

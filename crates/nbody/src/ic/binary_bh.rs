@@ -1,0 +1,96 @@
+//! Plummer sphere with two massive "black hole" particles.
+//!
+//! The second §5 application: "The initial model is a standard Plummer
+//! model.  We placed two 'black hole' particles, which are just massive
+//! point-mass particles, with mass 0.5 % of the total mass of the system."
+//! The black holes sink by dynamical friction and form a hard binary — the
+//! workload that stresses the shortest end of the timestep hierarchy.
+
+use rand::Rng;
+
+use crate::ic::plummer::plummer_model;
+use crate::particle::ParticleSet;
+use crate::vec3::Vec3;
+
+/// Build the §5 binary-black-hole initial model: an `n_field`-star Plummer
+/// sphere plus two point masses of `bh_mass_fraction` (paper: 0.005) of the
+/// total stellar mass each, placed symmetrically at radius `r_init` on a
+/// circular-speed orbit.
+///
+/// The black holes are particles 0 and 1.
+pub fn binary_bh_model<R: Rng + ?Sized>(
+    n_field: usize,
+    bh_mass_fraction: f64,
+    r_init: f64,
+    rng: &mut R,
+) -> ParticleSet {
+    assert!(n_field >= 2);
+    assert!(bh_mass_fraction > 0.0 && bh_mass_fraction < 0.5);
+    let field = plummer_model(n_field, rng);
+    let m_bh = bh_mass_fraction; // fraction of total stellar mass M = 1
+
+    let mut set = ParticleSet::with_capacity(n_field + 2);
+    // Circular speed at r_init in the Plummer potential (standard units,
+    // scale a = 3π/16): v_c² = M(<r)/r = r²/(r²+a²)^(3/2).
+    let a = crate::units::PLUMMER_SCALE;
+    let vc = (r_init * r_init / (r_init * r_init + a * a).powf(1.5)).sqrt();
+    set.push(
+        m_bh,
+        Vec3::new(r_init, 0.0, 0.0),
+        Vec3::new(0.0, vc, 0.0),
+    );
+    set.push(
+        m_bh,
+        Vec3::new(-r_init, 0.0, 0.0),
+        Vec3::new(0.0, -vc, 0.0),
+    );
+    for i in 0..n_field {
+        set.push(field.mass[i], field.pos[i], field.vel[i]);
+    }
+    set.to_com_frame();
+    set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::energy;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn paper_configuration() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let set = binary_bh_model(2000, 0.005, 0.3, &mut rng);
+        assert_eq!(set.n(), 2002);
+        // Each BH weighs 0.5 % of the stellar mass; 10 field stars weigh
+        // 10/2000 = 0.5 % too — the BHs are ~10x heavier than a star.
+        assert!((set.mass[0] - 0.005).abs() < 1e-15);
+        assert_eq!(set.mass[0], set.mass[1]);
+        assert!(set.mass[0] / set.mass[2] > 9.0);
+    }
+
+    #[test]
+    fn system_is_bound() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let set = binary_bh_model(512, 0.005, 0.3, &mut rng);
+        assert!(energy(&set, 0.0).total() < 0.0);
+    }
+
+    #[test]
+    fn bhs_symmetric_in_com_frame() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let set = binary_bh_model(256, 0.005, 0.4, &mut rng);
+        assert!(set.center_of_mass().norm() < 1e-10);
+        // BHs started antisymmetric; COM shift moves both equally, so their
+        // mean is the (small) field recoil, not 0.4-scale.
+        let mid = (set.pos[0] + set.pos[1]) * 0.5;
+        assert!(mid.norm() < 0.05);
+    }
+
+    #[test]
+    #[should_panic]
+    fn excessive_bh_mass_rejected() {
+        binary_bh_model(16, 0.6, 0.3, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,171 @@
+//! Keplerian orbital elements and Kepler's equation.
+//!
+//! The planetesimal-disk generator places bodies on near-circular,
+//! near-coplanar heliocentric orbits specified by classical elements; this
+//! module converts elements to Cartesian state vectors, solving Kepler's
+//! equation `M = E − e sin E` by Newton iteration.
+
+use crate::vec3::Vec3;
+
+/// Classical orbital elements of an elliptic orbit around a central mass.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct OrbitalElements {
+    /// Semi-major axis.
+    pub a: f64,
+    /// Eccentricity, `0 ≤ e < 1`.
+    pub e: f64,
+    /// Inclination (radians).
+    pub inc: f64,
+    /// Longitude of the ascending node (radians).
+    pub node: f64,
+    /// Argument of pericentre (radians).
+    pub peri: f64,
+    /// Mean anomaly (radians).
+    pub mean_anomaly: f64,
+}
+
+/// Solve Kepler's equation `M = E − e sin E` for the eccentric anomaly `E`.
+///
+/// Newton iteration from `E₀ = M + e sin M`; converges to f64 precision in a
+/// handful of iterations for `e < 0.99`.
+pub fn solve_kepler(mean_anomaly: f64, e: f64) -> f64 {
+    assert!((0.0..1.0).contains(&e), "eccentricity must be in [0,1)");
+    let m = mean_anomaly.rem_euclid(std::f64::consts::TAU);
+    let mut big_e = m + e * m.sin();
+    for _ in 0..50 {
+        let f = big_e - e * big_e.sin() - m;
+        let fp = 1.0 - e * big_e.cos();
+        let step = f / fp;
+        big_e -= step;
+        if step.abs() < 1e-15 {
+            break;
+        }
+    }
+    big_e
+}
+
+/// Convert orbital elements to a heliocentric Cartesian state for central
+/// gravitational parameter `mu = G(M_central + m)`.
+pub fn elements_to_cartesian(el: &OrbitalElements, mu: f64) -> (Vec3, Vec3) {
+    let OrbitalElements {
+        a,
+        e,
+        inc,
+        node,
+        peri,
+        mean_anomaly,
+    } = *el;
+    let big_e = solve_kepler(mean_anomaly, e);
+    let (sin_e, cos_e) = big_e.sin_cos();
+    // Perifocal coordinates.
+    let b = a * (1.0 - e * e).sqrt();
+    let x_pf = a * (cos_e - e);
+    let y_pf = b * sin_e;
+    let r = a * (1.0 - e * cos_e);
+    let n = (mu / (a * a * a)).sqrt(); // mean motion
+    let vx_pf = -a * a * n * sin_e / r;
+    let vy_pf = a * b * n * cos_e / r;
+
+    // Rotate perifocal → inertial: Rz(node) · Rx(inc) · Rz(peri).
+    let (sp, cp) = peri.sin_cos();
+    let (si, ci) = inc.sin_cos();
+    let (sn, cn) = node.sin_cos();
+    let rot = |x: f64, y: f64| -> Vec3 {
+        let x1 = cp * x - sp * y;
+        let y1 = sp * x + cp * y;
+        let y2 = ci * y1;
+        let z2 = si * y1;
+        Vec3::new(cn * x1 - sn * y2, sn * x1 + cn * y2, z2)
+    };
+    (rot(x_pf, y_pf), rot(vx_pf, vy_pf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kepler_equation_residual_is_zero() {
+        for &e in &[0.0, 0.1, 0.5, 0.9, 0.98] {
+            for i in 0..32 {
+                let m = i as f64 * 0.2;
+                let big_e = solve_kepler(m, e);
+                let resid = big_e - e * big_e.sin() - m.rem_euclid(std::f64::consts::TAU);
+                assert!(resid.abs() < 1e-12, "e={e} M={m}: resid {resid:e}");
+            }
+        }
+    }
+
+    #[test]
+    fn circular_orbit_state() {
+        let el = OrbitalElements {
+            a: 2.0,
+            e: 0.0,
+            inc: 0.0,
+            node: 0.0,
+            peri: 0.0,
+            mean_anomaly: 0.0,
+        };
+        let (r, v) = elements_to_cartesian(&el, 1.0);
+        assert!((r - Vec3::new(2.0, 0.0, 0.0)).norm() < 1e-14);
+        // v = √(μ/a) tangential.
+        let vc = (1.0f64 / 2.0).sqrt();
+        assert!((v - Vec3::new(0.0, vc, 0.0)).norm() < 1e-14);
+    }
+
+    #[test]
+    fn vis_viva_holds_everywhere() {
+        let el = OrbitalElements {
+            a: 1.5,
+            e: 0.3,
+            inc: 0.2,
+            node: 1.0,
+            peri: 2.0,
+            mean_anomaly: 0.7,
+        };
+        let mu = 1.37;
+        let (r, v) = elements_to_cartesian(&el, mu);
+        let vis_viva = mu * (2.0 / r.norm() - 1.0 / el.a);
+        assert!((v.norm2() - vis_viva).abs() < 1e-12, "vis-viva violated");
+    }
+
+    #[test]
+    fn specific_angular_momentum_matches_elements() {
+        let el = OrbitalElements {
+            a: 1.0,
+            e: 0.2,
+            inc: 0.3,
+            node: 0.5,
+            peri: 0.9,
+            mean_anomaly: 2.2,
+        };
+        let mu = 1.0;
+        let (r, v) = elements_to_cartesian(&el, mu);
+        let h = r.cross(v).norm();
+        let want = (mu * el.a * (1.0 - el.e * el.e)).sqrt();
+        assert!((h - want).abs() < 1e-12);
+        // Inclination from the angular momentum vector.
+        let hz = r.cross(v).z;
+        assert!(((hz / h).acos() - el.inc).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pericentre_distance() {
+        let el = OrbitalElements {
+            a: 2.0,
+            e: 0.5,
+            inc: 0.0,
+            node: 0.0,
+            peri: 0.0,
+            mean_anomaly: 0.0, // at pericentre
+        };
+        let (r, _) = elements_to_cartesian(&el, 1.0);
+        assert!((r.norm() - 1.0).abs() < 1e-13); // a(1−e) = 1
+    }
+
+    #[test]
+    #[should_panic]
+    fn hyperbolic_eccentricity_rejected() {
+        solve_kepler(0.3, 1.2);
+    }
+}

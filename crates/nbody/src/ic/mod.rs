@@ -1,0 +1,23 @@
+//! Initial-condition generators for the paper's workloads.
+//!
+//! * [`plummer`] — the equal-mass Plummer sphere in Heggie units, the
+//!   workload of every benchmark in §4;
+//! * [`disk`] — a star + planetesimal disk, the §5 Kuiper-belt application
+//!   (scaled stand-in for the Makino et al. 2003 planetesimal runs);
+//! * [`binary_bh`] — a Plummer sphere with two 0.5 %-mass "black hole"
+//!   point masses, the §5 binary-black-hole application;
+//! * [`kepler`] — orbital-element ↔ Cartesian conversion used by the disk
+//!   sampler (Kepler's equation solved by Newton iteration).
+//!
+//! All samplers take an explicit RNG so runs are reproducible; all outputs
+//! are in the centre-of-mass frame.
+
+pub mod binary_bh;
+pub mod disk;
+pub mod kepler;
+pub mod plummer;
+
+pub use binary_bh::binary_bh_model;
+pub use disk::{planetesimal_disk, DiskParams};
+pub use kepler::{elements_to_cartesian, solve_kepler, OrbitalElements};
+pub use plummer::plummer_model;

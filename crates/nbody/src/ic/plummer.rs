@@ -1,0 +1,151 @@
+//! The Plummer model in standard (Heggie) units.
+//!
+//! The paper's benchmark: "we integrated the Plummer model with equal-mass
+//! particles for 1 time unit".  We sample with the classic Aarseth–Hénon–
+//! Wielen (1974) recipe and then *exactly* rescale to the standard units
+//! (`E = −1/4`, virialised), so a generated model reproduces the paper's
+//! workload regardless of sampling noise:
+//!
+//! 1. radius from the inverted cumulative mass profile
+//!    `r = (u^(−2/3) − 1)^(−1/2)` (model units, scale length 1), with the
+//!    conventional cut at `r < 20` to keep the outermost particles inside
+//!    the machine's fixed-point coordinate box;
+//! 2. speed from the isotropic distribution `f(q) ∝ q²(1 − q²)^(7/2)` of
+//!    `q = v / v_esc`, by von Neumann rejection;
+//! 3. shift to the centre-of-mass frame;
+//! 4. scale positions by `α = W_sampled / W_target` and velocities by
+//!    `β = √(T_target / T_sampled)` with `T_target = 1/4`,
+//!    `W_target = −1/2`, which pins both the energy and the virial ratio.
+
+use rand::Rng;
+
+use crate::diagnostics::energy;
+use crate::particle::ParticleSet;
+use crate::vec3::Vec3;
+
+/// Radial cut in Plummer model units (a = 1); keeps > 99.9 % of the mass.
+const R_CUT_MODEL: f64 = 20.0;
+
+/// Sample an `n`-particle equal-mass Plummer sphere in standard units.
+///
+/// The returned set is in the COM frame with `E = −1/4` and `Q = 1/2`
+/// exactly (to f64 roundoff); `t`, `dt` and force arrays are zeroed.
+pub fn plummer_model<R: Rng + ?Sized>(n: usize, rng: &mut R) -> ParticleSet {
+    assert!(n >= 2, "a Plummer model needs at least two particles");
+    let mut set = ParticleSet::with_capacity(n);
+    let m = 1.0 / n as f64;
+    for _ in 0..n {
+        let r = loop {
+            let u: f64 = rng.gen_range(1e-10..1.0);
+            let r = (u.powf(-2.0 / 3.0) - 1.0).powf(-0.5);
+            if r < R_CUT_MODEL {
+                break r;
+            }
+        };
+        let pos = iso_direction(rng) * r;
+        // Escape speed at r: v_e = √2 (1+r²)^(-1/4).
+        let v_esc = std::f64::consts::SQRT_2 * (1.0 + r * r).powf(-0.25);
+        let q = sample_q(rng);
+        let vel = iso_direction(rng) * (q * v_esc);
+        set.push(m, pos, vel);
+    }
+    set.to_com_frame();
+
+    // Exact rescale to standard units: T → 1/4, W → −1/2.
+    let e = energy(&set, 0.0);
+    let alpha = e.potential / -0.5; // scale radii: W' = W/α = −1/2
+    let beta = (0.25 / e.kinetic).sqrt(); // scale speeds: T' = β²T = 1/4
+    set.scale(alpha, beta);
+    set
+}
+
+/// Isotropic unit vector.
+fn iso_direction<R: Rng + ?Sized>(rng: &mut R) -> Vec3 {
+    let z: f64 = rng.gen_range(-1.0..1.0);
+    let phi: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+    let s = (1.0 - z * z).sqrt();
+    Vec3::new(s * phi.cos(), s * phi.sin(), z)
+}
+
+/// Rejection sampling of `q ∈ [0,1]` with `p(q) ∝ q²(1−q²)^(7/2)`
+/// (max of the density is ≈ 0.092 at `q = √(2/9)`).
+fn sample_q<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let x: f64 = rng.gen_range(0.0..1.0);
+        let y: f64 = rng.gen_range(0.0..0.1);
+        if y < x * x * (1.0 - x * x).powf(3.5) {
+            return x;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diagnostics::{angular_momentum, energy};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_units_are_exact() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let set = plummer_model(512, &mut rng);
+        let e = energy(&set, 0.0);
+        assert!((e.total() + 0.25).abs() < 1e-12, "E = {}", e.total());
+        assert!((e.virial_ratio() - 0.5).abs() < 1e-12);
+        assert!(set.center_of_mass().norm() < 1e-10);
+        assert!(set.mean_velocity().norm() < 1e-10);
+    }
+
+    #[test]
+    fn equal_masses_sum_to_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let set = plummer_model(300, &mut rng);
+        assert!((set.total_mass() - 1.0).abs() < 1e-12);
+        assert!(set.mass.iter().all(|&m| (m - 1.0 / 300.0).abs() < 1e-15));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = plummer_model(64, &mut StdRng::seed_from_u64(7));
+        let b = plummer_model(64, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.pos, b.pos);
+        assert_eq!(a.vel, b.vel);
+        let c = plummer_model(64, &mut StdRng::seed_from_u64(8));
+        assert_ne!(a.pos, c.pos);
+    }
+
+    #[test]
+    fn half_mass_radius_near_theory() {
+        // Plummer: r_h = a(2^(2/3)−1)^(−1/2) ≈ 1.305a; in standard units
+        // a = 3π/16 ⇒ r_h ≈ 0.769.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let set = plummer_model(4096, &mut rng);
+        let mut radii: Vec<f64> = set.pos.iter().map(|p| p.norm()).collect();
+        radii.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let rh = radii[2048];
+        assert!((rh - 0.769).abs() < 0.08, "r_h = {rh}");
+    }
+
+    #[test]
+    fn isotropy_small_net_angular_momentum() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let set = plummer_model(4096, &mut rng);
+        // |L| per particle scale ~ σ·r/√N; net should be ≪ 0.1.
+        assert!(angular_momentum(&set).norm() < 0.05);
+    }
+
+    #[test]
+    fn particles_inside_machine_box() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let set = plummer_model(2048, &mut rng);
+        // Fixed-point box is ±64; the cut guarantees ≲ 13 standard units.
+        assert!(set.max_coordinate() < 32.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_n_below_two() {
+        plummer_model(1, &mut StdRng::seed_from_u64(0));
+    }
+}

@@ -1,0 +1,239 @@
+//! Structure-of-arrays particle storage.
+//!
+//! The integrators in this workspace are *individual-timestep* codes: every
+//! particle carries its own current time `t[i]` and timestep `dt[i]`, and a
+//! "block" of particles sharing the same next time is advanced together
+//! (Aarseth 1963; the paper's §1 explains why this is the core of every
+//! collisional N-body code).  `ParticleSet` therefore stores, per particle:
+//! mass, position, velocity, acceleration, jerk, potential, `t`, `dt`, and
+//! the 2nd/3rd force derivatives the Hermite corrector produces (the 2nd
+//! derivative also feeds the hardware predictor, eq. 6 of the paper).
+
+use crate::vec3::Vec3;
+
+/// SoA storage for an N-body system with individual times.
+#[derive(Clone, Debug, Default)]
+pub struct ParticleSet {
+    /// Particle masses.
+    pub mass: Vec<f64>,
+    /// Positions.
+    pub pos: Vec<Vec3>,
+    /// Velocities.
+    pub vel: Vec<Vec3>,
+    /// Accelerations (eq. 1).
+    pub acc: Vec<Vec3>,
+    /// Jerks — first time derivatives of acceleration (eq. 2).
+    pub jerk: Vec<Vec3>,
+    /// Snaps — second derivatives, from the Hermite corrector; the hardware
+    /// predictor's `a⁽²⁾₀` term.
+    pub snap: Vec<Vec3>,
+    /// Crackles — third derivatives, used by the Aarseth timestep criterion.
+    pub crackle: Vec<Vec3>,
+    /// Potentials (eq. 3).
+    pub pot: Vec<f64>,
+    /// Per-particle current time.
+    pub t: Vec<f64>,
+    /// Per-particle (block-quantised) timestep.
+    pub dt: Vec<f64>,
+}
+
+impl ParticleSet {
+    /// An empty set with capacity for `n` particles.
+    pub fn with_capacity(n: usize) -> Self {
+        Self {
+            mass: Vec::with_capacity(n),
+            pos: Vec::with_capacity(n),
+            vel: Vec::with_capacity(n),
+            acc: Vec::with_capacity(n),
+            jerk: Vec::with_capacity(n),
+            snap: Vec::with_capacity(n),
+            crackle: Vec::with_capacity(n),
+            pot: Vec::with_capacity(n),
+            t: Vec::with_capacity(n),
+            dt: Vec::with_capacity(n),
+        }
+    }
+
+    /// Number of particles.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.mass.len()
+    }
+
+    /// Append a particle with the given mass, position and velocity; all
+    /// derivatives start at zero and must be initialised by the integrator.
+    pub fn push(&mut self, mass: f64, pos: Vec3, vel: Vec3) {
+        self.mass.push(mass);
+        self.pos.push(pos);
+        self.vel.push(vel);
+        self.acc.push(Vec3::ZERO);
+        self.jerk.push(Vec3::ZERO);
+        self.snap.push(Vec3::ZERO);
+        self.crackle.push(Vec3::ZERO);
+        self.pot.push(0.0);
+        self.t.push(0.0);
+        self.dt.push(0.0);
+    }
+
+    /// Total mass.
+    pub fn total_mass(&self) -> f64 {
+        self.mass.iter().sum()
+    }
+
+    /// Mass-weighted centre of mass position.
+    pub fn center_of_mass(&self) -> Vec3 {
+        let m = self.total_mass();
+        self.mass
+            .iter()
+            .zip(&self.pos)
+            .map(|(&mi, &p)| p * mi)
+            .sum::<Vec3>()
+            / m
+    }
+
+    /// Mass-weighted mean velocity.
+    pub fn mean_velocity(&self) -> Vec3 {
+        let m = self.total_mass();
+        self.mass
+            .iter()
+            .zip(&self.vel)
+            .map(|(&mi, &v)| v * mi)
+            .sum::<Vec3>()
+            / m
+    }
+
+    /// Shift to the centre-of-mass frame (zero mean position and velocity).
+    pub fn to_com_frame(&mut self) {
+        let com = self.center_of_mass();
+        let vm = self.mean_velocity();
+        for p in &mut self.pos {
+            *p -= com;
+        }
+        for v in &mut self.vel {
+            *v -= vm;
+        }
+    }
+
+    /// Scale all positions by `alpha` and velocities by `beta` (virial
+    /// rescaling of initial conditions).
+    pub fn scale(&mut self, alpha: f64, beta: f64) {
+        for p in &mut self.pos {
+            *p = *p * alpha;
+        }
+        for v in &mut self.vel {
+            *v = *v * beta;
+        }
+    }
+
+    /// Kinetic energy `½ Σ m v²`.
+    pub fn kinetic_energy(&self) -> f64 {
+        0.5 * self
+            .mass
+            .iter()
+            .zip(&self.vel)
+            .map(|(&m, v)| m * v.norm2())
+            .sum::<f64>()
+    }
+
+    /// Largest |component| over all positions — bounding-box check used
+    /// before loading coordinates into the fixed-point memory.
+    pub fn max_coordinate(&self) -> f64 {
+        self.pos
+            .iter()
+            .flat_map(|p| p.to_array())
+            .fold(0.0f64, |acc, c| acc.max(c.abs()))
+    }
+
+    /// Minimum per-particle time (the next block time is the min over
+    /// `t[i] + dt[i]`).
+    pub fn min_next_time(&self) -> f64 {
+        self.t
+            .iter()
+            .zip(&self.dt)
+            .map(|(&t, &dt)| t + dt)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Indices of the particles whose next time equals `t_next` — the block
+    /// to integrate, in the paper's blockstep sense.
+    pub fn block_at(&self, t_next: f64) -> Vec<usize> {
+        (0..self.n())
+            .filter(|&i| self.t[i] + self.dt[i] == t_next)
+            .collect()
+    }
+
+    /// Sanity check: every state component finite.
+    pub fn validate_finite(&self) -> bool {
+        self.pos.iter().all(|p| p.is_finite())
+            && self.vel.iter().all(|v| v.is_finite())
+            && self.acc.iter().all(|a| a.is_finite())
+            && self.jerk.iter().all(|j| j.is_finite())
+            && self.mass.iter().all(|m| m.is_finite())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_body() -> ParticleSet {
+        let mut s = ParticleSet::with_capacity(2);
+        s.push(3.0, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 1.0, 0.0));
+        s.push(1.0, Vec3::new(-3.0, 0.0, 0.0), Vec3::new(0.0, -3.0, 0.0));
+        s
+    }
+
+    #[test]
+    fn com_and_mean_velocity() {
+        let s = two_body();
+        assert_eq!(s.total_mass(), 4.0);
+        assert_eq!(s.center_of_mass(), Vec3::new(0.0, 0.0, 0.0));
+        assert_eq!(s.mean_velocity(), Vec3::new(0.0, 0.0, 0.0));
+    }
+
+    #[test]
+    fn to_com_frame_zeroes_first_moments() {
+        let mut s = two_body();
+        s.pos[0] += Vec3::new(5.0, 5.0, 5.0);
+        s.vel[1] += Vec3::new(0.0, 0.0, 2.0);
+        s.to_com_frame();
+        assert!(s.center_of_mass().norm() < 1e-14);
+        assert!(s.mean_velocity().norm() < 1e-14);
+    }
+
+    #[test]
+    fn kinetic_energy_formula() {
+        let s = two_body();
+        // ½(3·1 + 1·9) = 6
+        assert_eq!(s.kinetic_energy(), 6.0);
+    }
+
+    #[test]
+    fn block_selection() {
+        let mut s = two_body();
+        s.t = vec![0.0, 0.0];
+        s.dt = vec![0.25, 0.5];
+        assert_eq!(s.min_next_time(), 0.25);
+        assert_eq!(s.block_at(0.25), vec![0]);
+        s.t[0] = 0.25;
+        assert_eq!(s.min_next_time(), 0.5);
+        assert_eq!(s.block_at(0.5), vec![0, 1]);
+    }
+
+    #[test]
+    fn scaling_and_bounds() {
+        let mut s = two_body();
+        s.scale(2.0, 0.5);
+        assert_eq!(s.pos[1], Vec3::new(-6.0, 0.0, 0.0));
+        assert_eq!(s.vel[1], Vec3::new(0.0, -1.5, 0.0));
+        assert_eq!(s.max_coordinate(), 6.0);
+    }
+
+    #[test]
+    fn validate_finite_detects_nan() {
+        let mut s = two_body();
+        assert!(s.validate_finite());
+        s.vel[0].y = f64::NAN;
+        assert!(!s.validate_finite());
+    }
+}

@@ -1,0 +1,103 @@
+//! The softening-parameter choices benchmarked in the paper.
+//!
+//! §4 of the paper measures three choices of the Plummer softening ε in
+//! eqs. (1)–(3):
+//!
+//! 1. a constant, `ε = 1/64`;
+//! 2. an inter-particle-distance scaling, `ε = 1/[8(2N)^(1/3)]`;
+//! 3. a close-encounter scaling, `ε = 4/N`.
+//!
+//! "Note that for N = 256, all three choices of the softening give the same
+//! value" — reproduced as a unit test below.  Smaller softenings produce
+//! shorter minimum timesteps and *smaller blocks*, which is why the
+//! multi-node crossover of fig. 15 moves from N ≈ 3×10³ (constant ε) to
+//! N ≈ 3×10⁴ (`ε = 4/N`): synchronisation overhead is paid per block.
+
+use serde::{Deserialize, Serialize};
+
+/// A softening-length policy, resolved against the particle number.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Softening {
+    /// `ε = 1/64` (the paper's constant choice).
+    Constant,
+    /// `ε = 1/[8(2N)^(1/3)]` — scales with the mean inter-particle distance.
+    InterParticle,
+    /// `ε = 4/N` — resolves close encounters; the hardest case for blocks.
+    CloseEncounter,
+    /// An explicit value, for tests and custom workloads.
+    Fixed(f64),
+}
+
+impl Softening {
+    /// The softening length for an `n`-particle system.
+    pub fn epsilon(self, n: usize) -> f64 {
+        match self {
+            Self::Constant => 1.0 / 64.0,
+            Self::InterParticle => 1.0 / (8.0 * (2.0 * n as f64).cbrt()),
+            Self::CloseEncounter => 4.0 / n as f64,
+            Self::Fixed(e) => e,
+        }
+    }
+
+    /// `ε²`, the quantity the pipeline actually consumes.
+    pub fn epsilon2(self, n: usize) -> f64 {
+        let e = self.epsilon(n);
+        e * e
+    }
+
+    /// The three policies measured in the paper, in figure order.
+    pub const PAPER_CHOICES: [Softening; 3] = [
+        Softening::Constant,
+        Softening::InterParticle,
+        Softening::CloseEncounter,
+    ];
+
+    /// Short label used by the benchmark tables.
+    pub fn label(self) -> String {
+        match self {
+            Self::Constant => "eps=1/64".into(),
+            Self::InterParticle => "eps=1/[8(2N)^1/3]".into(),
+            Self::CloseEncounter => "eps=4/N".into(),
+            Self::Fixed(e) => format!("eps={e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_three_agree_at_n_256() {
+        // The paper: "for N = 256, all three choices of the softening give
+        // the same value."
+        let e1 = Softening::Constant.epsilon(256);
+        let e2 = Softening::InterParticle.epsilon(256);
+        let e3 = Softening::CloseEncounter.epsilon(256);
+        assert!((e1 - 1.0 / 64.0).abs() < 1e-15);
+        assert!((e2 - e1).abs() < 1e-15, "e2 = {e2}");
+        assert!((e3 - e1).abs() < 1e-15, "e3 = {e3}");
+    }
+
+    #[test]
+    fn scalings_with_n() {
+        // Constant stays put; InterParticle ∝ N^(-1/3); CloseEncounter ∝ 1/N.
+        assert_eq!(
+            Softening::Constant.epsilon(1 << 20),
+            Softening::Constant.epsilon(256)
+        );
+        let r = Softening::InterParticle.epsilon(1000) / Softening::InterParticle.epsilon(8000);
+        assert!((r - 2.0).abs() < 1e-12);
+        let r = Softening::CloseEncounter.epsilon(1000) / Softening::CloseEncounter.epsilon(2000);
+        assert!((r - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon2_is_square() {
+        let n = 4096;
+        for s in Softening::PAPER_CHOICES {
+            assert_eq!(s.epsilon2(n), s.epsilon(n) * s.epsilon(n));
+        }
+        assert_eq!(Softening::Fixed(0.5).epsilon2(1), 0.25);
+    }
+}

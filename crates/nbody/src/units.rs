@@ -1,0 +1,80 @@
+//! Heggie (standard) N-body units and characteristic timescales.
+//!
+//! The paper's benchmarks "integrated the Plummer model with equal-mass
+//! particles for 1 time unit (we use the 'Heggie' unit)".  The Heggie–Mathieu
+//! standard units (Heggie & Mathieu 1986) fix
+//!
+//! * gravitational constant `G = 1`,
+//! * total mass `M = 1`,
+//! * total energy `E = −1/4`,
+//!
+//! which implies a virial radius `R_v = 1` and a crossing time
+//! `t_cr = 2√2 ≈ 2.83`.  All workloads in this workspace are generated in
+//! these units, so "integrate for 1 time unit" means the same thing it does
+//! in the paper.
+
+/// Gravitational constant in standard units.
+pub const G: f64 = 1.0;
+
+/// Total system mass in standard units.
+pub const TOTAL_MASS: f64 = 1.0;
+
+/// Total energy of a standard-units equilibrium model.
+pub const STANDARD_ENERGY: f64 = -0.25;
+
+/// Virial radius in standard units (`R_v = −G M² / (2 E)`).
+pub const VIRIAL_RADIUS: f64 = 1.0;
+
+/// Crossing time in standard units: `t_cr = G M^(5/2) / (−2E)^(3/2) = 2√2`.
+pub const CROSSING_TIME: f64 = 2.828_427_124_746_190_3;
+
+/// Half-mass relaxation time in crossing times (Spitzer 1987 coefficient),
+/// `t_rh / t_cr ≈ N / (8 ln Λ)` with `Λ ≈ 0.11 N`.
+///
+/// The paper's cost argument — total work `O(N³)` because the relaxation
+/// timescale grows like `N / log N` — is this formula; exposed so tests and
+/// docs can state the scaling explicitly.
+pub fn relaxation_time(n: usize) -> f64 {
+    let n = n as f64;
+    let coulomb_log = (0.11 * n).ln().max(1.0);
+    CROSSING_TIME * n / (8.0 * coulomb_log)
+}
+
+/// Plummer-model scale length in standard units.
+///
+/// A Plummer sphere with structural length `a = 1` and `G = M = 1` has
+/// energy `E = −3π/64`; rescaling to `E = −1/4` multiplies lengths by
+/// `3π/16`.  (Aarseth, Hénon & Wielen 1974.)
+pub const PLUMMER_SCALE: f64 = 3.0 * std::f64::consts::PI / 16.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crossing_time_is_2_sqrt2() {
+        assert!((CROSSING_TIME - 2.0 * 2f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn relaxation_grows_superlinearly_over_log() {
+        // t_rh(2N)/t_rh(N) → slightly less than 2 (the log grows too).
+        let r = relaxation_time(2_000) / relaxation_time(1_000);
+        assert!(r > 1.7 && r < 2.0, "ratio = {r}");
+        // And it is monotonic in N.
+        let mut prev = 0.0;
+        for n in [256usize, 1024, 4096, 16384, 65536] {
+            let t = relaxation_time(n);
+            assert!(t > prev);
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn plummer_scale_matches_energy_argument() {
+        // E_plummer(a=1) = -3π/64; scaling lengths by λ scales E by 1/λ.
+        let e_model = -3.0 * std::f64::consts::PI / 64.0;
+        let lambda = PLUMMER_SCALE;
+        assert!((e_model / lambda - STANDARD_ENERGY).abs() < 1e-15);
+    }
+}

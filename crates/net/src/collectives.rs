@@ -1,0 +1,288 @@
+//! Collective operations over the fabric.
+//!
+//! The paper's parallel codes need exactly four collectives, and §4.4
+//! documents the implementation choice this module mirrors: "synchronization
+//! is done through butterfly message exchange using TCP/IP, which is about
+//! two times faster than the use of MPI_barrier provided by MPICH/p4" — so
+//! the barrier here is the dissemination (generalised butterfly) pattern in
+//! ⌈log₂p⌉ rounds, not a central coordinator.
+//!
+//! All collectives are built from [`Endpoint::send`]/[`Endpoint::recv`], so
+//! their virtual-time cost emerges from the message flow rather than a
+//! formula — the analytic model in `grape6-model` is validated against
+//! these.
+
+use crate::fabric::Endpoint;
+
+/// Dissemination barrier (the paper's butterfly): ⌈log₂ p⌉ rounds; in round
+/// `k` rank `r` signals `(r + 2^k) mod p` and waits for `(r − 2^k) mod p`.
+///
+/// `T` must provide a sentinel payload via `Default`.
+pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) {
+    let p = ep.n_ranks();
+    if p == 1 {
+        return;
+    }
+    let me = ep.rank();
+    let mut step = 1usize;
+    while step < p {
+        let to = (me + step) % p;
+        let from = (me + p - step) % p;
+        ep.send(to, T::default(), 8);
+        ep.recv(from);
+        step <<= 1;
+    }
+}
+
+/// Central-coordinator barrier: every rank reports to rank 0, rank 0
+/// releases everyone.  2(p−1) serialised messages at the coordinator —
+/// the shape of a naive implementation (and of MPICH/p4's barrier, which
+/// the paper found "about two times" slower than its hand-rolled
+/// butterfly).  Kept for the synchronisation ablation study.
+pub fn central_barrier<T: Send + Default>(ep: &mut Endpoint<T>) {
+    let p = ep.n_ranks();
+    if p == 1 {
+        return;
+    }
+    if ep.rank() == 0 {
+        for from in 1..p {
+            ep.recv(from);
+        }
+        for to in 1..p {
+            ep.send(to, T::default(), 8);
+        }
+    } else {
+        ep.send(0, T::default(), 8);
+        ep.recv(0);
+    }
+}
+
+/// Binomial-tree broadcast from `root`.  Ranks other than the root pass
+/// `None`; every rank returns the payload.  `bytes` is the wire size.
+pub fn broadcast<T: Send + Clone>(
+    ep: &mut Endpoint<T>,
+    root: usize,
+    mine: Option<T>,
+    bytes: usize,
+) -> T {
+    let p = ep.n_ranks();
+    let me = ep.rank();
+    // Re-index so the root is rank 0 in tree coordinates.
+    let vrank = (me + p - root) % p;
+    let mut value = if vrank == 0 {
+        Some(mine.expect("root must supply the broadcast payload"))
+    } else {
+        None
+    };
+    // Standard ascending binomial: after round k the holders are the ranks
+    // with vrank < 2^(k+1); in round k each holder vrank < 2^k sends to
+    // vrank + 2^k.
+    let mut bit = 1usize;
+    while bit < p {
+        if vrank < bit {
+            let dst = vrank + bit;
+            if dst < p {
+                let real = (dst + root) % p;
+                ep.send(real, value.clone().expect("holder has value"), bytes);
+            }
+        } else if vrank < 2 * bit {
+            let src = vrank - bit;
+            let real = (src + root) % p;
+            value = Some(ep.recv(real));
+        }
+        bit <<= 1;
+    }
+    value.expect("broadcast did not reach this rank")
+}
+
+/// Ring all-gather: every rank contributes `mine`; returns the
+/// contributions of all ranks, indexed by rank.  `bytes` is the wire size
+/// of one contribution.
+pub fn allgather<T: Send + Clone>(ep: &mut Endpoint<T>, mine: T, bytes: usize) -> Vec<T> {
+    let p = ep.n_ranks();
+    let me = ep.rank();
+    let mut out: Vec<Option<T>> = vec![None; p];
+    out[me] = Some(mine);
+    if p == 1 {
+        return out.into_iter().map(Option::unwrap).collect();
+    }
+    let right = (me + 1) % p;
+    let left = (me + p - 1) % p;
+    // p−1 shifts: forward the piece received last round.
+    let mut piece = out[me].clone().unwrap();
+    let mut piece_src = me;
+    for _ in 0..p - 1 {
+        ep.send(right, piece, bytes);
+        let incoming = ep.recv(left);
+        piece_src = (piece_src + p - 1) % p;
+        out[piece_src] = Some(incoming.clone());
+        piece = incoming;
+    }
+    out.into_iter()
+        .map(|o| o.expect("allgather hole"))
+        .collect()
+}
+
+/// All-reduce by all-gather + local fold (payloads are small in this
+/// workload — block times, counters).
+pub fn allreduce<T, F>(ep: &mut Endpoint<T>, mine: T, bytes: usize, fold: F) -> T
+where
+    T: Send + Clone,
+    F: Fn(T, T) -> T,
+{
+    let all = allgather(ep, mine, bytes);
+    let mut it = all.into_iter();
+    let first = it.next().expect("p ≥ 1");
+    it.fold(first, fold)
+}
+
+/// Global minimum of an `f64` across ranks (used for the next block time).
+pub fn allreduce_min_f64(ep: &mut Endpoint<f64>, mine: f64) -> f64 {
+    allreduce(ep, mine, 8, f64::min)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::run_ranks;
+    use crate::link::LinkProfile;
+
+    #[test]
+    fn barrier_synchronises_clocks() {
+        let link = LinkProfile {
+            latency: 50.0e-6,
+            bandwidth: 1.0e8,
+            overhead: 10.0e-6,
+        };
+        for p in [2usize, 3, 4, 7, 8, 16] {
+            let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
+                // Rank r pretends to compute r milliseconds.
+                ep.advance(ep.rank() as f64 * 1e-3);
+                barrier(&mut ep);
+                ep.clock()
+            });
+            let slowest = (p - 1) as f64 * 1e-3;
+            for (r, &c) in clocks.iter().enumerate() {
+                assert!(
+                    c >= slowest,
+                    "p={p} rank {r}: clock {c} below the slowest rank"
+                );
+                // Barrier cost is logarithmic, not linear.
+                let budget = slowest + 10.0 * (p as f64).log2().ceil() * (link.latency + link.overhead);
+                assert!(c <= budget, "p={p} rank {r}: clock {c} over budget {budget}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_cost_scales_logarithmically() {
+        let link = LinkProfile {
+            latency: 100.0e-6,
+            bandwidth: f64::INFINITY,
+            overhead: 0.0,
+        };
+        let cost = |p: usize| -> f64 {
+            let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
+                barrier(&mut ep);
+                ep.clock()
+            });
+            clocks.iter().cloned().fold(0.0, f64::max)
+        };
+        let c2 = cost(2);
+        let c16 = cost(16);
+        assert!(c2 > 0.0);
+        // 16 ranks: 4 rounds vs 1 round — ratio ≈ 4, certainly < 8.
+        assert!(c16 / c2 > 2.0 && c16 / c2 < 8.0, "ratio {}", c16 / c2);
+    }
+
+    #[test]
+    fn central_barrier_synchronises_but_costs_linear() {
+        // A realistic link: the per-message CPU overhead is what makes the
+        // coordinator serialise (with a zero-overhead link a 2-hop central
+        // barrier would actually win — the dissemination pattern exists
+        // precisely because messages cost CPU).
+        let link = LinkProfile {
+            latency: 100.0e-6,
+            bandwidth: 60.0e6,
+            overhead: 20.0e-6,
+        };
+        let cost = |p: usize, butterfly_not_central: bool| -> f64 {
+            let clocks = run_ranks::<u8, f64, _>(p, link, move |mut ep| {
+                if butterfly_not_central {
+                    barrier(&mut ep);
+                } else {
+                    central_barrier(&mut ep);
+                }
+                ep.clock()
+            });
+            clocks.iter().cloned().fold(0.0, f64::max)
+        };
+        // At p = 16 the dissemination barrier (4 rounds) must clearly beat
+        // the central one (serialised at the coordinator).
+        let c_butterfly = cost(16, true);
+        let c_central = cost(16, false);
+        assert!(
+            c_central > 1.4 * c_butterfly,
+            "central {c_central} vs butterfly {c_butterfly}"
+        );
+    }
+
+    #[test]
+    fn broadcast_from_every_root() {
+        for p in [1usize, 2, 3, 5, 8] {
+            for root in 0..p {
+                let vals = run_ranks::<u64, u64, _>(p, LinkProfile::ideal(), move |mut ep| {
+                    let is_root = ep.rank() == root;
+                    broadcast(&mut ep, root, is_root.then_some(777), 8)
+                });
+                assert_eq!(vals, vec![777; p], "p={p} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn allgather_returns_rank_indexed() {
+        for p in [1usize, 2, 4, 6] {
+            let vals = run_ranks::<usize, Vec<usize>, _>(p, LinkProfile::ideal(), |mut ep| {
+                let mine = ep.rank() * 10;
+                allgather(&mut ep, mine, 8)
+            });
+            for v in vals {
+                assert_eq!(v, (0..p).map(|r| r * 10).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_min() {
+        let p = 5;
+        let vals = run_ranks::<f64, f64, _>(p, LinkProfile::ideal(), |mut ep| {
+            let mine = match ep.rank() {
+                2 => 0.125,
+                r => 1.0 + r as f64,
+            };
+            allreduce_min_f64(&mut ep, mine)
+        });
+        assert_eq!(vals, vec![0.125; p]);
+    }
+
+    #[test]
+    fn allgather_charges_bandwidth() {
+        // With a slow link, the ring must cost ≥ (p−1)·bytes/bw.
+        let link = LinkProfile {
+            latency: 0.0,
+            bandwidth: 1.0e6,
+            overhead: 0.0,
+        };
+        let p = 4;
+        let bytes = 100_000; // 0.1 s per hop
+        let clocks = run_ranks::<u8, f64, _>(p, link, move |mut ep| {
+            allgather(&mut ep, 0, bytes);
+            ep.clock()
+        });
+        for &c in &clocks {
+            assert!(c >= 0.3 - 1e-9, "clock {c} below ring lower bound");
+            assert!(c < 0.5, "clock {c} above plausible ring cost");
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # grape6-net — the simulated cluster interconnect
+//!
+//! The GRAPE-6 hosts are "Linux-running PCs … connected with Gigabit
+//! Ethernets" (§2.2), and §4.4 shows the machine's parallel performance is
+//! dominated by exactly this layer: round-trip latency and sustained
+//! bandwidth of the NIC/driver pair, and the butterfly barrier built on
+//! TCP sockets.
+//!
+//! This crate is that layer, as a deterministic discrete-event substrate:
+//!
+//! * [`link::LinkProfile`] — latency / bandwidth / per-message overhead of
+//!   one point-to-point connection (constructors for the paper's three
+//!   NICs);
+//! * [`fabric`] — a fully-connected fabric of `p` ranks.  Each rank runs on
+//!   its own OS thread and owns an [`fabric::Endpoint`]; messages travel
+//!   over crossbeam channels carrying a *send timestamp* and a modelled
+//!   *wire size*, and each receive advances the receiver's **virtual
+//!   clock** to `max(own clock, send time + transfer time)` — conservative
+//!   discrete-event simulation at rank granularity, with real payloads and
+//!   real concurrency but simulated time;
+//! * [`collectives`] — the operations the parallel N-body codes need:
+//!   dissemination barrier (the paper's "butterfly message exchange"),
+//!   binomial broadcast, ring all-gather and all-reduce.
+//!
+//! Nothing here knows about particles; `grape6-parallel` composes this
+//! fabric with the machine simulator to run the paper's parallel
+//! algorithms end to end.
+
+pub mod collectives;
+pub mod fabric;
+pub mod link;
+
+pub use fabric::{run_ranks, Endpoint};
+pub use link::LinkProfile;

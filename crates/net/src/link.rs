@@ -1,0 +1,96 @@
+//! Point-to-point link timing.
+
+use serde::{Deserialize, Serialize};
+
+/// Timing of one point-to-point connection between two hosts.
+///
+/// `transfer(bytes) = latency + overhead + bytes / bandwidth` — the
+/// standard postal model.  The three constructors carry the paper's §4.4
+/// NIC measurements (latency is taken as half the measured round trip).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct LinkProfile {
+    /// One-way wire+stack latency, seconds.
+    pub latency: f64,
+    /// Sustained bandwidth, bytes/s.
+    pub bandwidth: f64,
+    /// Fixed software cost per message (syscall, driver), seconds.
+    pub overhead: f64,
+}
+
+impl LinkProfile {
+    /// NS 83820: 200 µs RTT, 60 MB/s.
+    pub fn ns83820() -> Self {
+        Self {
+            latency: 100.0e-6,
+            bandwidth: 60.0e6,
+            overhead: 20.0e-6,
+        }
+    }
+
+    /// Netgear GA621T (Tigon 2): similar latency, 85 MB/s.
+    pub fn tigon2() -> Self {
+        Self {
+            latency: 95.0e-6,
+            bandwidth: 85.0e6,
+            overhead: 20.0e-6,
+        }
+    }
+
+    /// Intel 82540EM: 67 µs RTT, 105 MB/s.
+    pub fn intel_82540em() -> Self {
+        Self {
+            latency: 33.5e-6,
+            bandwidth: 105.0e6,
+            overhead: 20.0e-6,
+        }
+    }
+
+    /// An idealised zero-cost link (unit tests of algorithm logic).
+    pub fn ideal() -> Self {
+        Self {
+            latency: 0.0,
+            bandwidth: f64::INFINITY,
+            overhead: 0.0,
+        }
+    }
+
+    /// Virtual seconds to deliver a `bytes`-byte message.
+    pub fn transfer(&self, bytes: usize) -> f64 {
+        self.latency + self.overhead + bytes as f64 / self.bandwidth
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_postal_model() {
+        let l = LinkProfile {
+            latency: 1e-4,
+            bandwidth: 1e8,
+            overhead: 1e-5,
+        };
+        assert!((l.transfer(0) - 1.1e-4).abs() < 1e-15);
+        assert!((l.transfer(1_000_000) - (1.1e-4 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn paper_nics_ordering() {
+        // Intel beats Tigon2 beats NS83820 in latency; bandwidth ordering
+        // Intel > Tigon2 > NS.
+        let ns = LinkProfile::ns83820();
+        let tg = LinkProfile::tigon2();
+        let it = LinkProfile::intel_82540em();
+        assert!(it.latency < tg.latency && tg.latency < ns.latency);
+        assert!(it.bandwidth > tg.bandwidth && tg.bandwidth > ns.bandwidth);
+        // Small messages: dominated by latency, Intel ~2.6× faster.
+        let r = ns.transfer(64) / it.transfer(64);
+        assert!(r > 2.0 && r < 3.0, "ratio {r}");
+    }
+
+    #[test]
+    fn ideal_link_is_free() {
+        assert_eq!(LinkProfile::ideal().transfer(1 << 30), 0.0);
+    }
+}

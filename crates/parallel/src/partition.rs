@@ -1,0 +1,72 @@
+//! Index partitioning shared by the parallel algorithms.
+
+use std::ops::Range;
+
+/// Split `0..n` into `p` contiguous chunks whose sizes differ by at most 1
+/// (the first `n % p` chunks get the extra element).
+pub fn chunk_ranges(n: usize, p: usize) -> Vec<Range<usize>> {
+    assert!(p >= 1);
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut start = 0;
+    for r in 0..p {
+        let len = base + usize::from(r < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
+/// Which chunk of [`chunk_ranges`] owns index `i`.
+pub fn owner_of(n: usize, p: usize, i: usize) -> usize {
+    debug_assert!(i < n);
+    let base = n / p;
+    let extra = n % p;
+    let fat = (base + 1) * extra; // indices covered by the fat chunks
+    if i < fat {
+        i / (base + 1)
+    } else {
+        extra + (i - fat) / base.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_cover_exactly() {
+        for n in [0usize, 1, 7, 16, 100, 101, 103] {
+            for p in [1usize, 2, 3, 4, 7, 16] {
+                let rs = chunk_ranges(n, p);
+                assert_eq!(rs.len(), p);
+                let mut next = 0;
+                for r in &rs {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+                // Balanced to within one element.
+                let lens: Vec<usize> = rs.iter().map(|r| r.len()).collect();
+                let min = lens.iter().min().unwrap();
+                let max = lens.iter().max().unwrap();
+                assert!(max - min <= 1, "n={n} p={p}: {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn owner_matches_ranges() {
+        for n in [1usize, 5, 17, 64, 101] {
+            for p in [1usize, 2, 3, 5, 8] {
+                let rs = chunk_ranges(n, p);
+                for i in 0..n {
+                    let o = owner_of(n, p, i);
+                    assert!(rs[o].contains(&i), "n={n} p={p} i={i} owner={o}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! The broadcast / divide / reduce combinator.
+//!
+//! A processor module is four chips plus a summation FPGA; a board is eight
+//! modules plus broadcast and reduction networks; a host port is four boards
+//! behind a network board.  Structurally identical (paper §2: "The structure
+//! of a processor module is the same as that of the processor board"), so
+//! [`Ensemble`] implements the pattern once:
+//!
+//! * **j-distribution** — global address `a` maps to child `a % k`, local
+//!   address `a / k` (round-robin keeps the children's memory streams
+//!   balanced, so the critical-path pass time is minimal);
+//! * **broadcast** — every child receives the same i-block and system time;
+//! * **reduce** — partial forces are merged with the exact block
+//!   floating-point adders; a fixed [`Ensemble::reduction_latency`] is added
+//!   to the critical path per level, modelling the FPGA adder tree and the
+//!   LVDS hop.
+//!
+//! Children execute concurrently (rayon) exactly as the hardware does; the
+//! block-FP merge makes the result independent of execution order.
+
+use grape6_arith::blockfp::BlockFpError;
+use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
+use nbody_core::force::JParticle;
+use rayon::prelude::*;
+
+use crate::unit::GrapeUnit;
+
+/// Result of a neighbour-aware pass: partial forces plus per-i neighbour
+/// address lists.
+type NbResult = Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError>;
+
+/// Default reduction-tree latency charged per hierarchy level, in chip
+/// clock cycles (FPGA adder pass + serial-link hop).
+pub const DEFAULT_REDUCTION_LATENCY: u64 = 32;
+
+/// A homogeneous group of child units acting as one larger unit.
+#[derive(Clone, Debug)]
+pub struct Ensemble<U> {
+    children: Vec<U>,
+    used: usize,
+    last_pass: u64,
+    total: u64,
+    /// Cycles added to the critical path for this level's reduction.
+    pub reduction_latency: u64,
+}
+
+impl<U: GrapeUnit> Ensemble<U> {
+    /// Group `children` into one unit.
+    pub fn new(children: Vec<U>) -> Self {
+        assert!(!children.is_empty(), "an ensemble needs at least one child");
+        Self {
+            children,
+            used: 0,
+            last_pass: 0,
+            total: 0,
+            reduction_latency: DEFAULT_REDUCTION_LATENCY,
+        }
+    }
+
+    /// Number of direct children.
+    pub fn len(&self) -> usize {
+        self.children.len()
+    }
+
+    /// Always false (construction requires ≥ 1 child).
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+
+    /// Immutable access to the children (tests, inspection).
+    pub fn children(&self) -> &[U] {
+        &self.children
+    }
+}
+
+impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
+    fn capacity(&self) -> usize {
+        self.children.iter().map(|c| c.capacity()).sum()
+    }
+
+    fn n_j(&self) -> usize {
+        self.used
+    }
+
+    fn set_time(&mut self, t: f64) {
+        for c in &mut self.children {
+            c.set_time(t);
+        }
+    }
+
+    fn load_j(&mut self, addr: usize, p: &JParticle) {
+        let k = self.children.len();
+        self.children[addr % k].load_j(addr / k, p);
+        self.used = self.used.max(addr + 1);
+    }
+
+    fn compute_block(
+        &mut self,
+        i: &[HwIParticle],
+        exps: &[ExpSet],
+    ) -> Result<Vec<PartialForce>, BlockFpError> {
+        // All children run concurrently on the same broadcast i-block.
+        let partials: Vec<Result<Vec<PartialForce>, BlockFpError>> = self
+            .children
+            .par_iter_mut()
+            .map(|c| c.compute_block(i, exps))
+            .collect();
+        // Critical path = slowest child + this level's reduction.
+        let slowest = self
+            .children
+            .iter()
+            .map(|c| c.last_pass_cycles())
+            .max()
+            .unwrap_or(0);
+        self.last_pass = slowest + self.reduction_latency;
+        self.total += self.last_pass;
+        // Exact reduction.
+        let mut iter = partials.into_iter();
+        let mut acc = iter.next().expect("≥1 child")?;
+        for res in iter {
+            let forces = res?;
+            for (a, f) in acc.iter_mut().zip(&forces) {
+                a.merge(f)?;
+            }
+        }
+        Ok(acc)
+    }
+
+    fn compute_block_nb(
+        &mut self,
+        i: &[HwIParticle],
+        exps: &[ExpSet],
+        h2: &[f64],
+    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
+        let k = self.children.len() as u32;
+        let results: Vec<NbResult> = self
+            .children
+            .par_iter_mut()
+            .map(|c| c.compute_block_nb(i, exps, h2))
+            .collect();
+        let slowest = self
+            .children
+            .iter()
+            .map(|c| c.last_pass_cycles())
+            .max()
+            .unwrap_or(0);
+        self.last_pass = slowest + self.reduction_latency;
+        self.total += self.last_pass;
+        let mut acc: Option<Vec<PartialForce>> = None;
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); i.len()];
+        for (child_idx, res) in results.into_iter().enumerate() {
+            let (forces, child_lists) = res?;
+            match &mut acc {
+                None => acc = Some(forces),
+                Some(a) => {
+                    for (x, y) in a.iter_mut().zip(&forces) {
+                        x.merge(y)?;
+                    }
+                }
+            }
+            // Translate the child's local addresses to this level's space
+            // (inverse of the round-robin distribution in `load_j`).
+            for (slot, child_nb) in lists.iter_mut().zip(&child_lists) {
+                for &local in child_nb {
+                    slot.push(local * k + child_idx as u32);
+                }
+            }
+        }
+        for slot in &mut lists {
+            slot.sort_unstable();
+        }
+        Ok((acc.expect("≥1 child"), lists))
+    }
+
+    fn last_pass_cycles(&self) -> u64 {
+        self.last_pass
+    }
+
+    fn total_cycles(&self) -> u64 {
+        self.total
+    }
+
+    fn total_interactions(&self) -> u64 {
+        self.children.iter().map(|c| c.total_interactions()).sum()
+    }
+
+    fn clear(&mut self) {
+        for c in &mut self.children {
+            c.clear();
+        }
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::ChipUnit;
+    use grape6_chip::chip::{Chip, ChipConfig};
+    use nbody_core::Vec3;
+
+    fn chips(n: usize) -> Vec<ChipUnit> {
+        (0..n)
+            .map(|_| ChipUnit::new(Chip::new(ChipConfig::default())))
+            .collect()
+    }
+
+    fn particle(k: usize) -> JParticle {
+        let a = k as f64 * 0.37;
+        JParticle {
+            mass: 0.01 + 0.001 * (k % 7) as f64,
+            pos: Vec3::new(a.cos(), a.sin(), 0.05 * (k % 11) as f64 - 0.25),
+            vel: Vec3::new(-a.sin() * 0.1, a.cos() * 0.1, 0.0),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn round_robin_distribution_balances() {
+        let mut e = Ensemble::new(chips(4));
+        for k in 0..17 {
+            e.load_j(k, &particle(k));
+        }
+        assert_eq!(e.n_j(), 17);
+        // 17 over 4 children: 5,4,4,4.
+        let counts: Vec<usize> = e.children().iter().map(|c| c.n_j()).collect();
+        assert_eq!(counts, vec![5, 4, 4, 4]);
+    }
+
+    #[test]
+    fn ensemble_matches_single_chip_bitwise() {
+        // The same 60 particles through one chip vs a 4-chip ensemble:
+        // mantissas identical (§3.4 partition independence, machine level).
+        let n = 60;
+        let mut single = ChipUnit::new(Chip::new(ChipConfig::default()));
+        let mut group = Ensemble::new(chips(4));
+        for k in 0..n {
+            single.load_j(k, &particle(k));
+            group.load_j(k, &particle(k));
+        }
+        single.set_time(0.0);
+        group.set_time(0.0);
+        let i: Vec<HwIParticle> = (0..48)
+            .map(|k| {
+                let p = particle(k + 100);
+                HwIParticle::from_host(p.pos, p.vel, 1e-4)
+            })
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(5.0, 5.0, 5.0); 48];
+        let a = single.compute_block(&i, &exps).unwrap();
+        let b = group.compute_block(&i, &exps).unwrap();
+        for k in 0..48 {
+            for c in 0..3 {
+                assert_eq!(a[k].acc[c].mant(), b[k].acc[c].mant(), "i={k} c={c}");
+                assert_eq!(a[k].jerk[c].mant(), b[k].jerk[c].mant());
+            }
+            assert_eq!(a[k].pot.mant(), b[k].pot.mant());
+        }
+    }
+
+    #[test]
+    fn critical_path_beats_serial_sum() {
+        // 4 chips with 100 j each: pass = 30 + 8·100 + reduction, not 4×.
+        let mut e = Ensemble::new(chips(4));
+        for k in 0..400 {
+            e.load_j(k, &particle(k));
+        }
+        let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2)];
+        let exps = [ExpSet::from_magnitudes(50.0, 50.0, 50.0)];
+        e.compute_block(&i, &exps).unwrap();
+        assert_eq!(
+            e.last_pass_cycles(),
+            30 + 8 * 100 + DEFAULT_REDUCTION_LATENCY
+        );
+        assert_eq!(e.total_interactions(), 400);
+    }
+
+    #[test]
+    fn nested_ensembles_compose() {
+        // A "module" of 2 chips inside a "board" of 2 modules = 4 chips.
+        let modules: Vec<Ensemble<ChipUnit>> =
+            (0..2).map(|_| Ensemble::new(chips(2))).collect();
+        let mut board = Ensemble::new(modules);
+        for k in 0..100 {
+            board.load_j(k, &particle(k));
+        }
+        board.set_time(0.0);
+        assert_eq!(board.n_j(), 100);
+        assert_eq!(board.capacity(), 4 * 16_384);
+        let i = [HwIParticle::from_host(Vec3::new(0.5, 0.5, 0.5), Vec3::ZERO, 1e-2)];
+        let exps = [ExpSet::from_magnitudes(20.0, 20.0, 20.0)];
+        let f = board.compute_block(&i, &exps).unwrap();
+        // Compare against one flat chip.
+        let mut flat = ChipUnit::new(Chip::new(ChipConfig::default()));
+        for k in 0..100 {
+            flat.load_j(k, &particle(k));
+        }
+        flat.set_time(0.0);
+        let g = flat.compute_block(&i, &exps).unwrap();
+        assert_eq!(f[0].acc[0].mant(), g[0].acc[0].mant());
+        assert_eq!(f[0].pot.mant(), g[0].pot.mant());
+        // Two reduction levels on the critical path: 25 j on the fullest
+        // chip ⇒ 30 + 200 + 2·latency.
+        assert_eq!(
+            board.last_pass_cycles(),
+            30 + 8 * 25 + 2 * DEFAULT_REDUCTION_LATENCY
+        );
+    }
+
+    #[test]
+    fn neighbour_addresses_translate_through_hierarchy() {
+        // Load 40 particles into a 3-chip ensemble; the neighbour lists
+        // must come back in GLOBAL addresses, matching brute force.
+        let n = 40;
+        let mut e = Ensemble::new(chips(3));
+        for k in 0..n {
+            e.load_j(k, &particle(k));
+        }
+        e.set_time(0.0);
+        let probe_src = particle(5);
+        let i = [HwIParticle::from_host(probe_src.pos, probe_src.vel, 1e-4)];
+        let exps = [ExpSet::from_magnitudes(10.0, 10.0, 10.0)];
+        let h2 = 0.36; // h = 0.6
+        let (_, lists) = e.compute_block_nb(&i, &exps, &[h2]).unwrap();
+        let want: Vec<u32> = (0..n)
+            .filter(|&j| {
+                let d2 = (particle(j).pos - probe_src.pos).norm2();
+                d2 > 0.0 && d2 < h2
+            })
+            .map(|j| j as u32)
+            .collect();
+        assert_eq!(lists[0], want);
+    }
+
+    #[test]
+    fn clear_resets_occupancy_not_counters() {
+        let mut e = Ensemble::new(chips(2));
+        for k in 0..10 {
+            e.load_j(k, &particle(k));
+        }
+        let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2)];
+        let exps = [ExpSet::from_magnitudes(20.0, 20.0, 20.0)];
+        e.compute_block(&i, &exps).unwrap();
+        let cycles = e.total_cycles();
+        assert!(cycles > 0);
+        e.clear();
+        assert_eq!(e.n_j(), 0);
+        assert_eq!(e.total_cycles(), cycles);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one child")]
+    fn empty_ensemble_rejected() {
+        let _ = Ensemble::<ChipUnit>::new(vec![]);
+    }
+}

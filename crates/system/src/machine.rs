@@ -1,0 +1,232 @@
+//! Concrete machine configurations.
+//!
+//! The real machine (paper §2): 2048 chips = 4 chips/module × 8
+//! modules/board × 16 boards/cluster × 4 clusters; each host computer owns
+//! 4 boards behind a network board.  [`MachineConfig`] describes the slice
+//! of hardware attached to **one host** (what `grape6-core` wraps as a
+//! [`nbody_core::ForceEngine`]); multi-host topologies are built in
+//! `grape6-parallel` from several such slices.
+//!
+//! For laptop-scale functional runs the same topology can be built with
+//! fewer/smaller chips — the arithmetic (and hence the results) do not
+//! depend on the partitioning, only the cycle counts do, and those follow
+//! the configured geometry.
+
+use grape6_chip::chip::{Chip, ChipConfig};
+
+use crate::ensemble::Ensemble;
+use crate::unit::ChipUnit;
+
+/// Four chips + summation FPGA.
+pub type Module = Ensemble<ChipUnit>;
+
+/// Eight modules + broadcast/reduction networks.
+pub type Board = Ensemble<Module>;
+
+/// The boards attached to one host port (behind a network board).
+pub type BoardArray = Ensemble<Board>;
+
+/// Geometry of the hardware attached to one host.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Chips per processor module (4 in the real machine).
+    pub chips_per_module: usize,
+    /// Modules per processor board (8).
+    pub modules_per_board: usize,
+    /// Boards per host (4).
+    pub boards: usize,
+    /// Chip parameters.
+    pub chip: ChipConfigLite,
+}
+
+/// The subset of [`ChipConfig`] a machine description pins down; kept
+/// `Copy + Eq` so configurations can be table keys.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChipConfigLite {
+    /// Pipelines per chip.
+    pub pipelines: usize,
+    /// VMP ways per pipeline.
+    pub vmp_ways: usize,
+    /// Clock in kHz (integral so the struct stays `Eq`).
+    pub clock_khz: u64,
+    /// j-memory capacity per chip.
+    pub jmem_capacity: usize,
+}
+
+impl From<ChipConfigLite> for ChipConfig {
+    fn from(l: ChipConfigLite) -> Self {
+        ChipConfig {
+            pipelines: l.pipelines,
+            vmp_ways: l.vmp_ways,
+            clock_hz: l.clock_khz as f64 * 1e3,
+            jmem_capacity: l.jmem_capacity,
+            ..ChipConfig::default()
+        }
+    }
+}
+
+impl Default for MachineConfig {
+    /// One host of the real machine: 4 boards × 8 modules × 4 chips =
+    /// 128 chips ≈ 3.94 Tflops peak.
+    fn default() -> Self {
+        Self::paper_host()
+    }
+}
+
+impl MachineConfig {
+    /// The paper's per-host hardware slice (4 full boards).
+    pub const fn paper_host() -> Self {
+        Self {
+            chips_per_module: 4,
+            modules_per_board: 8,
+            boards: 4,
+            chip: ChipConfigLite {
+                pipelines: 6,
+                vmp_ways: 8,
+                clock_khz: 90_000,
+                jmem_capacity: 16_384,
+            },
+        }
+    }
+
+    /// A single board (a quarter host; used for partition-independence
+    /// tests and entry-level benchmarks).
+    pub const fn single_board() -> Self {
+        Self {
+            boards: 1,
+            ..Self::paper_host()
+        }
+    }
+
+    /// A deliberately small configuration for fast functional tests:
+    /// 1 board × 2 modules × 2 chips with small memories.
+    pub const fn test_small() -> Self {
+        Self {
+            chips_per_module: 2,
+            modules_per_board: 2,
+            boards: 1,
+            chip: ChipConfigLite {
+                pipelines: 6,
+                vmp_ways: 8,
+                clock_khz: 90_000,
+                jmem_capacity: 2_048,
+            },
+        }
+    }
+
+    /// Total chips attached to the host.
+    pub const fn total_chips(&self) -> usize {
+        self.chips_per_module * self.modules_per_board * self.boards
+    }
+
+    /// j-particle capacity of the whole slice.
+    pub const fn capacity(&self) -> usize {
+        self.total_chips() * self.chip.jmem_capacity
+    }
+
+    /// Theoretical peak speed of the slice in flops
+    /// (`chips × pipelines × clock × 57`).
+    pub fn peak_flops(&self) -> f64 {
+        self.total_chips() as f64
+            * self.chip.pipelines as f64
+            * (self.chip.clock_khz as f64 * 1e3)
+            * nbody_core::FLOPS_PER_INTERACTION
+    }
+
+    /// Build the hardware: boards of modules of chips.
+    pub fn build(&self) -> BoardArray {
+        let chip_cfg: ChipConfig = self.chip.into();
+        let boards: Vec<Board> = (0..self.boards)
+            .map(|_| {
+                let modules: Vec<Module> = (0..self.modules_per_board)
+                    .map(|_| {
+                        let chips: Vec<ChipUnit> = (0..self.chips_per_module)
+                            .map(|_| ChipUnit::new(Chip::new(chip_cfg)))
+                            .collect();
+                        Ensemble::new(chips)
+                    })
+                    .collect();
+                Ensemble::new(modules)
+            })
+            .collect();
+        Ensemble::new(boards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::unit::GrapeUnit;
+    use grape6_chip::pipeline::{ExpSet, HwIParticle};
+    use nbody_core::force::JParticle;
+    use nbody_core::Vec3;
+
+    #[test]
+    fn paper_host_geometry() {
+        let cfg = MachineConfig::paper_host();
+        assert_eq!(cfg.total_chips(), 128);
+        assert_eq!(cfg.capacity(), 128 * 16_384); // > 2M particles
+        // 128 chips × 30.78 Gflops ≈ 3.94 Tflops; ×16 hosts = 63.04 Tflops,
+        // the paper's quoted system peak.
+        let host_peak = cfg.peak_flops();
+        assert!((host_peak / 1e12 - 3.94).abs() < 0.01, "{host_peak:e}");
+        assert!((host_peak * 16.0 / 1e12 - 63.04).abs() < 0.1);
+    }
+
+    #[test]
+    fn build_produces_declared_shape() {
+        let m = MachineConfig::test_small().build();
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.children()[0].len(), 2);
+        assert_eq!(m.children()[0].children()[0].len(), 2);
+        assert_eq!(m.capacity(), 4 * 2048);
+    }
+
+    #[test]
+    fn four_board_host_equals_single_board_bitwise() {
+        // Same particles through the 4-board host and a 1-board machine:
+        // §3.4 — "the calculated result is independent of the number of
+        // processor chips used to calculate one force".
+        let mut four = MachineConfig {
+            chips_per_module: 2,
+            modules_per_board: 2,
+            boards: 4,
+            ..MachineConfig::test_small()
+        }
+        .build();
+        let mut one = MachineConfig::test_small().build();
+        for k in 0..200usize {
+            let a = k as f64 * 0.11;
+            let p = JParticle {
+                mass: 0.005,
+                pos: Vec3::new(a.sin(), (a * 1.3).cos(), 0.1),
+                vel: Vec3::new(0.0, 0.01 * a.cos(), 0.0),
+                ..Default::default()
+            };
+            four.load_j(k, &p);
+            one.load_j(k, &p);
+        }
+        four.set_time(0.0);
+        one.set_time(0.0);
+        let i: Vec<HwIParticle> = (0..48)
+            .map(|k| {
+                HwIParticle::from_host(
+                    Vec3::new(0.3 + 0.01 * k as f64, -0.2, 0.0),
+                    Vec3::ZERO,
+                    1e-4,
+                )
+            })
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(10.0, 10.0, 10.0); 48];
+        let a = four.compute_block(&i, &exps).unwrap();
+        let b = one.compute_block(&i, &exps).unwrap();
+        for k in 0..48 {
+            assert_eq!(a[k].acc[0].mant(), b[k].acc[0].mant());
+            assert_eq!(a[k].jerk[2].mant(), b[k].jerk[2].mant());
+            assert_eq!(a[k].pot.mant(), b[k].pot.mant());
+        }
+        // But the 4-board machine is ~4× faster per pass (50 vs 200 j per
+        // chip on the critical path).
+        assert!(four.last_pass_cycles() < one.last_pass_cycles());
+    }
+}

@@ -1,0 +1,188 @@
+//! The interface every level of the machine hierarchy satisfies.
+
+use grape6_arith::blockfp::BlockFpError;
+use grape6_chip::chip::{Chip, I_PARALLEL_PER_CHIP};
+use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
+use nbody_core::force::JParticle;
+
+/// A piece of GRAPE hardware: a chip, a module, a board, or a board array.
+///
+/// Invariants every implementation keeps:
+///
+/// * all children compute on the **same** i-particles (i-parallelism is
+///   [`I_PARALLEL_PER_CHIP`] = 48 at every level; the broadcast network
+///   hands the same block to every chip);
+/// * the j-particles are **divided** among children, so capacity adds up;
+/// * partial forces are merged exactly (block floating point), making the
+///   result independent of the division;
+/// * `last_pass_cycles` reports the *critical path* of the most recent
+///   compute (children run in parallel; a level adds its reduction
+///   latency).
+pub trait GrapeUnit: Send {
+    /// Total j-particle capacity.
+    fn capacity(&self) -> usize;
+
+    /// Number of j-particle addresses in use.
+    fn n_j(&self) -> usize;
+
+    /// Broadcast the system time for the predictor pipelines.
+    fn set_time(&mut self, t: f64);
+
+    /// Write the j-particle at global address `addr`.
+    fn load_j(&mut self, addr: usize, p: &JParticle);
+
+    /// Compute forces on ≤ 48 i-particles from every stored j-particle.
+    fn compute_block(
+        &mut self,
+        i: &[HwIParticle],
+        exps: &[ExpSet],
+    ) -> Result<Vec<PartialForce>, BlockFpError>;
+
+    /// Like [`GrapeUnit::compute_block`], but also runs the hardware
+    /// neighbour comparators: per i-particle, the **global j-addresses**
+    /// with unsoftened `r² < h2[i]` (self-pairs excluded).  Every level of
+    /// the hierarchy translates its children's local addresses back to the
+    /// caller's address space.
+    fn compute_block_nb(
+        &mut self,
+        i: &[HwIParticle],
+        exps: &[ExpSet],
+        h2: &[f64],
+    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError>;
+
+    /// Clock cycles on the critical path of the most recent
+    /// `compute_block` (0 if none has run).
+    fn last_pass_cycles(&self) -> u64;
+
+    /// Total cycles over all passes (critical path, accumulated).
+    fn total_cycles(&self) -> u64;
+
+    /// Total pairwise interactions over all passes (sums over children).
+    fn total_interactions(&self) -> u64;
+
+    /// Remove all j-particles.
+    fn clear(&mut self);
+}
+
+/// A single chip is the leaf of the hierarchy.
+///
+/// The wrapper adds last-pass bookkeeping on top of
+/// [`grape6_chip::chip::Chip`]'s cumulative counters.
+#[derive(Clone, Debug)]
+pub struct ChipUnit {
+    chip: Chip,
+    last_pass: u64,
+    used: usize,
+}
+
+impl ChipUnit {
+    /// Wrap a chip.
+    pub fn new(chip: Chip) -> Self {
+        Self {
+            chip,
+            last_pass: 0,
+            used: 0,
+        }
+    }
+
+    /// Access the underlying chip.
+    pub fn chip(&self) -> &Chip {
+        &self.chip
+    }
+}
+
+impl GrapeUnit for ChipUnit {
+    fn capacity(&self) -> usize {
+        self.chip.config().jmem_capacity
+    }
+
+    fn n_j(&self) -> usize {
+        self.used
+    }
+
+    fn set_time(&mut self, t: f64) {
+        self.chip.set_time(t);
+    }
+
+    fn load_j(&mut self, addr: usize, p: &JParticle) {
+        self.chip.load_j(addr, p);
+        self.used = self.used.max(addr + 1);
+    }
+
+    fn compute_block(
+        &mut self,
+        i: &[HwIParticle],
+        exps: &[ExpSet],
+    ) -> Result<Vec<PartialForce>, BlockFpError> {
+        let before = self.chip.cycles();
+        let r = self.chip.compute_block(i, exps);
+        self.last_pass = self.chip.cycles() - before;
+        r
+    }
+
+    fn compute_block_nb(
+        &mut self,
+        i: &[HwIParticle],
+        exps: &[ExpSet],
+        h2: &[f64],
+    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
+        let before = self.chip.cycles();
+        let r = self.chip.compute_block_nb(i, exps, h2);
+        self.last_pass = self.chip.cycles() - before;
+        r
+    }
+
+    fn last_pass_cycles(&self) -> u64 {
+        self.last_pass
+    }
+
+    fn total_cycles(&self) -> u64 {
+        self.chip.cycles()
+    }
+
+    fn total_interactions(&self) -> u64 {
+        self.chip.interactions()
+    }
+
+    fn clear(&mut self) {
+        self.chip.clear();
+        self.used = 0;
+    }
+}
+
+/// Re-exported so downstream crates don't need `grape6-chip` directly for
+/// the common case.
+pub const I_PARALLELISM: usize = I_PARALLEL_PER_CHIP;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_chip::chip::ChipConfig;
+    use nbody_core::Vec3;
+
+    #[test]
+    fn chip_unit_tracks_last_pass() {
+        let mut u = ChipUnit::new(Chip::new(ChipConfig::default()));
+        assert_eq!(u.last_pass_cycles(), 0);
+        for k in 0..10 {
+            u.load_j(
+                k,
+                &JParticle {
+                    mass: 0.1,
+                    pos: Vec3::new(k as f64 * 0.1, 0.2, 0.3),
+                    ..Default::default()
+                },
+            );
+        }
+        assert_eq!(u.n_j(), 10);
+        let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-4)];
+        let e = [ExpSet::from_magnitudes(10.0, 10.0, 10.0)];
+        u.compute_block(&i, &e).unwrap();
+        assert_eq!(u.last_pass_cycles(), 30 + 8 * 10);
+        assert_eq!(u.total_cycles(), u.last_pass_cycles());
+        u.compute_block(&i, &e).unwrap();
+        assert_eq!(u.total_cycles(), 2 * u.last_pass_cycles());
+        u.clear();
+        assert_eq!(u.n_j(), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! # bh-tree — the Barnes–Hut treecode baseline of §5
+//!
+//! The paper closes by comparing GRAPE-6 against "what kind of performance
+//! one can achieve with Barnes-Hut treecode on a PC-cluster or massively-
+//! parallel general-purpose computer", in **particle steps per second**
+//! (because the treecode is O(N log N) per step, raw flops are the wrong
+//! yardstick).  The comparison needs an actual treecode, so here is one:
+//!
+//! * [`tree`] — octree construction over a flat node arena (Barnes & Hut
+//!   1986), with per-node mass, centre of mass and geometric size;
+//! * [`traverse`] — force evaluation with the classic opening criterion
+//!   `ℓ/d < θ` (monopole approximation, softened), iterative traversal;
+//! * [`integrate`] — a shared-timestep leapfrog driver and a simple
+//!   block-timestep variant, both reporting particle-steps/s accounting;
+//!   §5's argument — "If we use shared timestep, we need at least 100
+//!   times more particle steps, since the ratio between the smallest
+//!   timestep and (harmonic) mean timestep is larger than 100" — is
+//!   reproduced as a measurement in the benchmark harness.
+
+pub mod integrate;
+pub mod traverse;
+pub mod tree;
+
+pub use integrate::{LeapfrogIntegrator, TreeBlockIntegrator};
+pub use traverse::{tree_forces, tree_forces_ord, MultipoleOrder, TraverseStats};
+pub use tree::{Octree, TreeConfig};

@@ -1,0 +1,427 @@
+//! Octree construction.
+//!
+//! A flat-arena octree: nodes live in one `Vec`, children are index
+//! octets, and the particle order is permuted so every node owns a
+//! contiguous index range — the standard cache-friendly layout for
+//! repeated traversals.
+
+use nbody_core::Vec3;
+
+/// Sentinel for "no child".
+pub const NO_CHILD: u32 = u32::MAX;
+
+/// Accumulate the traceless point-mass quadrupole `m(3ddᵀ − |d|²I)` into
+/// the packed tensor `q`.
+#[inline]
+fn add_point_quadrupole(q: &mut [f64; 6], m: f64, d: Vec3) {
+    let d2 = d.norm2();
+    q[0] += m * (3.0 * d.x * d.x - d2);
+    q[1] += m * (3.0 * d.y * d.y - d2);
+    q[2] += m * (3.0 * d.z * d.z - d2);
+    q[3] += m * 3.0 * d.x * d.y;
+    q[4] += m * 3.0 * d.x * d.z;
+    q[5] += m * 3.0 * d.y * d.z;
+}
+
+/// Construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct TreeConfig {
+    /// Maximum particles in a leaf before it splits.
+    pub leaf_capacity: usize,
+    /// Hard depth limit (coincident particles stop splitting here).
+    pub max_depth: usize,
+}
+
+impl Default for TreeConfig {
+    fn default() -> Self {
+        Self {
+            leaf_capacity: 8,
+            max_depth: 48,
+        }
+    }
+}
+
+/// One node of the octree.
+#[derive(Clone, Copy, Debug)]
+pub struct Node {
+    /// Geometric centre of the cube.
+    pub center: Vec3,
+    /// Half the cube's edge length.
+    pub half: f64,
+    /// Total mass below this node.
+    pub mass: f64,
+    /// Centre of mass below this node.
+    pub com: Vec3,
+    /// Range of (permuted) particle indices owned by this node.
+    pub start: u32,
+    /// One past the last owned particle index.
+    pub end: u32,
+    /// Child node indices (`NO_CHILD` = absent); all `NO_CHILD` ⇔ leaf.
+    pub children: [u32; 8],
+}
+
+impl Node {
+    /// Is this node a leaf?
+    pub fn is_leaf(&self) -> bool {
+        self.children == [NO_CHILD; 8]
+    }
+
+    /// Number of particles below this node.
+    pub fn count(&self) -> usize {
+        (self.end - self.start) as usize
+    }
+}
+
+/// A built octree.  `order[k]` is the original index of the k-th particle
+/// in tree order; `pos`/`mass` are stored in tree order.
+#[derive(Clone, Debug)]
+pub struct Octree {
+    /// Node arena; index 0 is the root.
+    pub nodes: Vec<Node>,
+    /// Tree-order → original-index permutation.
+    pub order: Vec<u32>,
+    /// Positions in tree order.
+    pub pos: Vec<Vec3>,
+    /// Masses in tree order.
+    pub mass: Vec<f64>,
+    /// Traceless quadrupole moments per node about the node's COM, packed
+    /// symmetric `[xx, yy, zz, xy, xz, yz]` — `Q = Σ m (3 x xᵀ − |x|² I)`
+    /// with `x` relative to the COM.  Enables the quadrupole-order
+    /// traversal (McMillan & Aarseth 1993 used up to octupole for the
+    /// individual-timestep tree the paper's §1 cites).
+    pub quad: Vec<[f64; 6]>,
+}
+
+impl Octree {
+    /// Build an octree over the given particles.
+    pub fn build(mass: &[f64], pos: &[Vec3], cfg: &TreeConfig) -> Self {
+        let n = pos.len();
+        assert_eq!(mass.len(), n);
+        assert!(n > 0, "cannot build a tree over zero particles");
+        // Bounding cube.
+        let mut lo = Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut hi = -lo;
+        for p in pos {
+            lo = Vec3::new(lo.x.min(p.x), lo.y.min(p.y), lo.z.min(p.z));
+            hi = Vec3::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z));
+        }
+        let center = (lo + hi) * 0.5;
+        let half = 0.5
+            * (hi.x - lo.x)
+                .max(hi.y - lo.y)
+                .max(hi.z - lo.z)
+                .max(1e-12);
+
+        let mut tree = Octree {
+            nodes: Vec::with_capacity(2 * n / cfg.leaf_capacity.max(1) + 16),
+            order: (0..n as u32).collect(),
+            pos: pos.to_vec(),
+            mass: mass.to_vec(),
+            quad: Vec::new(),
+        };
+        tree.nodes.push(Node {
+            center,
+            half,
+            mass: 0.0,
+            com: Vec3::ZERO,
+            start: 0,
+            end: n as u32,
+            children: [NO_CHILD; 8],
+        });
+        tree.split(0, cfg, 0);
+        tree.quad = vec![[0.0; 6]; tree.nodes.len()];
+        tree.compute_moments(0);
+        tree
+    }
+
+    /// Octant of `p` relative to `c`.
+    #[inline]
+    fn octant(c: Vec3, p: Vec3) -> usize {
+        (usize::from(p.x >= c.x)) | (usize::from(p.y >= c.y) << 1) | (usize::from(p.z >= c.z) << 2)
+    }
+
+    fn split(&mut self, node: usize, cfg: &TreeConfig, depth: usize) {
+        let (start, end, center, half) = {
+            let n = &self.nodes[node];
+            (n.start as usize, n.end as usize, n.center, n.half)
+        };
+        if end - start <= cfg.leaf_capacity || depth >= cfg.max_depth {
+            return;
+        }
+        // Partition the range into the eight octants (counting sort).
+        let mut counts = [0usize; 8];
+        for k in start..end {
+            counts[Self::octant(center, self.pos[k])] += 1;
+        }
+        let mut starts = [0usize; 8];
+        let mut acc = start;
+        for o in 0..8 {
+            starts[o] = acc;
+            acc += counts[o];
+        }
+        // Permute (pos, mass, order) into octant order with a scratch pass.
+        let mut cursor = starts;
+        let mut new_pos = vec![Vec3::ZERO; end - start];
+        let mut new_mass = vec![0.0f64; end - start];
+        let mut new_order = vec![0u32; end - start];
+        for k in start..end {
+            let o = Self::octant(center, self.pos[k]);
+            let dst = cursor[o] - start;
+            cursor[o] += 1;
+            new_pos[dst] = self.pos[k];
+            new_mass[dst] = self.mass[k];
+            new_order[dst] = self.order[k];
+        }
+        self.pos[start..end].copy_from_slice(&new_pos);
+        self.mass[start..end].copy_from_slice(&new_mass);
+        self.order[start..end].copy_from_slice(&new_order);
+        // Create children and recurse.
+        let quarter = half * 0.5;
+        let mut children = [NO_CHILD; 8];
+        for o in 0..8 {
+            if counts[o] == 0 {
+                continue;
+            }
+            let ccenter = Vec3::new(
+                center.x + if o & 1 != 0 { quarter } else { -quarter },
+                center.y + if o & 2 != 0 { quarter } else { -quarter },
+                center.z + if o & 4 != 0 { quarter } else { -quarter },
+            );
+            let idx = self.nodes.len() as u32;
+            children[o] = idx;
+            self.nodes.push(Node {
+                center: ccenter,
+                half: quarter,
+                mass: 0.0,
+                com: Vec3::ZERO,
+                start: starts[o] as u32,
+                end: (starts[o] + counts[o]) as u32,
+                children: [NO_CHILD; 8],
+            });
+        }
+        self.nodes[node].children = children;
+        for &c in &children {
+            if c != NO_CHILD {
+                self.split(c as usize, cfg, depth + 1);
+            }
+        }
+    }
+
+    fn compute_moments(&mut self, node: usize) {
+        let (start, end, children) = {
+            let n = &self.nodes[node];
+            (n.start as usize, n.end as usize, n.children)
+        };
+        if self.nodes[node].is_leaf() {
+            let mut m = 0.0;
+            let mut c = Vec3::ZERO;
+            for k in start..end {
+                m += self.mass[k];
+                c += self.pos[k] * self.mass[k];
+            }
+            let com = if m > 0.0 { c / m } else { self.nodes[node].center };
+            self.nodes[node].mass = m;
+            self.nodes[node].com = com;
+            // Quadrupole about the COM, directly from the particles.
+            let mut q = [0.0f64; 6];
+            for k in start..end {
+                add_point_quadrupole(&mut q, self.mass[k], self.pos[k] - com);
+            }
+            self.quad[node] = q;
+            return;
+        }
+        let mut m = 0.0;
+        let mut c = Vec3::ZERO;
+        for child in children {
+            if child == NO_CHILD {
+                continue;
+            }
+            self.compute_moments(child as usize);
+            let ch = &self.nodes[child as usize];
+            m += ch.mass;
+            c += ch.com * ch.mass;
+        }
+        let com = if m > 0.0 { c / m } else { self.nodes[node].center };
+        self.nodes[node].mass = m;
+        self.nodes[node].com = com;
+        // Parallel-axis composition: a child's quadrupole about the parent
+        // COM is its own quadrupole plus the point-mass term of its COM.
+        let mut q = [0.0f64; 6];
+        for child in children {
+            if child == NO_CHILD {
+                continue;
+            }
+            let ci = child as usize;
+            let ch_mass = self.nodes[ci].mass;
+            let d = self.nodes[ci].com - com;
+            for (qa, &ca) in q.iter_mut().zip(&self.quad[ci]) {
+                *qa += ca;
+            }
+            add_point_quadrupole(&mut q, ch_mass, d);
+        }
+        self.quad[node] = q;
+    }
+
+    /// Number of particles.
+    pub fn n(&self) -> usize {
+        self.pos.len()
+    }
+
+    /// Quadrupole moment of node `i` (packed `[xx, yy, zz, xy, xz, yz]`).
+    pub fn quadrupole(&self, i: usize) -> &[f64; 6] {
+        &self.quad[i]
+    }
+
+    /// The root node.
+    pub fn root(&self) -> &Node {
+        &self.nodes[0]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nbody_core::ic::plummer::plummer_model;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample(n: usize) -> (Vec<f64>, Vec<Vec3>) {
+        let s = plummer_model(n, &mut StdRng::seed_from_u64(8));
+        (s.mass, s.pos)
+    }
+
+    #[test]
+    fn root_mass_and_com_match_totals() {
+        let (mass, pos) = sample(500);
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        let m: f64 = mass.iter().sum();
+        let com: Vec3 = mass
+            .iter()
+            .zip(&pos)
+            .map(|(&mi, &p)| p * mi)
+            .sum::<Vec3>()
+            / m;
+        assert!((t.root().mass - m).abs() < 1e-12);
+        assert!((t.root().com - com).norm() < 1e-12);
+        assert_eq!(t.root().count(), 500);
+    }
+
+    #[test]
+    fn every_node_consistent_with_children() {
+        let (mass, pos) = sample(300);
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        for node in &t.nodes {
+            if node.is_leaf() {
+                assert!(node.count() <= TreeConfig::default().leaf_capacity || node.half < 1e-9);
+                continue;
+            }
+            let mut m = 0.0;
+            let mut cnt = 0;
+            for c in node.children {
+                if c == NO_CHILD {
+                    continue;
+                }
+                let ch = &t.nodes[c as usize];
+                m += ch.mass;
+                cnt += ch.count();
+                // Child cube inside parent cube.
+                assert!(ch.half <= node.half * 0.5 + 1e-15);
+            }
+            assert!((m - node.mass).abs() < 1e-12);
+            assert_eq!(cnt, node.count());
+        }
+    }
+
+    #[test]
+    fn particles_inside_their_leaf() {
+        let (mass, pos) = sample(200);
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        for node in &t.nodes {
+            if !node.is_leaf() {
+                continue;
+            }
+            for k in node.start as usize..node.end as usize {
+                let d = t.pos[k] - node.center;
+                // Loose bound (boundary assignment uses >=).
+                assert!(d.x.abs() <= node.half * (1.0 + 1e-9) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn permutation_is_a_bijection() {
+        let (mass, pos) = sample(128);
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        let mut seen = vec![false; 128];
+        for &o in &t.order {
+            assert!(!seen[o as usize]);
+            seen[o as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        // Tree-order data matches the original through the permutation.
+        for k in 0..128 {
+            assert_eq!(t.pos[k], pos[t.order[k] as usize]);
+        }
+    }
+
+    #[test]
+    fn coincident_particles_do_not_recurse_forever() {
+        let mass = vec![1.0; 32];
+        let pos = vec![Vec3::new(0.5, 0.5, 0.5); 32];
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        assert!(t.nodes.len() < 10_000);
+        assert!((t.root().mass - 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadrupole_is_traceless_everywhere() {
+        let (mass, pos) = sample(400);
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        for (i, node) in t.nodes.iter().enumerate() {
+            if node.mass == 0.0 {
+                continue;
+            }
+            let q = t.quadrupole(i);
+            let trace = q[0] + q[1] + q[2];
+            let scale = q.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1e-30);
+            assert!(trace.abs() < 1e-10 * scale.max(1.0), "node {i}: trace {trace:e}");
+        }
+    }
+
+    #[test]
+    fn root_quadrupole_matches_direct_computation() {
+        let (mass, pos) = sample(300);
+        let t = Octree::build(&mass, &pos, &TreeConfig::default());
+        let com = t.root().com;
+        let mut want = [0.0f64; 6];
+        for k in 0..300 {
+            let d = pos[k] - com;
+            let d2 = d.norm2();
+            want[0] += mass[k] * (3.0 * d.x * d.x - d2);
+            want[1] += mass[k] * (3.0 * d.y * d.y - d2);
+            want[2] += mass[k] * (3.0 * d.z * d.z - d2);
+            want[3] += mass[k] * 3.0 * d.x * d.y;
+            want[4] += mass[k] * 3.0 * d.x * d.z;
+            want[5] += mass[k] * 3.0 * d.y * d.z;
+        }
+        let got = t.quadrupole(0);
+        for a in 0..6 {
+            assert!(
+                (got[a] - want[a]).abs() < 1e-10,
+                "component {a}: {} vs {}",
+                got[a],
+                want[a]
+            );
+        }
+    }
+
+    #[test]
+    fn node_count_scales_linearly() {
+        let (m1, p1) = sample(1000);
+        let (m2, p2) = sample(4000);
+        let t1 = Octree::build(&m1, &p1, &TreeConfig::default());
+        let t2 = Octree::build(&m2, &p2, &TreeConfig::default());
+        let ratio = t2.nodes.len() as f64 / t1.nodes.len() as f64;
+        assert!(ratio > 2.0 && ratio < 8.0, "node ratio {ratio}");
+    }
+}

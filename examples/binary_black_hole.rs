@@ -1,0 +1,64 @@
+//! Binary-black-hole hardening — a scaled version of the paper's second
+//! production application (§5: two 0.5 %-mass point masses in a 2M-star
+//! Plummer model, 36 time units).
+//!
+//! ```text
+//! cargo run --release --example binary_black_hole -- [N_field] [t_end]
+//! ```
+//!
+//! The black holes sink by dynamical friction, pair up, and harden by
+//! ejecting field stars — the timestep hierarchy gets steeper as the
+//! binary shrinks, which is exactly the workload regime that forces
+//! individual timesteps.  Defaults: N = 512 field stars, t_end = 4.
+
+use grape6::core::{HermiteIntegrator, IntegratorConfig};
+use grape6::nbody::diagnostics::energy;
+use grape6::nbody::force::DirectEngine;
+use grape6::nbody::ic::binary_bh::binary_bh_model;
+use grape6::nbody::softening::Softening;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_field: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(512);
+    let t_end: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4.0);
+
+    let set = binary_bh_model(n_field, 0.005, 0.3, &mut StdRng::seed_from_u64(13));
+    let n = set.n();
+    let eps2 = Softening::Constant.epsilon2(n);
+    let e0 = energy(&set, eps2);
+    let m_bh = set.mass[0];
+    println!(
+        "{n_field} field stars + 2 BHs of mass {m_bh} each, starting at r = ±0.3"
+    );
+
+    let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, IntegratorConfig::default());
+    println!(
+        "\n{:>6} {:>10} {:>12} {:>10} {:>10} {:>8}",
+        "t", "BH sep", "BH E_bind", "|dE/E|", "steps", "dt_min"
+    );
+    let mut t_report = 0.0;
+    while t_report < t_end {
+        t_report += t_end / 8.0;
+        it.run_until(t_report);
+        let snap = it.synchronized_snapshot();
+        let sep = (snap.pos[0] - snap.pos[1]).norm();
+        // Two-body binding energy of the BH pair (negative once bound).
+        let vrel2 = (snap.vel[0] - snap.vel[1]).norm2();
+        let e_bind = 0.5 * (m_bh / 2.0) * vrel2 - m_bh * m_bh / sep;
+        let e1 = energy(&snap, eps2);
+        println!(
+            "{:>6.2} {:>10.4} {:>12.3e} {:>10.2e} {:>10} {:>8.1e}",
+            it.time(),
+            sep,
+            e_bind,
+            ((e1.total() - e0.total()) / e0.total()).abs(),
+            it.stats().particle_steps,
+            it.stats().dt_min
+        );
+    }
+    println!("\nexpected behaviour: the separation decays from 0.6 towards the hard-binary");
+    println!("scale while dt_min plunges — the 'wildly different orbital timescales' of §1");
+    println!("that rule out shared timesteps and motivate the GRAPE architecture.");
+}

@@ -1,0 +1,103 @@
+//! Planetesimal-disk evolution — a scaled version of the paper's first
+//! production application (§5: "the evolution of early Kuiper belt
+//! region … We used 1.8M particles").
+//!
+//! ```text
+//! cargo run --release --example kuiper_belt -- [N_disk] [t_end]
+//! ```
+//!
+//! A star plus a cold ring of planetesimals; gravitational scattering
+//! between the planetesimals slowly pumps the eccentricity/inclination
+//! dispersions (viscous stirring) — the physics the production run
+//! followed for 21120 dynamical times.  Defaults: N = 1000, t_end = 3
+//! (≈ half an orbit at a = 1.25).
+
+use grape6::core::{HermiteIntegrator, IntegratorConfig};
+use grape6::nbody::diagnostics::energy;
+use grape6::nbody::force::DirectEngine;
+use grape6::nbody::ic::disk::{planetesimal_disk, DiskParams};
+use grape6::nbody::particle::ParticleSet;
+use grape6::nbody::softening::Softening;
+use grape6::nbody::Vec3;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// RMS eccentricity and inclination of the disk particles (star = index 0),
+/// from instantaneous orbital elements about the star.
+fn dispersions(set: &ParticleSet) -> (f64, f64) {
+    let star_pos = set.pos[0];
+    let star_vel = set.vel[0];
+    let mu = set.mass[0];
+    let mut e2 = 0.0;
+    let mut i2 = 0.0;
+    let n_disk = set.n() - 1;
+    for k in 1..set.n() {
+        let r = set.pos[k] - star_pos;
+        let v = set.vel[k] - star_vel;
+        let h = r.cross(v);
+        let rn = r.norm();
+        // Laplace–Runge–Lenz eccentricity vector.
+        let ev = v.cross(h) / mu - r / rn;
+        e2 += ev.norm2();
+        let inc = (h.z / h.norm()).clamp(-1.0, 1.0).acos();
+        i2 += inc * inc;
+    }
+    ((e2 / n_disk as f64).sqrt(), (i2 / n_disk as f64).sqrt())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n_disk: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let t_end: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3.0);
+
+    let params = DiskParams {
+        disk_mass: 3e-3, // a heavy disk stirs visibly in a short run
+        ..DiskParams::default()
+    };
+    let set = planetesimal_disk(n_disk, &params, &mut StdRng::seed_from_u64(9));
+    let eps = 2.0e-4; // planetesimal radius scale
+    let e0 = energy(&set, eps * eps);
+    let (e_rms0, i_rms0) = dispersions(&set);
+    println!(
+        "star + {n_disk} planetesimals, disk mass {}, annulus {}..{}",
+        params.disk_mass, params.a_in, params.a_out
+    );
+    println!("initial dispersions: e_rms = {e_rms0:.4}, i_rms = {i_rms0:.4}");
+
+    let cfg = IntegratorConfig {
+        softening: Softening::Fixed(eps),
+        ..Default::default()
+    };
+    let mut it = HermiteIntegrator::new(DirectEngine::new(set.n()), set, cfg);
+    println!(
+        "\n{:>6} {:>9} {:>9} {:>10} {:>10} {:>8}",
+        "t", "e_rms", "i_rms", "|dE/E|", "steps", "<n_b>"
+    );
+    let mut t_report = 0.0;
+    while t_report < t_end {
+        t_report += t_end / 6.0;
+        it.run_until(t_report);
+        let snap = it.synchronized_snapshot();
+        let (e_rms, i_rms) = dispersions(&snap);
+        let e1 = energy(&snap, eps * eps);
+        println!(
+            "{:>6.2} {:>9.4} {:>9.4} {:>10.2e} {:>10} {:>8.1}",
+            it.time(),
+            e_rms,
+            i_rms,
+            ((e1.total() - e0.total()) / e0.total()).abs(),
+            it.stats().particle_steps,
+            it.stats().mean_block()
+        );
+    }
+    let (e_rms, i_rms) = dispersions(&it.synchronized_snapshot());
+    println!(
+        "\nstirring: e_rms {} (×{:.2}), i_rms {} (×{:.2}) — mutual scattering heats the disk;",
+        e_rms,
+        e_rms / e_rms0,
+        i_rms,
+        i_rms / i_rms0
+    );
+    println!("the production run followed exactly this process at N = 1.8M for 21120 units.");
+    let _ = Vec3::ZERO; // keep the import obviously used in all cfg combinations
+}

@@ -1,0 +1,120 @@
+//! A tour of the simulated hardware — the §2/§3 architecture, executable.
+//!
+//! ```text
+//! cargo run --release --example machine_tour
+//! ```
+//!
+//! Walks through the machine hierarchy (chip → module → board → host →
+//! system), then demonstrates the two §3.4 design properties that make
+//! GRAPE-6 GRAPE-6:
+//!
+//! 1. **partition independence** — the same force computed on a 1-board
+//!    and a 4-board machine is *bit-identical* (block floating point);
+//! 2. **exponent retries** — a cold-started window overflows, the library
+//!    widens it and repeats, exactly as the paper describes.
+
+use grape6::chip::chip::ChipConfig;
+use grape6::core::engine::Grape6Engine;
+use grape6::nbody::force::{ForceEngine, ForceResult, IParticle, JParticle};
+use grape6::nbody::ic::plummer::plummer_model;
+use grape6::nbody::Vec3;
+use grape6::system::machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- the hierarchy ---------------------------------------------------
+    let chip = ChipConfig::default();
+    println!("processor chip : {} pipelines x {}-way VMP @ {} MHz  => {:.2} Gflops, {} i-particles in parallel",
+        chip.pipelines, chip.vmp_ways, chip.clock_hz / 1e6, chip.peak_flops() / 1e9, chip.i_parallelism());
+
+    let host = MachineConfig::paper_host();
+    println!(
+        "host slice     : {} boards x 8 modules x 4 chips = {} chips => {:.2} Tflops, {} j-particles",
+        host.boards,
+        host.total_chips(),
+        host.peak_flops() / 1e12,
+        host.capacity()
+    );
+    println!(
+        "full system    : 16 hosts (4 clusters x 4) => {:.2} Tflops peak  (paper: 63.04 Tflops)",
+        16.0 * host.peak_flops() / 1e12
+    );
+
+    // --- partition independence ------------------------------------------
+    let n = 300;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(99));
+    let mut small = Grape6Engine::new(
+        &MachineConfig {
+            boards: 1,
+            ..MachineConfig::test_small()
+        },
+        n,
+    );
+    let mut big = Grape6Engine::new(
+        &MachineConfig {
+            boards: 4,
+            ..MachineConfig::test_small()
+        },
+        n,
+    );
+    for i in 0..n {
+        let j = JParticle {
+            mass: set.mass[i],
+            t0: 0.0,
+            pos: set.pos[i],
+            vel: set.vel[i],
+            ..Default::default()
+        };
+        small.set_j_particle(i, &j);
+        big.set_j_particle(i, &j);
+    }
+    small.set_time(0.0);
+    big.set_time(0.0);
+    let probes: Vec<IParticle> = (0..48)
+        .map(|k| IParticle {
+            pos: set.pos[k],
+            vel: set.vel[k],
+            eps2: (1.0f64 / 64.0).powi(2),
+        })
+        .collect();
+    let mut fa = vec![ForceResult::default(); 48];
+    let mut fb = vec![ForceResult::default(); 48];
+    small.compute(&probes, &mut fa);
+    big.compute(&probes, &mut fb);
+    let identical = fa
+        .iter()
+        .zip(&fb)
+        .all(|(a, b)| a.acc == b.acc && a.jerk == b.jerk && a.pot == b.pot);
+    println!(
+        "\npartition independence: 1-board vs 4-board forces bit-identical? {identical}"
+    );
+    assert!(identical, "§3.4 reproducibility property violated");
+
+    // --- exponent retry ----------------------------------------------------
+    let mut cold = Grape6Engine::new(&MachineConfig::test_small(), 2);
+    cold.set_j_particle(
+        0,
+        &JParticle {
+            mass: 5000.0, // absurdly heavy: the unit-magnitude guess fails
+            t0: 0.0,
+            pos: Vec3::new(1e-3, 0.0, 0.0),
+            ..Default::default()
+        },
+    );
+    cold.set_time(0.0);
+    let mut out = [ForceResult::default()];
+    cold.compute(
+        &[IParticle {
+            pos: Vec3::ZERO,
+            vel: Vec3::ZERO,
+            eps2: 0.0,
+        }],
+        &mut out,
+    );
+    println!(
+        "exponent retries on a cold start with a 5000-mass intruder: {} (paper: \"we\nsometimes need to repeat the force calculation a few times\")",
+        cold.exponent_retries()
+    );
+    println!("recovered acceleration: {:.4e} (exact: {:.4e})", out[0].acc.x, 5000.0 / 1e-6);
+}

@@ -1,0 +1,56 @@
+//! The copy-algorithm parallel integrator on the virtual cluster.
+//!
+//! ```text
+//! cargo run --release --example parallel_cluster -- [N] [ranks] [t_end]
+//! ```
+//!
+//! Runs the same cluster serially and on `ranks` simulated hosts connected
+//! by the paper's Gigabit Ethernet (Intel 82540EM profile), verifies the
+//! trajectories are **bit-identical** (§3.2/§3.4), and prints the
+//! virtual-time accounting — compute vs communication — that drives
+//! figs. 17/18.
+
+use grape6::core::HermiteIntegrator;
+use grape6::nbody::force::DirectEngine;
+use grape6::nbody::ic::plummer::plummer_model;
+use grape6::net::LinkProfile;
+use grape6::parallel::copy_algo::{run_copy_parallel, CopyConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(96);
+    let ranks: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let t_end: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(2026));
+    println!("N = {n}, {ranks} ranks, t_end = {t_end}, NIC = Intel 82540EM\n");
+
+    // Serial reference.
+    let cfg = CopyConfig::default();
+    let mut serial = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg.integ);
+    serial.run_until(t_end);
+
+    // Parallel run.
+    let out = run_copy_parallel(&set, ranks, t_end, &cfg);
+
+    let identical = out.set.pos == serial.particles().pos && out.set.vel == serial.particles().vel;
+    println!("bit-identical to the serial driver? {identical}");
+    assert!(identical, "copy algorithm must reproduce the serial run exactly");
+
+    println!("\nblocksteps: {}   particle steps: {}", out.stats.blocksteps, out.stats.particle_steps);
+    println!("per-rank virtual clocks [ms]:");
+    for (r, c) in out.clocks.iter().enumerate() {
+        println!("  rank {r}: {:8.3}   ({} bytes sent)", c * 1e3, out.bytes_sent[r]);
+    }
+    let slowest = out.clocks.iter().cloned().fold(0.0, f64::max);
+    let sync_floor = out.stats.blocksteps as f64 * LinkProfile::intel_82540em().latency;
+    println!(
+        "\nslowest rank: {:.3} ms; pure-latency floor ({} blocks x one-way latency): {:.3} ms",
+        slowest * 1e3,
+        out.stats.blocksteps,
+        sync_floor * 1e3
+    );
+    println!("— at this N the per-blockstep synchronisation dominates: the fig. 17/18 regime.");
+}

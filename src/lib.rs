@@ -1,0 +1,29 @@
+//! # grape6 — facade crate
+//!
+//! Re-exports the whole GRAPE-6 reproduction under one roof so examples and
+//! downstream users can depend on a single crate.  See the individual crates
+//! for the real documentation:
+//!
+//! * [`arith`] — hardware number formats (fixed point, pipeline floats,
+//!   block floating point)
+//! * [`nbody`] — N-body substrate (particles, units, initial conditions,
+//!   reference f64 kernels, diagnostics)
+//! * [`chip`] — the GRAPE-6 processor chip (force + predictor pipelines)
+//! * [`system`] — modules, boards, network boards, clusters
+//! * [`core`] — the host library and the Hermite block-timestep integrator
+//! * [`net`] — the simulated Gigabit-Ethernet interconnect
+//! * [`parallel`] — the copy / ring / 2-D grid / multi-cluster algorithms
+//! * [`model`] — the analytic performance model of the SC'03 paper
+//! * [`tree`] — the Barnes–Hut treecode baseline of §5
+//! * [`g4`] — the GRAPE-4 predecessor machine, §3's comparison foil
+
+pub use bh_tree as tree;
+pub use grape4 as g4;
+pub use grape6_arith as arith;
+pub use grape6_chip as chip;
+pub use grape6_core as core;
+pub use grape6_model as model;
+pub use grape6_net as net;
+pub use grape6_parallel as parallel;
+pub use grape6_system as system;
+pub use nbody_core as nbody;

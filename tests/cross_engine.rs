@@ -1,0 +1,155 @@
+//! End-to-end cross-engine validation: the simulated GRAPE-6 must agree
+//! with the double-precision reference through the full integration stack,
+//! and machines of different sizes must agree with each other exactly
+//! (§3.4 of the paper).
+
+use grape6::core::engine::Grape6Engine;
+use grape6::core::{HermiteIntegrator, IntegratorConfig};
+use grape6::nbody::diagnostics::{energy, ConservationTracker};
+use grape6::nbody::force::DirectEngine;
+use grape6::nbody::ic::plummer::plummer_model;
+use grape6::nbody::softening::Softening;
+use grape6::system::machine::MachineConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn grape_trajectories_track_f64_through_integration() {
+    let n = 64;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(100));
+    let cfg = IntegratorConfig::default();
+    let mut f64_run = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg);
+    let mut hw_run = HermiteIntegrator::new(
+        Grape6Engine::new(&MachineConfig::test_small(), n),
+        set,
+        cfg,
+    );
+    f64_run.run_until(0.125);
+    hw_run.run_until(0.125);
+    let a = f64_run.synchronized_snapshot();
+    let b = hw_run.synchronized_snapshot();
+    let mut worst = 0.0f64;
+    for i in 0..n {
+        worst = worst.max((a.pos[i] - b.pos[i]).norm());
+    }
+    assert!(
+        worst < 5e-5,
+        "hardware arithmetic diverged from f64 by {worst:e} after 0.125 units"
+    );
+}
+
+#[test]
+fn grape_energy_conservation_one_fifth_time_unit() {
+    let n = 96;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(101));
+    let eps2 = Softening::Constant.epsilon2(n);
+    let mut tracker = ConservationTracker::new(&set, eps2);
+    let mut it = HermiteIntegrator::new(
+        Grape6Engine::new(&MachineConfig::test_small(), n),
+        set,
+        IntegratorConfig::default(),
+    );
+    it.run_until(0.2);
+    let err = tracker.record(&it.synchronized_snapshot(), eps2);
+    assert!(err < 5e-5, "GRAPE energy error {err:e}");
+}
+
+#[test]
+fn different_machine_sizes_identical_trajectories() {
+    // The full §3.4 claim, at integration level: run the same cluster on a
+    // 1-board and a 4-board machine — every position bit must match at
+    // every output time, because the block-FP forces are identical.
+    let n = 48;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(102));
+    let cfg = IntegratorConfig::default();
+    let small = MachineConfig {
+        boards: 1,
+        ..MachineConfig::test_small()
+    };
+    let large = MachineConfig {
+        boards: 4,
+        ..MachineConfig::test_small()
+    };
+    let mut run_a = HermiteIntegrator::new(Grape6Engine::new(&small, n), set.clone(), cfg);
+    let mut run_b = HermiteIntegrator::new(Grape6Engine::new(&large, n), set, cfg);
+    for k in 1..=4 {
+        let t = k as f64 * 0.03125;
+        run_a.run_until(t);
+        run_b.run_until(t);
+        let a = run_a.particles();
+        let b = run_b.particles();
+        for i in 0..n {
+            assert_eq!(a.pos[i], b.pos[i], "t={t} i={i}: positions diverged");
+            assert_eq!(a.vel[i], b.vel[i], "t={t} i={i}: velocities diverged");
+            assert_eq!(a.dt[i], b.dt[i], "t={t} i={i}: timesteps diverged");
+        }
+    }
+    assert_eq!(
+        run_a.stats().particle_steps,
+        run_b.stats().particle_steps,
+        "identical forces must give identical schedules"
+    );
+}
+
+#[test]
+fn all_three_softenings_run_and_conserve() {
+    let n = 64;
+    for soft in Softening::PAPER_CHOICES {
+        let set = plummer_model(n, &mut StdRng::seed_from_u64(103));
+        let eps2 = soft.epsilon2(n);
+        let e0 = energy(&set, eps2);
+        let cfg = IntegratorConfig {
+            softening: soft,
+            ..Default::default()
+        };
+        let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, cfg);
+        it.run_until(0.25);
+        let e1 = energy(&it.synchronized_snapshot(), eps2);
+        let err = ((e1.total() - e0.total()) / e0.total()).abs();
+        assert!(err < 1e-4, "{}: energy error {err:e}", soft.label());
+    }
+}
+
+#[test]
+fn smaller_softening_resolves_shorter_timescales() {
+    // The fig. 15 mechanism at the integration level: ε = 4/N produces a
+    // finer timestep floor than ε = 1/64 on the same realisation.
+    let n = 128;
+    let dt_min_for = |soft: Softening| -> f64 {
+        let set = plummer_model(n, &mut StdRng::seed_from_u64(104));
+        let cfg = IntegratorConfig {
+            softening: soft,
+            ..Default::default()
+        };
+        let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, cfg);
+        it.run_until(0.25);
+        it.stats().dt_min
+    };
+    let coarse = dt_min_for(Softening::Constant);
+    let fine = dt_min_for(Softening::CloseEncounter);
+    assert!(
+        fine <= coarse,
+        "eps=4/N dt_min {fine:e} should not exceed eps=1/64 dt_min {coarse:e}"
+    );
+}
+
+/// Long-haul validation: a full paper-style benchmark unit (1 Heggie time
+/// unit) on the bit-level hardware simulator.  Several minutes of CPU —
+/// run explicitly with `cargo test --release -- --ignored`.
+#[test]
+#[ignore = "long: ~minutes; run with -- --ignored"]
+fn full_time_unit_on_simulated_hardware() {
+    let n = 128;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(2003));
+    let eps2 = Softening::Constant.epsilon2(n);
+    let mut tracker = ConservationTracker::new(&set, eps2);
+    let mut it = HermiteIntegrator::new(
+        Grape6Engine::new(&MachineConfig::test_small(), n),
+        set,
+        IntegratorConfig::default(),
+    );
+    it.run_until(1.0);
+    let err = tracker.record(&it.synchronized_snapshot(), eps2);
+    assert!(err < 2e-4, "energy error over a full time unit: {err:e}");
+    assert!(it.stats().particle_steps > 10_000);
+}

@@ -1,0 +1,99 @@
+//! The parallel algorithms against the serial reference, end to end.
+
+use grape6::core::{HermiteIntegrator, IntegratorConfig};
+use grape6::nbody::force::{direct_all, DirectEngine};
+use grape6::nbody::ic::plummer::plummer_model;
+use grape6::net::LinkProfile;
+use grape6::parallel::copy_algo::{run_copy_parallel, CopyConfig};
+use grape6::parallel::{grid2d_forces, ring_forces};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn copy_algorithm_bitwise_across_rank_counts() {
+    let n = 36;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(200));
+    let cfg = CopyConfig::default();
+    let mut serial = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg.integ);
+    serial.run_until(0.2);
+    let want = serial.particles().clone();
+    for p in [2usize, 4, 5] {
+        let got = run_copy_parallel(&set, p, 0.2, &cfg);
+        assert_eq!(got.set.pos, want.pos, "p={p}: positions differ");
+        assert_eq!(got.set.vel, want.vel, "p={p}: velocities differ");
+        assert_eq!(
+            got.stats.blocksteps,
+            serial.stats().blocksteps,
+            "p={p}: schedules differ"
+        );
+    }
+}
+
+#[test]
+fn ring_and_grid_forces_match_direct_summation() {
+    let n = 70;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(201));
+    let eps2 = 1e-4;
+    let want = direct_all(&set.mass, &set.pos, &set.vel, eps2);
+    let (ring, _) = ring_forces(
+        &set.mass,
+        &set.pos,
+        &set.vel,
+        eps2,
+        4,
+        LinkProfile::ideal(),
+        0.0,
+    );
+    let (grid, _) = grid2d_forces(
+        &set.mass,
+        &set.pos,
+        &set.vel,
+        eps2,
+        3,
+        LinkProfile::ideal(),
+        0.0,
+    );
+    for i in 0..n {
+        assert!((ring[i].acc - want[i].acc).norm() < 1e-11, "ring i={i}");
+        assert!((grid[i].acc - want[i].acc).norm() < 1e-11, "grid i={i}");
+        assert!((ring[i].pot - want[i].pot).abs() < 1e-11);
+        assert!((grid[i].pot - want[i].pot).abs() < 1e-11);
+    }
+}
+
+#[test]
+fn more_ranks_more_wire_traffic_same_physics() {
+    // The copy algorithm's defining cost: every update crosses the wire to
+    // every other rank, so total bytes grow with p while the physics does
+    // not change at all.
+    let n = 30;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(202));
+    let cfg = CopyConfig::default();
+    let r2 = run_copy_parallel(&set, 2, 0.1, &cfg);
+    let r4 = run_copy_parallel(&set, 4, 0.1, &cfg);
+    assert_eq!(r2.set.pos, r4.set.pos);
+    let b2: u64 = r2.bytes_sent.iter().sum();
+    let b4: u64 = r4.bytes_sent.iter().sum();
+    assert!(
+        b4 > b2,
+        "4 ranks should move more total bytes than 2 ({b4} vs {b2})"
+    );
+}
+
+#[test]
+fn grid2d_communication_advantage_over_copy() {
+    // §3.2's reason for the 2-D layout: per-node communication O(N/r)
+    // instead of O(N).  Compare the wire bytes of a full force round.
+    let n = 120;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(203));
+    let link = LinkProfile::ideal();
+    // Ring with 4 ranks moves every block O(p) times.
+    let (_, ring_clocks) = ring_forces(&set.mass, &set.pos, &set.vel, 0.0, 4, link, 1e-8);
+    // Grid with r=2 (4 ranks) reduces locally.
+    let (_, grid_clocks) = grid2d_forces(&set.mass, &set.pos, &set.vel, 0.0, 2, link, 1e-8);
+    // Both finish; on an ideal link the compute dominates and the grid's
+    // slowest rank must not exceed the ring's by much.
+    let ring_t = ring_clocks.iter().cloned().fold(0.0, f64::max);
+    let grid_t = grid_clocks.iter().cloned().fold(0.0, f64::max);
+    assert!(grid_t < ring_t * 1.5, "grid {grid_t} vs ring {ring_t}");
+}

@@ -1,0 +1,126 @@
+//! Property-based tests of the hardware simulator layer.
+
+use grape6::chip::chip::{Chip, ChipConfig};
+use grape6::chip::pipeline::{ExpSet, HwIParticle};
+use grape6::nbody::force::{pair_force, JParticle};
+use grape6::nbody::Vec3;
+use grape6::system::ensemble::Ensemble;
+use grape6::system::unit::{ChipUnit, GrapeUnit};
+use proptest::prelude::*;
+
+/// Strategy: a bounded particle well inside the fixed-point box.
+fn particle_strategy() -> impl Strategy<Value = JParticle> {
+    (
+        0.001f64..1.0,
+        prop::array::uniform3(-8.0f64..8.0),
+        prop::array::uniform3(-2.0f64..2.0),
+    )
+        .prop_map(|(mass, pos, vel)| JParticle {
+            mass,
+            t0: 0.0,
+            pos: Vec3::from_array(pos),
+            vel: Vec3::from_array(vel),
+            ..Default::default()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The chip's force agrees with the f64 kernel to pipeline precision
+    /// for arbitrary particle sets and probes.
+    #[test]
+    fn chip_force_matches_f64_kernel(
+        particles in prop::collection::vec(particle_strategy(), 1..24),
+        probe in particle_strategy(),
+        eps2 in 1e-6f64..1e-2,
+    ) {
+        let mut chip = Chip::new(ChipConfig::default());
+        for (k, p) in particles.iter().enumerate() {
+            chip.load_j(k, p);
+        }
+        chip.set_time(0.0);
+        let ip = HwIParticle::from_host(probe.pos, probe.vel, eps2);
+        // Reference in f64.
+        let mut want_acc = Vec3::ZERO;
+        let mut want_pot = 0.0;
+        for p in &particles {
+            let (a, _, po) = pair_force(p.pos - probe.pos, p.vel - probe.vel, p.mass, eps2);
+            want_acc += a;
+            want_pot += po;
+        }
+        let exps = [ExpSet::from_magnitudes(
+            want_acc.norm().max(1e-3),
+            1e3,
+            want_pot.abs().max(1e-3),
+        )];
+        let got = chip.compute_block(&[ip], &exps).unwrap()[0].to_force_result();
+        let scale = want_acc.norm().max(1e-9);
+        prop_assert!(
+            (got.acc - want_acc).norm() / scale < 1e-3,
+            "acc {:?} vs {:?}",
+            got.acc,
+            want_acc
+        );
+        prop_assert!((got.pot - want_pot).abs() / want_pot.abs().max(1e-9) < 1e-3);
+    }
+
+    /// Any split of the j-set over any number of chips is bit-identical to
+    /// the single-chip result (the §3.4 property, randomised).
+    #[test]
+    fn ensemble_partition_bit_invariant(
+        particles in prop::collection::vec(particle_strategy(), 2..40),
+        n_chips in 2usize..6,
+        probe in particle_strategy(),
+    ) {
+        let mut single = ChipUnit::new(Chip::new(ChipConfig::default()));
+        let chips: Vec<ChipUnit> = (0..n_chips)
+            .map(|_| ChipUnit::new(Chip::new(ChipConfig::default())))
+            .collect();
+        let mut group = Ensemble::new(chips);
+        for (k, p) in particles.iter().enumerate() {
+            single.load_j(k, p);
+            group.load_j(k, p);
+        }
+        single.set_time(0.0);
+        group.set_time(0.0);
+        let ip = [HwIParticle::from_host(probe.pos, probe.vel, 1e-4)];
+        let exps = [ExpSet::from_magnitudes(100.0, 1000.0, 100.0)];
+        let a = single.compute_block(&ip, &exps).unwrap();
+        let b = group.compute_block(&ip, &exps).unwrap();
+        for c in 0..3 {
+            prop_assert_eq!(a[0].acc[c].mant(), b[0].acc[c].mant());
+            prop_assert_eq!(a[0].jerk[c].mant(), b[0].jerk[c].mant());
+        }
+        prop_assert_eq!(a[0].pot.mant(), b[0].pot.mant());
+    }
+
+    /// The on-chip predictor is consistent with the f64 predictor for any
+    /// polynomial and any in-range Δt.
+    #[test]
+    fn hw_predictor_tracks_f64(
+        p in particle_strategy(),
+        acc in prop::array::uniform3(-1.0f64..1.0),
+        jerk in prop::array::uniform3(-1.0f64..1.0),
+        dt in 0.0f64..0.25,
+    ) {
+        use grape6::chip::jmem::HwJParticle;
+        use grape6::chip::predictor::predict;
+        use grape6::nbody::force::predict_j;
+        let j = JParticle {
+            acc: Vec3::from_array(acc),
+            jerk: Vec3::from_array(jerk),
+            ..p
+        };
+        let hw = HwJParticle::from_host(&j);
+        let pred = predict(&hw, j.t0 + dt);
+        let (x_ref, v_ref) = predict_j(&j, j.t0 + dt);
+        let x = pred.pos.to_f64();
+        for c in 0..3 {
+            // Absolute tolerance: displacements are O(vel·dt) ≲ 0.5 and the
+            // pipeline rounds at 2^-24 relative per operation.
+            prop_assert!((x[c] - x_ref[c]).abs() < 3e-6, "c={c}: {} vs {}", x[c], x_ref[c]);
+            prop_assert!((pred.vel[c] - v_ref[c]).abs() < 3e-6);
+        }
+    }
+}

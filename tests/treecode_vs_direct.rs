@@ -1,0 +1,85 @@
+//! The §5 baseline against the direct codes: accuracy, scaling, and the
+//! shared-vs-individual timestep argument.
+
+use grape6::core::{HermiteIntegrator, IntegratorConfig};
+use grape6::nbody::diagnostics::energy;
+use grape6::nbody::force::{direct_all, DirectEngine};
+use grape6::nbody::ic::plummer::plummer_model;
+use grape6::tree::integrate::LeapfrogIntegrator;
+use grape6::tree::traverse::tree_forces;
+use grape6::tree::tree::{Octree, TreeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn tree_accuracy_at_standard_theta() {
+    let n = 2000;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(400));
+    let eps2 = 1e-4;
+    let tree = Octree::build(&set.mass, &set.pos, &TreeConfig::default());
+    let (acc, _, stats) = tree_forces(&tree, 0.5, eps2);
+    let want = direct_all(&set.mass, &set.pos, &set.vel, eps2);
+    let mut rms = 0.0;
+    for i in 0..n {
+        let rel = (acc[i] - want[i].acc).norm() / want[i].acc.norm();
+        rms += rel * rel;
+    }
+    let rms = (rms / n as f64).sqrt();
+    assert!(rms < 5e-3, "θ=0.5 rms force error {rms:e}");
+    // And it must be doing less work than direct (the advantage is modest
+    // at N = 2000 with a strict θ = 0.5; it widens with N — see the
+    // treecode crate's own scaling test).
+    assert!(
+        stats.total() < (n * n) as u64 * 3 / 5,
+        "tree did {} interactions vs {} direct",
+        stats.total(),
+        n * n
+    );
+}
+
+#[test]
+fn treecode_energy_drift_bounded() {
+    let n = 512;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(401));
+    let eps2 = 1e-4;
+    let e0 = energy(&set, eps2);
+    let mut lf = LeapfrogIntegrator::new(set, 0.5, eps2, 1.0 / 512.0);
+    lf.run_until(0.25);
+    let e1 = energy(&lf.set, eps2);
+    let err = ((e1.total() - e0.total()) / e0.total()).abs();
+    assert!(err < 1e-3, "treecode energy drift {err:e}");
+}
+
+#[test]
+fn shared_timestep_pays_a_large_step_factor() {
+    // §5: "If we use shared timestep, we need at least 100 times more
+    // particle steps."  At small N the factor is tens; it grows with N.
+    let n = 1024;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(402));
+    let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, IntegratorConfig::default());
+    it.run_until(0.25);
+    let st = it.stats();
+    let individual = st.particle_steps as f64;
+    let shared = n as f64 * 0.25 / st.dt_min;
+    let factor = shared / individual;
+    assert!(
+        factor > 20.0,
+        "shared/individual step factor only {factor:.1} at N={n}"
+    );
+}
+
+#[test]
+fn tree_and_grape_style_forces_agree() {
+    // Close the loop: the θ→0 tree, the f64 direct code, and the monopole
+    // traversal all describe the same gravity.
+    let n = 300;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(403));
+    let eps2 = 4e-4;
+    let tree = Octree::build(&set.mass, &set.pos, &TreeConfig::default());
+    let (acc_exact, pot_exact, _) = tree_forces(&tree, 0.0, eps2);
+    let want = direct_all(&set.mass, &set.pos, &set.vel, eps2);
+    for i in 0..n {
+        assert!((acc_exact[i] - want[i].acc).norm() < 1e-11);
+        assert!((pot_exact[i] - want[i].pot).abs() < 1e-11);
+    }
+}
