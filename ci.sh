@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must pass.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> ci.sh: all green"

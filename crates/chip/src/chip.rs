@@ -23,7 +23,7 @@ use grape6_arith::blockfp::BlockFpError;
 use grape6_arith::rsqrt::RsqrtCubedUnit;
 use nbody_core::force::JParticle;
 
-use crate::jmem::{HwJParticle, JMemory};
+use crate::jmem::{HwJParticle, JMemory, StuckBit};
 use crate::pipeline::{interact, ExpSet, HwIParticle, PartialForce};
 use crate::predictor::{predict, PredictedJ};
 
@@ -82,6 +82,13 @@ pub struct Chip {
     interactions: u64,
     /// Scratch buffer of predicted j-particles, reused across passes.
     predicted: Vec<PredictedJ>,
+    /// Fault injection: the whole chip is dead (returns zeros, burns no
+    /// cycles — it simply never answers the reduction network).
+    dead: bool,
+    /// Fault injection: bitmask of dead physical pipelines.  A dead
+    /// pipeline's 8 virtual i-slots return zeros, but cycles are still
+    /// charged — the memory stream runs regardless.
+    dead_pipelines: u64,
 }
 
 impl Chip {
@@ -94,7 +101,55 @@ impl Chip {
             cycles: 0,
             interactions: 0,
             predicted: Vec::new(),
+            dead: false,
+            dead_pipelines: 0,
             cfg,
+        }
+    }
+
+    /// Kill or revive the whole chip (fault injection).  A dead chip
+    /// silently returns all-zero partial forces and consumes no cycles.
+    pub fn set_dead(&mut self, dead: bool) {
+        self.dead = dead;
+    }
+
+    /// True if the chip has been killed.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Kill one physical pipeline (fault injection).  Its 8 virtual
+    /// i-slots return zeros; the other pipelines are unaffected.
+    pub fn set_pipeline_dead(&mut self, pipeline: usize) {
+        assert!(
+            pipeline < self.cfg.pipelines,
+            "pipeline {pipeline} out of range ({} on die)",
+            self.cfg.pipelines
+        );
+        self.dead_pipelines |= 1 << pipeline;
+    }
+
+    /// Bitmask of dead pipelines.
+    pub fn dead_pipelines(&self) -> u64 {
+        self.dead_pipelines
+    }
+
+    /// Jam a j-memory data line stuck at 1 (fault injection).
+    pub fn add_stuck_jmem_bit(&mut self, s: StuckBit) {
+        self.jmem.add_stuck_bit(s);
+    }
+
+    /// Zero the virtual i-slots served by dead pipelines.  VMP slot `k`
+    /// belongs to physical pipeline `k / vmp_ways`.
+    fn censor_dead_pipelines(&self, out: &mut [PartialForce], exps: &[ExpSet]) {
+        if self.dead_pipelines == 0 {
+            return;
+        }
+        for (k, pf) in out.iter_mut().enumerate() {
+            let pipe = k / self.cfg.vmp_ways;
+            if self.dead_pipelines & (1 << pipe) != 0 {
+                *pf = PartialForce::new(exps[k]);
+            }
         }
     }
 
@@ -162,6 +217,10 @@ impl Chip {
             self.cfg.i_parallelism()
         );
         assert_eq!(i_regs.len(), exps.len(), "one ExpSet per i-particle");
+        if self.dead {
+            // A dead chip never answers: all-zero partials, no cycles.
+            return Ok(exps.iter().map(|&e| PartialForce::new(e)).collect());
+        }
         let n_j = self.jmem.len();
         // Charge cycles up front: the hardware streams the whole memory
         // regardless of whether the host later accepts the result.
@@ -186,6 +245,7 @@ impl Chip {
             }
             out.push(pf);
         }
+        self.censor_dead_pipelines(&mut out, exps);
         Ok(out)
     }
 
@@ -203,6 +263,10 @@ impl Chip {
         assert!(i_regs.len() <= self.cfg.i_parallelism());
         assert_eq!(i_regs.len(), exps.len());
         assert_eq!(i_regs.len(), h2.len(), "one neighbour radius per i-particle");
+        if self.dead {
+            let out = exps.iter().map(|&e| PartialForce::new(e)).collect();
+            return Ok((out, vec![Vec::new(); i_regs.len()]));
+        }
         let n_j = self.jmem.len();
         if n_j > 0 && !i_regs.is_empty() {
             self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
@@ -227,6 +291,14 @@ impl Chip {
             }
             out.push(pf);
             lists.push(nb);
+        }
+        self.censor_dead_pipelines(&mut out, exps);
+        if self.dead_pipelines != 0 {
+            for (k, nb) in lists.iter_mut().enumerate() {
+                if self.dead_pipelines & (1 << (k / self.cfg.vmp_ways)) != 0 {
+                    nb.clear();
+                }
+            }
         }
         Ok((out, lists))
     }
@@ -454,6 +526,85 @@ mod tests {
             assert_eq!(forces[k].acc[0].mant(), plain[k].acc[0].mant());
             assert_eq!(forces[k].pot.mant(), plain[k].pot.mant());
         }
+    }
+
+    #[test]
+    fn dead_chip_returns_zeros_and_no_cycles() {
+        let (mass, pos, vel) = test_system(64);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        chip.set_dead(true);
+        assert!(chip.is_dead());
+        let i_regs: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(30.0, 300.0, 30.0); 48];
+        let out = chip.compute_block(&i_regs, &exps).unwrap();
+        for pf in &out {
+            let f = pf.to_force_result();
+            assert_eq!(f.acc.norm(), 0.0);
+            assert_eq!(f.pot, 0.0);
+        }
+        assert_eq!(chip.cycles(), 0);
+        assert_eq!(chip.interactions(), 0);
+    }
+
+    #[test]
+    fn dead_pipeline_zeros_its_vmp_slots_only() {
+        let (mass, pos, vel) = test_system(64);
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, &mass, &pos, &vel);
+        chip.set_pipeline_dead(2); // slots 16..24
+        let i_regs: Vec<HwIParticle> = (0..48)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(30.0, 300.0, 30.0); 48];
+        let out = chip.compute_block(&i_regs, &exps).unwrap();
+        for (k, pf) in out.iter().enumerate() {
+            let f = pf.to_force_result();
+            if (16..24).contains(&k) {
+                assert_eq!(f.acc.norm(), 0.0, "slot {k} served by dead pipe");
+            } else {
+                assert!(f.acc.norm() > 0.0, "slot {k} healthy");
+            }
+        }
+        // Cycles are still charged: the memory stream runs regardless.
+        assert_eq!(chip.cycles(), 30 + 8 * 64);
+    }
+
+    #[test]
+    fn stuck_jmem_bit_perturbs_forces() {
+        let (mass, pos, vel) = test_system(64);
+        let mut healthy = Chip::new(ChipConfig::default());
+        load_chip(&mut healthy, &mass, &pos, &vel);
+        let mut broken = Chip::new(ChipConfig::default());
+        broken.add_stuck_jmem_bit(crate::jmem::StuckBit {
+            addr: 0,
+            lane: 0,
+            bit: 56,
+        });
+        load_chip(&mut broken, &mass, &pos, &vel);
+        // Pin a positive x at the faulted address so bit 56 (= 0.5 length
+        // units) is guaranteed clear before the fault forces it high.
+        let pinned = JParticle {
+            mass: mass[0],
+            t0: 0.0,
+            pos: nbody_core::Vec3::new(0.125, 0.2, -0.3),
+            vel: vel[0],
+            ..Default::default()
+        };
+        healthy.load_j(0, &pinned);
+        broken.load_j(0, &pinned);
+        let i_regs: Vec<HwIParticle> = (0..8)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(30.0, 300.0, 30.0); 8];
+        let a = healthy.compute_block(&i_regs, &exps).unwrap();
+        let b = broken.compute_block(&i_regs, &exps).unwrap();
+        let differs = (0..8).any(|k| {
+            a[k].acc[0].mant() != b[k].acc[0].mant() || a[k].pot.mant() != b[k].pot.mant()
+        });
+        assert!(differs, "bit 56 (0.5 length units) must move the forces");
     }
 
     #[test]

@@ -13,9 +13,22 @@
 //! (double → fixed-point position, double → short-float dynamics), so
 //! everything downstream sees only hardware-representable values.
 
-use grape6_arith::fixed::PosVec;
+use grape6_arith::fixed::{PosFix, PosVec};
 use grape6_arith::{quantize_sig, PIPE_SIG_BITS};
 use nbody_core::force::JParticle;
+
+/// A stuck-at-1 data line on the j-memory bus: every write to `addr` has
+/// `bit` of the position word in lane `lane` forced high.  Rewriting the
+/// particle does not heal it — the line, not the cell content, is broken.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StuckBit {
+    /// Memory address the broken line affects.
+    pub addr: usize,
+    /// Position coordinate lane (0 = x, 1 = y, 2 = z).
+    pub lane: usize,
+    /// Bit index in the 64-bit fixed-point word.
+    pub bit: u32,
+}
 
 /// A j-particle in hardware storage formats.
 #[derive(Clone, Copy, Debug)]
@@ -79,6 +92,8 @@ pub struct JMemory {
     slots: Vec<HwJParticle>,
     /// Highest occupied address + 1 — the range the pipelines stream over.
     used: usize,
+    /// Injected stuck data lines, reapplied on every write.
+    stuck: Vec<StuckBit>,
 }
 
 impl JMemory {
@@ -88,7 +103,16 @@ impl JMemory {
         Self {
             slots: vec![HwJParticle::vacant(); capacity],
             used: 0,
+            stuck: Vec::new(),
         }
+    }
+
+    /// Inject a stuck-at-1 data line (fault injection).
+    pub fn add_stuck_bit(&mut self, s: StuckBit) {
+        assert!(s.addr < self.slots.len(), "stuck bit beyond capacity");
+        assert!(s.lane < 3, "position lanes are 0..3");
+        assert!(s.bit < 64, "64-bit word");
+        self.stuck.push(s);
     }
 
     /// Capacity in particles.
@@ -115,6 +139,19 @@ impl JMemory {
             self.slots.len()
         );
         self.slots[addr] = p;
+        for k in 0..self.stuck.len() {
+            let s = self.stuck[k];
+            if s.addr != addr {
+                continue;
+            }
+            let p = &mut self.slots[addr];
+            let f = match s.lane {
+                0 => &mut p.pos.x,
+                1 => &mut p.pos.y,
+                _ => &mut p.pos.z,
+            };
+            *f = PosFix::from_raw(f.raw() | (1i64 << s.bit));
+        }
         self.used = self.used.max(addr + 1);
     }
 
@@ -174,6 +211,29 @@ mod tests {
         m.clear();
         assert!(m.is_empty());
         assert_eq!(m.capacity(), 8);
+    }
+
+    #[test]
+    fn stuck_bit_survives_rewrites() {
+        let mut m = JMemory::new(8);
+        m.add_stuck_bit(StuckBit {
+            addr: 2,
+            lane: 1,
+            bit: 55,
+        });
+        let p = host_particle();
+        m.write(2, HwJParticle::from_host(&p));
+        let first = m.stream()[2].pos.y.raw();
+        assert_ne!(first & (1i64 << 55), 0, "bit forced high");
+        // Rewriting does not heal it.
+        m.write(2, HwJParticle::from_host(&p));
+        assert_eq!(m.stream()[2].pos.y.raw(), first);
+        // Other addresses are untouched.
+        m.write(3, HwJParticle::from_host(&p));
+        assert_eq!(
+            m.stream()[3].pos.y.raw(),
+            HwJParticle::from_host(&p).pos.y.raw()
+        );
     }
 
     #[test]

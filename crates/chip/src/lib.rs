@@ -23,5 +23,5 @@ pub mod pipeline;
 pub mod predictor;
 
 pub use chip::{Chip, ChipConfig, I_PARALLEL_PER_CHIP};
-pub use jmem::HwJParticle;
+pub use jmem::{HwJParticle, StuckBit};
 pub use pipeline::{ExpSet, HwIParticle, PartialForce};

@@ -1,9 +1,37 @@
 //! The GRAPE-6 engine: simulated hardware behind the standard interface.
+//!
+//! Besides the happy path, the engine owns the host side of the failure
+//! story (see `grape6-fault`):
+//!
+//! * [`Grape6Engine::with_fault_plan`] injects a seeded [`FaultPlan`] into
+//!   the hardware, runs the startup known-answer **self-test** and masks
+//!   every unit that answers wrongly — exactly what the real host library
+//!   did at initialisation;
+//! * every compute pass screens the returned forces (NaN/overflow sanity
+//!   guard) and recomputes on the surviving hardware when the reduction
+//!   network returns a corrupted word;
+//! * scheduled mid-run unit deaths are applied between passes: the failed
+//!   unit is masked, and the j-particles are **redistributed** over the
+//!   survivors from the engine's host-side mirror.  Block floating-point
+//!   summation makes the refreshed partitioning bitwise-invisible in the
+//!   forces (§3.4), which the integration tests assert;
+//! * the §3.4 exponent-overflow retry loop now *returns* a typed
+//!   [`EngineError::ExponentDivergence`] instead of panicking when even
+//!   maximally-widened windows keep overflowing.
+//!
+//! Everything is counted ([`FaultCounters`]) and logged ([`FaultEvent`]);
+//! [`Grape6Engine::fault_report`] surfaces the whole story.
 
-use grape6_chip::pipeline::{ExpSet, HwIParticle};
+use grape6_arith::blockfp::BlockFpError;
+use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
+use grape6_fault::{
+    ChipFault, FaultCounters, FaultEvent, FaultPlan, FaultReport, ReductionFaultSchedule,
+    ScheduledDeath, UnitPath,
+};
 use grape6_system::machine::{BoardArray, MachineConfig};
+use grape6_system::selftest::{self_test, SelfTestConfig, SelfTestReport};
 use grape6_system::unit::GrapeUnit;
-use nbody_core::force::{ForceEngine, ForceResult, IParticle, JParticle};
+use nbody_core::force::{EngineError, ForceEngine, ForceResult, IParticle, JParticle};
 
 /// Widening applied to all windows on each overflow retry (bits).
 const RETRY_WIDEN_BITS: i32 = 8;
@@ -11,6 +39,15 @@ const RETRY_WIDEN_BITS: i32 = 8;
 /// Maximum retries before giving up (a magnitude this wrong means NaNs or a
 /// corrupted state, not a bad guess).
 const MAX_RETRIES: u32 = 12;
+
+/// Maximum recomputes of one chunk after reduction glitches or sanity-
+/// screen rejections; transient faults recover in one, anything persistent
+/// is a hardware fault the retry loop cannot fix.
+const MAX_GLITCH_RECOMPUTES: u32 = 4;
+
+/// Anything finite the pipelines can legitimately produce sits far below
+/// this; beyond it the result is corrupt even if technically finite.
+const SANITY_NORM_LIMIT: f64 = 1e60;
 
 /// The simulated GRAPE-6 hardware of one host, exposed as a
 /// [`ForceEngine`].
@@ -27,22 +64,113 @@ pub struct Grape6Engine {
     mag: (f64, f64, f64),
     retries: u64,
     i_parallel: usize,
+    /// Host-side copy of every loaded j-particle, so survivors can be
+    /// reloaded when hardware is masked mid-run.
+    mirror: Vec<Option<JParticle>>,
+    /// Current system time (needed to restore hardware state on reload).
+    time: f64,
+    /// Compute chunks completed — the clock scheduled deaths run on.
+    pass: u64,
+    /// Deaths not yet applied, from the fault plan.
+    deaths: Vec<ScheduledDeath>,
+    counters: FaultCounters,
+    events: Vec<FaultEvent>,
+    masked: Vec<UnitPath>,
+    total_chips: usize,
+    selftest: Option<SelfTestReport>,
 }
 
 impl Grape6Engine {
-    /// Build the engine from a machine description.
+    /// Build the engine from a machine description (healthy hardware, no
+    /// self-test — construction is free, as the tests' cycle accounting
+    /// expects).
     pub fn new(cfg: &MachineConfig, n_particles: usize) -> Self {
         assert!(
             n_particles <= cfg.capacity(),
             "system of {n_particles} exceeds machine capacity {}",
             cfg.capacity()
         );
+        Self::from_hardware(cfg.build(), cfg.total_chips(), n_particles)
+    }
+
+    /// Build the engine on hardware carrying the given fault plan.
+    ///
+    /// The plan's power-on faults are injected first; then the startup
+    /// self-test drives known-answer vectors through every module and
+    /// board, masking whatever answers wrongly.  Construction fails only
+    /// if the surviving capacity cannot hold `n_particles`.
+    pub fn with_fault_plan(
+        cfg: &MachineConfig,
+        n_particles: usize,
+        plan: &FaultPlan,
+    ) -> Result<Self, EngineError> {
+        let mut hw = cfg.build();
+        // Power-on faults.
+        for (path, fault) in &plan.chip_faults {
+            hw.inject_chip_fault(path, fault);
+        }
+        for path in &plan.dead_modules {
+            for c in 0..cfg.chips_per_module {
+                let mut chip_path = path.clone();
+                chip_path.push(c);
+                hw.inject_chip_fault(&chip_path, &ChipFault::DeadChip);
+            }
+        }
+        for path in &plan.dead_boards {
+            hw.inject_reduction_fault(path, &ReductionFaultSchedule::Permanent);
+        }
+        if !plan.reduction_glitch_passes.is_empty() {
+            hw.inject_reduction_fault(
+                &[],
+                &ReductionFaultSchedule::AtPasses(plan.reduction_glitch_passes.clone()),
+            );
+        }
+        // Startup self-test: mask everything that answers wrongly.
+        let report = self_test(&mut hw, &SelfTestConfig::default());
+        let mut engine = Self::from_hardware(hw, cfg.total_chips(), n_particles);
+        engine.counters.selftest_failures = report.failures.len() as u64;
+        for f in &report.failures {
+            engine.events.push(FaultEvent::SelfTestFailure {
+                path: f.path.clone(),
+                rel_err: f.rel_err,
+            });
+        }
+        for path in &report.masked {
+            engine.counters.units_masked += 1;
+            engine.masked.push(path.clone());
+            engine.events.push(FaultEvent::UnitMasked {
+                path: path.clone(),
+                pass: 0,
+            });
+        }
+        engine.selftest = Some(report);
+        engine.deaths = plan.midrun_deaths.clone();
+        let available = engine.hw.capacity();
+        if n_particles > available {
+            return Err(EngineError::InsufficientCapacity {
+                needed: n_particles,
+                available,
+            });
+        }
+        Ok(engine)
+    }
+
+    fn from_hardware(hw: BoardArray, total_chips: usize, n_particles: usize) -> Self {
         Self {
-            hw: cfg.build(),
+            hw,
             n_slots: n_particles,
             mag: (1.0, 1.0, 1.0),
             retries: 0,
             i_parallel: 48,
+            mirror: vec![None; n_particles],
+            time: 0.0,
+            pass: 0,
+            deaths: Vec::new(),
+            counters: FaultCounters::default(),
+            events: Vec::new(),
+            masked: Vec::new(),
+            total_chips,
+            selftest: None,
         }
     }
 
@@ -59,6 +187,31 @@ impl Grape6Engine {
     /// Direct access to the hardware (tests, inspection).
     pub fn hardware(&self) -> &BoardArray {
         &self.hw
+    }
+
+    /// Chips currently in service.
+    pub fn alive_chips(&self) -> usize {
+        self.hw.alive_chips()
+    }
+
+    /// The startup self-test outcome, if one ran
+    /// ([`Grape6Engine::with_fault_plan`] construction).
+    pub fn self_test_report(&self) -> Option<&SelfTestReport> {
+        self.selftest.as_ref()
+    }
+
+    /// The full fault/degradation story so far: counters, masked units,
+    /// ordered event log, surviving capacity.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut counters = self.counters;
+        counters.exponent_retries = self.retries;
+        FaultReport {
+            counters,
+            masked: self.masked.clone(),
+            events: self.events.clone(),
+            alive_chips: self.hw.alive_chips(),
+            total_chips: self.total_chips,
+        }
     }
 
     fn exps(&self) -> ExpSet {
@@ -78,6 +231,173 @@ impl Grape6Engine {
         self.mag.0 = (self.mag.0 * 0.9).max(a);
         self.mag.1 = (self.mag.1 * 0.9).max(j);
         self.mag.2 = (self.mag.2 * 0.9).max(p);
+    }
+
+    /// True if a converted force is something working hardware can emit.
+    fn result_sane(r: &ForceResult) -> bool {
+        let finite = r.acc.x.is_finite()
+            && r.acc.y.is_finite()
+            && r.acc.z.is_finite()
+            && r.jerk.x.is_finite()
+            && r.jerk.y.is_finite()
+            && r.jerk.z.is_finite()
+            && r.pot.is_finite();
+        finite && r.acc.norm2() < SANITY_NORM_LIMIT && r.jerk.norm2() < SANITY_NORM_LIMIT
+    }
+
+    /// Apply every scheduled death that has come due; if hardware was
+    /// masked, redistribute the j-particles over the survivors.
+    fn apply_due_deaths(&mut self) -> Result<(), EngineError> {
+        if self.deaths.is_empty() {
+            return Ok(());
+        }
+        let mut masked_any = false;
+        let mut k = 0;
+        while k < self.deaths.len() {
+            if self.deaths[k].at_pass <= self.pass {
+                let d = self.deaths.remove(k);
+                self.counters.scheduled_deaths += 1;
+                if self.hw.mask_path(&d.path) {
+                    masked_any = true;
+                    self.counters.units_masked += 1;
+                    self.masked.push(d.path.clone());
+                    self.events.push(FaultEvent::UnitMasked {
+                        path: d.path,
+                        pass: self.pass,
+                    });
+                }
+            } else {
+                k += 1;
+            }
+        }
+        if masked_any {
+            self.reload_from_mirror()?;
+        }
+        Ok(())
+    }
+
+    /// Reload every mirrored j-particle onto the (newly smaller) machine.
+    fn reload_from_mirror(&mut self) -> Result<(), EngineError> {
+        let available = self.hw.capacity();
+        if self.n_slots > available {
+            return Err(EngineError::InsufficientCapacity {
+                needed: self.n_slots,
+                available,
+            });
+        }
+        // `clear` also resets the chips' predictor time — restore it before
+        // reloading so the redistributed particles predict identically.
+        self.hw.clear();
+        self.hw.set_time(self.time);
+        for (addr, p) in self.mirror.iter().enumerate() {
+            if let Some(p) = p {
+                self.hw.load_j(addr, p);
+            }
+        }
+        Ok(())
+    }
+
+    /// One i-chunk through the hardware with the full recovery ladder:
+    /// exponent-overflow → widen and retry (bounded); corrupted reduction →
+    /// recompute as-is (bounded); insane output → recompute (bounded).
+    #[allow(clippy::type_complexity)]
+    fn run_chunk(
+        &mut self,
+        regs: &[HwIParticle],
+        h2: Option<&[f64]>,
+    ) -> Result<(Vec<PartialForce>, Option<Vec<Vec<u32>>>), EngineError> {
+        self.pass += 1;
+        self.apply_due_deaths()?;
+        let mut exps = vec![self.exps(); regs.len()];
+        let mut widen_attempts = 0u32;
+        let mut recomputes = 0u32;
+        loop {
+            let outcome = match h2 {
+                None => self
+                    .hw
+                    .compute_block(regs, &exps)
+                    .map(|partials| (partials, None)),
+                Some(h2) => self
+                    .hw
+                    .compute_block_nb(regs, &exps, h2)
+                    .map(|(partials, lists)| (partials, Some(lists))),
+            };
+            match outcome {
+                Ok((partials, lists)) => {
+                    // Host-side sanity screen on everything hardware hands
+                    // back: NaN/inf/absurd values trigger a recompute, and
+                    // if the insanity persists it is a hardware fault.
+                    let insane = partials
+                        .iter()
+                        .any(|p| !Self::result_sane(&p.to_force_result()));
+                    if !insane {
+                        return Ok((partials, lists));
+                    }
+                    recomputes += 1;
+                    self.counters.sanity_recomputes += 1;
+                    self.events.push(FaultEvent::SanityRecompute { pass: self.pass });
+                    if recomputes > MAX_GLITCH_RECOMPUTES {
+                        return Err(EngineError::HardwareFault {
+                            detail: format!(
+                                "force sanity screen still failing after \
+                                 {MAX_GLITCH_RECOMPUTES} recomputes"
+                            ),
+                        });
+                    }
+                }
+                Err(BlockFpError::ExponentMismatch { .. }) => {
+                    // All units share one exponent set, so a mismatch can
+                    // only be a corrupted reduction word (parity fault).
+                    // Recompute without widening.
+                    recomputes += 1;
+                    self.counters.reduction_glitches += 1;
+                    self.events.push(FaultEvent::ReductionGlitch { pass: self.pass });
+                    if recomputes > MAX_GLITCH_RECOMPUTES {
+                        return Err(EngineError::HardwareFault {
+                            detail: format!(
+                                "reduction network still corrupting results after \
+                                 {MAX_GLITCH_RECOMPUTES} recomputes"
+                            ),
+                        });
+                    }
+                }
+                Err(e) => {
+                    // Genuine block-FP overflow: widen the windows (§3.4).
+                    widen_attempts += 1;
+                    self.retries += 1;
+                    if widen_attempts > MAX_RETRIES {
+                        return Err(EngineError::ExponentDivergence {
+                            retries: widen_attempts - 1,
+                            detail: e.to_string(),
+                        });
+                    }
+                    for x in &mut exps {
+                        *x = x.widened(RETRY_WIDEN_BITS * widen_attempts as i32);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fallible compute: the typed-error twin of [`ForceEngine::compute`].
+    pub fn try_compute_forces(
+        &mut self,
+        i: &[IParticle],
+        out: &mut [ForceResult],
+    ) -> Result<(), EngineError> {
+        assert_eq!(i.len(), out.len());
+        for (chunk_i, chunk_o) in i.chunks(self.i_parallel).zip(out.chunks_mut(self.i_parallel)) {
+            let regs: Vec<HwIParticle> = chunk_i
+                .iter()
+                .map(|p| HwIParticle::from_host(p.pos, p.vel, p.eps2))
+                .collect();
+            let (partials, _) = self.run_chunk(&regs, None)?;
+            for (o, p) in chunk_o.iter_mut().zip(&partials) {
+                *o = p.to_force_result();
+            }
+            self.update_mags(chunk_o);
+        }
+        Ok(())
     }
 }
 
@@ -100,43 +420,29 @@ impl ForceEngine for Grape6Engine {
                  well inside the box for exactly this reason)"
             );
         }
+        self.mirror[addr] = Some(*p);
         self.hw.load_j(addr, p);
     }
 
     fn set_time(&mut self, t: f64) {
+        self.time = t;
         self.hw.set_time(t);
     }
 
     fn compute(&mut self, i: &[IParticle], out: &mut [ForceResult]) {
-        assert_eq!(i.len(), out.len());
-        for (chunk_i, chunk_o) in i.chunks(self.i_parallel).zip(out.chunks_mut(self.i_parallel)) {
-            let regs: Vec<HwIParticle> = chunk_i
-                .iter()
-                .map(|p| HwIParticle::from_host(p.pos, p.vel, p.eps2))
-                .collect();
-            let mut exps = vec![self.exps(); regs.len()];
-            let mut attempt = 0u32;
-            let partials = loop {
-                match self.hw.compute_block(&regs, &exps) {
-                    Ok(p) => break p,
-                    Err(e) => {
-                        attempt += 1;
-                        self.retries += 1;
-                        assert!(
-                            attempt <= MAX_RETRIES,
-                            "block-FP exponent retry did not converge: {e}"
-                        );
-                        for x in &mut exps {
-                            *x = x.widened(RETRY_WIDEN_BITS * attempt as i32);
-                        }
-                    }
-                }
-            };
-            for (o, p) in chunk_o.iter_mut().zip(&partials) {
-                *o = p.to_force_result();
-            }
-            self.update_mags(chunk_o);
+        if let Err(e) = self.try_compute_forces(i, out) {
+            panic!("{e}");
         }
+    }
+
+    fn try_compute(&mut self, i: &[IParticle], out: &mut [ForceResult]) -> Result<(), EngineError> {
+        self.try_compute_forces(i, out)
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        let mut c = self.counters;
+        c.exponent_retries = self.retries;
+        c
     }
 
     fn name(&self) -> &'static str {
@@ -159,6 +465,19 @@ impl Grape6Engine {
         h2: &[f64],
         out: &mut [ForceResult],
     ) -> Vec<Vec<u32>> {
+        match self.try_compute_with_neighbours(i, h2, out) {
+            Ok(lists) => lists,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`Grape6Engine::compute_with_neighbours`].
+    pub fn try_compute_with_neighbours(
+        &mut self,
+        i: &[IParticle],
+        h2: &[f64],
+        out: &mut [ForceResult],
+    ) -> Result<Vec<Vec<u32>>, EngineError> {
         assert_eq!(i.len(), out.len());
         assert_eq!(i.len(), h2.len());
         let mut all_lists = Vec::with_capacity(i.len());
@@ -171,31 +490,14 @@ impl Grape6Engine {
                 .iter()
                 .map(|p| HwIParticle::from_host(p.pos, p.vel, p.eps2))
                 .collect();
-            let mut exps = vec![self.exps(); regs.len()];
-            let mut attempt = 0u32;
-            let (partials, lists) = loop {
-                match self.hw.compute_block_nb(&regs, &exps, chunk_h) {
-                    Ok(r) => break r,
-                    Err(e) => {
-                        attempt += 1;
-                        self.retries += 1;
-                        assert!(
-                            attempt <= MAX_RETRIES,
-                            "block-FP exponent retry did not converge: {e}"
-                        );
-                        for x in &mut exps {
-                            *x = x.widened(RETRY_WIDEN_BITS * attempt as i32);
-                        }
-                    }
-                }
-            };
+            let (partials, lists) = self.run_chunk(&regs, Some(chunk_h))?;
             for (o, p) in chunk_o.iter_mut().zip(&partials) {
                 *o = p.to_force_result();
             }
             self.update_mags(chunk_o);
-            all_lists.extend(lists);
+            all_lists.extend(lists.expect("nb path returns lists"));
         }
-        all_lists
+        Ok(all_lists)
     }
 }
 
@@ -378,5 +680,137 @@ mod tests {
     fn oversubscription_rejected() {
         let cfg = MachineConfig::test_small(); // 4 chips × 2048
         Grape6Engine::new(&cfg, 10_000);
+    }
+
+    #[test]
+    fn exponent_divergence_is_a_typed_error() {
+        // Two 1e308 masses 1e-4 apart with ε = 0: the pairwise summands
+        // are infinite, so no amount of window widening converges and the
+        // engine must return ExponentDivergence — not panic.
+        let n = 2;
+        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        for k in 0..n {
+            g.set_j_particle(
+                k,
+                &JParticle {
+                    mass: 1e308,
+                    t0: 0.0,
+                    pos: Vec3::new(k as f64 * 1e-4, 0.0, 0.0),
+                    ..Default::default()
+                },
+            );
+        }
+        g.set_time(0.0);
+        let probe = [IParticle {
+            pos: Vec3::new(-1e-4, 0.0, 0.0),
+            vel: Vec3::ZERO,
+            eps2: 0.0,
+        }];
+        let mut out = [ForceResult::default()];
+        let err = g.try_compute_forces(&probe, &mut out).unwrap_err();
+        match &err {
+            EngineError::ExponentDivergence { retries, .. } => {
+                assert_eq!(*retries, MAX_RETRIES);
+            }
+            other => panic!("expected ExponentDivergence, got {other:?}"),
+        }
+        assert_eq!(g.fault_counters().exponent_retries, (MAX_RETRIES + 1) as u64);
+    }
+
+    #[test]
+    fn fault_plan_masks_dead_module_and_forces_stay_bitwise() {
+        let n = 100;
+        let js = scattered(n);
+        let cfg = MachineConfig::test_small(); // 1 board × 2 modules × 2 chips
+        let plan = FaultPlan::none().with_dead_module(0, 1);
+        let mut faulty = Grape6Engine::with_fault_plan(&cfg, n, &plan).unwrap();
+        let mut clean = Grape6Engine::new(&cfg, n);
+        // Self-test found and masked the dead module before any particles
+        // were loaded.
+        let st = faulty.self_test_report().unwrap();
+        assert_eq!(st.masked, vec![vec![0, 1]]);
+        assert_eq!(faulty.alive_chips(), 2);
+        assert_eq!(clean.alive_chips(), 4);
+        for (k, j) in js.iter().enumerate() {
+            faulty.set_j_particle(k, j);
+            clean.set_j_particle(k, j);
+        }
+        faulty.set_time(0.0625);
+        clean.set_time(0.0625);
+        let probes: Vec<IParticle> = (0..60)
+            .map(|k| IParticle {
+                pos: Vec3::new(0.02 * k as f64 - 0.5, 0.3, -0.1),
+                vel: Vec3::new(0.0, 0.05, 0.0),
+                eps2: 1e-4,
+            })
+            .collect();
+        let mut got = vec![ForceResult::default(); probes.len()];
+        let mut want = vec![ForceResult::default(); probes.len()];
+        faulty.compute(&probes, &mut got);
+        clean.compute(&probes, &mut want);
+        // §3.4: block FP makes the halved machine bitwise invisible.
+        assert_eq!(got, want);
+        // But the fault report is nonzero and the degraded machine is
+        // slower: half the chips ⇒ twice the j per chip on the critical
+        // path.
+        let report = faulty.fault_report();
+        assert_eq!(report.counters.selftest_failures, 1);
+        assert_eq!(report.counters.units_masked, 1);
+        assert_eq!(report.alive_chips, 2);
+        assert_eq!(report.total_chips, 4);
+        assert!(report.availability() < 1.0);
+        assert!(faulty.hardware_cycles() > clean.hardware_cycles());
+    }
+
+    #[test]
+    fn insufficient_surviving_capacity_is_a_typed_error() {
+        // test_small holds 4 × 2048; killing one of two modules leaves
+        // 4096 slots — asking for 5000 must fail with the typed error.
+        let cfg = MachineConfig::test_small();
+        let plan = FaultPlan::none().with_dead_module(0, 0);
+        let err = match Grape6Engine::with_fault_plan(&cfg, 5000, &plan) {
+            Ok(_) => panic!("oversubscribed degraded machine must be rejected"),
+            Err(e) => e,
+        };
+        assert_eq!(
+            err,
+            EngineError::InsufficientCapacity {
+                needed: 5000,
+                available: 4096,
+            }
+        );
+    }
+
+    #[test]
+    fn reduction_glitches_recover_and_are_counted() {
+        let n = 50;
+        let js = scattered(n);
+        let cfg = MachineConfig::test_small();
+        // Glitch the host-port reduction on its 1st and 3rd passes.
+        let plan = FaultPlan::none().with_reduction_glitches(vec![1, 3]);
+        let mut faulty = Grape6Engine::with_fault_plan(&cfg, n, &plan).unwrap();
+        let mut clean = Grape6Engine::new(&cfg, n);
+        for (k, j) in js.iter().enumerate() {
+            faulty.set_j_particle(k, j);
+            clean.set_j_particle(k, j);
+        }
+        faulty.set_time(0.0);
+        clean.set_time(0.0);
+        let probes: Vec<IParticle> = (0..20)
+            .map(|k| IParticle {
+                pos: Vec3::new(0.05 * k as f64 - 0.5, 0.1, 0.0),
+                vel: Vec3::ZERO,
+                eps2: 1e-2,
+            })
+            .collect();
+        let mut got = vec![ForceResult::default(); probes.len()];
+        let mut want = vec![ForceResult::default(); probes.len()];
+        faulty.compute(&probes, &mut got);
+        clean.compute(&probes, &mut want);
+        assert_eq!(got, want, "recomputed passes are exact");
+        let report = faulty.fault_report();
+        assert!(report.counters.reduction_glitches >= 1);
+        // The glitched-and-recomputed passes burned extra cycles.
+        assert!(faulty.hardware_cycles() > clean.hardware_cycles());
     }
 }

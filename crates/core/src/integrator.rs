@@ -112,6 +112,8 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
         for i in 0..n {
             engine.set_j_particle(i, &j_of(&set, i));
         }
+        let mut stats = RunStats::new();
+        stats.faults = engine.fault_counters();
         Self {
             engine,
             set,
@@ -119,7 +121,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             eps,
             eps2,
             t: 0.0,
-            stats: RunStats::new(),
+            stats,
             block: Vec::new(),
             iparts: Vec::new(),
             forces: Vec::new(),
@@ -234,6 +236,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
         let n_b = self.block.len();
         let dt_block = t_next - self.t;
         self.stats.record_block(n_b, dt_block.max(f64::MIN_POSITIVE));
+        self.stats.faults = self.engine.fault_counters();
         self.t = t_next;
         (t_next, n_b)
     }
@@ -330,7 +333,7 @@ mod tests {
         for _ in 0..50 {
             let (t, n_b) = it.step();
             assert!(t > t_prev);
-            assert!(n_b >= 1 && n_b <= 32);
+            assert!((1..=32).contains(&n_b));
             t_prev = t;
         }
         assert_eq!(it.stats().blocksteps, 50);

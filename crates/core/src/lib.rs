@@ -23,8 +23,15 @@
 //!   reference \[10\], splitting the force into a frequently-updated
 //!   neighbour part (host) and a rarely-updated distant part (GRAPE);
 //! * [`stats`] — per-run counters (particle steps, blocksteps, block-size
-//!   histogram, exponent retries) that the benchmark harness converts into
-//!   virtual time via `grape6-model`.
+//!   histogram, exponent retries, fault/recovery events) that the benchmark
+//!   harness converts into virtual time via `grape6-model`.
+//!
+//! Fault injection and degraded operation: build the engine with
+//! [`engine::Grape6Engine::with_fault_plan`] and a seeded
+//! [`grape6_fault::FaultPlan`] — the startup self-test masks broken units,
+//! mid-run deaths redistribute j-particles over the survivors, and the
+//! block floating-point reduction keeps the forces bitwise identical to the
+//! healthy machine throughout (§3.4).
 
 pub mod api;
 pub mod engine;

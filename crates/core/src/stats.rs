@@ -1,5 +1,7 @@
 //! Run statistics: what the benchmark harness needs from an integration.
 
+use grape6_fault::FaultCounters;
+
 /// Counters accumulated over one integration run.
 #[derive(Clone, Debug, Default)]
 pub struct RunStats {
@@ -18,6 +20,10 @@ pub struct RunStats {
     pub dt_min: f64,
     /// Largest spacing between consecutive block times.
     pub dt_max: f64,
+    /// Fault/recovery counters mirrored from the engine (self-test
+    /// failures, masked units, reduction glitches, exponent retries, …).
+    /// All-zero for healthy hardware and host-side engines.
+    pub faults: FaultCounters,
 }
 
 impl RunStats {

@@ -1,0 +1,31 @@
+//! # grape6-fault — seeded fault injection for the machine hierarchy
+//!
+//! The real GRAPE-6 was a 2048-chip machine, and at that scale partial
+//! hardware failure is the steady state: the host library *tested* the
+//! attached chips and modules at startup and ran with failing units mapped
+//! out (Makino et al. 2003, the companion architecture paper).  The §3.4
+//! exponent-retry protocol of the SC'03 paper exists for the same reason —
+//! the hardware can and does return unusable results.
+//!
+//! This crate is the *description* half of the failure story.  It defines
+//! deterministic, seeded fault plans — which chips are dead, which
+//! pipelines are stuck, which j-memory bits are jammed, when a module dies
+//! mid-run, which network messages are dropped — without depending on any
+//! other crate.  Each hardware layer (`grape6-chip`, `grape6-system`,
+//! `grape6-core`, `grape6-net`) *consumes* these plans and implements the
+//! corresponding detection and degradation behaviour; the counters and
+//! event log defined here are how those layers report back.
+//!
+//! Everything is reproducible: the same seed yields the same plan, the same
+//! plan yields the same event log.  No wall-clock entropy anywhere.
+
+pub mod plan;
+pub mod report;
+pub mod rng;
+
+pub use plan::{
+    ChipFault, Delivery, FaultConfig, FaultPlan, MachineGeometry, NetFaultPlan,
+    ReductionFaultSchedule, ScheduledDeath, UnitPath,
+};
+pub use report::{FaultCounters, FaultEvent, FaultReport};
+pub use rng::FaultRng;

@@ -1,0 +1,570 @@
+//! Fault plans: seeded, reproducible schedules of hardware misbehaviour.
+//!
+//! A [`FaultPlan`] names concrete faults against the machine tree using
+//! [`UnitPath`] coordinates — `[board]`, `[board, module]`,
+//! `[board, module, chip]` — mirroring the hierarchy of
+//! `grape6-system::Ensemble`.  Plans can be written by hand (tests) or
+//! generated from a [`FaultConfig`] with [`FaultPlan::generate`] (chaos
+//! runs).  The network side is a [`NetFaultPlan`]: a stateless per-message
+//! oracle, so every rank thread evaluates the fate of a message
+//! independently and reproducibly.
+
+use crate::rng::{mix, FaultRng};
+
+/// Coordinates of a unit in the machine tree, outermost level first
+/// (`[board]`, `[board, module]`, `[board, module, chip]`).
+pub type UnitPath = Vec<usize>;
+
+/// A fault pinned to one chip.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChipFault {
+    /// The chip never answers: its partial forces are all zero and it
+    /// consumes no cycles.  Silent — only a known-answer test catches it.
+    DeadChip,
+    /// One of the six physical pipelines returns zeros for the 8 virtual
+    /// i-slots it serves; the rest of the chip works.
+    DeadPipeline {
+        /// Pipeline index, `0..pipelines`.
+        pipeline: usize,
+    },
+    /// A j-memory data line stuck at 1: every write to `addr` has `bit`
+    /// forced high in position lane `lane`.  Re-writing the particle does
+    /// not heal it — the bit is stuck, not flipped.
+    StuckJmemBit {
+        /// Chip-local j-memory address.
+        addr: usize,
+        /// Position coordinate lane (0 = x, 1 = y, 2 = z).
+        lane: usize,
+        /// Bit index in the 64-bit fixed-point word, `0..64`.
+        bit: u32,
+    },
+}
+
+/// When an ensemble's reduction network returns a corrupted (parity-
+/// flagged) result instead of the exact block-FP sum.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReductionFaultSchedule {
+    /// Every pass is corrupted — the summation FPGA is dead.
+    Permanent,
+    /// Only the listed passes (1-based ensemble pass counter) are
+    /// corrupted — transient glitches the host recovers from by
+    /// recomputing.
+    AtPasses(Vec<u64>),
+}
+
+/// A unit that dies while a run is in progress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ScheduledDeath {
+    /// The unit to mask.
+    pub path: UnitPath,
+    /// Engine pass count at which the death is discovered (the mask is
+    /// applied before the chunk that would be this pass).
+    pub at_pass: u64,
+}
+
+/// The machine shape a generated plan targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MachineGeometry {
+    /// Boards per host.
+    pub boards: usize,
+    /// Modules per board.
+    pub modules_per_board: usize,
+    /// Chips per module.
+    pub chips_per_module: usize,
+}
+
+impl MachineGeometry {
+    /// Total chips.
+    pub fn total_chips(&self) -> usize {
+        self.boards * self.modules_per_board * self.chips_per_module
+    }
+}
+
+/// Message-level faults for the simulated cluster fabric.
+///
+/// The plan is a pure function of `(seed, src, dst, seq, attempt)`, so the
+/// sender and receiver agree on every message's fate with no shared state.
+/// Probabilities are in permille (0–1000).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NetFaultPlan {
+    /// Seed for the per-message oracle.
+    pub seed: u64,
+    /// Chance a transmission attempt is dropped outright.
+    pub drop_permille: u16,
+    /// Chance an attempt arrives corrupted (checksum catches it; costs a
+    /// retransmit, counted separately from drops).
+    pub corrupt_permille: u16,
+    /// Chance a *delivered* message is delayed by `delay_factor · rto`.
+    pub delay_permille: u16,
+    /// Extra delay, in units of `rto`, for delayed messages.
+    pub delay_factor: f64,
+    /// Transmission attempts before the link is declared failed.
+    pub max_attempts: u32,
+    /// Retransmission timeout: attempt `k` (0-based) that fails costs the
+    /// receiver `rto · 2^k` of backoff before the next attempt lands.
+    pub rto: f64,
+}
+
+impl Default for NetFaultPlan {
+    fn default() -> Self {
+        Self::none()
+    }
+}
+
+/// The fate of one logical message under a [`NetFaultPlan`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Delivery {
+    /// The payload eventually arrived.
+    Delivered {
+        /// Transmission attempts used (1 = first try).
+        attempts: u32,
+        /// Total exponential backoff accrued by failed attempts, seconds.
+        backoff: f64,
+        /// Extra in-network delay on the successful attempt, seconds.
+        extra_delay: f64,
+        /// Attempts lost to drops.
+        dropped: u32,
+        /// Attempts lost to corruption.
+        corrupted: u32,
+    },
+    /// Every attempt failed; the link is declared down for this message.
+    Failed {
+        /// Attempts used (= `max_attempts`).
+        attempts: u32,
+        /// Total backoff burned before giving up, seconds.
+        backoff: f64,
+        /// Attempts lost to drops.
+        dropped: u32,
+        /// Attempts lost to corruption.
+        corrupted: u32,
+    },
+}
+
+impl NetFaultPlan {
+    /// A plan with no faults at all — the default fabric behaviour.
+    pub const fn none() -> Self {
+        Self {
+            seed: 0,
+            drop_permille: 0,
+            corrupt_permille: 0,
+            delay_permille: 0,
+            delay_factor: 0.0,
+            max_attempts: 1,
+            rto: 0.0,
+        }
+    }
+
+    /// A uniformly lossy link: `drop_permille` drops, bounded retry.
+    pub const fn lossy(seed: u64, drop_permille: u16, max_attempts: u32, rto: f64) -> Self {
+        Self {
+            seed,
+            drop_permille,
+            corrupt_permille: 0,
+            delay_permille: 0,
+            delay_factor: 0.0,
+            max_attempts,
+            rto,
+        }
+    }
+
+    /// True if no fault can ever fire.
+    pub fn is_clean(&self) -> bool {
+        self.drop_permille == 0 && self.corrupt_permille == 0 && self.delay_permille == 0
+    }
+
+    /// Decide the fate of message `seq` from rank `src` to rank `dst`.
+    pub fn delivery(&self, src: u64, dst: u64, seq: u64) -> Delivery {
+        if self.is_clean() {
+            return Delivery::Delivered {
+                attempts: 1,
+                backoff: 0.0,
+                extra_delay: 0.0,
+                dropped: 0,
+                corrupted: 0,
+            };
+        }
+        let fail = (self.drop_permille + self.corrupt_permille) as u64;
+        let attempts_cap = self.max_attempts.max(1);
+        let mut backoff = 0.0;
+        let mut dropped = 0u32;
+        let mut corrupted = 0u32;
+        for k in 0..attempts_cap {
+            let roll = mix(self.seed, src, dst, seq, k as u64) % 1000;
+            if roll < fail {
+                if roll < self.drop_permille as u64 {
+                    dropped += 1;
+                } else {
+                    corrupted += 1;
+                }
+                // Sender's retransmit timer: exponential backoff.
+                backoff += self.rto * (1u64 << k.min(20)) as f64;
+                continue;
+            }
+            let droll = mix(self.seed ^ 0x00DE_1A7E_D0DE_1A7E, src, dst, seq, k as u64) % 1000;
+            let extra_delay = if droll < self.delay_permille as u64 {
+                self.delay_factor * self.rto
+            } else {
+                0.0
+            };
+            return Delivery::Delivered {
+                attempts: k + 1,
+                backoff,
+                extra_delay,
+                dropped,
+                corrupted,
+            };
+        }
+        Delivery::Failed {
+            attempts: attempts_cap,
+            backoff,
+            dropped,
+            corrupted,
+        }
+    }
+}
+
+/// A complete, reproducible schedule of faults for one run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    /// The seed this plan was generated from (0 for hand-written plans).
+    pub seed: u64,
+    /// Chip-level faults, addressed `[board, module, chip]`.
+    pub chip_faults: Vec<(UnitPath, ChipFault)>,
+    /// Modules dead at power-on, addressed `[board, module]` (every chip in
+    /// them behaves as [`ChipFault::DeadChip`]).
+    pub dead_modules: Vec<UnitPath>,
+    /// Boards whose reduction FPGA is dead at power-on, addressed
+    /// `[board]`.
+    pub dead_boards: Vec<UnitPath>,
+    /// Units that die mid-run.
+    pub midrun_deaths: Vec<ScheduledDeath>,
+    /// Host-port reduction passes (1-based) that return corrupted words —
+    /// transient glitches the engine recovers from by recomputing.
+    pub reduction_glitch_passes: Vec<u64>,
+    /// Network-fabric faults.
+    pub net: NetFaultPlan,
+}
+
+impl FaultPlan {
+    /// An empty plan: fully healthy machine.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Add a chip fault at `[board, module, chip]`.
+    pub fn with_chip_fault(mut self, board: usize, module: usize, chip: usize, f: ChipFault) -> Self {
+        self.chip_faults.push((vec![board, module, chip], f));
+        self
+    }
+
+    /// Mark a whole module dead at power-on.
+    pub fn with_dead_module(mut self, board: usize, module: usize) -> Self {
+        self.dead_modules.push(vec![board, module]);
+        self
+    }
+
+    /// Mark a board's reduction network dead at power-on.
+    pub fn with_dead_board(mut self, board: usize) -> Self {
+        self.dead_boards.push(vec![board]);
+        self
+    }
+
+    /// Schedule a unit death at engine pass `at_pass`.
+    pub fn with_midrun_death(mut self, path: UnitPath, at_pass: u64) -> Self {
+        self.midrun_deaths.push(ScheduledDeath { path, at_pass });
+        self
+    }
+
+    /// Schedule transient host-port reduction glitches.
+    pub fn with_reduction_glitches(mut self, passes: Vec<u64>) -> Self {
+        self.reduction_glitch_passes = passes;
+        self
+    }
+
+    /// Attach a network fault plan.
+    pub fn with_net(mut self, net: NetFaultPlan) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// True if the plan contains no faults.
+    pub fn is_empty(&self) -> bool {
+        self.chip_faults.is_empty()
+            && self.dead_modules.is_empty()
+            && self.dead_boards.is_empty()
+            && self.midrun_deaths.is_empty()
+            && self.reduction_glitch_passes.is_empty()
+            && self.net.is_clean()
+    }
+
+    /// Generate a random plan for `geom` from `seed`.  The same
+    /// `(seed, cfg, geom)` triple always yields the same plan.
+    pub fn generate(seed: u64, cfg: &FaultConfig, geom: MachineGeometry) -> Self {
+        let mut r = FaultRng::new(seed);
+        let mut plan = FaultPlan {
+            seed,
+            net: cfg.net,
+            ..FaultPlan::default()
+        };
+        let rand_chip = |r: &mut FaultRng| -> UnitPath {
+            vec![
+                r.below(geom.boards as u64) as usize,
+                r.below(geom.modules_per_board as u64) as usize,
+                r.below(geom.chips_per_module as u64) as usize,
+            ]
+        };
+        let rand_module = |r: &mut FaultRng| -> UnitPath {
+            vec![
+                r.below(geom.boards as u64) as usize,
+                r.below(geom.modules_per_board as u64) as usize,
+            ]
+        };
+        for _ in 0..cfg.dead_chips {
+            let p = rand_chip(&mut r);
+            plan.chip_faults.push((p, ChipFault::DeadChip));
+        }
+        for _ in 0..cfg.dead_pipelines {
+            let p = rand_chip(&mut r);
+            let pipeline = r.below(6) as usize;
+            plan.chip_faults.push((p, ChipFault::DeadPipeline { pipeline }));
+        }
+        for _ in 0..cfg.stuck_bits {
+            let p = rand_chip(&mut r);
+            // Low addresses are always written by the self-test vectors,
+            // and bits 56..61 carry weight ≥ 0.5 length units — above every
+            // self-test coordinate, so the stuck line always flips a clear
+            // bit and the known-answer comparison is guaranteed to notice.
+            let fault = ChipFault::StuckJmemBit {
+                addr: r.below(4) as usize,
+                lane: r.below(3) as usize,
+                bit: r.range(56, 61) as u32,
+            };
+            plan.chip_faults.push((p, fault));
+        }
+        for _ in 0..cfg.dead_modules {
+            let p = rand_module(&mut r);
+            if !plan.dead_modules.contains(&p) {
+                plan.dead_modules.push(p);
+            }
+        }
+        for _ in 0..cfg.midrun_module_deaths {
+            let p = rand_module(&mut r);
+            let (lo, hi) = cfg.midrun_pass_range;
+            let at_pass = r.range(lo, hi.max(lo + 1));
+            plan.midrun_deaths.push(ScheduledDeath { path: p, at_pass });
+        }
+        let (glo, ghi) = cfg.glitch_pass_range;
+        for _ in 0..cfg.reduction_glitches {
+            let pass = r.range(glo.max(1), ghi.max(glo + 2));
+            if !plan.reduction_glitch_passes.contains(&pass) {
+                plan.reduction_glitch_passes.push(pass);
+            }
+        }
+        plan.reduction_glitch_passes.sort_unstable();
+        plan
+    }
+}
+
+/// Knobs for [`FaultPlan::generate`]: how many of each fault class.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultConfig {
+    /// Chips dead at power-on.
+    pub dead_chips: usize,
+    /// Stuck (all-zero) pipelines.
+    pub dead_pipelines: usize,
+    /// Stuck j-memory bits.
+    pub stuck_bits: usize,
+    /// Whole modules dead at power-on.
+    pub dead_modules: usize,
+    /// Modules that die mid-run.
+    pub midrun_module_deaths: usize,
+    /// Engine-pass window for mid-run deaths, `[lo, hi)`.
+    pub midrun_pass_range: (u64, u64),
+    /// Transient host-port reduction glitches.
+    pub reduction_glitches: usize,
+    /// Ensemble-pass window for glitches, `[lo, hi)`.
+    pub glitch_pass_range: (u64, u64),
+    /// Network fault plan carried through to the generated plan.
+    pub net: NetFaultPlan,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            dead_chips: 1,
+            dead_pipelines: 1,
+            stuck_bits: 1,
+            dead_modules: 0,
+            midrun_module_deaths: 0,
+            midrun_pass_range: (2, 10),
+            reduction_glitches: 0,
+            glitch_pass_range: (1, 40),
+            net: NetFaultPlan::none(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const GEOM: MachineGeometry = MachineGeometry {
+        boards: 4,
+        modules_per_board: 8,
+        chips_per_module: 4,
+    };
+
+    #[test]
+    fn generate_is_deterministic() {
+        let cfg = FaultConfig {
+            dead_chips: 3,
+            dead_pipelines: 2,
+            stuck_bits: 2,
+            dead_modules: 1,
+            midrun_module_deaths: 2,
+            reduction_glitches: 3,
+            ..FaultConfig::default()
+        };
+        let a = FaultPlan::generate(1234, &cfg, GEOM);
+        let b = FaultPlan::generate(1234, &cfg, GEOM);
+        assert_eq!(a, b);
+        let c = FaultPlan::generate(1235, &cfg, GEOM);
+        assert_ne!(a, c);
+        assert_eq!(a.chip_faults.len(), 7);
+        for (path, _) in &a.chip_faults {
+            assert_eq!(path.len(), 3);
+            assert!(path[0] < 4 && path[1] < 8 && path[2] < 4);
+        }
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = FaultPlan::none()
+            .with_dead_module(0, 1)
+            .with_dead_board(2)
+            .with_chip_fault(1, 2, 3, ChipFault::DeadChip)
+            .with_midrun_death(vec![3, 0], 5)
+            .with_reduction_glitches(vec![4, 9]);
+        assert!(!p.is_empty());
+        assert_eq!(p.dead_modules, vec![vec![0, 1]]);
+        assert_eq!(p.dead_boards, vec![vec![2]]);
+        assert_eq!(p.midrun_deaths[0].at_pass, 5);
+        assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn clean_net_plan_always_delivers_first_try() {
+        let p = NetFaultPlan::none();
+        assert!(p.is_clean());
+        for seq in 0..50 {
+            match p.delivery(0, 1, seq) {
+                Delivery::Delivered {
+                    attempts,
+                    backoff,
+                    extra_delay,
+                    ..
+                } => {
+                    assert_eq!(attempts, 1);
+                    assert_eq!(backoff, 0.0);
+                    assert_eq!(extra_delay, 0.0);
+                }
+                Delivery::Failed { .. } => panic!("clean plan failed"),
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_plan_drops_and_retries_deterministically() {
+        let p = NetFaultPlan::lossy(77, 300, 8, 1e-4);
+        let mut retried = 0;
+        for seq in 0..200 {
+            let a = p.delivery(2, 5, seq);
+            assert_eq!(a, p.delivery(2, 5, seq), "per-message fate is stable");
+            if let Delivery::Delivered {
+                attempts, backoff, ..
+            } = a
+            {
+                if attempts > 1 {
+                    retried += 1;
+                    assert!(backoff > 0.0);
+                }
+            }
+        }
+        // 30% drop rate over 200 messages: plenty of retries.
+        assert!(retried > 20, "only {retried} retried");
+    }
+
+    #[test]
+    fn certain_loss_fails_after_max_attempts() {
+        let p = NetFaultPlan::lossy(1, 1000, 4, 1e-3);
+        match p.delivery(0, 1, 0) {
+            Delivery::Failed {
+                attempts,
+                backoff,
+                dropped,
+                ..
+            } => {
+                assert_eq!(attempts, 4);
+                assert_eq!(dropped, 4);
+                // 1 + 2 + 4 + 8 = 15 rto of exponential backoff.
+                assert!((backoff - 15.0e-3).abs() < 1e-12);
+            }
+            d => panic!("expected failure, got {d:?}"),
+        }
+    }
+
+    #[test]
+    fn corruption_counted_separately_from_drops() {
+        let p = NetFaultPlan {
+            seed: 5,
+            drop_permille: 0,
+            corrupt_permille: 400,
+            delay_permille: 0,
+            delay_factor: 0.0,
+            max_attempts: 10,
+            rto: 1e-4,
+        };
+        let mut corrupted_total = 0;
+        for seq in 0..100 {
+            if let Delivery::Delivered {
+                dropped, corrupted, ..
+            } = p.delivery(1, 2, seq)
+            {
+                assert_eq!(dropped, 0);
+                corrupted_total += corrupted;
+            }
+        }
+        assert!(corrupted_total > 10);
+    }
+
+    #[test]
+    fn delays_happen_without_retransmits() {
+        let p = NetFaultPlan {
+            seed: 9,
+            drop_permille: 0,
+            corrupt_permille: 0,
+            delay_permille: 500,
+            delay_factor: 10.0,
+            max_attempts: 1,
+            rto: 1e-4,
+        };
+        let mut delayed = 0;
+        for seq in 0..100 {
+            match p.delivery(0, 3, seq) {
+                Delivery::Delivered {
+                    attempts,
+                    extra_delay,
+                    ..
+                } => {
+                    assert_eq!(attempts, 1);
+                    if extra_delay > 0.0 {
+                        assert!((extra_delay - 1e-3).abs() < 1e-15);
+                        delayed += 1;
+                    }
+                }
+                Delivery::Failed { .. } => panic!("no drops configured"),
+            }
+        }
+        assert!((20..80).contains(&delayed), "{delayed} delayed of 100");
+    }
+}

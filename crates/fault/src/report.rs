@@ -1,0 +1,210 @@
+//! Degraded-operation bookkeeping: counters, event log, and the per-engine
+//! fault report.
+//!
+//! Every detection or recovery action taken by a hardware layer is counted
+//! in [`FaultCounters`] and appended to an ordered [`FaultEvent`] log.  The
+//! whole bundle is surfaced as a [`FaultReport`]; because all fault
+//! machinery is seeded and deterministic, two runs with the same plan
+//! produce *equal* reports — which the integration tests assert directly.
+
+use crate::plan::UnitPath;
+use std::fmt;
+
+/// Monotonic counters over every fault-handling action in a run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Units that failed the startup known-answer self-test.
+    pub selftest_failures: u64,
+    /// Units masked out of service (self-test plus mid-run deaths).
+    pub units_masked: u64,
+    /// Mid-run scheduled deaths applied.
+    pub scheduled_deaths: u64,
+    /// Corrupted reduction results detected (parity) and recomputed.
+    pub reduction_glitches: u64,
+    /// Forces rejected by the host NaN/overflow screen and recomputed.
+    pub sanity_recomputes: u64,
+    /// §3.4 exponent-overflow retries (window widened and pass re-run).
+    pub exponent_retries: u64,
+}
+
+impl FaultCounters {
+    /// Sum of all counters — a quick "did anything happen" scalar.
+    pub fn total(&self) -> u64 {
+        self.selftest_failures
+            + self.units_masked
+            + self.scheduled_deaths
+            + self.reduction_glitches
+            + self.sanity_recomputes
+            + self.exponent_retries
+    }
+}
+
+/// One entry in the ordered fault-event log.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultEvent {
+    /// A unit failed the startup known-answer test.
+    SelfTestFailure {
+        /// Path of the failing unit.
+        path: UnitPath,
+        /// Worst relative force error observed against the f64 reference.
+        rel_err: f64,
+    },
+    /// A unit was removed from service.
+    UnitMasked {
+        /// Path of the masked unit.
+        path: UnitPath,
+        /// Engine pass at which the mask was applied (0 = at startup).
+        pass: u64,
+    },
+    /// A corrupted reduction result was detected and the pass recomputed.
+    ReductionGlitch {
+        /// Engine pass during which the glitch fired.
+        pass: u64,
+    },
+    /// The host force screen rejected a result and recomputed the pass.
+    SanityRecompute {
+        /// Engine pass during which the screen fired.
+        pass: u64,
+    },
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultEvent::SelfTestFailure { path, rel_err } => {
+                write!(f, "self-test FAIL at {path:?} (rel err {rel_err:.3e})")
+            }
+            FaultEvent::UnitMasked { path, pass } => {
+                write!(f, "unit {path:?} masked at pass {pass}")
+            }
+            FaultEvent::ReductionGlitch { pass } => {
+                write!(f, "reduction glitch recovered at pass {pass}")
+            }
+            FaultEvent::SanityRecompute { pass } => {
+                write!(f, "sanity screen recompute at pass {pass}")
+            }
+        }
+    }
+}
+
+/// The full fault story of one engine run.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultReport {
+    /// Aggregate counters.
+    pub counters: FaultCounters,
+    /// Paths currently masked out of service.
+    pub masked: Vec<UnitPath>,
+    /// Ordered log of every detection/recovery action.
+    pub events: Vec<FaultEvent>,
+    /// Chips still in service.
+    pub alive_chips: usize,
+    /// Chips the machine was built with.
+    pub total_chips: usize,
+}
+
+impl FaultReport {
+    /// Fraction of the machine still in service, in `[0, 1]`.
+    pub fn availability(&self) -> f64 {
+        if self.total_chips == 0 {
+            return 1.0;
+        }
+        self.alive_chips as f64 / self.total_chips as f64
+    }
+}
+
+impl fmt::Display for FaultReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fault report: {}/{} chips alive ({:.1}%), {} masked unit(s)",
+            self.alive_chips,
+            self.total_chips,
+            100.0 * self.availability(),
+            self.masked.len(),
+        )?;
+        writeln!(
+            f,
+            "  self-test failures {}, scheduled deaths {}, reduction glitches {}, \
+             sanity recomputes {}, exponent retries {}",
+            self.counters.selftest_failures,
+            self.counters.scheduled_deaths,
+            self.counters.reduction_glitches,
+            self.counters.sanity_recomputes,
+            self.counters.exponent_retries,
+        )?;
+        for e in &self.events {
+            writeln!(f, "  - {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_total_sums_everything() {
+        let c = FaultCounters {
+            selftest_failures: 1,
+            units_masked: 2,
+            scheduled_deaths: 3,
+            reduction_glitches: 4,
+            sanity_recomputes: 5,
+            exponent_retries: 6,
+        };
+        assert_eq!(c.total(), 21);
+        assert_eq!(FaultCounters::default().total(), 0);
+    }
+
+    #[test]
+    fn availability_is_fractional_and_safe_on_empty() {
+        let r = FaultReport {
+            alive_chips: 3,
+            total_chips: 4,
+            ..FaultReport::default()
+        };
+        assert!((r.availability() - 0.75).abs() < 1e-15);
+        assert_eq!(FaultReport::default().availability(), 1.0);
+    }
+
+    #[test]
+    fn reports_with_same_history_are_equal() {
+        let mk = || FaultReport {
+            counters: FaultCounters {
+                units_masked: 1,
+                ..FaultCounters::default()
+            },
+            masked: vec![vec![1, 0]],
+            events: vec![
+                FaultEvent::SelfTestFailure {
+                    path: vec![1, 0],
+                    rel_err: 0.25,
+                },
+                FaultEvent::UnitMasked {
+                    path: vec![1, 0],
+                    pass: 0,
+                },
+            ],
+            alive_chips: 6,
+            total_chips: 8,
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn display_mentions_every_event() {
+        let r = FaultReport {
+            events: vec![
+                FaultEvent::ReductionGlitch { pass: 5 },
+                FaultEvent::SanityRecompute { pass: 7 },
+            ],
+            alive_chips: 8,
+            total_chips: 8,
+            ..FaultReport::default()
+        };
+        let s = r.to_string();
+        assert!(s.contains("glitch recovered at pass 5"));
+        assert!(s.contains("recompute at pass 7"));
+    }
+}

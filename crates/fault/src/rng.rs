@@ -1,0 +1,112 @@
+//! A tiny deterministic generator (SplitMix64) plus a stateless mixer.
+//!
+//! The fault subsystem must be reproducible from a single `u64` seed and
+//! must not pull in an external RNG crate, so it carries its own SplitMix64
+//! (Steele, Lea & Flood 2014) — statistically excellent for this use and
+//! trivially portable.  The stateless [`mix`] variant hashes a coordinate
+//! tuple directly, which is how the network layer decides the fate of
+//! message `(src, dst, seq, attempt)` without any shared mutable state
+//! between rank threads.
+
+/// SplitMix64 increment.
+const GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// SplitMix64 output finaliser.
+#[inline]
+fn finalize(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A seeded sequential generator for building fault plans.
+#[derive(Clone, Debug)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seeded generator; the same seed always yields the same stream.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next 64 uniform bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(GAMMA);
+        finalize(self.state)
+    }
+
+    /// Uniform value in `[0, n)` (multiply-shift; `n = 0` returns 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+
+    /// Uniform value in the half-open range `[lo, hi)`.
+    pub fn range(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "empty range [{lo}, {hi})");
+        lo + self.below(hi - lo)
+    }
+}
+
+/// Stateless hash of a seed and a 4-tuple of coordinates — the per-message
+/// fault oracle.  Any two distinct tuples give independent-looking outputs;
+/// the same tuple always gives the same output.
+pub fn mix(seed: u64, a: u64, b: u64, c: u64, d: u64) -> u64 {
+    let mut h = seed ^ GAMMA;
+    for v in [a, b, c, d] {
+        h = finalize(h ^ v.wrapping_mul(GAMMA).rotate_left(17));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = FaultRng::new(42);
+        let mut b = FaultRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = FaultRng::new(1);
+        let mut b = FaultRng::new(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn below_respects_bound() {
+        let mut r = FaultRng::new(7);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+            let v = r.range(5, 9);
+            assert!((5..9).contains(&v));
+        }
+    }
+
+    #[test]
+    fn below_is_roughly_uniform() {
+        let mut r = FaultRng::new(99);
+        let mut counts = [0u32; 8];
+        for _ in 0..8000 {
+            counts[r.below(8) as usize] += 1;
+        }
+        for c in counts {
+            assert!((700..1300).contains(&c), "bucket count {c}");
+        }
+    }
+
+    #[test]
+    fn mix_is_deterministic_and_sensitive() {
+        assert_eq!(mix(1, 2, 3, 4, 5), mix(1, 2, 3, 4, 5));
+        assert_ne!(mix(1, 2, 3, 4, 5), mix(1, 2, 3, 4, 6));
+        assert_ne!(mix(1, 2, 3, 4, 5), mix(2, 2, 3, 4, 5));
+    }
+}

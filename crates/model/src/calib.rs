@@ -78,6 +78,23 @@ impl GrapeTiming {
         let per_chip = (n_j as f64 / self.chips_per_host as f64).ceil();
         (self.pipeline_depth + self.vmp_ways as f64 * per_chip) / self.clock_hz
     }
+
+    /// The same host running on `alive_chips` surviving chips: the j-share
+    /// per chip grows, so passes slow down and peak flops shrink
+    /// proportionally.  This is the timing-model view of the fault
+    /// subsystem's graceful degradation (masked units keep their share of
+    /// the paper's "dead time", they just stop contributing pipelines).
+    pub fn degraded(&self, alive_chips: usize) -> Self {
+        assert!(
+            alive_chips > 0 && alive_chips <= self.chips_per_host,
+            "alive chips {alive_chips} outside 1..={}",
+            self.chips_per_host
+        );
+        Self {
+            chips_per_host: alive_chips,
+            ..*self
+        }
+    }
 }
 
 /// A host CPU profile with the fig. 14 cache-hit refinement.
@@ -241,6 +258,25 @@ mod tests {
         assert!(g.pass_time(128 * 200) > t1);
         // Empty memory still costs the pipeline depth.
         assert!((g.pass_time(0) - 30.0 / 90.0e6).abs() < 1e-15);
+    }
+
+    #[test]
+    fn degraded_timing_slows_passes_and_shrinks_peak() {
+        let g = GrapeTiming::paper_host();
+        let half = g.degraded(64);
+        assert_eq!(half.chips_per_host, 64);
+        // Same clock, half the chips: half the peak, ~double the pass time.
+        assert!((half.peak_flops() - g.peak_flops() / 2.0).abs() < 1.0);
+        let n_j = 128 * 100;
+        assert!(half.pass_time(n_j) > 1.9 * g.pass_time(n_j));
+        // Degrading to the full complement is the identity.
+        assert_eq!(g.degraded(128), g);
+    }
+
+    #[test]
+    #[should_panic(expected = "alive chips")]
+    fn degraded_rejects_zero_chips() {
+        GrapeTiming::paper_host().degraded(0);
     }
 
     #[test]

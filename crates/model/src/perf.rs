@@ -140,6 +140,16 @@ impl PerfModel {
         }
     }
 
+    /// The same system with only `alive_chips` GRAPE chips per host still
+    /// in service (after self-test masking or mid-run deaths): pipeline
+    /// passes stretch, host/network costs stay put.
+    pub fn degraded(&self, alive_chips: usize) -> Self {
+        Self {
+            grape: self.grape.degraded(alive_chips),
+            ..*self
+        }
+    }
+
     /// Time for one blockstep of `n_b` particles in an `n`-particle system.
     pub fn block_time(&self, layout: MachineLayout, n: usize, n_b: usize) -> BlockTime {
         let hosts = layout.hosts() as f64;
@@ -287,6 +297,28 @@ mod tests {
             assert!(s > prev, "speed must grow with N");
             prev = s;
         }
+    }
+
+    #[test]
+    fn degraded_model_charges_reduced_parallelism() {
+        let m = PerfModel::default();
+        let n = 100_000;
+        let healthy = m.speed(MachineLayout::SingleHost, n, &stats());
+        let degraded = m.degraded(96).speed(MachineLayout::SingleHost, n, &stats());
+        // Losing a quarter of the chips must cost sustained speed, but less
+        // than proportionally (host and interface terms are unchanged).
+        assert!(degraded < healthy);
+        assert!(degraded > healthy * 0.7, "{degraded:e} vs {healthy:e}");
+        // Peak scales exactly with the chip count.
+        let peak_ratio = m.degraded(96).peak(MachineLayout::SingleHost)
+            / m.peak(MachineLayout::SingleHost);
+        assert!((peak_ratio - 0.75).abs() < 1e-12);
+        // Per-blockstep, only the GRAPE term moves.
+        let bt_h = m.block_time(MachineLayout::SingleHost, n, 100);
+        let bt_d = m.degraded(96).block_time(MachineLayout::SingleHost, n, 100);
+        assert!(bt_d.grape > bt_h.grape);
+        assert_eq!(bt_d.host, bt_h.host);
+        assert_eq!(bt_d.interface, bt_h.interface);
     }
 
     #[test]

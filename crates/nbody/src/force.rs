@@ -78,6 +78,55 @@ pub struct ForceResult {
     pub pot: f64,
 }
 
+/// A force computation the engine could not complete.
+///
+/// GRAPE engines are hardware simulators: they can run out of retry budget
+/// (§3.4 exponent protocol), lose hardware mid-run, or be asked for more
+/// capacity than the surviving units hold.  These are *recoverable, typed*
+/// conditions for the host to act on — not panics.
+#[derive(Clone, Debug, PartialEq)]
+pub enum EngineError {
+    /// The block floating-point exponent-retry loop failed to converge:
+    /// even maximally-widened windows kept overflowing.  The summands are
+    /// infinite/NaN or the state is corrupted, not merely badly guessed.
+    ExponentDivergence {
+        /// Retries burned before giving up.
+        retries: u32,
+        /// Human-readable description of the last failure.
+        detail: String,
+    },
+    /// Hardware answered with something no retry strategy can fix.
+    HardwareFault {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The surviving hardware no longer holds enough j-slots.
+    InsufficientCapacity {
+        /// Slots the run needs.
+        needed: usize,
+        /// Slots still in service.
+        available: usize,
+    },
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::ExponentDivergence { retries, detail } => write!(
+                f,
+                "block-FP exponent retry did not converge after {retries} retries: {detail}"
+            ),
+            EngineError::HardwareFault { detail } => write!(f, "hardware fault: {detail}"),
+            EngineError::InsufficientCapacity { needed, available } => write!(
+                f,
+                "degraded hardware capacity {available} below the {needed} slots required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
 /// Anything that can play the role of the GRAPE hardware for the integrator.
 pub trait ForceEngine {
     /// Number of j-particle slots currently in use.
@@ -92,6 +141,21 @@ pub trait ForceEngine {
     /// Evaluate force, jerk and potential on each i-particle from *all*
     /// stored j-particles.  `out.len()` must equal `i.len()`.
     fn compute(&mut self, i: &[IParticle], out: &mut [ForceResult]);
+
+    /// Fallible variant of [`ForceEngine::compute`] for engines that can
+    /// fail recoverably (retry exhaustion, hardware loss).  The default
+    /// simply delegates to the infallible path — host-side f64 engines
+    /// cannot fail.
+    fn try_compute(&mut self, i: &[IParticle], out: &mut [ForceResult]) -> Result<(), EngineError> {
+        self.compute(i, out);
+        Ok(())
+    }
+
+    /// Fault/recovery counters for this engine; hardware-free engines have
+    /// nothing to report.
+    fn fault_counters(&self) -> grape6_fault::FaultCounters {
+        grape6_fault::FaultCounters::default()
+    }
 
     /// Human-readable engine name for benchmark tables.
     fn name(&self) -> &'static str;

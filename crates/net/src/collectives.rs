@@ -14,6 +14,46 @@
 
 use crate::fabric::Endpoint;
 
+/// What one collective operation cost this rank, measured from the
+/// endpoint's clock and counters rather than a formula — so retransmits
+/// and backoff on a faulty fabric show up here automatically.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CollectiveCost {
+    /// Virtual time the operation took on this rank, seconds.
+    pub dt: f64,
+    /// Messages this rank sent during the operation.
+    pub messages: u64,
+    /// Payload bytes this rank sent during the operation.
+    pub bytes: u64,
+    /// Retransmissions observed on this rank's incoming messages.
+    pub retries: u64,
+    /// Retransmission backoff charged to this rank's clock, seconds.
+    pub backoff_seconds: f64,
+}
+
+/// Run `op` on the endpoint and measure what it cost this rank (clock and
+/// counter deltas).
+pub fn measured<T, R>(
+    ep: &mut Endpoint<T>,
+    op: impl FnOnce(&mut Endpoint<T>) -> R,
+) -> (R, CollectiveCost)
+where
+    T: Send,
+{
+    let t0 = ep.clock();
+    let s0 = ep.stats();
+    let out = op(ep);
+    let s1 = ep.stats();
+    let cost = CollectiveCost {
+        dt: ep.clock() - t0,
+        messages: s1.messages_sent - s0.messages_sent,
+        bytes: s1.bytes_sent - s0.bytes_sent,
+        retries: s1.retransmits - s0.retransmits,
+        backoff_seconds: s1.backoff_seconds - s0.backoff_seconds,
+    };
+    (out, cost)
+}
+
 /// Dissemination barrier (the paper's butterfly): ⌈log₂ p⌉ rounds; in round
 /// `k` rank `r` signals `(r + 2^k) mod p` and waits for `(r − 2^k) mod p`.
 ///
@@ -141,6 +181,25 @@ pub fn allreduce_min_f64(ep: &mut Endpoint<f64>, mine: f64) -> f64 {
     allreduce(ep, mine, 8, f64::min)
 }
 
+/// [`barrier`] with a per-rank cost breakdown.
+pub fn barrier_measured<T: Send + Default>(ep: &mut Endpoint<T>) -> CollectiveCost {
+    measured(ep, barrier).1
+}
+
+/// [`allgather`] with a per-rank cost breakdown.
+pub fn allgather_measured<T: Send + Clone>(
+    ep: &mut Endpoint<T>,
+    mine: T,
+    bytes: usize,
+) -> (Vec<T>, CollectiveCost) {
+    measured(ep, |ep| allgather(ep, mine, bytes))
+}
+
+/// [`allreduce_min_f64`] with a per-rank cost breakdown.
+pub fn allreduce_min_f64_measured(ep: &mut Endpoint<f64>, mine: f64) -> (f64, CollectiveCost) {
+    measured(ep, |ep| allreduce_min_f64(ep, mine))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,6 +323,89 @@ mod tests {
             allreduce_min_f64(&mut ep, mine)
         });
         assert_eq!(vals, vec![0.125; p]);
+    }
+
+    #[test]
+    fn measured_barrier_reports_traffic_and_time() {
+        let link = LinkProfile {
+            latency: 50.0e-6,
+            bandwidth: 1.0e8,
+            overhead: 10.0e-6,
+        };
+        let p = 8;
+        let costs = run_ranks::<u8, CollectiveCost, _>(p, link, |mut ep| {
+            barrier_measured(&mut ep)
+        });
+        for (r, c) in costs.iter().enumerate() {
+            // Dissemination barrier: ⌈log₂ 8⌉ = 3 rounds, one 8-byte
+            // message out per round.
+            assert_eq!(c.messages, 3, "rank {r}");
+            assert_eq!(c.bytes, 24, "rank {r}");
+            assert!(c.dt > 0.0, "rank {r}");
+            // Clean fabric: no retries, no backoff.
+            assert_eq!(c.retries, 0, "rank {r}");
+            assert_eq!(c.backoff_seconds, 0.0, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn measured_allgather_and_allreduce_agree_with_plain() {
+        let p = 4;
+        let out = run_ranks::<f64, (f64, CollectiveCost), _>(p, LinkProfile::ideal(), |mut ep| {
+            let mine = 1.0 + ep.rank() as f64;
+            allreduce_min_f64_measured(&mut ep, mine)
+        });
+        for (v, c) in &out {
+            assert_eq!(*v, 1.0);
+            // Ring allgather: p − 1 sends of 8 bytes each.
+            assert_eq!(c.messages, (p - 1) as u64);
+            assert_eq!(c.bytes, 8 * (p - 1) as u64);
+        }
+        let gathered =
+            run_ranks::<u64, (Vec<u64>, CollectiveCost), _>(p, LinkProfile::ideal(), |mut ep| {
+                let me = ep.rank() as u64;
+                allgather_measured(&mut ep, me, 8)
+            });
+        for (v, _) in &gathered {
+            assert_eq!(*v, vec![0, 1, 2, 3]);
+        }
+    }
+
+    #[test]
+    fn measured_barrier_counts_retries_on_lossy_fabric() {
+        use crate::fabric::run_ranks_faulty;
+        use grape6_fault::NetFaultPlan;
+        let link = LinkProfile {
+            latency: 50.0e-6,
+            bandwidth: 1.0e8,
+            overhead: 10.0e-6,
+        };
+        let plan = NetFaultPlan::lossy(5, 400, 32, 1e-4);
+        let p = 8;
+        let run = || {
+            run_ranks_faulty::<u8, CollectiveCost, _>(p, link, plan, |mut ep| {
+                // Several barriers so every rank is statistically certain
+                // to see at least one retransmitted incoming message.
+                let mut total = CollectiveCost::default();
+                for _ in 0..10 {
+                    let c = barrier_measured(&mut ep);
+                    total.dt += c.dt;
+                    total.messages += c.messages;
+                    total.bytes += c.bytes;
+                    total.retries += c.retries;
+                    total.backoff_seconds += c.backoff_seconds;
+                }
+                total
+            })
+        };
+        let costs = run();
+        let total_retries: u64 = costs.iter().map(|c| c.retries).sum();
+        assert!(total_retries > 0, "a 40%-lossy fabric must retransmit");
+        for c in &costs {
+            assert!(c.backoff_seconds >= 0.0);
+        }
+        // Deterministic replay: identical costs on every rank.
+        assert_eq!(costs, run());
     }
 
     #[test]

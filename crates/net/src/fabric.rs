@@ -15,8 +15,22 @@
 //! The resulting per-rank clocks are a conservative parallel-discrete-event
 //! simulation of the cluster, with the actual data dependencies of the
 //! algorithm enforced by the actual message flow.
+//!
+//! ## Unreliable links
+//!
+//! [`run_ranks_faulty`] additionally applies a seeded
+//! [`NetFaultPlan`]: each (src, dst, seq) message is given a deterministic
+//! fate — delivered first try, retransmitted after drops/corruption with
+//! exponential backoff, delayed in the network, or (after `max_attempts`)
+//! declared lost.  The *payload* always transits the channel (fates are
+//! decided by a stateless hash, so two runs with the same seed replay the
+//! identical event sequence); what the fault plan changes is virtual time
+//! and the [`EndpointStats`] counters, plus [`Endpoint::recv_checked`]
+//! returning [`LinkError`] when the retry budget is exhausted.  The clean
+//! plan leaves every clock bit-identical to the plain fabric.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use grape6_fault::{Delivery, NetFaultPlan};
 
 use crate::link::LinkProfile;
 
@@ -24,19 +38,73 @@ use crate::link::LinkProfile;
 struct TimedMsg<T> {
     sent_at: f64,
     wire_bytes: usize,
+    /// Per-(src,dst) sequence number — the fault plan's replay key.
+    seq: u64,
     payload: T,
 }
+
+/// Per-endpoint traffic and fault counters, readable via
+/// [`Endpoint::stats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EndpointStats {
+    /// Payload bytes this rank put on the wire.
+    pub bytes_sent: u64,
+    /// Messages this rank sent.
+    pub messages_sent: u64,
+    /// Messages this rank successfully received.
+    pub messages_received: u64,
+    /// Extra transmission attempts observed on incoming messages
+    /// (attempts − 1 summed over delivered messages).
+    pub retransmits: u64,
+    /// Incoming attempts lost to packet drops.
+    pub dropped_attempts: u64,
+    /// Incoming attempts lost to corruption (checksum failures).
+    pub corrupt_attempts: u64,
+    /// Delivered messages that suffered extra in-network delay.
+    pub delayed_messages: u64,
+    /// Messages whose retry budget ran out ([`LinkError`] returned).
+    pub timeouts: u64,
+    /// Total retransmission backoff charged to this rank's clock, seconds.
+    pub backoff_seconds: f64,
+}
+
+/// A message that exhausted its retry budget (receiver-side timeout).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LinkError {
+    /// Sending rank.
+    pub from: usize,
+    /// Receiving rank (the rank that observed the timeout).
+    pub to: usize,
+    /// Sequence number of the lost message on the (from → to) flow.
+    pub seq: u64,
+    /// Transmission attempts burned before giving up.
+    pub attempts: u32,
+}
+
+impl std::fmt::Display for LinkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link {} -> {}: message #{} lost after {} attempts",
+            self.from, self.to, self.seq, self.attempts
+        )
+    }
+}
+
+impl std::error::Error for LinkError {}
 
 /// One rank's view of the fabric.
 pub struct Endpoint<T> {
     rank: usize,
     n_ranks: usize,
     link: LinkProfile,
+    plan: NetFaultPlan,
     clock: f64,
     tx: Vec<Sender<TimedMsg<T>>>,
     rx: Vec<Receiver<TimedMsg<T>>>,
-    bytes_sent: u64,
-    messages_sent: u64,
+    /// Next sequence number per destination rank.
+    seq_out: Vec<u64>,
+    stats: EndpointStats,
 }
 
 impl<T: Send> Endpoint<T> {
@@ -62,12 +130,17 @@ impl<T: Send> Endpoint<T> {
 
     /// Total payload bytes this rank has put on the wire.
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.stats.bytes_sent
     }
 
     /// Total messages this rank has sent.
     pub fn messages_sent(&self) -> u64 {
-        self.messages_sent
+        self.stats.messages_sent
+    }
+
+    /// All traffic and fault counters for this endpoint.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
     }
 
     /// Charge `dt` seconds of local computation to the clock.
@@ -87,12 +160,15 @@ impl<T: Send> Endpoint<T> {
     pub fn send(&mut self, to: usize, payload: T, wire_bytes: usize) {
         assert!(to != self.rank, "self-send is not a network operation");
         self.clock += self.link.overhead;
-        self.bytes_sent += wire_bytes as u64;
-        self.messages_sent += 1;
+        self.stats.bytes_sent += wire_bytes as u64;
+        self.stats.messages_sent += 1;
+        let seq = self.seq_out[to];
+        self.seq_out[to] += 1;
         self.tx[to]
             .send(TimedMsg {
                 sent_at: self.clock,
                 wire_bytes,
+                seq,
                 payload,
             })
             .expect("peer endpoint dropped while fabric in use");
@@ -101,14 +177,71 @@ impl<T: Send> Endpoint<T> {
     /// Blocking receive from `from`; advances the clock by causality plus
     /// the receive-side per-message overhead (interrupt + stack — the cost
     /// that makes coordinator-centric barriers serialise in practice).
-    pub fn recv(&mut self, from: usize) -> T {
+    ///
+    /// Under a fault plan, retransmission backoff and in-network delays are
+    /// added to the arrival time, and a message whose retry budget runs out
+    /// returns [`LinkError`]; the clock still advances to the moment the
+    /// timeout was declared.
+    pub fn recv_checked(&mut self, from: usize) -> Result<T, LinkError> {
         let msg = self.rx[from]
             .recv()
             .expect("peer endpoint dropped while fabric in use");
-        let arrival =
-            msg.sent_at + self.link.latency + msg.wire_bytes as f64 / self.link.bandwidth;
-        self.clock = self.clock.max(arrival) + self.link.overhead;
-        msg.payload
+        let wire = self.link.latency + msg.wire_bytes as f64 / self.link.bandwidth;
+        match self
+            .plan
+            .delivery(from as u64, self.rank as u64, msg.seq)
+        {
+            Delivery::Delivered {
+                attempts,
+                backoff,
+                extra_delay,
+                dropped,
+                corrupted,
+            } => {
+                self.stats.retransmits += (attempts - 1) as u64;
+                self.stats.dropped_attempts += dropped as u64;
+                self.stats.corrupt_attempts += corrupted as u64;
+                if extra_delay > 0.0 {
+                    self.stats.delayed_messages += 1;
+                }
+                self.stats.backoff_seconds += backoff;
+                let arrival = msg.sent_at + wire + backoff + extra_delay;
+                self.clock = self.clock.max(arrival) + self.link.overhead;
+                self.stats.messages_received += 1;
+                Ok(msg.payload)
+            }
+            Delivery::Failed {
+                attempts,
+                backoff,
+                dropped,
+                corrupted,
+            } => {
+                self.stats.dropped_attempts += dropped as u64;
+                self.stats.corrupt_attempts += corrupted as u64;
+                self.stats.backoff_seconds += backoff;
+                self.stats.timeouts += 1;
+                // The receiver sat through every failed attempt before
+                // declaring the link down.
+                let deadline = msg.sent_at + wire + backoff;
+                self.clock = self.clock.max(deadline) + self.link.overhead;
+                Err(LinkError {
+                    from,
+                    to: self.rank,
+                    seq: msg.seq,
+                    attempts,
+                })
+            }
+        }
+    }
+
+    /// Blocking receive from `from`; panics if the fault plan declares the
+    /// message lost (the plain fabric has no losses, so this is infallible
+    /// there).
+    pub fn recv(&mut self, from: usize) -> T {
+        match self.recv_checked(from) {
+            Ok(v) => v,
+            Err(e) => panic!("{e}"),
+        }
     }
 }
 
@@ -118,6 +251,18 @@ impl<T: Send> Endpoint<T> {
 /// Panics in any rank propagate (the scope unwinds), so test assertions
 /// inside rank closures behave normally.
 pub fn run_ranks<T, R, F>(p: usize, link: LinkProfile, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(Endpoint<T>) -> R + Sync,
+{
+    run_ranks_faulty(p, link, NetFaultPlan::none(), f)
+}
+
+/// [`run_ranks`] over an unreliable fabric: every endpoint carries `plan`
+/// and applies it to its incoming messages.  With [`NetFaultPlan::none`]
+/// this is exactly the plain fabric.
+pub fn run_ranks_faulty<T, R, F>(p: usize, link: LinkProfile, plan: NetFaultPlan, f: F) -> Vec<R>
 where
     T: Send,
     R: Send,
@@ -142,11 +287,12 @@ where
             rank,
             n_ranks: p,
             link,
+            plan,
             clock: 0.0,
             tx,
             rx,
-            bytes_sent: 0,
-            messages_sent: 0,
+            seq_out: vec![0; p],
+            stats: EndpointStats::default(),
         })
         .collect();
 
@@ -268,5 +414,103 @@ mod tests {
         run_ranks::<(), (), _>(1, LinkProfile::ideal(), |mut ep| {
             ep.send(0, (), 0);
         });
+    }
+
+    #[test]
+    fn clean_plan_is_bit_identical_to_plain_fabric() {
+        let link = LinkProfile {
+            latency: 1e-4,
+            bandwidth: 1e8,
+            overhead: 1e-5,
+        };
+        let round = |plan: NetFaultPlan| {
+            run_ranks_faulty::<u64, f64, _>(2, link, plan, |mut ep| {
+                if ep.rank() == 0 {
+                    ep.send(1, 42, 1000);
+                    ep.recv(1);
+                } else {
+                    let x = ep.recv(0);
+                    ep.send(0, x + 1, 1000);
+                }
+                ep.clock()
+            })
+        };
+        // A plan with a nonzero seed but zero fault rates is still clean.
+        let clean = NetFaultPlan {
+            seed: 123,
+            ..NetFaultPlan::none()
+        };
+        assert_eq!(round(NetFaultPlan::none()), round(clean));
+    }
+
+    #[test]
+    fn lossy_link_retransmits_cost_time_and_are_counted() {
+        let link = LinkProfile {
+            latency: 1e-4,
+            bandwidth: 1e8,
+            overhead: 1e-5,
+        };
+        let plan = NetFaultPlan::lossy(42, 300, 16, 2e-4);
+        // 200 one-way messages through a 30%-lossy link.
+        let run = || {
+            run_ranks_faulty::<u64, (f64, EndpointStats), _>(2, link, plan, |mut ep| {
+                if ep.rank() == 0 {
+                    for k in 0..200 {
+                        ep.send(1, k, 1000);
+                    }
+                } else {
+                    for k in 0..200 {
+                        assert_eq!(ep.recv(0), k);
+                    }
+                }
+                (ep.clock(), ep.stats())
+            })
+        };
+        let a = run();
+        let receiver = &a[1];
+        assert!(receiver.1.retransmits > 20, "{:?}", receiver.1);
+        assert_eq!(receiver.1.dropped_attempts, receiver.1.retransmits);
+        assert_eq!(receiver.1.messages_received, 200);
+        assert_eq!(receiver.1.timeouts, 0);
+        assert!(receiver.1.backoff_seconds > 0.0);
+        // The same traffic through a clean link finishes earlier.
+        let clean = run_ranks::<u64, f64, _>(2, link, |mut ep| {
+            if ep.rank() == 0 {
+                for k in 0..200 {
+                    ep.send(1, k, 1000);
+                }
+            } else {
+                for _ in 0..200 {
+                    ep.recv(0);
+                }
+            }
+            ep.clock()
+        });
+        assert!(receiver.0 > clean[1], "{} vs {}", receiver.0, clean[1]);
+        // Same seed ⇒ same clocks and the same counters, exactly.
+        let b = run();
+        assert_eq!(a[1].0, b[1].0);
+        assert_eq!(a[1].1, b[1].1);
+    }
+
+    #[test]
+    fn exhausted_retry_budget_surfaces_as_link_error() {
+        // 100% drop with a 3-attempt budget: every receive must time out.
+        let plan = NetFaultPlan::lossy(7, 1000, 3, 1e-4);
+        let link = LinkProfile::ideal();
+        let out = run_ranks_faulty::<u8, Option<LinkError>, _>(2, link, plan, |mut ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 9, 64);
+                None
+            } else {
+                let err = ep.recv_checked(0).unwrap_err();
+                assert!(ep.clock() > 0.0, "timeout must burn virtual time");
+                assert_eq!(ep.stats().timeouts, 1);
+                Some(err)
+            }
+        });
+        let e = out[1].unwrap();
+        assert_eq!((e.from, e.to, e.seq, e.attempts), (0, 1, 0, 3));
+        assert_eq!(e.to_string(), "link 0 -> 1: message #0 lost after 3 attempts");
     }
 }

@@ -20,7 +20,13 @@
 //!   real concurrency but simulated time;
 //! * [`collectives`] — the operations the parallel N-body codes need:
 //!   dissemination barrier (the paper's "butterfly message exchange"),
-//!   binomial broadcast, ring all-gather and all-reduce.
+//!   binomial broadcast, ring all-gather and all-reduce, plus `_measured`
+//!   variants that return a [`collectives::CollectiveCost`] breakdown.
+//!
+//! The fabric can also be run *unreliable*: [`fabric::run_ranks_faulty`]
+//! applies a seeded [`grape6_fault::NetFaultPlan`] — deterministic drops,
+//! corruption, retransmission backoff and timeouts — and every
+//! [`fabric::Endpoint`] counts what happened ([`fabric::EndpointStats`]).
 //!
 //! Nothing here knows about particles; `grape6-parallel` composes this
 //! fabric with the machine simulator to run the paper's parallel
@@ -30,5 +36,6 @@ pub mod collectives;
 pub mod fabric;
 pub mod link;
 
-pub use fabric::{run_ranks, Endpoint};
+pub use collectives::CollectiveCost;
+pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError};
 pub use link::LinkProfile;

@@ -288,13 +288,17 @@ mod tests {
         // slow link multiplies the runtime of a small system.
         let n = 24;
         let set = plummer(n);
-        let mut fast_cfg = CopyConfig::default();
-        fast_cfg.link = LinkProfile::ideal();
-        let mut slow_cfg = CopyConfig::default();
-        slow_cfg.link = LinkProfile {
-            latency: 1.0e-3,
-            bandwidth: 60.0e6,
-            overhead: 2.0e-5,
+        let fast_cfg = CopyConfig {
+            link: LinkProfile::ideal(),
+            ..CopyConfig::default()
+        };
+        let slow_cfg = CopyConfig {
+            link: LinkProfile {
+                latency: 1.0e-3,
+                bandwidth: 60.0e6,
+                overhead: 2.0e-5,
+            },
+            ..CopyConfig::default()
         };
         let fast = run_copy_parallel(&set, 4, 0.125, &fast_cfg);
         let slow = run_copy_parallel(&set, 4, 0.125, &slow_cfg);

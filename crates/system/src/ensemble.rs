@@ -20,6 +20,7 @@
 
 use grape6_arith::blockfp::BlockFpError;
 use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
+use grape6_fault::{ChipFault, ReductionFaultSchedule};
 use nbody_core::force::JParticle;
 use rayon::prelude::*;
 
@@ -37,9 +38,18 @@ pub const DEFAULT_REDUCTION_LATENCY: u64 = 32;
 #[derive(Clone, Debug)]
 pub struct Ensemble<U> {
     children: Vec<U>,
+    /// Which children are in service.  Masked (failed) children take no
+    /// j-particles and contribute nothing to forces or the critical path;
+    /// the round-robin distribution runs over the survivors only.
+    active: Vec<bool>,
     used: usize,
     last_pass: u64,
     total: u64,
+    /// Compute passes issued to this ensemble (drives scheduled
+    /// reduction glitches).
+    passes: u64,
+    /// Injected reduction-network fault, if any.
+    reduction_fault: Option<ReductionFaultSchedule>,
     /// Cycles added to the critical path for this level's reduction.
     pub reduction_latency: u64,
 }
@@ -49,10 +59,13 @@ impl<U: GrapeUnit> Ensemble<U> {
     pub fn new(children: Vec<U>) -> Self {
         assert!(!children.is_empty(), "an ensemble needs at least one child");
         Self {
+            active: vec![true; children.len()],
             children,
             used: 0,
             last_pass: 0,
             total: 0,
+            passes: 0,
+            reduction_fault: None,
             reduction_latency: DEFAULT_REDUCTION_LATENCY,
         }
     }
@@ -71,11 +84,53 @@ impl<U: GrapeUnit> Ensemble<U> {
     pub fn children(&self) -> &[U] {
         &self.children
     }
+
+    /// Mutable access to the children (self-test drives them directly).
+    pub fn children_mut(&mut self) -> &mut [U] {
+        &mut self.children
+    }
+
+    /// Per-child service flags.
+    pub fn active(&self) -> &[bool] {
+        &self.active
+    }
+
+    /// Children currently in service.
+    pub fn n_active(&self) -> usize {
+        self.active.iter().filter(|&&a| a).count()
+    }
+
+    /// Compute passes issued so far.
+    pub fn passes(&self) -> u64 {
+        self.passes
+    }
+
+    /// Indices of the in-service children, in order — the domain of the
+    /// round-robin j-distribution.
+    fn active_indices(&self) -> Vec<usize> {
+        (0..self.children.len())
+            .filter(|&k| self.active[k])
+            .collect()
+    }
+
+    /// True if this pass's reduction result comes back corrupted.
+    fn reduction_glitches_now(&self) -> bool {
+        match &self.reduction_fault {
+            Some(ReductionFaultSchedule::Permanent) => true,
+            Some(ReductionFaultSchedule::AtPasses(v)) => v.contains(&self.passes),
+            None => false,
+        }
+    }
 }
 
 impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
     fn capacity(&self) -> usize {
-        self.children.iter().map(|c| c.capacity()).sum()
+        self.children
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(c, _)| c.capacity())
+            .sum()
     }
 
     fn n_j(&self) -> usize {
@@ -89,8 +144,10 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
     }
 
     fn load_j(&mut self, addr: usize, p: &JParticle) {
-        let k = self.children.len();
-        self.children[addr % k].load_j(addr / k, p);
+        let act = self.active_indices();
+        let k = act.len();
+        assert!(k > 0, "no in-service children left to hold j-particles");
+        self.children[act[addr % k]].load_j(addr / k, p);
         self.used = self.used.max(addr + 1);
     }
 
@@ -99,31 +156,51 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         i: &[HwIParticle],
         exps: &[ExpSet],
     ) -> Result<Vec<PartialForce>, BlockFpError> {
-        // All children run concurrently on the same broadcast i-block.
-        let partials: Vec<Result<Vec<PartialForce>, BlockFpError>> = self
+        self.passes += 1;
+        let glitch = self.reduction_glitches_now();
+        // All in-service children run concurrently on the same broadcast
+        // i-block; masked children are never driven.
+        let active = &self.active;
+        let partials: Vec<Option<Result<Vec<PartialForce>, BlockFpError>>> = self
             .children
             .par_iter_mut()
-            .map(|c| c.compute_block(i, exps))
+            .enumerate()
+            .map(|(k, c)| active[k].then(|| c.compute_block(i, exps)))
             .collect();
-        // Critical path = slowest child + this level's reduction.
+        // Critical path = slowest in-service child + this level's reduction.
         let slowest = self
             .children
             .iter()
-            .map(|c| c.last_pass_cycles())
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(c, _)| c.last_pass_cycles())
             .max()
             .unwrap_or(0);
         self.last_pass = slowest + self.reduction_latency;
         self.total += self.last_pass;
-        // Exact reduction.
-        let mut iter = partials.into_iter();
-        let mut acc = iter.next().expect("≥1 child")?;
-        for res in iter {
+        // Cycles above are charged even when the reduction network corrupts
+        // the result — the chips ran; only the sum is unusable.  The error
+        // is indistinguishable from a block-exponent parity fault, which is
+        // exactly how the host detects it.
+        if glitch {
+            return Err(BlockFpError::ExponentMismatch { left: 0, right: 1 });
+        }
+        // Exact reduction over the survivors.
+        let mut acc: Option<Vec<PartialForce>> = None;
+        for res in partials.into_iter().flatten() {
             let forces = res?;
-            for (a, f) in acc.iter_mut().zip(&forces) {
-                a.merge(f)?;
+            match &mut acc {
+                None => acc = Some(forces),
+                Some(a) => {
+                    for (x, y) in a.iter_mut().zip(&forces) {
+                        x.merge(y)?;
+                    }
+                }
             }
         }
-        Ok(acc)
+        // A fully-masked ensemble contributes nothing (the caller decides
+        // whether an empty machine is an error).
+        Ok(acc.unwrap_or_else(|| exps.iter().map(|&e| PartialForce::new(e)).collect()))
     }
 
     fn compute_block_nb(
@@ -132,23 +209,35 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         exps: &[ExpSet],
         h2: &[f64],
     ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
-        let k = self.children.len() as u32;
-        let results: Vec<NbResult> = self
+        self.passes += 1;
+        let glitch = self.reduction_glitches_now();
+        let active = &self.active;
+        let results: Vec<Option<NbResult>> = self
             .children
             .par_iter_mut()
-            .map(|c| c.compute_block_nb(i, exps, h2))
+            .enumerate()
+            .map(|(k, c)| active[k].then(|| c.compute_block_nb(i, exps, h2)))
             .collect();
         let slowest = self
             .children
             .iter()
-            .map(|c| c.last_pass_cycles())
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(c, _)| c.last_pass_cycles())
             .max()
             .unwrap_or(0);
         self.last_pass = slowest + self.reduction_latency;
         self.total += self.last_pass;
+        if glitch {
+            return Err(BlockFpError::ExponentMismatch { left: 0, right: 1 });
+        }
+        // Address translation inverts the round-robin over the *survivors*:
+        // j-distribution child index = position in the active list.
+        let k = self.n_active() as u32;
         let mut acc: Option<Vec<PartialForce>> = None;
         let mut lists: Vec<Vec<u32>> = vec![Vec::new(); i.len()];
-        for (child_idx, res) in results.into_iter().enumerate() {
+        for (active_pos, res) in results.into_iter().flatten().enumerate() {
+            let active_pos = active_pos as u32;
             let (forces, child_lists) = res?;
             match &mut acc {
                 None => acc = Some(forces),
@@ -162,14 +251,16 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
             // (inverse of the round-robin distribution in `load_j`).
             for (slot, child_nb) in lists.iter_mut().zip(&child_lists) {
                 for &local in child_nb {
-                    slot.push(local * k + child_idx as u32);
+                    slot.push(local * k + active_pos);
                 }
             }
         }
         for slot in &mut lists {
             slot.sort_unstable();
         }
-        Ok((acc.expect("≥1 child"), lists))
+        let acc =
+            acc.unwrap_or_else(|| exps.iter().map(|&e| PartialForce::new(e)).collect());
+        Ok((acc, lists))
     }
 
     fn last_pass_cycles(&self) -> u64 {
@@ -189,6 +280,59 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
             c.clear();
         }
         self.used = 0;
+    }
+
+    fn mask_path(&mut self, path: &[usize]) -> bool {
+        let Some(&idx) = path.first() else {
+            return false; // an ensemble cannot mask itself from inside
+        };
+        if idx >= self.children.len() {
+            return false;
+        }
+        if path.len() == 1 {
+            let was = self.active[idx];
+            self.active[idx] = false;
+            was
+        } else {
+            let r = self.children[idx].mask_path(&path[1..]);
+            // Cascade: a child with no surviving capacity is dead weight on
+            // the round-robin — mask it at this level too.
+            if self.children[idx].capacity() == 0 {
+                self.active[idx] = false;
+            }
+            r
+        }
+    }
+
+    fn inject_chip_fault(&mut self, path: &[usize], fault: &ChipFault) -> bool {
+        match path.first() {
+            Some(&idx) if idx < self.children.len() => {
+                self.children[idx].inject_chip_fault(&path[1..], fault)
+            }
+            _ => false,
+        }
+    }
+
+    fn inject_reduction_fault(&mut self, path: &[usize], sched: &ReductionFaultSchedule) -> bool {
+        match path.first() {
+            None => {
+                self.reduction_fault = Some(sched.clone());
+                true
+            }
+            Some(&idx) if idx < self.children.len() => {
+                self.children[idx].inject_reduction_fault(&path[1..], sched)
+            }
+            _ => false,
+        }
+    }
+
+    fn alive_chips(&self) -> usize {
+        self.children
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(c, _)| c.alive_chips())
+            .sum()
     }
 }
 
@@ -352,5 +496,107 @@ mod tests {
     #[should_panic(expected = "at least one child")]
     fn empty_ensemble_rejected() {
         let _ = Ensemble::<ChipUnit>::new(vec![]);
+    }
+
+    #[test]
+    fn masked_child_is_skipped_and_results_stay_exact() {
+        // 4-chip ensemble with one chip masked before loading must agree
+        // bitwise with a 3-chip ensemble: the round-robin runs over the
+        // survivors, and block FP makes the partition invisible.
+        let n = 45;
+        let mut degraded = Ensemble::new(chips(4));
+        assert!(degraded.mask_path(&[1]));
+        assert!(!degraded.mask_path(&[1]), "second mask is a no-op");
+        assert_eq!(degraded.n_active(), 3);
+        assert_eq!(degraded.capacity(), 3 * 16_384);
+        let mut healthy = Ensemble::new(chips(3));
+        for k in 0..n {
+            degraded.load_j(k, &particle(k));
+            healthy.load_j(k, &particle(k));
+        }
+        degraded.set_time(0.0);
+        healthy.set_time(0.0);
+        let i: Vec<HwIParticle> = (0..8)
+            .map(|k| {
+                let p = particle(k + 100);
+                HwIParticle::from_host(p.pos, p.vel, 1e-4)
+            })
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(5.0, 5.0, 5.0); 8];
+        let a = degraded.compute_block(&i, &exps).unwrap();
+        let b = healthy.compute_block(&i, &exps).unwrap();
+        for k in 0..8 {
+            assert_eq!(a[k].acc[0].mant(), b[k].acc[0].mant(), "i={k}");
+            assert_eq!(a[k].pot.mant(), b[k].pot.mant());
+        }
+        assert_eq!(degraded.alive_chips(), 3);
+    }
+
+    #[test]
+    fn masked_child_neighbour_addresses_stay_global() {
+        let n = 40;
+        let mut e = Ensemble::new(chips(3));
+        assert!(e.mask_path(&[2]));
+        for k in 0..n {
+            e.load_j(k, &particle(k));
+        }
+        e.set_time(0.0);
+        let probe_src = particle(5);
+        let i = [HwIParticle::from_host(probe_src.pos, probe_src.vel, 1e-4)];
+        let exps = [ExpSet::from_magnitudes(10.0, 10.0, 10.0)];
+        let h2 = 0.36;
+        let (_, lists) = e.compute_block_nb(&i, &exps, &[h2]).unwrap();
+        let want: Vec<u32> = (0..n)
+            .filter(|&j| {
+                let d2 = (particle(j).pos - probe_src.pos).norm2();
+                d2 > 0.0 && d2 < h2
+            })
+            .map(|j| j as u32)
+            .collect();
+        assert_eq!(lists[0], want);
+    }
+
+    #[test]
+    fn scheduled_reduction_glitch_fails_exactly_once() {
+        let mut e = Ensemble::new(chips(2));
+        for k in 0..20 {
+            e.load_j(k, &particle(k));
+        }
+        e.inject_reduction_fault(&[], &ReductionFaultSchedule::AtPasses(vec![2]));
+        let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2)];
+        let exps = [ExpSet::from_magnitudes(20.0, 20.0, 20.0)];
+        let ok1 = e.compute_block(&i, &exps).unwrap();
+        let cycles_after_1 = e.total_cycles();
+        let err = e.compute_block(&i, &exps);
+        assert!(
+            matches!(err, Err(BlockFpError::ExponentMismatch { .. })),
+            "pass 2 must come back corrupted"
+        );
+        // The failed pass still burned cycles (the chips ran).
+        assert!(e.total_cycles() > cycles_after_1);
+        let ok3 = e.compute_block(&i, &exps).unwrap();
+        assert_eq!(ok1[0].pot.mant(), ok3[0].pot.mant(), "recompute is exact");
+        assert_eq!(e.passes(), 3);
+    }
+
+    #[test]
+    fn cascade_masks_exhausted_parents() {
+        // Kill both modules of board 0 (via the full path): the board
+        // itself must drop out of the board-array round-robin.
+        let boards: Vec<Ensemble<Ensemble<ChipUnit>>> = (0..2)
+            .map(|_| Ensemble::new((0..2).map(|_| Ensemble::new(chips(2))).collect()))
+            .collect();
+        let mut array = Ensemble::new(boards);
+        assert_eq!(array.alive_chips(), 8);
+        assert!(array.mask_path(&[0, 0]));
+        assert!(array.mask_path(&[0, 1]));
+        assert_eq!(array.active(), &[false, true]);
+        assert_eq!(array.alive_chips(), 4);
+        assert_eq!(array.capacity(), 4 * 16_384);
+        // Loading still works — everything lands on board 1.
+        for k in 0..10 {
+            array.load_j(k, &particle(k));
+        }
+        assert_eq!(array.children()[1].n_j(), 10);
     }
 }

@@ -30,9 +30,11 @@
 pub mod ensemble;
 pub mod grid;
 pub mod machine;
+pub mod selftest;
 pub mod unit;
 
 pub use ensemble::Ensemble;
 pub use grid::GridNetwork;
 pub use machine::{Board, BoardArray, MachineConfig, Module};
+pub use selftest::{self_test, SelfTestConfig, SelfTestFailure, SelfTestReport};
 pub use unit::GrapeUnit;

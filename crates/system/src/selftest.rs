@@ -1,0 +1,335 @@
+//! Startup hardware self-test: known-answer vectors through every unit.
+//!
+//! The real GRAPE-6 host library probed every attached chip and module at
+//! initialisation and simply did not hand particles to hardware that
+//! answered wrongly (Makino et al. 2003).  This module reproduces that
+//! protocol against the simulated [`BoardArray`]:
+//!
+//! 1. a deterministic set of known-answer j-particles and i-probes is
+//!    pushed through **every module** individually (bypassing the board
+//!    reduction, so a broken board network cannot hide a healthy module or
+//!    vice versa), and the returned forces are compared against the IEEE
+//!    double-precision reference;
+//! 2. every module whose worst relative error exceeds the tolerance — a
+//!    dead chip contributes *zeros*, a stuck j-memory bit a wrong position,
+//!    both far outside pipeline round-off — is masked out of service;
+//! 3. the same vectors then run through each surviving **board as a
+//!    whole**, which exercises the board's reduction network; boards whose
+//!    reduction is broken (every pass corrupted) fail here and are masked.
+//!
+//! The probe count is 48 = one full i-block, so all six pipelines of every
+//! chip see test traffic — a dead pipeline only corrupts 8 of the 48 VMP
+//! slots and would escape a narrower probe set.
+
+use grape6_chip::pipeline::{ExpSet, HwIParticle};
+use grape6_fault::UnitPath;
+use nbody_core::force::{pair_force, JParticle};
+use nbody_core::Vec3;
+
+use crate::machine::BoardArray;
+use crate::unit::GrapeUnit;
+
+/// Parameters of the known-answer test.
+#[derive(Clone, Copy, Debug)]
+pub struct SelfTestConfig {
+    /// Known-answer j-particles per unit (kept small: the test must also
+    /// fit the smallest laboratory memories).
+    pub n_j: usize,
+    /// i-probes per pass; 48 covers every pipeline of every chip.
+    pub n_probes: usize,
+    /// Worst tolerated relative force error.  Pipeline round-off is ~1e-5;
+    /// real faults produce ≥ 1e-2.
+    pub rel_tol: f64,
+    /// Softening used by the test vectors (keeps all forces O(1)).
+    pub eps2: f64,
+}
+
+impl Default for SelfTestConfig {
+    fn default() -> Self {
+        Self {
+            n_j: 32,
+            n_probes: 48,
+            rel_tol: 1e-3,
+            eps2: 1e-2,
+        }
+    }
+}
+
+/// One unit that answered wrongly.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SelfTestFailure {
+    /// Path of the failing unit (`[board, module]` or `[board]`).
+    pub path: UnitPath,
+    /// Worst relative error against the f64 reference (`INFINITY` when the
+    /// unit returned an error instead of a result).
+    pub rel_err: f64,
+}
+
+/// Outcome of a full self-test sweep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SelfTestReport {
+    /// Units that answered wrongly, in test order.
+    pub failures: Vec<SelfTestFailure>,
+    /// Paths masked out of service (same order).
+    pub masked: Vec<UnitPath>,
+    /// Units driven with test vectors.
+    pub units_tested: usize,
+    /// Worst relative error among the units that *passed* — how much
+    /// headroom the tolerance has.
+    pub worst_healthy_rel_err: f64,
+}
+
+impl SelfTestReport {
+    /// True if every unit answered correctly.
+    pub fn all_passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// The deterministic known-answer particle set.
+fn test_vectors(cfg: &SelfTestConfig) -> (Vec<JParticle>, Vec<JParticle>) {
+    // Positions are kept POSITIVE and < 0.5 on every axis: in the 2⁻⁵⁷
+    // fixed-point format all such values have bits ≥ 56 clear, so any
+    // stuck-at-1 line on those bits is guaranteed to actually flip the
+    // stored word — the known-answer test cannot be blinded by a word that
+    // happened to have the faulty bit set already.
+    let j: Vec<JParticle> = (0..cfg.n_j)
+        .map(|k| {
+            let a = 0.7 + k as f64 * 0.61;
+            JParticle {
+                mass: 0.02 + 0.01 * (a * 3.1).sin().abs(),
+                t0: 0.0,
+                pos: Vec3::new(
+                    0.04 + 0.4 * a.cos().abs(),
+                    0.04 + 0.4 * (a * 1.7).sin().abs(),
+                    0.04 + 0.25 * (a * 2.3).cos().abs(),
+                ),
+                vel: Vec3::new(-0.1 * a.sin(), 0.1 * a.cos(), 0.05),
+                ..Default::default()
+            }
+        })
+        .collect();
+    let probes: Vec<JParticle> = (0..cfg.n_probes)
+        .map(|k| {
+            let a = 0.31 + k as f64 * 0.47;
+            JParticle {
+                pos: Vec3::new(0.4 * (a * 1.3).sin(), 0.4 * a.cos(), 0.25 * (a * 0.9).sin()),
+                vel: Vec3::new(0.05 * a.cos(), -0.05 * a.sin(), 0.0),
+                ..Default::default()
+            }
+        })
+        .collect();
+    (j, probes)
+}
+
+/// f64 reference forces for the test vectors, and the block exponents wide
+/// enough to hold them.
+fn reference(
+    cfg: &SelfTestConfig,
+    j: &[JParticle],
+    probes: &[JParticle],
+) -> (Vec<(Vec3, f64)>, ExpSet) {
+    let mut out = Vec::with_capacity(probes.len());
+    let mut max_acc = 0.0f64;
+    let mut max_jerk = 0.0f64;
+    let mut max_pot = 0.0f64;
+    for p in probes {
+        let mut acc = Vec3::ZERO;
+        let mut pot = 0.0;
+        let mut jerk = Vec3::ZERO;
+        for q in j {
+            let (a, jk, ph) = pair_force(q.pos - p.pos, q.vel - p.vel, q.mass, cfg.eps2);
+            acc += a;
+            jerk += jk;
+            pot += ph;
+        }
+        max_acc = max_acc.max(acc.norm());
+        max_jerk = max_jerk.max(jerk.norm());
+        max_pot = max_pot.max(pot.abs());
+        out.push((acc, pot));
+    }
+    // ×4 headroom: partial sums on one chip can exceed the final magnitude.
+    let exps = ExpSet::from_magnitudes(max_acc * 4.0, max_jerk * 4.0, max_pot * 4.0);
+    (out, exps)
+}
+
+/// Drive the known-answer vectors through one unit and report its worst
+/// relative force error (`INFINITY` if the unit erred outright).
+fn kat_unit<U: GrapeUnit>(
+    unit: &mut U,
+    cfg: &SelfTestConfig,
+    j: &[JParticle],
+    probes: &[JParticle],
+    want: &[(Vec3, f64)],
+    exps: ExpSet,
+) -> f64 {
+    unit.clear();
+    for (k, p) in j.iter().enumerate() {
+        unit.load_j(k, p);
+    }
+    unit.set_time(0.0);
+    let i_regs: Vec<HwIParticle> = probes
+        .iter()
+        .map(|p| HwIParticle::from_host(p.pos, p.vel, cfg.eps2))
+        .collect();
+    let exp_vec = vec![exps; i_regs.len()];
+    let result = unit.compute_block(&i_regs, &exp_vec);
+    unit.clear();
+    let Ok(forces) = result else {
+        return f64::INFINITY;
+    };
+    let mut worst = 0.0f64;
+    for (pf, (acc_want, pot_want)) in forces.iter().zip(want) {
+        let got = pf.to_force_result();
+        let da = (got.acc - *acc_want).norm() / acc_want.norm().max(1e-30);
+        let dp = (got.pot - pot_want).abs() / pot_want.abs().max(1e-30);
+        worst = worst.max(da).max(dp);
+    }
+    worst
+}
+
+/// Run the full startup self-test, masking every failing unit.
+///
+/// Masked paths are applied to `hw` before the function returns, so the
+/// machine the caller gets back only routes particles to hardware that
+/// answered the known-answer vectors correctly.
+pub fn self_test(hw: &mut BoardArray, cfg: &SelfTestConfig) -> SelfTestReport {
+    let (j, probes) = test_vectors(cfg);
+    let (want, exps) = reference(cfg, &j, &probes);
+    let mut report = SelfTestReport::default();
+
+    // Phase 1: every module individually, bypassing board reduction.
+    let n_boards = hw.len();
+    let mut module_failures: Vec<UnitPath> = Vec::new();
+    for b in 0..n_boards {
+        let n_modules = hw.children()[b].len();
+        for m in 0..n_modules {
+            let module = &mut hw.children_mut()[b].children_mut()[m];
+            let rel_err = kat_unit(module, cfg, &j, &probes, &want, exps);
+            report.units_tested += 1;
+            if rel_err > cfg.rel_tol {
+                report.failures.push(SelfTestFailure {
+                    path: vec![b, m],
+                    rel_err,
+                });
+                module_failures.push(vec![b, m]);
+            } else {
+                report.worst_healthy_rel_err = report.worst_healthy_rel_err.max(rel_err);
+            }
+        }
+    }
+    for path in module_failures {
+        if hw.mask_path(&path) {
+            report.masked.push(path);
+        }
+    }
+
+    // Phase 2: each surviving board as a whole — exercises the board's own
+    // reduction network, which phase 1 deliberately bypassed.
+    let mut board_failures: Vec<UnitPath> = Vec::new();
+    for b in 0..n_boards {
+        if !hw.active()[b] || hw.children()[b].n_active() == 0 {
+            continue;
+        }
+        let board = &mut hw.children_mut()[b];
+        let rel_err = kat_unit(board, cfg, &j, &probes, &want, exps);
+        report.units_tested += 1;
+        if rel_err > cfg.rel_tol {
+            report.failures.push(SelfTestFailure {
+                path: vec![b],
+                rel_err,
+            });
+            board_failures.push(vec![b]);
+        } else {
+            report.worst_healthy_rel_err = report.worst_healthy_rel_err.max(rel_err);
+        }
+    }
+    for path in board_failures {
+        if hw.mask_path(&path) {
+            report.masked.push(path);
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::MachineConfig;
+    use grape6_fault::{ChipFault, ReductionFaultSchedule};
+
+    fn machine() -> BoardArray {
+        MachineConfig {
+            boards: 2,
+            ..MachineConfig::test_small()
+        }
+        .build()
+    }
+
+    #[test]
+    fn healthy_machine_passes_with_margin() {
+        let mut hw = machine();
+        let report = self_test(&mut hw, &SelfTestConfig::default());
+        assert!(report.all_passed(), "failures: {:?}", report.failures);
+        // 2 boards × 2 modules + 2 boards = 6 units.
+        assert_eq!(report.units_tested, 6);
+        assert!(report.worst_healthy_rel_err < 1e-4,
+            "pipeline round-off should sit far below the 1e-3 tolerance, got {:e}",
+            report.worst_healthy_rel_err);
+        assert_eq!(hw.alive_chips(), 8);
+    }
+
+    #[test]
+    fn dead_chip_masks_exactly_its_module() {
+        let mut hw = machine();
+        hw.inject_chip_fault(&[1, 0, 1], &ChipFault::DeadChip);
+        let report = self_test(&mut hw, &SelfTestConfig::default());
+        assert_eq!(report.masked, vec![vec![1, 0]]);
+        // A dead chip zeroes about half the module's force — far over tol.
+        assert!(report.failures[0].rel_err > 0.05);
+        assert_eq!(hw.alive_chips(), 6);
+        assert_eq!(hw.children()[1].active(), &[false, true]);
+    }
+
+    #[test]
+    fn dead_pipeline_is_caught_by_full_probe_block() {
+        let mut hw = machine();
+        hw.inject_chip_fault(&[0, 1, 0], &ChipFault::DeadPipeline { pipeline: 4 });
+        let report = self_test(&mut hw, &SelfTestConfig::default());
+        assert_eq!(report.masked, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn stuck_jmem_bit_is_caught() {
+        let mut hw = machine();
+        hw.inject_chip_fault(
+            &[0, 0, 0],
+            &ChipFault::StuckJmemBit {
+                addr: 1,
+                lane: 2,
+                bit: 56,
+            },
+        );
+        let report = self_test(&mut hw, &SelfTestConfig::default());
+        assert_eq!(report.masked, vec![vec![0, 0]]);
+        assert!(report.failures[0].rel_err > 1e-3);
+    }
+
+    #[test]
+    fn broken_board_reduction_masks_the_board() {
+        let mut hw = machine();
+        hw.inject_reduction_fault(&[1], &ReductionFaultSchedule::Permanent);
+        let report = self_test(&mut hw, &SelfTestConfig::default());
+        // Modules pass (tested directly); the board-level pass errs.
+        assert_eq!(report.masked, vec![vec![1]]);
+        assert_eq!(report.failures[0].rel_err, f64::INFINITY);
+        assert_eq!(hw.alive_chips(), 4);
+    }
+
+    #[test]
+    fn self_test_leaves_no_particles_behind() {
+        let mut hw = machine();
+        self_test(&mut hw, &SelfTestConfig::default());
+        assert_eq!(hw.children()[0].children()[0].n_j(), 0);
+    }
+}

@@ -2,7 +2,9 @@
 
 use grape6_arith::blockfp::BlockFpError;
 use grape6_chip::chip::{Chip, I_PARALLEL_PER_CHIP};
+use grape6_chip::jmem::StuckBit;
 use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
+use grape6_fault::{ChipFault, ReductionFaultSchedule};
 use nbody_core::force::JParticle;
 
 /// A piece of GRAPE hardware: a chip, a module, a board, or a board array.
@@ -62,6 +64,39 @@ pub trait GrapeUnit: Send {
 
     /// Remove all j-particles.
     fn clear(&mut self);
+
+    // ---- fault injection and degraded operation -------------------------
+    //
+    // Defaulted so exotic implementations (mocks, adaptors) keep compiling;
+    // the chip and ensemble layers override them.
+
+    /// Remove the unit at `path` (child indices, outermost first) from
+    /// service.  An empty path masks the unit itself, where that makes
+    /// sense.  Returns `true` if something was actually in service and is
+    /// now masked.
+    fn mask_path(&mut self, path: &[usize]) -> bool {
+        let _ = path;
+        false
+    }
+
+    /// Inject a chip-level fault at `path` (which must address a chip).
+    /// Returns `true` if the fault landed.
+    fn inject_chip_fault(&mut self, path: &[usize], fault: &ChipFault) -> bool {
+        let _ = (path, fault);
+        false
+    }
+
+    /// Corrupt the reduction network of the ensemble at `path` (empty path
+    /// = this unit's own reduction).  Returns `true` if the fault landed.
+    fn inject_reduction_fault(&mut self, path: &[usize], sched: &ReductionFaultSchedule) -> bool {
+        let _ = (path, sched);
+        false
+    }
+
+    /// Chips currently in service below (and including) this unit.
+    fn alive_chips(&self) -> usize {
+        0
+    }
 }
 
 /// A single chip is the leaf of the hierarchy.
@@ -88,6 +123,11 @@ impl ChipUnit {
     /// Access the underlying chip.
     pub fn chip(&self) -> &Chip {
         &self.chip
+    }
+
+    /// Mutable access to the underlying chip (fault injection, tests).
+    pub fn chip_mut(&mut self) -> &mut Chip {
+        &mut self.chip
     }
 }
 
@@ -147,6 +187,33 @@ impl GrapeUnit for ChipUnit {
     fn clear(&mut self) {
         self.chip.clear();
         self.used = 0;
+    }
+
+    fn mask_path(&mut self, path: &[usize]) -> bool {
+        if !path.is_empty() {
+            return false;
+        }
+        let was_alive = !self.chip.is_dead();
+        self.chip.set_dead(true);
+        was_alive
+    }
+
+    fn inject_chip_fault(&mut self, path: &[usize], fault: &ChipFault) -> bool {
+        if !path.is_empty() {
+            return false;
+        }
+        match *fault {
+            ChipFault::DeadChip => self.chip.set_dead(true),
+            ChipFault::DeadPipeline { pipeline } => self.chip.set_pipeline_dead(pipeline),
+            ChipFault::StuckJmemBit { addr, lane, bit } => {
+                self.chip.add_stuck_jmem_bit(StuckBit { addr, lane, bit })
+            }
+        }
+        true
+    }
+
+    fn alive_chips(&self) -> usize {
+        usize::from(!self.chip.is_dead())
     }
 }
 

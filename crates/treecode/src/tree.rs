@@ -352,7 +352,7 @@ mod tests {
     fn permutation_is_a_bijection() {
         let (mass, pos) = sample(128);
         let t = Octree::build(&mass, &pos, &TreeConfig::default());
-        let mut seen = vec![false; 128];
+        let mut seen = [false; 128];
         for &o in &t.order {
             assert!(!seen[o as usize]);
             seen[o as usize] = true;

@@ -8,6 +8,8 @@
 //!   block floating point)
 //! * [`nbody`] — N-body substrate (particles, units, initial conditions,
 //!   reference f64 kernels, diagnostics)
+//! * [`fault`] — seeded fault plans, self-test bookkeeping, degraded-
+//!   operation counters and reports
 //! * [`chip`] — the GRAPE-6 processor chip (force + predictor pipelines)
 //! * [`system`] — modules, boards, network boards, clusters
 //! * [`core`] — the host library and the Hermite block-timestep integrator
@@ -22,6 +24,7 @@ pub use grape4 as g4;
 pub use grape6_arith as arith;
 pub use grape6_chip as chip;
 pub use grape6_core as core;
+pub use grape6_fault as fault;
 pub use grape6_model as model;
 pub use grape6_net as net;
 pub use grape6_parallel as parallel;

@@ -1,7 +1,7 @@
 //! The parallel algorithms against the serial reference, end to end.
 
 use grape6::core::{HermiteIntegrator, IntegratorConfig};
-use grape6::nbody::force::{direct_all, DirectEngine};
+use grape6::nbody::force::{direct_all, DirectEngine, ForceEngine};
 use grape6::nbody::ic::plummer::plummer_model;
 use grape6::net::LinkProfile;
 use grape6::parallel::copy_algo::{run_copy_parallel, CopyConfig};
@@ -78,6 +78,60 @@ fn more_ranks_more_wire_traffic_same_physics() {
         b4 > b2,
         "4 ranks should move more total bytes than 2 ({b4} vs {b2})"
     );
+}
+
+#[test]
+fn midrun_hardware_deaths_leave_trajectories_bitwise_identical() {
+    // §3.4's reproducibility property as a fault-tolerance oracle: kill a
+    // module and then a whole board *mid-integration* and the trajectory
+    // must stay bitwise identical to the healthy machine — the engine
+    // redistributes the j-particles over the survivors and the block-FP
+    // reduction makes the new partitioning invisible.
+    use grape6::core::Grape6Engine;
+    use grape6::fault::FaultPlan;
+    use grape6::system::MachineConfig;
+
+    let n = 48;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(204));
+    let cfg = IntegratorConfig::default();
+    let machine = MachineConfig {
+        boards: 3,
+        modules_per_board: 2,
+        chips_per_module: 2,
+        ..MachineConfig::test_small()
+    };
+    let plan = FaultPlan::none()
+        .with_midrun_death(vec![1, 0], 3) // module [1,0] dies at pass 3
+        .with_midrun_death(vec![2], 6) // board [2] dies at pass 6
+        .with_reduction_glitches(vec![5, 9]); // two transient glitches
+    let run_faulty = || {
+        let engine = Grape6Engine::with_fault_plan(&machine, n, &plan).unwrap();
+        let mut it = HermiteIntegrator::new(engine, set.clone(), cfg);
+        it.run_until(0.125);
+        it
+    };
+    let clean_engine = Grape6Engine::new(&machine, n);
+    let mut clean = HermiteIntegrator::new(clean_engine, set.clone(), cfg);
+    clean.run_until(0.125);
+    let faulty = run_faulty();
+
+    assert_eq!(faulty.particles().pos, clean.particles().pos);
+    assert_eq!(faulty.particles().vel, clean.particles().vel);
+    // The failures really happened...
+    let report = faulty.engine().fault_report();
+    assert_eq!(report.counters.scheduled_deaths, 2);
+    assert_eq!(report.counters.units_masked, 2);
+    assert!(report.counters.reduction_glitches >= 2);
+    assert_eq!(report.alive_chips, 6);
+    assert_eq!(report.total_chips, 12);
+    // ...and they cost virtual time: fewer chips on the critical path plus
+    // recomputed passes.
+    assert!(faulty.engine().hardware_cycles() > clean.engine().hardware_cycles());
+    // The counters surface through the integrator's RunStats too.
+    assert_eq!(faulty.stats().faults, faulty.engine().fault_counters());
+    // Same plan ⇒ the same fault story, event for event.
+    let again = run_faulty();
+    assert_eq!(again.engine().fault_report(), report);
 }
 
 #[test]
