@@ -3,13 +3,16 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo build --release"
-cargo build --release
+echo "==> cargo fmt --all -- --check"
+cargo fmt --all -- --check
 
-echo "==> cargo test -q"
-cargo test -q
+echo "==> cargo build --release --locked"
+cargo build --release --locked
 
-echo "==> cargo clippy --all-targets -- -D warnings"
-cargo clippy --all-targets -- -D warnings
+echo "==> cargo test -q --locked"
+cargo test -q --locked
+
+echo "==> cargo clippy --all-targets --locked -- -D warnings"
+cargo clippy --all-targets --locked -- -D warnings
 
 echo "==> ci.sh: all green"

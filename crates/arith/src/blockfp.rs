@@ -53,11 +53,17 @@ impl fmt::Display for BlockFpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Self::SummandOverflow { needed_exp } => {
-                write!(f, "partial force exceeds block window (needs exp ≥ {needed_exp})")
+                write!(
+                    f,
+                    "partial force exceeds block window (needs exp ≥ {needed_exp})"
+                )
             }
             Self::SumOverflow => write!(f, "block floating-point sum overflowed its 64-bit window"),
             Self::ExponentMismatch { left, right } => {
-                write!(f, "cannot merge block-FP words with exponents {left} and {right}")
+                write!(
+                    f,
+                    "cannot merge block-FP words with exponents {left} and {right}"
+                )
             }
         }
     }
@@ -121,10 +127,7 @@ impl BlockAccum {
             });
         }
         let qi = q as i64;
-        self.mant = self
-            .mant
-            .checked_add(qi)
-            .ok_or(BlockFpError::SumOverflow)?;
+        self.mant = self.mant.checked_add(qi).ok_or(BlockFpError::SumOverflow)?;
         Ok(())
     }
 
@@ -185,9 +188,12 @@ fn min_exp_for(mag: f64) -> i32 {
     if mag == 0.0 {
         return -MANT_BITS;
     }
-    // Need 2^exp > |mag|, i.e. exp ≥ floor(log2|mag|) + 1.
+    // Need 2^exp > |mag|, i.e. exp ≥ floor(log2|mag|) + 1.  An infinite
+    // magnitude (summands past f64 range) saturates the cast to i32::MAX;
+    // saturate the +1 too so the caller sees a huge window and reports
+    // exponent divergence instead of tripping overflow checks here.
     let e = mag.abs().log2().floor() as i32;
-    e + 1
+    e.saturating_add(1)
 }
 
 /// `2^n` for possibly large |n|, without powi's domain quirks.
@@ -230,7 +236,9 @@ mod tests {
     #[test]
     fn partition_independence() {
         // Summing in one accumulator vs. two merged halves is bit-identical.
-        let vals: Vec<f64> = (0..64).map(|i| ((i * 2654435761u64 % 1000) as f64 - 500.0) * 1e-3).collect();
+        let vals: Vec<f64> = (0..64)
+            .map(|i| ((i * 2654435761u64 % 1000) as f64 - 500.0) * 1e-3)
+            .collect();
         let exp = 4;
         let whole = sum_mant(&vals, exp);
         for split in [1usize, 7, 13, 32, 63] {

@@ -15,7 +15,7 @@ fn bench_barriers(c: &mut Criterion) {
             b.iter(|| {
                 run_ranks::<u8, f64, _>(p, LinkProfile::intel_82540em(), |mut ep| {
                     for _ in 0..16 {
-                        barrier(&mut ep);
+                        barrier(&mut ep).expect("lossless fabric");
                     }
                     ep.clock()
                 })
@@ -25,7 +25,7 @@ fn bench_barriers(c: &mut Criterion) {
             b.iter(|| {
                 run_ranks::<u8, f64, _>(p, LinkProfile::intel_82540em(), |mut ep| {
                     for _ in 0..16 {
-                        central_barrier(&mut ep);
+                        central_barrier(&mut ep).expect("lossless fabric");
                     }
                     ep.clock()
                 })
@@ -35,7 +35,7 @@ fn bench_barriers(c: &mut Criterion) {
             b.iter(|| {
                 run_ranks::<Vec<u8>, usize, _>(p, LinkProfile::intel_82540em(), |mut ep| {
                     let mine = vec![ep.rank() as u8; 1024];
-                    let all = allgather(&mut ep, mine, 1024);
+                    let all = allgather(&mut ep, mine, 1024).expect("lossless fabric");
                     all.len()
                 })
             })

@@ -3,9 +3,9 @@
 //! Gives the particle-steps/s of the §5 comparison table its measured
 //! basis on this machine.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use bh_tree::traverse::tree_forces;
 use bh_tree::tree::{Octree, TreeConfig};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nbody_core::ic::plummer::plummer_model;
 use rand::rngs::StdRng;
 use rand::SeedableRng;

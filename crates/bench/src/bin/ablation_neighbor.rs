@@ -36,8 +36,7 @@ fn main() {
             let err_plain = ((e_plain.total() - e0.total()) / e0.total()).abs();
             let plain_full = plain.stats().particle_steps;
 
-            let mut ac =
-                AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
+            let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
             ac.run_until(duration);
             let e_ac = energy(&ac.synchronized_snapshot(), eps2);
             let err_ac = ((e_ac.total() - e0.total()) / e0.total()).abs();

@@ -42,7 +42,13 @@ fn main() {
     }
     print_table(
         &format!("P(EC) vs P(EC)^2, Plummer N = {n}, {duration} time units"),
-        &["eta", "|dE/E| PEC", "pairs PEC", "|dE/E| PEC2", "pairs PEC2"],
+        &[
+            "eta",
+            "|dE/E| PEC",
+            "pairs PEC",
+            "|dE/E| PEC2",
+            "pairs PEC2",
+        ],
         &rows,
     );
     println!("\nreading: the second corrector pass doubles the GRAPE work per step; whether");

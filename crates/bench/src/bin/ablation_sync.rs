@@ -24,9 +24,9 @@ fn barrier_cost(p: usize, link: LinkProfile, butterfly: bool) -> f64 {
     let clocks = run_ranks::<u8, f64, _>(p, link, move |mut ep| {
         for _ in 0..reps {
             if butterfly {
-                barrier(&mut ep);
+                barrier(&mut ep).expect("lossless fabric");
             } else {
-                central_barrier(&mut ep);
+                central_barrier(&mut ep).expect("lossless fabric");
             }
         }
         ep.clock()

@@ -45,12 +45,11 @@ fn main() {
     if measure {
         headers.push("real blocks (eps=1/64)");
     }
-    print_table(
-        "Fig. 13 — single-node speed [Gflops] vs N",
-        &headers,
-        &rows,
-    );
+    print_table("Fig. 13 — single-node speed [Gflops] vs N", &headers, &rows);
     let s = model.speed(layout, 200_000, &default_stats(Softening::Constant));
-    println!("\npaper anchor: >1 Tflops at N=2e5 (measured here: {:.2} Tflops)", s / 1e12);
+    println!(
+        "\npaper anchor: >1 Tflops at N=2e5 (measured here: {:.2} Tflops)",
+        s / 1e12
+    );
     println!("paper claim: speed practically independent of softening choice");
 }

@@ -40,9 +40,16 @@ fn main() {
         .collect();
     print_table(
         "Fig. 14 — CPU time per particle step [µs] vs N (single node)",
-        &["N", "measured(sim)", "theory:const T_host", "theory:cache model"],
+        &[
+            "N",
+            "measured(sim)",
+            "theory:const T_host",
+            "theory:cache model",
+        ],
         &rows,
     );
     println!("\npaper shape: measured exceeds refined theory below N≈1000 (DMA overhead);");
-    println!("cache-refined theory < constant-T_host theory at small N; all curves rise at large N.");
+    println!(
+        "cache-refined theory < constant-T_host theory at small N; all curves rise at large N."
+    );
 }

@@ -36,7 +36,13 @@ fn main() {
         .collect();
     print_table(
         "Fig. 16 — time per particle step [µs] vs N (4-node)",
-        &["N", "model+sync", "model w/o sync", "sync/block [µs]", "<n_b>"],
+        &[
+            "N",
+            "model+sync",
+            "model w/o sync",
+            "sync/block [µs]",
+            "<n_b>",
+        ],
         &rows,
     );
     // Verify the 1/N branch quantitatively.

@@ -35,7 +35,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 18 — time per particle step [µs] vs N (16-node, 4-cluster)",
-        &["N", "T/step", "sync/block", "exchange/block", "grape/block", "<n_b>"],
+        &[
+            "N",
+            "T/step",
+            "sync/block",
+            "exchange/block",
+            "grape/block",
+            "<n_b>",
+        ],
         &rows,
     );
     let t1 = model.time_per_step(layout, 4_000, &stats);

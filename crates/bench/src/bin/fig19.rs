@@ -15,9 +15,9 @@ use nbody_core::softening::Softening;
 fn main() {
     let old = PerfModel::default(); // Athlon + NS 83820
     let new = PerfModel::tuned(); // P4 2.85 + Intel 82540EM
-    // The intermediate option the paper also measured: "Netgear GA621T
-    // with Tigon 2 chipset … somewhat better throughput (85MB/s), but not
-    // much improvement in the latency" — on the Athlon host.
+                                  // The intermediate option the paper also measured: "Netgear GA621T
+                                  // with Tigon 2 chipset … somewhat better throughput (85MB/s), but not
+                                  // much improvement in the latency" — on the Athlon host.
     let mid = PerfModel {
         nic: NicProfile::tigon2(),
         ..PerfModel::default()

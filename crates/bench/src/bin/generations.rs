@@ -157,7 +157,9 @@ fn main() {
         .zip(&f4b)
         .map(|(x, y)| (x.acc - y.acc).norm() / x.acc.norm())
         .fold(0.0f64, f64::max);
-    println!("\n1-board vs 4-board forces bit-identical?  GRAPE-6: {identical6}   GRAPE-4: {identical4}");
+    println!(
+        "\n1-board vs 4-board forces bit-identical?  GRAPE-6: {identical6}   GRAPE-4: {identical4}"
+    );
     println!("GRAPE-4 worst relative bit-difference: {worst4:.2e} (harmless physically — but");
     println!("§3.4: \"it is quite useful to be able to obtain exactly the same results on");
     println!("machines with different sizes, since it makes the validation much simpler\").");

@@ -38,14 +38,17 @@ fn main() {
                     vel: set.vel[k],
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
         }
         grid.set_time(0.0);
         // One block per column, 48 i-particles each.
         let blocks: Vec<Vec<HwIParticle>> = (0..c)
             .map(|q| {
                 (0..48)
-                    .map(|k| HwIParticle::from_host(set.pos[q * 48 + k], set.vel[q * 48 + k], 2.4e-4))
+                    .map(|k| {
+                        HwIParticle::from_host(set.pos[q * 48 + k], set.vel[q * 48 + k], 2.4e-4)
+                    })
                     .collect()
             })
             .collect();

@@ -19,8 +19,8 @@
 //! hardware simulator instead of the f64 reference engine (slower).
 
 use grape6_bench::{default_stats, print_table};
-use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_core::engine::Grape6Engine;
+use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::perf::{MachineLayout, PerfModel};
 use grape6_system::machine::MachineConfig;
 use nbody_core::diagnostics::energy;
@@ -79,7 +79,13 @@ fn paper_accounting() {
     println!("must reproduce those numbers exactly, since they are pure arithmetic.");
 }
 
-fn scaled_run(name: &str, set: ParticleSet, soft: Softening, t_end: f64, use_grape: bool) -> Vec<String> {
+fn scaled_run(
+    name: &str,
+    set: ParticleSet,
+    soft: Softening,
+    t_end: f64,
+    use_grape: bool,
+) -> Vec<String> {
     let n = set.n();
     let eps2 = soft.epsilon2(n);
     let e0 = energy(&set, eps2);

@@ -18,10 +18,10 @@
 
 use std::time::Instant;
 
+use bh_tree::integrate::LeapfrogIntegrator;
 use grape6_bench::{default_stats, print_table};
 use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::perf::{MachineLayout, PerfModel};
-use bh_tree::integrate::LeapfrogIntegrator;
 use nbody_core::force::DirectEngine;
 use nbody_core::ic::plummer::plummer_model;
 use nbody_core::softening::Softening;
@@ -53,11 +53,7 @@ fn main() {
     // (3) Shared-vs-individual ratio from a real Hermite run's dt range.
     let n_h = 2_048;
     let set = plummer_model(n_h, &mut StdRng::seed_from_u64(56));
-    let mut it = HermiteIntegrator::new(
-        DirectEngine::new(n_h),
-        set,
-        IntegratorConfig::default(),
-    );
+    let mut it = HermiteIntegrator::new(DirectEngine::new(n_h), set, IntegratorConfig::default());
     it.run_until(0.25);
     let st = it.stats();
     // Harmonic-mean step over the particles vs the global minimum.
@@ -83,7 +79,9 @@ fn main() {
         &rows,
     );
     println!("\npaper anchors: GRAPE-6 ≈ 3.3×10⁵ steps/s; Gadget/16-T3E ≈ 10⁴ (≈3%);");
-    println!("Warren et al. shared-dt ASCI-Red ≈ 2.55×10⁶ (≈7× GRAPE-6 before step-count correction).");
+    println!(
+        "Warren et al. shared-dt ASCI-Red ≈ 2.55×10⁶ (≈7× GRAPE-6 before step-count correction)."
+    );
     println!(
         "\nshared-vs-individual cost factor (measured, N={n_h}): harmonic<dt>/dt_min = {ratio:.0}"
     );

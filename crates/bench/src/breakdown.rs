@@ -1,0 +1,497 @@
+//! Measured per-blockstep time breakdowns — the simulation-side twin of
+//! the analytic `model::BlockTime`.
+//!
+//! The paper's figures 13–19 all argue through a six-term decomposition
+//! of the blockstep time (host, DMA, interface, GRAPE, sync, exchange).
+//! The analytic model predicts those terms from workload statistics; this
+//! module *measures* them from the executable stack:
+//!
+//! * **Single host** — a real [`HermiteIntegrator`] over the bit-level
+//!   [`Grape6Engine`] with the engine/integrator span instrumentation
+//!   active: every term comes from recorded [`Span`]s (pipeline cycles
+//!   from the hardware counters, interface/DMA from the engine timebase,
+//!   host phases from calibrated [`HostRates`]).
+//! * **Cluster / multi-cluster** — one fabric rank per host.  Every rank
+//!   advances a full bit-identical copy of the system (the §3.2 copy
+//!   algorithm: identical arithmetic keeps the blockstep schedules
+//!   aligned with no data on the wire) and stamps the virtual time the
+//!   critical-path host's `⌈n_b/p⌉` share of each block costs, chunked
+//!   by the hardware's 48-way i-parallelism, with pipeline passes
+//!   charged at the cycles the simulated hardware actually spent.
+//!   Synchronisation and the inter-cluster exchange are genuinely
+//!   executed over the discrete-event fabric (butterfly barriers;
+//!   recursive doubling between cluster pairs with the block's
+//!   j-updates striped over the cluster's concurrent streams) and
+//!   recorded through the traced collectives.
+//!
+//! Per blockstep the per-rank breakdowns are folded with an elementwise
+//! **max** — the paper's breakdown figures plot the slowest host's view —
+//! and summed over blocksteps.  `perf_report` dumps the result next to
+//! the analytic prediction for the same real block-size sequence.
+
+use grape6_core::engine::Grape6Engine;
+use grape6_core::integrator::{HermiteIntegrator, IntegratorConfig};
+use grape6_model::calib::{GrapeTiming, NicProfile, BARRIER_SW_OVERHEAD};
+use grape6_model::perf::{BlockTime, MachineLayout, PerfModel};
+use grape6_net::collectives::{butterfly_barrier, traced};
+use grape6_net::fabric::{run_ranks, Endpoint};
+use grape6_net::link::LinkProfile;
+use grape6_system::machine::MachineConfig;
+use grape6_system::unit::GrapeUnit;
+use grape6_trace::{HostRates, MeasuredBlockTime, Phase, Span, SpanCounters, Tracer};
+use nbody_core::ic::plummer::plummer_model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The [`GrapeTiming`] describing a simulated [`MachineConfig`]: same
+/// chip count and clock, the paper's host-interface constants.  This is
+/// the model the measured runs must be compared against — `test_small`
+/// has 4 chips, not the real machine's 128.
+pub fn timing_for(cfg: &MachineConfig) -> GrapeTiming {
+    GrapeTiming {
+        chips_per_host: cfg.total_chips(),
+        clock_hz: cfg.chip.clock_khz as f64 * 1e3,
+        vmp_ways: cfg.chip.vmp_ways,
+        i_parallel: cfg.chip.pipelines * cfg.chip.vmp_ways,
+        ..GrapeTiming::paper_host()
+    }
+}
+
+/// The fabric link equivalent of a NIC profile, chosen so one
+/// dissemination-barrier round (send overhead + one-way latency + recv
+/// overhead) costs exactly `rtt + BARRIER_SW_OVERHEAD` — the stage cost
+/// the analytic `butterfly_barrier` charges.
+pub fn nic_link(nic: &NicProfile) -> LinkProfile {
+    LinkProfile {
+        latency: nic.rtt / 2.0,
+        bandwidth: nic.bandwidth,
+        overhead: nic.rtt / 4.0 + BARRIER_SW_OVERHEAD / 2.0,
+    }
+}
+
+/// One measured-vs-modelled breakdown run.
+pub struct BreakdownRun {
+    /// The machine layout.
+    pub layout: MachineLayout,
+    /// System size.
+    pub n: usize,
+    /// Blocksteps executed.
+    pub blocksteps: usize,
+    /// Particle steps executed.
+    pub particle_steps: u64,
+    /// Measured terms: per-blockstep max across ranks, summed over steps.
+    pub measured: MeasuredBlockTime,
+    /// Analytic terms for the same real block-size sequence, summed.
+    pub model: BlockTime,
+    /// Per-rank span streams (for Chrome-trace export).
+    pub streams: Vec<(String, Vec<Span>)>,
+}
+
+impl BreakdownRun {
+    /// The run as a JSON object (hand-rolled: stays functional offline).
+    pub fn to_json(&self) -> String {
+        let model_terms = [
+            ("host", self.model.host),
+            ("dma", self.model.dma),
+            ("interface", self.model.interface),
+            ("grape", self.model.grape),
+            ("sync", self.model.sync),
+            ("exchange", self.model.exchange),
+        ];
+        let model_body: Vec<String> = model_terms
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{v:e}"))
+            .collect();
+        format!(
+            "{{\"layout\":\"{}\",\"n\":{},\"blocksteps\":{},\"particle_steps\":{},\
+             \"measured\":{},\"model\":{{{},\"total\":{:e}}}}}",
+            self.layout.label(),
+            self.n,
+            self.blocksteps,
+            self.particle_steps,
+            self.measured.to_json(),
+            model_body.join(","),
+            self.model.total(),
+        )
+    }
+}
+
+/// Elementwise sum of analytic breakdowns (accumulating blocksteps).
+fn add_block_time(acc: &mut BlockTime, bt: &BlockTime) {
+    acc.host += bt.host;
+    acc.dma += bt.dma;
+    acc.interface += bt.interface;
+    acc.grape += bt.grape;
+    acc.sync += bt.sync;
+    acc.exchange += bt.exchange;
+}
+
+/// Measure the six-term breakdown of a Plummer integration on `machine`
+/// hardware in `layout`, against `model`'s analytic prediction for the
+/// same blockstep sequence.  `model.grape` must describe `machine` (use
+/// [`timing_for`]); host and NIC profiles are taken from `model`.
+pub fn measure_breakdown(
+    model: &PerfModel,
+    machine: &MachineConfig,
+    layout: MachineLayout,
+    n: usize,
+    t_end: f64,
+    seed: u64,
+) -> BreakdownRun {
+    match layout {
+        MachineLayout::SingleHost => measure_single_host(model, machine, n, t_end, seed),
+        MachineLayout::Cluster { hosts } => {
+            measure_ranks(model, machine, layout, 1, hosts, n, t_end, seed)
+        }
+        MachineLayout::MultiCluster {
+            clusters,
+            hosts_per_cluster,
+        } => measure_ranks(
+            model,
+            machine,
+            layout,
+            clusters,
+            hosts_per_cluster,
+            n,
+            t_end,
+            seed,
+        ),
+    }
+}
+
+/// Single host: the real traced integrator/engine stack end to end.
+fn measure_single_host(
+    model: &PerfModel,
+    machine: &MachineConfig,
+    n: usize,
+    t_end: f64,
+    seed: u64,
+) -> BreakdownRun {
+    let layout = MachineLayout::SingleHost;
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
+    let engine = Grape6Engine::new(machine, n);
+    let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
+    it.engine_mut().set_timebase(model.grape.engine_timebase());
+    it.engine_mut().set_tracer(Tracer::enabled());
+    it.set_tracer(Tracer::enabled());
+    it.set_host_rates(HostRates {
+        t_block_fixed: model.host.t_block_fixed,
+        t_step: model.host.t_step(n as f64),
+    });
+    let mut measured = MeasuredBlockTime::default();
+    let mut model_sum = BlockTime::default();
+    let mut all_spans = Vec::new();
+    let mut blocksteps = 0usize;
+    while it.time() < t_end {
+        let (_, n_b) = it.step();
+        let spans = it.take_spans();
+        measured.add(&MeasuredBlockTime::from_spans(&spans));
+        all_spans.extend(spans);
+        add_block_time(&mut model_sum, &model.block_time(layout, n, n_b));
+        blocksteps += 1;
+    }
+    BreakdownRun {
+        layout,
+        n,
+        blocksteps,
+        particle_steps: it.stats().particle_steps,
+        measured,
+        model: model_sum,
+        streams: vec![("host".into(), all_spans)],
+    }
+}
+
+/// Record a span at the rank's virtual-time cursor and advance it.
+fn stamp(tracer: &mut Tracer, vt: &mut f64, phase: Phase, dur: f64, items: u64, bytes: u64) {
+    let t0 = *vt;
+    let t1 = t0 + dur;
+    tracer.record(Span {
+        phase,
+        t0,
+        t1,
+        track: 0,
+        counters: SpanCounters {
+            items,
+            bytes,
+            ..Default::default()
+        },
+    });
+    *vt = t1;
+}
+
+/// Recursive-doubling exchange of the block's j-updates between cluster
+/// pairs (§4.3's copy algorithm over the Ethernet).  Stage `k` pairs
+/// cluster `ci` with `ci XOR 2^k`; the accumulated updates are striped
+/// over the cluster's `streams` concurrently-receiving hosts, so only
+/// ranks with in-cluster index below `streams` touch the wire.
+fn exchange_blocks(
+    ep: &mut Endpoint<u8>,
+    clusters: usize,
+    hosts_per_cluster: usize,
+    streams: usize,
+    block_bytes: f64,
+) {
+    let ci = ep.rank() / hosts_per_cluster;
+    let hi = ep.rank() % hosts_per_cluster;
+    let stages = (clusters as f64).log2().ceil() as u32;
+    let per_cluster = block_bytes / clusters as f64;
+    for k in 0..stages {
+        let partner_cluster = ci ^ (1usize << k);
+        if partner_cluster >= clusters {
+            continue;
+        }
+        let partner = partner_cluster * hosts_per_cluster + hi;
+        // Only `streams` hosts per cluster sustain full-rate payload; the
+        // others exchange a sentinel so every clock rides the same stage
+        // pattern (their share of the data reaches them over the
+        // cluster's hardware network, not the Ethernet).
+        let wire = if hi < streams {
+            (per_cluster * (1u64 << k) as f64 / streams as f64).ceil() as usize
+        } else {
+            1
+        };
+        ep.send(partner, 0, wire.max(1));
+        ep.recv_checked(partner).expect("lossless fabric");
+    }
+}
+
+/// Cluster / multi-cluster: one fabric rank per host.
+#[allow(clippy::too_many_arguments)]
+fn measure_ranks(
+    model: &PerfModel,
+    machine: &MachineConfig,
+    layout: MachineLayout,
+    clusters: usize,
+    hosts_per_cluster: usize,
+    n: usize,
+    t_end: f64,
+    seed: u64,
+) -> BreakdownRun {
+    let p = clusters * hosts_per_cluster;
+    let tb = model.grape.engine_timebase();
+    let rates = HostRates {
+        t_block_fixed: model.host.t_block_fixed,
+        t_step: model.host.t_step(n as f64),
+    };
+    let streams = (hosts_per_cluster as f64)
+        .min(model.nic.concurrency)
+        .max(1.0) as usize;
+    let i_par = model.grape.i_parallel.max(1);
+    let j_bytes = model.grape.j_word_bytes;
+    let link = nic_link(&model.nic);
+    // (per-step breakdowns, per-step block sizes, particle steps, spans)
+    type RankOut = (Vec<MeasuredBlockTime>, Vec<usize>, u64, Vec<Span>);
+    let results = run_ranks::<u8, RankOut, _>(p, link, |mut ep| {
+        let rank = ep.rank();
+        // Full bit-identical copy of the system on every rank: identical
+        // arithmetic means identical blockstep schedules, so the fabric
+        // carries only timing (empty payloads with explicit wire bytes).
+        let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
+        let engine = Grape6Engine::new(machine, n);
+        let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
+        ep.set_tracer(Tracer::enabled());
+        let mut tracer = Tracer::enabled();
+        let mut per_step = Vec::new();
+        let mut sizes = Vec::new();
+        let mut all_spans = Vec::new();
+        while it.time() < t_end {
+            // Block-agreement barrier opens the step.
+            traced(&mut ep, Phase::Sync, |ep| {
+                butterfly_barrier(ep).expect("lossless fabric")
+            });
+            let (_, n_b) = it.step();
+            let pass_cycles = it.engine().hardware().last_pass_cycles();
+            // This rank's share of the block: balanced round-robin over
+            // block positions (position k goes to rank k mod p).  Every
+            // rank *stamps* the critical-path host's share ⌈n_b/p⌉ — the
+            // model's per-host charge — because stamping the rank's own
+            // ±1-particle imbalance would skew barrier entries and leak
+            // wait time between the sync and exchange terms.  (The
+            // replicated integrator makes the share synthetic either way;
+            // the counters keep the true ownership.)
+            let owned = n_b / p + usize::from(rank < n_b % p);
+            let share = n_b.div_ceil(p);
+            // Stamp the share's host + hardware time at the fabric clock.
+            let mut vt = ep.clock();
+            stamp(
+                &mut tracer,
+                &mut vt,
+                Phase::Predict,
+                0.5 * rates.t_step * share as f64,
+                owned as u64,
+                0,
+            );
+            let mut left = share;
+            while left > 0 {
+                let chunk = left.min(i_par);
+                stamp(
+                    &mut tracer,
+                    &mut vt,
+                    Phase::Dma,
+                    tb.dma_call(),
+                    chunk as u64,
+                    0,
+                );
+                stamp(
+                    &mut tracer,
+                    &mut vt,
+                    Phase::Interface,
+                    tb.if_time(chunk),
+                    chunk as u64,
+                    (chunk as f64 * (tb.i_word_bytes + tb.f_word_bytes)) as u64,
+                );
+                // The pass streams the full j-memory whatever the chunk
+                // holds; charge the cycles the simulated hardware spent.
+                stamp(
+                    &mut tracer,
+                    &mut vt,
+                    Phase::Grape,
+                    pass_cycles as f64 * tb.sec_per_cycle,
+                    n as u64,
+                    0,
+                );
+                left -= chunk;
+            }
+            // j writeback over the host interface: a host's own share
+            // always crosses it; inside a cluster the rest rides the
+            // hardware broadcast network, but the inter-cluster copy
+            // algorithm makes every host write the whole block (§4.3).
+            let j_items = if clusters > 1 { n_b } else { share };
+            stamp(
+                &mut tracer,
+                &mut vt,
+                Phase::Interface,
+                j_items as f64 * tb.j_write_time(),
+                j_items as u64,
+                (j_items as f64 * tb.j_word_bytes) as u64,
+            );
+            stamp(
+                &mut tracer,
+                &mut vt,
+                Phase::Host,
+                rates.t_block_fixed + 0.5 * rates.t_step * share as f64,
+                owned as u64,
+                0,
+            );
+            ep.advance_to(vt);
+            // Commit barrier.
+            traced(&mut ep, Phase::Sync, |ep| {
+                butterfly_barrier(ep).expect("lossless fabric")
+            });
+            if clusters > 1 {
+                traced(&mut ep, Phase::Exchange, |ep| {
+                    exchange_blocks(
+                        ep,
+                        clusters,
+                        hosts_per_cluster,
+                        streams,
+                        n_b as f64 * j_bytes,
+                    )
+                });
+                // The post-exchange barrier is the extra round the paper
+                // blames for the multi-cluster sync overhead (§4.4).
+                traced(&mut ep, Phase::Sync, |ep| {
+                    butterfly_barrier(ep).expect("lossless fabric")
+                });
+            }
+            let mut spans = tracer.take();
+            spans.extend(ep.take_spans());
+            per_step.push(MeasuredBlockTime::from_spans(&spans));
+            sizes.push(n_b);
+            all_spans.extend(spans);
+        }
+        (per_step, sizes, it.stats().particle_steps, all_spans)
+    });
+    // Fold: per blockstep the slowest rank's term (the paper's breakdown
+    // figures plot the critical path), summed over blocksteps.
+    let steps = results[0].0.len();
+    let mut measured = MeasuredBlockTime::default();
+    for k in 0..steps {
+        let mut worst = MeasuredBlockTime::default();
+        for r in &results {
+            worst = worst.max(&r.0[k]);
+        }
+        measured.add(&worst);
+    }
+    let mut model_sum = BlockTime::default();
+    for &n_b in &results[0].1 {
+        add_block_time(&mut model_sum, &model.block_time(layout, n, n_b));
+    }
+    let streams_out = results
+        .iter()
+        .enumerate()
+        .map(|(r, out)| (format!("rank{r}"), out.3.clone()))
+        .collect();
+    BreakdownRun {
+        layout,
+        n,
+        blocksteps: steps,
+        particle_steps: results[0].2,
+        measured,
+        model: model_sum,
+        streams: streams_out,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_model() -> (PerfModel, MachineConfig) {
+        let machine = MachineConfig::test_small();
+        let model = PerfModel {
+            grape: timing_for(&machine),
+            ..PerfModel::default()
+        };
+        (model, machine)
+    }
+
+    #[test]
+    fn nic_link_round_costs_one_barrier_stage() {
+        let nic = NicProfile::intel_82540em();
+        let l = nic_link(&nic);
+        // send overhead + latency + recv overhead = rtt + sw.
+        let round = 2.0 * l.overhead + l.latency;
+        assert!((round - (nic.rtt + BARRIER_SW_OVERHEAD)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn timing_for_matches_test_small_geometry() {
+        let t = timing_for(&MachineConfig::test_small());
+        assert_eq!(t.chips_per_host, 4);
+        assert_eq!(t.i_parallel, 48);
+        assert_eq!(t.clock_hz, 90.0e6);
+    }
+
+    #[test]
+    fn single_host_breakdown_has_no_network_terms() {
+        let (model, machine) = small_model();
+        let run = measure_breakdown(&model, &machine, MachineLayout::SingleHost, 64, 0.0625, 42);
+        assert!(run.blocksteps > 0);
+        assert_eq!(run.measured.sync, 0.0);
+        assert_eq!(run.measured.exchange, 0.0);
+        assert!(run.measured.host > 0.0 && run.measured.grape > 0.0);
+        assert!(run.measured.dma > 0.0 && run.measured.interface > 0.0);
+        // Host and DMA are charged from the same constants as the model:
+        // they must agree essentially exactly.
+        assert!((run.measured.host / run.model.host - 1.0).abs() < 1e-9);
+        assert!((run.measured.dma / run.model.dma - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cluster_breakdown_pays_sync_but_not_exchange() {
+        let (model, machine) = small_model();
+        let run = measure_breakdown(
+            &model,
+            &machine,
+            MachineLayout::Cluster { hosts: 2 },
+            48,
+            0.0625,
+            43,
+        );
+        assert!(run.measured.sync > 0.0);
+        assert_eq!(run.measured.exchange, 0.0);
+        let json = run.to_json();
+        assert!(json.contains("\"sync\""), "{json}");
+    }
+}

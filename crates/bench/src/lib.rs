@@ -20,6 +20,8 @@
 //! printing, and the **measured** block-statistics runner that ties the
 //! analytic model to real integrations of the bit-level simulator stack.
 
+pub mod breakdown;
+
 use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::BlockStatsModel;
 use nbody_core::force::DirectEngine;
@@ -70,7 +72,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         .map(|(k, h)| format!("{:>w$}", h, w = widths[k]))
         .collect();
     println!("{}", line.join("  "));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1))
+    );
     for row in rows {
         let line: Vec<String> = row
             .iter()
@@ -82,6 +87,10 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
 }
 
 /// Serialise one table to `<dir>/<slug>.json`.
+// `headers`/`rows` are consumed inside `serde_json::json!`; an offline
+// build against a stubbed serde_json can expand the macro to a constant,
+// which would otherwise warn that they are unused.
+#[allow(unused_variables)]
 fn write_json_table(
     dir: &str,
     title: &str,
@@ -91,7 +100,13 @@ fn write_json_table(
     use std::io::Write;
     let slug: String = title
         .chars()
-        .map(|c| if c.is_ascii_alphanumeric() { c.to_ascii_lowercase() } else { '_' })
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '_'
+            }
+        })
         .collect::<String>()
         .split('_')
         .filter(|s| !s.is_empty())

@@ -262,7 +262,11 @@ impl Chip {
     ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
         assert!(i_regs.len() <= self.cfg.i_parallelism());
         assert_eq!(i_regs.len(), exps.len());
-        assert_eq!(i_regs.len(), h2.len(), "one neighbour radius per i-particle");
+        assert_eq!(
+            i_regs.len(),
+            h2.len(),
+            "one neighbour radius per i-particle"
+        );
         if self.dead {
             let out = exps.iter().map(|&e| PartialForce::new(e)).collect();
             return Ok((out, vec![Vec::new(); i_regs.len()]));
@@ -307,9 +311,7 @@ impl Chip {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nbody_core::force::{
-        DirectEngine, ForceEngine, ForceResult, IParticle,
-    };
+    use nbody_core::force::{DirectEngine, ForceEngine, ForceResult, IParticle};
     use nbody_core::Vec3;
 
     fn test_system(n: usize) -> (Vec<f64>, Vec<Vec3>, Vec<Vec3>) {
@@ -500,9 +502,7 @@ mod tests {
             .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
             .collect();
         let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 4];
-        let (forces, lists) = chip
-            .compute_block_nb(&i_regs, &exps, &[h2; 4])
-            .unwrap();
+        let (forces, lists) = chip.compute_block_nb(&i_regs, &exps, &[h2; 4]).unwrap();
         assert_eq!(forces.len(), 4);
         for k in 0..4 {
             let want: Vec<u32> = (0..300)

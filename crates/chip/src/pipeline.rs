@@ -242,7 +242,11 @@ mod tests {
         interact(&rsqrt, &ip, &jp, &mut out).unwrap();
         let hw = out.to_force_result();
         let (a, j, p) = pair_force(jpos - ipos, jvel - ivel, 0.37, eps2);
-        assert!((hw.acc - a).norm() / a.norm() < 1e-5, "{:?} vs {a:?}", hw.acc);
+        assert!(
+            (hw.acc - a).norm() / a.norm() < 1e-5,
+            "{:?} vs {a:?}",
+            hw.acc
+        );
         assert!((hw.jerk - j).norm() / j.norm() < 1e-5);
         assert!((hw.pot - p).abs() / p.abs() < 1e-5);
     }

@@ -115,7 +115,16 @@ mod tests {
             let a = k as f64;
             let x = Vec3::new((a * 0.3).sin(), (a * 0.7).cos(), 0.1 * a - 0.8);
             let v = Vec3::new(0.01 * a, -0.02, 0.0);
-            g6.set_j_particle(k, 0.0, 1.0 / n as f64, Vec3::ZERO, Vec3::ZERO, Vec3::ZERO, v, x);
+            g6.set_j_particle(
+                k,
+                0.0,
+                1.0 / n as f64,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                v,
+                x,
+            );
             reference.set_j_particle(
                 k,
                 &JParticle {

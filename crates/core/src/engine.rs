@@ -31,6 +31,7 @@ use grape6_fault::{
 use grape6_system::machine::{BoardArray, MachineConfig};
 use grape6_system::selftest::{self_test, SelfTestConfig, SelfTestReport};
 use grape6_system::unit::GrapeUnit;
+use grape6_trace::{EngineTimebase, Phase, Span, SpanCounters, Tracer};
 use nbody_core::force::{EngineError, ForceEngine, ForceResult, IParticle, JParticle};
 
 /// Widening applied to all windows on each overflow retry (bits).
@@ -78,19 +79,47 @@ pub struct Grape6Engine {
     masked: Vec<UnitPath>,
     total_chips: usize,
     selftest: Option<SelfTestReport>,
+    /// Span sink (disabled by default: tracing is opt-in and zero-cost
+    /// when off).
+    tracer: Tracer,
+    /// Conversion from hardware activity to virtual seconds; spans are
+    /// only recorded when both the tracer is active and this is set.
+    timebase: Option<EngineTimebase>,
+    /// Virtual-time cursor the engine's spans advance.
+    vt: f64,
 }
 
 impl Grape6Engine {
     /// Build the engine from a machine description (healthy hardware, no
     /// self-test — construction is free, as the tests' cycle accounting
-    /// expects).
+    /// expects).  Panics on oversubscription; [`Grape6Engine::try_new`] is
+    /// the typed-error twin.
     pub fn new(cfg: &MachineConfig, n_particles: usize) -> Self {
-        assert!(
-            n_particles <= cfg.capacity(),
-            "system of {n_particles} exceeds machine capacity {}",
-            cfg.capacity()
-        );
-        Self::from_hardware(cfg.build(), cfg.total_chips(), n_particles)
+        match Self::try_new(cfg, n_particles) {
+            Ok(e) => e,
+            Err(_) => panic!(
+                "system of {n_particles} exceeds machine capacity {}",
+                cfg.capacity()
+            ),
+        }
+    }
+
+    /// Fallible construction: rejects a system larger than the machine's
+    /// j-memory with [`EngineError::InsufficientCapacity`] instead of
+    /// panicking.
+    pub fn try_new(cfg: &MachineConfig, n_particles: usize) -> Result<Self, EngineError> {
+        let available = cfg.capacity();
+        if n_particles > available {
+            return Err(EngineError::InsufficientCapacity {
+                needed: n_particles,
+                available,
+            });
+        }
+        Ok(Self::from_hardware(
+            cfg.build(),
+            cfg.total_chips(),
+            n_particles,
+        ))
     }
 
     /// Build the engine on hardware carrying the given fault plan.
@@ -171,6 +200,79 @@ impl Grape6Engine {
             masked: Vec::new(),
             total_chips,
             selftest: None,
+            tracer: Tracer::disabled(),
+            timebase: None,
+            vt: 0.0,
+        }
+    }
+
+    /// Install a span sink (pass [`Tracer::enabled`] to start recording).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// The engine's tracer (pause/resume, inspection).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Set the hardware-activity → seconds conversion used for spans.
+    /// Virtual-time access (`vt`/`set_vt`/`take_spans`) goes through the
+    /// [`ForceEngine`] trait.
+    pub fn set_timebase(&mut self, tb: EngineTimebase) {
+        self.timebase = Some(tb);
+    }
+
+    /// Record a span of `dur` virtual seconds at the cursor and advance
+    /// it.  No-op (and no cursor movement) unless tracing is active and a
+    /// timebase is installed.
+    fn trace_span(&mut self, phase: Phase, dur: f64, counters: SpanCounters) {
+        if self.timebase.is_none() || !self.tracer.is_active() {
+            return;
+        }
+        let t0 = self.vt;
+        self.vt += dur;
+        self.tracer.record(Span {
+            phase,
+            t0,
+            t1: self.vt,
+            track: 0,
+            counters,
+        });
+    }
+
+    /// Record the per-board sub-spans of the pass that just ran: board `b`
+    /// on track `b + 1`, aligned to end with the pass span.  These are
+    /// visualisation-only (`Phase::BoardPass` folds into no breakdown
+    /// term).
+    fn trace_board_passes(&mut self, t1: f64) {
+        let Some(tb) = self.timebase else { return };
+        if !self.tracer.is_active() {
+            return;
+        }
+        let spans: Vec<Span> = self
+            .hw
+            .children()
+            .iter()
+            .enumerate()
+            .filter(|(b, _)| self.hw.active()[*b])
+            .map(|(b, board)| {
+                let cycles = board.last_pass_cycles();
+                let dur = cycles as f64 * tb.sec_per_cycle;
+                Span {
+                    phase: Phase::BoardPass,
+                    t0: t1 - dur,
+                    t1,
+                    track: b as u32 + 1,
+                    counters: SpanCounters {
+                        cycles,
+                        ..Default::default()
+                    },
+                }
+            })
+            .collect();
+        for s in spans {
+            self.tracer.record(s);
         }
     }
 
@@ -291,7 +393,13 @@ impl Grape6Engine {
         self.hw.set_time(self.time);
         for (addr, p) in self.mirror.iter().enumerate() {
             if let Some(p) = p {
-                self.hw.load_j(addr, p);
+                // The capacity check above makes a load failure a machine
+                // defect (e.g. a mask landing mid-reload), not a sizing bug.
+                self.hw
+                    .load_j(addr, p)
+                    .map_err(|e| EngineError::HardwareFault {
+                        detail: format!("reload after masking failed: {e}"),
+                    })?;
             }
         }
         Ok(())
@@ -308,9 +416,34 @@ impl Grape6Engine {
     ) -> Result<(Vec<PartialForce>, Option<Vec<Vec<u32>>>), EngineError> {
         self.pass += 1;
         self.apply_due_deaths()?;
+        let n_i = regs.len();
+        if let Some(tb) = self.timebase {
+            // One GRAPE call: DMA setup, then the i-upload + force-readback
+            // interface transfer (j writeback is charged at load time).
+            self.trace_span(
+                Phase::Dma,
+                tb.dma_call(),
+                SpanCounters {
+                    items: n_i as u64,
+                    ..Default::default()
+                },
+            );
+            self.trace_span(
+                Phase::Interface,
+                tb.if_time(n_i),
+                SpanCounters {
+                    items: n_i as u64,
+                    bytes: (n_i as f64 * (tb.i_word_bytes + tb.f_word_bytes)) as u64,
+                    ..Default::default()
+                },
+            );
+        }
         let mut exps = vec![self.exps(); regs.len()];
         let mut widen_attempts = 0u32;
         let mut recomputes = 0u32;
+        // Phase tag of the *next* pipeline pass: the first attempt is plain
+        // pipeline time; repeats are tagged by what caused them.
+        let mut attempt_phase = Phase::Grape;
         loop {
             let outcome = match h2 {
                 None => self
@@ -322,6 +455,23 @@ impl Grape6Engine {
                     .compute_block_nb(regs, &exps, h2)
                     .map(|(partials, lists)| (partials, Some(lists))),
             };
+            // The hardware ran a pass whatever the outcome; charge its
+            // critical-path cycles under the attempt's phase tag.
+            if let Some(tb) = self.timebase {
+                let cycles = self.hw.last_pass_cycles();
+                self.trace_span(
+                    attempt_phase,
+                    cycles as f64 * tb.sec_per_cycle,
+                    SpanCounters {
+                        items: self.hw.n_j() as u64,
+                        cycles,
+                        retries: (widen_attempts + recomputes) as u64,
+                        ..Default::default()
+                    },
+                );
+                let t1 = self.vt;
+                self.trace_board_passes(t1);
+            }
             match outcome {
                 Ok((partials, lists)) => {
                     // Host-side sanity screen on everything hardware hands
@@ -334,8 +484,10 @@ impl Grape6Engine {
                         return Ok((partials, lists));
                     }
                     recomputes += 1;
+                    attempt_phase = Phase::SanityRecompute;
                     self.counters.sanity_recomputes += 1;
-                    self.events.push(FaultEvent::SanityRecompute { pass: self.pass });
+                    self.events
+                        .push(FaultEvent::SanityRecompute { pass: self.pass });
                     if recomputes > MAX_GLITCH_RECOMPUTES {
                         return Err(EngineError::HardwareFault {
                             detail: format!(
@@ -350,8 +502,10 @@ impl Grape6Engine {
                     // only be a corrupted reduction word (parity fault).
                     // Recompute without widening.
                     recomputes += 1;
+                    attempt_phase = Phase::SanityRecompute;
                     self.counters.reduction_glitches += 1;
-                    self.events.push(FaultEvent::ReductionGlitch { pass: self.pass });
+                    self.events
+                        .push(FaultEvent::ReductionGlitch { pass: self.pass });
                     if recomputes > MAX_GLITCH_RECOMPUTES {
                         return Err(EngineError::HardwareFault {
                             detail: format!(
@@ -364,6 +518,7 @@ impl Grape6Engine {
                 Err(e) => {
                     // Genuine block-FP overflow: widen the windows (§3.4).
                     widen_attempts += 1;
+                    attempt_phase = Phase::WidenRetry;
                     self.retries += 1;
                     if widen_attempts > MAX_RETRIES {
                         return Err(EngineError::ExponentDivergence {
@@ -386,7 +541,10 @@ impl Grape6Engine {
         out: &mut [ForceResult],
     ) -> Result<(), EngineError> {
         assert_eq!(i.len(), out.len());
-        for (chunk_i, chunk_o) in i.chunks(self.i_parallel).zip(out.chunks_mut(self.i_parallel)) {
+        for (chunk_i, chunk_o) in i
+            .chunks(self.i_parallel)
+            .zip(out.chunks_mut(self.i_parallel))
+        {
             let regs: Vec<HwIParticle> = chunk_i
                 .iter()
                 .map(|p| HwIParticle::from_host(p.pos, p.vel, p.eps2))
@@ -421,7 +579,24 @@ impl ForceEngine for Grape6Engine {
             );
         }
         self.mirror[addr] = Some(*p);
-        self.hw.load_j(addr, p);
+        // addr < n_slots ≤ capacity (checked at construction and on every
+        // reload), so the hardware write cannot fail here.
+        if let Some(tb) = self.timebase {
+            // j writeback crosses the same host↔GRAPE interface as the
+            // i/force traffic (the j term of the model's interface time).
+            self.trace_span(
+                Phase::Interface,
+                tb.j_write_time(),
+                SpanCounters {
+                    items: 1,
+                    bytes: tb.j_word_bytes as u64,
+                    ..Default::default()
+                },
+            );
+        }
+        self.hw
+            .load_j(addr, p)
+            .expect("j capacity verified against n_slots");
     }
 
     fn set_time(&mut self, t: f64) {
@@ -443,6 +618,18 @@ impl ForceEngine for Grape6Engine {
         let mut c = self.counters;
         c.exponent_retries = self.retries;
         c
+    }
+
+    fn vt(&self) -> f64 {
+        self.vt
+    }
+
+    fn set_vt(&mut self, t: f64) {
+        self.vt = t;
+    }
+
+    fn take_spans(&mut self) -> Vec<Span> {
+        self.tracer.take()
     }
 
     fn name(&self) -> &'static str {
@@ -714,7 +901,10 @@ mod tests {
             }
             other => panic!("expected ExponentDivergence, got {other:?}"),
         }
-        assert_eq!(g.fault_counters().exponent_retries, (MAX_RETRIES + 1) as u64);
+        assert_eq!(
+            g.fault_counters().exponent_retries,
+            (MAX_RETRIES + 1) as u64
+        );
     }
 
     #[test]

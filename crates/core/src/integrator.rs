@@ -20,6 +20,7 @@
 //! each rank of the parallel algorithms — mirroring how the real host code
 //! ran unchanged on GRAPE-4 and GRAPE-6.
 
+use grape6_trace::{HostRates, Phase, Span, SpanCounters, Tracer};
 use nbody_core::blockstep::TimeGrid;
 use nbody_core::force::{ForceEngine, ForceResult, IParticle, JParticle};
 use nbody_core::hermite::{aarseth_dt, correct, predict, startup_dt, HermiteState};
@@ -73,6 +74,9 @@ pub struct HermiteIntegrator<E: ForceEngine> {
     block: Vec<usize>,
     iparts: Vec<IParticle>,
     forces: Vec<ForceResult>,
+    // Host-phase span recording (disabled by default).
+    tracer: Tracer,
+    host_rates: Option<HostRates>,
 }
 
 impl<E: ForceEngine> HermiteIntegrator<E> {
@@ -125,6 +129,8 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             block: Vec::new(),
             iparts: Vec::new(),
             forces: Vec::new(),
+            tracer: Tracer::disabled(),
+            host_rates: None,
         }
     }
 
@@ -142,6 +148,55 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
     /// The engine (for counters).
     pub fn engine(&self) -> &E {
         &self.engine
+    }
+
+    /// Mutable engine access (installing an engine-side tracer/timebase).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
+    /// Install a span sink for the host phases of the blockstep loop.
+    /// Initialisation (construction) is never traced — install the tracer
+    /// after `new` so spans cover steady-state blocksteps only.
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// Calibrated host rates converting block sizes into host-phase
+    /// virtual seconds.  Host spans are only recorded once this is set.
+    pub fn set_host_rates(&mut self, rates: HostRates) {
+        self.host_rates = Some(rates);
+    }
+
+    /// Drain every span recorded so far: the integrator's host phases
+    /// merged with the engine's hardware phases, ordered by start time.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        let mut spans = self.tracer.take();
+        spans.extend(self.engine.take_spans());
+        spans.sort_by(|a, b| a.t0.total_cmp(&b.t0));
+        spans
+    }
+
+    /// Record a host-phase span at the shared virtual-time cursor (the
+    /// engine's, so host and hardware spans interleave on one timeline)
+    /// and advance the cursor past it.
+    fn trace_host(&mut self, phase: Phase, dur: f64, items: u64) {
+        if !self.tracer.is_active() {
+            return;
+        }
+        let t0 = self.engine.vt();
+        let t1 = t0 + dur;
+        self.tracer.record(Span {
+            phase,
+            t0,
+            t1,
+            track: 0,
+            counters: SpanCounters {
+                items,
+                ..Default::default()
+            },
+        });
+        self.engine.set_vt(t1);
     }
 
     /// Run statistics so far.
@@ -184,6 +239,14 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
                 eps2: self.eps2,
             });
         }
+        // Charge the prediction loop as the leading half of the model's
+        // per-particle host work (t_host = t_fixed + n_b·t_step, split
+        // half before / half after the GRAPE call).
+        if let Some(r) = self.host_rates {
+            let n_b = self.block.len();
+            self.trace_host(Phase::Predict, 0.5 * r.t_step * n_b as f64, n_b as u64);
+        }
+        let set = &mut self.set;
         // 3. Engine force evaluation at the block time.
         self.engine.set_time(t_next);
         self.forces.resize(self.block.len(), ForceResult::default());
@@ -233,9 +296,20 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             set.dt[i] = self.cfg.grid.next_step(t_next, dt, want);
             self.engine.set_j_particle(i, &j_of(set, i));
         }
+        // Corrector, retiming and scheduling: the fixed per-block host
+        // overhead plus the trailing half of the per-particle work.
+        if let Some(r) = self.host_rates {
+            let n_b = self.block.len();
+            self.trace_host(
+                Phase::Host,
+                r.t_block_fixed + 0.5 * r.t_step * n_b as f64,
+                n_b as u64,
+            );
+        }
         let n_b = self.block.len();
         let dt_block = t_next - self.t;
-        self.stats.record_block(n_b, dt_block.max(f64::MIN_POSITIVE));
+        self.stats
+            .record_block(n_b, dt_block.max(f64::MIN_POSITIVE));
         self.stats.faults = self.engine.fault_counters();
         self.t = t_next;
         (t_next, n_b)
@@ -308,7 +382,11 @@ mod tests {
         plummer_model(n, &mut StdRng::seed_from_u64(seed))
     }
 
-    fn direct_integrator(n: usize, seed: u64, cfg: IntegratorConfig) -> HermiteIntegrator<DirectEngine> {
+    fn direct_integrator(
+        n: usize,
+        seed: u64,
+        cfg: IntegratorConfig,
+    ) -> HermiteIntegrator<DirectEngine> {
         let set = small_plummer(n, seed);
         HermiteIntegrator::new(DirectEngine::new(n), set, cfg)
     }
@@ -475,14 +553,21 @@ mod tests {
             pec_iterations: 2,
             ..Default::default()
         };
-        let mut a = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), IntegratorConfig::default());
+        let mut a = HermiteIntegrator::new(
+            DirectEngine::new(n),
+            set.clone(),
+            IntegratorConfig::default(),
+        );
         let mut b = HermiteIntegrator::new(DirectEngine::new(n), set, cfg2);
         a.run_until(0.0625);
         b.run_until(0.0625);
         // Roughly double the pairwise interactions per particle step.
         let per_step_a = a.engine().interactions() as f64 / a.stats().particle_steps as f64;
         let per_step_b = b.engine().interactions() as f64 / b.stats().particle_steps as f64;
-        assert!(per_step_b > 1.7 * per_step_a, "{per_step_b} vs {per_step_a}");
+        assert!(
+            per_step_b > 1.7 * per_step_a,
+            "{per_step_b} vs {per_step_a}"
+        );
     }
 
     #[test]

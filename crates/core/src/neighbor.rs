@@ -189,8 +189,7 @@ impl<E: ForceEngine> AcHermiteIntegrator<E> {
 
     /// Mean neighbour count right now.
     pub fn mean_neighbours(&self) -> f64 {
-        self.ac.iter().map(|p| p.neighbours.len()).sum::<usize>() as f64
-            / self.ac.len() as f64
+        self.ac.iter().map(|p| p.neighbours.len()).sum::<usize>() as f64 / self.ac.len() as f64
     }
 
     /// Regular force (and derivative) extrapolated to time `t`.
@@ -328,14 +327,8 @@ impl<E: ForceEngine> AcHermiteIntegrator<E> {
                 // same new list, so their sum is continuous and each
                 // component is self-consistent from here on.
                 let (nb, _) = neighbour_list(&pred_pos, i, self.ac[i].h);
-                let (f_irr_new_def, _) = neighbour_force_predicted(
-                    &self.set,
-                    &nb,
-                    i,
-                    &pred_pos,
-                    &pred_vel,
-                    self.eps2,
-                );
+                let (f_irr_new_def, _) =
+                    neighbour_force_predicted(&self.set, &nb, i, &pred_pos, &pred_vel, self.eps2);
                 self.irregular_evals += 1;
                 let p = &mut self.ac[i];
                 let ratio = (self.cfg.n_nb_target as f64 + 1.0) / (nb.len() as f64 + 1.0);
@@ -416,8 +409,7 @@ impl<E: ForceEngine> AcHermiteIntegrator<E> {
             self.set.dt[i] = self.cfg.base.grid.next_step(t_next, dt, want);
             self.engine.set_j_particle(i, &j_of(&self.set, i));
         }
-        self.stats
-            .record_block(block.len(), t_next - self.t);
+        self.stats.record_block(block.len(), t_next - self.t);
         self.t = t_next;
         (t_next, block.len())
     }
@@ -546,9 +538,9 @@ mod tests {
     use super::*;
     use crate::integrator::HermiteIntegrator;
     use nbody_core::diagnostics::energy;
-    use nbody_core::softening::Softening;
     use nbody_core::force::DirectEngine;
     use nbody_core::ic::plummer::plummer_model;
+    use nbody_core::softening::Softening;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
@@ -575,8 +567,11 @@ mod tests {
         // than the plain Hermite driver over the same interval.
         let n = 128;
         let set = plummer(n, 501);
-        let mut plain =
-            HermiteIntegrator::new(DirectEngine::new(n), set.clone(), IntegratorConfig::default());
+        let mut plain = HermiteIntegrator::new(
+            DirectEngine::new(n),
+            set.clone(),
+            IntegratorConfig::default(),
+        );
         plain.run_until(0.25);
         let plain_evals = plain.stats().particle_steps; // 1 engine eval each
         let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
@@ -595,8 +590,11 @@ mod tests {
     fn tracks_plain_hermite_trajectories() {
         let n = 64;
         let set = plummer(n, 502);
-        let mut plain =
-            HermiteIntegrator::new(DirectEngine::new(n), set.clone(), IntegratorConfig::default());
+        let mut plain = HermiteIntegrator::new(
+            DirectEngine::new(n),
+            set.clone(),
+            IntegratorConfig::default(),
+        );
         let mut ac = AcHermiteIntegrator::new(DirectEngine::new(n), set, AcConfig::default());
         plain.run_until(0.125);
         ac.run_until(0.125);

@@ -252,7 +252,13 @@ impl FaultPlan {
     }
 
     /// Add a chip fault at `[board, module, chip]`.
-    pub fn with_chip_fault(mut self, board: usize, module: usize, chip: usize, f: ChipFault) -> Self {
+    pub fn with_chip_fault(
+        mut self,
+        board: usize,
+        module: usize,
+        chip: usize,
+        f: ChipFault,
+    ) -> Self {
         self.chip_faults.push((vec![board, module, chip], f));
         self
     }
@@ -326,7 +332,8 @@ impl FaultPlan {
         for _ in 0..cfg.dead_pipelines {
             let p = rand_chip(&mut r);
             let pipeline = r.below(6) as usize;
-            plan.chip_faults.push((p, ChipFault::DeadPipeline { pipeline }));
+            plan.chip_faults
+                .push((p, ChipFault::DeadPipeline { pipeline }));
         }
         for _ in 0..cfg.stuck_bits {
             let p = rand_chip(&mut r);

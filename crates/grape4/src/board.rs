@@ -93,7 +93,10 @@ impl Grape4Board {
 
     /// Write a j-particle into the shared memory.
     pub fn load_j(&mut self, addr: usize, p: &JParticle) {
-        assert!(addr < self.cfg.jmem_capacity, "GRAPE-4 board memory overflow");
+        assert!(
+            addr < self.cfg.jmem_capacity,
+            "GRAPE-4 board memory overflow"
+        );
         self.jmem[addr] = HwJParticle::from_host(p);
         self.used = self.used.max(addr + 1);
     }

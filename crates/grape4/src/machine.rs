@@ -81,7 +81,9 @@ impl Grape4Machine {
     /// Build the machine.
     pub fn new(cfg: Grape4Config) -> Self {
         Self {
-            boards: (0..cfg.boards).map(|_| Grape4Board::new(cfg.board)).collect(),
+            boards: (0..cfg.boards)
+                .map(|_| Grape4Board::new(cfg.board))
+                .collect(),
             used: 0,
             cfg,
         }

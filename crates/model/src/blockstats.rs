@@ -238,9 +238,7 @@ mod tests {
         let fitted = BlockStatsModel::fit(&samples, 1024.0, truth.block_sigma);
         assert!((fitted.steps_slope - truth.steps_slope).abs() < 1e-9);
         assert!((fitted.blocks_slope - truth.blocks_slope).abs() < 1e-9);
-        assert!(
-            (fitted.steps_per_particle_ref / truth.steps_per_particle_ref - 1.0).abs() < 1e-9
-        );
+        assert!((fitted.steps_per_particle_ref / truth.steps_per_particle_ref - 1.0).abs() < 1e-9);
         assert!((fitted.blocks_ref / truth.blocks_ref - 1.0).abs() < 1e-9);
     }
 
@@ -252,7 +250,11 @@ mod tests {
             .enumerate()
             .map(|(i, &n)| {
                 let jitter = 1.0 + 0.05 * if i % 2 == 0 { 1.0 } else { -1.0 };
-                (n, truth.total_steps(n) * jitter, truth.blocks_per_unit(n) / jitter)
+                (
+                    n,
+                    truth.total_steps(n) * jitter,
+                    truth.blocks_per_unit(n) / jitter,
+                )
             })
             .collect();
         let fitted = BlockStatsModel::fit(&samples, 1024.0, 1.0);

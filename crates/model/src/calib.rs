@@ -72,6 +72,21 @@ impl GrapeTiming {
         self.chips_per_host as f64 * pipes * self.clock_hz * 57.0
     }
 
+    /// The engine-side timebase: the subset of these constants the force
+    /// engine needs to stamp virtual-time spans (`grape6_trace` keeps its
+    /// own plain struct so the engine does not depend on this crate).
+    pub fn engine_timebase(&self) -> grape6_trace::EngineTimebase {
+        grape6_trace::EngineTimebase {
+            sec_per_cycle: 1.0 / self.clock_hz,
+            dma_setup: self.dma_setup,
+            dma_per_call: self.dma_per_call,
+            interface_bw: self.interface_bw,
+            i_word_bytes: self.i_word_bytes,
+            f_word_bytes: self.f_word_bytes,
+            j_word_bytes: self.j_word_bytes,
+        }
+    }
+
     /// Pipeline time for one pass over `n_j` j-particles (seconds):
     /// `(depth + vmp·n_j/chips) / clock`.
     pub fn pass_time(&self, n_j: usize) -> f64 {

@@ -25,7 +25,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::blockstats::{BlockStatsModel, SyntheticWorkload};
-use crate::calib::{GrapeTiming, HostProfile, NicProfile};
+use crate::calib::{GrapeTiming, HostProfile, NicProfile, BARRIER_SW_OVERHEAD};
 
 /// Barrier rounds per blockstep inside one cluster (block agreement +
 /// commit — the real code synchronises more than once per step).
@@ -168,10 +168,7 @@ impl PerfModel {
             MachineLayout::Cluster { hosts } => {
                 // Intra-cluster j-updates travel the hardware network; the
                 // Ethernet is "used only for synchronization" (§4.2).
-                (
-                    SYNC_ROUNDS_CLUSTER * self.nic.butterfly_barrier(hosts),
-                    0.0,
-                )
+                (SYNC_ROUNDS_CLUSTER * self.nic.butterfly_barrier(hosts), 0.0)
             }
             MachineLayout::MultiCluster {
                 clusters,
@@ -195,8 +192,13 @@ impl PerfModel {
                 // parallel — if the NIC/driver can actually sustain
                 // concurrent streams (the §4.4 tuning result).
                 let streams = (hosts_per_cluster as f64).min(self.nic.concurrency);
+                // The exchange is a recursive doubling between cluster
+                // pairs; each of its ⌈log₂ c⌉ stages is a bidirectional
+                // TCP exchange costing a full round trip plus the fixed
+                // software overhead — the same stage cost as a barrier
+                // stage, which is what the fabric measures.
                 let exchange = if clusters > 1 {
-                    (clusters as f64).log2().ceil() * self.nic.latency()
+                    (clusters as f64).log2().ceil() * (self.nic.rtt + BARRIER_SW_OVERHEAD)
                         + incoming / streams / self.nic.bandwidth
                 } else {
                     0.0
@@ -310,8 +312,8 @@ mod tests {
         assert!(degraded < healthy);
         assert!(degraded > healthy * 0.7, "{degraded:e} vs {healthy:e}");
         // Peak scales exactly with the chip count.
-        let peak_ratio = m.degraded(96).peak(MachineLayout::SingleHost)
-            / m.peak(MachineLayout::SingleHost);
+        let peak_ratio =
+            m.degraded(96).peak(MachineLayout::SingleHost) / m.peak(MachineLayout::SingleHost);
         assert!((peak_ratio - 0.75).abs() < 1e-12);
         // Per-blockstep, only the GRAPE term moves.
         let bt_h = m.block_time(MachineLayout::SingleHost, n, 100);
@@ -569,6 +571,8 @@ mod tests {
             .hosts(),
             16
         );
-        assert!(MachineLayout::Cluster { hosts: 2 }.label().contains("2-node"));
+        assert!(MachineLayout::Cluster { hosts: 2 }
+            .label()
+            .contains("2-node"));
     }
 }

@@ -64,7 +64,11 @@ pub fn block_dt(dt: f64) -> f64 {
     if dt <= 0.0 || !dt.is_finite() {
         // An infinite desired step means "no constraint": take a huge power
         // of two and let the grid clamp it.
-        return if dt == f64::INFINITY { 2f64.powi(60) } else { 0.0 };
+        return if dt == f64::INFINITY {
+            2f64.powi(60)
+        } else {
+            0.0
+        };
     }
     let e = dt.log2().floor();
     let candidate = 2f64.powf(e);

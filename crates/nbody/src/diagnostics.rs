@@ -91,12 +91,7 @@ pub fn density_center(set: &ParticleSet) -> Vec3 {
     if wsum <= 0.0 {
         return set.center_of_mass();
     }
-    set.pos
-        .iter()
-        .zip(&rho)
-        .map(|(&p, &w)| p * w)
-        .sum::<Vec3>()
-        / wsum
+    set.pos.iter().zip(&rho).map(|(&p, &w)| p * w).sum::<Vec3>() / wsum
 }
 
 /// Core radius (Casertano & Hut 1985): the ρ-weighted rms distance from
@@ -109,12 +104,7 @@ pub fn core_radius(set: &ParticleSet) -> f64 {
         if wsum <= 0.0 {
             return 0.0;
         }
-        set.pos
-            .iter()
-            .zip(&rho)
-            .map(|(&p, &w)| p * w)
-            .sum::<Vec3>()
-            / wsum
+        set.pos.iter().zip(&rho).map(|(&p, &w)| p * w).sum::<Vec3>() / wsum
     };
     let wsum: f64 = rho.iter().sum();
     let s: f64 = set
@@ -283,7 +273,10 @@ mod tests {
         };
         let small = core_radius(&mk(0.5));
         let big = core_radius(&mk(1.0));
-        assert!(big > small * 1.5, "core radius should scale: {small} vs {big}");
+        assert!(
+            big > small * 1.5,
+            "core radius should scale: {small} vs {big}"
+        );
         assert!(small > 0.0);
     }
 

@@ -157,6 +157,22 @@ pub trait ForceEngine {
         grape6_fault::FaultCounters::default()
     }
 
+    /// Virtual-time cursor of the engine's span recorder, for callers that
+    /// interleave their own spans (host phases) with the engine's on one
+    /// timeline.  Engines without tracing sit at 0.
+    fn vt(&self) -> f64 {
+        0.0
+    }
+
+    /// Move the virtual-time cursor; no-op for engines without tracing.
+    fn set_vt(&mut self, _t: f64) {}
+
+    /// Drain the spans the engine recorded; empty for engines without
+    /// tracing (the default).
+    fn take_spans(&mut self) -> Vec<grape6_trace::Span> {
+        Vec::new()
+    }
+
     /// Human-readable engine name for benchmark tables.
     fn name(&self) -> &'static str;
 
@@ -192,11 +208,8 @@ pub fn predict_j(p: &JParticle, t: f64) -> (Vec3, Vec3) {
     let dt2 = dt * dt;
     let dt3 = dt2 * dt;
     let dt4 = dt3 * dt;
-    let pos = p.pos
-        + p.vel * dt
-        + p.acc * (dt2 / 2.0)
-        + p.jerk * (dt3 / 6.0)
-        + p.snap * (dt4 / 24.0);
+    let pos =
+        p.pos + p.vel * dt + p.acc * (dt2 / 2.0) + p.jerk * (dt3 / 6.0) + p.snap * (dt4 / 24.0);
     let vel = p.vel + p.acc * dt + p.jerk * (dt2 / 2.0) + p.snap * (dt3 / 6.0);
     (pos, vel)
 }
@@ -310,12 +323,7 @@ impl ForceEngine for DirectEngine {
 /// Convenience: full O(N²) acceleration/jerk/potential of a raw
 /// (mass, pos, vel) system at a common time — used by initial-condition
 /// setup and diagnostics.  Parallel over targets.
-pub fn direct_all(
-    mass: &[f64],
-    pos: &[Vec3],
-    vel: &[Vec3],
-    eps2: f64,
-) -> Vec<ForceResult> {
+pub fn direct_all(mass: &[f64], pos: &[Vec3], vel: &[Vec3], eps2: f64) -> Vec<ForceResult> {
     let n = mass.len();
     let body = |i: usize| {
         let mut acc = Vec3::ZERO;

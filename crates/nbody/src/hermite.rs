@@ -56,11 +56,7 @@ pub fn predict(s: &HermiteState, snap: Vec3, dt: f64) -> (Vec3, Vec3) {
     let dt2 = dt * dt;
     let dt3 = dt2 * dt;
     let dt4 = dt3 * dt;
-    let pos = s.pos
-        + s.vel * dt
-        + s.acc * (dt2 / 2.0)
-        + s.jerk * (dt3 / 6.0)
-        + snap * (dt4 / 24.0);
+    let pos = s.pos + s.vel * dt + s.acc * (dt2 / 2.0) + s.jerk * (dt3 / 6.0) + snap * (dt4 / 24.0);
     let vel = s.vel + s.acc * dt + s.jerk * (dt2 / 2.0) + snap * (dt3 / 6.0);
     (pos, vel)
 }
@@ -83,7 +79,13 @@ pub fn predict(s: &HermiteState, snap: Vec3, dt: f64) -> (Vec3, Vec3) {
 /// corrected state and the derivatives *shifted to `t1`* (what the next
 /// prediction interval needs).
 #[inline]
-pub fn correct(s: &HermiteState, pred_pos: Vec3, pred_vel: Vec3, f1: &ForceResult, dt: f64) -> Corrected {
+pub fn correct(
+    s: &HermiteState,
+    pred_pos: Vec3,
+    pred_vel: Vec3,
+    f1: &ForceResult,
+    dt: f64,
+) -> Corrected {
     let dt2 = dt * dt;
     let dt3 = dt2 * dt;
     let da = s.acc - f1.acc;
@@ -149,7 +151,16 @@ mod tests {
         let jerk = -vel;
         let snap = pos; // d²a/dt² = -d²r/dt² = -a = r... (−r)'' = r? a=-r ⇒ a''=-r''=-a=r·? r''=a=-r ⇒ a''=r
         let crackle = vel;
-        (HermiteState { pos, vel, acc, jerk }, snap, crackle)
+        (
+            HermiteState {
+                pos,
+                vel,
+                acc,
+                jerk,
+            },
+            snap,
+            crackle,
+        )
     }
 
     #[test]
@@ -185,11 +196,19 @@ mod tests {
         let pos1 = Vec3::new(theta.cos(), theta.sin(), 0.0);
         let vel1 = Vec3::new(-theta.sin(), theta.cos(), 0.0);
         let (a1, j1, _) = pair_force(-pos1, -vel1, 1.0, 0.0);
-        let f1 = ForceResult { acc: a1, jerk: j1, pot: 0.0 };
+        let f1 = ForceResult {
+            acc: a1,
+            jerk: j1,
+            pot: 0.0,
+        };
         let (pp, pv) = predict(&s, Vec3::ZERO, dt);
         let c = correct(&s, pp, pv, &f1, dt);
         // Snap at t1 ≈ snap(θ=dt) = pos1; crackle ≈ vel over the interval.
-        assert!((c.snap - pos1).norm() < 1e-5, "snap err {:?}", (c.snap - pos1).norm());
+        assert!(
+            (c.snap - pos1).norm() < 1e-5,
+            "snap err {:?}",
+            (c.snap - pos1).norm()
+        );
         assert!((c.crackle - crackle_exact).norm() < 1e-2);
         // Corrected state is closer to the truth than the prediction.
         let pred_err = (pp - pos1).norm();
@@ -203,7 +222,11 @@ mod tests {
         let step = |dt: f64| {
             let (pp, pv) = predict(&s, Vec3::ZERO, dt);
             let (a1, j1, _) = pair_force(-pp, -pv, 1.0, 0.0);
-            let f1 = ForceResult { acc: a1, jerk: j1, pot: 0.0 };
+            let f1 = ForceResult {
+                acc: a1,
+                jerk: j1,
+                pot: 0.0,
+            };
             let c = correct(&s, pp, pv, &f1, dt);
             let exact = Vec3::new(dt.cos(), dt.sin(), 0.0);
             (c.pos - exact).norm()
@@ -230,7 +253,13 @@ mod tests {
             f64::INFINITY
         );
         // Pure acceleration, no derivatives: falls back to a finite value.
-        let dt = aarseth_dt(Vec3::new(1.0, 0.0, 0.0), Vec3::ZERO, Vec3::ZERO, Vec3::ZERO, 0.01);
+        let dt = aarseth_dt(
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::ZERO,
+            Vec3::ZERO,
+            Vec3::ZERO,
+            0.01,
+        );
         assert!(dt.is_infinite() || dt > 0.0);
     }
 

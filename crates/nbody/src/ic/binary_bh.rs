@@ -34,16 +34,8 @@ pub fn binary_bh_model<R: Rng + ?Sized>(
     // scale a = 3π/16): v_c² = M(<r)/r = r²/(r²+a²)^(3/2).
     let a = crate::units::PLUMMER_SCALE;
     let vc = (r_init * r_init / (r_init * r_init + a * a).powf(1.5)).sqrt();
-    set.push(
-        m_bh,
-        Vec3::new(r_init, 0.0, 0.0),
-        Vec3::new(0.0, vc, 0.0),
-    );
-    set.push(
-        m_bh,
-        Vec3::new(-r_init, 0.0, 0.0),
-        Vec3::new(0.0, -vc, 0.0),
-    );
+    set.push(m_bh, Vec3::new(r_init, 0.0, 0.0), Vec3::new(0.0, vc, 0.0));
+    set.push(m_bh, Vec3::new(-r_init, 0.0, 0.0), Vec3::new(0.0, -vc, 0.0));
     for i in 0..n_field {
         set.push(field.mass[i], field.pos[i], field.vel[i]);
     }

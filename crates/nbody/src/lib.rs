@@ -38,7 +38,9 @@ pub mod units;
 pub mod vec3;
 
 pub use blockstep::{block_dt, TimeGrid};
-pub use force::{EngineError, ForceEngine, ForceResult, IParticle, JParticle, FLOPS_PER_INTERACTION};
+pub use force::{
+    EngineError, ForceEngine, ForceResult, IParticle, JParticle, FLOPS_PER_INTERACTION,
+};
 pub use particle::ParticleSet;
 pub use softening::Softening;
 pub use vec3::Vec3;

@@ -4,15 +4,62 @@
 //! documents the implementation choice this module mirrors: "synchronization
 //! is done through butterfly message exchange using TCP/IP, which is about
 //! two times faster than the use of MPI_barrier provided by MPICH/p4" — so
-//! the barrier here is the dissemination (generalised butterfly) pattern in
-//! ⌈log₂p⌉ rounds, not a central coordinator.
+//! the barriers here are the dissemination pattern ([`barrier`], any `p`)
+//! and the true pairwise butterfly ([`butterfly_barrier`], power-of-two
+//! `p`), both ⌈log₂p⌉ rounds, not a central coordinator.
 //!
-//! All collectives are built from [`Endpoint::send`]/[`Endpoint::recv`], so
-//! their virtual-time cost emerges from the message flow rather than a
-//! formula — the analytic model in `grape6-model` is validated against
-//! these.
+//! All collectives are built from [`Endpoint::send`] /
+//! [`Endpoint::recv_checked`], so their virtual-time cost emerges from the
+//! message flow rather than a formula — the analytic model in
+//! `grape6-model` is validated against these.  A link whose retry budget
+//! runs out underneath a collective surfaces as
+//! [`CollectiveError::Link`]; on a lossless fabric the collectives are
+//! infallible and callers may `expect` accordingly.
 
-use crate::fabric::Endpoint;
+use grape6_trace::{Phase, Span, SpanCounters};
+
+use crate::fabric::{Endpoint, LinkError};
+
+/// A collective operation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CollectiveError {
+    /// A point-to-point link under the collective exhausted its retry
+    /// budget.
+    Link(LinkError),
+    /// [`broadcast`] was called with `mine = None` on the root rank.
+    MissingRootPayload {
+        /// The broadcast root.
+        root: usize,
+        /// The rank that noticed (always the root itself).
+        rank: usize,
+    },
+}
+
+impl std::fmt::Display for CollectiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Link(e) => write!(f, "collective failed: {e}"),
+            Self::MissingRootPayload { root, rank } => {
+                write!(f, "broadcast root {root} (rank {rank}) supplied no payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CollectiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Link(e) => Some(e),
+            Self::MissingRootPayload { .. } => None,
+        }
+    }
+}
+
+impl From<LinkError> for CollectiveError {
+    fn from(e: LinkError) -> Self {
+        Self::Link(e)
+    }
+}
 
 /// What one collective operation cost this rank, measured from the
 /// endpoint's clock and counters rather than a formula — so retransmits
@@ -25,14 +72,18 @@ pub struct CollectiveCost {
     pub messages: u64,
     /// Payload bytes this rank sent during the operation.
     pub bytes: u64,
-    /// Retransmissions observed on this rank's incoming messages.
+    /// Retransmissions behind the messages this rank *received* during the
+    /// operation (delta of the endpoint-wide incoming-retransmit counter —
+    /// sends are counted at the receiving rank, not here).
     pub retries: u64,
     /// Retransmission backoff charged to this rank's clock, seconds.
     pub backoff_seconds: f64,
 }
 
 /// Run `op` on the endpoint and measure what it cost this rank (clock and
-/// counter deltas).
+/// counter deltas).  The u64 deltas saturate at zero so a counter that is
+/// reset mid-operation degrades to "no traffic observed" instead of a
+/// wrap-around to ~2⁶⁴.
 pub fn measured<T, R>(
     ep: &mut Endpoint<T>,
     op: impl FnOnce(&mut Endpoint<T>) -> R,
@@ -45,12 +96,43 @@ where
     let out = op(ep);
     let s1 = ep.stats();
     let cost = CollectiveCost {
-        dt: ep.clock() - t0,
-        messages: s1.messages_sent - s0.messages_sent,
-        bytes: s1.bytes_sent - s0.bytes_sent,
-        retries: s1.retransmits - s0.retransmits,
-        backoff_seconds: s1.backoff_seconds - s0.backoff_seconds,
+        dt: (ep.clock() - t0).max(0.0),
+        messages: s1.messages_sent.saturating_sub(s0.messages_sent),
+        bytes: s1.bytes_sent.saturating_sub(s0.bytes_sent),
+        retries: s1.retransmits.saturating_sub(s0.retransmits),
+        backoff_seconds: (s1.backoff_seconds - s0.backoff_seconds).max(0.0),
     };
+    (out, cost)
+}
+
+/// Run `op` and record its interval as a [`Span`] of `phase` (typically
+/// [`Phase::Sync`] or [`Phase::Exchange`]) at this endpoint's tracer, with
+/// the traffic counters filled from the measured cost.  The point-to-point
+/// send/recv sub-spans land underneath it on the same timeline.
+pub fn traced<T, R>(
+    ep: &mut Endpoint<T>,
+    phase: Phase,
+    op: impl FnOnce(&mut Endpoint<T>) -> R,
+) -> (R, CollectiveCost)
+where
+    T: Send,
+{
+    let t0 = ep.clock();
+    let (out, cost) = measured(ep, op);
+    let t1 = ep.clock();
+    let span = Span {
+        phase,
+        t0,
+        t1,
+        track: 0,
+        counters: SpanCounters {
+            items: cost.messages,
+            bytes: cost.bytes,
+            retries: cost.retries,
+            ..Default::default()
+        },
+    };
+    ep.tracer_mut().record(span);
     (out, cost)
 }
 
@@ -58,10 +140,10 @@ where
 /// `k` rank `r` signals `(r + 2^k) mod p` and waits for `(r − 2^k) mod p`.
 ///
 /// `T` must provide a sentinel payload via `Default`.
-pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) {
+pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), CollectiveError> {
     let p = ep.n_ranks();
     if p == 1 {
-        return;
+        return Ok(());
     }
     let me = ep.rank();
     let mut step = 1usize;
@@ -69,9 +151,37 @@ pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) {
         let to = (me + step) % p;
         let from = (me + p - step) % p;
         ep.send(to, T::default(), 8);
-        ep.recv(from);
+        ep.recv_checked(from)?;
         step <<= 1;
     }
+    Ok(())
+}
+
+/// True butterfly barrier: for power-of-two `p`, round `k` pairs rank `r`
+/// with `r XOR 2^k` — the two sides of every pair exchange messages and
+/// leave the round at the *same* virtual time, so after ⌈log₂ p⌉ rounds
+/// the barrier has not only synchronised the ranks but aligned their
+/// clocks exactly.  (The dissemination variant above costs the same
+/// number of rounds but its exits can spread by up to a round, because
+/// each rank waits on a different chain of predecessors.)  Falls back to
+/// the dissemination barrier when `p` is not a power of two.
+pub fn butterfly_barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), CollectiveError> {
+    let p = ep.n_ranks();
+    if p == 1 {
+        return Ok(());
+    }
+    if !p.is_power_of_two() {
+        return barrier(ep);
+    }
+    let me = ep.rank();
+    let mut bit = 1usize;
+    while bit < p {
+        let partner = me ^ bit;
+        ep.send(partner, T::default(), 8);
+        ep.recv_checked(partner)?;
+        bit <<= 1;
+    }
+    Ok(())
 }
 
 /// Central-coordinator barrier: every rank reports to rank 0, rank 0
@@ -79,22 +189,23 @@ pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) {
 /// the shape of a naive implementation (and of MPICH/p4's barrier, which
 /// the paper found "about two times" slower than its hand-rolled
 /// butterfly).  Kept for the synchronisation ablation study.
-pub fn central_barrier<T: Send + Default>(ep: &mut Endpoint<T>) {
+pub fn central_barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), CollectiveError> {
     let p = ep.n_ranks();
     if p == 1 {
-        return;
+        return Ok(());
     }
     if ep.rank() == 0 {
         for from in 1..p {
-            ep.recv(from);
+            ep.recv_checked(from)?;
         }
         for to in 1..p {
             ep.send(to, T::default(), 8);
         }
     } else {
         ep.send(0, T::default(), 8);
-        ep.recv(0);
+        ep.recv_checked(0)?;
     }
+    Ok(())
 }
 
 /// Binomial-tree broadcast from `root`.  Ranks other than the root pass
@@ -104,13 +215,16 @@ pub fn broadcast<T: Send + Clone>(
     root: usize,
     mine: Option<T>,
     bytes: usize,
-) -> T {
+) -> Result<T, CollectiveError> {
     let p = ep.n_ranks();
     let me = ep.rank();
     // Re-index so the root is rank 0 in tree coordinates.
     let vrank = (me + p - root) % p;
     let mut value = if vrank == 0 {
-        Some(mine.expect("root must supply the broadcast payload"))
+        match mine {
+            Some(v) => Some(v),
+            None => return Err(CollectiveError::MissingRootPayload { root, rank: me }),
+        }
     } else {
         None
     };
@@ -123,67 +237,80 @@ pub fn broadcast<T: Send + Clone>(
             let dst = vrank + bit;
             if dst < p {
                 let real = (dst + root) % p;
+                // Structurally unreachable: every vrank < bit received (or
+                // originated) the value in an earlier round.
                 ep.send(real, value.clone().expect("holder has value"), bytes);
             }
         } else if vrank < 2 * bit {
             let src = vrank - bit;
             let real = (src + root) % p;
-            value = Some(ep.recv(real));
+            value = Some(ep.recv_checked(real)?);
         }
         bit <<= 1;
     }
-    value.expect("broadcast did not reach this rank")
+    // Structurally unreachable: the doubling front covers every vrank < p.
+    Ok(value.expect("broadcast did not reach this rank"))
 }
 
 /// Ring all-gather: every rank contributes `mine`; returns the
 /// contributions of all ranks, indexed by rank.  `bytes` is the wire size
 /// of one contribution.
-pub fn allgather<T: Send + Clone>(ep: &mut Endpoint<T>, mine: T, bytes: usize) -> Vec<T> {
+pub fn allgather<T: Send + Clone>(
+    ep: &mut Endpoint<T>,
+    mine: T,
+    bytes: usize,
+) -> Result<Vec<T>, CollectiveError> {
     let p = ep.n_ranks();
     let me = ep.rank();
-    let mut out: Vec<Option<T>> = vec![None; p];
-    out[me] = Some(mine);
     if p == 1 {
-        return out.into_iter().map(Option::unwrap).collect();
+        return Ok(vec![mine]);
     }
     let right = (me + 1) % p;
     let left = (me + p - 1) % p;
-    // p−1 shifts: forward the piece received last round.
-    let mut piece = out[me].clone().unwrap();
-    let mut piece_src = me;
-    for _ in 0..p - 1 {
-        ep.send(right, piece, bytes);
-        let incoming = ep.recv(left);
-        piece_src = (piece_src + p - 1) % p;
-        out[piece_src] = Some(incoming.clone());
-        piece = incoming;
+    // p−1 shifts: forward the piece received last round.  Pieces arrive in
+    // descending source order (me, me−1, …, me−p+1 mod p); collecting them
+    // in that order and then reversing + rotating yields the rank-indexed
+    // layout without `Option` holes.
+    let mut out: Vec<T> = Vec::with_capacity(p);
+    out.push(mine);
+    for round in 0..p - 1 {
+        ep.send(right, out[round].clone(), bytes);
+        out.push(ep.recv_checked(left)?);
     }
-    out.into_iter()
-        .map(|o| o.expect("allgather hole"))
-        .collect()
+    out.reverse();
+    out.rotate_right((me + 1) % p);
+    Ok(out)
 }
 
 /// All-reduce by all-gather + local fold (payloads are small in this
 /// workload — block times, counters).
-pub fn allreduce<T, F>(ep: &mut Endpoint<T>, mine: T, bytes: usize, fold: F) -> T
+pub fn allreduce<T, F>(
+    ep: &mut Endpoint<T>,
+    mine: T,
+    bytes: usize,
+    fold: F,
+) -> Result<T, CollectiveError>
 where
     T: Send + Clone,
     F: Fn(T, T) -> T,
 {
-    let all = allgather(ep, mine, bytes);
-    let mut it = all.into_iter();
-    let first = it.next().expect("p ≥ 1");
-    it.fold(first, fold)
+    let all = allgather(ep, mine, bytes)?;
+    // Structurally unreachable: allgather returns one element per rank and
+    // the fabric has ≥ 1 rank.
+    Ok(all.into_iter().reduce(fold).expect("p ≥ 1"))
 }
 
 /// Global minimum of an `f64` across ranks (used for the next block time).
-pub fn allreduce_min_f64(ep: &mut Endpoint<f64>, mine: f64) -> f64 {
+pub fn allreduce_min_f64(ep: &mut Endpoint<f64>, mine: f64) -> Result<f64, CollectiveError> {
     allreduce(ep, mine, 8, f64::min)
 }
 
 /// [`barrier`] with a per-rank cost breakdown.
-pub fn barrier_measured<T: Send + Default>(ep: &mut Endpoint<T>) -> CollectiveCost {
-    measured(ep, barrier).1
+pub fn barrier_measured<T: Send + Default>(
+    ep: &mut Endpoint<T>,
+) -> Result<CollectiveCost, CollectiveError> {
+    let (out, cost) = measured(ep, barrier);
+    out.map(|()| cost)
 }
 
 /// [`allgather`] with a per-rank cost breakdown.
@@ -191,13 +318,18 @@ pub fn allgather_measured<T: Send + Clone>(
     ep: &mut Endpoint<T>,
     mine: T,
     bytes: usize,
-) -> (Vec<T>, CollectiveCost) {
-    measured(ep, |ep| allgather(ep, mine, bytes))
+) -> Result<(Vec<T>, CollectiveCost), CollectiveError> {
+    let (out, cost) = measured(ep, |ep| allgather(ep, mine, bytes));
+    out.map(|v| (v, cost))
 }
 
 /// [`allreduce_min_f64`] with a per-rank cost breakdown.
-pub fn allreduce_min_f64_measured(ep: &mut Endpoint<f64>, mine: f64) -> (f64, CollectiveCost) {
-    measured(ep, |ep| allreduce_min_f64(ep, mine))
+pub fn allreduce_min_f64_measured(
+    ep: &mut Endpoint<f64>,
+    mine: f64,
+) -> Result<(f64, CollectiveCost), CollectiveError> {
+    let (out, cost) = measured(ep, |ep| allreduce_min_f64(ep, mine));
+    out.map(|v| (v, cost))
 }
 
 #[cfg(test)]
@@ -217,7 +349,7 @@ mod tests {
             let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
                 // Rank r pretends to compute r milliseconds.
                 ep.advance(ep.rank() as f64 * 1e-3);
-                barrier(&mut ep);
+                barrier(&mut ep).unwrap();
                 ep.clock()
             });
             let slowest = (p - 1) as f64 * 1e-3;
@@ -227,9 +359,63 @@ mod tests {
                     "p={p} rank {r}: clock {c} below the slowest rank"
                 );
                 // Barrier cost is logarithmic, not linear.
-                let budget = slowest + 10.0 * (p as f64).log2().ceil() * (link.latency + link.overhead);
-                assert!(c <= budget, "p={p} rank {r}: clock {c} over budget {budget}");
+                let budget =
+                    slowest + 10.0 * (p as f64).log2().ceil() * (link.latency + link.overhead);
+                assert!(
+                    c <= budget,
+                    "p={p} rank {r}: clock {c} over budget {budget}"
+                );
             }
+        }
+    }
+
+    #[test]
+    fn butterfly_barrier_aligns_clocks_for_power_of_two() {
+        let link = LinkProfile {
+            latency: 50.0e-6,
+            bandwidth: 1.0e8,
+            overhead: 10.0e-6,
+        };
+        for p in [2usize, 4, 8, 16] {
+            // Aligned entries leave exactly aligned: every rank walks the
+            // same pairwise exchange pattern.
+            let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
+                butterfly_barrier(&mut ep).unwrap();
+                ep.clock()
+            });
+            let lo = clocks.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = clocks.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                hi - lo < 1e-12,
+                "p={p}: butterfly exits spread {} s from aligned entries",
+                hi - lo
+            );
+            // Entries skewed by less than a link round leave with no more
+            // spread than they came in with (the pairwise exchange permutes
+            // the skew instead of chaining it).
+            let spread = 1e-6;
+            let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
+                ep.advance(ep.rank() as f64 * spread / p as f64);
+                butterfly_barrier(&mut ep).unwrap();
+                ep.clock()
+            });
+            let lo = clocks.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = clocks.iter().cloned().fold(0.0, f64::max);
+            assert!(
+                hi - lo <= spread + 1e-12,
+                "p={p}: butterfly grew the entry spread to {} s",
+                hi - lo
+            );
+        }
+        // Non-power-of-two sizes fall back to dissemination and still
+        // synchronise (everyone past the slowest entry).
+        let clocks = run_ranks::<u8, f64, _>(6, link, |mut ep| {
+            ep.advance(ep.rank() as f64 * 1e-6);
+            butterfly_barrier(&mut ep).unwrap();
+            ep.clock()
+        });
+        for &c in &clocks {
+            assert!(c >= 5e-6);
         }
     }
 
@@ -242,7 +428,7 @@ mod tests {
         };
         let cost = |p: usize| -> f64 {
             let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
-                barrier(&mut ep);
+                barrier(&mut ep).unwrap();
                 ep.clock()
             });
             clocks.iter().cloned().fold(0.0, f64::max)
@@ -268,9 +454,9 @@ mod tests {
         let cost = |p: usize, butterfly_not_central: bool| -> f64 {
             let clocks = run_ranks::<u8, f64, _>(p, link, move |mut ep| {
                 if butterfly_not_central {
-                    barrier(&mut ep);
+                    barrier(&mut ep).unwrap();
                 } else {
-                    central_barrier(&mut ep);
+                    central_barrier(&mut ep).unwrap();
                 }
                 ep.clock()
             });
@@ -292,7 +478,7 @@ mod tests {
             for root in 0..p {
                 let vals = run_ranks::<u64, u64, _>(p, LinkProfile::ideal(), move |mut ep| {
                     let is_root = ep.rank() == root;
-                    broadcast(&mut ep, root, is_root.then_some(777), 8)
+                    broadcast(&mut ep, root, is_root.then_some(777), 8).unwrap()
                 });
                 assert_eq!(vals, vec![777; p], "p={p} root={root}");
             }
@@ -300,11 +486,26 @@ mod tests {
     }
 
     #[test]
+    fn broadcast_without_root_payload_is_a_typed_error() {
+        // Only the root can detect the omission; the other ranks would
+        // deadlock waiting, so probe with p = 1 where the root returns
+        // immediately.
+        let errs = run_ranks::<u64, CollectiveError, _>(1, LinkProfile::ideal(), |mut ep| {
+            broadcast(&mut ep, 0, None, 8).unwrap_err()
+        });
+        assert_eq!(
+            errs[0],
+            CollectiveError::MissingRootPayload { root: 0, rank: 0 }
+        );
+        assert!(errs[0].to_string().contains("no payload"));
+    }
+
+    #[test]
     fn allgather_returns_rank_indexed() {
-        for p in [1usize, 2, 4, 6] {
+        for p in [1usize, 2, 3, 4, 5, 6, 7, 8] {
             let vals = run_ranks::<usize, Vec<usize>, _>(p, LinkProfile::ideal(), |mut ep| {
                 let mine = ep.rank() * 10;
-                allgather(&mut ep, mine, 8)
+                allgather(&mut ep, mine, 8).unwrap()
             });
             for v in vals {
                 assert_eq!(v, (0..p).map(|r| r * 10).collect::<Vec<_>>());
@@ -320,7 +521,7 @@ mod tests {
                 2 => 0.125,
                 r => 1.0 + r as f64,
             };
-            allreduce_min_f64(&mut ep, mine)
+            allreduce_min_f64(&mut ep, mine).unwrap()
         });
         assert_eq!(vals, vec![0.125; p]);
     }
@@ -334,7 +535,7 @@ mod tests {
         };
         let p = 8;
         let costs = run_ranks::<u8, CollectiveCost, _>(p, link, |mut ep| {
-            barrier_measured(&mut ep)
+            barrier_measured(&mut ep).unwrap()
         });
         for (r, c) in costs.iter().enumerate() {
             // Dissemination barrier: ⌈log₂ 8⌉ = 3 rounds, one 8-byte
@@ -353,7 +554,7 @@ mod tests {
         let p = 4;
         let out = run_ranks::<f64, (f64, CollectiveCost), _>(p, LinkProfile::ideal(), |mut ep| {
             let mine = 1.0 + ep.rank() as f64;
-            allreduce_min_f64_measured(&mut ep, mine)
+            allreduce_min_f64_measured(&mut ep, mine).unwrap()
         });
         for (v, c) in &out {
             assert_eq!(*v, 1.0);
@@ -364,7 +565,7 @@ mod tests {
         let gathered =
             run_ranks::<u64, (Vec<u64>, CollectiveCost), _>(p, LinkProfile::ideal(), |mut ep| {
                 let me = ep.rank() as u64;
-                allgather_measured(&mut ep, me, 8)
+                allgather_measured(&mut ep, me, 8).unwrap()
             });
         for (v, _) in &gathered {
             assert_eq!(*v, vec![0, 1, 2, 3]);
@@ -388,7 +589,7 @@ mod tests {
                 // to see at least one retransmitted incoming message.
                 let mut total = CollectiveCost::default();
                 for _ in 0..10 {
-                    let c = barrier_measured(&mut ep);
+                    let c = barrier_measured(&mut ep).unwrap();
                     total.dt += c.dt;
                     total.messages += c.messages;
                     total.bytes += c.bytes;
@@ -409,6 +610,24 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_retry_budget_fails_the_collective_with_a_typed_error() {
+        use crate::fabric::run_ranks_faulty;
+        use grape6_fault::NetFaultPlan;
+        // 100% drop, 2-attempt budget: the first barrier round times out.
+        let plan = NetFaultPlan::lossy(9, 1000, 2, 1e-4);
+        let errs =
+            run_ranks_faulty::<u8, CollectiveError, _>(2, LinkProfile::ideal(), plan, |mut ep| {
+                barrier(&mut ep).unwrap_err()
+            });
+        for (r, e) in errs.iter().enumerate() {
+            match e {
+                CollectiveError::Link(le) => assert_eq!(le.to, r),
+                other => panic!("rank {r}: expected Link, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn allgather_charges_bandwidth() {
         // With a slow link, the ring must cost ≥ (p−1)·bytes/bw.
         let link = LinkProfile {
@@ -419,12 +638,46 @@ mod tests {
         let p = 4;
         let bytes = 100_000; // 0.1 s per hop
         let clocks = run_ranks::<u8, f64, _>(p, link, move |mut ep| {
-            allgather(&mut ep, 0, bytes);
+            allgather(&mut ep, 0, bytes).unwrap();
             ep.clock()
         });
         for &c in &clocks {
             assert!(c >= 0.3 - 1e-9, "clock {c} below ring lower bound");
             assert!(c < 0.5, "clock {c} above plausible ring cost");
+        }
+    }
+
+    #[test]
+    fn traced_collectives_record_sync_spans_over_send_recv_subspans() {
+        let link = LinkProfile {
+            latency: 50.0e-6,
+            bandwidth: 1.0e8,
+            overhead: 10.0e-6,
+        };
+        let p = 4;
+        let spans = run_ranks::<u8, Vec<grape6_trace::Span>, _>(p, link, |mut ep| {
+            ep.set_tracer(grape6_trace::Tracer::enabled());
+            traced(&mut ep, Phase::Sync, |ep| barrier(ep).unwrap());
+            ep.take_spans()
+        });
+        for (r, s) in spans.iter().enumerate() {
+            let syncs: Vec<_> = s.iter().filter(|x| x.phase == Phase::Sync).collect();
+            assert_eq!(syncs.len(), 1, "rank {r}");
+            let sync = syncs[0];
+            assert!(sync.dur() > 0.0, "rank {r}");
+            // ⌈log₂ 4⌉ = 2 rounds → 2 sends + 2 recvs nested inside.
+            let sends = s.iter().filter(|x| x.phase == Phase::Send).count();
+            let recvs = s.iter().filter(|x| x.phase == Phase::Recv).count();
+            assert_eq!((sends, recvs), (2, 2), "rank {r}");
+            for sub in s.iter().filter(|x| x.phase != Phase::Sync) {
+                assert!(
+                    sub.t0 >= sync.t0 - 1e-15 && sub.t1 <= sync.t1 + 1e-15,
+                    "rank {r}: sub-span outside the collective interval"
+                );
+            }
+            // The collective span carries the traffic counters.
+            assert_eq!(sync.counters.items, 2, "rank {r}");
+            assert_eq!(sync.counters.bytes, 16, "rank {r}");
         }
     }
 }

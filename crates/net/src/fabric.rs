@@ -31,6 +31,7 @@
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use grape6_fault::{Delivery, NetFaultPlan};
+use grape6_trace::{Phase, Span, SpanCounters, Tracer};
 
 use crate::link::LinkProfile;
 
@@ -105,6 +106,7 @@ pub struct Endpoint<T> {
     /// Next sequence number per destination rank.
     seq_out: Vec<u64>,
     stats: EndpointStats,
+    tracer: Tracer,
 }
 
 impl<T: Send> Endpoint<T> {
@@ -143,6 +145,24 @@ impl<T: Send> Endpoint<T> {
         self.stats
     }
 
+    /// Install a span sink; with [`Tracer::enabled`] every send, receive
+    /// and backoff is recorded as a sub-span on this rank's virtual
+    /// timeline (collective-level spans are recorded by
+    /// [`crate::collectives::traced`] on top of these).
+    pub fn set_tracer(&mut self, tracer: Tracer) {
+        self.tracer = tracer;
+    }
+
+    /// This endpoint's tracer (pause/resume, recording collective spans).
+    pub fn tracer_mut(&mut self) -> &mut Tracer {
+        &mut self.tracer
+    }
+
+    /// Drain the spans recorded at this endpoint.
+    pub fn take_spans(&mut self) -> Vec<Span> {
+        self.tracer.take()
+    }
+
     /// Charge `dt` seconds of local computation to the clock.
     pub fn advance(&mut self, dt: f64) {
         debug_assert!(dt >= 0.0, "time cannot run backwards (dt = {dt})");
@@ -159,7 +179,21 @@ impl<T: Send> Endpoint<T> {
     /// Non-blocking (unbounded channel), charges the send-side overhead.
     pub fn send(&mut self, to: usize, payload: T, wire_bytes: usize) {
         assert!(to != self.rank, "self-send is not a network operation");
+        let t0 = self.clock;
         self.clock += self.link.overhead;
+        if self.tracer.is_active() {
+            self.tracer.record(Span {
+                phase: Phase::Send,
+                t0,
+                t1: self.clock,
+                track: 0,
+                counters: SpanCounters {
+                    items: 1,
+                    bytes: wire_bytes as u64,
+                    ..Default::default()
+                },
+            });
+        }
         self.stats.bytes_sent += wire_bytes as u64;
         self.stats.messages_sent += 1;
         let seq = self.seq_out[to];
@@ -183,14 +217,12 @@ impl<T: Send> Endpoint<T> {
     /// returns [`LinkError`]; the clock still advances to the moment the
     /// timeout was declared.
     pub fn recv_checked(&mut self, from: usize) -> Result<T, LinkError> {
+        let t0 = self.clock;
         let msg = self.rx[from]
             .recv()
             .expect("peer endpoint dropped while fabric in use");
         let wire = self.link.latency + msg.wire_bytes as f64 / self.link.bandwidth;
-        match self
-            .plan
-            .delivery(from as u64, self.rank as u64, msg.seq)
-        {
+        let out = match self.plan.delivery(from as u64, self.rank as u64, msg.seq) {
             Delivery::Delivered {
                 attempts,
                 backoff,
@@ -208,7 +240,7 @@ impl<T: Send> Endpoint<T> {
                 let arrival = msg.sent_at + wire + backoff + extra_delay;
                 self.clock = self.clock.max(arrival) + self.link.overhead;
                 self.stats.messages_received += 1;
-                Ok(msg.payload)
+                Ok((msg.payload, attempts, backoff, msg.wire_bytes))
             }
             Delivery::Failed {
                 attempts,
@@ -231,7 +263,40 @@ impl<T: Send> Endpoint<T> {
                     attempts,
                 })
             }
+        };
+        if self.tracer.is_active() {
+            let (attempts, backoff, bytes) = match &out {
+                Ok((_, attempts, backoff, bytes)) => (*attempts, *backoff, *bytes as u64),
+                Err(e) => (e.attempts, 0.0, 0),
+            };
+            self.tracer.record(Span {
+                phase: Phase::Recv,
+                t0,
+                t1: self.clock,
+                track: 0,
+                counters: SpanCounters {
+                    items: 1,
+                    bytes,
+                    retries: attempts.saturating_sub(1) as u64,
+                    ..Default::default()
+                },
+            });
+            if backoff > 0.0 {
+                // The retransmission tail of the wait, as its own lane.
+                let t_arrive = self.clock - self.link.overhead;
+                self.tracer.record(Span {
+                    phase: Phase::Backoff,
+                    t0: t_arrive - backoff,
+                    t1: t_arrive,
+                    track: 1,
+                    counters: SpanCounters {
+                        retries: attempts.saturating_sub(1) as u64,
+                        ..Default::default()
+                    },
+                });
+            }
         }
+        out.map(|(payload, ..)| payload)
     }
 
     /// Blocking receive from `from`; panics if the fault plan declares the
@@ -293,6 +358,7 @@ where
             rx,
             seq_out: vec![0; p],
             stats: EndpointStats::default(),
+            tracer: Tracer::disabled(),
         })
         .collect();
 
@@ -511,6 +577,9 @@ mod tests {
         });
         let e = out[1].unwrap();
         assert_eq!((e.from, e.to, e.seq, e.attempts), (0, 1, 0, 3));
-        assert_eq!(e.to_string(), "link 0 -> 1: message #0 lost after 3 attempts");
+        assert_eq!(
+            e.to_string(),
+            "link 0 -> 1: message #0 lost after 3 attempts"
+        );
     }
 }

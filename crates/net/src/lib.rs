@@ -36,6 +36,6 @@ pub mod collectives;
 pub mod fabric;
 pub mod link;
 
-pub use collectives::CollectiveCost;
+pub use collectives::{CollectiveCost, CollectiveError};
 pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError};
 pub use link::LinkProfile;

@@ -13,11 +13,11 @@
 //! **bit-identical** to the serial driver's — verified in the tests, and
 //! the distributed analogue of the §3.4 reproducibility property.
 
+use grape6_core::integrator::{HermiteIntegrator, IntegratorConfig};
+use grape6_core::stats::RunStats;
 use grape6_net::collectives::allgather;
 use grape6_net::fabric::run_ranks;
 use grape6_net::link::LinkProfile;
-use grape6_core::integrator::{HermiteIntegrator, IntegratorConfig};
-use grape6_core::stats::RunStats;
 use nbody_core::force::{DirectEngine, ForceEngine, ForceResult, IParticle, JParticle};
 use nbody_core::hermite::{aarseth_dt, correct, predict, HermiteState};
 use nbody_core::particle::ParticleSet;
@@ -92,7 +92,12 @@ pub struct CopyRunResult {
 }
 
 /// Integrate `set` to `t_end` on `p` ranks with the copy algorithm.
-pub fn run_copy_parallel(set: &ParticleSet, p: usize, t_end: f64, cfg: &CopyConfig) -> CopyRunResult {
+pub fn run_copy_parallel(
+    set: &ParticleSet,
+    p: usize,
+    t_end: f64,
+    cfg: &CopyConfig,
+) -> CopyRunResult {
     let n = set.n();
     let results = run_ranks::<Vec<ParticleUpdate>, (ParticleSet, RunStats, f64, u64), _>(
         p,
@@ -166,13 +171,12 @@ pub fn run_copy_parallel(set: &ParticleSet, p: usize, t_end: f64, cfg: &CopyConf
                     });
                 }
                 ep.advance(
-                    my_interactions as f64 * cfg.t_pair
-                        + updates.len() as f64 * cfg.t_host_step,
+                    my_interactions as f64 * cfg.t_pair + updates.len() as f64 * cfg.t_host_step,
                 );
                 // Exchange: every rank learns every update (the paper's
                 // per-blockstep synchronisation + exchange).
                 let bytes = updates.len() * UPDATE_BYTES;
-                let all = allgather(&mut ep, updates, bytes.max(8));
+                let all = allgather(&mut ep, updates, bytes.max(8)).expect("lossless fabric");
                 for batch in &all {
                     for u in batch {
                         apply_update(&mut local, u);

@@ -58,8 +58,7 @@ pub fn grid2d_forces(
                 if sj == ti {
                     continue;
                 }
-                let (a, jr, p_) =
-                    pair_force(pos[sj] - pos[ti], vel[sj] - vel[ti], mass[sj], eps2);
+                let (a, jr, p_) = pair_force(pos[sj] - pos[ti], vel[sj] - vel[ti], mass[sj], eps2);
                 out.acc += a;
                 out.jerk += jr;
                 out.pot += p_;
@@ -91,7 +90,12 @@ pub fn grid2d_forces(
         };
         // Everyone participates in the assembly allgather (only diagonal
         // payloads carry data).
-        let gathered = allgather(&mut ep, mine.clone(), if mine.is_empty() { 8 } else { bytes });
+        let gathered = allgather(
+            &mut ep,
+            mine.clone(),
+            if mine.is_empty() { 8 } else { bytes },
+        )
+        .expect("lossless fabric");
         if rank != diag {
             return (None, ep.clock());
         }

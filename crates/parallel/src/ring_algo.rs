@@ -77,7 +77,7 @@ pub fn ring_forces(
             let _ = round;
         }
         // Blocks are home: assemble the global vector.
-        let gathered = allgather(&mut ep, block, 112 * (n / p + 1));
+        let gathered = allgather(&mut ep, block, 112 * (n / p + 1)).expect("lossless fabric");
         let mut out = vec![ForceResult::default(); n];
         for b in &gathered {
             for (k, &gi) in b.idx.iter().enumerate() {
@@ -139,15 +139,7 @@ mod tests {
         let eps2 = 1e-4;
         let want = direct_all(&mass, &pos, &vel, eps2);
         for p in [1usize, 2, 3, 4, 7] {
-            let (got, clocks) = ring_forces(
-                &mass,
-                &pos,
-                &vel,
-                eps2,
-                p,
-                LinkProfile::ideal(),
-                1e-9,
-            );
+            let (got, clocks) = ring_forces(&mass, &pos, &vel, eps2, p, LinkProfile::ideal(), 1e-9);
             assert_eq!(clocks.len(), p);
             for i in 0..61 {
                 let d = (got[i].acc - want[i].acc).norm();

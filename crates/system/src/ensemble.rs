@@ -24,7 +24,7 @@ use grape6_fault::{ChipFault, ReductionFaultSchedule};
 use nbody_core::force::JParticle;
 use rayon::prelude::*;
 
-use crate::unit::GrapeUnit;
+use crate::unit::{GrapeUnit, LoadError};
 
 /// Result of a neighbour-aware pass: partial forces plus per-i neighbour
 /// address lists.
@@ -143,12 +143,25 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         }
     }
 
-    fn load_j(&mut self, addr: usize, p: &JParticle) {
+    fn load_j(&mut self, addr: usize, p: &JParticle) -> Result<(), LoadError> {
         let act = self.active_indices();
         let k = act.len();
-        assert!(k > 0, "no in-service children left to hold j-particles");
-        self.children[act[addr % k]].load_j(addr / k, p);
+        if k == 0 {
+            return Err(LoadError::NoActiveChildren { addr });
+        }
+        // A child error reports the address in *this* level's space — the
+        // caller has no view of the round-robin subdivision.
+        self.children[act[addr % k]]
+            .load_j(addr / k, p)
+            .map_err(|e| match e {
+                LoadError::NoActiveChildren { .. } => LoadError::NoActiveChildren { addr },
+                LoadError::CapacityExceeded { .. } => LoadError::CapacityExceeded {
+                    addr,
+                    capacity: self.capacity(),
+                },
+            })?;
         self.used = self.used.max(addr + 1);
+        Ok(())
     }
 
     fn compute_block(
@@ -258,8 +271,7 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         for slot in &mut lists {
             slot.sort_unstable();
         }
-        let acc =
-            acc.unwrap_or_else(|| exps.iter().map(|&e| PartialForce::new(e)).collect());
+        let acc = acc.unwrap_or_else(|| exps.iter().map(|&e| PartialForce::new(e)).collect());
         Ok((acc, lists))
     }
 
@@ -363,7 +375,7 @@ mod tests {
     fn round_robin_distribution_balances() {
         let mut e = Ensemble::new(chips(4));
         for k in 0..17 {
-            e.load_j(k, &particle(k));
+            e.load_j(k, &particle(k)).unwrap();
         }
         assert_eq!(e.n_j(), 17);
         // 17 over 4 children: 5,4,4,4.
@@ -379,8 +391,8 @@ mod tests {
         let mut single = ChipUnit::new(Chip::new(ChipConfig::default()));
         let mut group = Ensemble::new(chips(4));
         for k in 0..n {
-            single.load_j(k, &particle(k));
-            group.load_j(k, &particle(k));
+            single.load_j(k, &particle(k)).unwrap();
+            group.load_j(k, &particle(k)).unwrap();
         }
         single.set_time(0.0);
         group.set_time(0.0);
@@ -407,7 +419,7 @@ mod tests {
         // 4 chips with 100 j each: pass = 30 + 8·100 + reduction, not 4×.
         let mut e = Ensemble::new(chips(4));
         for k in 0..400 {
-            e.load_j(k, &particle(k));
+            e.load_j(k, &particle(k)).unwrap();
         }
         let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2)];
         let exps = [ExpSet::from_magnitudes(50.0, 50.0, 50.0)];
@@ -422,22 +434,25 @@ mod tests {
     #[test]
     fn nested_ensembles_compose() {
         // A "module" of 2 chips inside a "board" of 2 modules = 4 chips.
-        let modules: Vec<Ensemble<ChipUnit>> =
-            (0..2).map(|_| Ensemble::new(chips(2))).collect();
+        let modules: Vec<Ensemble<ChipUnit>> = (0..2).map(|_| Ensemble::new(chips(2))).collect();
         let mut board = Ensemble::new(modules);
         for k in 0..100 {
-            board.load_j(k, &particle(k));
+            board.load_j(k, &particle(k)).unwrap();
         }
         board.set_time(0.0);
         assert_eq!(board.n_j(), 100);
         assert_eq!(board.capacity(), 4 * 16_384);
-        let i = [HwIParticle::from_host(Vec3::new(0.5, 0.5, 0.5), Vec3::ZERO, 1e-2)];
+        let i = [HwIParticle::from_host(
+            Vec3::new(0.5, 0.5, 0.5),
+            Vec3::ZERO,
+            1e-2,
+        )];
         let exps = [ExpSet::from_magnitudes(20.0, 20.0, 20.0)];
         let f = board.compute_block(&i, &exps).unwrap();
         // Compare against one flat chip.
         let mut flat = ChipUnit::new(Chip::new(ChipConfig::default()));
         for k in 0..100 {
-            flat.load_j(k, &particle(k));
+            flat.load_j(k, &particle(k)).unwrap();
         }
         flat.set_time(0.0);
         let g = flat.compute_block(&i, &exps).unwrap();
@@ -458,7 +473,7 @@ mod tests {
         let n = 40;
         let mut e = Ensemble::new(chips(3));
         for k in 0..n {
-            e.load_j(k, &particle(k));
+            e.load_j(k, &particle(k)).unwrap();
         }
         e.set_time(0.0);
         let probe_src = particle(5);
@@ -480,7 +495,7 @@ mod tests {
     fn clear_resets_occupancy_not_counters() {
         let mut e = Ensemble::new(chips(2));
         for k in 0..10 {
-            e.load_j(k, &particle(k));
+            e.load_j(k, &particle(k)).unwrap();
         }
         let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2)];
         let exps = [ExpSet::from_magnitudes(20.0, 20.0, 20.0)];
@@ -499,6 +514,32 @@ mod tests {
     }
 
     #[test]
+    fn fully_masked_ensemble_load_is_a_typed_error() {
+        let mut e = Ensemble::new(chips(2));
+        assert!(e.mask_path(&[0]));
+        assert!(e.mask_path(&[1]));
+        let err = e.load_j(3, &particle(3)).unwrap_err();
+        assert_eq!(err, LoadError::NoActiveChildren { addr: 3 });
+        assert!(err.to_string().contains("no in-service children"));
+    }
+
+    #[test]
+    fn overfull_ensemble_reports_its_own_address_space() {
+        // 2 chips × 16384: global address 2·16384 overflows; the error must
+        // carry the ensemble-level address and capacity, not the child's.
+        let mut e = Ensemble::new(chips(2));
+        let cap = e.capacity();
+        let err = e.load_j(cap, &particle(0)).unwrap_err();
+        assert_eq!(
+            err,
+            LoadError::CapacityExceeded {
+                addr: cap,
+                capacity: cap
+            }
+        );
+    }
+
+    #[test]
     fn masked_child_is_skipped_and_results_stay_exact() {
         // 4-chip ensemble with one chip masked before loading must agree
         // bitwise with a 3-chip ensemble: the round-robin runs over the
@@ -511,8 +552,8 @@ mod tests {
         assert_eq!(degraded.capacity(), 3 * 16_384);
         let mut healthy = Ensemble::new(chips(3));
         for k in 0..n {
-            degraded.load_j(k, &particle(k));
-            healthy.load_j(k, &particle(k));
+            degraded.load_j(k, &particle(k)).unwrap();
+            healthy.load_j(k, &particle(k)).unwrap();
         }
         degraded.set_time(0.0);
         healthy.set_time(0.0);
@@ -538,7 +579,7 @@ mod tests {
         let mut e = Ensemble::new(chips(3));
         assert!(e.mask_path(&[2]));
         for k in 0..n {
-            e.load_j(k, &particle(k));
+            e.load_j(k, &particle(k)).unwrap();
         }
         e.set_time(0.0);
         let probe_src = particle(5);
@@ -560,7 +601,7 @@ mod tests {
     fn scheduled_reduction_glitch_fails_exactly_once() {
         let mut e = Ensemble::new(chips(2));
         for k in 0..20 {
-            e.load_j(k, &particle(k));
+            e.load_j(k, &particle(k)).unwrap();
         }
         e.inject_reduction_fault(&[], &ReductionFaultSchedule::AtPasses(vec![2]));
         let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-2)];
@@ -595,7 +636,7 @@ mod tests {
         assert_eq!(array.capacity(), 4 * 16_384);
         // Loading still works — everything lands on board 1.
         for k in 0..10 {
-            array.load_j(k, &particle(k));
+            array.load_j(k, &particle(k)).unwrap();
         }
         assert_eq!(array.children()[1].n_j(), 10);
     }

@@ -27,7 +27,7 @@ use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
 use nbody_core::force::JParticle;
 use rayon::prelude::*;
 
-use crate::unit::GrapeUnit;
+use crate::unit::{GrapeUnit, LoadError};
 
 /// An `r × c` grid of GRAPE units behind orthogonal broadcast networks.
 #[derive(Clone, Debug)]
@@ -94,13 +94,22 @@ impl<U: GrapeUnit> GridNetwork<U> {
 
     /// Load j-particle `addr`: row `addr % rows` stores it **in every
     /// column** (the row broadcast network writes all memories at once).
-    pub fn load_j(&mut self, addr: usize, p: &JParticle) {
+    pub fn load_j(&mut self, addr: usize, p: &JParticle) -> Result<(), LoadError> {
         let row = addr % self.rows;
         let local = addr / self.rows;
         for col in 0..self.cols {
-            self.units[row * self.cols + col].load_j(local, p);
+            self.units[row * self.cols + col]
+                .load_j(local, p)
+                .map_err(|e| match e {
+                    LoadError::NoActiveChildren { .. } => LoadError::NoActiveChildren { addr },
+                    LoadError::CapacityExceeded { .. } => LoadError::CapacityExceeded {
+                        addr,
+                        capacity: self.capacity(),
+                    },
+                })?;
         }
         self.used = self.used.max(addr + 1);
+        Ok(())
     }
 
     /// One grid pass: column `q` computes forces on `blocks[q]` (≤ 48
@@ -218,8 +227,8 @@ mod tests {
         let mut grid = GridNetwork::new(chips(4), 2, 2);
         let mut flat = ChipUnit::new(Chip::new(ChipConfig::default()));
         for k in 0..n {
-            grid.load_j(k, &particle(k));
-            flat.load_j(k, &particle(k));
+            grid.load_j(k, &particle(k)).unwrap();
+            flat.load_j(k, &particle(k)).unwrap();
         }
         grid.set_time(0.0);
         flat.set_time(0.0);
@@ -243,7 +252,7 @@ mod tests {
         let n = 200;
         let mut grid = GridNetwork::new(chips(2), 2, 1);
         for k in 0..n {
-            grid.load_j(k, &particle(k));
+            grid.load_j(k, &particle(k)).unwrap();
         }
         let (blocks, exps) = blocks_for(1);
         grid.compute_grid(&blocks, &exps).unwrap();
@@ -267,8 +276,8 @@ mod tests {
         let mut grid = GridNetwork::new(chips(4), 2, 2);
         // Capacity counts distinct particles: per-unit × rows.
         assert_eq!(grid.capacity(), 2 * 16_384);
-        grid.load_j(0, &particle(0));
-        grid.load_j(1, &particle(1));
+        grid.load_j(0, &particle(0)).unwrap();
+        grid.load_j(1, &particle(1)).unwrap();
         assert_eq!(grid.n_j(), 2);
         // Row 0 (units 0 and 1) both hold particle 0; row 1 holds 1.
         assert_eq!(grid.units[0].n_j(), 1);

@@ -166,8 +166,8 @@ mod tests {
         let cfg = MachineConfig::paper_host();
         assert_eq!(cfg.total_chips(), 128);
         assert_eq!(cfg.capacity(), 128 * 16_384); // > 2M particles
-        // 128 chips × 30.78 Gflops ≈ 3.94 Tflops; ×16 hosts = 63.04 Tflops,
-        // the paper's quoted system peak.
+                                                  // 128 chips × 30.78 Gflops ≈ 3.94 Tflops; ×16 hosts = 63.04 Tflops,
+                                                  // the paper's quoted system peak.
         let host_peak = cfg.peak_flops();
         assert!((host_peak / 1e12 - 3.94).abs() < 0.01, "{host_peak:e}");
         assert!((host_peak * 16.0 / 1e12 - 63.04).abs() < 0.1);
@@ -203,8 +203,8 @@ mod tests {
                 vel: Vec3::new(0.0, 0.01 * a.cos(), 0.0),
                 ..Default::default()
             };
-            four.load_j(k, &p);
-            one.load_j(k, &p);
+            four.load_j(k, &p).unwrap();
+            one.load_j(k, &p).unwrap();
         }
         four.set_time(0.0);
         one.set_time(0.0);

@@ -7,6 +7,44 @@ use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
 use grape6_fault::{ChipFault, ReductionFaultSchedule};
 use nbody_core::force::JParticle;
 
+/// Writing a j-particle into the hierarchy failed.
+///
+/// Loads fail for machine-shape reasons — a degraded machine with no
+/// in-service children left under the round-robin, or an address past the
+/// (possibly shrunken) capacity.  Both used to be asserts; a host driving
+/// a partially-failed machine needs them as values so it can redistribute
+/// or refuse the system instead of crashing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LoadError {
+    /// Every child that could have held the address is masked out.
+    NoActiveChildren {
+        /// The global j-address being written.
+        addr: usize,
+    },
+    /// The address does not fit the unit's j-memory.
+    CapacityExceeded {
+        /// The global j-address being written.
+        addr: usize,
+        /// The unit's current capacity (degraded machines shrink).
+        capacity: usize,
+    },
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::NoActiveChildren { addr } => {
+                write!(f, "no in-service children left to hold j-particle {addr}")
+            }
+            Self::CapacityExceeded { addr, capacity } => {
+                write!(f, "j-address {addr} out of range (capacity {capacity})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for LoadError {}
+
 /// A piece of GRAPE hardware: a chip, a module, a board, or a board array.
 ///
 /// Invariants every implementation keeps:
@@ -31,7 +69,7 @@ pub trait GrapeUnit: Send {
     fn set_time(&mut self, t: f64);
 
     /// Write the j-particle at global address `addr`.
-    fn load_j(&mut self, addr: usize, p: &JParticle);
+    fn load_j(&mut self, addr: usize, p: &JParticle) -> Result<(), LoadError>;
 
     /// Compute forces on ≤ 48 i-particles from every stored j-particle.
     fn compute_block(
@@ -144,9 +182,14 @@ impl GrapeUnit for ChipUnit {
         self.chip.set_time(t);
     }
 
-    fn load_j(&mut self, addr: usize, p: &JParticle) {
+    fn load_j(&mut self, addr: usize, p: &JParticle) -> Result<(), LoadError> {
+        let capacity = self.capacity();
+        if addr >= capacity {
+            return Err(LoadError::CapacityExceeded { addr, capacity });
+        }
         self.chip.load_j(addr, p);
         self.used = self.used.max(addr + 1);
+        Ok(())
     }
 
     fn compute_block(
@@ -239,7 +282,8 @@ mod tests {
                     pos: Vec3::new(k as f64 * 0.1, 0.2, 0.3),
                     ..Default::default()
                 },
-            );
+            )
+            .unwrap();
         }
         assert_eq!(u.n_j(), 10);
         let i = [HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 1e-4)];
@@ -250,6 +294,23 @@ mod tests {
         u.compute_block(&i, &e).unwrap();
         assert_eq!(u.total_cycles(), 2 * u.last_pass_cycles());
         u.clear();
+        assert_eq!(u.n_j(), 0);
+    }
+
+    #[test]
+    fn overfull_chip_is_a_typed_error() {
+        let mut u = ChipUnit::new(Chip::new(ChipConfig::default()));
+        let cap = u.capacity();
+        let err = u.load_j(cap, &JParticle::default()).unwrap_err();
+        assert_eq!(
+            err,
+            LoadError::CapacityExceeded {
+                addr: cap,
+                capacity: cap
+            }
+        );
+        assert!(err.to_string().contains("out of range"));
+        // The failed write left no trace.
         assert_eq!(u.n_j(), 0);
     }
 }

@@ -1,0 +1,180 @@
+//! Aggregating spans into the paper's six-term breakdown.
+
+use serde::{Deserialize, Serialize};
+
+use crate::span::{Span, Term};
+
+/// Measured wall-clock (virtual) breakdown of a blockstep — the same six
+/// terms as the analytic `model::BlockTime`, but summed from recorded
+/// [`Span`]s instead of predicted from workload statistics.  This is what
+/// lets `tests/model_vs_simulation.rs` assert *per-term* agreement.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct MeasuredBlockTime {
+    /// Host computation, seconds.
+    pub host: f64,
+    /// DMA setup, seconds.
+    pub dma: f64,
+    /// Interface transfer, seconds.
+    pub interface: f64,
+    /// GRAPE pipeline (including widen retries and sanity recomputes).
+    pub grape: f64,
+    /// Barrier synchronisation, seconds.
+    pub sync: f64,
+    /// Inter-cluster exchange, seconds.
+    pub exchange: f64,
+}
+
+impl MeasuredBlockTime {
+    /// Sum spans into the six terms; visualisation-only phases
+    /// (`Phase::term() == None`) are skipped.
+    pub fn from_spans(spans: &[Span]) -> Self {
+        let mut out = Self::default();
+        for s in spans {
+            let Some(term) = s.phase.term() else { continue };
+            let d = s.dur();
+            match term {
+                Term::Host => out.host += d,
+                Term::Dma => out.dma += d,
+                Term::Interface => out.interface += d,
+                Term::Grape => out.grape += d,
+                Term::Sync => out.sync += d,
+                Term::Exchange => out.exchange += d,
+            }
+        }
+        out
+    }
+
+    /// Total across terms.
+    pub fn total(&self) -> f64 {
+        self.host + self.dma + self.interface + self.grape + self.sync + self.exchange
+    }
+
+    /// Elementwise sum (accumulating blocksteps).
+    pub fn add(&mut self, o: &Self) {
+        self.host += o.host;
+        self.dma += o.dma;
+        self.interface += o.interface;
+        self.grape += o.grape;
+        self.sync += o.sync;
+        self.exchange += o.exchange;
+    }
+
+    /// Elementwise maximum — the critical path across ranks, term by term
+    /// (the paper's breakdown figures plot the slowest host's view).
+    pub fn max(&self, o: &Self) -> Self {
+        Self {
+            host: self.host.max(o.host),
+            dma: self.dma.max(o.dma),
+            interface: self.interface.max(o.interface),
+            grape: self.grape.max(o.grape),
+            sync: self.sync.max(o.sync),
+            exchange: self.exchange.max(o.exchange),
+        }
+    }
+
+    /// The terms as `(name, seconds)` pairs, in the paper's order.
+    pub fn terms(&self) -> [(&'static str, f64); 6] {
+        [
+            ("host", self.host),
+            ("dma", self.dma),
+            ("interface", self.interface),
+            ("grape", self.grape),
+            ("sync", self.sync),
+            ("exchange", self.exchange),
+        ]
+    }
+
+    /// The breakdown as a JSON object (built by hand so it stays
+    /// functional in offline builds without the full `serde_json`).
+    pub fn to_json(&self) -> String {
+        let body: Vec<String> = self
+            .terms()
+            .iter()
+            .map(|(k, v)| format!("\"{k}\":{}", crate::chrome::json_f64(*v)))
+            .collect();
+        format!(
+            "{{{},\"total\":{}}}",
+            body.join(","),
+            crate::chrome::json_f64(self.total())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::{Phase, Span};
+
+    #[test]
+    fn aggregation_maps_phases_to_terms() {
+        let spans = vec![
+            Span::new(Phase::Predict, 0.0, 1.0),
+            Span::new(Phase::Host, 1.0, 2.0),
+            Span::new(Phase::Dma, 2.0, 2.5),
+            Span::new(Phase::Interface, 2.5, 3.0),
+            Span::new(Phase::Grape, 3.0, 5.0),
+            Span::new(Phase::WidenRetry, 5.0, 7.0),
+            Span::new(Phase::BoardPass, 3.0, 5.0), // sub-span: ignored
+            Span::new(Phase::Sync, 7.0, 7.5),
+            Span::new(Phase::Exchange, 7.5, 8.0),
+            Span::new(Phase::Recv, 7.0, 7.4), // sub-span: ignored
+        ];
+        let b = MeasuredBlockTime::from_spans(&spans);
+        assert_eq!(b.host, 2.0);
+        assert_eq!(b.dma, 0.5);
+        assert_eq!(b.interface, 0.5);
+        assert_eq!(b.grape, 4.0);
+        assert_eq!(b.sync, 0.5);
+        assert_eq!(b.exchange, 0.5);
+        assert!((b.total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn add_and_max_are_elementwise() {
+        let a = MeasuredBlockTime {
+            host: 1.0,
+            dma: 2.0,
+            interface: 3.0,
+            grape: 4.0,
+            sync: 5.0,
+            exchange: 6.0,
+        };
+        let b = MeasuredBlockTime {
+            host: 6.0,
+            dma: 5.0,
+            interface: 4.0,
+            grape: 3.0,
+            sync: 2.0,
+            exchange: 1.0,
+        };
+        let m = a.max(&b);
+        assert_eq!(m.host, 6.0);
+        assert_eq!(m.exchange, 6.0);
+        assert_eq!(m.grape, 4.0);
+        let mut s = a;
+        s.add(&b);
+        assert_eq!(s.total(), a.total() + b.total());
+    }
+
+    #[test]
+    fn json_dump_contains_every_term() {
+        let a = MeasuredBlockTime {
+            host: 1.5e-5,
+            grape: 0.25,
+            ..Default::default()
+        };
+        let j = a.to_json();
+        for k in [
+            "host",
+            "dma",
+            "interface",
+            "grape",
+            "sync",
+            "exchange",
+            "total",
+        ] {
+            assert!(j.contains(&format!("\"{k}\":")), "missing {k} in {j}");
+        }
+        assert!(j.contains("0.25"));
+    }
+}

@@ -1,0 +1,112 @@
+//! # grape6-trace — virtual-time spans and measured breakdowns
+//!
+//! The SC'03 paper argues through per-term time breakdowns: every figure
+//! from 13 to 19 decomposes the time per blockstep into host computation,
+//! DMA setup, interface transfer, pipeline time, synchronisation and
+//! inter-cluster exchange.  The simulator's discrete-event layer keeps
+//! virtual clocks (`Endpoint::clock()`, ensemble cycle counters), but
+//! until this crate it only exposed *totals* — sums that cannot say
+//! **which** term dominates, which is the entire point of the paper's
+//! §4 tuning narrative.
+//!
+//! This crate is the measurement substrate:
+//!
+//! * [`Span`] — one phase-tagged interval of virtual time with payload
+//!   counters (items, bytes, cycles, retries);
+//! * [`Tracer`] — a zero-cost-when-disabled span sink that the engine,
+//!   integrator, endpoints and collectives record into;
+//! * [`MeasuredBlockTime`] — aggregates spans into the same six-term
+//!   shape as the analytic `model::BlockTime`, so model-vs-simulation
+//!   tests can assert *per-term* agreement instead of totals;
+//! * [`chrome_trace`] — a `chrome://tracing` / Perfetto JSON exporter,
+//!   plus a machine-readable metrics dump via `serde`.
+//!
+//! Nothing here touches physics or clocks: recording a span never
+//! advances time, and a disabled tracer is a no-op (`Option<Box<_>>`
+//! none-check) — verified bitwise by the trace-overhead test in
+//! `tests/model_vs_simulation.rs`.
+
+pub mod breakdown;
+pub mod chrome;
+pub mod span;
+pub mod tracer;
+
+pub use breakdown::MeasuredBlockTime;
+pub use chrome::{chrome_trace, chrome_trace_to_string};
+pub use span::{Phase, Span, SpanCounters, Term};
+pub use tracer::Tracer;
+
+use serde::{Deserialize, Serialize};
+
+/// Timing constants the force engine needs to convert its hardware-level
+/// activity (chunks, cycles, word transfers) into virtual seconds.
+///
+/// This mirrors the fields of `grape6_model::GrapeTiming` that describe
+/// the host↔GRAPE path; it lives here (with plain `pub` fields) so the
+/// engine can depend on it without a dependency cycle through the model
+/// crate.  `GrapeTiming::engine_timebase()` performs the conversion.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct EngineTimebase {
+    /// Seconds per hardware cycle (1 / clock).
+    pub sec_per_cycle: f64,
+    /// Fixed cost to set up one DMA transfer, seconds.
+    pub dma_setup: f64,
+    /// DMA transfers per GRAPE call (i upload, force readback, j write).
+    pub dma_per_call: f64,
+    /// Host↔GRAPE interface bandwidth, bytes/s.
+    pub interface_bw: f64,
+    /// Bytes to ship one i-particle to the boards.
+    pub i_word_bytes: f64,
+    /// Bytes returned per force.
+    pub f_word_bytes: f64,
+    /// Bytes to write one updated j-particle.
+    pub j_word_bytes: f64,
+}
+
+impl EngineTimebase {
+    /// Virtual cost of one DMA-driven GRAPE call (setup only).
+    pub fn dma_call(&self) -> f64 {
+        self.dma_per_call * self.dma_setup
+    }
+
+    /// Interface time to ship `n` i-particles and read back their forces.
+    pub fn if_time(&self, n: usize) -> f64 {
+        n as f64 * (self.i_word_bytes + self.f_word_bytes) / self.interface_bw
+    }
+
+    /// Interface time to write one updated j-particle.
+    pub fn j_write_time(&self) -> f64 {
+        self.j_word_bytes / self.interface_bw
+    }
+}
+
+/// Host-side per-blockstep cost rates, pre-evaluated for the system size
+/// at hand (the cache-dependent `t_step(N)` of the model's `HostProfile`).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct HostRates {
+    /// Fixed host cost per blockstep (block assembly, scheduling).
+    pub t_block_fixed: f64,
+    /// Host cost per particle step (predict + correct + bookkeeping).
+    pub t_step: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timebase_arithmetic() {
+        let tb = EngineTimebase {
+            sec_per_cycle: 1.0 / 90.0e6,
+            dma_setup: 12.0e-6,
+            dma_per_call: 3.0,
+            interface_bw: 200.0e6,
+            i_word_bytes: 40.0,
+            f_word_bytes: 64.0,
+            j_word_bytes: 80.0,
+        };
+        assert!((tb.dma_call() - 36.0e-6).abs() < 1e-12);
+        assert!((tb.if_time(48) - 48.0 * 104.0 / 200.0e6).abs() < 1e-12);
+        assert!((tb.j_write_time() - 0.4e-6).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,185 @@
+//! Phase-tagged virtual-time intervals.
+
+use serde::{Deserialize, Serialize};
+
+/// The six time terms of the paper's breakdown (figs. 13–19 and §4.1's
+/// cost equation) — every [`Phase`] maps into one of these, or into none
+/// (sub-spans that only exist for trace visualisation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// Host computation (predictor polynomial, corrector, bookkeeping).
+    Host,
+    /// DMA setup overhead of GRAPE calls.
+    Dma,
+    /// Host↔GRAPE interface transfer (i-particles, forces, j writeback).
+    Interface,
+    /// GRAPE pipeline time.
+    Grape,
+    /// Barrier synchronisation between hosts.
+    Sync,
+    /// Inter-cluster particle exchange.
+    Exchange,
+}
+
+/// What a span was spent doing.
+///
+/// Phases are finer-grained than the six breakdown terms: the engine
+/// distinguishes first-attempt pipeline passes from exponent-widening
+/// retries and sanity recomputes (all pipeline time), and the network
+/// layer records raw send/recv/backoff activity underneath the collective
+/// operations built from it.  [`Phase::term`] folds a phase into its
+/// breakdown term; phases that return `None` are visualisation-only and
+/// excluded from [`crate::MeasuredBlockTime`] so nothing double-counts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Host-side prediction of the i-particles of a block.
+    Predict,
+    /// Remaining host work of a blockstep (correct, retime, scheduling).
+    Host,
+    /// DMA setup for one GRAPE call.
+    Dma,
+    /// Interface transfer (i upload + force readback, or j writeback).
+    Interface,
+    /// A pipeline pass that succeeded first time.
+    Grape,
+    /// A pipeline pass repeated with widened block-FP exponents.
+    WidenRetry,
+    /// A pipeline pass repeated after a NaN/overflow sanity failure.
+    SanityRecompute,
+    /// One board's share of a pass (sub-span of Grape on its own track).
+    BoardPass,
+    /// A barrier or other synchronisation collective.
+    Sync,
+    /// Inter-cluster exchange traffic.
+    Exchange,
+    /// An `Endpoint::send` (sub-span of Sync/Exchange).
+    Send,
+    /// An `Endpoint::recv`, including the wait (sub-span of Sync/Exchange).
+    Recv,
+    /// Congestion backoff charged on a retried delivery.
+    Backoff,
+}
+
+impl Phase {
+    /// The breakdown term this phase accumulates into, or `None` for
+    /// visualisation-only sub-spans.
+    pub fn term(self) -> Option<Term> {
+        match self {
+            Phase::Predict | Phase::Host => Some(Term::Host),
+            Phase::Dma => Some(Term::Dma),
+            Phase::Interface => Some(Term::Interface),
+            Phase::Grape | Phase::WidenRetry | Phase::SanityRecompute => Some(Term::Grape),
+            Phase::Sync => Some(Term::Sync),
+            Phase::Exchange => Some(Term::Exchange),
+            Phase::BoardPass | Phase::Send | Phase::Recv | Phase::Backoff => None,
+        }
+    }
+
+    /// Stable display name (used as the Chrome-trace event name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::Predict => "predict",
+            Phase::Host => "host",
+            Phase::Dma => "dma",
+            Phase::Interface => "interface",
+            Phase::Grape => "grape",
+            Phase::WidenRetry => "widen-retry",
+            Phase::SanityRecompute => "sanity-recompute",
+            Phase::BoardPass => "board-pass",
+            Phase::Sync => "sync",
+            Phase::Exchange => "exchange",
+            Phase::Send => "send",
+            Phase::Recv => "recv",
+            Phase::Backoff => "backoff",
+        }
+    }
+}
+
+/// Payload counters attached to a span; zero-initialised, fill what
+/// applies.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanCounters {
+    /// Particles (i or j) the span processed.
+    pub items: u64,
+    /// Bytes moved (interface words, wire bytes).
+    pub bytes: u64,
+    /// Hardware cycles, where the span is clocked hardware.
+    pub cycles: u64,
+    /// Retries behind this span (widen attempts, link retransmits).
+    pub retries: u64,
+}
+
+/// One interval of virtual time.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// What the time was spent on.
+    pub phase: Phase,
+    /// Virtual start time, seconds.
+    pub t0: f64,
+    /// Virtual end time, seconds.
+    pub t1: f64,
+    /// Display track (0 = the owning component's main track; the engine
+    /// uses 1 + board index for per-board sub-spans).
+    pub track: u32,
+    /// Payload counters.
+    pub counters: SpanCounters,
+}
+
+impl Span {
+    /// A counter-less span.
+    pub fn new(phase: Phase, t0: f64, t1: f64) -> Self {
+        Self {
+            phase,
+            t0,
+            t1,
+            track: 0,
+            counters: SpanCounters::default(),
+        }
+    }
+
+    /// Duration in virtual seconds (clamped at zero).
+    pub fn dur(&self) -> f64 {
+        (self.t1 - self.t0).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_phase_has_a_name_and_a_term_policy() {
+        let all = [
+            Phase::Predict,
+            Phase::Host,
+            Phase::Dma,
+            Phase::Interface,
+            Phase::Grape,
+            Phase::WidenRetry,
+            Phase::SanityRecompute,
+            Phase::BoardPass,
+            Phase::Sync,
+            Phase::Exchange,
+            Phase::Send,
+            Phase::Recv,
+            Phase::Backoff,
+        ];
+        for p in all {
+            assert!(!p.name().is_empty());
+        }
+        // Sub-spans must not reach the breakdown (double counting).
+        assert_eq!(Phase::BoardPass.term(), None);
+        assert_eq!(Phase::Send.term(), None);
+        assert_eq!(Phase::Recv.term(), None);
+        assert_eq!(Phase::Backoff.term(), None);
+        // Retry flavours are pipeline time.
+        assert_eq!(Phase::WidenRetry.term(), Some(Term::Grape));
+        assert_eq!(Phase::SanityRecompute.term(), Some(Term::Grape));
+    }
+
+    #[test]
+    fn span_duration_clamps() {
+        assert_eq!(Span::new(Phase::Host, 1.0, 3.5).dur(), 2.5);
+        assert_eq!(Span::new(Phase::Host, 3.5, 1.0).dur(), 0.0);
+    }
+}

@@ -1,0 +1,116 @@
+//! The span sink.
+
+use crate::span::Span;
+
+#[derive(Clone, Debug, Default)]
+struct TraceBuf {
+    spans: Vec<Span>,
+    paused: bool,
+}
+
+/// A zero-cost-when-disabled span recorder.
+///
+/// A disabled tracer is a `None` — every [`Tracer::record`] reduces to one
+/// branch and the instrumented code paths allocate nothing.  An enabled
+/// tracer can additionally be *paused* ([`Tracer::set_active`]): the
+/// measured-breakdown runner uses this to charge only a rank's own share
+/// of a block while still computing the foreign members it needs for
+/// deterministic trajectories.
+#[derive(Clone, Debug, Default)]
+pub struct Tracer(Option<Box<TraceBuf>>);
+
+impl Tracer {
+    /// The no-op tracer (the default).
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    /// A recording tracer.
+    pub fn enabled() -> Self {
+        Self(Some(Box::default()))
+    }
+
+    /// True if this tracer ever records (even while paused).
+    pub fn is_enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// True if a [`Tracer::record`] right now would store the span.
+    pub fn is_active(&self) -> bool {
+        matches!(&self.0, Some(b) if !b.paused)
+    }
+
+    /// Pause (`false`) or resume (`true`) recording; no-op when disabled.
+    pub fn set_active(&mut self, active: bool) {
+        if let Some(b) = &mut self.0 {
+            b.paused = !active;
+        }
+    }
+
+    /// Record one span (dropped when disabled or paused).
+    #[inline]
+    pub fn record(&mut self, span: Span) {
+        if let Some(b) = &mut self.0 {
+            if !b.paused {
+                b.spans.push(span);
+            }
+        }
+    }
+
+    /// The spans recorded so far (empty when disabled).
+    pub fn spans(&self) -> &[Span] {
+        match &self.0 {
+            Some(b) => &b.spans,
+            None => &[],
+        }
+    }
+
+    /// Drain the recorded spans, leaving the tracer enabled and empty.
+    pub fn take(&mut self) -> Vec<Span> {
+        match &mut self.0 {
+            Some(b) => std::mem::take(&mut b.spans),
+            None => Vec::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Phase;
+
+    #[test]
+    fn disabled_tracer_drops_everything() {
+        let mut t = Tracer::disabled();
+        assert!(!t.is_enabled());
+        assert!(!t.is_active());
+        t.record(Span::new(Phase::Host, 0.0, 1.0));
+        assert!(t.spans().is_empty());
+        assert!(t.take().is_empty());
+    }
+
+    #[test]
+    fn enabled_tracer_records_and_drains() {
+        let mut t = Tracer::enabled();
+        assert!(t.is_active());
+        t.record(Span::new(Phase::Dma, 0.0, 1.0));
+        t.record(Span::new(Phase::Grape, 1.0, 2.0));
+        assert_eq!(t.spans().len(), 2);
+        let got = t.take();
+        assert_eq!(got.len(), 2);
+        assert!(t.spans().is_empty());
+        assert!(t.is_enabled(), "take keeps the tracer enabled");
+    }
+
+    #[test]
+    fn pause_resume() {
+        let mut t = Tracer::enabled();
+        t.set_active(false);
+        assert!(t.is_enabled() && !t.is_active());
+        t.record(Span::new(Phase::Host, 0.0, 1.0));
+        t.set_active(true);
+        t.record(Span::new(Phase::Host, 1.0, 2.0));
+        assert_eq!(t.spans().len(), 1);
+        assert_eq!(t.spans()[0].t0, 1.0);
+    }
+}

@@ -165,14 +165,8 @@ impl TreeBlockIntegrator {
                 let mut st = TraverseStats::default();
                 // Find tree-order slot of particle i for self-exclusion.
                 let k = sub.order.iter().position(|&o| o as usize == i).unwrap();
-                let (a, _) = crate::traverse::force_on(
-                    &sub,
-                    sub.pos[k],
-                    k,
-                    self.theta,
-                    self.eps2,
-                    &mut st,
-                );
+                let (a, _) =
+                    crate::traverse::force_on(&sub, sub.pos[k], k, self.theta, self.eps2, &mut st);
                 self.set.vel[i] += a * (0.5 * dt_f);
                 self.set.pos[i] += self.set.vel[i] * dt_f;
                 self.set.vel[i] += a * (0.5 * dt_f);
@@ -202,13 +196,7 @@ impl TreeBlockIntegrator {
 
 /// Convenience: relative energy error of a leapfrog run from `set` over
 /// `t_end` at the given parameters (benchmark helper).
-pub fn leapfrog_energy_error(
-    set: &ParticleSet,
-    theta: f64,
-    eps2: f64,
-    dt: f64,
-    t_end: f64,
-) -> f64 {
+pub fn leapfrog_energy_error(set: &ParticleSet, theta: f64, eps2: f64, dt: f64, t_end: f64) -> f64 {
     let e0 = energy(set, eps2);
     let mut lf = LeapfrogIntegrator::new(set.clone(), theta, eps2, dt);
     lf.run_until(t_end);

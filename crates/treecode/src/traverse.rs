@@ -72,7 +72,15 @@ pub fn force_on(
     eps2: f64,
     stats: &mut TraverseStats,
 ) -> (Vec3, f64) {
-    force_on_ord(tree, target, skip, theta, eps2, MultipoleOrder::Monopole, stats)
+    force_on_ord(
+        tree,
+        target,
+        skip,
+        theta,
+        eps2,
+        MultipoleOrder::Monopole,
+        stats,
+    )
 }
 
 /// [`force_on`] with a selectable multipole order.
@@ -137,11 +145,7 @@ pub fn force_on_ord(
 
 /// Accelerations and potentials on every particle (original index order).
 /// Parallel over targets; returns the summed traversal statistics.
-pub fn tree_forces(
-    tree: &Octree,
-    theta: f64,
-    eps2: f64,
-) -> (Vec<Vec3>, Vec<f64>, TraverseStats) {
+pub fn tree_forces(tree: &Octree, theta: f64, eps2: f64) -> (Vec<Vec3>, Vec<f64>, TraverseStats) {
     tree_forces_ord(tree, theta, eps2, MultipoleOrder::Monopole)
 }
 
@@ -219,7 +223,10 @@ mod tests {
         let e_small = rms_err(0.3);
         let e_mid = rms_err(0.6);
         let e_big = rms_err(1.0);
-        assert!(e_small < e_mid && e_mid < e_big, "{e_small} {e_mid} {e_big}");
+        assert!(
+            e_small < e_mid && e_mid < e_big,
+            "{e_small} {e_mid} {e_big}"
+        );
         assert!(e_small < 2e-3, "θ=0.3 rms error {e_small}");
         assert!(e_big < 0.1, "θ=1.0 rms error {e_big}");
     }
@@ -289,10 +296,24 @@ mod tests {
         }
         let mut st = TraverseStats::default();
         // Huge θ forces acceptance of the root cell.
-        let (a_mono, _) =
-            force_on_ord(&tree, probe, usize::MAX, 10.0, 0.0, MultipoleOrder::Monopole, &mut st);
-        let (a_quad, _) =
-            force_on_ord(&tree, probe, usize::MAX, 10.0, 0.0, MultipoleOrder::Quadrupole, &mut st);
+        let (a_mono, _) = force_on_ord(
+            &tree,
+            probe,
+            usize::MAX,
+            10.0,
+            0.0,
+            MultipoleOrder::Monopole,
+            &mut st,
+        );
+        let (a_quad, _) = force_on_ord(
+            &tree,
+            probe,
+            usize::MAX,
+            10.0,
+            0.0,
+            MultipoleOrder::Quadrupole,
+            &mut st,
+        );
         let err_mono = (a_mono - exact).norm() / exact.norm();
         let err_quad = (a_quad - exact).norm() / exact.norm();
         assert!(
@@ -307,7 +328,7 @@ mod tests {
         let tree = Octree::build(&mass, &pos, &TreeConfig::default());
         let probe = Vec3::new(50.0, 0.0, 0.0); // far away: single monopole
         let mut st = TraverseStats::default();
-        let (acc, pot, ) = force_on(&tree, probe, usize::MAX, 0.6, 0.0, &mut st);
+        let (acc, pot) = force_on(&tree, probe, usize::MAX, 0.6, 0.0, &mut st);
         // Far-field: matches a point mass at the COM.
         let m: f64 = mass.iter().sum();
         let want = pair_force(tree.root().com - probe, Vec3::ZERO, m, 0.0);

@@ -106,11 +106,7 @@ impl Octree {
             hi = Vec3::new(hi.x.max(p.x), hi.y.max(p.y), hi.z.max(p.z));
         }
         let center = (lo + hi) * 0.5;
-        let half = 0.5
-            * (hi.x - lo.x)
-                .max(hi.y - lo.y)
-                .max(hi.z - lo.z)
-                .max(1e-12);
+        let half = 0.5 * (hi.x - lo.x).max(hi.y - lo.y).max(hi.z - lo.z).max(1e-12);
 
         let mut tree = Octree {
             nodes: Vec::with_capacity(2 * n / cfg.leaf_capacity.max(1) + 16),
@@ -219,7 +215,11 @@ impl Octree {
                 m += self.mass[k];
                 c += self.pos[k] * self.mass[k];
             }
-            let com = if m > 0.0 { c / m } else { self.nodes[node].center };
+            let com = if m > 0.0 {
+                c / m
+            } else {
+                self.nodes[node].center
+            };
             self.nodes[node].mass = m;
             self.nodes[node].com = com;
             // Quadrupole about the COM, directly from the particles.
@@ -241,7 +241,11 @@ impl Octree {
             m += ch.mass;
             c += ch.com * ch.mass;
         }
-        let com = if m > 0.0 { c / m } else { self.nodes[node].center };
+        let com = if m > 0.0 {
+            c / m
+        } else {
+            self.nodes[node].center
+        };
         self.nodes[node].mass = m;
         self.nodes[node].com = com;
         // Parallel-axis composition: a child's quadrupole about the parent
@@ -295,12 +299,7 @@ mod tests {
         let (mass, pos) = sample(500);
         let t = Octree::build(&mass, &pos, &TreeConfig::default());
         let m: f64 = mass.iter().sum();
-        let com: Vec3 = mass
-            .iter()
-            .zip(&pos)
-            .map(|(&mi, &p)| p * mi)
-            .sum::<Vec3>()
-            / m;
+        let com: Vec3 = mass.iter().zip(&pos).map(|(&mi, &p)| p * mi).sum::<Vec3>() / m;
         assert!((t.root().mass - m).abs() < 1e-12);
         assert!((t.root().com - com).norm() < 1e-12);
         assert_eq!(t.root().count(), 500);
@@ -384,7 +383,10 @@ mod tests {
             let q = t.quadrupole(i);
             let trace = q[0] + q[1] + q[2];
             let scale = q.iter().map(|v| v.abs()).fold(0.0f64, f64::max).max(1e-30);
-            assert!(trace.abs() < 1e-10 * scale.max(1.0), "node {i}: trace {trace:e}");
+            assert!(
+                trace.abs() < 1e-10 * scale.max(1.0),
+                "node {i}: trace {trace:e}"
+            );
         }
     }
 

@@ -29,9 +29,7 @@ fn main() {
     let eps2 = Softening::Constant.epsilon2(n);
     let e0 = energy(&set, eps2);
     let m_bh = set.mass[0];
-    println!(
-        "{n_field} field stars + 2 BHs of mass {m_bh} each, starting at r = ±0.3"
-    );
+    println!("{n_field} field stars + 2 BHs of mass {m_bh} each, starting at r = ±0.3");
 
     let mut it = HermiteIntegrator::new(DirectEngine::new(n), set, IntegratorConfig::default());
     println!(

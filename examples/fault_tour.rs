@@ -63,7 +63,10 @@ fn main() {
         println!("  power-on {f:?} at chip {path:?}");
     }
     for d in &plan.midrun_deaths {
-        println!("  scheduled death of unit {:?} at pass {}", d.path, d.at_pass);
+        println!(
+            "  scheduled death of unit {:?} at pass {}",
+            d.path, d.at_pass
+        );
     }
 
     // 2. Power on both machines; the faulty one self-tests and masks.
@@ -79,7 +82,10 @@ fn main() {
         st.worst_healthy_rel_err
     );
     for f in &st.failures {
-        println!("  unit {:?} failed (rel err {:.2e}) -> masked", f.path, f.rel_err);
+        println!(
+            "  unit {:?} failed (rel err {:.2e}) -> masked",
+            f.path, f.rel_err
+        );
     }
 
     // 3. Integrate on both machines.
@@ -92,17 +98,15 @@ fn main() {
     // 4. The oracle: bitwise identical trajectories, more virtual cycles.
     let identical = faulty.particles().pos == clean.particles().pos
         && faulty.particles().vel == clean.particles().vel;
-    println!(
-        "\nafter t = 0.25: trajectories bitwise identical to healthy machine: {identical}"
-    );
+    println!("\nafter t = 0.25: trajectories bitwise identical to healthy machine: {identical}");
     assert!(identical, "degraded operation must not change the physics");
     println!(
         "virtual cycles: faulty {} vs healthy {} (+{:.1}%)",
         faulty.engine().hardware_cycles(),
         clean.engine().hardware_cycles(),
-        100.0 * (faulty.engine().hardware_cycles() as f64
-            / clean.engine().hardware_cycles() as f64
-            - 1.0)
+        100.0
+            * (faulty.engine().hardware_cycles() as f64 / clean.engine().hardware_cycles() as f64
+                - 1.0)
     );
 
     // 5. The fault report and the timing-model view.

@@ -86,9 +86,7 @@ fn main() {
         .iter()
         .zip(&fb)
         .all(|(a, b)| a.acc == b.acc && a.jerk == b.jerk && a.pot == b.pot);
-    println!(
-        "\npartition independence: 1-board vs 4-board forces bit-identical? {identical}"
-    );
+    println!("\npartition independence: 1-board vs 4-board forces bit-identical? {identical}");
     assert!(identical, "§3.4 reproducibility property violated");
 
     // --- exponent retry ----------------------------------------------------
@@ -116,5 +114,9 @@ fn main() {
         "exponent retries on a cold start with a 5000-mass intruder: {} (paper: \"we\nsometimes need to repeat the force calculation a few times\")",
         cold.exponent_retries()
     );
-    println!("recovered acceleration: {:.4e} (exact: {:.4e})", out[0].acc.x, 5000.0 / 1e-6);
+    println!(
+        "recovered acceleration: {:.4e} (exact: {:.4e})",
+        out[0].acc.x,
+        5000.0 / 1e-6
+    );
 }

@@ -39,7 +39,10 @@ fn main() {
     plain.run_until(t_end);
     let e_plain = energy(&plain.synchronized_snapshot(), eps2);
     println!("plain Hermite:");
-    println!("  particle steps (= full GRAPE evals): {}", plain.stats().particle_steps);
+    println!(
+        "  particle steps (= full GRAPE evals): {}",
+        plain.stats().particle_steps
+    );
     println!("  hardware cycles: {}", plain.engine().hardware_cycles());
     println!(
         "  |dE/E| = {:.2e}",

@@ -37,12 +37,22 @@ fn main() {
 
     let identical = out.set.pos == serial.particles().pos && out.set.vel == serial.particles().vel;
     println!("bit-identical to the serial driver? {identical}");
-    assert!(identical, "copy algorithm must reproduce the serial run exactly");
+    assert!(
+        identical,
+        "copy algorithm must reproduce the serial run exactly"
+    );
 
-    println!("\nblocksteps: {}   particle steps: {}", out.stats.blocksteps, out.stats.particle_steps);
+    println!(
+        "\nblocksteps: {}   particle steps: {}",
+        out.stats.blocksteps, out.stats.particle_steps
+    );
     println!("per-rank virtual clocks [ms]:");
     for (r, c) in out.clocks.iter().enumerate() {
-        println!("  rank {r}: {:8.3}   ({} bytes sent)", c * 1e3, out.bytes_sent[r]);
+        println!(
+            "  rank {r}: {:8.3}   ({} bytes sent)",
+            c * 1e3,
+            out.bytes_sent[r]
+        );
     }
     let slowest = out.clocks.iter().cloned().fold(0.0, f64::max);
     let sync_floor = out.stats.blocksteps as f64 * LinkProfile::intel_82540em().latency;

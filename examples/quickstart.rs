@@ -27,7 +27,10 @@ fn main() {
     let set = plummer_model(n, &mut StdRng::seed_from_u64(42));
     let eps2 = Softening::Constant.epsilon2(n);
     let e0 = energy(&set, eps2);
-    println!("initial energy: {:+.6} (standard units fix −0.25)", e0.total());
+    println!(
+        "initial energy: {:+.6} (standard units fix −0.25)",
+        e0.total()
+    );
 
     // 2. The machine: one processor board = 32 chips ≈ 0.99 Tflops peak.
     let machine = MachineConfig::single_board();
@@ -47,7 +50,12 @@ fn main() {
     let snap = it.synchronized_snapshot();
     let e1 = energy(&snap, eps2);
     let st = it.stats();
-    println!("\nintegrated to t = {} ({} blocksteps, {} particle steps)", it.time(), st.blocksteps, st.particle_steps);
+    println!(
+        "\nintegrated to t = {} ({} blocksteps, {} particle steps)",
+        it.time(),
+        st.blocksteps,
+        st.particle_steps
+    );
     println!("mean block size: {:.1} of N = {n}", st.mean_block());
     println!("block-time spacing: {:.2e} .. {:.2e}", st.dt_min, st.dt_max);
     println!(
@@ -61,9 +69,9 @@ fn main() {
         it.engine().hardware_cycles(),
         it.engine().hardware_cycles() as f64 / 90.0e6
     );
-    println!("  block-FP exponent retries: {}", it.engine().exponent_retries());
     println!(
-        "\nflops represented (paper eq. 9): {:.3e}",
-        st.flops(n)
+        "  block-FP exponent retries: {}",
+        it.engine().exponent_retries()
     );
+    println!("\nflops represented (paper eq. 9): {:.3e}", st.flops(n));
 }

@@ -16,6 +16,8 @@
 //! * [`net`] — the simulated Gigabit-Ethernet interconnect
 //! * [`parallel`] — the copy / ring / 2-D grid / multi-cluster algorithms
 //! * [`model`] — the analytic performance model of the SC'03 paper
+//! * [`trace`] — virtual-time spans, measured breakdowns, Chrome-trace
+//!   export
 //! * [`tree`] — the Barnes–Hut treecode baseline of §5
 //! * [`g4`] — the GRAPE-4 predecessor machine, §3's comparison foil
 
@@ -29,4 +31,5 @@ pub use grape6_model as model;
 pub use grape6_net as net;
 pub use grape6_parallel as parallel;
 pub use grape6_system as system;
+pub use grape6_trace as trace;
 pub use nbody_core as nbody;

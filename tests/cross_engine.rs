@@ -19,11 +19,8 @@ fn grape_trajectories_track_f64_through_integration() {
     let set = plummer_model(n, &mut StdRng::seed_from_u64(100));
     let cfg = IntegratorConfig::default();
     let mut f64_run = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg);
-    let mut hw_run = HermiteIntegrator::new(
-        Grape6Engine::new(&MachineConfig::test_small(), n),
-        set,
-        cfg,
-    );
+    let mut hw_run =
+        HermiteIntegrator::new(Grape6Engine::new(&MachineConfig::test_small(), n), set, cfg);
     f64_run.run_until(0.125);
     hw_run.run_until(0.125);
     let a = f64_run.synchronized_snapshot();

@@ -107,7 +107,10 @@ fn same_seed_same_event_log_exactly() {
     let plan_b = FaultPlan::generate(7, &FaultConfig::default(), geom);
     assert_eq!(plan_a, plan_b, "plan generation is deterministic");
     // A different seed gives a different plan (with overwhelming odds).
-    assert_ne!(plan_a, FaultPlan::generate(8, &FaultConfig::default(), geom));
+    assert_ne!(
+        plan_a,
+        FaultPlan::generate(8, &FaultConfig::default(), geom)
+    );
 
     let n = 64;
     let js = particles(n);
@@ -163,8 +166,9 @@ fn lossy_fabric_completes_collectives_with_deterministic_retries() {
             let me = ep.rank() as u64;
             let mut gathered = Vec::new();
             for _ in 0..5 {
-                barrier_measured(&mut ep);
-                let (all, _cost) = allgather_measured(&mut ep, me, 8);
+                barrier_measured(&mut ep).expect("retry budget is generous");
+                let (all, _cost) =
+                    allgather_measured(&mut ep, me, 8).expect("retry budget is generous");
                 gathered = all;
             }
             (gathered, ep.clock(), ep.stats())

@@ -75,7 +75,7 @@ fn butterfly_barrier_model_matches_fabric_measurement() {
         for p in [4usize, 16] {
             let model_t = nic.butterfly_barrier(p);
             let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
-                barrier(&mut ep);
+                barrier(&mut ep).expect("lossless fabric");
                 ep.clock()
             });
             let measured = clocks.iter().cloned().fold(0.0, f64::max);
@@ -177,6 +177,110 @@ fn figure_anchor_crossovers_ordered() {
         (4.0e4..6.0e5).contains(&c_multi),
         "multi-cluster crossover {c_multi:e} (paper ≈ 1e5)"
     );
+}
+
+#[test]
+fn measured_breakdown_terms_track_model_within_25_percent() {
+    // The tentpole validation: run real traced integrations on the
+    // bit-level simulator (and, for the network layouts, the
+    // discrete-event fabric), fold the recorded spans into the six-term
+    // blockstep breakdown, and compare *term by term* against the
+    // analytic model charged for the same blockstep sequence.  The two
+    // sides are independent codepaths — the spans come out of the
+    // engine/fabric clocks, the model out of closed-form charges — so
+    // per-term agreement is a strong consistency check on both.
+    use grape6_bench::breakdown::{measure_breakdown, timing_for};
+    let machine = grape6::system::machine::MachineConfig::test_small();
+    let model = PerfModel {
+        grape: timing_for(&machine),
+        ..PerfModel::default()
+    };
+    // N large enough that the GRAPE pass dwarfs the fixed ensemble
+    // reduction latency the model does not charge for (at tiny N that
+    // latency alone pushes the grape term past the tolerance).
+    let n = 256;
+    let t_end = 0.03125;
+    for layout in [
+        MachineLayout::SingleHost,
+        MachineLayout::MultiCluster {
+            clusters: 2,
+            hosts_per_cluster: 2,
+        },
+    ] {
+        let run = measure_breakdown(&model, &machine, layout, n, t_end, 2003);
+        assert!(run.blocksteps > 10, "{layout:?}: degenerate run");
+        let m = run.measured;
+        let b = run.model;
+        for (term, got, want) in [
+            ("host", m.host, b.host),
+            ("dma", m.dma, b.dma),
+            ("interface", m.interface, b.interface),
+            ("grape", m.grape, b.grape),
+            ("sync", m.sync, b.sync),
+            ("exchange", m.exchange, b.exchange),
+            ("total", m.total(), b.total()),
+        ] {
+            if want == 0.0 {
+                // Terms the model says this layout does not pay
+                // (sync/exchange on one host) must also measure zero.
+                assert!(
+                    got == 0.0,
+                    "{layout:?}/{term}: measured {got:e} where model has no charge"
+                );
+            } else {
+                let ratio = got / want;
+                assert!(
+                    (0.75..1.25).contains(&ratio),
+                    "{layout:?}/{term}: measured {got:e} vs model {want:e} (ratio {ratio:.3})"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tracing_does_not_perturb_the_integration() {
+    // The observability layer must be read-only: a traced run and an
+    // untraced run of the same system must agree bit for bit — positions,
+    // velocities, timesteps, and the engine's own hardware cycle counter.
+    use grape6::core::Grape6Engine;
+    use grape6::system::machine::MachineConfig;
+    use grape6::trace::{HostRates, Tracer};
+    let machine = MachineConfig::test_small();
+    let n = 64;
+    let run = |traced: bool| {
+        let set = plummer_model(n, &mut StdRng::seed_from_u64(7));
+        let engine = Grape6Engine::new(&machine, n);
+        let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
+        if traced {
+            it.engine_mut()
+                .set_timebase(PerfModel::default().grape.engine_timebase());
+            it.engine_mut().set_tracer(Tracer::enabled());
+            it.set_tracer(Tracer::enabled());
+            it.set_host_rates(HostRates {
+                t_block_fixed: 55.0e-6,
+                t_step: 1.0e-6,
+            });
+        }
+        it.run_until(0.0625);
+        let cycles = it.engine().hardware_cycles();
+        let spans = it.take_spans();
+        if traced {
+            assert!(!spans.is_empty(), "traced run recorded no spans");
+        } else {
+            assert!(spans.is_empty(), "untraced run recorded spans");
+        }
+        (it.particles().clone(), cycles)
+    };
+    let (plain, cycles_plain) = run(false);
+    let (traced, cycles_traced) = run(true);
+    assert_eq!(
+        cycles_plain, cycles_traced,
+        "tracing changed hardware cycles"
+    );
+    assert_eq!(plain.pos, traced.pos, "tracing changed positions");
+    assert_eq!(plain.vel, traced.vel, "tracing changed velocities");
+    assert_eq!(plain.dt, traced.dt, "tracing changed timesteps");
 }
 
 #[test]

@@ -79,8 +79,8 @@ proptest! {
             .collect();
         let mut group = Ensemble::new(chips);
         for (k, p) in particles.iter().enumerate() {
-            single.load_j(k, p);
-            group.load_j(k, p);
+            single.load_j(k, p).unwrap();
+            group.load_j(k, p).unwrap();
         }
         single.set_time(0.0);
         group.set_time(0.0);
