@@ -15,4 +15,14 @@ cargo test -q --locked
 echo "==> cargo clippy --all-targets --locked -- -D warnings"
 cargo clippy --all-targets --locked -- -D warnings
 
+echo "==> cargo doc --no-deps --locked (warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --locked --quiet
+
+echo "==> example smoke tests (release)"
+cargo run --release --locked --example quickstart
+cargo run --release --locked --example fault_tour
+
+echo "==> chaos soak: seeded fault schedules against the recovery stack"
+cargo run --release --locked -p grape6-bench --bin chaos_soak
+
 echo "==> ci.sh: all green"

@@ -21,6 +21,7 @@
 //! analytic model to real integrations of the bit-level simulator stack.
 
 pub mod breakdown;
+pub mod chaos;
 
 use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::BlockStatsModel;

@@ -1,0 +1,382 @@
+//! # grape6-ckpt — versioned, digest-guarded run checkpoints
+//!
+//! The paper's headline runs are week-to-month integrations ("The whole
+//! simulation, including file operations, took 16.30 hours" is the *short*
+//! benchmark, §5); at that scale surviving host crashes matters more than
+//! peak Tflops, and the PC-GRAPE cluster papers treat checkpointing as a
+//! routine operational necessity.  This crate is the file layer of that
+//! story:
+//!
+//! * [`state`] — a plain serialisable model of *complete* run state:
+//!   full Hermite integrator state (positions, velocities, the whole force
+//!   polynomial, per-particle `t`/`dt`), the engine internals that shape
+//!   subsequent arithmetic (block-FP magnitude estimates, pass counters,
+//!   masked units, pending scheduled deaths), per-rank network counters
+//!   and the tracer phase.  Every `f64` travels as its bit pattern — the
+//!   restore contract is **bitwise identity**, enforced end-to-end by the
+//!   workspace's resume tests;
+//! * [`wire`] — a hand-rolled little-endian binary encoding (four
+//!   primitives: `u32`, `u64`, bool, length-prefixed bytes).  No decimal
+//!   representation anywhere, no serialisation framework;
+//! * [`Checkpoint::save`]/[`Checkpoint::load`] — a two-part on-disk
+//!   format: a one-line ASCII header carrying the format version, an
+//!   FNV-1a digest and the payload length, followed by the binary
+//!   payload.  Truncation, corruption and future versions are all
+//!   detected *before* the payload is parsed and surface as typed
+//!   [`CkptError`]s — never a panic, because a supervisor's recovery
+//!   ladder has to be able to step past a bad checkpoint file to an
+//!   older one.
+//!
+//! Conversions between live state and this model live with the live state
+//! (`grape6_core::checkpoint`), keeping this crate dependency-free.
+
+pub mod digest;
+pub mod state;
+pub mod wire;
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+pub use digest::fnv1a64;
+pub use state::{
+    bits, bits3, unbits, unbits3, Checkpoint, EngineState, FaultCounterState, IntegratorState,
+    NetEndpointState, RecoveryState, RunStatState, TraceState,
+};
+
+/// Current checkpoint format version.
+pub const CKPT_VERSION: u32 = 1;
+
+/// Magic string opening every checkpoint header.
+const MAGIC: &str = "GRAPE6-CKPT";
+
+/// Header line preceding the payload:
+/// `GRAPE6-CKPT <version> <digest:016x> <payload_len>`.
+#[derive(Debug)]
+struct Header {
+    magic: String,
+    version: u32,
+    digest: u64,
+    payload_len: u64,
+}
+
+impl Header {
+    fn to_line(&self) -> String {
+        format!(
+            "{} {} {:016x} {}",
+            self.magic, self.version, self.digest, self.payload_len
+        )
+    }
+
+    fn parse(line: &str) -> Result<Self, CkptError> {
+        let mut parts = line.split_whitespace();
+        let bad = |m: &str| CkptError::Format(format!("bad header: {m}"));
+        let magic = parts.next().ok_or_else(|| bad("empty line"))?.to_string();
+        let version = parts
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| bad("missing or non-numeric version"))?;
+        let digest = parts
+            .next()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| bad("missing or non-hex digest"))?;
+        let payload_len = parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| bad("missing or non-numeric payload length"))?;
+        if parts.next().is_some() {
+            return Err(bad("trailing fields"));
+        }
+        Ok(Self {
+            magic,
+            version,
+            digest,
+            payload_len,
+        })
+    }
+}
+
+/// Every way reading or writing a checkpoint can fail.  Typed, never a
+/// panic: the recovery ladder treats a bad checkpoint as one more fault to
+/// step past.
+#[derive(Debug)]
+pub enum CkptError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Header or payload did not parse.
+    Format(String),
+    /// The file ends before the header's declared payload length.
+    Truncated {
+        /// Payload bytes the header promised.
+        expected: u64,
+        /// Payload bytes actually present.
+        got: u64,
+    },
+    /// The payload digest does not match the header.
+    BadDigest {
+        /// Digest recorded in the header.
+        expected: u64,
+        /// Digest of the payload as read.
+        got: u64,
+    },
+    /// The file was written by a newer format version.
+    Version {
+        /// Version found in the header.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// Header parsed but the payload is internally inconsistent
+    /// (array-length mismatches).
+    Inconsistent(String),
+}
+
+impl std::fmt::Display for CkptError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::Format(m) => write!(f, "checkpoint format error: {m}"),
+            Self::Truncated { expected, got } => {
+                write!(f, "checkpoint truncated: {got} of {expected} payload bytes")
+            }
+            Self::BadDigest { expected, got } => write!(
+                f,
+                "checkpoint digest mismatch: header {expected:016x}, payload {got:016x}"
+            ),
+            Self::Version { found, supported } => write!(
+                f,
+                "checkpoint version {found} newer than supported {supported}"
+            ),
+            Self::Inconsistent(m) => write!(f, "checkpoint inconsistent: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CkptError {}
+
+impl From<std::io::Error> for CkptError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl Checkpoint {
+    /// Serialise to the on-disk byte format (header line + payload).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut enc = wire::Enc::new();
+        self.encode(&mut enc);
+        let payload = enc.into_bytes();
+        let header = Header {
+            magic: MAGIC.to_string(),
+            version: self.version,
+            digest: fnv1a64(&payload),
+            payload_len: payload.len() as u64,
+        };
+        let mut out = header.to_line().into_bytes();
+        out.push(b'\n');
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Parse and validate the on-disk byte format.
+    ///
+    /// Validation order matters: version is checked first (a future
+    /// format may legitimately change the digest scheme), then length,
+    /// then digest, and only then is the payload parsed.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CkptError> {
+        let nl = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| CkptError::Format("missing header line".into()))?;
+        let line = std::str::from_utf8(&bytes[..nl])
+            .map_err(|_| CkptError::Format("header line is not UTF-8".into()))?;
+        let header = Header::parse(line)?;
+        if header.magic != MAGIC {
+            return Err(CkptError::Format(format!(
+                "bad magic {:?} (expected {MAGIC:?})",
+                header.magic
+            )));
+        }
+        if header.version > CKPT_VERSION {
+            return Err(CkptError::Version {
+                found: header.version,
+                supported: CKPT_VERSION,
+            });
+        }
+        let payload = &bytes[nl + 1..];
+        if (payload.len() as u64) != header.payload_len {
+            return Err(CkptError::Truncated {
+                expected: header.payload_len,
+                got: payload.len() as u64,
+            });
+        }
+        let got = fnv1a64(payload);
+        if got != header.digest {
+            return Err(CkptError::BadDigest {
+                expected: header.digest,
+                got,
+            });
+        }
+        let mut dec = wire::Dec::new(payload);
+        let ckpt = Checkpoint::decode(&mut dec)
+            .and_then(|c| dec.finish().map(|()| c))
+            .map_err(|e| CkptError::Format(format!("bad payload: {e}")))?;
+        if !ckpt.integrator.is_consistent() {
+            return Err(CkptError::Inconsistent(format!(
+                "per-particle arrays do not all have length {}",
+                ckpt.integrator.n
+            )));
+        }
+        Ok(ckpt)
+    }
+
+    /// Write to a file (atomically enough for a single writer: the full
+    /// byte image is assembled in memory first).
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(&self.to_bytes())?;
+        Ok(())
+    }
+
+    /// Read and validate a file.
+    pub fn load(path: &Path) -> Result<Self, CkptError> {
+        let mut bytes = Vec::new();
+        BufReader::new(File::open(path)?).read_to_end(&mut bytes)?;
+        Self::from_bytes(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::{IntegratorState, RunStatState, TraceState};
+
+    fn sample(n: usize) -> Checkpoint {
+        let v3 = |k: usize| [bits(k as f64), bits(-0.5), bits(f64::MIN_POSITIVE)];
+        Checkpoint {
+            version: CKPT_VERSION,
+            label: "test run".into(),
+            blockstep: 41,
+            engine: None,
+            integrator: IntegratorState {
+                t: bits(0.25),
+                eps: bits(0.015625),
+                n,
+                mass: (0..n).map(|k| bits(1.0 / (k + 1) as f64)).collect(),
+                pos: (0..n).map(v3).collect(),
+                vel: (0..n).map(v3).collect(),
+                acc: (0..n).map(v3).collect(),
+                jerk: (0..n).map(v3).collect(),
+                snap: (0..n).map(v3).collect(),
+                crackle: (0..n).map(v3).collect(),
+                pot: (0..n).map(|_| bits(-1.25)).collect(),
+                t_last: (0..n).map(|_| bits(0.25)).collect(),
+                dt: (0..n).map(|_| bits(0.0078125)).collect(),
+                stats: RunStatState {
+                    dt_min: bits(f64::INFINITY),
+                    ..Default::default()
+                },
+            },
+            net: Vec::new(),
+            trace: TraceState::default(),
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip_is_exact() {
+        let c = sample(5);
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back, c);
+        // The +inf sentinel survived (JSON would have mangled it).
+        assert_eq!(unbits(back.integrator.stats.dt_min), f64::INFINITY);
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let c = sample(3);
+        let dir = std::env::temp_dir().join("grape6_ckpt_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.ckpt");
+        c.save(&path).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), c);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_file_is_a_typed_error() {
+        let bytes = sample(4).to_bytes();
+        // Cut anywhere inside the payload: always Truncated, never a panic.
+        for cut in [bytes.len() - 1, bytes.len() - 100, bytes.len() / 2] {
+            match Checkpoint::from_bytes(&bytes[..cut]) {
+                Err(CkptError::Truncated { expected, got }) => assert!(got < expected),
+                // A cut through the header line loses the newline.
+                Err(CkptError::Format(_)) => {}
+                other => panic!("cut at {cut}: expected Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_payload_is_a_bad_digest_error() {
+        let mut bytes = sample(4).to_bytes();
+        let n = bytes.len();
+        bytes[n - 10] ^= 0x40; // flip a bit well inside the payload
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CkptError::BadDigest { expected, got }) => assert_ne!(expected, got),
+            other => panic!("expected BadDigest, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn future_version_is_a_typed_error() {
+        let mut c = sample(2);
+        c.version = CKPT_VERSION + 7;
+        match Checkpoint::from_bytes(&c.to_bytes()) {
+            Err(CkptError::Version { found, supported }) => {
+                assert_eq!(found, CKPT_VERSION + 7);
+                assert_eq!(supported, CKPT_VERSION);
+            }
+            other => panic!("expected Version, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_is_a_format_error_not_a_panic() {
+        for garbage in [
+            &b""[..],
+            &b"not a checkpoint"[..],
+            &b"{\"magic\":\"WRONG\",\"version\":1,\"digest\":0,\"payload_len\":0}\n"[..],
+            &b"\n\n\n"[..],
+        ] {
+            match Checkpoint::from_bytes(garbage) {
+                Err(CkptError::Format(_)) | Err(CkptError::Truncated { .. }) => {}
+                other => panic!("expected Format/Truncated, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn inconsistent_arrays_are_rejected() {
+        let mut c = sample(4);
+        c.integrator.dt.pop();
+        let bytes = c.to_bytes();
+        match Checkpoint::from_bytes(&bytes) {
+            Err(CkptError::Inconsistent(_)) => {}
+            other => panic!("expected Inconsistent, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn error_messages_name_the_failure() {
+        let e = CkptError::BadDigest {
+            expected: 1,
+            got: 2,
+        };
+        assert!(e.to_string().contains("digest mismatch"));
+        let e = CkptError::Version {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+    }
+}

@@ -60,6 +60,13 @@ const SANITY_NORM_LIMIT: f64 = 1e60;
 /// retry costs real (virtual) pipeline cycles, exactly like the hardware.
 pub struct Grape6Engine {
     hw: BoardArray,
+    /// The machine description the hardware was built from — kept so a
+    /// checkpoint can fingerprint the machine and a restore can refuse a
+    /// mismatched one.
+    cfg: MachineConfig,
+    /// Seed of the fault plan in force (0 for plan-free construction and
+    /// hand-written plans).
+    plan_seed: u64,
     n_slots: usize,
     /// Running magnitude estimates (acceleration, jerk, potential).
     mag: (f64, f64, f64),
@@ -117,6 +124,7 @@ impl Grape6Engine {
         }
         Ok(Self::from_hardware(
             cfg.build(),
+            cfg,
             cfg.total_chips(),
             n_particles,
         ))
@@ -156,7 +164,8 @@ impl Grape6Engine {
         }
         // Startup self-test: mask everything that answers wrongly.
         let report = self_test(&mut hw, &SelfTestConfig::default());
-        let mut engine = Self::from_hardware(hw, cfg.total_chips(), n_particles);
+        let mut engine = Self::from_hardware(hw, cfg, cfg.total_chips(), n_particles);
+        engine.plan_seed = plan.seed;
         engine.counters.selftest_failures = report.failures.len() as u64;
         for f in &report.failures {
             engine.events.push(FaultEvent::SelfTestFailure {
@@ -184,9 +193,16 @@ impl Grape6Engine {
         Ok(engine)
     }
 
-    fn from_hardware(hw: BoardArray, total_chips: usize, n_particles: usize) -> Self {
+    fn from_hardware(
+        hw: BoardArray,
+        cfg: &MachineConfig,
+        total_chips: usize,
+        n_particles: usize,
+    ) -> Self {
         Self {
             hw,
+            cfg: *cfg,
+            plan_seed: 0,
             n_slots: n_particles,
             mag: (1.0, 1.0, 1.0),
             retries: 0,
@@ -314,6 +330,186 @@ impl Grape6Engine {
             alive_chips: self.hw.alive_chips(),
             total_chips: self.total_chips,
         }
+    }
+
+    /// The machine description this engine's hardware was built from.
+    pub fn machine_config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    // ---- checkpoint / recovery ------------------------------------------
+
+    /// Capture the engine internals that shape subsequent arithmetic into
+    /// a serialisable [`grape6_ckpt::EngineState`].
+    ///
+    /// The hardware itself is not captured: a restore rebuilds it from the
+    /// machine configuration and fault plan (both deterministic), re-applies
+    /// the masked-unit set, and reloads the j-memory from the particle
+    /// state — §3.4 block-FP summation makes the refreshed partitioning
+    /// bitwise invisible in the forces.
+    pub fn checkpoint_state(&self) -> grape6_ckpt::EngineState {
+        grape6_ckpt::EngineState {
+            machine: (
+                self.cfg.boards,
+                self.cfg.modules_per_board,
+                self.cfg.chips_per_module,
+                self.cfg.chip.jmem_capacity,
+            ),
+            plan_seed: self.plan_seed,
+            n_slots: self.n_slots,
+            mag: [
+                self.mag.0.to_bits(),
+                self.mag.1.to_bits(),
+                self.mag.2.to_bits(),
+            ],
+            retries: self.retries,
+            time: self.time.to_bits(),
+            pass: self.pass,
+            hw_passes: self.hw.pass_count(),
+            pending_deaths: self
+                .deaths
+                .iter()
+                .map(|d| (d.path.clone(), d.at_pass))
+                .collect(),
+            masked: self.masked.clone(),
+            counters: {
+                let c = self.fault_counters();
+                grape6_ckpt::FaultCounterState {
+                    selftest_failures: c.selftest_failures,
+                    units_masked: c.units_masked,
+                    scheduled_deaths: c.scheduled_deaths,
+                    reduction_glitches: c.reduction_glitches,
+                    sanity_recomputes: c.sanity_recomputes,
+                    exponent_retries: c.exponent_retries,
+                }
+            },
+            vt: self.vt.to_bits(),
+        }
+    }
+
+    /// Rebuild an engine from a captured [`grape6_ckpt::EngineState`].
+    ///
+    /// `plan` must be the fault plan the original engine was built with
+    /// (`None` for plan-free construction); the hardware is rebuilt the
+    /// same deterministic way — including the power-on self-test when a
+    /// plan is given — then the checkpoint's masked-unit set, counters,
+    /// magnitude estimates and clocks are applied on top.  The j-memory is
+    /// *not* loaded here: the caller reloads every particle through
+    /// [`ForceEngine::set_j_particle`], which also rebuilds the host-side
+    /// mirror bit-for-bit.
+    ///
+    /// The machine fingerprint is checked; the event log is not restored
+    /// (it restarts with the rebuilt engine's power-on entries).
+    pub fn restore_from_state(
+        cfg: &MachineConfig,
+        plan: Option<&FaultPlan>,
+        st: &grape6_ckpt::EngineState,
+    ) -> Result<Self, EngineError> {
+        let fp = (
+            cfg.boards,
+            cfg.modules_per_board,
+            cfg.chips_per_module,
+            cfg.chip.jmem_capacity,
+        );
+        if fp != st.machine {
+            return Err(EngineError::HardwareFault {
+                detail: format!(
+                    "checkpoint was taken on machine {:?}, not {:?}",
+                    st.machine, fp
+                ),
+            });
+        }
+        let mut engine = match plan {
+            Some(plan) => Self::with_fault_plan(cfg, st.n_slots, plan)?,
+            None => Self::try_new(cfg, st.n_slots)?,
+        };
+        // Re-apply every masked unit.  Self-test already masked some of
+        // them (mask_path is idempotent and returns false then); the rest
+        // are mid-run deaths the original run had already discovered.
+        for path in &st.masked {
+            engine.hw.mask_path(path);
+        }
+        engine.masked = st.masked.clone();
+        let available = engine.hw.capacity();
+        if st.n_slots > available {
+            return Err(EngineError::InsufficientCapacity {
+                needed: st.n_slots,
+                available,
+            });
+        }
+        engine.mag = (
+            f64::from_bits(st.mag[0]),
+            f64::from_bits(st.mag[1]),
+            f64::from_bits(st.mag[2]),
+        );
+        engine.retries = st.retries;
+        engine.pass = st.pass;
+        engine.deaths = st
+            .pending_deaths
+            .iter()
+            .map(|(path, at_pass)| ScheduledDeath {
+                path: path.clone(),
+                at_pass: *at_pass,
+            })
+            .collect();
+        engine.counters = FaultCounters {
+            selftest_failures: st.counters.selftest_failures,
+            units_masked: st.counters.units_masked,
+            scheduled_deaths: st.counters.scheduled_deaths,
+            reduction_glitches: st.counters.reduction_glitches,
+            sanity_recomputes: st.counters.sanity_recomputes,
+            exponent_retries: st.counters.exponent_retries,
+        };
+        // `fault_counters` overwrites this mirror field from `retries`
+        // (restored above) on every read; zero the stale copy.
+        engine.counters.exponent_retries = 0;
+        engine.vt = f64::from_bits(st.vt);
+        // Rewind the hardware pass clock so `AtPasses` fault schedules
+        // fire exactly where they would have in the uninterrupted run.
+        engine.hw.restore_pass_count(st.hw_passes);
+        engine.set_time(f64::from_bits(st.time));
+        Ok(engine)
+    }
+
+    /// Re-run the known-answer self-test mid-run (recovery ladder rung 2):
+    /// mask every unit that answers wrongly, and redistribute the
+    /// j-particles over the survivors if anything new was masked.
+    ///
+    /// The hardware pass clock is saved and restored around the test, so
+    /// scheduled `AtPasses` faults stay aligned with the run's own passes.
+    /// Returns the number of units newly masked.
+    pub fn re_self_test(&mut self) -> Result<usize, EngineError> {
+        let saved_passes = self.hw.pass_count();
+        let report = self_test(&mut self.hw, &SelfTestConfig::default());
+        self.hw.restore_pass_count(saved_passes);
+        self.counters.selftest_failures += report.failures.len() as u64;
+        for f in &report.failures {
+            self.events.push(FaultEvent::SelfTestFailure {
+                path: f.path.clone(),
+                rel_err: f.rel_err,
+            });
+        }
+        let newly_masked = report.masked.len();
+        for path in &report.masked {
+            self.counters.units_masked += 1;
+            self.masked.push(path.clone());
+            self.events.push(FaultEvent::UnitMasked {
+                path: path.clone(),
+                pass: self.pass,
+            });
+        }
+        self.selftest = Some(report);
+        if newly_masked > 0 {
+            self.reload_from_mirror()?;
+        }
+        Ok(newly_masked)
+    }
+
+    /// Redistribute every mirrored j-particle over the surviving hardware
+    /// (recovery ladder rung 3) — the same reload that follows a scheduled
+    /// mid-run death, exposed for the supervisor to order explicitly.
+    pub fn redistribute(&mut self) -> Result<(), EngineError> {
+        self.reload_from_mirror()
     }
 
     fn exps(&self) -> ExpSet {

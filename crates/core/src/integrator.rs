@@ -22,7 +22,7 @@
 
 use grape6_trace::{HostRates, Phase, Span, SpanCounters, Tracer};
 use nbody_core::blockstep::TimeGrid;
-use nbody_core::force::{ForceEngine, ForceResult, IParticle, JParticle};
+use nbody_core::force::{EngineError, ForceEngine, ForceResult, IParticle, JParticle};
 use nbody_core::hermite::{aarseth_dt, correct, predict, startup_dt, HermiteState};
 use nbody_core::particle::ParticleSet;
 use nbody_core::softening::Softening;
@@ -134,6 +134,43 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
         }
     }
 
+    /// Rebuild an integrator around previously-integrated state without
+    /// the initial force evaluation: every particle (with its complete
+    /// force polynomial and per-particle `t`/`dt`) is loaded into the
+    /// engine as-is.  This is the checkpoint-restore constructor — the
+    /// state must come from a run of the same configuration, captured at
+    /// system time `t`.
+    pub fn resume(
+        mut engine: E,
+        set: ParticleSet,
+        cfg: IntegratorConfig,
+        t: f64,
+        stats: RunStats,
+    ) -> Self {
+        let n = set.n();
+        assert!(n >= 2, "need at least two particles");
+        let eps = cfg.softening.epsilon(n);
+        let eps2 = eps * eps;
+        for i in 0..n {
+            engine.set_j_particle(i, &j_of(&set, i));
+        }
+        engine.set_time(t);
+        Self {
+            engine,
+            set,
+            cfg,
+            eps,
+            eps2,
+            t,
+            stats,
+            block: Vec::new(),
+            iparts: Vec::new(),
+            forces: Vec::new(),
+            tracer: Tracer::disabled(),
+            host_rates: None,
+        }
+    }
+
     /// Current system time.
     pub fn time(&self) -> f64 {
         self.t
@@ -204,14 +241,38 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
         &self.stats
     }
 
+    /// Mutable run statistics (the supervisor charges recovery work here).
+    pub fn stats_mut(&mut self) -> &mut RunStats {
+        &mut self.stats
+    }
+
+    /// The accuracy/scheduling configuration in force.
+    pub fn config(&self) -> &IntegratorConfig {
+        &self.cfg
+    }
+
     /// Softening length in use.
     pub fn epsilon(&self) -> f64 {
         self.eps
     }
 
     /// Execute one blockstep; returns the new system time and the block
-    /// size.
+    /// size.  Panics on an unrecovered engine error —
+    /// [`HermiteIntegrator::try_step`] is the typed-error twin.
     pub fn step(&mut self) -> (f64, usize) {
+        match self.try_step() {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible blockstep.
+    ///
+    /// On `Err` the particle state is untouched — corrections happen only
+    /// after every force evaluation has succeeded, and the only engine
+    /// mutation so far is `set_time` (re-issued on the next attempt) — so
+    /// a supervisor can retry the step after repairing the engine.
+    pub fn try_step(&mut self) -> Result<(f64, usize), EngineError> {
         let set = &mut self.set;
         // 1. Block selection.
         let t_next = set.min_next_time();
@@ -250,7 +311,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
         // 3. Engine force evaluation at the block time.
         self.engine.set_time(t_next);
         self.forces.resize(self.block.len(), ForceResult::default());
-        self.engine.compute(&self.iparts, &mut self.forces);
+        self.engine.try_compute(&self.iparts, &mut self.forces)?;
         // 3b. Optional extra corrector passes (P(EC)ⁿ): evaluate the force
         // at the corrected state and re-correct from the same prediction.
         for _ in 1..self.cfg.pec_iterations.max(1) {
@@ -271,7 +332,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
                     eps2: self.eps2,
                 });
             }
-            self.engine.compute(&refined, &mut self.forces);
+            self.engine.try_compute(&refined, &mut self.forces)?;
         }
         // 4. Correct, retime, write back.
         for (k, &i) in self.block.iter().enumerate() {
@@ -312,7 +373,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             .record_block(n_b, dt_block.max(f64::MIN_POSITIVE));
         self.stats.faults = self.engine.fault_counters();
         self.t = t_next;
-        (t_next, n_b)
+        Ok((t_next, n_b))
     }
 
     /// Advance until system time reaches `t_end` (the last block lands

@@ -34,12 +34,16 @@
 //! healthy machine throughout (§3.4).
 
 pub mod api;
+pub mod checkpoint;
 pub mod engine;
 pub mod integrator;
 pub mod neighbor;
 pub mod stats;
+pub mod supervisor;
 
+pub use checkpoint::{capture, restore, RestoreError};
 pub use engine::Grape6Engine;
 pub use integrator::{HermiteIntegrator, IntegratorConfig};
 pub use neighbor::{AcConfig, AcHermiteIntegrator};
-pub use stats::RunStats;
+pub use stats::{RecoveryStats, RunStats};
+pub use supervisor::{CheckpointPolicy, RunSupervisor, SupervisorConfig, SupervisorError};

@@ -24,6 +24,27 @@ pub struct RunStats {
     /// failures, masked units, reduction glitches, exponent retries, …).
     /// All-zero for healthy hardware and host-side engines.
     pub faults: FaultCounters,
+    /// Supervisor-level recovery work: checkpoints, restores, ladder
+    /// actions and the virtual seconds they cost.  All-zero for
+    /// unsupervised runs.
+    pub recovery: RecoveryStats,
+}
+
+/// What a run supervisor did to keep the run alive, and what it cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken.
+    pub checkpoints_taken: u64,
+    /// Restores from a checkpoint (recovery ladder rung 4).
+    pub restores: u64,
+    /// Mid-run re-self-tests (rung 2).
+    pub reselftests: u64,
+    /// Mirror-based j-redistributions (rung 3).
+    pub redistributions: u64,
+    /// Virtual seconds charged to recovery work (checkpoint writes,
+    /// self-test passes, j-reloads, restores) — the availability tax the
+    /// timing model adds on top of the six-term breakdown.
+    pub recovery_seconds: f64,
 }
 
 impl RunStats {

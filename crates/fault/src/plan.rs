@@ -103,6 +103,14 @@ pub struct NetFaultPlan {
     /// Retransmission timeout: attempt `k` (0-based) that fails costs the
     /// receiver `rto · 2^k` of backoff before the next attempt lands.
     pub rto: f64,
+    /// Deterministic backoff jitter: each failed attempt's exponential
+    /// backoff is stretched by up to this many permille of itself.  The
+    /// stretch comes from a stateless hash of
+    /// `(seed, src, dst, seq, attempt)` — no ambient RNG — so a retried
+    /// run replays its backoff schedule bit-identically while still
+    /// desynchronising concurrent retransmit timers the way real TCP
+    /// jitter does.
+    pub jitter_permille: u16,
 }
 
 impl Default for NetFaultPlan {
@@ -151,6 +159,7 @@ impl NetFaultPlan {
             delay_factor: 0.0,
             max_attempts: 1,
             rto: 0.0,
+            jitter_permille: 0,
         }
     }
 
@@ -164,6 +173,7 @@ impl NetFaultPlan {
             delay_factor: 0.0,
             max_attempts,
             rto,
+            jitter_permille: 0,
         }
     }
 
@@ -196,8 +206,17 @@ impl NetFaultPlan {
                 } else {
                     corrupted += 1;
                 }
-                // Sender's retransmit timer: exponential backoff.
-                backoff += self.rto * (1u64 << k.min(20)) as f64;
+                // Sender's retransmit timer: exponential backoff, with a
+                // deterministic per-attempt jitter stretch.
+                let base = self.rto * (1u64 << k.min(20)) as f64;
+                let jitter = if self.jitter_permille > 0 {
+                    let j = mix(self.seed ^ 0xBAC0_FFEE_BAC0_FFEE, src, dst, seq, k as u64)
+                        % (self.jitter_permille as u64 + 1);
+                    base * j as f64 / 1000.0
+                } else {
+                    0.0
+                };
+                backoff += base + jitter;
                 continue;
             }
             let droll = mix(self.seed ^ 0x00DE_1A7E_D0DE_1A7E, src, dst, seq, k as u64) % 1000;
@@ -521,6 +540,53 @@ mod tests {
     }
 
     #[test]
+    fn backoff_jitter_is_deterministic_bounded_and_optional() {
+        let base = NetFaultPlan::lossy(42, 500, 8, 1e-3);
+        let jittered = NetFaultPlan {
+            jitter_permille: 250,
+            ..base
+        };
+        let mut stretched = 0;
+        for seq in 0..200 {
+            // Same fate decisions (jitter only scales backoff)…
+            let a = base.delivery(3, 1, seq);
+            let b = jittered.delivery(3, 1, seq);
+            // …replayed bit-identically.
+            assert_eq!(b, jittered.delivery(3, 1, seq));
+            let (Delivery::Delivered {
+                attempts: aa,
+                backoff: ab,
+                ..
+            }
+            | Delivery::Failed {
+                attempts: aa,
+                backoff: ab,
+                ..
+            }) = a;
+            let (Delivery::Delivered {
+                attempts: ba,
+                backoff: bb,
+                ..
+            }
+            | Delivery::Failed {
+                attempts: ba,
+                backoff: bb,
+                ..
+            }) = b;
+            assert_eq!(aa, ba, "jitter must not change delivery outcomes");
+            // Jittered backoff is the un-jittered one stretched ≤ 25%.
+            assert!(
+                bb >= ab && bb <= ab * 1.25 + 1e-15,
+                "seq {seq}: {ab} -> {bb}"
+            );
+            if bb > ab {
+                stretched += 1;
+            }
+        }
+        assert!(stretched > 20, "only {stretched} of 200 backoffs stretched");
+    }
+
+    #[test]
     fn corruption_counted_separately_from_drops() {
         let p = NetFaultPlan {
             seed: 5,
@@ -530,6 +596,7 @@ mod tests {
             delay_factor: 0.0,
             max_attempts: 10,
             rto: 1e-4,
+            jitter_permille: 0,
         };
         let mut corrupted_total = 0;
         for seq in 0..100 {
@@ -554,6 +621,7 @@ mod tests {
             delay_factor: 10.0,
             max_attempts: 1,
             rto: 1e-4,
+            jitter_permille: 0,
         };
         let mut delayed = 0;
         for seq in 0..100 {

@@ -110,7 +110,54 @@ impl GrapeTiming {
             ..*self
         }
     }
+
+    // ---- recovery terms -------------------------------------------------
+    //
+    // The availability tax a run supervisor charges on top of the six-term
+    // breakdown.  Week-long runs pay these rarely, so they are modelled at
+    // the same fidelity as the DMA terms: a setup constant plus a
+    // bandwidth-limited transfer.
+
+    /// Virtual seconds for a mid-run known-answer self-test: every chip
+    /// gets one short test block (`SELFTEST_VECTORS` vectors deep) plus a
+    /// DMA setup per call, serialised over the host port like the real
+    /// host library's power-on test.
+    pub fn selftest_time(&self) -> f64 {
+        self.chips_per_host as f64
+            * (self.dma_setup + (self.pipeline_depth + SELFTEST_VECTORS) / self.clock_hz)
+    }
+
+    /// Virtual seconds to reload `n` j-particles over the host↔GRAPE
+    /// interface (redistribution after masking, restore after a crash).
+    pub fn reload_time(&self, n: usize) -> f64 {
+        self.dma_setup + n as f64 * self.j_word_bytes / self.interface_bw
+    }
+
+    /// Virtual seconds to serialise and write a checkpoint of `n`
+    /// particles to local disk.
+    pub fn checkpoint_time(&self, n: usize) -> f64 {
+        CKPT_SETUP + n as f64 * CKPT_BYTES_PER_PARTICLE / CKPT_DISK_BW
+    }
+
+    /// Virtual seconds to read a checkpoint back and rebuild the run:
+    /// the disk read plus the full j-memory reload.
+    pub fn restore_time(&self, n: usize) -> f64 {
+        self.checkpoint_time(n) + self.reload_time(n)
+    }
 }
+
+/// Known-answer vectors pushed through each chip by one self-test pass.
+const SELFTEST_VECTORS: f64 = 64.0;
+
+/// Fixed checkpoint overhead (file open, fsync, header bookkeeping).
+const CKPT_SETUP: f64 = 5.0e-3;
+
+/// Bytes per particle in the checkpoint payload (mass + six force-
+/// polynomial vectors + potential + times, as 8-byte bit patterns).
+const CKPT_BYTES_PER_PARTICLE: f64 = 256.0;
+
+/// Sustained local-disk bandwidth of the era's IDE disks (~50 MB/s).
+const CKPT_DISK_BW: f64 = 50.0e6;
 
 /// A host CPU profile with the fig. 14 cache-hit refinement.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize)]

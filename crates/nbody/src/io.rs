@@ -3,24 +3,35 @@
 //! The paper's frontends did "the time integration of the orbits of
 //! particles, I/O, on-the-fly analysis" (§1) — production runs checkpoint
 //! ("The whole simulation, including file operations, took 16.30 hours",
-//! §5).  This module provides that file layer: a versioned, line-oriented
-//! JSON snapshot format with exact (bit-preserving) f64 round-tripping,
-//! plus in-memory serialisation for tests and tooling.
+//! §5).  This module provides that file layer: a versioned JSON snapshot
+//! format with exact (bit-preserving) f64 round-tripping, plus in-memory
+//! serialisation for tests and tooling.
+//!
+//! **Format v2** carries the complete Hermite derivative state — snap,
+//! crackle and potential alongside acceleration and jerk — so a restored
+//! run resumes *warm*: the predictor polynomial and the Aarseth timestep
+//! criterion see exactly the values the original run had, instead of
+//! re-deriving them from a cold start.  v1 files (no derivative tail)
+//! still parse; their missing fields restore as zero, which reproduces
+//! the old cold-restart behaviour.
+//!
+//! Both the writer and the parser are hand-rolled: numbers are printed
+//! with Rust's shortest-round-trip formatting (reparse gives the same
+//! bits) and the parser is a small recursive-descent JSON reader, so the
+//! format works identically with or without a functional `serde_json`.
 
 use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
-use serde::{Deserialize, Serialize};
-
 use crate::particle::ParticleSet;
 use crate::vec3::Vec3;
 
 /// Current snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Serialisable snapshot of an N-body system.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Snapshot {
     /// Format version (for forward compatibility).
     pub version: u32,
@@ -33,7 +44,7 @@ pub struct Snapshot {
 }
 
 /// One particle's full state.
-#[derive(Clone, Copy, Debug, Serialize, Deserialize, PartialEq)]
+#[derive(Clone, Copy, Debug, PartialEq)]
 pub struct ParticleRecord {
     /// Mass.
     pub mass: f64,
@@ -45,6 +56,12 @@ pub struct ParticleRecord {
     pub acc: [f64; 3],
     /// Jerk.
     pub jerk: [f64; 3],
+    /// Snap (2nd force derivative; v2, zero in v1 files).
+    pub snap: [f64; 3],
+    /// Crackle (3rd force derivative; v2, zero in v1 files).
+    pub crackle: [f64; 3],
+    /// Potential (v2, zero in v1 files).
+    pub pot: f64,
     /// Particle time.
     pub t: f64,
     /// Timestep.
@@ -81,7 +98,7 @@ impl From<std::io::Error> for SnapshotError {
 }
 
 impl Snapshot {
-    /// Capture a particle set.
+    /// Capture a particle set with its full derivative state.
     pub fn capture(set: &ParticleSet, time: f64, comment: &str) -> Self {
         let particles = (0..set.n())
             .map(|i| ParticleRecord {
@@ -90,6 +107,9 @@ impl Snapshot {
                 vel: set.vel[i].to_array(),
                 acc: set.acc[i].to_array(),
                 jerk: set.jerk[i].to_array(),
+                snap: set.snap[i].to_array(),
+                crackle: set.crackle[i].to_array(),
+                pot: set.pot[i],
                 t: set.t[i],
                 dt: set.dt[i],
             })
@@ -102,9 +122,9 @@ impl Snapshot {
         }
     }
 
-    /// Restore a particle set (snap/crackle/pot restart at zero; the
-    /// integrator re-derives them on its first block, like a cold restart
-    /// of the production codes).
+    /// Restore a particle set.  v2 snapshots restore warm (every Hermite
+    /// derivative bit-exact); v1 snapshots restore with zero
+    /// snap/crackle/pot, the old cold-restart behaviour.
     pub fn restore(&self) -> ParticleSet {
         let mut set = ParticleSet::with_capacity(self.particles.len());
         for p in &self.particles {
@@ -113,6 +133,9 @@ impl Snapshot {
         for (i, p) in self.particles.iter().enumerate() {
             set.acc[i] = Vec3::from_array(p.acc);
             set.jerk[i] = Vec3::from_array(p.jerk);
+            set.snap[i] = Vec3::from_array(p.snap);
+            set.crackle[i] = Vec3::from_array(p.crackle);
+            set.pot[i] = p.pot;
             set.t[i] = p.t;
             set.dt[i] = p.dt;
         }
@@ -121,17 +144,92 @@ impl Snapshot {
 
     /// Serialise to a JSON string.
     pub fn to_json(&self) -> String {
-        serde_json::to_string(self).expect("snapshot serialisation cannot fail")
+        let mut s = String::with_capacity(64 + 256 * self.particles.len());
+        s.push_str("{\"version\":");
+        s.push_str(&self.version.to_string());
+        s.push_str(",\"time\":");
+        write_f64(&mut s, self.time);
+        s.push_str(",\"comment\":");
+        write_str(&mut s, &self.comment);
+        s.push_str(",\"particles\":[");
+        for (k, p) in self.particles.iter().enumerate() {
+            if k > 0 {
+                s.push(',');
+            }
+            s.push_str("{\"mass\":");
+            write_f64(&mut s, p.mass);
+            s.push_str(",\"pos\":");
+            write_vec3(&mut s, p.pos);
+            s.push_str(",\"vel\":");
+            write_vec3(&mut s, p.vel);
+            s.push_str(",\"acc\":");
+            write_vec3(&mut s, p.acc);
+            s.push_str(",\"jerk\":");
+            write_vec3(&mut s, p.jerk);
+            s.push_str(",\"snap\":");
+            write_vec3(&mut s, p.snap);
+            s.push_str(",\"crackle\":");
+            write_vec3(&mut s, p.crackle);
+            s.push_str(",\"pot\":");
+            write_f64(&mut s, p.pot);
+            s.push_str(",\"t\":");
+            write_f64(&mut s, p.t);
+            s.push_str(",\"dt\":");
+            write_f64(&mut s, p.dt);
+            s.push('}');
+        }
+        s.push_str("]}");
+        s
     }
 
     /// Parse from JSON, validating the version.
     pub fn from_json(s: &str) -> Result<Self, SnapshotError> {
-        let snap: Snapshot =
-            serde_json::from_str(s).map_err(|e| SnapshotError::Format(e.to_string()))?;
-        if snap.version > SNAPSHOT_VERSION {
-            return Err(SnapshotError::Version(snap.version));
+        let v = Json::parse(s).map_err(SnapshotError::Format)?;
+        let obj = v
+            .as_obj()
+            .ok_or_else(|| SnapshotError::Format("top level is not an object".into()))?;
+        let version = get_f64(obj, "version")? as u32;
+        if version > SNAPSHOT_VERSION {
+            return Err(SnapshotError::Version(version));
         }
-        Ok(snap)
+        let time = get_f64(obj, "time")?;
+        let comment = match field(obj, "comment") {
+            Some(Json::Str(c)) => c.clone(),
+            Some(_) => return Err(SnapshotError::Format("comment is not a string".into())),
+            None => String::new(),
+        };
+        let parts = match field(obj, "particles") {
+            Some(Json::Arr(a)) => a,
+            _ => return Err(SnapshotError::Format("missing particles array".into())),
+        };
+        let mut particles = Vec::with_capacity(parts.len());
+        for (i, pv) in parts.iter().enumerate() {
+            let po = pv
+                .as_obj()
+                .ok_or_else(|| SnapshotError::Format(format!("particle {i} is not an object")))?;
+            particles.push(ParticleRecord {
+                mass: get_f64(po, "mass")?,
+                pos: get_vec3(po, "pos")?,
+                vel: get_vec3(po, "vel")?,
+                acc: get_vec3(po, "acc")?,
+                jerk: get_vec3(po, "jerk")?,
+                // The v2 derivative tail; absent in v1 files.
+                snap: get_vec3_or_zero(po, "snap")?,
+                crackle: get_vec3_or_zero(po, "crackle")?,
+                pot: match field(po, "pot") {
+                    Some(v) => num(v, "pot")?,
+                    None => 0.0,
+                },
+                t: get_f64(po, "t")?,
+                dt: get_f64(po, "dt")?,
+            });
+        }
+        Ok(Self {
+            version,
+            time,
+            comment,
+            particles,
+        })
     }
 
     /// Write to a file.
@@ -150,6 +248,292 @@ impl Snapshot {
     }
 }
 
+/// Shortest-round-trip f64 formatting; non-finite values (JSON has no
+/// literal for them) are encoded as the strings `"inf"`/`"-inf"`/`"nan"`.
+fn write_f64(s: &mut String, x: f64) {
+    if x.is_finite() {
+        // Rust's Display for f64 prints the shortest decimal that parses
+        // back to the same bits — this is the bit-exactness guarantee.
+        s.push_str(&format!("{x}"));
+    } else if x.is_nan() {
+        s.push_str("\"nan\"");
+    } else if x > 0.0 {
+        s.push_str("\"inf\"");
+    } else {
+        s.push_str("\"-inf\"");
+    }
+}
+
+fn write_vec3(s: &mut String, v: [f64; 3]) {
+    s.push('[');
+    for (k, x) in v.iter().enumerate() {
+        if k > 0 {
+            s.push(',');
+        }
+        write_f64(s, *x);
+    }
+    s.push(']');
+}
+
+fn write_str(s: &mut String, v: &str) {
+    s.push('"');
+    for c in v.chars() {
+        match c {
+            '"' => s.push_str("\\\""),
+            '\\' => s.push_str("\\\\"),
+            '\n' => s.push_str("\\n"),
+            '\r' => s.push_str("\\r"),
+            '\t' => s.push_str("\\t"),
+            c if (c as u32) < 0x20 => s.push_str(&format!("\\u{:04x}", c as u32)),
+            c => s.push(c),
+        }
+    }
+    s.push('"');
+}
+
+/// Minimal JSON value tree — just enough for the snapshot grammar.
+#[derive(Debug)]
+enum Json {
+    Obj(Vec<(String, Json)>),
+    Arr(Vec<Json>),
+    Str(String),
+    Num(f64),
+    Bool,
+    Null,
+}
+
+impl Json {
+    fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    fn parse(s: &str) -> Result<Json, String> {
+        let b = s.as_bytes();
+        let mut p = Parser { b, i: 0 };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.i != b.len() {
+            return Err(format!("trailing bytes at offset {}", p.i));
+        }
+        Ok(v)
+    }
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self.i < self.b.len() && matches!(self.b[self.i], b' ' | b'\t' | b'\n' | b'\r') {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn eat(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at offset {}", c as char, self.i))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool),
+            Some(b'f') => self.literal("false", Json::Bool),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(format!("unexpected byte at offset {}", self.i)),
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.b[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at offset {}", self.i))
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.eat(b'{')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(out));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            out.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(out));
+                }
+                _ => return Err(format!("expected ',' or '}}' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.eat(b'[')?;
+        let mut out = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            self.skip_ws();
+            out.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(format!("expected ',' or ']' at offset {}", self.i)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = self
+                                .b
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
+                                16,
+                            )
+                            .map_err(|_| "bad \\u escape")?;
+                            out.push(
+                                char::from_u32(code).ok_or("surrogate \\u escape unsupported")?,
+                            );
+                            self.i += 4;
+                        }
+                        _ => return Err(format!("bad escape at offset {}", self.i)),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // byte boundaries are valid).
+                    let start = self.i;
+                    self.i += 1;
+                    while self.i < self.b.len() && (self.b[self.i] & 0xC0) == 0x80 {
+                        self.i += 1;
+                    }
+                    out.push_str(std::str::from_utf8(&self.b[start..self.i]).unwrap());
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        if self.peek() == Some(b'-') {
+            self.i += 1;
+        }
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.i += 1;
+            } else {
+                break;
+            }
+        }
+        let tok = std::str::from_utf8(&self.b[start..self.i]).unwrap();
+        tok.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("bad number '{tok}' at offset {start}"))
+    }
+}
+
+fn field<'a>(obj: &'a [(String, Json)], key: &str) -> Option<&'a Json> {
+    obj.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// A number, or one of the non-finite string encodings.
+fn num(v: &Json, what: &str) -> Result<f64, SnapshotError> {
+    match v {
+        Json::Num(x) => Ok(*x),
+        Json::Str(s) => match s.as_str() {
+            "inf" => Ok(f64::INFINITY),
+            "-inf" => Ok(f64::NEG_INFINITY),
+            "nan" => Ok(f64::NAN),
+            _ => Err(SnapshotError::Format(format!("{what} is not a number"))),
+        },
+        _ => Err(SnapshotError::Format(format!("{what} is not a number"))),
+    }
+}
+
+fn get_f64(obj: &[(String, Json)], key: &str) -> Result<f64, SnapshotError> {
+    let v = field(obj, key).ok_or_else(|| SnapshotError::Format(format!("missing {key}")))?;
+    num(v, key)
+}
+
+fn get_vec3(obj: &[(String, Json)], key: &str) -> Result<[f64; 3], SnapshotError> {
+    match field(obj, key) {
+        Some(Json::Arr(a)) if a.len() == 3 => {
+            Ok([num(&a[0], key)?, num(&a[1], key)?, num(&a[2], key)?])
+        }
+        Some(_) => Err(SnapshotError::Format(format!("{key} is not a 3-vector"))),
+        None => Err(SnapshotError::Format(format!("missing {key}"))),
+    }
+}
+
+fn get_vec3_or_zero(obj: &[(String, Json)], key: &str) -> Result<[f64; 3], SnapshotError> {
+    match field(obj, key) {
+        None => Ok([0.0; 3]),
+        _ => get_vec3(obj, key),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -162,6 +546,9 @@ mod tests {
         for i in 0..set.n() {
             set.acc[i] = set.pos[i] * -0.3;
             set.jerk[i] = set.vel[i] * -0.1;
+            set.snap[i] = set.pos[i] * 0.07;
+            set.crackle[i] = set.vel[i] * 0.011;
+            set.pot[i] = -1.0 / (1.0 + i as f64);
             set.t[i] = 0.25;
             set.dt[i] = 2f64.powi(-(3 + (i % 4) as i32));
         }
@@ -181,6 +568,9 @@ mod tests {
             assert_eq!(restored.vel[i], set.vel[i]);
             assert_eq!(restored.acc[i], set.acc[i]);
             assert_eq!(restored.jerk[i], set.jerk[i]);
+            assert_eq!(restored.snap[i], set.snap[i]);
+            assert_eq!(restored.crackle[i], set.crackle[i]);
+            assert_eq!(restored.pot[i].to_bits(), set.pot[i].to_bits());
             assert_eq!(restored.dt[i], set.dt[i]);
         }
         assert_eq!(back.comment, "test snapshot");
@@ -219,6 +609,70 @@ mod tests {
             Snapshot::from_json("{\"wrong\": true}"),
             Err(SnapshotError::Format(_))
         ));
+        // Truncation anywhere must produce Format, never a panic.
+        let whole = Snapshot::capture(&sample(), 0.5, "truncate me").to_json();
+        for cut in [1, whole.len() / 3, whole.len() - 1] {
+            assert!(matches!(
+                Snapshot::from_json(&whole[..cut]),
+                Err(SnapshotError::Format(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn v1_files_still_parse_with_cold_derivatives() {
+        // A hand-written v1 record: no snap/crackle/pot tail.
+        let v1 = r#"{"version":1,"time":0.5,"comment":"old \"run\"","particles":[
+            {"mass":0.03125,"pos":[1.0,-2.5,0.125],"vel":[0.1,0.2,-0.3],
+             "acc":[0.0,0.0,0.0],"jerk":[0.0,0.0,0.0],"t":0.5,"dt":0.0078125}]}"#;
+        let snap = Snapshot::from_json(v1).unwrap();
+        assert_eq!(snap.version, 1);
+        assert_eq!(snap.comment, "old \"run\"");
+        let set = snap.restore();
+        assert_eq!(set.n(), 1);
+        assert_eq!(set.pos[0].to_array(), [1.0, -2.5, 0.125]);
+        assert_eq!(set.snap[0].to_array(), [0.0; 3]);
+        assert_eq!(set.crackle[0].to_array(), [0.0; 3]);
+        assert_eq!(set.pot[0], 0.0);
+        assert_eq!(set.dt[0], 0.0078125);
+    }
+
+    #[test]
+    fn non_finite_values_survive_the_format() {
+        let mut set = sample();
+        set.pot[0] = f64::INFINITY;
+        set.pot[1] = f64::NEG_INFINITY;
+        let snap = Snapshot::capture(&set, 0.0, "");
+        let back = Snapshot::from_json(&snap.to_json()).unwrap().restore();
+        assert_eq!(back.pot[0], f64::INFINITY);
+        assert_eq!(back.pot[1], f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn extreme_values_roundtrip_bitwise() {
+        // Shortest-round-trip printing must survive subnormals, huge
+        // magnitudes, and negative zero.
+        let cases = [
+            f64::MIN_POSITIVE,
+            f64::MIN_POSITIVE / 4.0, // subnormal
+            f64::MAX,
+            -f64::MAX,
+            -0.0,
+            1.0 + f64::EPSILON,
+            std::f64::consts::PI,
+        ];
+        let mut set = ParticleSet::with_capacity(cases.len());
+        for (i, &x) in cases.iter().enumerate() {
+            set.push(1.0 / (i + 1) as f64, Vec3::new(x, -x, x), Vec3::ZERO);
+            set.pot[i] = x;
+        }
+        let back = Snapshot::from_json(&Snapshot::capture(&set, 0.0, "").to_json())
+            .unwrap()
+            .restore();
+        for (i, &x) in cases.iter().enumerate() {
+            assert_eq!(back.pos[i].x.to_bits(), x.to_bits(), "case {i}");
+            assert_eq!(back.pot[i].to_bits(), x.to_bits(), "case {i}");
+        }
     }
 
     #[test]

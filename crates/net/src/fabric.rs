@@ -145,6 +145,49 @@ impl<T: Send> Endpoint<T> {
         self.stats
     }
 
+    /// Flatten this endpoint's clock and counters into the checkpoint
+    /// model (`f64`s travel as bit patterns).
+    pub fn checkpoint_state(&self) -> grape6_ckpt::NetEndpointState {
+        grape6_ckpt::NetEndpointState {
+            rank: self.rank,
+            clock: self.clock.to_bits(),
+            bytes_sent: self.stats.bytes_sent,
+            messages_sent: self.stats.messages_sent,
+            messages_received: self.stats.messages_received,
+            retransmits: self.stats.retransmits,
+            dropped_attempts: self.stats.dropped_attempts,
+            corrupt_attempts: self.stats.corrupt_attempts,
+            delayed_messages: self.stats.delayed_messages,
+            timeouts: self.stats.timeouts,
+            backoff_seconds: self.stats.backoff_seconds.to_bits(),
+        }
+    }
+
+    /// Restore the clock and counters captured by
+    /// [`Self::checkpoint_state`].  Returns `false` (and changes nothing)
+    /// if the state belongs to a different rank.  Message sequence numbers
+    /// are *not* restored — a resumed run starts a fresh fabric, so the
+    /// per-flow fault-plan replay restarts from sequence 0 exactly as the
+    /// original run's did.
+    pub fn restore_counters(&mut self, st: &grape6_ckpt::NetEndpointState) -> bool {
+        if st.rank != self.rank {
+            return false;
+        }
+        self.clock = f64::from_bits(st.clock);
+        self.stats = EndpointStats {
+            bytes_sent: st.bytes_sent,
+            messages_sent: st.messages_sent,
+            messages_received: st.messages_received,
+            retransmits: st.retransmits,
+            dropped_attempts: st.dropped_attempts,
+            corrupt_attempts: st.corrupt_attempts,
+            delayed_messages: st.delayed_messages,
+            timeouts: st.timeouts,
+            backoff_seconds: f64::from_bits(st.backoff_seconds),
+        };
+        true
+    }
+
     /// Install a span sink; with [`Tracer::enabled`] every send, receive
     /// and backoff is recorded as a sub-span on this rank's virtual
     /// timeline (collective-level spans are recorded by
@@ -178,6 +221,19 @@ impl<T: Send> Endpoint<T> {
     /// Send `payload` to `to`, accounting `wire_bytes` on the wire.
     /// Non-blocking (unbounded channel), charges the send-side overhead.
     pub fn send(&mut self, to: usize, payload: T, wire_bytes: usize) {
+        if !self.send_lossy(to, payload, wire_bytes) {
+            panic!("peer endpoint dropped while fabric in use");
+        }
+    }
+
+    /// [`Self::send`] that tolerates a departed peer: if `to` has dropped
+    /// its endpoint (the rank died), the payload is silently discarded and
+    /// `false` is returned.  The send-side cost is charged either way —
+    /// the sender cannot know the peer is gone until the NIC has done its
+    /// work.  This is the failover-safe send: survivors keep talking to a
+    /// rank the [`crate::failover::RankMonitor`] has not yet declared dead
+    /// without risking a panic.
+    pub fn send_lossy(&mut self, to: usize, payload: T, wire_bytes: usize) -> bool {
         assert!(to != self.rank, "self-send is not a network operation");
         let t0 = self.clock;
         self.clock += self.link.overhead;
@@ -205,7 +261,7 @@ impl<T: Send> Endpoint<T> {
                 seq,
                 payload,
             })
-            .expect("peer endpoint dropped while fabric in use");
+            .is_ok()
     }
 
     /// Blocking receive from `from`; advances the clock by causality plus
@@ -217,10 +273,33 @@ impl<T: Send> Endpoint<T> {
     /// returns [`LinkError`]; the clock still advances to the moment the
     /// timeout was declared.
     pub fn recv_checked(&mut self, from: usize) -> Result<T, LinkError> {
-        let t0 = self.clock;
         let msg = self.rx[from]
             .recv()
             .expect("peer endpoint dropped while fabric in use");
+        self.process_incoming(from, msg)
+    }
+
+    /// Blocking receive from `from` that treats a departed peer as an
+    /// observable event instead of a fabric-integrity panic: returns
+    /// `None` once `from` has dropped its endpoint *and* every message it
+    /// sent before dying has been consumed (per-peer FIFO drains first, so
+    /// a rank is never declared gone while its traffic is still in
+    /// flight).  This is the primitive the
+    /// [`crate::failover::RankMonitor`] builds missed-heartbeat detection
+    /// on.  A message declared lost by the fault plan still panics here —
+    /// use a clean plan or [`Self::recv_checked`] where losses are
+    /// expected.
+    pub fn recv_or_down(&mut self, from: usize) -> Option<T> {
+        let msg = self.rx[from].recv().ok()?;
+        match self.process_incoming(from, msg) {
+            Ok(v) => Some(v),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Apply causality, the fault plan and tracing to one received message.
+    fn process_incoming(&mut self, from: usize, msg: TimedMsg<T>) -> Result<T, LinkError> {
+        let t0 = self.clock;
         let wire = self.link.latency + msg.wire_bytes as f64 / self.link.bandwidth;
         let out = match self.plan.delivery(from as u64, self.rank as u64, msg.seq) {
             Delivery::Delivered {

@@ -1,0 +1,417 @@
+//! Rank failure: heartbeats, death detection, and survivor topology.
+//!
+//! The paper's cluster is 16 hosts on Gigabit Ethernet running for weeks;
+//! a host that locks up must not take the run with it.  This module is
+//! the fabric-level half of failover:
+//!
+//! * [`RankMonitor`] — each rank exchanges heartbeat messages with every
+//!   peer it believes alive; a peer that dropped its endpoint is detected
+//!   by [`Endpoint::recv_or_down`] once its in-flight traffic has
+//!   drained, and declared dead after the configured missed-heartbeat
+//!   timeout is charged to the survivor's clock;
+//! * [`Group`] — the surviving topology: a sorted member list with
+//!   rank ↔ virtual-rank translation, so collectives re-form over any
+//!   (possibly non-power-of-two) survivor set;
+//! * [`group_barrier`] / [`group_allgather`] — the dissemination barrier
+//!   and ring all-gather restricted to a group, used by the parallel
+//!   algorithms after failover.
+//!
+//! What this module deliberately does *not* do is touch particles: the
+//! copy algorithm keeps a full replica of the system on every rank, so
+//! "redistributing the dead rank's j-particles" is pure index arithmetic
+//! over the new [`Group`] — and because the block floating-point force
+//! reduction of §3.4 is partition-independent, the survivors' forces are
+//! bitwise identical to the fault-free run's.  The integration of the two
+//! lives in `grape6-parallel`'s failover algorithm.
+
+use crate::collectives::CollectiveError;
+use crate::fabric::Endpoint;
+
+/// Wire size of one heartbeat message (epoch counter + framing).
+pub const HEARTBEAT_BYTES: usize = 16;
+
+/// Missed-heartbeat policy.
+#[derive(Clone, Copy, Debug)]
+pub struct HeartbeatConfig {
+    /// Nominal heartbeat period, seconds of virtual time.
+    pub period: f64,
+    /// Consecutive missed beats before a peer is declared dead; the
+    /// detecting rank's clock is charged `period × miss_budget` — the
+    /// time it sat waiting before giving up on the peer.
+    pub miss_budget: u32,
+}
+
+impl Default for HeartbeatConfig {
+    fn default() -> Self {
+        Self {
+            period: 1.0e-3,
+            miss_budget: 3,
+        }
+    }
+}
+
+/// A set of live ranks: sorted members with rank ↔ virtual-rank
+/// translation.  Collectives over a group address `0..len()` virtual
+/// ranks and translate to real ranks at the wire.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Group {
+    members: Vec<usize>,
+}
+
+impl Group {
+    /// A group over the given ranks (sorted, deduplicated; must be
+    /// non-empty).
+    pub fn new(mut members: Vec<usize>) -> Self {
+        members.sort_unstable();
+        members.dedup();
+        assert!(!members.is_empty(), "a group needs at least one member");
+        Self { members }
+    }
+
+    /// The full fabric `0..p` as a group.
+    pub fn full(p: usize) -> Self {
+        Self::new((0..p).collect())
+    }
+
+    /// Members in ascending rank order.
+    pub fn members(&self) -> &[usize] {
+        &self.members
+    }
+
+    /// Number of members.
+    #[allow(clippy::len_without_is_empty)] // a group is never empty
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether `rank` is a member.
+    pub fn contains(&self, rank: usize) -> bool {
+        self.members.binary_search(&rank).is_ok()
+    }
+
+    /// This rank's virtual rank within the group, if a member.
+    pub fn vrank(&self, rank: usize) -> Option<usize> {
+        self.members.binary_search(&rank).ok()
+    }
+
+    /// The real rank at virtual rank `v`.
+    pub fn rank_at(&self, v: usize) -> usize {
+        self.members[v]
+    }
+
+    /// Remove a member (no-op if absent); returns whether it was present.
+    pub fn remove(&mut self, rank: usize) -> bool {
+        match self.members.binary_search(&rank) {
+            Ok(i) => {
+                self.members.remove(i);
+                assert!(!self.members.is_empty(), "last group member removed");
+                true
+            }
+            Err(_) => false,
+        }
+    }
+}
+
+/// Per-rank liveness tracker.
+///
+/// The monitor is deliberately message-type agnostic: the caller's wire
+/// type `T` multiplexes heartbeats with its data traffic, so
+/// [`RankMonitor::exchange`] takes an encode closure (epoch → `T`) and a
+/// decode closure (`T` → epoch).  Per-peer FIFO ordering guarantees that
+/// as long as every rank alternates `exchange` with its data phase in
+/// lockstep, a heartbeat receive never consumes a data message.
+pub struct RankMonitor {
+    me: usize,
+    alive: Vec<bool>,
+    epoch: u64,
+    cfg: HeartbeatConfig,
+    timeout_seconds: f64,
+}
+
+impl RankMonitor {
+    /// A monitor at rank `me` of a `p`-rank fabric, everyone presumed
+    /// alive.
+    pub fn new(me: usize, p: usize, cfg: HeartbeatConfig) -> Self {
+        assert!(me < p);
+        Self {
+            me,
+            alive: vec![true; p],
+            epoch: 0,
+            cfg,
+            timeout_seconds: 0.0,
+        }
+    }
+
+    /// Heartbeat rounds completed.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `rank` is currently believed alive.
+    pub fn is_alive(&self, rank: usize) -> bool {
+        self.alive[rank]
+    }
+
+    /// Live ranks (including this one) as a [`Group`].
+    pub fn group(&self) -> Group {
+        Group::new(
+            self.alive
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &a)| a.then_some(r))
+                .collect(),
+        )
+    }
+
+    /// Total missed-heartbeat timeout charged to this rank's clock so far
+    /// — the detection cost of every death this rank observed.
+    pub fn timeout_seconds(&self) -> f64 {
+        self.timeout_seconds
+    }
+
+    /// One heartbeat round: send a beat to every live peer, then collect
+    /// one from each.  A peer whose endpoint is gone (after its traffic
+    /// drained) is declared dead: the missed-heartbeat timeout
+    /// `period × miss_budget` is charged to this rank's clock, and the
+    /// peer leaves the live set.  Returns the ranks newly declared dead,
+    /// in ascending order.
+    ///
+    /// `mk` wraps an epoch into the caller's wire type; `decode` unwraps
+    /// it (returning `None` is a protocol violation — a data message where
+    /// a heartbeat was due — and panics, since the lockstep schedule makes
+    /// it a bug, not a fault).
+    pub fn exchange<T, M, D>(&mut self, ep: &mut Endpoint<T>, mk: M, decode: D) -> Vec<usize>
+    where
+        T: Send,
+        M: Fn(u64) -> T,
+        D: Fn(T) -> Option<u64>,
+    {
+        self.epoch += 1;
+        let peers: Vec<usize> = (0..self.alive.len())
+            .filter(|&r| r != self.me && self.alive[r])
+            .collect();
+        for &p in &peers {
+            // Lossy: the peer may already be gone without being declared.
+            ep.send_lossy(p, mk(self.epoch), HEARTBEAT_BYTES);
+        }
+        let mut dead = Vec::new();
+        for &p in &peers {
+            match ep.recv_or_down(p) {
+                Some(msg) => {
+                    let got =
+                        decode(msg).expect("protocol violation: data where a heartbeat was due");
+                    assert_eq!(
+                        got, self.epoch,
+                        "heartbeat epoch skew from rank {p}: the fabric is not in lockstep"
+                    );
+                }
+                None => {
+                    let timeout = self.cfg.period * self.cfg.miss_budget as f64;
+                    ep.advance(timeout);
+                    self.timeout_seconds += timeout;
+                    self.alive[p] = false;
+                    dead.push(p);
+                }
+            }
+        }
+        dead
+    }
+}
+
+/// Dissemination barrier over a [`Group`]: ⌈log₂ m⌉ rounds among the `m`
+/// members, any group size.  A rank outside the group returns
+/// immediately.
+pub fn group_barrier<T: Send + Default>(
+    ep: &mut Endpoint<T>,
+    group: &Group,
+) -> Result<(), CollectiveError> {
+    let m = group.len();
+    let Some(vr) = group.vrank(ep.rank()) else {
+        return Ok(());
+    };
+    let mut step = 1usize;
+    while step < m {
+        let to = group.rank_at((vr + step) % m);
+        let from = group.rank_at((vr + m - step) % m);
+        ep.send(to, T::default(), 8);
+        ep.recv_checked(from)?;
+        step <<= 1;
+    }
+    Ok(())
+}
+
+/// Ring all-gather over a [`Group`]: every member contributes `mine`;
+/// returns the contributions indexed *by member position* (index `i`
+/// belongs to `group.rank_at(i)`).  A rank outside the group gets only
+/// its own contribution back.
+pub fn group_allgather<T: Send + Clone>(
+    ep: &mut Endpoint<T>,
+    group: &Group,
+    mine: T,
+    bytes: usize,
+) -> Result<Vec<T>, CollectiveError> {
+    let m = group.len();
+    let Some(vr) = group.vrank(ep.rank()) else {
+        return Ok(vec![mine]);
+    };
+    if m == 1 {
+        return Ok(vec![mine]);
+    }
+    let right = group.rank_at((vr + 1) % m);
+    let left = group.rank_at((vr + m - 1) % m);
+    // Same shift/reverse/rotate dance as the full-fabric allgather, in
+    // virtual-rank coordinates.
+    let mut out: Vec<T> = Vec::with_capacity(m);
+    out.push(mine);
+    for round in 0..m - 1 {
+        ep.send(right, out[round].clone(), bytes);
+        out.push(ep.recv_checked(left)?);
+    }
+    out.reverse();
+    out.rotate_right((vr + 1) % m);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::run_ranks;
+    use crate::link::LinkProfile;
+
+    #[test]
+    fn group_translation_and_removal() {
+        let mut g = Group::new(vec![5, 0, 3, 3]);
+        assert_eq!(g.members(), &[0, 3, 5]);
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.vrank(3), Some(1));
+        assert_eq!(g.vrank(4), None);
+        assert_eq!(g.rank_at(2), 5);
+        assert!(g.contains(0) && !g.contains(1));
+        assert!(g.remove(3));
+        assert!(!g.remove(3));
+        assert_eq!(g.members(), &[0, 5]);
+        assert_eq!(Group::full(4).members(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn monitor_detects_a_dead_rank_and_charges_the_timeout() {
+        let cfg = HeartbeatConfig {
+            period: 1.0e-3,
+            miss_budget: 3,
+        };
+        let out = run_ranks::<u64, Option<(Vec<usize>, f64, Group)>, _>(
+            3,
+            LinkProfile::ideal(),
+            move |mut ep| {
+                if ep.rank() == 2 {
+                    // Dies before its first heartbeat.
+                    return None;
+                }
+                let mut mon = RankMonitor::new(ep.rank(), 3, cfg);
+                let dead = mon.exchange(&mut ep, |e| e, Some);
+                assert!(mon.is_alive(0) && mon.is_alive(1) && !mon.is_alive(2));
+                // The survivors' group still works as a topology.
+                let g = mon.group();
+                group_barrier(&mut ep, &g).unwrap();
+                Some((dead, mon.timeout_seconds(), g))
+            },
+        );
+        for r in 0..2 {
+            let (dead, timeout, g) = out[r].clone().unwrap();
+            assert_eq!(dead, vec![2], "rank {r}");
+            assert_eq!(timeout, 3.0e-3, "rank {r}");
+            assert_eq!(g.members(), &[0, 1], "rank {r}");
+        }
+        assert!(out[2].is_none());
+    }
+
+    #[test]
+    fn healthy_monitor_declares_nobody_dead() {
+        let out = run_ranks::<u64, u64, _>(4, LinkProfile::ideal(), |mut ep| {
+            let mut mon = RankMonitor::new(ep.rank(), 4, HeartbeatConfig::default());
+            for _ in 0..5 {
+                assert!(mon.exchange(&mut ep, |e| e, Some).is_empty());
+            }
+            assert_eq!(mon.timeout_seconds(), 0.0);
+            mon.epoch()
+        });
+        assert_eq!(out, vec![5; 4]);
+    }
+
+    #[test]
+    fn group_allgather_over_a_non_power_of_two_survivor_set() {
+        // 5-rank fabric, rank 1 and rank 4 dead: {0, 2, 3} re-form.
+        let group = Group::new(vec![0, 2, 3]);
+        let g2 = group.clone();
+        let out =
+            run_ranks::<usize, Option<Vec<usize>>, _>(5, LinkProfile::ideal(), move |mut ep| {
+                if !g2.contains(ep.rank()) {
+                    return None;
+                }
+                let mine = ep.rank() * 10;
+                let vals = group_allgather(&mut ep, &g2, mine, 8).unwrap();
+                group_barrier(&mut ep, &g2).unwrap();
+                Some(vals)
+            });
+        for &r in group.members() {
+            assert_eq!(out[r].as_deref(), Some(&[0, 20, 30][..]), "rank {r}");
+        }
+        assert!(out[1].is_none() && out[4].is_none());
+    }
+
+    #[test]
+    fn send_lossy_to_a_departed_peer_does_not_panic() {
+        let flags = run_ranks::<u8, Option<bool>, _>(2, LinkProfile::ideal(), |mut ep| {
+            if ep.rank() == 1 {
+                return None; // endpoint dropped immediately
+            }
+            // The peer may or may not have exited yet; drain until the
+            // channel reports it gone, then further sends must fail soft.
+            while ep.recv_or_down(1).is_some() {}
+            Some(ep.send_lossy(1, 7, 8))
+        });
+        assert_eq!(flags[0], Some(false));
+    }
+
+    #[test]
+    fn recv_or_down_drains_buffered_traffic_before_declaring_death() {
+        let out = run_ranks::<u8, Vec<u8>, _>(2, LinkProfile::ideal(), |mut ep| {
+            if ep.rank() == 1 {
+                ep.send(0, 10, 8);
+                ep.send(0, 11, 8);
+                return vec![]; // dies with two messages in flight
+            }
+            let mut got = Vec::new();
+            while let Some(v) = ep.recv_or_down(1) {
+                got.push(v);
+            }
+            got
+        });
+        assert_eq!(out[0], vec![10, 11]);
+    }
+
+    #[test]
+    fn endpoint_counters_roundtrip_through_checkpoint_state() {
+        let states = run_ranks::<u8, bool, _>(2, LinkProfile::ideal(), |mut ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 1, 100);
+                ep.advance(0.5);
+            } else {
+                ep.recv(0);
+            }
+            let st = ep.checkpoint_state();
+            assert_eq!(st.rank, ep.rank());
+            assert_eq!(st.clock, ep.clock().to_bits());
+            // A wrong-rank restore is refused…
+            let mut other = st.clone();
+            other.rank += 1;
+            assert!(!ep.restore_counters(&other));
+            // …the matching one reproduces clock and counters exactly.
+            let before = (ep.clock().to_bits(), ep.stats());
+            ep.advance(1.0);
+            assert!(ep.restore_counters(&st));
+            (ep.clock().to_bits(), ep.stats()) == before
+        });
+        assert_eq!(states, vec![true, true]);
+    }
+}

@@ -34,8 +34,10 @@
 
 pub mod collectives;
 pub mod fabric;
+pub mod failover;
 pub mod link;
 
 pub use collectives::{CollectiveCost, CollectiveError};
 pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError};
+pub use failover::{group_allgather, group_barrier, Group, HeartbeatConfig, RankMonitor};
 pub use link::LinkProfile;

@@ -91,6 +91,26 @@ pub struct CopyRunResult {
     pub bytes_sent: Vec<u64>,
 }
 
+/// Where a copy-algorithm segment starts and stops — the hooks that make
+/// parallel runs **checkpointable**: run a bounded number of blocksteps,
+/// capture the (rank-identical) particle state, and continue later from
+/// exactly that state with [`run_copy_parallel_segment`].
+#[derive(Clone, Copy, Debug)]
+pub struct CopySegment {
+    /// `Some(t0)`: the input set is mid-run state (derivatives, per-
+    /// particle times and steps already populated — e.g. restored from a
+    /// checkpoint) and integration continues from time `t0` without any
+    /// re-initialisation.  `None`: initialise exactly like the serial
+    /// driver (startup forces + initial timesteps).
+    pub resume_from: Option<f64>,
+    /// Stop after this many blocksteps, even short of `t_end`.  The limit
+    /// is deterministic and identical on every rank, so stopping is
+    /// collective-safe.
+    pub max_blocksteps: Option<u64>,
+    /// Stop once the run time reaches this.
+    pub t_end: f64,
+}
+
 /// Integrate `set` to `t_end` on `p` ranks with the copy algorithm.
 pub fn run_copy_parallel(
     set: &ParticleSet,
@@ -98,28 +118,54 @@ pub fn run_copy_parallel(
     t_end: f64,
     cfg: &CopyConfig,
 ) -> CopyRunResult {
+    run_copy_parallel_segment(
+        set,
+        p,
+        CopySegment {
+            resume_from: None,
+            max_blocksteps: None,
+            t_end,
+        },
+        cfg,
+    )
+}
+
+/// Integrate one bounded segment of a copy-algorithm run.
+///
+/// Stats count this segment only; callers stitching segments together sum
+/// them.  Because every rank holds the full system and the blockstep
+/// schedule is a pure function of the particle state, a run chopped into
+/// segments is bit-identical to an uninterrupted one.
+pub fn run_copy_parallel_segment(
+    set: &ParticleSet,
+    p: usize,
+    seg: CopySegment,
+    cfg: &CopyConfig,
+) -> CopyRunResult {
     let n = set.n();
+    let t_end = seg.t_end;
     let results = run_ranks::<Vec<ParticleUpdate>, (ParticleSet, RunStats, f64, u64), _>(
         p,
         cfg.link,
         |mut ep| {
             let rank = ep.rank();
             // Every rank: full copy, full engine, synchronized-identical
-            // initialisation (same arithmetic as the serial driver).
-            let it = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg.integ);
+            // initialisation (same arithmetic as the serial driver) — or,
+            // on resume, the caller's mid-run state verbatim.
+            let (mut local, eps, mut t) = match seg.resume_from {
+                None => {
+                    let it = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg.integ);
+                    (it.particles().clone(), it.epsilon(), 0.0f64)
+                }
+                Some(t0) => (set.clone(), cfg.integ.softening.epsilon(n), t0),
+            };
             let mut stats = RunStats::new();
-            // Re-derive the local mutable state from the integrator's
-            // initialised set; the engine is reloaded from the same state,
-            // so its contents match the serial driver's bit for bit.
-            let mut local = it.particles().clone();
-            let eps = it.epsilon();
             let eps2 = eps * eps;
             let mut engine = DirectEngine::new(n);
             for i in 0..n {
                 engine.set_j_particle(i, &j_from(&local, i));
             }
-            let mut t = 0.0f64;
-            while t < t_end {
+            while t < t_end && seg.max_blocksteps.is_none_or(|m| stats.blocksteps < m) {
                 let t_next = local.min_next_time();
                 // My share of the block (owner by contiguous chunks).
                 let mut updates: Vec<ParticleUpdate> = Vec::new();

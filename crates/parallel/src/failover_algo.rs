@@ -1,0 +1,387 @@
+//! The copy algorithm with rank failover.
+//!
+//! [`run_failover_parallel`] is [`crate::copy_algo::run_copy_parallel`]
+//! hardened against host death.  Each blockstep opens with a heartbeat
+//! round through a [`RankMonitor`]; a rank scheduled to die simply stops
+//! participating (its thread exits and drops its endpoint), the survivors
+//! detect the silence after the missed-heartbeat timeout, re-form the
+//! collective topology as a (possibly non-power-of-two) [`Group`], and
+//! re-partition the block over the survivor set.
+//!
+//! Why the continuation is **bitwise identical** to a fault-free run:
+//! the copy algorithm keeps a full replica of the system on every rank,
+//! so failover moves *work*, never *data* — the dead rank's share of the
+//! block is recomputed by its new owners from the same replicated state,
+//! with the same per-particle arithmetic (full j-range sums in index
+//! order).  This is the distributed analogue of the §3.4 block-FP
+//! order-independence oracle: which processor sums the forces is
+//! invisible in the bits.  What failover *does* cost is virtual time —
+//! the detection timeout and the survivors' larger shares — which lands
+//! in the per-rank clocks and in
+//! [`RunStats::recovery`](grape6_core::stats::RunStats) on every
+//! survivor.
+
+use grape6_core::integrator::HermiteIntegrator;
+use grape6_core::stats::RunStats;
+use grape6_net::fabric::run_ranks;
+use grape6_net::failover::{group_allgather, group_barrier, HeartbeatConfig, RankMonitor};
+use nbody_core::force::{DirectEngine, ForceEngine, ForceResult, IParticle, JParticle};
+use nbody_core::hermite::{aarseth_dt, correct, predict, HermiteState};
+use nbody_core::particle::ParticleSet;
+use nbody_core::Vec3;
+
+use crate::copy_algo::{CopyConfig, ParticleUpdate, UPDATE_BYTES};
+use crate::partition::owner_of;
+
+/// One rank's scheduled demise.
+#[derive(Clone, Copy, Debug)]
+pub struct RankDeath {
+    /// The rank that dies.
+    pub rank: usize,
+    /// The blockstep at whose start it exits (before sending that step's
+    /// heartbeat).
+    pub at_blockstep: u64,
+}
+
+/// Wire messages of the failover algorithm: heartbeats interleaved with
+/// the per-blockstep update exchange on the same per-peer FIFO channels.
+#[derive(Clone, Debug)]
+pub enum FailoverMsg {
+    /// A liveness beat carrying the monitor epoch.
+    Heartbeat(u64),
+    /// One rank's updated particles for the current blockstep.
+    Updates(Vec<ParticleUpdate>),
+}
+
+impl Default for FailoverMsg {
+    fn default() -> Self {
+        Self::Heartbeat(0)
+    }
+}
+
+/// Configuration of a failover run.
+#[derive(Clone, Debug, Default)]
+pub struct FailoverConfig {
+    /// The underlying copy-algorithm parameters.
+    pub copy: CopyConfig,
+    /// Missed-heartbeat policy.
+    pub heartbeat: HeartbeatConfig,
+    /// Scheduled rank deaths (empty = a plain, fault-free run).
+    pub deaths: Vec<RankDeath>,
+}
+
+/// Outcome of a failover run.
+pub struct FailoverRunResult {
+    /// Final particle state (identical on every survivor; the lowest
+    /// surviving rank's copy).
+    pub set: ParticleSet,
+    /// Blockstep statistics, including the recovery account (lowest
+    /// surviving rank's copy).
+    pub stats: RunStats,
+    /// Per-rank virtual clocks; `None` for ranks that died.
+    pub clocks: Vec<Option<f64>>,
+    /// Ranks alive at the end, ascending.
+    pub survivors: Vec<usize>,
+    /// Deaths as observed by the lowest surviving rank:
+    /// `(dead rank, blockstep at which it was declared)`.
+    pub deaths_detected: Vec<(usize, u64)>,
+}
+
+/// Integrate `set` to `t_end` on `p` ranks, surviving the scheduled
+/// deaths.  At least one rank must outlive the run.
+pub fn run_failover_parallel(
+    set: &ParticleSet,
+    p: usize,
+    t_end: f64,
+    cfg: &FailoverConfig,
+) -> FailoverRunResult {
+    let n = set.n();
+    let dying: Vec<usize> = cfg.deaths.iter().map(|d| d.rank).collect();
+    assert!(
+        (0..p).any(|r| !dying.contains(&r)),
+        "every rank is scheduled to die"
+    );
+    type RankOut = Option<(ParticleSet, RunStats, f64, Vec<(usize, u64)>)>;
+    let results = run_ranks::<FailoverMsg, RankOut, _>(p, cfg.copy.link, |mut ep| {
+        let rank = ep.rank();
+        let my_death = cfg
+            .deaths
+            .iter()
+            .filter(|d| d.rank == rank)
+            .map(|d| d.at_blockstep)
+            .min();
+        // Full replica + engine, initialised identically on every rank.
+        let it = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg.copy.integ);
+        let mut stats = RunStats::new();
+        let mut local = it.particles().clone();
+        let eps = it.epsilon();
+        let eps2 = eps * eps;
+        let mut engine = DirectEngine::new(n);
+        for i in 0..n {
+            engine.set_j_particle(i, &j_from(&local, i));
+        }
+        let mut mon = RankMonitor::new(rank, p, cfg.heartbeat);
+        let mut group = mon.group();
+        let mut deaths_detected: Vec<(usize, u64)> = Vec::new();
+        let mut t = 0.0f64;
+        let mut blockstep = 0u64;
+        while t < t_end {
+            if my_death == Some(blockstep) {
+                // Die silently: drop the endpoint without a word — the
+                // survivors must *detect* this, not be told.
+                return None;
+            }
+            // Heartbeat round; deaths re-form the topology before any
+            // work of this blockstep is partitioned.
+            let newly_dead = mon.exchange(&mut ep, FailoverMsg::Heartbeat, |m| match m {
+                FailoverMsg::Heartbeat(e) => Some(e),
+                FailoverMsg::Updates(_) => None,
+            });
+            if !newly_dead.is_empty() {
+                for &d in &newly_dead {
+                    deaths_detected.push((d, blockstep));
+                }
+                group = mon.group();
+                // The detection timeout is recovery cost, visible in the
+                // same account the supervisor uses.
+                stats.recovery.recovery_seconds += cfg.heartbeat.period
+                    * cfg.heartbeat.miss_budget as f64
+                    * newly_dead.len() as f64;
+                stats.recovery.redistributions += newly_dead.len() as u64;
+            }
+            let m = group.len();
+            let my_vrank = group.vrank(rank).expect("a live rank is in its own group");
+            let t_next = local.min_next_time();
+            engine.set_time(t_next);
+            // My share of the block: partition over the *survivor* set.
+            let mut updates: Vec<ParticleUpdate> = Vec::new();
+            let mut my_interactions = 0u64;
+            let mut block_len = 0usize;
+            for i in 0..n {
+                if local.t[i] + local.dt[i] != t_next {
+                    continue;
+                }
+                block_len += 1;
+                if owner_of(n, m, i) != my_vrank {
+                    continue;
+                }
+                let dt = t_next - local.t[i];
+                let s = HermiteState {
+                    pos: local.pos[i],
+                    vel: local.vel[i],
+                    acc: local.acc[i],
+                    jerk: local.jerk[i],
+                };
+                let (pp, pv) = predict(&s, Vec3::ZERO, dt);
+                let ip = [IParticle {
+                    pos: pp,
+                    vel: pv,
+                    eps2,
+                }];
+                let mut f = [ForceResult::default()];
+                engine.compute(&ip, &mut f);
+                my_interactions += n as u64;
+                let mut f1 = f[0];
+                if eps > 0.0 {
+                    f1.pot += local.mass[i] / eps;
+                }
+                let c = correct(&s, pp, pv, &f1, dt);
+                let want = aarseth_dt(f1.acc, f1.jerk, c.snap, c.crackle, cfg.copy.integ.eta);
+                let dt_new = cfg.copy.integ.grid.next_step(t_next, dt, want);
+                updates.push(ParticleUpdate {
+                    idx: i,
+                    pos: c.pos,
+                    vel: c.vel,
+                    acc: f1.acc,
+                    jerk: f1.jerk,
+                    snap: c.snap,
+                    crackle: c.crackle,
+                    pot: f1.pot,
+                    t: t_next,
+                    dt: dt_new,
+                });
+            }
+            ep.advance(
+                my_interactions as f64 * cfg.copy.t_pair
+                    + updates.len() as f64 * cfg.copy.t_host_step,
+            );
+            // Exchange over the survivor group only.
+            let bytes = (updates.len() * UPDATE_BYTES).max(8);
+            let all = group_allgather(&mut ep, &group, FailoverMsg::Updates(updates), bytes)
+                .expect("lossless fabric");
+            for batch in &all {
+                let FailoverMsg::Updates(us) = batch else {
+                    panic!("protocol violation: heartbeat where updates were due");
+                };
+                for u in us {
+                    apply_update(&mut local, u);
+                    engine.set_j_particle(u.idx, &j_from(&local, u.idx));
+                }
+            }
+            stats.record_block(block_len, t_next - t);
+            t = t_next;
+            blockstep += 1;
+        }
+        // Final alignment so the reported clocks are comparable.
+        group_barrier(&mut ep, &group).expect("lossless fabric");
+        Some((local, stats, ep.clock(), deaths_detected))
+    });
+    let clocks: Vec<Option<f64>> = results.iter().map(|r| r.as_ref().map(|x| x.2)).collect();
+    let survivors: Vec<usize> = results
+        .iter()
+        .enumerate()
+        .filter_map(|(r, x)| x.is_some().then_some(r))
+        .collect();
+    let first = results
+        .into_iter()
+        .flatten()
+        .next()
+        .expect("at least one rank survives");
+    FailoverRunResult {
+        set: first.0,
+        stats: first.1,
+        clocks,
+        survivors,
+        deaths_detected: first.3,
+    }
+}
+
+fn apply_update(set: &mut ParticleSet, u: &ParticleUpdate) {
+    set.pos[u.idx] = u.pos;
+    set.vel[u.idx] = u.vel;
+    set.acc[u.idx] = u.acc;
+    set.jerk[u.idx] = u.jerk;
+    set.snap[u.idx] = u.snap;
+    set.crackle[u.idx] = u.crackle;
+    set.pot[u.idx] = u.pot;
+    set.t[u.idx] = u.t;
+    set.dt[u.idx] = u.dt;
+}
+
+fn j_from(set: &ParticleSet, i: usize) -> JParticle {
+    JParticle {
+        mass: set.mass[i],
+        t0: set.t[i],
+        pos: set.pos[i],
+        vel: set.vel[i],
+        acc: set.acc[i],
+        jerk: set.jerk[i],
+        snap: set.snap[i],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use grape6_net::link::LinkProfile;
+    use nbody_core::diagnostics::energy;
+    use nbody_core::ic::plummer::plummer_model;
+    use nbody_core::softening::Softening;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn plummer(n: usize) -> ParticleSet {
+        plummer_model(n, &mut StdRng::seed_from_u64(77))
+    }
+
+    #[test]
+    fn fault_free_failover_run_matches_plain_copy_algorithm() {
+        let n = 32;
+        let set = plummer(n);
+        let cfg = FailoverConfig::default();
+        let a = run_failover_parallel(&set, 3, 0.125, &cfg);
+        let b = crate::copy_algo::run_copy_parallel(&set, 3, 0.125, &cfg.copy);
+        assert_eq!(a.set.pos, b.set.pos);
+        assert_eq!(a.set.vel, b.set.vel);
+        assert_eq!(a.survivors, vec![0, 1, 2]);
+        assert!(a.deaths_detected.is_empty());
+        assert_eq!(a.stats.recovery.recovery_seconds, 0.0);
+    }
+
+    #[test]
+    fn killing_one_of_four_ranks_keeps_the_bits_and_charges_recovery() {
+        let n = 40;
+        let set = plummer(n);
+        let mut cfg = FailoverConfig::default();
+        cfg.deaths = vec![RankDeath {
+            rank: 2,
+            at_blockstep: 5,
+        }];
+        let faulty = run_failover_parallel(&set, 4, 0.25, &cfg);
+        // Detection happened, at the scheduled blockstep.
+        assert_eq!(faulty.survivors, vec![0, 1, 3]);
+        assert_eq!(faulty.deaths_detected, vec![(2, 5)]);
+        assert!(faulty.clocks[2].is_none());
+        // Recovery cost is visible in RunStats.
+        assert!(faulty.stats.recovery.recovery_seconds > 0.0);
+        assert_eq!(faulty.stats.recovery.redistributions, 1);
+        // The continuation is bitwise identical to a fault-free run…
+        let clean = FailoverConfig::default();
+        let healthy = run_failover_parallel(&set, 4, 0.25, &clean);
+        assert_eq!(
+            faulty.set.pos, healthy.set.pos,
+            "positions must match bitwise"
+        );
+        assert_eq!(faulty.set.vel, healthy.set.vel);
+        assert_eq!(faulty.set.acc, healthy.set.acc);
+        assert_eq!(faulty.set.dt, healthy.set.dt);
+        assert_eq!(faulty.stats.particle_steps, healthy.stats.particle_steps);
+        // …and to the serial driver.
+        let mut serial = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg.copy.integ);
+        serial.run_until(0.25);
+        assert_eq!(faulty.set.pos, serial.particles().pos);
+    }
+
+    #[test]
+    fn survivors_pay_for_the_dead_ranks_share_in_virtual_time() {
+        let n = 36;
+        let set = plummer(n);
+        let mut cfg = FailoverConfig::default();
+        // An ideal link isolates the compute share: on a real link the
+        // *smaller* survivor ring can actually win back its extra work in
+        // saved latency rounds (the fig. 17 sync-dominance effect).
+        cfg.copy.link = LinkProfile::ideal();
+        cfg.deaths = vec![RankDeath {
+            rank: 1,
+            at_blockstep: 2,
+        }];
+        let faulty = run_failover_parallel(&set, 3, 0.25, &cfg);
+        let healthy_cfg = FailoverConfig {
+            copy: cfg.copy,
+            ..FailoverConfig::default()
+        };
+        let healthy = run_failover_parallel(&set, 3, 0.25, &healthy_cfg);
+        let slow =
+            |r: &FailoverRunResult| r.clocks.iter().flatten().cloned().fold(0.0f64, f64::max);
+        assert!(
+            slow(&faulty) > slow(&healthy),
+            "two survivors doing three ranks' work must take longer ({} vs {})",
+            slow(&faulty),
+            slow(&healthy)
+        );
+    }
+
+    #[test]
+    fn losing_two_ranks_still_conserves_energy() {
+        let n = 32;
+        let set = plummer(n);
+        let eps2 = Softening::Constant.epsilon2(n);
+        let e0 = energy(&set, eps2);
+        let mut cfg = FailoverConfig::default();
+        cfg.deaths = vec![
+            RankDeath {
+                rank: 0,
+                at_blockstep: 3,
+            },
+            RankDeath {
+                rank: 3,
+                at_blockstep: 8,
+            },
+        ];
+        let out = run_failover_parallel(&set, 4, 0.25, &cfg);
+        assert_eq!(out.survivors, vec![1, 2]);
+        let e1 = energy(&out.set, eps2);
+        let err = ((e1.total() - e0.total()) / e0.total()).abs();
+        assert!(err < 5e-4, "energy error {err:e}");
+    }
+}

@@ -346,6 +346,17 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
             .map(|(c, _)| c.alive_chips())
             .sum()
     }
+
+    fn pass_count(&self) -> u64 {
+        self.passes
+    }
+
+    fn restore_pass_count(&mut self, passes: u64) {
+        self.passes = passes;
+        for c in &mut self.children {
+            c.restore_pass_count(passes);
+        }
+    }
 }
 
 #[cfg(test)]

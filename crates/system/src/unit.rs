@@ -135,6 +135,22 @@ pub trait GrapeUnit: Send {
     fn alive_chips(&self) -> usize {
         0
     }
+
+    /// Compute passes issued to this unit so far.  Scheduled transient
+    /// reduction glitches run on this clock, so checkpoint/restart must
+    /// carry it across; leaves have no pass-scheduled faults and report 0.
+    fn pass_count(&self) -> u64 {
+        0
+    }
+
+    /// Overwrite the pass counter (checkpoint restore).  The restore path
+    /// rebuilds the machine from its fault plan — which re-runs the
+    /// power-on self-test and its passes — then rewinds this clock to the
+    /// captured value so `AtPasses` fault schedules fire on the same
+    /// passes they would have in the uninterrupted run.
+    fn restore_pass_count(&mut self, passes: u64) {
+        let _ = passes;
+    }
 }
 
 /// A single chip is the leaf of the hierarchy.

@@ -58,6 +58,14 @@ pub enum Phase {
     Recv,
     /// Congestion backoff charged on a retried delivery.
     Backoff,
+    /// A mid-run known-answer self-test pass (recovery ladder rung 2) —
+    /// pipeline time spent proving the hardware, not computing forces.
+    Selftest,
+    /// A full j-memory reload (redistribution after masking, checkpoint
+    /// restore) — interface traffic.
+    Reload,
+    /// Writing or restoring a checkpoint — host-side work.
+    Ckpt,
 }
 
 impl Phase {
@@ -68,9 +76,13 @@ impl Phase {
             Phase::Predict | Phase::Host => Some(Term::Host),
             Phase::Dma => Some(Term::Dma),
             Phase::Interface => Some(Term::Interface),
-            Phase::Grape | Phase::WidenRetry | Phase::SanityRecompute => Some(Term::Grape),
+            Phase::Grape | Phase::WidenRetry | Phase::SanityRecompute | Phase::Selftest => {
+                Some(Term::Grape)
+            }
             Phase::Sync => Some(Term::Sync),
             Phase::Exchange => Some(Term::Exchange),
+            Phase::Reload => Some(Term::Interface),
+            Phase::Ckpt => Some(Term::Host),
             Phase::BoardPass | Phase::Send | Phase::Recv | Phase::Backoff => None,
         }
     }
@@ -91,6 +103,9 @@ impl Phase {
             Phase::Send => "send",
             Phase::Recv => "recv",
             Phase::Backoff => "backoff",
+            Phase::Selftest => "selftest",
+            Phase::Reload => "reload",
+            Phase::Ckpt => "ckpt",
         }
     }
 }
@@ -163,6 +178,9 @@ mod tests {
             Phase::Send,
             Phase::Recv,
             Phase::Backoff,
+            Phase::Selftest,
+            Phase::Reload,
+            Phase::Ckpt,
         ];
         for p in all {
             assert!(!p.name().is_empty());
@@ -175,6 +193,10 @@ mod tests {
         // Retry flavours are pipeline time.
         assert_eq!(Phase::WidenRetry.term(), Some(Term::Grape));
         assert_eq!(Phase::SanityRecompute.term(), Some(Term::Grape));
+        // Recovery work folds into the terms of the hardware it occupies.
+        assert_eq!(Phase::Selftest.term(), Some(Term::Grape));
+        assert_eq!(Phase::Reload.term(), Some(Term::Interface));
+        assert_eq!(Phase::Ckpt.term(), Some(Term::Host));
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //!   operation counters and reports
 //! * [`chip`] — the GRAPE-6 processor chip (force + predictor pipelines)
 //! * [`system`] — modules, boards, network boards, clusters
+//! * [`ckpt`] — versioned, digest-guarded checkpoints for bitwise resume
 //! * [`core`] — the host library and the Hermite block-timestep integrator
 //! * [`net`] — the simulated Gigabit-Ethernet interconnect
 //! * [`parallel`] — the copy / ring / 2-D grid / multi-cluster algorithms
@@ -25,6 +26,7 @@ pub use bh_tree as tree;
 pub use grape4 as g4;
 pub use grape6_arith as arith;
 pub use grape6_chip as chip;
+pub use grape6_ckpt as ckpt;
 pub use grape6_core as core;
 pub use grape6_fault as fault;
 pub use grape6_model as model;

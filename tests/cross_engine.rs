@@ -110,8 +110,9 @@ fn all_three_softenings_run_and_conserve() {
 #[test]
 fn smaller_softening_resolves_shorter_timescales() {
     // The fig. 15 mechanism at the integration level: ε = 4/N produces a
-    // finer timestep floor than ε = 1/64 on the same realisation.
-    let n = 128;
+    // finer timestep floor than ε = 1/64 on the same realisation.  That
+    // only holds where 4/N < 1/64, i.e. N > 256.
+    let n = 512;
     let dt_min_for = |soft: Softening| -> f64 {
         let set = plummer_model(n, &mut StdRng::seed_from_u64(104));
         let cfg = IntegratorConfig {
