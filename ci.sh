@@ -18,6 +18,18 @@ cargo clippy --all-targets --locked -- -D warnings
 echo "==> cargo doc --no-deps --locked (warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --locked --quiet
 
+echo "==> schedule bitwise suite across the rayon thread matrix"
+# The §3.4 reproducibility gate must hold for any worker count: pin one
+# thread, then repeat with the environment default (all cores — a no-op
+# under the offline sequential rayon stub, the real matrix on CI hosts).
+RAYON_NUM_THREADS=1 cargo test -q --locked --test overlap_bitwise
+cargo test -q --locked --test overlap_bitwise
+
+echo "==> overlap bench smoke (release): serial vs parallel vs overlapped"
+# Verifies the three schedules are bitwise identical (exit 1 otherwise)
+# and emits BENCH_overlap.json with the per-schedule walls.
+cargo run --release --locked -p grape6-bench --bin overlap_bench -- 96 16 2
+
 echo "==> example smoke tests (release)"
 cargo run --release --locked --example quickstart
 cargo run --release --locked --example fault_tour

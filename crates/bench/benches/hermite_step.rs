@@ -31,7 +31,7 @@ fn bench_direct_steps(c: &mut Criterion) {
 fn bench_grape_steps(c: &mut Criterion) {
     let n = 256;
     let set = plummer_model(n, &mut StdRng::seed_from_u64(12));
-    let engine = Grape6Engine::new(&MachineConfig::test_small(), n);
+    let engine = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
     let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
     for _ in 0..16 {
         it.step();

@@ -108,20 +108,22 @@ fn main() {
         eng.compute(&probes, &mut out);
         out
     };
-    let mut g6a = Grape6Engine::new(
+    let mut g6a = Grape6Engine::try_new(
         &MachineConfig {
             boards: 1,
             ..MachineConfig::test_small()
         },
         n,
-    );
-    let mut g6b = Grape6Engine::new(
+    )
+    .unwrap();
+    let mut g6b = Grape6Engine::try_new(
         &MachineConfig {
             boards: 4,
             ..MachineConfig::test_small()
         },
         n,
-    );
+    )
+    .unwrap();
     let mut g4a = Grape4Engine::new(
         &Grape4Config {
             boards: 1,

@@ -1,0 +1,102 @@
+//! Overlap/parallelism schedule comparison — `BENCH_overlap.json`.
+//!
+//! Runs the same Plummer integration three times — serial board walk with
+//! blocking blocksteps, rayon-parallel walk with blocking blocksteps, and
+//! rayon-parallel walk with split-phase overlapped blocksteps — verifies
+//! the three land on bitwise-identical particle state (§3.4), and reports
+//! real wall-clock, measured virtual wall, and the analytic
+//! `BlockTime::wall(mode)` prediction per schedule.
+//!
+//! Speedups are **reported, not asserted**: on a single-core host (or
+//! under the offline sequential rayon stub) the parallel walk cannot win
+//! real time.  The virtual-time overlap gain is host-independent — it is
+//! the simulated hardware schedule — and is what the acceptance gate in
+//! `tests/overlap_bitwise.rs` checks.
+//!
+//! Usage: `overlap_bench [N] [BLOCKSTEPS] [BOARDS]`
+//! (defaults 192 / 32 / 4 — CI-sized; the paper-scale point is
+//! `overlap_bench 8192 100 4` on a multi-core host).
+//!
+//! Output: prints a table and writes `BENCH_overlap.json` to the current
+//! directory.
+
+use grape6_bench::overlap::run_overlap_bench;
+use grape6_bench::print_table;
+use grape6_system::machine::MachineConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(192);
+    let blocksteps: usize = args
+        .next()
+        .map(|a| a.parse().expect("BLOCKSTEPS must be an integer"))
+        .unwrap_or(32);
+    let boards: usize = args
+        .next()
+        .map(|a| a.parse().expect("BOARDS must be an integer"))
+        .unwrap_or(4);
+
+    // A scaled multi-board machine (big enough that the board walk has
+    // real width, small enough that the bit-level simulator stays
+    // CI-affordable).  Capacity scales with the board count.
+    let machine = MachineConfig::builder()
+        .boards(boards)
+        .modules_per_board(2)
+        .chips_per_module(2)
+        .jmem_capacity((n.div_ceil(4 * boards).max(64)).next_power_of_two())
+        .build()
+        .expect("valid bench machine");
+
+    let report = run_overlap_bench(&machine, n, blocksteps, 2003);
+
+    let row = |s: &grape6_bench::overlap::ScheduleResult| {
+        vec![
+            s.label.to_string(),
+            format!("{:.3}", s.wall_seconds),
+            format!("{:.4e}", s.virtual_wall),
+            format!("{:.4e}", s.model_wall),
+            format!("{:.4e}", s.measured.total()),
+            format!("{:016x}", s.state_hash),
+        ]
+    };
+    print_table(
+        &format!("Overlap bench — N={n}, {boards} boards, {blocksteps} blocksteps"),
+        &[
+            "schedule",
+            "wall [s]",
+            "virtual wall [s]",
+            "model wall [s]",
+            "term sum [s]",
+            "state hash",
+        ],
+        &[
+            row(&report.serial),
+            row(&report.parallel),
+            row(&report.overlapped),
+        ],
+    );
+    println!(
+        "\nbitwise identical: {}   parallel speedup: {:.2}x   overlap speedup: {:.2}x   \
+         virtual overlap gain: {:.3}x",
+        report.bitwise_identical(),
+        report.parallel_speedup(),
+        report.overlap_speedup(),
+        report.virtual_overlap_gain(),
+    );
+    println!(
+        "(real speedups need a multi-core host with real rayon; the virtual gain is \
+         the simulated hardware schedule and holds everywhere)"
+    );
+
+    if !report.bitwise_identical() {
+        eprintln!("ERROR: schedules diverged bitwise — §3.4 reproducibility violated");
+        std::process::exit(1);
+    }
+
+    std::fs::write("BENCH_overlap.json", report.to_json() + "\n")
+        .expect("write BENCH_overlap.json");
+    println!("\nwrote BENCH_overlap.json");
+}

@@ -94,7 +94,7 @@ fn scaled_run(
         ..Default::default()
     };
     let (steps, blocks, err, engine_name) = if use_grape {
-        let engine = Grape6Engine::new(&MachineConfig::single_board(), n);
+        let engine = Grape6Engine::try_new(&MachineConfig::single_board(), n).unwrap();
         let mut it = HermiteIntegrator::new(engine, set, cfg);
         it.run_until(t_end);
         let e1 = energy(&it.synchronized_snapshot(), eps2);

@@ -38,7 +38,7 @@ use grape6_net::fabric::{run_ranks, Endpoint};
 use grape6_net::link::LinkProfile;
 use grape6_system::machine::MachineConfig;
 use grape6_system::unit::GrapeUnit;
-use grape6_trace::{HostRates, MeasuredBlockTime, Phase, Span, SpanCounters, Tracer};
+use grape6_trace::{HostRates, MeasuredBlockTime, OverlapMode, Phase, Span, SpanCounters, Tracer};
 use nbody_core::ic::plummer::plummer_model;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -83,6 +83,12 @@ pub struct BreakdownRun {
     pub measured: MeasuredBlockTime,
     /// Analytic terms for the same real block-size sequence, summed.
     pub model: BlockTime,
+    /// Analytic *wall* for the same sequence — per step
+    /// `BlockTime::wall(overlap)`, summed.  Equals `model.total()` under
+    /// the sequential schedule; smaller when overlapped.
+    pub model_wall: f64,
+    /// The schedule this run executed (and the model wall assumed).
+    pub overlap: OverlapMode,
     /// Per-rank span streams (for Chrome-trace export).
     pub streams: Vec<(String, Vec<Span>)>,
 }
@@ -104,14 +110,20 @@ impl BreakdownRun {
             .collect();
         format!(
             "{{\"layout\":\"{}\",\"n\":{},\"blocksteps\":{},\"particle_steps\":{},\
-             \"measured\":{},\"model\":{{{},\"total\":{:e}}}}}",
+             \"overlap\":\"{}\",\
+             \"measured\":{},\"model\":{{{},\"total\":{:e},\"wall\":{:e}}}}}",
             self.layout.label(),
             self.n,
             self.blocksteps,
             self.particle_steps,
+            match self.overlap {
+                OverlapMode::Sequential => "sequential",
+                OverlapMode::Overlapped => "overlapped",
+            },
             self.measured.to_json(),
             model_body.join(","),
             self.model.total(),
+            self.model_wall,
         )
     }
 }
@@ -167,11 +179,36 @@ fn measure_single_host(
     t_end: f64,
     seed: u64,
 ) -> BreakdownRun {
+    measure_single_host_mode(model, machine, n, t_end, seed, OverlapMode::Sequential)
+}
+
+/// Single host with an explicit schedule: the sequential (blocking) or
+/// the split-phase overlapped blockstep.  The six term *sums* are
+/// schedule-independent — the same spans are recorded either way, only
+/// their timeline layout changes — so the model-vs-measured per-term
+/// gates apply unchanged; the measured `wall` (and the analytic
+/// `model_wall`) is what the overlap shrinks.
+pub fn measure_single_host_mode(
+    model: &PerfModel,
+    machine: &MachineConfig,
+    n: usize,
+    t_end: f64,
+    seed: u64,
+    overlap: OverlapMode,
+) -> BreakdownRun {
     let layout = MachineLayout::SingleHost;
     let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
-    let engine = Grape6Engine::new(machine, n);
-    let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
-    it.engine_mut().set_timebase(model.grape.engine_timebase());
+    let engine = Grape6Engine::try_new(machine, n).unwrap();
+    let icfg = IntegratorConfig {
+        overlap: overlap == OverlapMode::Overlapped,
+        ..IntegratorConfig::default()
+    };
+    let mut it = HermiteIntegrator::new(engine, set, icfg);
+    let tb = match overlap {
+        OverlapMode::Sequential => model.grape.engine_timebase(),
+        OverlapMode::Overlapped => model.grape.engine_timebase_overlapped(),
+    };
+    it.engine_mut().set_timebase(tb);
     it.engine_mut().set_tracer(Tracer::enabled());
     it.set_tracer(Tracer::enabled());
     it.set_host_rates(HostRates {
@@ -180,14 +217,17 @@ fn measure_single_host(
     });
     let mut measured = MeasuredBlockTime::default();
     let mut model_sum = BlockTime::default();
+    let mut model_wall = 0.0f64;
     let mut all_spans = Vec::new();
     let mut blocksteps = 0usize;
     while it.time() < t_end {
-        let (_, n_b) = it.step();
+        let (_, n_b) = it.try_step_auto().expect("healthy hardware");
         let spans = it.take_spans();
         measured.add(&MeasuredBlockTime::from_spans(&spans));
         all_spans.extend(spans);
-        add_block_time(&mut model_sum, &model.block_time(layout, n, n_b));
+        let bt = model.block_time(layout, n, n_b);
+        add_block_time(&mut model_sum, &bt);
+        model_wall += bt.wall(overlap);
         blocksteps += 1;
     }
     BreakdownRun {
@@ -197,6 +237,8 @@ fn measure_single_host(
         particle_steps: it.stats().particle_steps,
         measured,
         model: model_sum,
+        model_wall,
+        overlap,
         streams: vec![("host".into(), all_spans)],
     }
 }
@@ -287,7 +329,7 @@ fn measure_ranks(
         // arithmetic means identical blockstep schedules, so the fabric
         // carries only timing (empty payloads with explicit wire bytes).
         let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
-        let engine = Grape6Engine::new(machine, n);
+        let engine = Grape6Engine::try_new(machine, n).unwrap();
         let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
         ep.set_tracer(Tracer::enabled());
         let mut tracer = Tracer::enabled();
@@ -414,8 +456,11 @@ fn measure_ranks(
         measured.add(&worst);
     }
     let mut model_sum = BlockTime::default();
+    let mut model_wall = 0.0f64;
     for &n_b in &results[0].1 {
-        add_block_time(&mut model_sum, &model.block_time(layout, n, n_b));
+        let bt = model.block_time(layout, n, n_b);
+        add_block_time(&mut model_sum, &bt);
+        model_wall += bt.wall(OverlapMode::Sequential);
     }
     let streams_out = results
         .iter()
@@ -429,6 +474,8 @@ fn measure_ranks(
         particle_steps: results[0].2,
         measured,
         model: model_sum,
+        model_wall,
+        overlap: OverlapMode::Sequential,
         streams: streams_out,
     }
 }

@@ -160,8 +160,11 @@ pub fn chaos_run(seed: u64, cfg: &ChaosConfig) -> ChaosOutcome {
     // The reference: the same system on a *healthy* machine, no
     // supervisor.  The §3.4 oracle says every recovered run below must
     // reproduce these bits exactly.
-    let mut healthy =
-        HermiteIntegrator::new(Grape6Engine::new(&cfg.machine, cfg.n), set0.clone(), icfg);
+    let mut healthy = HermiteIntegrator::new(
+        Grape6Engine::try_new(&cfg.machine, cfg.n).unwrap(),
+        set0.clone(),
+        icfg,
+    );
     healthy.run_until(cfg.t_end);
 
     // Scenario 1: the faulted run, supervised end to end.

@@ -11,6 +11,7 @@
 //! | `fig17` | 4/8/16-node (1/2/4-cluster) speed |
 //! | `fig18` | 16-node time per step + model |
 //! | `fig19` | NS83820+Athlon vs 82540EM+P4 |
+//! | `overlap_bench` | serial/parallel/overlapped schedule comparison (`BENCH_overlap.json`) |
 //! | `table_apps` | §5 application runs (Kuiper belt, binary BH) |
 //! | `table_treecode` | §5 treecode comparison (particle-steps/s) |
 //! | `calibrate` | re-measures the block statistics the model extrapolates |
@@ -22,6 +23,7 @@
 
 pub mod breakdown;
 pub mod chaos;
+pub mod overlap;
 
 use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::BlockStatsModel;

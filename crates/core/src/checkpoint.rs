@@ -231,7 +231,7 @@ mod tests {
 
     fn integ(n: usize, seed: u64) -> HermiteIntegrator<Grape6Engine> {
         let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
-        let engine = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let engine = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
         HermiteIntegrator::new(engine, set, IntegratorConfig::default())
     }
 

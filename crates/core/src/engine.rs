@@ -101,6 +101,11 @@ impl Grape6Engine {
     /// self-test — construction is free, as the tests' cycle accounting
     /// expects).  Panics on oversubscription; [`Grape6Engine::try_new`] is
     /// the typed-error twin.
+    #[deprecated(
+        since = "0.7.0",
+        note = "panics on oversubscription; use `Grape6Engine::try_new` and handle \
+                the typed `EngineError::InsufficientCapacity`"
+    )]
     pub fn new(cfg: &MachineConfig, n_particles: usize) -> Self {
         match Self::try_new(cfg, n_particles) {
             Ok(e) => e,
@@ -290,6 +295,21 @@ impl Grape6Engine {
         for s in spans {
             self.tracer.record(s);
         }
+    }
+
+    /// Switch the board/module/chip walk between the rayon-parallel and
+    /// the serial schedule (default: parallel).  §3.4 block floating-point
+    /// summation makes the two bitwise identical — the partial forces are
+    /// collected per child and merged in a fixed order either way — so
+    /// this only changes *how* the simulated hardware is walked, never
+    /// what it returns.
+    pub fn set_board_parallel(&mut self, parallel: bool) {
+        self.hw.set_parallel(parallel);
+    }
+
+    /// Whether the hardware walk currently uses the parallel schedule.
+    pub fn board_parallel(&self) -> bool {
+        self.hw.is_parallel()
     }
 
     /// Total pipeline cycles consumed (critical path).
@@ -909,7 +929,7 @@ mod tests {
 
     fn engines(n: usize) -> (Grape6Engine, DirectEngine) {
         let js = scattered(n);
-        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let mut g = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
         let mut d = DirectEngine::new(n);
         for (k, j) in js.iter().enumerate() {
             g.set_j_particle(k, j);
@@ -951,7 +971,7 @@ mod tests {
         // Force magnitudes far above the initial unit guess: the engine
         // must retry and still return the right answer.
         let n = 4;
-        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let mut g = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
         let mut d = DirectEngine::new(n);
         for k in 0..n {
             let p = JParticle {
@@ -1010,7 +1030,7 @@ mod tests {
     fn hardware_neighbour_lists_match_brute_force() {
         let n = 120;
         let js = scattered(n);
-        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let mut g = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
         for (k, j) in js.iter().enumerate() {
             g.set_j_particle(k, j);
         }
@@ -1047,7 +1067,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "fixed-point box")]
     fn out_of_box_particle_rejected() {
-        let mut g = Grape6Engine::new(&MachineConfig::test_small(), 4);
+        let mut g = Grape6Engine::try_new(&MachineConfig::test_small(), 4).unwrap();
         g.set_j_particle(
             0,
             &JParticle {
@@ -1060,7 +1080,10 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "exceeds machine capacity")]
+    #[allow(deprecated)]
     fn oversubscription_rejected() {
+        // The deprecated panicking constructor keeps its contract for
+        // legacy callers; new code goes through `try_new`.
         let cfg = MachineConfig::test_small(); // 4 chips × 2048
         Grape6Engine::new(&cfg, 10_000);
     }
@@ -1071,7 +1094,7 @@ mod tests {
         // are infinite, so no amount of window widening converges and the
         // engine must return ExponentDivergence — not panic.
         let n = 2;
-        let mut g = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let mut g = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
         for k in 0..n {
             g.set_j_particle(
                 k,
@@ -1110,7 +1133,7 @@ mod tests {
         let cfg = MachineConfig::test_small(); // 1 board × 2 modules × 2 chips
         let plan = FaultPlan::none().with_dead_module(0, 1);
         let mut faulty = Grape6Engine::with_fault_plan(&cfg, n, &plan).unwrap();
-        let mut clean = Grape6Engine::new(&cfg, n);
+        let mut clean = Grape6Engine::try_new(&cfg, n).unwrap();
         // Self-test found and masked the dead module before any particles
         // were loaded.
         let st = faulty.self_test_report().unwrap();
@@ -1175,7 +1198,7 @@ mod tests {
         // Glitch the host-port reduction on its 1st and 3rd passes.
         let plan = FaultPlan::none().with_reduction_glitches(vec![1, 3]);
         let mut faulty = Grape6Engine::with_fault_plan(&cfg, n, &plan).unwrap();
-        let mut clean = Grape6Engine::new(&cfg, n);
+        let mut clean = Grape6Engine::try_new(&cfg, n).unwrap();
         for (k, j) in js.iter().enumerate() {
             faulty.set_j_particle(k, j);
             clean.set_j_particle(k, j);

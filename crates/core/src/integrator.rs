@@ -23,7 +23,7 @@
 use grape6_trace::{HostRates, Phase, Span, SpanCounters, Tracer};
 use nbody_core::blockstep::TimeGrid;
 use nbody_core::force::{EngineError, ForceEngine, ForceResult, IParticle, JParticle};
-use nbody_core::hermite::{aarseth_dt, correct, predict, startup_dt, HermiteState};
+use nbody_core::hermite::{aarseth_dt, correct, predict, startup_dt, Corrected, HermiteState};
 use nbody_core::particle::ParticleSet;
 use nbody_core::softening::Softening;
 use nbody_core::Vec3;
@@ -47,6 +47,15 @@ pub struct IntegratorConfig {
     /// implicit (time-symmetric) Hermite solution at the price of one
     /// extra GRAPE call per step.
     pub pec_iterations: usize,
+    /// Run the blockstep split-phase: pipeline the block through the
+    /// engine in `I_PARALLELISM`-wide chunks on a worker thread while the
+    /// host corrects the previous chunk ([`HermiteIntegrator::try_step_overlapped`]).
+    /// Bitwise identical to the blocking schedule — §3.4 block-FP
+    /// reduction plus per-particle corrections that read only their own
+    /// pre-step state — but the wall clock pays `max(host, grape)`
+    /// instead of the sum.  [`HermiteIntegrator::try_step_auto`]
+    /// dispatches on this flag.
+    pub overlap: bool,
 }
 
 impl Default for IntegratorConfig {
@@ -57,6 +66,7 @@ impl Default for IntegratorConfig {
             softening: Softening::Constant,
             grid: TimeGrid::default(),
             pec_iterations: 1,
+            overlap: false,
         }
     }
 }
@@ -273,40 +283,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
     /// mutation so far is `set_time` (re-issued on the next attempt) — so
     /// a supervisor can retry the step after repairing the engine.
     pub fn try_step(&mut self) -> Result<(f64, usize), EngineError> {
-        let set = &mut self.set;
-        // 1. Block selection.
-        let t_next = set.min_next_time();
-        debug_assert!(t_next > self.t, "time must advance");
-        self.block.clear();
-        for i in 0..set.n() {
-            if set.t[i] + set.dt[i] == t_next {
-                self.block.push(i);
-            }
-        }
-        debug_assert!(!self.block.is_empty());
-        // 2. Host-side prediction of the block's i-particles.
-        self.iparts.clear();
-        for &i in &self.block {
-            let s = HermiteState {
-                pos: set.pos[i],
-                vel: set.vel[i],
-                acc: set.acc[i],
-                jerk: set.jerk[i],
-            };
-            let (pp, pv) = predict(&s, Vec3::ZERO, t_next - set.t[i]);
-            self.iparts.push(IParticle {
-                pos: pp,
-                vel: pv,
-                eps2: self.eps2,
-            });
-        }
-        // Charge the prediction loop as the leading half of the model's
-        // per-particle host work (t_host = t_fixed + n_b·t_step, split
-        // half before / half after the GRAPE call).
-        if let Some(r) = self.host_rates {
-            let n_b = self.block.len();
-            self.trace_host(Phase::Predict, 0.5 * r.t_step * n_b as f64, n_b as u64);
-        }
+        let t_next = self.select_and_predict();
         let set = &mut self.set;
         // 3. Engine force evaluation at the block time.
         self.engine.set_time(t_next);
@@ -367,13 +344,59 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
                 n_b as u64,
             );
         }
+        Ok(self.finish_step(t_next))
+    }
+
+    /// Block selection and host-side prediction shared by the blocking
+    /// and split-phase steps: fills `self.block` and `self.iparts`,
+    /// records the Predict span, returns the block time.
+    fn select_and_predict(&mut self) -> f64 {
+        let set = &self.set;
+        // 1. Block selection.
+        let t_next = set.min_next_time();
+        debug_assert!(t_next > self.t, "time must advance");
+        self.block.clear();
+        for i in 0..set.n() {
+            if set.t[i] + set.dt[i] == t_next {
+                self.block.push(i);
+            }
+        }
+        debug_assert!(!self.block.is_empty());
+        // 2. Host-side prediction of the block's i-particles.
+        self.iparts.clear();
+        for &i in &self.block {
+            let s = HermiteState {
+                pos: set.pos[i],
+                vel: set.vel[i],
+                acc: set.acc[i],
+                jerk: set.jerk[i],
+            };
+            let (pp, pv) = predict(&s, Vec3::ZERO, t_next - set.t[i]);
+            self.iparts.push(IParticle {
+                pos: pp,
+                vel: pv,
+                eps2: self.eps2,
+            });
+        }
+        // Charge the prediction loop as the leading half of the model's
+        // per-particle host work (t_host = t_fixed + n_b·t_step, split
+        // half before / half after the GRAPE call).
+        if let Some(r) = self.host_rates {
+            let n_b = self.block.len();
+            self.trace_host(Phase::Predict, 0.5 * r.t_step * n_b as f64, n_b as u64);
+        }
+        t_next
+    }
+
+    /// Record the completed blockstep and advance the system time.
+    fn finish_step(&mut self, t_next: f64) -> (f64, usize) {
         let n_b = self.block.len();
         let dt_block = t_next - self.t;
         self.stats
             .record_block(n_b, dt_block.max(f64::MIN_POSITIVE));
         self.stats.faults = self.engine.fault_counters();
         self.t = t_next;
-        Ok((t_next, n_b))
+        (t_next, n_b)
     }
 
     /// Advance until system time reaches `t_end` (the last block lands
@@ -402,6 +425,170 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             snap.t[i] = self.t;
         }
         snap
+    }
+}
+
+impl<E: ForceEngine + Send> HermiteIntegrator<E> {
+    /// Dispatch one blockstep according to [`IntegratorConfig::overlap`]:
+    /// the split-phase schedule when set, the blocking one otherwise.
+    pub fn try_step_auto(&mut self) -> Result<(f64, usize), EngineError> {
+        if self.cfg.overlap {
+            self.try_step_overlapped()
+        } else {
+            self.try_step()
+        }
+    }
+
+    /// Execute one blockstep **split-phase**: the block is pipelined
+    /// through the engine in `I_PARALLELISM`-wide chunks on a worker
+    /// thread while the host corrects the chunk whose forces just landed
+    /// — the `g6calc_firsthalf`/`g6calc_lasthalf` overlap of the real
+    /// host library, at blockstep granularity.
+    ///
+    /// Bitwise identical to [`HermiteIntegrator::try_step`]:
+    ///
+    /// * the engine sees the *same* sequence of 48-wide chunks it would
+    ///   have cut internally, so every hardware pass (and the §3.4
+    ///   block-FP reduction inside it) is unchanged;
+    /// * each particle's correction reads only that particle's own
+    ///   pre-step state and its freshly-computed force, so computing it
+    ///   early (while later chunks are still on the engine) changes
+    ///   nothing;
+    /// * corrections are *staged* and applied in block order after every
+    ///   chunk has succeeded — on `Err` the particle state is untouched,
+    ///   the same retry contract as the blocking step.
+    ///
+    /// Only the virtual-time schedule differs: per-chunk host spans start
+    /// at the engine's pass-start cursor, so host and engine spans share
+    /// stretches of the timeline and the measured wall shrinks towards
+    /// `max(host, engine)` ([`grape6_trace::OverlapMode::Overlapped`]).
+    ///
+    /// With `pec_iterations > 1` the force is re-evaluated at the
+    /// corrected state, so there is no host work to hide; the step falls
+    /// back to the blocking schedule.
+    pub fn try_step_overlapped(&mut self) -> Result<(f64, usize), EngineError> {
+        if self.cfg.pec_iterations.max(1) > 1 {
+            return self.try_step();
+        }
+        let t_next = self.select_and_predict();
+        let n_b = self.block.len();
+        self.forces.resize(n_b, ForceResult::default());
+        self.engine.set_time(t_next);
+        let chunk = grape6_system::unit::I_PARALLELISM;
+        // Corrections staged out of the loop, applied only once the whole
+        // block has computed.
+        let mut staged: Vec<(ForceResult, Corrected)> = Vec::with_capacity(n_b);
+        let mut corrected = 0usize; // block[..corrected] staged
+        {
+            let engine = &mut self.engine;
+            let set = &self.set;
+            let block = &self.block;
+            let iparts = &self.iparts;
+            let forces = &mut self.forces[..];
+            let eps = self.eps;
+            let mut done = 0usize; // forces ready for block[..done]
+            while done < n_b {
+                let end = (done + chunk).min(n_b);
+                let (head, tail) = forces.split_at_mut(done);
+                let out = &mut tail[..end - done];
+                let in_chunk = &iparts[done..end];
+                let head = &*head;
+                let h0 = engine.vt();
+                let eng = &mut *engine;
+                let result = std::thread::scope(|s| {
+                    let worker = s.spawn(move || eng.try_compute(in_chunk, out));
+                    // Host side of the split phase: correct the previous
+                    // chunk while the engine crunches this one.
+                    for k in corrected..done {
+                        let i = block[k];
+                        let dt = t_next - set.t[i];
+                        let f1 = corrected_pot(&head[k], set.mass[i], eps);
+                        let s0 = HermiteState {
+                            pos: set.pos[i],
+                            vel: set.vel[i],
+                            acc: set.acc[i],
+                            jerk: set.jerk[i],
+                        };
+                        let c = correct(&s0, iparts[k].pos, iparts[k].vel, &f1, dt);
+                        staged.push((f1, c));
+                    }
+                    worker
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                });
+                result?;
+                // The corrections above ran during the engine's pass:
+                // record them from the pass-start cursor and advance the
+                // shared clock to whichever side finished last.
+                if corrected < done {
+                    if let Some(r) = self.host_rates {
+                        if self.tracer.is_active() {
+                            let items = (done - corrected) as u64;
+                            let dur = 0.5 * r.t_step * (done - corrected) as f64;
+                            self.tracer.record(Span {
+                                phase: Phase::Host,
+                                t0: h0,
+                                t1: h0 + dur,
+                                track: 0,
+                                counters: SpanCounters {
+                                    items,
+                                    ..Default::default()
+                                },
+                            });
+                            let vt = engine.vt();
+                            engine.set_vt(vt.max(h0 + dur));
+                        }
+                    }
+                }
+                corrected = done;
+                done = end;
+            }
+        }
+        // The final chunk's corrections have no later pass to hide
+        // behind; stage them now (still before any state mutation).
+        let tail_len = n_b - corrected;
+        for k in corrected..n_b {
+            let i = self.block[k];
+            let dt = t_next - self.set.t[i];
+            let f1 = corrected_pot(&self.forces[k], self.set.mass[i], self.eps);
+            let s0 = HermiteState {
+                pos: self.set.pos[i],
+                vel: self.set.vel[i],
+                acc: self.set.acc[i],
+                jerk: self.set.jerk[i],
+            };
+            let c = correct(&s0, self.iparts[k].pos, self.iparts[k].vel, &f1, dt);
+            staged.push((f1, c));
+        }
+        // Apply in block order and write back — identical mutation
+        // sequence to the blocking step.
+        for (k, (f1, c)) in staged.iter().enumerate() {
+            let i = self.block[k];
+            let set = &mut self.set;
+            let dt = t_next - set.t[i];
+            set.pos[i] = c.pos;
+            set.vel[i] = c.vel;
+            set.acc[i] = f1.acc;
+            set.jerk[i] = f1.jerk;
+            set.snap[i] = c.snap;
+            set.crackle[i] = c.crackle;
+            set.pot[i] = f1.pot;
+            set.t[i] = t_next;
+            let want = aarseth_dt(f1.acc, f1.jerk, c.snap, c.crackle, self.cfg.eta);
+            set.dt[i] = self.cfg.grid.next_step(t_next, dt, want);
+            self.engine.set_j_particle(i, &j_of(&self.set, i));
+        }
+        // Trailing, non-hideable host work: fixed per-block overhead plus
+        // the last chunk's corrections (the term *sums* match the
+        // blocking step exactly; only the timeline layout differs).
+        if let Some(r) = self.host_rates {
+            self.trace_host(
+                Phase::Host,
+                r.t_block_fixed + 0.5 * r.t_step * tail_len as f64,
+                n_b as u64,
+            );
+        }
+        Ok(self.finish_step(t_next))
     }
 }
 
@@ -523,7 +710,7 @@ mod tests {
         let set = small_plummer(n, 5);
         let eps2 = Softening::Constant.epsilon2(n);
         let e0 = energy(&set, eps2);
-        let engine = Grape6Engine::new(&MachineConfig::test_small(), n);
+        let engine = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
         let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
         it.run_until(0.25);
         let e1 = energy(&it.synchronized_snapshot(), eps2);
@@ -539,10 +726,11 @@ mod tests {
         let set = small_plummer(n, 6);
         let cfg = IntegratorConfig::default();
         let mut a = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg);
-        let engine = crate::engine::Grape6Engine::new(
+        let engine = crate::engine::Grape6Engine::try_new(
             &grape6_system::machine::MachineConfig::test_small(),
             n,
-        );
+        )
+        .unwrap();
         let mut b = HermiteIntegrator::new(engine, set, cfg);
         a.run_until(0.0625);
         b.run_until(0.0625);

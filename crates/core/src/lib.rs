@@ -17,8 +17,11 @@
 //!   (predict → GRAPE force → correct → Aarseth step), generic over the
 //!   engine so the identical driver runs on the hardware simulator, the
 //!   f64 reference, or a remote rank of the parallel algorithms;
-//! * [`api`] — a thin facade mimicking the classic `g6_...` C library
-//!   entry points, for readers coming from the original software stack;
+//! * [`api`] — a facade mimicking the classic `g6_...` C library entry
+//!   points, for readers coming from the original software stack; its
+//!   [`api::G6`] session is genuinely split-phase (`calc_firsthalf`
+//!   starts the pass on a worker thread, `calc_lasthalf` collects it)
+//!   with typed [`api::SessionError`]s for protocol misuse;
 //! * [`neighbor`] — the Ahmad–Cohen neighbour scheme of the paper's
 //!   reference \[10\], splitting the force into a frequently-updated
 //!   neighbour part (host) and a rarely-updated distant part (GRAPE);
@@ -41,6 +44,7 @@ pub mod neighbor;
 pub mod stats;
 pub mod supervisor;
 
+pub use api::{SessionError, G6};
 pub use checkpoint::{capture, restore, RestoreError};
 pub use engine::Grape6Engine;
 pub use integrator::{HermiteIntegrator, IntegratorConfig};

@@ -268,13 +268,15 @@ impl RunSupervisor {
         Ok(())
     }
 
-    /// One supervised blockstep: checkpoint if due, step, and climb the
-    /// recovery ladder on failure.
+    /// One supervised blockstep: checkpoint if due, step (honouring
+    /// [`IntegratorConfig::overlap`] — the recovery ladder wraps the
+    /// split-phase schedule identically, since both leave the particle
+    /// state untouched on `Err`), and climb the ladder on failure.
     pub fn step(&mut self) -> Result<(f64, usize), SupervisorError> {
         self.maybe_checkpoint();
         let mut rung = 0u32;
         loop {
-            match self.it.try_step() {
+            match self.it.try_step_auto() {
                 Ok((t, n_b)) => {
                     if self.it.particles().validate_finite() {
                         return Ok((t, n_b));
@@ -329,7 +331,7 @@ mod tests {
     fn supervised(n: usize, seed: u64, policy: CheckpointPolicy) -> RunSupervisor {
         let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
         let machine = MachineConfig::test_small();
-        let engine = Grape6Engine::new(&machine, n);
+        let engine = Grape6Engine::try_new(&machine, n).unwrap();
         let it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
         let mut cfg = SupervisorConfig::for_machine(machine);
         cfg.policy = policy;
@@ -341,7 +343,7 @@ mod tests {
         let n = 32;
         let set = plummer_model(n, &mut StdRng::seed_from_u64(21));
         let mut plain = HermiteIntegrator::new(
-            Grape6Engine::new(&MachineConfig::test_small(), n),
+            Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap(),
             set,
             IntegratorConfig::default(),
         );

@@ -84,6 +84,18 @@ impl GrapeTiming {
             i_word_bytes: self.i_word_bytes,
             f_word_bytes: self.f_word_bytes,
             j_word_bytes: self.j_word_bytes,
+            overlap: grape6_trace::OverlapMode::Sequential,
+        }
+    }
+
+    /// The same timebase declared for split-phase execution: host spans
+    /// run concurrently with pipeline/DMA spans, so wall time combines the
+    /// two sides with `max` instead of the sum
+    /// ([`grape6_trace::OverlapMode::Overlapped`]).
+    pub fn engine_timebase_overlapped(&self) -> grape6_trace::EngineTimebase {
+        grape6_trace::EngineTimebase {
+            overlap: grape6_trace::OverlapMode::Overlapped,
+            ..self.engine_timebase()
         }
     }
 

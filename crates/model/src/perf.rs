@@ -22,6 +22,7 @@
 //! 1/n_b ∝ 1/N` (figs. 16, 18); for large N the GRAPE term wins and speed
 //! saturates near the layout's peak (figs. 13, 15, 17).
 
+use grape6_trace::OverlapMode;
 use serde::{Deserialize, Serialize};
 
 use crate::blockstats::{BlockStatsModel, SyntheticWorkload};
@@ -105,6 +106,16 @@ impl BlockTime {
     /// Total blockstep time.
     pub fn total(&self) -> f64 {
         self.host + self.dma + self.interface + self.grape + self.sync + self.exchange
+    }
+
+    /// Wall-clock time of the blockstep under the given execution
+    /// schedule.  Sequential is [`BlockTime::total`]; split-phase overlap
+    /// hides host work behind the GRAPE side (dma + interface + grape),
+    /// so the two combine with `max` — the paper's §4 tuning target.
+    /// Network terms (sync, exchange) cannot be hidden by the GRAPE call
+    /// and always add.
+    pub fn wall(&self, mode: OverlapMode) -> f64 {
+        mode.wall(self.host, self.dma + self.interface + self.grape) + self.sync + self.exchange
     }
 }
 
@@ -219,9 +230,22 @@ impl PerfModel {
     /// Mean time per *particle step* (the fig. 14/16/18 quantity), using
     /// the mean-block approximation of the workload model.
     pub fn time_per_step(&self, layout: MachineLayout, n: usize, stats: &BlockStatsModel) -> f64 {
+        self.time_per_step_mode(layout, n, stats, OverlapMode::Sequential)
+    }
+
+    /// [`PerfModel::time_per_step`] under an explicit execution schedule:
+    /// split-phase overlap charges `max(host, grape side)` per blockstep
+    /// instead of the sum ([`BlockTime::wall`]).
+    pub fn time_per_step_mode(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        stats: &BlockStatsModel,
+        mode: OverlapMode,
+    ) -> f64 {
         let nf = n as f64;
         let n_b = stats.mean_block(nf).round().max(1.0) as usize;
-        let t = self.block_time(layout, n, n_b).total();
+        let t = self.block_time(layout, n, n_b).wall(mode);
         t / n_b as f64
     }
 
@@ -229,6 +253,17 @@ impl PerfModel {
     /// the mean-block approximation.
     pub fn speed(&self, layout: MachineLayout, n: usize, stats: &BlockStatsModel) -> f64 {
         57.0 * n as f64 / self.time_per_step(layout, n, stats)
+    }
+
+    /// [`PerfModel::speed`] under an explicit execution schedule.
+    pub fn speed_mode(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        stats: &BlockStatsModel,
+        mode: OverlapMode,
+    ) -> f64 {
+        57.0 * n as f64 / self.time_per_step_mode(layout, n, stats, mode)
     }
 
     /// Sustained speed averaged over a synthetic block-size distribution —
@@ -557,6 +592,63 @@ mod tests {
             500,
         );
         assert!(bt.sync > 0.0 && bt.exchange > 0.0);
+    }
+
+    #[test]
+    fn overlapped_wall_is_max_not_sum() {
+        let m = PerfModel::default();
+        let bt = m.block_time(MachineLayout::SingleHost, 100_000, 500);
+        let seq = bt.wall(OverlapMode::Sequential);
+        let ovl = bt.wall(OverlapMode::Overlapped);
+        assert!((seq - bt.total()).abs() < 1e-18);
+        let engine_side = bt.dma + bt.interface + bt.grape;
+        assert!((ovl - bt.host.max(engine_side)).abs() < 1e-18);
+        // Overlap can only help, and never beats the longer side.
+        assert!(ovl < seq && ovl >= bt.host.max(engine_side));
+        // Network terms stay outside the overlap window.
+        let bt = m.block_time(
+            MachineLayout::MultiCluster {
+                clusters: 4,
+                hosts_per_cluster: 4,
+            },
+            100_000,
+            500,
+        );
+        assert!(bt.wall(OverlapMode::Overlapped) >= bt.sync + bt.exchange);
+        // Whole-run view: overlapped time per step is strictly better.
+        let st = crate::blockstats::BlockStatsModel::constant_softening();
+        let a = m.time_per_step(MachineLayout::SingleHost, 100_000, &st);
+        let b = m.time_per_step_mode(
+            MachineLayout::SingleHost,
+            100_000,
+            &st,
+            OverlapMode::Overlapped,
+        );
+        assert!(b < a);
+        assert!(
+            m.speed_mode(
+                MachineLayout::SingleHost,
+                100_000,
+                &st,
+                OverlapMode::Overlapped
+            ) > m.speed(MachineLayout::SingleHost, 100_000, &st)
+        );
+    }
+
+    #[test]
+    fn overlapped_timebase_only_changes_the_mode() {
+        let g = GrapeTiming::paper_host();
+        let seq = g.engine_timebase();
+        let ovl = g.engine_timebase_overlapped();
+        assert_eq!(seq.overlap, grape6_trace::OverlapMode::Sequential);
+        assert_eq!(ovl.overlap, grape6_trace::OverlapMode::Overlapped);
+        assert_eq!(
+            grape6_trace::EngineTimebase {
+                overlap: grape6_trace::OverlapMode::Sequential,
+                ..ovl
+            },
+            seq
+        );
     }
 
     #[test]

@@ -50,6 +50,10 @@ pub struct Ensemble<U> {
     passes: u64,
     /// Injected reduction-network fault, if any.
     reduction_fault: Option<ReductionFaultSchedule>,
+    /// Walk children with rayon (`true`, the hardware-faithful default —
+    /// all children genuinely run at once) or strictly in sequence
+    /// (`false`, the serial baseline).  Bitwise-invisible either way.
+    parallel: bool,
     /// Cycles added to the critical path for this level's reduction.
     pub reduction_latency: u64,
 }
@@ -66,8 +70,14 @@ impl<U: GrapeUnit> Ensemble<U> {
             total: 0,
             passes: 0,
             reduction_fault: None,
+            parallel: true,
             reduction_latency: DEFAULT_REDUCTION_LATENCY,
         }
+    }
+
+    /// Whether compute passes walk the children concurrently.
+    pub fn is_parallel(&self) -> bool {
+        self.parallel
     }
 
     /// Number of direct children.
@@ -172,14 +182,22 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         self.passes += 1;
         let glitch = self.reduction_glitches_now();
         // All in-service children run concurrently on the same broadcast
-        // i-block; masked children are never driven.
+        // i-block (or in sequence for the serial baseline — same bits
+        // either way); masked children are never driven.
         let active = &self.active;
-        let partials: Vec<Option<Result<Vec<PartialForce>, BlockFpError>>> = self
-            .children
-            .par_iter_mut()
-            .enumerate()
-            .map(|(k, c)| active[k].then(|| c.compute_block(i, exps)))
-            .collect();
+        let partials: Vec<Option<Result<Vec<PartialForce>, BlockFpError>>> = if self.parallel {
+            self.children
+                .par_iter_mut()
+                .enumerate()
+                .map(|(k, c)| active[k].then(|| c.compute_block(i, exps)))
+                .collect()
+        } else {
+            self.children
+                .iter_mut()
+                .enumerate()
+                .map(|(k, c)| active[k].then(|| c.compute_block(i, exps)))
+                .collect()
+        };
         // Critical path = slowest in-service child + this level's reduction.
         let slowest = self
             .children
@@ -225,12 +243,19 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         self.passes += 1;
         let glitch = self.reduction_glitches_now();
         let active = &self.active;
-        let results: Vec<Option<NbResult>> = self
-            .children
-            .par_iter_mut()
-            .enumerate()
-            .map(|(k, c)| active[k].then(|| c.compute_block_nb(i, exps, h2)))
-            .collect();
+        let results: Vec<Option<NbResult>> = if self.parallel {
+            self.children
+                .par_iter_mut()
+                .enumerate()
+                .map(|(k, c)| active[k].then(|| c.compute_block_nb(i, exps, h2)))
+                .collect()
+        } else {
+            self.children
+                .iter_mut()
+                .enumerate()
+                .map(|(k, c)| active[k].then(|| c.compute_block_nb(i, exps, h2)))
+                .collect()
+        };
         let slowest = self
             .children
             .iter()
@@ -357,6 +382,13 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
             c.restore_pass_count(passes);
         }
     }
+
+    fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+        for c in &mut self.children {
+            c.set_parallel(parallel);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -423,6 +455,41 @@ mod tests {
             }
             assert_eq!(a[k].pot.mant(), b[k].pot.mant());
         }
+    }
+
+    #[test]
+    fn serial_walk_matches_parallel_walk_bitwise() {
+        // §3.4: the block-FP merge is order-independent, so the rayon walk
+        // and the strictly sequential walk must produce identical bits
+        // (and identical critical-path cycle counts).
+        let n = 60;
+        let mut par = Ensemble::new(chips(4));
+        let mut ser = Ensemble::new(chips(4));
+        ser.set_parallel(false);
+        assert!(par.is_parallel() && !ser.is_parallel());
+        for k in 0..n {
+            par.load_j(k, &particle(k)).unwrap();
+            ser.load_j(k, &particle(k)).unwrap();
+        }
+        par.set_time(0.0);
+        ser.set_time(0.0);
+        let i: Vec<HwIParticle> = (0..48)
+            .map(|k| {
+                let p = particle(k + 100);
+                HwIParticle::from_host(p.pos, p.vel, 1e-4)
+            })
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(5.0, 5.0, 5.0); 48];
+        let a = par.compute_block(&i, &exps).unwrap();
+        let b = ser.compute_block(&i, &exps).unwrap();
+        for k in 0..48 {
+            for c in 0..3 {
+                assert_eq!(a[k].acc[c].mant(), b[k].acc[c].mant(), "i={k} c={c}");
+                assert_eq!(a[k].jerk[c].mant(), b[k].jerk[c].mant());
+            }
+            assert_eq!(a[k].pot.mant(), b[k].pot.mant());
+        }
+        assert_eq!(par.last_pass_cycles(), ser.last_pass_cycles());
     }
 
     #[test]

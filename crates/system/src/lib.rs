@@ -35,6 +35,6 @@ pub mod unit;
 
 pub use ensemble::Ensemble;
 pub use grid::GridNetwork;
-pub use machine::{Board, BoardArray, MachineConfig, Module};
+pub use machine::{Board, BoardArray, ConfigError, MachineConfig, MachineConfigBuilder, Module};
 pub use selftest::{self_test, SelfTestConfig, SelfTestFailure, SelfTestReport};
 pub use unit::GrapeUnit;

@@ -73,7 +73,165 @@ impl Default for MachineConfig {
     }
 }
 
+/// A machine description that cannot be built.
+///
+/// [`MachineConfigBuilder::build`] validates the geometry before any
+/// hardware is constructed, turning the ad-hoc struct-literal mistakes
+/// (zero boards, a chip with no j-memory, an i-parallelism the broadcast
+/// network cannot serve) into typed errors instead of downstream panics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// A geometry field (boards, modules, chips, pipelines, VMP ways,
+    /// clock, j-memory) is zero.
+    ZeroField {
+        /// Name of the offending field.
+        field: &'static str,
+    },
+    /// `pipelines × vmp_ways` must equal the broadcast i-parallelism of
+    /// 48 the rest of the stack is built around (6 pipelines × 8-way
+    /// virtual multiple pipelines in the real chip).
+    WrongIParallelism {
+        /// Configured pipelines per chip.
+        pipelines: usize,
+        /// Configured VMP ways per pipeline.
+        vmp_ways: usize,
+    },
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::ZeroField { field } => write!(f, "machine config field `{field}` must be > 0"),
+            Self::WrongIParallelism {
+                pipelines,
+                vmp_ways,
+            } => write!(
+                f,
+                "pipelines ({pipelines}) × vmp_ways ({vmp_ways}) = {} but the \
+                 broadcast network serves exactly 48 i-particles per pass",
+                pipelines * vmp_ways
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Validated construction of a [`MachineConfig`].
+///
+/// Starts from the paper's per-host geometry ([`MachineConfig::paper_host`])
+/// and lets callers override fields; [`MachineConfigBuilder::build`]
+/// returns a typed [`ConfigError`] for shapes no GRAPE-6 could have.
+///
+/// ```
+/// use grape6_system::machine::MachineConfig;
+///
+/// let cfg = MachineConfig::builder()
+///     .boards(1)
+///     .modules_per_board(2)
+///     .chips_per_module(2)
+///     .jmem_capacity(2_048)
+///     .build()
+///     .expect("valid geometry");
+/// assert_eq!(cfg.total_chips(), 4);
+/// assert!(MachineConfig::builder().boards(0).build().is_err());
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct MachineConfigBuilder {
+    cfg: MachineConfig,
+}
+
+impl Default for MachineConfigBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MachineConfigBuilder {
+    /// Start from the paper's per-host slice (4 boards × 8 modules ×
+    /// 4 chips, 90 MHz, 16 384 j-slots per chip).
+    pub const fn new() -> Self {
+        Self {
+            cfg: MachineConfig::paper_host(),
+        }
+    }
+
+    /// Boards attached to the host port.
+    pub const fn boards(mut self, n: usize) -> Self {
+        self.cfg.boards = n;
+        self
+    }
+
+    /// Processor modules per board.
+    pub const fn modules_per_board(mut self, n: usize) -> Self {
+        self.cfg.modules_per_board = n;
+        self
+    }
+
+    /// Pipeline chips per module.
+    pub const fn chips_per_module(mut self, n: usize) -> Self {
+        self.cfg.chips_per_module = n;
+        self
+    }
+
+    /// Hardwired force pipelines per chip.
+    pub const fn pipelines(mut self, n: usize) -> Self {
+        self.cfg.chip.pipelines = n;
+        self
+    }
+
+    /// Virtual-multiple-pipeline ways per physical pipeline.
+    pub const fn vmp_ways(mut self, n: usize) -> Self {
+        self.cfg.chip.vmp_ways = n;
+        self
+    }
+
+    /// Chip clock in kHz.
+    pub const fn clock_khz(mut self, khz: u64) -> Self {
+        self.cfg.chip.clock_khz = khz;
+        self
+    }
+
+    /// j-memory capacity per chip, in particles.
+    pub const fn jmem_capacity(mut self, n: usize) -> Self {
+        self.cfg.chip.jmem_capacity = n;
+        self
+    }
+
+    /// Validate and produce the configuration.
+    pub fn build(self) -> Result<MachineConfig, ConfigError> {
+        let c = self.cfg;
+        for (field, v) in [
+            ("boards", c.boards),
+            ("modules_per_board", c.modules_per_board),
+            ("chips_per_module", c.chips_per_module),
+            ("pipelines", c.chip.pipelines),
+            ("vmp_ways", c.chip.vmp_ways),
+            ("jmem_capacity", c.chip.jmem_capacity),
+        ] {
+            if v == 0 {
+                return Err(ConfigError::ZeroField { field });
+            }
+        }
+        if c.chip.clock_khz == 0 {
+            return Err(ConfigError::ZeroField { field: "clock_khz" });
+        }
+        if c.chip.pipelines * c.chip.vmp_ways != 48 {
+            return Err(ConfigError::WrongIParallelism {
+                pipelines: c.chip.pipelines,
+                vmp_ways: c.chip.vmp_ways,
+            });
+        }
+        Ok(c)
+    }
+}
+
 impl MachineConfig {
+    /// Validated construction, starting from the paper's host geometry.
+    pub const fn builder() -> MachineConfigBuilder {
+        MachineConfigBuilder::new()
+    }
+
     /// The paper's per-host hardware slice (4 full boards).
     pub const fn paper_host() -> Self {
         Self {
@@ -160,6 +318,45 @@ mod tests {
     use grape6_chip::pipeline::{ExpSet, HwIParticle};
     use nbody_core::force::JParticle;
     use nbody_core::Vec3;
+
+    #[test]
+    fn builder_validates_geometry() {
+        // Defaults are the paper host and the presets all pass validation.
+        assert_eq!(
+            MachineConfig::builder().build().unwrap(),
+            MachineConfig::paper_host()
+        );
+        let small = MachineConfig::builder()
+            .boards(1)
+            .modules_per_board(2)
+            .chips_per_module(2)
+            .jmem_capacity(2_048)
+            .build()
+            .unwrap();
+        assert_eq!(small, MachineConfig::test_small());
+        // Zero anywhere is a typed error naming the field.
+        let err = MachineConfig::builder().boards(0).build().unwrap_err();
+        assert_eq!(err, ConfigError::ZeroField { field: "boards" });
+        assert!(err.to_string().contains("boards"));
+        assert!(MachineConfig::builder().jmem_capacity(0).build().is_err());
+        assert!(MachineConfig::builder().clock_khz(0).build().is_err());
+        // The broadcast network serves exactly 48 i-particles per pass.
+        let err = MachineConfig::builder().vmp_ways(7).build().unwrap_err();
+        assert_eq!(
+            err,
+            ConfigError::WrongIParallelism {
+                pipelines: 6,
+                vmp_ways: 7
+            }
+        );
+        assert!(err.to_string().contains("48"));
+        // 8 pipelines × 6 ways is still 48 — a legal exotic chip.
+        assert!(MachineConfig::builder()
+            .pipelines(8)
+            .vmp_ways(6)
+            .build()
+            .is_ok());
+    }
 
     #[test]
     fn paper_host_geometry() {

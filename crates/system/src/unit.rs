@@ -151,6 +151,16 @@ pub trait GrapeUnit: Send {
     fn restore_pass_count(&mut self, passes: u64) {
         let _ = passes;
     }
+
+    /// Choose between the concurrent (rayon) and the strictly sequential
+    /// child walk, recursively.  Results are bitwise identical either way —
+    /// the block floating-point reduction is order- and partition-
+    /// independent (§3.4) — so this only trades wall-clock for
+    /// determinism-of-schedule (profiling, the serial baseline of the
+    /// overlap benchmark).  Leaves have no children and ignore it.
+    fn set_parallel(&mut self, parallel: bool) {
+        let _ = parallel;
+    }
 }
 
 /// A single chip is the leaf of the hierarchy.

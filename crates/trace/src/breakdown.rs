@@ -22,16 +22,28 @@ pub struct MeasuredBlockTime {
     pub sync: f64,
     /// Inter-cluster exchange, seconds.
     pub exchange: f64,
+    /// Wall-clock extent of the spans (last end − first start), seconds.
+    /// Under the sequential schedule this equals [`MeasuredBlockTime::total`]
+    /// (spans tile the timeline); under split-phase overlap host spans run
+    /// concurrently with engine spans on the same timeline, so the wall is
+    /// *shorter* than the sum of the terms — the measured overlap win.
+    #[serde(default)]
+    pub wall: f64,
 }
 
 impl MeasuredBlockTime {
     /// Sum spans into the six terms; visualisation-only phases
-    /// (`Phase::term() == None`) are skipped.
+    /// (`Phase::term() == None`) are skipped.  `wall` is the timeline
+    /// extent of the term-bearing spans.
     pub fn from_spans(spans: &[Span]) -> Self {
         let mut out = Self::default();
+        let mut t0 = f64::INFINITY;
+        let mut t1 = f64::NEG_INFINITY;
         for s in spans {
             let Some(term) = s.phase.term() else { continue };
             let d = s.dur();
+            t0 = t0.min(s.t0);
+            t1 = t1.max(s.t1);
             match term {
                 Term::Host => out.host += d,
                 Term::Dma => out.dma += d,
@@ -41,7 +53,22 @@ impl MeasuredBlockTime {
                 Term::Exchange => out.exchange += d,
             }
         }
+        if t1 > t0 {
+            out.wall = t1 - t0;
+        }
         out
+    }
+
+    /// How much of the term time the schedule hid: `total / wall`.
+    /// 1.0 means no overlap (sequential); approaching 2.0 means host work
+    /// fully hidden behind an equally-long engine side.  Returns 1.0 when
+    /// no wall was measured.
+    pub fn overlap_gain(&self) -> f64 {
+        if self.wall > 0.0 {
+            self.total() / self.wall
+        } else {
+            1.0
+        }
     }
 
     /// Total across terms.
@@ -49,7 +76,8 @@ impl MeasuredBlockTime {
         self.host + self.dma + self.interface + self.grape + self.sync + self.exchange
     }
 
-    /// Elementwise sum (accumulating blocksteps).
+    /// Elementwise sum (accumulating blocksteps).  Walls add too:
+    /// consecutive blocksteps occupy disjoint stretches of the timeline.
     pub fn add(&mut self, o: &Self) {
         self.host += o.host;
         self.dma += o.dma;
@@ -57,6 +85,7 @@ impl MeasuredBlockTime {
         self.grape += o.grape;
         self.sync += o.sync;
         self.exchange += o.exchange;
+        self.wall += o.wall;
     }
 
     /// Elementwise maximum — the critical path across ranks, term by term
@@ -69,6 +98,7 @@ impl MeasuredBlockTime {
             grape: self.grape.max(o.grape),
             sync: self.sync.max(o.sync),
             exchange: self.exchange.max(o.exchange),
+            wall: self.wall.max(o.wall),
         }
     }
 
@@ -93,9 +123,10 @@ impl MeasuredBlockTime {
             .map(|(k, v)| format!("\"{k}\":{}", crate::chrome::json_f64(*v)))
             .collect();
         format!(
-            "{{{},\"total\":{}}}",
+            "{{{},\"total\":{},\"wall\":{}}}",
             body.join(","),
-            crate::chrome::json_f64(self.total())
+            crate::chrome::json_f64(self.total()),
+            crate::chrome::json_f64(self.wall)
         )
     }
 }
@@ -127,6 +158,25 @@ mod tests {
         assert_eq!(b.sync, 0.5);
         assert_eq!(b.exchange, 0.5);
         assert!((b.total() - 8.0).abs() < 1e-12);
+        // Sequential spans tile the timeline: wall == total, gain 1.
+        assert_eq!(b.wall, 8.0);
+        assert!((b.overlap_gain() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlapped_spans_shrink_the_wall() {
+        // A host span hiding entirely behind a pipeline span: the terms
+        // still sum both, the wall only spans the timeline once.
+        let spans = vec![
+            Span::new(Phase::Grape, 0.0, 4.0),
+            Span::new(Phase::Host, 0.0, 3.0),
+        ];
+        let b = MeasuredBlockTime::from_spans(&spans);
+        assert_eq!(b.grape, 4.0);
+        assert_eq!(b.host, 3.0);
+        assert_eq!(b.total(), 7.0);
+        assert_eq!(b.wall, 4.0);
+        assert!((b.overlap_gain() - 7.0 / 4.0).abs() < 1e-12);
     }
 
     #[test]
@@ -138,6 +188,7 @@ mod tests {
             grape: 4.0,
             sync: 5.0,
             exchange: 6.0,
+            wall: 21.0,
         };
         let b = MeasuredBlockTime {
             host: 6.0,
@@ -146,6 +197,7 @@ mod tests {
             grape: 3.0,
             sync: 2.0,
             exchange: 1.0,
+            wall: 20.0,
         };
         let m = a.max(&b);
         assert_eq!(m.host, 6.0);
@@ -172,6 +224,7 @@ mod tests {
             "sync",
             "exchange",
             "total",
+            "wall",
         ] {
             assert!(j.contains(&format!("\"{k}\":")), "missing {k} in {j}");
         }

@@ -38,6 +38,35 @@ pub use tracer::Tracer;
 
 use serde::{Deserialize, Serialize};
 
+/// How host work and GRAPE work on one timeline combine into wall time.
+///
+/// The split-phase host library (`g6calc_firsthalf`/`g6calc_lasthalf`)
+/// lets the host run its predictor/corrector arithmetic *while* the
+/// pipelines and the DMA engine are busy, so a blockstep costs
+/// `max(host, grape + dma + interface)` instead of their sum — the
+/// overlap the paper's §4–§5 tuning story hinges on.  Sequential mode is
+/// the blocking schedule (one call site active at a time).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OverlapMode {
+    /// Host and GRAPE take turns: wall time is the sum.
+    #[default]
+    Sequential,
+    /// Host work hides behind GRAPE work (split-phase): wall time is the
+    /// maximum of the two sides.
+    Overlapped,
+}
+
+impl OverlapMode {
+    /// Combine the host-side and engine-side (grape + dma + interface)
+    /// durations of one schedule region into wall time.
+    pub fn wall(self, host: f64, engine: f64) -> f64 {
+        match self {
+            OverlapMode::Sequential => host + engine,
+            OverlapMode::Overlapped => host.max(engine),
+        }
+    }
+}
+
 /// Timing constants the force engine needs to convert its hardware-level
 /// activity (chunks, cycles, word transfers) into virtual seconds.
 ///
@@ -61,6 +90,12 @@ pub struct EngineTimebase {
     pub f_word_bytes: f64,
     /// Bytes to write one updated j-particle.
     pub j_word_bytes: f64,
+    /// How this engine's schedule combines with concurrent host work
+    /// (split-phase overlap vs blocking calls).  Declarative: span
+    /// *recording* is unchanged either way; integrators and models read
+    /// this to pick the `max` or the sum when merging the two sides.
+    #[serde(default)]
+    pub overlap: OverlapMode,
 }
 
 impl EngineTimebase {
@@ -104,9 +139,18 @@ mod tests {
             i_word_bytes: 40.0,
             f_word_bytes: 64.0,
             j_word_bytes: 80.0,
+            overlap: OverlapMode::default(),
         };
         assert!((tb.dma_call() - 36.0e-6).abs() < 1e-12);
         assert!((tb.if_time(48) - 48.0 * 104.0 / 200.0e6).abs() < 1e-12);
         assert!((tb.j_write_time() - 0.4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn overlap_mode_combines_sum_vs_max() {
+        assert_eq!(OverlapMode::default(), OverlapMode::Sequential);
+        assert_eq!(OverlapMode::Sequential.wall(2.0, 3.0), 5.0);
+        assert_eq!(OverlapMode::Overlapped.wall(2.0, 3.0), 3.0);
+        assert_eq!(OverlapMode::Overlapped.wall(4.0, 3.0), 4.0);
     }
 }

@@ -91,7 +91,7 @@ fn main() {
     // 3. Integrate on both machines.
     let cfg = IntegratorConfig::default();
     let mut faulty = HermiteIntegrator::new(faulty_engine, set.clone(), cfg);
-    let mut clean = HermiteIntegrator::new(Grape6Engine::new(&machine, n), set, cfg);
+    let mut clean = HermiteIntegrator::new(Grape6Engine::try_new(&machine, n).unwrap(), set, cfg);
     faulty.run_until(0.25);
     clean.run_until(0.25);
 

@@ -44,20 +44,22 @@ fn main() {
     // --- partition independence ------------------------------------------
     let n = 300;
     let set = plummer_model(n, &mut StdRng::seed_from_u64(99));
-    let mut small = Grape6Engine::new(
+    let mut small = Grape6Engine::try_new(
         &MachineConfig {
             boards: 1,
             ..MachineConfig::test_small()
         },
         n,
-    );
-    let mut big = Grape6Engine::new(
+    )
+    .unwrap();
+    let mut big = Grape6Engine::try_new(
         &MachineConfig {
             boards: 4,
             ..MachineConfig::test_small()
         },
         n,
-    );
+    )
+    .unwrap();
     for i in 0..n {
         let j = JParticle {
             mass: set.mass[i],
@@ -90,7 +92,7 @@ fn main() {
     assert!(identical, "§3.4 reproducibility property violated");
 
     // --- exponent retry ----------------------------------------------------
-    let mut cold = Grape6Engine::new(&MachineConfig::test_small(), 2);
+    let mut cold = Grape6Engine::try_new(&MachineConfig::test_small(), 2).unwrap();
     cold.set_j_particle(
         0,
         &JParticle {

@@ -32,7 +32,7 @@ fn main() {
 
     // Plain Hermite.
     let mut plain = HermiteIntegrator::new(
-        Grape6Engine::new(&MachineConfig::single_board(), n),
+        Grape6Engine::try_new(&MachineConfig::single_board(), n).unwrap(),
         set.clone(),
         IntegratorConfig::default(),
     );
@@ -51,7 +51,7 @@ fn main() {
 
     // Ahmad–Cohen.
     let mut ac = AcHermiteIntegrator::new(
-        Grape6Engine::new(&MachineConfig::single_board(), n),
+        Grape6Engine::try_new(&MachineConfig::single_board(), n).unwrap(),
         set,
         AcConfig::default(),
     );

@@ -40,7 +40,7 @@ fn main() {
         machine.peak_flops() / 1e12,
         machine.capacity()
     );
-    let engine = Grape6Engine::new(&machine, n);
+    let engine = Grape6Engine::try_new(&machine, n).unwrap();
 
     // 3. Integrate.
     let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());

@@ -68,7 +68,7 @@ fn single_host_resume_is_bitwise_for_100_blocksteps() {
     let set = plummer_model(n, &mut StdRng::seed_from_u64(9));
 
     // The uninterrupted run, paused at an arbitrary blockstep (13).
-    let mut gold = HermiteIntegrator::new(Grape6Engine::new(&machine, n), set, icfg);
+    let mut gold = HermiteIntegrator::new(Grape6Engine::try_new(&machine, n).unwrap(), set, icfg);
     for _ in 0..13 {
         gold.step();
     }

@@ -19,8 +19,11 @@ fn grape_trajectories_track_f64_through_integration() {
     let set = plummer_model(n, &mut StdRng::seed_from_u64(100));
     let cfg = IntegratorConfig::default();
     let mut f64_run = HermiteIntegrator::new(DirectEngine::new(n), set.clone(), cfg);
-    let mut hw_run =
-        HermiteIntegrator::new(Grape6Engine::new(&MachineConfig::test_small(), n), set, cfg);
+    let mut hw_run = HermiteIntegrator::new(
+        Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap(),
+        set,
+        cfg,
+    );
     f64_run.run_until(0.125);
     hw_run.run_until(0.125);
     let a = f64_run.synchronized_snapshot();
@@ -42,7 +45,7 @@ fn grape_energy_conservation_one_fifth_time_unit() {
     let eps2 = Softening::Constant.epsilon2(n);
     let mut tracker = ConservationTracker::new(&set, eps2);
     let mut it = HermiteIntegrator::new(
-        Grape6Engine::new(&MachineConfig::test_small(), n),
+        Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap(),
         set,
         IntegratorConfig::default(),
     );
@@ -67,8 +70,9 @@ fn different_machine_sizes_identical_trajectories() {
         boards: 4,
         ..MachineConfig::test_small()
     };
-    let mut run_a = HermiteIntegrator::new(Grape6Engine::new(&small, n), set.clone(), cfg);
-    let mut run_b = HermiteIntegrator::new(Grape6Engine::new(&large, n), set, cfg);
+    let mut run_a =
+        HermiteIntegrator::new(Grape6Engine::try_new(&small, n).unwrap(), set.clone(), cfg);
+    let mut run_b = HermiteIntegrator::new(Grape6Engine::try_new(&large, n).unwrap(), set, cfg);
     for k in 1..=4 {
         let t = k as f64 * 0.03125;
         run_a.run_until(t);
@@ -142,7 +146,7 @@ fn full_time_unit_on_simulated_hardware() {
     let eps2 = Softening::Constant.epsilon2(n);
     let mut tracker = ConservationTracker::new(&set, eps2);
     let mut it = HermiteIntegrator::new(
-        Grape6Engine::new(&MachineConfig::test_small(), n),
+        Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap(),
         set,
         IntegratorConfig::default(),
     );

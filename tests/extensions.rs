@@ -23,7 +23,7 @@ fn grape4_and_grape6_agree_physically_not_bitwise() {
     use grape6::system::machine::MachineConfig;
     let n = 150;
     let set = plummer_model(n, &mut StdRng::seed_from_u64(600));
-    let mut g6 = Grape6Engine::new(&MachineConfig::test_small(), n);
+    let mut g6 = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
     let mut g4 = Grape4Engine::new(&Grape4Config::test_small(), n);
     for i in 0..n {
         let j = JParticle {
@@ -103,7 +103,7 @@ fn ahmad_cohen_on_simulated_grape_hardware() {
     let set = plummer_model(n, &mut StdRng::seed_from_u64(603));
     let eps2 = Softening::Constant.epsilon2(n);
     let e0 = energy(&set, eps2);
-    let engine = Grape6Engine::new(&MachineConfig::test_small(), n);
+    let engine = Grape6Engine::try_new(&MachineConfig::test_small(), n).unwrap();
     let mut ac = AcHermiteIntegrator::new(engine, set, AcConfig::default());
     ac.run_until(0.2);
     let e1 = energy(&ac.synchronized_snapshot(), eps2);

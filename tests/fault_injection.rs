@@ -66,7 +66,7 @@ fn seeded_plan_masks_units_and_forces_stay_bitwise_identical() {
     let ps = probes(60);
 
     let mut faulty = Grape6Engine::with_fault_plan(&cfg, n, &plan).unwrap();
-    let mut clean = Grape6Engine::new(&cfg, n);
+    let mut clean = Grape6Engine::try_new(&cfg, n).unwrap();
 
     // The self-test caught every injected power-on fault (they are all
     // constructed to be detectable) and masked k > 0 units.

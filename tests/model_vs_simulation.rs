@@ -239,6 +239,69 @@ fn measured_breakdown_terms_track_model_within_25_percent() {
 }
 
 #[test]
+fn measured_breakdown_terms_track_model_within_25_percent_overlapped() {
+    // The same six-term gate, run in *overlapped* mode: split-phase
+    // blocksteps with the host corrector hidden behind the GRAPE pass.
+    // The term sums are schedule-invariant (the same spans are recorded,
+    // only the timeline layout changes), so the 25 % per-term agreement
+    // must hold unchanged — and on top of it the *wall* (timeline
+    // extent) must shrink below the term sum on both the measured and
+    // the analytic side, by amounts that agree.
+    use grape6::trace::OverlapMode;
+    use grape6_bench::breakdown::{measure_single_host_mode, timing_for};
+    let machine = grape6::system::machine::MachineConfig::test_small();
+    let model = PerfModel {
+        grape: timing_for(&machine),
+        ..PerfModel::default()
+    };
+    let n = 256;
+    let t_end = 0.03125;
+    let run = measure_single_host_mode(&model, &machine, n, t_end, 2003, OverlapMode::Overlapped);
+    assert!(run.blocksteps > 10, "degenerate run");
+    let m = run.measured;
+    let b = run.model;
+    for (term, got, want) in [
+        ("host", m.host, b.host),
+        ("dma", m.dma, b.dma),
+        ("interface", m.interface, b.interface),
+        ("grape", m.grape, b.grape),
+        ("total", m.total(), b.total()),
+    ] {
+        let ratio = got / want;
+        assert!(
+            (0.75..1.25).contains(&ratio),
+            "overlapped/{term}: measured {got:e} vs model {want:e} (ratio {ratio:.3})"
+        );
+    }
+    // The overlap is real on both sides: wall < term sum, and the
+    // measured wall sits *between* the analytic ideal and the blocking
+    // sum.  `BlockTime::wall(Overlapped)` is the perfect-overlap bound
+    // `max(host, grape-side)`; the chunk-pipelined schedule cannot hide
+    // the predictor half or the fixed per-block host work, so it lands
+    // above the bound but strictly below the sequential sum.
+    assert!(m.wall < m.total(), "measured wall did not shrink");
+    assert!(
+        run.model_wall < b.total(),
+        "analytic wall did not shrink: {:e} vs {:e}",
+        run.model_wall,
+        b.total()
+    );
+    let ratio = m.wall / run.model_wall;
+    assert!(
+        (0.95..2.0).contains(&ratio),
+        "overlapped wall: measured {:e} vs ideal bound {:e} (ratio {ratio:.3})",
+        m.wall,
+        run.model_wall
+    );
+    // And the blocking run of the same system pays the full sum.
+    let seq = measure_single_host_mode(&model, &machine, n, t_end, 2003, OverlapMode::Sequential);
+    assert!(
+        (seq.measured.wall - seq.measured.total()).abs() < 1e-9 * seq.measured.total(),
+        "sequential wall must equal the term sum"
+    );
+}
+
+#[test]
 fn tracing_does_not_perturb_the_integration() {
     // The observability layer must be read-only: a traced run and an
     // untraced run of the same system must agree bit for bit — positions,
@@ -250,7 +313,7 @@ fn tracing_does_not_perturb_the_integration() {
     let n = 64;
     let run = |traced: bool| {
         let set = plummer_model(n, &mut StdRng::seed_from_u64(7));
-        let engine = Grape6Engine::new(&machine, n);
+        let engine = Grape6Engine::try_new(&machine, n).unwrap();
         let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
         if traced {
             it.engine_mut()

@@ -1,0 +1,210 @@
+//! Acceptance: the three execution schedules — serial board walk with
+//! blocking blocksteps, rayon-parallel board walk with blocking
+//! blocksteps, and rayon-parallel board walk with split-phase overlapped
+//! blocksteps — produce **bitwise-identical** trajectories over 100+
+//! blocksteps.
+//!
+//! This is the §3.4 reproducibility property extended to the execution
+//! schedule: the block floating-point force accumulation is exact, so it
+//! is order- and partition-independent across chips and boards, and the
+//! overlapped corrector reads only each particle's own pre-step state —
+//! no schedule can change a single bit.  The property must also survive
+//! an active [`FaultPlan`] (degraded board array, §3.4 oracle) and a
+//! checkpoint/restore cycle in the middle of an overlapped run.
+
+use grape6::fault::{FaultConfig, FaultPlan, MachineGeometry};
+use grape6_ckpt::Checkpoint;
+use grape6_core::checkpoint::{capture, restore};
+use grape6_core::{Grape6Engine, HermiteIntegrator, IntegratorConfig};
+use grape6_system::machine::MachineConfig;
+use nbody_core::ic::plummer::plummer_model;
+use nbody_core::particle::ParticleSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn machine() -> MachineConfig {
+    MachineConfig::builder()
+        .boards(2)
+        .modules_per_board(2)
+        .chips_per_module(2)
+        .jmem_capacity(MachineConfig::test_small().chip.jmem_capacity)
+        .build()
+        .unwrap()
+}
+
+/// Byte-level equality of the full integration state.
+fn assert_bits_equal(a: &ParticleSet, b: &ParticleSet, what: &str) {
+    assert_eq!(a.n(), b.n());
+    for i in 0..a.n() {
+        for k in 0..3 {
+            assert_eq!(
+                a.pos[i][k].to_bits(),
+                b.pos[i][k].to_bits(),
+                "{what}: pos[{i}][{k}] differs"
+            );
+            assert_eq!(
+                a.vel[i][k].to_bits(),
+                b.vel[i][k].to_bits(),
+                "{what}: vel[{i}][{k}] differs"
+            );
+            assert_eq!(
+                a.acc[i][k].to_bits(),
+                b.acc[i][k].to_bits(),
+                "{what}: force sum acc[{i}][{k}] differs"
+            );
+            assert_eq!(
+                a.jerk[i][k].to_bits(),
+                b.jerk[i][k].to_bits(),
+                "{what}: force sum jerk[{i}][{k}] differs"
+            );
+        }
+        assert_eq!(a.t[i].to_bits(), b.t[i].to_bits(), "{what}: t[{i}] differs");
+        assert_eq!(
+            a.dt[i].to_bits(),
+            b.dt[i].to_bits(),
+            "{what}: dt[{i}] differs"
+        );
+    }
+}
+
+/// Build an integrator for one schedule (optionally on a degraded
+/// machine) and run `blocksteps` blocksteps through the auto dispatcher.
+fn run_schedule(
+    n: usize,
+    seed: u64,
+    blocksteps: usize,
+    board_parallel: bool,
+    overlap: bool,
+    plan: Option<&FaultPlan>,
+) -> (Vec<u64>, ParticleSet) {
+    let cfg = machine();
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
+    let mut engine = match plan {
+        Some(plan) => Grape6Engine::with_fault_plan(&cfg, n, plan).unwrap(),
+        None => Grape6Engine::try_new(&cfg, n).unwrap(),
+    };
+    engine.set_board_parallel(board_parallel);
+    let icfg = IntegratorConfig {
+        overlap,
+        ..IntegratorConfig::default()
+    };
+    let mut it = HermiteIntegrator::new(engine, set, icfg);
+    let mut times = Vec::with_capacity(blocksteps);
+    for _ in 0..blocksteps {
+        let (t, _) = it.try_step_auto().expect("healthy schedule");
+        times.push(t.to_bits());
+    }
+    (times, it.particles().clone())
+}
+
+#[test]
+fn three_schedules_are_bitwise_identical_over_100_blocksteps() {
+    let n = 64;
+    let steps = 110;
+    let (t_serial, serial) = run_schedule(n, 5, steps, false, false, None);
+    let (t_parallel, parallel) = run_schedule(n, 5, steps, true, false, None);
+    let (t_overlap, overlapped) = run_schedule(n, 5, steps, true, true, None);
+    assert_eq!(
+        t_serial, t_parallel,
+        "block-time sequence diverged (parallel)"
+    );
+    assert_eq!(
+        t_serial, t_overlap,
+        "block-time sequence diverged (overlapped)"
+    );
+    assert_bits_equal(&serial, &parallel, "serial vs rayon-parallel walk");
+    assert_bits_equal(&serial, &overlapped, "serial vs split-phase overlapped");
+}
+
+#[test]
+fn schedules_stay_bitwise_identical_under_an_active_fault_plan() {
+    // Degrade the board array with a seeded plan (dead chip, dead
+    // pipeline, stuck j-memory bit) and re-run all three schedules: the
+    // §3.4 oracle says the surviving units still produce the exact bits
+    // of the healthy serial machine.
+    let cfg = machine();
+    let plan = FaultPlan::generate(
+        2024,
+        &FaultConfig::default(),
+        MachineGeometry {
+            boards: cfg.boards,
+            modules_per_board: cfg.modules_per_board,
+            chips_per_module: cfg.chips_per_module,
+        },
+    );
+    assert!(!plan.is_empty());
+    let n = 64;
+    let steps = 100;
+    let (t_clean, clean) = run_schedule(n, 5, steps, false, false, None);
+    for (label, board_parallel, overlap) in [
+        ("degraded serial", false, false),
+        ("degraded parallel", true, false),
+        ("degraded overlapped", true, true),
+    ] {
+        let (t, set) = run_schedule(n, 5, steps, board_parallel, overlap, Some(&plan));
+        assert_eq!(t_clean, t, "{label}: block-time sequence diverged");
+        assert_bits_equal(&clean, &set, label);
+    }
+}
+
+#[test]
+fn overlapped_run_resumes_bitwise_across_checkpoint_restore() {
+    // Interrupt an *overlapped* run mid-flight, push the checkpoint
+    // through the wire format, restore, and continue overlapped: every
+    // one of the next 100+ blocksteps matches the uninterrupted
+    // overlapped run — and the final state matches the serial blocking
+    // schedule, closing the loop between all three properties.
+    let n = 48;
+    let cfg = machine();
+    let icfg = IntegratorConfig {
+        overlap: true,
+        ..IntegratorConfig::default()
+    };
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(23));
+
+    let mut gold = HermiteIntegrator::new(
+        {
+            let mut e = Grape6Engine::try_new(&cfg, n).unwrap();
+            e.set_board_parallel(true);
+            e
+        },
+        set.clone(),
+        icfg,
+    );
+    for _ in 0..13 {
+        gold.try_step_auto().expect("healthy hardware");
+    }
+
+    let ckpt = capture(&gold, "overlap resume acceptance");
+    let bytes = ckpt.to_bytes();
+    let loaded = Checkpoint::from_bytes(&bytes).expect("round-trip");
+    let mut resumed = restore(&cfg, None, icfg, &loaded).expect("restore");
+    resumed.engine_mut().set_board_parallel(true);
+
+    for step in 0..110 {
+        let (tg, _) = gold.try_step_auto().expect("healthy hardware");
+        let (tr, _) = resumed.try_step_auto().expect("healthy hardware");
+        assert_eq!(tg.to_bits(), tr.to_bits(), "block time at step {step}");
+        assert_bits_equal(
+            gold.particles(),
+            resumed.particles(),
+            &format!("blockstep {step} after overlapped resume"),
+        );
+    }
+
+    // The stitched overlapped run also matches a serial blocking run of
+    // the same length — schedule and interruption both invisible.
+    let mut serial = HermiteIntegrator::new(
+        Grape6Engine::try_new(&cfg, n).unwrap(),
+        set,
+        IntegratorConfig::default(),
+    );
+    for _ in 0..123 {
+        serial.try_step_auto().expect("healthy hardware");
+    }
+    assert_bits_equal(
+        serial.particles(),
+        resumed.particles(),
+        "serial blocking vs resumed overlapped",
+    );
+}

@@ -110,7 +110,7 @@ fn midrun_hardware_deaths_leave_trajectories_bitwise_identical() {
         it.run_until(0.125);
         it
     };
-    let clean_engine = Grape6Engine::new(&machine, n);
+    let clean_engine = Grape6Engine::try_new(&machine, n).unwrap();
     let mut clean = HermiteIntegrator::new(clean_engine, set.clone(), cfg);
     clean.run_until(0.125);
     let faulty = run_faulty();
