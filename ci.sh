@@ -30,6 +30,23 @@ echo "==> overlap bench smoke (release): serial vs parallel vs overlapped"
 # and emits BENCH_overlap.json with the per-schedule walls.
 cargo run --release --locked -p grape6-bench --bin overlap_bench -- 96 16 2
 
+echo "==> force-kernel A/B smoke (release): scalar oracle vs batched SoA"
+# Verifies the two kernels land on bitwise-identical state over a whole
+# integration (exit 1 otherwise) and emits BENCH_kernel.json.  The
+# regression guard: the batched kernel must never be slower than the
+# oracle it replaces on the hot path.
+cargo run --release --locked -p grape6-bench --bin kernel_bench -- 256 16 2
+python3 - <<'EOF'
+import json
+with open("BENCH_kernel.json") as f:
+    r = json.load(f)
+scalar = r["scalar"]["interactions_per_sec"]
+batched = r["batched"]["interactions_per_sec"]
+print(f"kernel guard: scalar {scalar:.3e} inter/s, batched {batched:.3e} inter/s")
+if batched < scalar:
+    raise SystemExit("REGRESSION: batched kernel slower than the scalar oracle")
+EOF
+
 echo "==> example smoke tests (release)"
 cargo run --release --locked --example quickstart
 cargo run --release --locked --example fault_tour

@@ -164,6 +164,87 @@ impl BlockAccum {
     }
 }
 
+/// A block-FP accumulation lane for the batched kernel.
+///
+/// Semantically identical to [`BlockAccum::add`] — same grid, same single
+/// round-to-nearest-even per summand, same exact integer addition — but
+/// restructured for a tight inner loop:
+///
+/// * the window scale `2^(63 − exp)` is computed **once** at construction
+///   and hoisted out of the loop;
+/// * overflow (summand too large for the window, or the running sum
+///   wrapping) is recorded in a sticky **flag** instead of a per-add
+///   `Result`, so the loop has no early exit and no branch on the happy
+///   path.
+///
+/// The contract with the scalar path: for the same summand sequence,
+/// [`flagged`](Self::flagged) is `true` **iff** the equivalent sequence of
+/// `BlockAccum::add` calls returns an error, and when it is `false` the
+/// final mantissa is bit-identical.  A flagged lane's mantissa is garbage
+/// (casts saturate, sums wrap) and must be discarded — the caller re-runs
+/// the row through the scalar oracle to recover the exact error value.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchLane {
+    exp: i32,
+    scale: f64,
+    mant: i64,
+    flagged: bool,
+}
+
+impl BatchLane {
+    /// Fresh lane with the given window exponent.
+    #[inline]
+    pub fn new(exp: i32) -> Self {
+        Self {
+            exp,
+            scale: exp2i(MANT_BITS - exp),
+            mant: 0,
+            flagged: false,
+        }
+    }
+
+    /// Shift `x` onto the block grid and add it, deferring overflow
+    /// detection to the sticky flag.
+    #[inline(always)]
+    pub fn add(&mut self, x: f64) {
+        let q = (x * self.scale).round_ties_even();
+        // Same deliberately negated predicate as `BlockAccum::add`, so NaN
+        // also raises the flag.
+        #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::excessive_precision)]
+        let too_big = !(q.abs() < 9.223_372_036_854_775_8e18);
+        let (sum, carry) = self.mant.overflowing_add(q as i64);
+        self.mant = sum;
+        self.flagged |= too_big | carry;
+    }
+
+    /// Has any summand or the running sum overflowed the window?
+    #[inline]
+    pub fn flagged(&self) -> bool {
+        self.flagged
+    }
+
+    /// The window exponent.
+    #[inline]
+    pub const fn exp(&self) -> i32 {
+        self.exp
+    }
+
+    /// Convert into a [`BlockAccum`]; `None` if the lane overflowed (the
+    /// mantissa is then meaningless and the caller must fall back to the
+    /// scalar path for the exact error).
+    #[inline]
+    pub fn into_accum(self) -> Option<BlockAccum> {
+        if self.flagged {
+            None
+        } else {
+            Some(BlockAccum {
+                exp: self.exp,
+                mant: self.mant,
+            })
+        }
+    }
+}
+
 /// A finished block floating-point result as it travels up the reduction
 /// network and back to the host: 64-bit mantissa plus the block exponent.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -317,6 +398,59 @@ mod tests {
         let w = acc.finish();
         assert_eq!(w.to_f64(), acc.to_f64());
         assert_eq!(w.exp, 5);
+    }
+
+    #[test]
+    fn batch_lane_matches_block_accum_bitwise() {
+        let vals: Vec<f64> = (0..257)
+            .map(|i| ((i * 2654435761u64 % 2000) as f64 - 1000.0) * 7.3e-5)
+            .collect();
+        for exp in [6, 10, 20] {
+            let mut acc = BlockAccum::new(exp);
+            let mut lane = BatchLane::new(exp);
+            for &v in &vals {
+                acc.add(v).unwrap();
+                lane.add(v);
+            }
+            assert!(!lane.flagged(), "exp = {exp}");
+            let got = lane.into_accum().unwrap();
+            assert_eq!(got.mant(), acc.mant(), "exp = {exp}");
+            assert_eq!(got.exp(), acc.exp());
+        }
+    }
+
+    #[test]
+    fn batch_lane_flags_exactly_when_scalar_errors() {
+        // Summand overflow: one value alone busts the window.
+        let mut acc = BlockAccum::new(0);
+        let mut lane = BatchLane::new(0);
+        assert!(acc.add(8.0).is_err());
+        lane.add(8.0);
+        assert!(lane.flagged());
+        assert!(lane.into_accum().is_none());
+
+        // Sum overflow: each summand fits, the total wraps.
+        let mut acc = BlockAccum::new(1);
+        let mut lane = BatchLane::new(1);
+        acc.add(1.9).unwrap();
+        lane.add(1.9);
+        assert!(!lane.flagged());
+        assert!(acc.add(1.9).is_err());
+        lane.add(1.9);
+        assert!(lane.flagged());
+
+        // NaN takes the flag path, mirroring the scalar NaN convention.
+        let mut lane = BatchLane::new(10);
+        lane.add(f64::NAN);
+        assert!(lane.flagged());
+
+        // The flag is sticky even if later adds would bring the wrapped
+        // sum back into range.
+        let mut lane = BatchLane::new(1);
+        lane.add(1.9);
+        lane.add(1.9);
+        lane.add(-1.9);
+        assert!(lane.flagged());
     }
 
     fn sum_mant(vals: &[f64], exp: i32) -> i64 {

@@ -31,5 +31,5 @@ pub mod rsqrt;
 
 pub use blockfp::{BlockAccum, BlockFpError, ForceWord};
 pub use fixed::{Fix64, PosFix, POS_FRAC_BITS};
-pub use pfloat::{quantize_sig, PFloat, PipeFloat, PIPE_SIG_BITS};
+pub use pfloat::{quantize_sig, quantize_sig_branchless, PFloat, PipeFloat, PIPE_SIG_BITS};
 pub use rsqrt::RsqrtCubedUnit;

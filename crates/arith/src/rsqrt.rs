@@ -11,10 +11,16 @@
 //! as `x = m·4^k` with `m ∈ [1,4)`, the mantissa factor `m^(-3/2)` (and
 //! `m^(-1/2)`) is evaluated by a second-order Taylor segment from a table of
 //! `2^LOG2_SEGMENTS` entries, and the exponent factor `2^(-3k)` (resp.
-//! `2^-k`) is applied exactly.  With the default 10-bit table the relative
-//! error is below `2^-26`, i.e. below the pipeline's own rounding, matching
-//! the design rule that the functional unit must not dominate the force
-//! error budget.
+//! `2^-k`) is applied exactly.  Like the silicon, the table is addressed
+//! *directly by the mantissa bits*: half the segments cover the `[1, 2)`
+//! binade and half cover `[2, 4)`, so the segment index is the binade bit
+//! concatenated with the top mantissa bits — no divider even in the index
+//! computation.  Each segment is one cache-line-sized record holding the
+//! midpoint and both coefficient triples, so evaluating both outputs costs a
+//! single table load.  With the default 10-bit table the relative error is
+//! below `2^-26`, i.e. below the pipeline's own rounding, matching the
+//! design rule that the functional unit must not dominate the force error
+//! budget.
 //!
 //! `x ≤ 0` returns `0`, mirroring the hardware convention that makes the
 //! self-interaction (`r = 0`, `ε = 0`) contribute zero force instead of NaN.
@@ -22,14 +28,25 @@
 /// Default table size exponent (1024 segments over `[1, 4)`).
 pub const DEFAULT_LOG2_SEGMENTS: u32 = 10;
 
+/// One table segment: midpoint plus both Taylor coefficient triples, padded
+/// and aligned so each lookup touches exactly one 64-byte cache line.
+#[derive(Clone, Debug)]
+#[repr(C, align(64))]
+struct Segment {
+    /// Segment midpoint `m0`.
+    m0: f64,
+    /// Taylor coefficients `(f, f', f''/2)` of `m^(-3/2)` at `m0`.
+    c32: [f64; 3],
+    /// Same for `m^(-1/2)` (potential path).
+    c12: [f64; 3],
+    _pad: f64,
+}
+
 /// Table-driven evaluator for `x^(-3/2)` and `x^(-1/2)`.
 #[derive(Clone, Debug)]
 pub struct RsqrtCubedUnit {
-    /// Per-segment Taylor coefficients `(f, f', f''/2)` of `m^(-3/2)` at the
-    /// segment midpoint.
-    seg32: Vec<[f64; 3]>,
-    /// Same for `m^(-1/2)` (potential path).
-    seg12: Vec<[f64; 3]>,
+    /// Fused segment table, addressed by binade bit ‖ top mantissa bits.
+    seg: Vec<Segment>,
     /// Table size exponent this unit was built with.
     pub log2_segments: u32,
 }
@@ -48,29 +65,35 @@ impl RsqrtCubedUnit {
             "table size exponent must be in 4..=16"
         );
         let n = 1usize << log2_segments;
-        let width = 3.0 / n as f64;
-        let mut seg32 = Vec::with_capacity(n);
-        let mut seg12 = Vec::with_capacity(n);
+        let half = n / 2;
+        let mut seg = Vec::with_capacity(n);
         for i in 0..n {
-            let m0 = 1.0 + (i as f64 + 0.5) * width;
+            // Binade-aligned segments: entries 0..n/2 tile [1, 2) uniformly,
+            // entries n/2..n tile [2, 4).  The midpoint is exactly
+            // representable (a dyadic rational well inside f64 precision).
+            let m0 = if i < half {
+                1.0 + (i as f64 + 0.5) / half as f64
+            } else {
+                2.0 + ((i - half) as f64 + 0.5) * 2.0 / half as f64
+            };
             // f(m) = m^(-3/2): f' = -3/2 m^(-5/2), f'' = 15/4 m^(-7/2)
             let f = m0.powf(-1.5);
-            seg32.push([f, -1.5 * f / m0, 0.5 * (15.0 / 4.0) * f / (m0 * m0)]);
             // g(m) = m^(-1/2): g' = -1/2 m^(-3/2), g'' = 3/4 m^(-5/2)
             let g = m0.powf(-0.5);
-            seg12.push([g, -0.5 * g / m0, 0.5 * (3.0 / 4.0) * g / (m0 * m0)]);
+            seg.push(Segment {
+                m0,
+                c32: [f, -1.5 * f / m0, 0.5 * (15.0 / 4.0) * f / (m0 * m0)],
+                c12: [g, -0.5 * g / m0, 0.5 * (3.0 / 4.0) * g / (m0 * m0)],
+                _pad: 0.0,
+            });
         }
-        Self {
-            seg32,
-            seg12,
-            log2_segments,
-        }
+        Self { seg, log2_segments }
     }
 
     /// Number of table segments.
     #[inline]
     pub fn segments(&self) -> usize {
-        self.seg32.len()
+        self.seg.len()
     }
 
     /// Evaluate `x^(-3/2)` (force path).
@@ -85,28 +108,55 @@ impl RsqrtCubedUnit {
         self.eval(x, false)
     }
 
+    /// Evaluate both paths from **one** decomposition and table index.
+    ///
+    /// Returns `(x^(-3/2), x^(-1/2))`, bit-for-bit identical to calling
+    /// [`eval_pow_m32`](Self::eval_pow_m32) and
+    /// [`eval_pow_m12`](Self::eval_pow_m12) separately — the segment lookup
+    /// and Taylor evaluation use exactly the same operations — but the
+    /// argument is split and indexed once.  This is the batched kernel's
+    /// entry point.
+    #[inline]
+    pub fn eval_both(&self, x: f64) -> (f64, f64) {
+        if x <= 0.0 || !x.is_finite() {
+            return (0.0, 0.0);
+        }
+        let (m, k) = split_pow4(x);
+        let s = self.segment(m);
+        let d = m - s.m0;
+        (
+            (s.c32[0] + d * (s.c32[1] + d * s.c32[2])) * pow2(-3 * k),
+            (s.c12[0] + d * (s.c12[1] + d * s.c12[2])) * pow2(-k),
+        )
+    }
+
+    /// Segment record for a mantissa `m ∈ [1, 4)`, addressed directly from
+    /// the bit pattern: the low exponent bit selects the binade (`[1, 2)`
+    /// has biased exponent 1023, `[2, 4)` has 1024) and the top mantissa
+    /// bits select the segment within it.  No division, no float→int
+    /// conversion — this is the table addressing the hardware uses.
+    #[inline]
+    fn segment(&self, m: f64) -> &Segment {
+        let bits = m.to_bits();
+        let half_bits = self.log2_segments - 1;
+        let upper = (((bits >> 52) & 1) ^ 1) as usize;
+        let frac = ((bits >> (52 - half_bits)) as usize) & ((1 << half_bits) - 1);
+        &self.seg[(upper << half_bits) | frac]
+    }
+
     #[inline]
     fn eval(&self, x: f64, cubed: bool) -> f64 {
         if x <= 0.0 || !x.is_finite() {
             return 0.0;
         }
-        // Decompose x = m · 4^k, m ∈ [1, 4).
-        let e = x.log2().floor() as i32;
-        let k = e.div_euclid(2);
-        let m = x * pow2(-2 * k);
-        debug_assert!((1.0..4.0 + 1e-12).contains(&m), "m = {m}");
-        let n = self.seg32.len() as f64;
-        let idx = (((m - 1.0) / 3.0) * n) as usize;
-        let idx = idx.min(self.seg32.len() - 1);
-        let width = 3.0 / n;
-        let m0 = 1.0 + (idx as f64 + 0.5) * width;
-        let d = m - m0;
-        let (c, scale) = if cubed {
-            (&self.seg32[idx], pow2(-3 * k))
+        let (m, k) = split_pow4(x);
+        let s = self.segment(m);
+        let d = m - s.m0;
+        if cubed {
+            (s.c32[0] + d * (s.c32[1] + d * s.c32[2])) * pow2(-3 * k)
         } else {
-            (&self.seg12[idx], pow2(-k))
-        };
-        (c[0] + d * (c[1] + d * c[2])) * scale
+            (s.c12[0] + d * (s.c12[1] + d * s.c12[2])) * pow2(-k)
+        }
     }
 
     /// Worst relative error of the `x^(-3/2)` path over a dense sweep —
@@ -122,6 +172,30 @@ impl RsqrtCubedUnit {
         }
         worst
     }
+}
+
+/// Decompose a positive finite `x` as `m · 4^k` with `m ∈ [1, 4)`, exactly.
+///
+/// The exponent is read straight from the bit pattern (the mantissa of a
+/// normal float lies in `[1, 2)`, so the stored exponent *is*
+/// `⌊log₂ x⌋`), and `m` is rebuilt by re-biasing that exponent to
+/// `e − 2k ∈ {0, 1}` — no rounding anywhere, and no `log2` call in the
+/// hot path.  Subnormals are first renormalised by an exact `2^54`.
+#[inline]
+fn split_pow4(x: f64) -> (f64, i32) {
+    let (bits, shift) = {
+        let b = x.to_bits();
+        if b >> 52 == 0 {
+            ((x * 18_014_398_509_481_984.0).to_bits(), 54) // × 2^54, exact
+        } else {
+            (b, 0)
+        }
+    };
+    let e = ((bits >> 52) as i32) - 1023 - shift;
+    let k = e.div_euclid(2);
+    let m = f64::from_bits((bits & 0x000f_ffff_ffff_ffff) | (((1023 + (e - 2 * k)) as u64) << 52));
+    debug_assert!((1.0..4.0).contains(&m), "m = {m}");
+    (m, k)
 }
 
 /// Exact power of two; falls back to `powi` outside the normal range.
@@ -201,6 +275,154 @@ mod tests {
             let want = x.powf(-1.5);
             let got = u.eval_pow_m32(x);
             assert!(((got - want) / want).abs() < 1e-7, "x = {x:e}");
+        }
+    }
+
+    #[test]
+    fn split_is_exact_across_binade_boundaries() {
+        // The exponent-window edges: exactly at a power of two, one ulp
+        // below, and one ulp above.  The bit-extracted floor must place
+        // each on the correct side (a libm `log2().floor()` may not).
+        for e in [-1022i32, -600, -53, -2, -1, 0, 1, 2, 53, 600, 1023] {
+            let p = if (-1022..=1023).contains(&e) {
+                f64::from_bits(((1023 + e) as u64) << 52)
+            } else {
+                unreachable!()
+            };
+            for x in [p, next_down(p), next_up(p)] {
+                // Subnormal neighbours are covered (in the log domain) by
+                // `subnormal_inputs_decompose_exactly`; the 4^k
+                // reconstruction below needs x and 4^k normal.
+                if x < f64::MIN_POSITIVE || !x.is_finite() {
+                    continue;
+                }
+                let (m, k) = split_pow4(x);
+                assert!((1.0..4.0).contains(&m), "x = {x:e}: m = {m}");
+                // Exact reconstruction: m · 4^k == x, bit for bit.
+                let back = m * pow2(2 * k);
+                assert_eq!(back.to_bits(), x.to_bits(), "x = {x:e}");
+            }
+        }
+    }
+
+    fn next_up(x: f64) -> f64 {
+        f64::from_bits(x.to_bits() + 1)
+    }
+
+    fn next_down(x: f64) -> f64 {
+        f64::from_bits(x.to_bits() - 1)
+    }
+
+    #[test]
+    fn smallest_and_largest_normal_inputs() {
+        let u = RsqrtCubedUnit::default();
+        // Largest normal: x^(-3/2) underflows f64 entirely — the unit must
+        // return a clean 0 (the exact answer to f64 precision), not junk.
+        assert_eq!(u.eval_pow_m32(f64::MAX), 0.0);
+        // …while the shallower potential path still has a finite value.
+        let pot = u.eval_pow_m12(f64::MAX);
+        let want = 1.0 / f64::MAX.sqrt();
+        assert!(((pot - want) / want).abs() < 1e-7, "pot = {pot:e}");
+        // Smallest normal: x^(-3/2) overflows — saturate to +inf like the
+        // exact computation does.
+        assert!(u.eval_pow_m32(f64::MIN_POSITIVE).is_infinite());
+        let pot = u.eval_pow_m12(f64::MIN_POSITIVE);
+        let want = 1.0 / f64::MIN_POSITIVE.sqrt();
+        assert!(((pot - want) / want).abs() < 1e-7, "pot = {pot:e}");
+    }
+
+    #[test]
+    fn subnormal_inputs_decompose_exactly() {
+        for x in [
+            f64::from_bits(1),                     // smallest subnormal
+            f64::from_bits(0xf_ffff),              // mid subnormal
+            f64::from_bits(0x000f_ffff_ffff_ffff), // largest subnormal
+        ] {
+            let (m, k) = split_pow4(x);
+            assert!((1.0..4.0).contains(&m), "x = {x:e}: m = {m}");
+            // 4^k overflows pow2 for these, so check in the log domain.
+            assert!(
+                (m.log2() + 2.0 * k as f64 - x.log2()).abs() < 1e-9,
+                "x = {x:e}"
+            );
+        }
+        // The unit itself saturates: the exact x^(-1/2) of the smallest
+        // subnormal is 2^537 — representable — and must come out close.
+        let u = RsqrtCubedUnit::default();
+        let x = f64::from_bits(1);
+        let got = u.eval_pow_m12(x);
+        let want = x.powf(-0.5);
+        assert!(((got - want) / want).abs() < 1e-7, "got {got:e}");
+    }
+
+    #[test]
+    fn segment_boundaries_stay_inside_the_error_bound() {
+        // Every segment boundary in both binades, ± one ulp: the direct
+        // bit-sliced index must keep the relative error inside the table
+        // bound on both sides of each boundary (an off-by-one segment
+        // selection would blow the quadratic remainder up).  Includes the
+        // binade seam at m = 2 and the table wrap at m = 1 (one ulp below
+        // lands in the last segment of [2, 4) one quartode down).
+        let u = RsqrtCubedUnit::default();
+        let half = u.segments() / 2;
+        for s in 0..half {
+            let lo = 1.0 + s as f64 / half as f64;
+            let hi = 2.0 + s as f64 * 2.0 / half as f64;
+            for x in [
+                lo,
+                next_up(lo),
+                next_down(lo),
+                hi,
+                next_up(hi),
+                next_down(hi),
+            ] {
+                let got = u.eval_pow_m32(x);
+                let want = x.powf(-1.5);
+                assert!(
+                    ((got - want) / want).abs() < 2f64.powi(-26),
+                    "boundary x = {x:e}"
+                );
+                let got12 = u.eval_pow_m12(x);
+                let want12 = x.powf(-0.5);
+                assert!(
+                    ((got12 - want12) / want12).abs() < 2f64.powi(-26),
+                    "boundary x = {x:e} (m12)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn eval_both_is_bitwise_identical_to_separate_evals() {
+        let u = RsqrtCubedUnit::default();
+        let mut xs: Vec<f64> = (0..4_000)
+            .map(|i| 2f64.powf(-24.0 + 48.0 * (i as f64 + 0.5) / 4_000.0))
+            .collect();
+        // Include the window edges and degenerate inputs.
+        xs.extend_from_slice(&[
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            1.0,
+            4.0,
+            next_down(4.0),
+            next_up(1.0),
+            0.0,
+            -3.0,
+            f64::NAN,
+            f64::INFINITY,
+        ]);
+        for x in xs {
+            let (m32, m12) = u.eval_both(x);
+            assert_eq!(
+                m32.to_bits(),
+                u.eval_pow_m32(x).to_bits(),
+                "m32 path diverged at x = {x:e}"
+            );
+            assert_eq!(
+                m12.to_bits(),
+                u.eval_pow_m12(x).to_bits(),
+                "m12 path diverged at x = {x:e}"
+            );
         }
     }
 }

@@ -1,0 +1,82 @@
+//! Force-kernel A/B comparison — `BENCH_kernel.json`.
+//!
+//! Runs the same Plummer integration twice — once on the per-interaction
+//! scalar reference oracle, once on the batched structure-of-arrays
+//! kernel — verifies the two land on bitwise-identical particle state,
+//! and reports host wall-clock and interactions per second per kernel.
+//!
+//! The bitwise verdict is **asserted** (exit 1 on divergence): the
+//! batched kernel's whole contract is same bits, less host time.  The
+//! speedup itself is printed and recorded in the JSON; `ci.sh` uses it
+//! as a regression guard (batched must not fall below the oracle).
+//!
+//! Usage: `kernel_bench [N] [BLOCKSTEPS] [BOARDS]`
+//! (defaults 256 / 24 / 2 — CI-sized; larger N amortises per-pass decode
+//! and shows the kernel's steady-state throughput).
+//!
+//! Output: prints a table and writes `BENCH_kernel.json` to the current
+//! directory.
+
+use grape6_bench::kernel::run_kernel_bench;
+use grape6_bench::print_table;
+use grape6_system::machine::MachineConfig;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args
+        .next()
+        .map(|a| a.parse().expect("N must be an integer"))
+        .unwrap_or(256);
+    let blocksteps: usize = args
+        .next()
+        .map(|a| a.parse().expect("BLOCKSTEPS must be an integer"))
+        .unwrap_or(24);
+    let boards: usize = args
+        .next()
+        .map(|a| a.parse().expect("BOARDS must be an integer"))
+        .unwrap_or(2);
+
+    let machine = MachineConfig::builder()
+        .boards(boards)
+        .modules_per_board(2)
+        .chips_per_module(2)
+        .jmem_capacity((n.div_ceil(4 * boards).max(64)).next_power_of_two())
+        .build()
+        .expect("valid bench machine");
+
+    let report = run_kernel_bench(&machine, n, blocksteps, 2003);
+
+    let row = |r: &grape6_bench::kernel::KernelRunResult| {
+        vec![
+            r.label.to_string(),
+            format!("{:.3}", r.wall_seconds),
+            format!("{}", r.interactions),
+            format!("{:.4e}", r.interactions_per_sec()),
+            format!("{:016x}", r.state_hash),
+        ]
+    };
+    print_table(
+        &format!("Kernel bench — N={n}, {boards} boards, {blocksteps} blocksteps"),
+        &[
+            "kernel",
+            "wall [s]",
+            "interactions",
+            "inter/s",
+            "state hash",
+        ],
+        &[row(&report.scalar), row(&report.batched)],
+    );
+    println!(
+        "\nbitwise identical: {}   batched speedup: {:.2}x",
+        report.bitwise_identical(),
+        report.speedup(),
+    );
+
+    if !report.bitwise_identical() {
+        eprintln!("ERROR: kernels diverged bitwise — the batched kernel must reproduce the oracle");
+        std::process::exit(1);
+    }
+
+    std::fs::write("BENCH_kernel.json", report.to_json() + "\n").expect("write BENCH_kernel.json");
+    println!("\nwrote BENCH_kernel.json");
+}

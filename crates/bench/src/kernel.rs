@@ -1,0 +1,174 @@
+//! Kernel A/B benchmark: scalar reference oracle vs batched SoA kernel.
+//!
+//! The simulated pipeline's results are fixed by the bit-exact arithmetic
+//! contract, so the only thing a host kernel may change is how fast the
+//! host reproduces them.  This module runs the same Plummer integration
+//! twice — once on the per-interaction scalar oracle, once on the batched
+//! structure-of-arrays kernel — and reports:
+//!
+//! * a **bitwise identity** verdict over the final particle bits (the
+//!   batched kernel performs the same rounded operations in the same
+//!   order per (i, j) pair, so any divergence is a bug, and the bin
+//!   exits non-zero);
+//! * **interactions per second of host wall-clock** for each kernel, the
+//!   figure of merit for how large a functional experiment the workspace
+//!   can afford.  The speedup is *reported, not asserted* here — `ci.sh`
+//!   guards against regression (batched must not fall below scalar).
+
+use std::time::Instant;
+
+use grape6_core::engine::Grape6Engine;
+use grape6_core::integrator::{HermiteIntegrator, IntegratorConfig};
+use grape6_core::KernelMode;
+use grape6_system::machine::MachineConfig;
+use nbody_core::force::ForceEngine;
+use nbody_core::ic::plummer::plummer_model;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::overlap::state_hash;
+
+/// One kernel's outcome over the measured blocksteps.
+#[derive(Clone, Debug)]
+pub struct KernelRunResult {
+    /// Kernel label (`scalar`, `batched`).
+    pub label: &'static str,
+    /// Real wall-clock seconds for the measured blocksteps.
+    pub wall_seconds: f64,
+    /// Pairwise interactions the hardware evaluated.
+    pub interactions: u64,
+    /// FNV-1a hash over the final particle bits (pos/vel/t/dt/acc/jerk).
+    pub state_hash: u64,
+}
+
+impl KernelRunResult {
+    /// Interactions per second of host wall-clock.
+    pub fn interactions_per_sec(&self) -> f64 {
+        self.interactions as f64 / self.wall_seconds.max(1e-12)
+    }
+}
+
+/// The scalar-vs-batched comparison.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// System size.
+    pub n: usize,
+    /// Blocksteps measured per kernel.
+    pub blocksteps: usize,
+    /// Boards in the machine under test.
+    pub boards: usize,
+    /// The per-interaction scalar oracle.
+    pub scalar: KernelRunResult,
+    /// The batched SoA kernel.
+    pub batched: KernelRunResult,
+}
+
+impl KernelReport {
+    /// Did both kernels land on identical particle bits?
+    pub fn bitwise_identical(&self) -> bool {
+        self.scalar.state_hash == self.batched.state_hash
+    }
+
+    /// Host-throughput speedup of the batched kernel over the oracle.
+    pub fn speedup(&self) -> f64 {
+        self.batched.interactions_per_sec() / self.scalar.interactions_per_sec().max(1e-12)
+    }
+
+    /// Hand-rolled JSON (offline-safe) for `BENCH_kernel.json`.
+    pub fn to_json(&self) -> String {
+        let run = |r: &KernelRunResult| {
+            format!(
+                "{{\"label\":\"{}\",\"wall_seconds\":{:e},\"interactions\":{},\
+                 \"interactions_per_sec\":{:e},\"state_hash\":{}}}",
+                r.label,
+                r.wall_seconds,
+                r.interactions,
+                r.interactions_per_sec(),
+                r.state_hash,
+            )
+        };
+        format!(
+            "{{\"n\":{},\"blocksteps\":{},\"boards\":{},\
+             \"bitwise_identical\":{},\"speedup\":{:e},\
+             \"scalar\":{},\"batched\":{}}}",
+            self.n,
+            self.blocksteps,
+            self.boards,
+            self.bitwise_identical(),
+            self.speedup(),
+            run(&self.scalar),
+            run(&self.batched),
+        )
+    }
+}
+
+/// Run `blocksteps` blocksteps of a seeded Plummer model on one kernel
+/// and measure it.
+fn run_kernel(
+    machine: &MachineConfig,
+    n: usize,
+    blocksteps: usize,
+    seed: u64,
+    mode: KernelMode,
+) -> KernelRunResult {
+    let label = mode.name();
+    let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
+    let mut engine = Grape6Engine::try_new(machine, n).unwrap();
+    engine.set_kernel_mode(mode);
+    let mut it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
+    let before = it.engine().interactions();
+    let t0 = Instant::now();
+    for _ in 0..blocksteps {
+        it.try_step_auto().expect("healthy hardware");
+    }
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    KernelRunResult {
+        label,
+        wall_seconds,
+        interactions: it.engine().interactions() - before,
+        state_hash: state_hash(it.particles()),
+    }
+}
+
+/// The scalar-vs-batched comparison on `machine` for `blocksteps` steps
+/// of an `n`-particle Plummer model.
+pub fn run_kernel_bench(
+    machine: &MachineConfig,
+    n: usize,
+    blocksteps: usize,
+    seed: u64,
+) -> KernelReport {
+    let scalar = run_kernel(machine, n, blocksteps, seed, KernelMode::Scalar);
+    let batched = run_kernel(machine, n, blocksteps, seed, KernelMode::Batched);
+    KernelReport {
+        n,
+        blocksteps,
+        boards: machine.boards,
+        scalar,
+        batched,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_bitwise_identical_over_whole_blocksteps() {
+        let machine = MachineConfig::builder()
+            .boards(2)
+            .modules_per_board(2)
+            .chips_per_module(1)
+            .jmem_capacity(1024)
+            .build()
+            .unwrap();
+        let report = run_kernel_bench(&machine, 96, 16, 7);
+        assert!(report.bitwise_identical(), "kernels diverged bitwise");
+        // Both runs drove the same hardware schedule.
+        assert_eq!(report.scalar.interactions, report.batched.interactions);
+        assert!(report.scalar.interactions > 0);
+        let json = report.to_json();
+        assert!(json.contains("\"bitwise_identical\":true"), "{json}");
+        assert!(json.contains("\"batched\""), "{json}");
+    }
+}

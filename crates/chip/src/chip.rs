@@ -24,6 +24,7 @@ use grape6_arith::rsqrt::RsqrtCubedUnit;
 use nbody_core::force::JParticle;
 
 use crate::jmem::{HwJParticle, JMemory, StuckBit};
+use crate::kernel::{batched_row, batched_row_nb, KernelMode, SoaBatch};
 use crate::pipeline::{interact, ExpSet, HwIParticle, PartialForce};
 use crate::predictor::{predict, PredictedJ};
 
@@ -82,6 +83,10 @@ pub struct Chip {
     interactions: u64,
     /// Scratch buffer of predicted j-particles, reused across passes.
     predicted: Vec<PredictedJ>,
+    /// Which force-pass kernel runs (bitwise-identical either way).
+    kernel: KernelMode,
+    /// SoA decode of `predicted`, reused across passes (batched kernel).
+    soa: SoaBatch,
     /// Fault injection: the whole chip is dead (returns zeros, burns no
     /// cycles — it simply never answers the reduction network).
     dead: bool,
@@ -101,10 +106,23 @@ impl Chip {
             cycles: 0,
             interactions: 0,
             predicted: Vec::new(),
+            kernel: KernelMode::default(),
+            soa: SoaBatch::default(),
             dead: false,
             dead_pipelines: 0,
             cfg,
         }
+    }
+
+    /// Select the force-pass kernel.  Results are bitwise identical in
+    /// either mode; cycle and interaction accounting are unaffected.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.kernel = mode;
+    }
+
+    /// The force-pass kernel currently selected.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Kill or revive the whole chip (fault injection).  A dead chip
@@ -221,29 +239,32 @@ impl Chip {
             // A dead chip never answers: all-zero partials, no cycles.
             return Ok(exps.iter().map(|&e| PartialForce::new(e)).collect());
         }
-        let n_j = self.jmem.len();
-        // Charge cycles up front: the hardware streams the whole memory
-        // regardless of whether the host later accepts the result.
-        if n_j > 0 && !i_regs.is_empty() {
-            self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
-            self.interactions += (i_regs.len() * n_j) as u64;
-        }
-        // Predictor pipeline: each j predicted once per pass.
-        self.predicted.clear();
-        self.predicted.reserve(n_j);
-        let t = self.time;
-        for p in self.jmem.stream() {
-            self.predicted.push(predict(p, t));
-        }
+        self.charge_and_predict(i_regs.len());
         // Force pipelines.  Accumulation order is irrelevant (block FP), so
         // iterate i-outer/j-inner for locality.
         let mut out = Vec::with_capacity(i_regs.len());
-        for (ip, &exp) in i_regs.iter().zip(exps) {
-            let mut pf = PartialForce::new(exp);
-            for jp in &self.predicted {
-                interact(&self.rsqrt, ip, jp, &mut pf)?;
+        match self.kernel {
+            KernelMode::Scalar => {
+                for (ip, &exp) in i_regs.iter().zip(exps) {
+                    let mut pf = PartialForce::new(exp);
+                    for jp in &self.predicted {
+                        interact(&self.rsqrt, ip, jp, &mut pf)?;
+                    }
+                    out.push(pf);
+                }
             }
-            out.push(pf);
+            KernelMode::Batched => {
+                self.soa.decode(&self.predicted);
+                for (ip, &exp) in i_regs.iter().zip(exps) {
+                    out.push(batched_row(
+                        &self.rsqrt,
+                        ip,
+                        &self.soa,
+                        &self.predicted,
+                        exp,
+                    )?);
+                }
+            }
         }
         self.censor_dead_pipelines(&mut out, exps);
         Ok(out)
@@ -254,12 +275,19 @@ impl Chip {
     /// addresses of every j with unsoftened `r² < h2[i]` (the j-particle
     /// coincident with the i-particle, `r = 0`, is not listed — the
     /// pipeline does not flag self-pairs).
+    ///
+    /// The lists are written into `lists`, which is resized to
+    /// `i_regs.len()` with each entry cleared and refilled — a caller that
+    /// keeps the buffer across passes pays no per-i allocation in steady
+    /// state (the scratch-reuse pattern of the `predicted` buffer, pushed
+    /// out to the caller).  On `Err` the list contents are unspecified.
     pub fn compute_block_nb(
         &mut self,
         i_regs: &[HwIParticle],
         exps: &[ExpSet],
         h2: &[f64],
-    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
+        lists: &mut Vec<Vec<u32>>,
+    ) -> Result<Vec<PartialForce>, BlockFpError> {
         assert!(i_regs.len() <= self.cfg.i_parallelism());
         assert_eq!(i_regs.len(), exps.len());
         assert_eq!(
@@ -267,34 +295,47 @@ impl Chip {
             h2.len(),
             "one neighbour radius per i-particle"
         );
+        lists.resize_with(i_regs.len(), Vec::new);
         if self.dead {
-            let out = exps.iter().map(|&e| PartialForce::new(e)).collect();
-            return Ok((out, vec![Vec::new(); i_regs.len()]));
+            for nb in lists.iter_mut() {
+                nb.clear();
+            }
+            return Ok(exps.iter().map(|&e| PartialForce::new(e)).collect());
         }
-        let n_j = self.jmem.len();
-        if n_j > 0 && !i_regs.is_empty() {
-            self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
-            self.interactions += (i_regs.len() * n_j) as u64;
-        }
-        self.predicted.clear();
-        self.predicted.reserve(n_j);
-        let t = self.time;
-        for p in self.jmem.stream() {
-            self.predicted.push(predict(p, t));
-        }
+        self.charge_and_predict(i_regs.len());
         let mut out = Vec::with_capacity(i_regs.len());
-        let mut lists = Vec::with_capacity(i_regs.len());
-        for ((ip, &exp), &h2i) in i_regs.iter().zip(exps).zip(h2) {
-            let mut pf = PartialForce::new(exp);
-            let mut nb = Vec::new();
-            for (addr, jp) in self.predicted.iter().enumerate() {
-                let r2 = interact(&self.rsqrt, ip, jp, &mut pf)?;
-                if r2 < h2i && r2 > 0.0 {
-                    nb.push(addr as u32);
+        match self.kernel {
+            KernelMode::Scalar => {
+                for (((ip, &exp), &h2i), nb) in
+                    i_regs.iter().zip(exps).zip(h2).zip(lists.iter_mut())
+                {
+                    let mut pf = PartialForce::new(exp);
+                    nb.clear();
+                    for (addr, jp) in self.predicted.iter().enumerate() {
+                        let r2 = interact(&self.rsqrt, ip, jp, &mut pf)?;
+                        if r2 < h2i && r2 > 0.0 {
+                            nb.push(addr as u32);
+                        }
+                    }
+                    out.push(pf);
                 }
             }
-            out.push(pf);
-            lists.push(nb);
+            KernelMode::Batched => {
+                self.soa.decode(&self.predicted);
+                for (((ip, &exp), &h2i), nb) in
+                    i_regs.iter().zip(exps).zip(h2).zip(lists.iter_mut())
+                {
+                    out.push(batched_row_nb(
+                        &self.rsqrt,
+                        ip,
+                        &self.soa,
+                        &self.predicted,
+                        exp,
+                        h2i,
+                        nb,
+                    )?);
+                }
+            }
         }
         self.censor_dead_pipelines(&mut out, exps);
         if self.dead_pipelines != 0 {
@@ -304,7 +345,24 @@ impl Chip {
                 }
             }
         }
-        Ok((out, lists))
+        Ok(out)
+    }
+
+    /// Shared pass prologue: charge cycles up front (the hardware streams
+    /// the whole memory regardless of whether the host later accepts the
+    /// result) and run the predictor pipeline over every stored j.
+    fn charge_and_predict(&mut self, n_i: usize) {
+        let n_j = self.jmem.len();
+        if n_j > 0 && n_i > 0 {
+            self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
+            self.interactions += (n_i * n_j) as u64;
+        }
+        self.predicted.clear();
+        self.predicted.reserve(n_j);
+        let t = self.time;
+        for p in self.jmem.stream() {
+            self.predicted.push(predict(p, t));
+        }
     }
 }
 
@@ -502,7 +560,10 @@ mod tests {
             .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
             .collect();
         let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 4];
-        let (forces, lists) = chip.compute_block_nb(&i_regs, &exps, &[h2; 4]).unwrap();
+        let mut lists = Vec::new();
+        let forces = chip
+            .compute_block_nb(&i_regs, &exps, &[h2; 4], &mut lists)
+            .unwrap();
         assert_eq!(forces.len(), 4);
         for k in 0..4 {
             let want: Vec<u32> = (0..300)
@@ -605,6 +666,88 @@ mod tests {
             a[k].acc[0].mant() != b[k].acc[0].mant() || a[k].pot.mant() != b[k].pot.mant()
         });
         assert!(differs, "bit 56 (0.5 length units) must move the forces");
+    }
+
+    #[test]
+    fn scalar_and_batched_kernels_are_bitwise_identical() {
+        let (mass, pos, vel) = test_system(130);
+        let run = |mode: KernelMode| {
+            let mut chip = Chip::new(ChipConfig::default());
+            chip.set_kernel_mode(mode);
+            assert_eq!(chip.kernel_mode(), mode);
+            load_chip(&mut chip, &mass, &pos, &vel);
+            chip.set_time(0.0);
+            let i_regs: Vec<HwIParticle> = (0..48)
+                .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+                .collect();
+            let exps = vec![ExpSet::from_magnitudes(50.0, 500.0, 50.0); 48];
+            let out = chip.compute_block(&i_regs, &exps).unwrap();
+            (out, chip.cycles(), chip.interactions())
+        };
+        let (scalar, sc_cycles, sc_inter) = run(KernelMode::Scalar);
+        let (batched, bt_cycles, bt_inter) = run(KernelMode::Batched);
+        // Identical accounting — the kernel is a host-side implementation
+        // detail, invisible to the simulated hardware.
+        assert_eq!(sc_cycles, bt_cycles);
+        assert_eq!(sc_inter, bt_inter);
+        for k in 0..48 {
+            for c in 0..3 {
+                assert_eq!(scalar[k].acc[c].mant(), batched[k].acc[c].mant(), "i={k}");
+                assert_eq!(scalar[k].jerk[c].mant(), batched[k].jerk[c].mant());
+            }
+            assert_eq!(scalar[k].pot.mant(), batched[k].pot.mant());
+        }
+    }
+
+    #[test]
+    fn kernels_agree_on_neighbour_path_and_reuse_buffers() {
+        let (mass, pos, vel) = test_system(200);
+        let h2 = 0.09;
+        let i_regs: Vec<HwIParticle> = (0..8)
+            .map(|k| HwIParticle::from_host(pos[k], vel[k], 1e-4))
+            .collect();
+        let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 8];
+        let run = |mode: KernelMode, lists: &mut Vec<Vec<u32>>| {
+            let mut chip = Chip::new(ChipConfig::default());
+            chip.set_kernel_mode(mode);
+            load_chip(&mut chip, &mass, &pos, &vel);
+            chip.set_time(0.0);
+            chip.compute_block_nb(&i_regs, &exps, &[h2; 8], lists)
+                .unwrap()
+        };
+        let mut sc_lists = Vec::new();
+        let mut bt_lists = Vec::new();
+        let scalar = run(KernelMode::Scalar, &mut sc_lists);
+        let batched = run(KernelMode::Batched, &mut bt_lists);
+        assert_eq!(sc_lists, bt_lists);
+        assert!(sc_lists.iter().any(|l| !l.is_empty()));
+        for k in 0..8 {
+            assert_eq!(scalar[k].acc[0].mant(), batched[k].acc[0].mant());
+            assert_eq!(scalar[k].pot.mant(), batched[k].pot.mant());
+        }
+        // A reused buffer is refilled identically (capacity retained, no
+        // stale entries), and shrinks to the new i-count when smaller.
+        let again = run(KernelMode::Batched, &mut bt_lists);
+        assert_eq!(bt_lists, sc_lists);
+        assert_eq!(again.len(), 8);
+        let mut small = run_small(&mass, &pos, &vel, &mut bt_lists);
+        assert_eq!(bt_lists.len(), 1);
+        assert_eq!(small.remove(0).pot.mant(), scalar[0].pot.mant());
+    }
+
+    fn run_small(
+        mass: &[f64],
+        pos: &[Vec3],
+        vel: &[Vec3],
+        lists: &mut Vec<Vec<u32>>,
+    ) -> Vec<PartialForce> {
+        let mut chip = Chip::new(ChipConfig::default());
+        load_chip(&mut chip, mass, pos, vel);
+        chip.set_time(0.0);
+        let i_regs = vec![HwIParticle::from_host(pos[0], vel[0], 1e-4)];
+        let exps = vec![ExpSet::from_magnitudes(100.0, 1000.0, 100.0)];
+        chip.compute_block_nb(&i_regs, &exps, &[0.09], lists)
+            .unwrap()
     }
 
     #[test]

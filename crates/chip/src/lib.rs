@@ -12,6 +12,10 @@
 //! * [`pipeline`] — one force-calculation pipeline evaluating eqs. (1)–(3)
 //!   in reduced-precision arithmetic with exact fixed-point coordinate
 //!   differences and a table-driven `x^(-3/2)` unit;
+//! * [`kernel`] — the batched structure-of-arrays force kernel: the same
+//!   arithmetic as [`pipeline`] evaluated batch-at-a-time for host speed,
+//!   bitwise identical to the scalar oracle and selectable per chip via
+//!   [`KernelMode`];
 //! * [`chip`] — the assembled chip: six pipelines × 8-way virtual
 //!   multipipelining = forces on 48 i-particles per pass, block
 //!   floating-point partial-force output, and a cycle counter that feeds
@@ -19,9 +23,11 @@
 
 pub mod chip;
 pub mod jmem;
+pub mod kernel;
 pub mod pipeline;
 pub mod predictor;
 
 pub use chip::{Chip, ChipConfig, I_PARALLEL_PER_CHIP};
 pub use jmem::{HwJParticle, StuckBit};
+pub use kernel::KernelMode;
 pub use pipeline::{ExpSet, HwIParticle, PartialForce};

@@ -48,6 +48,7 @@ use nbody_core::force::{EngineError, ForceEngine, ForceResult, IParticle, JParti
 use nbody_core::Vec3;
 
 use crate::engine::Grape6Engine;
+use grape6_chip::kernel::KernelMode;
 use grape6_system::machine::MachineConfig;
 
 /// Misuse of the split-phase session protocol, or a hardware failure
@@ -150,6 +151,21 @@ impl G6 {
         match &mut self.state {
             State::Idle(engine) => {
                 engine.set_time(ti);
+                Ok(())
+            }
+            State::Busy(_) => Err(SessionError::PassAlreadyActive),
+            State::Moving => unreachable!("transient state"),
+        }
+    }
+
+    /// Select the force-pass kernel (batched SoA default or the scalar
+    /// oracle) on the whole machine.  Bitwise-invisible either way.
+    ///
+    /// Only valid while Idle — the pass in flight owns the engine.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) -> Result<(), SessionError> {
+        match &mut self.state {
+            State::Idle(engine) => {
+                engine.set_kernel_mode(mode);
                 Ok(())
             }
             State::Busy(_) => Err(SessionError::PassAlreadyActive),

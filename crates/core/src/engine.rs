@@ -23,6 +23,7 @@
 //! [`Grape6Engine::fault_report`] surfaces the whole story.
 
 use grape6_arith::blockfp::BlockFpError;
+use grape6_chip::kernel::KernelMode;
 use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
 use grape6_fault::{
     ChipFault, FaultCounters, FaultEvent, FaultPlan, FaultReport, ReductionFaultSchedule,
@@ -31,7 +32,7 @@ use grape6_fault::{
 use grape6_system::machine::{BoardArray, MachineConfig};
 use grape6_system::selftest::{self_test, SelfTestConfig, SelfTestReport};
 use grape6_system::unit::GrapeUnit;
-use grape6_trace::{EngineTimebase, Phase, Span, SpanCounters, Tracer};
+use grape6_trace::{EngineTimebase, KernelTag, Phase, Span, SpanCounters, Tracer};
 use nbody_core::force::{EngineError, ForceEngine, ForceResult, IParticle, JParticle};
 
 /// Widening applied to all windows on each overflow retry (bits).
@@ -94,28 +95,13 @@ pub struct Grape6Engine {
     timebase: Option<EngineTimebase>,
     /// Virtual-time cursor the engine's spans advance.
     vt: f64,
+    /// Force-pass kernel the chips run (batched SoA by default; the scalar
+    /// oracle for A/B verification).  Bitwise-invisible, so deliberately
+    /// *not* part of the checkpoint state.
+    kernel: KernelMode,
 }
 
 impl Grape6Engine {
-    /// Build the engine from a machine description (healthy hardware, no
-    /// self-test — construction is free, as the tests' cycle accounting
-    /// expects).  Panics on oversubscription; [`Grape6Engine::try_new`] is
-    /// the typed-error twin.
-    #[deprecated(
-        since = "0.7.0",
-        note = "panics on oversubscription; use `Grape6Engine::try_new` and handle \
-                the typed `EngineError::InsufficientCapacity`"
-    )]
-    pub fn new(cfg: &MachineConfig, n_particles: usize) -> Self {
-        match Self::try_new(cfg, n_particles) {
-            Ok(e) => e,
-            Err(_) => panic!(
-                "system of {n_particles} exceeds machine capacity {}",
-                cfg.capacity()
-            ),
-        }
-    }
-
     /// Fallible construction: rejects a system larger than the machine's
     /// j-memory with [`EngineError::InsufficientCapacity`] instead of
     /// panicking.
@@ -224,6 +210,7 @@ impl Grape6Engine {
             tracer: Tracer::disabled(),
             timebase: None,
             vt: 0.0,
+            kernel: KernelMode::default(),
         }
     }
 
@@ -310,6 +297,22 @@ impl Grape6Engine {
     /// Whether the hardware walk currently uses the parallel schedule.
     pub fn board_parallel(&self) -> bool {
         self.hw.is_parallel()
+    }
+
+    /// Select the force-pass kernel on every chip: the batched SoA kernel
+    /// (default) or the scalar reference oracle.  The two are bitwise
+    /// identical — the batched kernel performs the same rounded operations
+    /// in the same order per (i, j) pair — so, like
+    /// [`Grape6Engine::set_board_parallel`], this only changes host
+    /// wall-clock, never results or cycle accounting.
+    pub fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.kernel = mode;
+        self.hw.set_kernel_mode(mode);
+    }
+
+    /// The force-pass kernel currently selected.
+    pub fn kernel_mode(&self) -> KernelMode {
+        self.kernel
     }
 
     /// Total pipeline cycles consumed (critical path).
@@ -657,6 +660,10 @@ impl Grape6Engine {
         let mut exps = vec![self.exps(); regs.len()];
         let mut widen_attempts = 0u32;
         let mut recomputes = 0u32;
+        // Neighbour-list buffer shared by every retry of this chunk — the
+        // hierarchy fills it in place (see `GrapeUnit::compute_block_nb`),
+        // so the recovery ladder never reallocates the lists.
+        let mut nb_lists: Vec<Vec<u32>> = Vec::new();
         // Phase tag of the *next* pipeline pass: the first attempt is plain
         // pipeline time; repeats are tagged by what caused them.
         let mut attempt_phase = Phase::Grape;
@@ -668,8 +675,8 @@ impl Grape6Engine {
                     .map(|partials| (partials, None)),
                 Some(h2) => self
                     .hw
-                    .compute_block_nb(regs, &exps, h2)
-                    .map(|(partials, lists)| (partials, Some(lists))),
+                    .compute_block_nb(regs, &exps, h2, &mut nb_lists)
+                    .map(|partials| (partials, Some(std::mem::take(&mut nb_lists)))),
             };
             // The hardware ran a pass whatever the outcome; charge its
             // critical-path cycles under the attempt's phase tag.
@@ -682,6 +689,10 @@ impl Grape6Engine {
                         items: self.hw.n_j() as u64,
                         cycles,
                         retries: (widen_attempts + recomputes) as u64,
+                        kernel: Some(match self.kernel {
+                            KernelMode::Scalar => KernelTag::Scalar,
+                            KernelMode::Batched => KernelTag::Batched,
+                        }),
                         ..Default::default()
                     },
                 );
@@ -1079,13 +1090,16 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "exceeds machine capacity")]
-    #[allow(deprecated)]
     fn oversubscription_rejected() {
-        // The deprecated panicking constructor keeps its contract for
-        // legacy callers; new code goes through `try_new`.
         let cfg = MachineConfig::test_small(); // 4 chips × 2048
-        Grape6Engine::new(&cfg, 10_000);
+        let err = match Grape6Engine::try_new(&cfg, 10_000) {
+            Ok(_) => panic!("oversubscribed machine must be rejected"),
+            Err(e) => e,
+        };
+        assert!(matches!(
+            err,
+            EngineError::InsufficientCapacity { needed: 10_000, .. }
+        ));
     }
 
     #[test]

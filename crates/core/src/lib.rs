@@ -47,6 +47,7 @@ pub mod supervisor;
 pub use api::{SessionError, G6};
 pub use checkpoint::{capture, restore, RestoreError};
 pub use engine::Grape6Engine;
+pub use grape6_chip::kernel::KernelMode;
 pub use integrator::{HermiteIntegrator, IntegratorConfig};
 pub use neighbor::{AcConfig, AcHermiteIntegrator};
 pub use stats::{RecoveryStats, RunStats};

@@ -19,16 +19,13 @@
 //! block-FP merge makes the result independent of execution order.
 
 use grape6_arith::blockfp::BlockFpError;
+use grape6_chip::kernel::KernelMode;
 use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
 use grape6_fault::{ChipFault, ReductionFaultSchedule};
 use nbody_core::force::JParticle;
 use rayon::prelude::*;
 
 use crate::unit::{GrapeUnit, LoadError};
-
-/// Result of a neighbour-aware pass: partial forces plus per-i neighbour
-/// address lists.
-type NbResult = Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError>;
 
 /// Default reduction-tree latency charged per hierarchy level, in chip
 /// clock cycles (FPGA adder pass + serial-link hop).
@@ -56,6 +53,11 @@ pub struct Ensemble<U> {
     parallel: bool,
     /// Cycles added to the critical path for this level's reduction.
     pub reduction_latency: u64,
+    /// Per-child neighbour-list scratch, one buffer per child (masked
+    /// children keep an empty one).  Handing each child its own buffer
+    /// keeps the concurrent walk race-free and makes the steady state of
+    /// [`GrapeUnit::compute_block_nb`] allocation-free.
+    nb_scratch: Vec<Vec<Vec<u32>>>,
 }
 
 impl<U: GrapeUnit> Ensemble<U> {
@@ -64,6 +66,7 @@ impl<U: GrapeUnit> Ensemble<U> {
         assert!(!children.is_empty(), "an ensemble needs at least one child");
         Self {
             active: vec![true; children.len()],
+            nb_scratch: vec![Vec::new(); children.len()],
             children,
             used: 0,
             last_pass: 0,
@@ -239,21 +242,26 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         i: &[HwIParticle],
         exps: &[ExpSet],
         h2: &[f64],
-    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
+        lists: &mut Vec<Vec<u32>>,
+    ) -> Result<Vec<PartialForce>, BlockFpError> {
         self.passes += 1;
         let glitch = self.reduction_glitches_now();
         let active = &self.active;
-        let results: Vec<Option<NbResult>> = if self.parallel {
+        // Each child fills its own scratch buffer, so the concurrent walk
+        // never shares a list and repeat passes reuse the allocations.
+        let results: Vec<Option<Result<Vec<PartialForce>, BlockFpError>>> = if self.parallel {
             self.children
                 .par_iter_mut()
+                .zip(self.nb_scratch.par_iter_mut())
                 .enumerate()
-                .map(|(k, c)| active[k].then(|| c.compute_block_nb(i, exps, h2)))
+                .map(|(k, (c, buf))| active[k].then(|| c.compute_block_nb(i, exps, h2, buf)))
                 .collect()
         } else {
             self.children
                 .iter_mut()
+                .zip(self.nb_scratch.iter_mut())
                 .enumerate()
-                .map(|(k, c)| active[k].then(|| c.compute_block_nb(i, exps, h2)))
+                .map(|(k, (c, buf))| active[k].then(|| c.compute_block_nb(i, exps, h2, buf)))
                 .collect()
         };
         let slowest = self
@@ -273,10 +281,14 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         // j-distribution child index = position in the active list.
         let k = self.n_active() as u32;
         let mut acc: Option<Vec<PartialForce>> = None;
-        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); i.len()];
-        for (active_pos, res) in results.into_iter().flatten().enumerate() {
-            let active_pos = active_pos as u32;
-            let (forces, child_lists) = res?;
+        lists.resize_with(i.len(), Vec::new);
+        for slot in lists.iter_mut() {
+            slot.clear();
+        }
+        let mut active_pos: u32 = 0;
+        for (child_idx, res) in results.into_iter().enumerate() {
+            let Some(res) = res else { continue };
+            let forces = res?;
             match &mut acc {
                 None => acc = Some(forces),
                 Some(a) => {
@@ -287,17 +299,17 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
             }
             // Translate the child's local addresses to this level's space
             // (inverse of the round-robin distribution in `load_j`).
-            for (slot, child_nb) in lists.iter_mut().zip(&child_lists) {
+            for (slot, child_nb) in lists.iter_mut().zip(&self.nb_scratch[child_idx]) {
                 for &local in child_nb {
                     slot.push(local * k + active_pos);
                 }
             }
+            active_pos += 1;
         }
-        for slot in &mut lists {
+        for slot in lists.iter_mut() {
             slot.sort_unstable();
         }
-        let acc = acc.unwrap_or_else(|| exps.iter().map(|&e| PartialForce::new(e)).collect());
-        Ok((acc, lists))
+        Ok(acc.unwrap_or_else(|| exps.iter().map(|&e| PartialForce::new(e)).collect()))
     }
 
     fn last_pass_cycles(&self) -> u64 {
@@ -387,6 +399,12 @@ impl<U: GrapeUnit> GrapeUnit for Ensemble<U> {
         self.parallel = parallel;
         for c in &mut self.children {
             c.set_parallel(parallel);
+        }
+    }
+
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        for c in &mut self.children {
+            c.set_kernel_mode(mode);
         }
     }
 }
@@ -558,7 +576,8 @@ mod tests {
         let i = [HwIParticle::from_host(probe_src.pos, probe_src.vel, 1e-4)];
         let exps = [ExpSet::from_magnitudes(10.0, 10.0, 10.0)];
         let h2 = 0.36; // h = 0.6
-        let (_, lists) = e.compute_block_nb(&i, &exps, &[h2]).unwrap();
+        let mut lists = Vec::new();
+        e.compute_block_nb(&i, &exps, &[h2], &mut lists).unwrap();
         let want: Vec<u32> = (0..n)
             .filter(|&j| {
                 let d2 = (particle(j).pos - probe_src.pos).norm2();
@@ -664,7 +683,8 @@ mod tests {
         let i = [HwIParticle::from_host(probe_src.pos, probe_src.vel, 1e-4)];
         let exps = [ExpSet::from_magnitudes(10.0, 10.0, 10.0)];
         let h2 = 0.36;
-        let (_, lists) = e.compute_block_nb(&i, &exps, &[h2]).unwrap();
+        let mut lists = Vec::new();
+        e.compute_block_nb(&i, &exps, &[h2], &mut lists).unwrap();
         let want: Vec<u32> = (0..n)
             .filter(|&j| {
                 let d2 = (particle(j).pos - probe_src.pos).norm2();

@@ -3,6 +3,7 @@
 use grape6_arith::blockfp::BlockFpError;
 use grape6_chip::chip::{Chip, I_PARALLEL_PER_CHIP};
 use grape6_chip::jmem::StuckBit;
+use grape6_chip::kernel::KernelMode;
 use grape6_chip::pipeline::{ExpSet, HwIParticle, PartialForce};
 use grape6_fault::{ChipFault, ReductionFaultSchedule};
 use nbody_core::force::JParticle;
@@ -83,12 +84,18 @@ pub trait GrapeUnit: Send {
     /// with unsoftened `r² < h2[i]` (self-pairs excluded).  Every level of
     /// the hierarchy translates its children's local addresses back to the
     /// caller's address space.
+    ///
+    /// The lists are written into `lists`, which is resized to `i.len()`
+    /// with each entry cleared and refilled — callers that keep the buffer
+    /// across passes pay no per-i allocation in steady state.  On `Err`
+    /// the list contents are unspecified.
     fn compute_block_nb(
         &mut self,
         i: &[HwIParticle],
         exps: &[ExpSet],
         h2: &[f64],
-    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError>;
+        lists: &mut Vec<Vec<u32>>,
+    ) -> Result<Vec<PartialForce>, BlockFpError>;
 
     /// Clock cycles on the critical path of the most recent
     /// `compute_block` (0 if none has run).
@@ -160,6 +167,16 @@ pub trait GrapeUnit: Send {
     /// overlap benchmark).  Leaves have no children and ignore it.
     fn set_parallel(&mut self, parallel: bool) {
         let _ = parallel;
+    }
+
+    /// Select the force-pass kernel ([`KernelMode::Scalar`] oracle or the
+    /// batched SoA kernel), recursively.  Results are bitwise identical
+    /// either way — the batched kernel performs the same rounded
+    /// operations in the same order per (i, j) pair — so, like
+    /// [`GrapeUnit::set_parallel`], this only changes host wall-clock.
+    /// Exotic implementations may ignore it.
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        let _ = mode;
     }
 }
 
@@ -234,9 +251,10 @@ impl GrapeUnit for ChipUnit {
         i: &[HwIParticle],
         exps: &[ExpSet],
         h2: &[f64],
-    ) -> Result<(Vec<PartialForce>, Vec<Vec<u32>>), BlockFpError> {
+        lists: &mut Vec<Vec<u32>>,
+    ) -> Result<Vec<PartialForce>, BlockFpError> {
         let before = self.chip.cycles();
-        let r = self.chip.compute_block_nb(i, exps, h2);
+        let r = self.chip.compute_block_nb(i, exps, h2, lists);
         self.last_pass = self.chip.cycles() - before;
         r
     }
@@ -283,6 +301,10 @@ impl GrapeUnit for ChipUnit {
 
     fn alive_chips(&self) -> usize {
         usize::from(!self.chip.is_dead())
+    }
+
+    fn set_kernel_mode(&mut self, mode: KernelMode) {
+        self.chip.set_kernel_mode(mode);
     }
 }
 

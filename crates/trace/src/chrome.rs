@@ -51,11 +51,15 @@ pub fn chrome_trace(streams: &[(String, Vec<Span>)]) -> String {
             json_escape(name)
         ));
         for s in spans {
+            let kernel = match s.counters.kernel {
+                Some(k) => format!(r#","kernel":"{}""#, k.name()),
+                None => String::new(),
+            };
             events.push(format!(
                 concat!(
                     r#"{{"name":"{name}","cat":"grape6","ph":"X","pid":{pid},"tid":{tid},"#,
                     r#""ts":{ts},"dur":{dur},"#,
-                    r#""args":{{"items":{items},"bytes":{bytes},"cycles":{cycles},"retries":{retries}}}}}"#
+                    r#""args":{{"items":{items},"bytes":{bytes},"cycles":{cycles},"retries":{retries}{kernel}}}}}"#
                 ),
                 name = s.phase.name(),
                 pid = pid,
@@ -66,6 +70,7 @@ pub fn chrome_trace(streams: &[(String, Vec<Span>)]) -> String {
                 bytes = s.counters.bytes,
                 cycles = s.counters.cycles,
                 retries = s.counters.retries,
+                kernel = kernel,
             ));
         }
     }

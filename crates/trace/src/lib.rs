@@ -33,7 +33,7 @@ pub mod tracer;
 
 pub use breakdown::MeasuredBlockTime;
 pub use chrome::{chrome_trace, chrome_trace_to_string};
-pub use span::{Phase, Span, SpanCounters, Term};
+pub use span::{KernelTag, Phase, Span, SpanCounters, Term};
 pub use tracer::Tracer;
 
 use serde::{Deserialize, Serialize};

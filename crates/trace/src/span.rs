@@ -110,6 +110,29 @@ impl Phase {
     }
 }
 
+/// Which host-side force kernel produced a pipeline span.
+///
+/// The two kernels are bitwise identical in results and cycle accounting;
+/// the tag records which one actually ran so host wall-clock comparisons
+/// (the kernel A/B benchmark) can attribute spans.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelTag {
+    /// The per-interaction scalar reference oracle.
+    Scalar,
+    /// The batched structure-of-arrays kernel.
+    Batched,
+}
+
+impl KernelTag {
+    /// Stable display name (exported into Chrome-trace args).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelTag::Scalar => "scalar",
+            KernelTag::Batched => "batched",
+        }
+    }
+}
+
 /// Payload counters attached to a span; zero-initialised, fill what
 /// applies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
@@ -122,6 +145,10 @@ pub struct SpanCounters {
     pub cycles: u64,
     /// Retries behind this span (widen attempts, link retransmits).
     pub retries: u64,
+    /// The force kernel behind a pipeline-pass span; `None` for spans
+    /// that are not force passes.
+    #[serde(default)]
+    pub kernel: Option<KernelTag>,
 }
 
 /// One interval of virtual time.
@@ -197,6 +224,14 @@ mod tests {
         assert_eq!(Phase::Selftest.term(), Some(Term::Grape));
         assert_eq!(Phase::Reload.term(), Some(Term::Interface));
         assert_eq!(Phase::Ckpt.term(), Some(Term::Host));
+    }
+
+    #[test]
+    fn kernel_tags_have_stable_names() {
+        assert_eq!(KernelTag::Scalar.name(), "scalar");
+        assert_eq!(KernelTag::Batched.name(), "batched");
+        // Untagged is the default so non-pipeline spans need no opt-out.
+        assert_eq!(SpanCounters::default().kernel, None);
     }
 
     #[test]

@@ -11,11 +11,16 @@
 //! no schedule can change a single bit.  The property must also survive
 //! an active [`FaultPlan`] (degraded board array, §3.4 oracle) and a
 //! checkpoint/restore cycle in the middle of an overlapped run.
+//!
+//! The same matrix is crossed with the force-kernel selector
+//! ([`KernelMode`]): the batched SoA kernel must land on the same bits
+//! as the scalar oracle on every schedule, on a degraded machine, and
+//! across a checkpoint/restore that switches kernels mid-run.
 
 use grape6::fault::{FaultConfig, FaultPlan, MachineGeometry};
 use grape6_ckpt::Checkpoint;
 use grape6_core::checkpoint::{capture, restore};
-use grape6_core::{Grape6Engine, HermiteIntegrator, IntegratorConfig};
+use grape6_core::{Grape6Engine, HermiteIntegrator, IntegratorConfig, KernelMode};
 use grape6_system::machine::MachineConfig;
 use nbody_core::ic::plummer::plummer_model;
 use nbody_core::particle::ParticleSet;
@@ -75,6 +80,7 @@ fn run_schedule(
     blocksteps: usize,
     board_parallel: bool,
     overlap: bool,
+    kernel: KernelMode,
     plan: Option<&FaultPlan>,
 ) -> (Vec<u64>, ParticleSet) {
     let cfg = machine();
@@ -84,6 +90,7 @@ fn run_schedule(
         None => Grape6Engine::try_new(&cfg, n).unwrap(),
     };
     engine.set_board_parallel(board_parallel);
+    engine.set_kernel_mode(kernel);
     let icfg = IntegratorConfig {
         overlap,
         ..IntegratorConfig::default()
@@ -99,21 +106,22 @@ fn run_schedule(
 
 #[test]
 fn three_schedules_are_bitwise_identical_over_100_blocksteps() {
+    // The reference is the most conservative combination: serial blocking
+    // walk on the scalar oracle.  Every other (schedule × kernel)
+    // combination must land on its exact bits.
     let n = 64;
     let steps = 110;
-    let (t_serial, serial) = run_schedule(n, 5, steps, false, false, None);
-    let (t_parallel, parallel) = run_schedule(n, 5, steps, true, false, None);
-    let (t_overlap, overlapped) = run_schedule(n, 5, steps, true, true, None);
-    assert_eq!(
-        t_serial, t_parallel,
-        "block-time sequence diverged (parallel)"
-    );
-    assert_eq!(
-        t_serial, t_overlap,
-        "block-time sequence diverged (overlapped)"
-    );
-    assert_bits_equal(&serial, &parallel, "serial vs rayon-parallel walk");
-    assert_bits_equal(&serial, &overlapped, "serial vs split-phase overlapped");
+    let (t_ref, reference) = run_schedule(n, 5, steps, false, false, KernelMode::Scalar, None);
+    for (label, board_parallel, overlap, kernel) in [
+        ("overlapped / scalar", true, true, KernelMode::Scalar),
+        ("serial / batched", false, false, KernelMode::Batched),
+        ("parallel / batched", true, false, KernelMode::Batched),
+        ("overlapped / batched", true, true, KernelMode::Batched),
+    ] {
+        let (t, set) = run_schedule(n, 5, steps, board_parallel, overlap, kernel, None);
+        assert_eq!(t_ref, t, "{label}: block-time sequence diverged");
+        assert_bits_equal(&reference, &set, label);
+    }
 }
 
 #[test]
@@ -135,13 +143,23 @@ fn schedules_stay_bitwise_identical_under_an_active_fault_plan() {
     assert!(!plan.is_empty());
     let n = 64;
     let steps = 100;
-    let (t_clean, clean) = run_schedule(n, 5, steps, false, false, None);
-    for (label, board_parallel, overlap) in [
-        ("degraded serial", false, false),
-        ("degraded parallel", true, false),
-        ("degraded overlapped", true, true),
+    let (t_clean, clean) = run_schedule(n, 5, steps, false, false, KernelMode::Scalar, None);
+    for (label, board_parallel, overlap, kernel) in [
+        ("degraded serial / scalar", false, false, KernelMode::Scalar),
+        (
+            "degraded parallel / batched",
+            true,
+            false,
+            KernelMode::Batched,
+        ),
+        (
+            "degraded overlapped / batched",
+            true,
+            true,
+            KernelMode::Batched,
+        ),
     ] {
-        let (t, set) = run_schedule(n, 5, steps, board_parallel, overlap, Some(&plan));
+        let (t, set) = run_schedule(n, 5, steps, board_parallel, overlap, kernel, Some(&plan));
         assert_eq!(t_clean, t, "{label}: block-time sequence diverged");
         assert_bits_equal(&clean, &set, label);
     }
@@ -154,6 +172,11 @@ fn overlapped_run_resumes_bitwise_across_checkpoint_restore() {
     // one of the next 100+ blocksteps matches the uninterrupted
     // overlapped run — and the final state matches the serial blocking
     // schedule, closing the loop between all three properties.
+    //
+    // The gold run uses the batched kernel; the resumed run is switched
+    // to the scalar oracle.  `KernelMode` is deliberately not checkpoint
+    // state — it must be bitwise-invisible, so a restore may change it
+    // freely.
     let n = 48;
     let cfg = machine();
     let icfg = IntegratorConfig {
@@ -166,6 +189,7 @@ fn overlapped_run_resumes_bitwise_across_checkpoint_restore() {
         {
             let mut e = Grape6Engine::try_new(&cfg, n).unwrap();
             e.set_board_parallel(true);
+            e.set_kernel_mode(KernelMode::Batched);
             e
         },
         set.clone(),
@@ -180,6 +204,7 @@ fn overlapped_run_resumes_bitwise_across_checkpoint_restore() {
     let loaded = Checkpoint::from_bytes(&bytes).expect("round-trip");
     let mut resumed = restore(&cfg, None, icfg, &loaded).expect("restore");
     resumed.engine_mut().set_board_parallel(true);
+    resumed.engine_mut().set_kernel_mode(KernelMode::Scalar);
 
     for step in 0..110 {
         let (tg, _) = gold.try_step_auto().expect("healthy hardware");

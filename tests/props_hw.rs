@@ -5,6 +5,7 @@
 #![allow(unused_imports, dead_code)]
 
 use grape6::chip::chip::{Chip, ChipConfig};
+use grape6::chip::kernel::KernelMode;
 use grape6::chip::pipeline::{ExpSet, HwIParticle};
 use grape6::nbody::force::{pair_force, JParticle};
 use grape6::nbody::Vec3;
@@ -97,6 +98,48 @@ proptest! {
             prop_assert_eq!(a[0].jerk[c].mant(), b[0].jerk[c].mant());
         }
         prop_assert_eq!(a[0].pot.mant(), b[0].pot.mant());
+    }
+
+    /// The batched SoA kernel lands on the scalar oracle's exact bits —
+    /// forces *and* neighbour lists — for arbitrary particle sets,
+    /// including a probe coincident with a j-particle (a softening-only
+    /// self-interaction when `eps2 > 0`, an `r = 0` hardware drop when
+    /// `eps2 == 0`).
+    #[test]
+    fn batched_kernel_bitwise_matches_scalar_oracle(
+        particles in prop::collection::vec(particle_strategy(), 1..40),
+        probe in particle_strategy(),
+        eps2 in prop_oneof![Just(0.0f64), 1e-6f64..1e-2],
+        h2 in 1e-4f64..0.5,
+    ) {
+        let mut scalar_chip = Chip::new(ChipConfig::default());
+        let mut batched_chip = Chip::new(ChipConfig::default());
+        scalar_chip.set_kernel_mode(KernelMode::Scalar);
+        batched_chip.set_kernel_mode(KernelMode::Batched);
+        for (k, p) in particles.iter().enumerate() {
+            scalar_chip.load_j(k, p);
+            batched_chip.load_j(k, p);
+        }
+        scalar_chip.set_time(0.0);
+        batched_chip.set_time(0.0);
+        let i_regs = [
+            HwIParticle::from_host(particles[0].pos, particles[0].vel, eps2),
+            HwIParticle::from_host(probe.pos, probe.vel, eps2),
+        ];
+        let exps = [ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 2];
+        let h2v = [h2; 2];
+        let mut nb_s = Vec::new();
+        let mut nb_b = Vec::new();
+        let a = scalar_chip.compute_block_nb(&i_regs, &exps, &h2v, &mut nb_s).unwrap();
+        let b = batched_chip.compute_block_nb(&i_regs, &exps, &h2v, &mut nb_b).unwrap();
+        for i in 0..2 {
+            for c in 0..3 {
+                prop_assert_eq!(a[i].acc[c].mant(), b[i].acc[c].mant(), "acc[{}][{}]", i, c);
+                prop_assert_eq!(a[i].jerk[c].mant(), b[i].jerk[c].mant(), "jerk[{}][{}]", i, c);
+            }
+            prop_assert_eq!(a[i].pot.mant(), b[i].pot.mant(), "pot[{}]", i);
+        }
+        prop_assert_eq!(&nb_s, &nb_b, "neighbour lists diverged");
     }
 
     /// The on-chip predictor is consistent with the f64 predictor for any
