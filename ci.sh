@@ -50,8 +50,35 @@ EOF
 echo "==> example smoke tests (release)"
 cargo run --release --locked --example quickstart
 cargo run --release --locked --example fault_tour
+cargo run --release --locked --example farm_tour
 
 echo "==> chaos soak: seeded fault schedules against the recovery stack"
 cargo run --release --locked -p grape6-bench --bin chaos_soak
+
+echo "==> farm soak: multi-tenant scenarios against the shared board pool"
+# Oversubscribed seeded runs with two injected board faults.  The binary
+# exits 1 on any missed rejection/rotation, incomplete session, bitwise
+# divergence, or scheduler stall (the deadlock signal), and emits
+# BENCH_farm.json; the guard re-checks the invariants from the JSON.
+cargo run --release --locked -p grape6-bench --bin farm_soak
+python3 - <<'EOF'
+import json
+with open("BENCH_farm.json") as f:
+    r = json.load(f)
+if not r["bitwise_ok"]:
+    raise SystemExit("REGRESSION: a farm session diverged from its dedicated run")
+for run in r["runs"]:
+    seed = run["seed"]
+    if run["completed"] != run["admitted"]:
+        raise SystemExit(f"REGRESSION: seed {seed}: admitted session did not complete")
+    if run["rejected_saturated"] + run["rejected_queue_full"] == 0:
+        raise SystemExit(f"REGRESSION: seed {seed}: backpressure never fired")
+    if run["board_rotations"] < 2:
+        raise SystemExit(f"REGRESSION: seed {seed}: a faulted board was not rotated out")
+    if run["evictions"] < 1 or run["resumes"] < 1:
+        raise SystemExit(f"REGRESSION: seed {seed}: no eviction/resume traffic")
+    print(f"farm guard: seed {seed}: {run['completed']}/{run['admitted']} done, "
+          f"{run['board_rotations']} rotations, {run['evictions']} evictions — ok")
+EOF
 
 echo "==> ci.sh: all green"

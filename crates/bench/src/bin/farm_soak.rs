@@ -1,0 +1,100 @@
+//! The farm soak — `BENCH_farm.json`.
+//!
+//! Seeded multi-tenant scenarios against the farm service: more jobs
+//! than the admission ceiling (typed backpressure must fire), a board
+//! that flunks power-on self-test, and a board that dies mid-run
+//! (rotation, eviction, and checkpoint-resume must all engage).  Every
+//! admitted session must complete with particle bits **identical** to a
+//! dedicated single-tenant run — see [`grape6_bench::farm`] for the
+//! full invariant list.
+//!
+//! Usage: `farm_soak [seeds...]` — defaults to three seeds.  Exits
+//! nonzero if any invariant breaks (including a scheduler stall, the
+//! deadlock signal).  Output: a table per run plus `BENCH_farm.json` in
+//! the current directory.
+
+use grape6_bench::farm::{farm_soak_run, FarmSoakConfig};
+use grape6_bench::print_table;
+
+fn main() {
+    let args: Vec<u64> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("seeds must be integers"))
+        .collect();
+    let seeds = if args.is_empty() {
+        vec![17, 29, 43]
+    } else {
+        args
+    };
+
+    let cfg = FarmSoakConfig::default();
+    let mut rows = Vec::new();
+    let mut outcomes = Vec::new();
+    let mut failures: Vec<(u64, Vec<String>)> = Vec::new();
+    for &seed in &seeds {
+        let out = farm_soak_run(seed, &cfg);
+        rows.push(vec![
+            out.seed.to_string(),
+            format!("{}/{}", out.admitted, out.submitted),
+            out.completed.to_string(),
+            out.rejected_saturated.to_string(),
+            out.rejected_queue_full.to_string(),
+            format!("{:.2e}", out.retry_after_hint),
+            out.board_rotations.to_string(),
+            out.evictions.to_string(),
+            out.resumes.to_string(),
+            out.grant_retries.to_string(),
+            format!("{}/{}", out.bitwise_ok, out.admitted),
+            if out.ok() { "ok".into() } else { "FAIL".into() },
+        ]);
+        if !out.ok() {
+            failures.push((seed, out.violations.clone()));
+        }
+        outcomes.push(out);
+    }
+
+    print_table(
+        &format!(
+            "Farm soak: {} seeded multi-tenant scenarios ({} tenants, n={}, {} boards, 2 injected faults)",
+            seeds.len(),
+            cfg.tenants,
+            cfg.n,
+            cfg.boards
+        ),
+        &[
+            "seed",
+            "admit/sub",
+            "done",
+            "saturated",
+            "queuefull",
+            "retry_hint",
+            "rotations",
+            "evictions",
+            "resumes",
+            "retries",
+            "bitwise",
+            "verdict",
+        ],
+        &rows,
+    );
+
+    let body: Vec<String> = outcomes.iter().map(|o| o.to_json()).collect();
+    let all_ok = failures.is_empty();
+    let json = format!(
+        "{{\"runs\":[{}],\"bitwise_ok\":{all_ok}}}\n",
+        body.join(",")
+    );
+    std::fs::write("BENCH_farm.json", json).expect("write BENCH_farm.json");
+    println!("\nwrote BENCH_farm.json");
+
+    if !all_ok {
+        for (seed, violations) in &failures {
+            eprintln!("\nseed {seed} FAILED:");
+            for v in violations {
+                eprintln!("  - {v}");
+            }
+        }
+        std::process::exit(1);
+    }
+    println!("farm soak: every invariant held on every seed");
+}

@@ -126,7 +126,10 @@ fn geometry(m: &MachineConfig) -> MachineGeometry {
     }
 }
 
-fn bits_equal(a: &ParticleSet, b: &ParticleSet) -> bool {
+/// Bitwise state identity: positions/velocities/accelerations/jerks as
+/// values plus time and timestep *bits*.  Shared by the chaos and farm
+/// soaks — "recovered" means nothing unless it means this.
+pub fn bits_equal(a: &ParticleSet, b: &ParticleSet) -> bool {
     a.n() == b.n()
         && a.pos == b.pos
         && a.vel == b.vel

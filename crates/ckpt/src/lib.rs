@@ -45,7 +45,11 @@ pub use state::{
 };
 
 /// Current checkpoint format version.
-pub const CKPT_VERSION: u32 = 1;
+///
+/// History: v1 was the original layout; v2 appends the `step_retries`
+/// ladder counter to [`RecoveryState`].  v1 files still load (the missing
+/// counter decodes as 0) — only versions *newer* than this are rejected.
+pub const CKPT_VERSION: u32 = 2;
 
 /// Magic string opening every checkpoint header.
 const MAGIC: &str = "GRAPE6-CKPT";
@@ -338,6 +342,35 @@ mod tests {
             }
             other => panic!("expected Version, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn v1_files_still_load_with_zero_step_retries() {
+        // Encoding honours the declared version, so a v1-stamped
+        // checkpoint produces genuine v1 bytes (no step_retries field) —
+        // exactly what a pre-v2 build wrote.
+        let mut c = sample(3);
+        c.version = 1;
+        c.integrator.stats.recovery.step_retries = 99; // dropped by v1 encode
+        let bytes = c.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(back.version, 1);
+        assert_eq!(back.integrator.stats.recovery.step_retries, 0);
+        // Everything else survives untouched.
+        assert_eq!(back.integrator.pos, c.integrator.pos);
+        assert_eq!(
+            back.integrator.stats.recovery.checkpoints_taken,
+            c.integrator.stats.recovery.checkpoints_taken
+        );
+    }
+
+    #[test]
+    fn v2_roundtrips_step_retries() {
+        let mut c = sample(3);
+        c.integrator.stats.recovery.step_retries = 7;
+        let back = Checkpoint::from_bytes(&c.to_bytes()).unwrap();
+        assert_eq!(back.integrator.stats.recovery.step_retries, 7);
+        assert_eq!(back, c);
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl Checkpoint {
                 es.encode(e);
             }
         }
-        self.integrator.encode(e);
+        // The payload's leading version drives which layout the
+        // version-evolved records use, both ways: a checkpoint loaded
+        // from a v1 file re-encodes as genuine v1 bytes.
+        self.integrator.encode(e, self.version);
         e.size(self.net.len());
         for n in &self.net {
             n.encode(e);
@@ -80,8 +83,9 @@ impl Checkpoint {
     }
 
     pub(crate) fn decode(d: &mut Dec) -> Result<Self, WireError> {
+        let version = d.u32()?;
         Ok(Self {
-            version: d.u32()?,
+            version,
             label: d.str()?,
             blockstep: d.u64()?,
             engine: if d.bool()? {
@@ -89,7 +93,7 @@ impl Checkpoint {
             } else {
                 None
             },
-            integrator: IntegratorState::decode(d)?,
+            integrator: IntegratorState::decode(d, version)?,
             net: {
                 let len = d.size()?;
                 (0..len)
@@ -283,7 +287,7 @@ impl IntegratorState {
             && self.dt.len() == n
     }
 
-    fn encode(&self, e: &mut Enc) {
+    fn encode(&self, e: &mut Enc, version: u32) {
         e.u64(self.t);
         e.u64(self.eps);
         e.size(self.n);
@@ -297,10 +301,10 @@ impl IntegratorState {
         e.seq_u64(&self.pot);
         e.seq_u64(&self.t_last);
         e.seq_u64(&self.dt);
-        self.stats.encode(e);
+        self.stats.encode(e, version);
     }
 
-    fn decode(d: &mut Dec) -> Result<Self, WireError> {
+    fn decode(d: &mut Dec, version: u32) -> Result<Self, WireError> {
         Ok(Self {
             t: d.u64()?,
             eps: d.u64()?,
@@ -315,7 +319,7 @@ impl IntegratorState {
             pot: d.seq_u64()?,
             t_last: d.seq_u64()?,
             dt: d.seq_u64()?,
-            stats: RunStatState::decode(d)?,
+            stats: RunStatState::decode(d, version)?,
         })
     }
 }
@@ -342,7 +346,7 @@ pub struct RunStatState {
 }
 
 impl RunStatState {
-    fn encode(&self, e: &mut Enc) {
+    fn encode(&self, e: &mut Enc, version: u32) {
         e.u64(self.particle_steps);
         e.u64(self.blocksteps);
         e.u64(self.max_block);
@@ -350,10 +354,10 @@ impl RunStatState {
         e.u64(self.dt_min);
         e.u64(self.dt_max);
         self.faults.encode(e);
-        self.recovery.encode(e);
+        self.recovery.encode(e, version);
     }
 
-    fn decode(d: &mut Dec) -> Result<Self, WireError> {
+    fn decode(d: &mut Dec, version: u32) -> Result<Self, WireError> {
         Ok(Self {
             particle_steps: d.u64()?,
             blocksteps: d.u64()?,
@@ -362,7 +366,7 @@ impl RunStatState {
             dt_min: d.u64()?,
             dt_max: d.u64()?,
             faults: FaultCounterState::decode(d)?,
-            recovery: RecoveryState::decode(d)?,
+            recovery: RecoveryState::decode(d, version)?,
         })
     }
 }
@@ -380,24 +384,31 @@ pub struct RecoveryState {
     pub redistributions: u64,
     /// Virtual seconds charged to recovery work (bit pattern).
     pub recovery_seconds: u64,
+    /// Plain blockstep recomputes (ladder rung 1).  Format v2; a v1
+    /// payload decodes as 0, and a checkpoint re-encoded as v1 drops it.
+    pub step_retries: u64,
 }
 
 impl RecoveryState {
-    fn encode(&self, e: &mut Enc) {
+    fn encode(&self, e: &mut Enc, version: u32) {
         e.u64(self.checkpoints_taken);
         e.u64(self.restores);
         e.u64(self.reselftests);
         e.u64(self.redistributions);
         e.u64(self.recovery_seconds);
+        if version >= 2 {
+            e.u64(self.step_retries);
+        }
     }
 
-    fn decode(d: &mut Dec) -> Result<Self, WireError> {
+    fn decode(d: &mut Dec, version: u32) -> Result<Self, WireError> {
         Ok(Self {
             checkpoints_taken: d.u64()?,
             restores: d.u64()?,
             reselftests: d.u64()?,
             redistributions: d.u64()?,
             recovery_seconds: d.u64()?,
+            step_retries: if version >= 2 { d.u64()? } else { 0 },
         })
     }
 }

@@ -39,8 +39,12 @@
 //! matching `calc_firsthalf` returns [`SessionError::NoActivePass`], a
 //! second `calc_firsthalf` while one is in flight returns
 //! [`SessionError::PassAlreadyActive`] (and leaves the active pass
-//! undisturbed), and hardware failures surface as
-//! [`SessionError::Engine`].
+//! undisturbed), mismatched position/velocity buffers return
+//! [`SessionError::LengthMismatch`], bad j-writes (out-of-range address,
+//! coordinate outside the ±64 fixed-point box) come back as typed
+//! [`EngineError`]s, and hardware failures surface as
+//! [`SessionError::Engine`].  A multi-tenant host (see `grape6-farm`) can
+//! therefore never be panicked by a misbehaving client.
 
 use std::thread::JoinHandle;
 
@@ -60,6 +64,14 @@ pub enum SessionError {
     /// `calc_firsthalf` (or a j/t write) was called while a pass is in
     /// flight; the active pass is left running.
     PassAlreadyActive,
+    /// `calc_firsthalf` was given position and velocity slices of
+    /// different lengths.
+    LengthMismatch {
+        /// Number of positions supplied.
+        xi: usize,
+        /// Number of velocities supplied.
+        vi: usize,
+    },
     /// The engine failed while computing the pass.
     Engine(EngineError),
 }
@@ -73,6 +85,10 @@ impl std::fmt::Display for SessionError {
             SessionError::PassAlreadyActive => write!(
                 f,
                 "a force pass is already in flight; collect it with calc_lasthalf first"
+            ),
+            SessionError::LengthMismatch { xi, vi } => write!(
+                f,
+                "calc_firsthalf needs one velocity per position: got {xi} positions, {vi} velocities"
             ),
             SessionError::Engine(e) => write!(f, "engine error during split-phase pass: {e}"),
         }
@@ -193,8 +209,8 @@ impl G6 {
         // pipeline multipliers; the simulator takes them unscaled, so this
         // facade simply forwards (parameter names keep the old order).
         match &mut self.state {
-            State::Idle(engine) => {
-                engine.set_j_particle(
+            State::Idle(engine) => engine
+                .try_set_j_particle_checked(
                     address,
                     &JParticle {
                         mass,
@@ -205,9 +221,8 @@ impl G6 {
                         jerk: a1by6,
                         snap: a2by18,
                     },
-                );
-                Ok(())
-            }
+                )
+                .map_err(SessionError::Engine),
             State::Busy(_) => Err(SessionError::PassAlreadyActive),
             State::Moving => unreachable!("transient state"),
         }
@@ -222,7 +237,12 @@ impl G6 {
         vi: &[Vec3],
         eps2: f64,
     ) -> Result<(), SessionError> {
-        assert_eq!(xi.len(), vi.len());
+        if xi.len() != vi.len() {
+            return Err(SessionError::LengthMismatch {
+                xi: xi.len(),
+                vi: vi.len(),
+            });
+        }
         if matches!(self.state, State::Busy(_)) {
             return Err(SessionError::PassAlreadyActive);
         }
@@ -473,6 +493,67 @@ mod tests {
                 available: 8192,
             }
         );
+    }
+
+    #[test]
+    fn malformed_tenant_input_is_typed_not_a_panic() {
+        let mut g6 = G6::open(&MachineConfig::test_small(), 4).unwrap();
+        // Out-of-range j address.
+        assert_eq!(
+            g6.set_j_particle(
+                99,
+                0.0,
+                1.0,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO
+            ),
+            Err(SessionError::Engine(EngineError::BadJAddress {
+                addr: 99,
+                slots: 4
+            }))
+        );
+        // Position outside the ±64 fixed-point box.
+        assert!(matches!(
+            g6.set_j_particle(
+                0,
+                0.0,
+                1.0,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::new(100.0, 0.0, 0.0)
+            ),
+            Err(SessionError::Engine(EngineError::OutsideBox {
+                addr: 0,
+                ..
+            }))
+        ));
+        // NaN coordinates are out-of-box too.
+        assert!(matches!(
+            g6.set_j_particle(
+                0,
+                0.0,
+                1.0,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::ZERO,
+                Vec3::new(f64::NAN, 0.0, 0.0)
+            ),
+            Err(SessionError::Engine(EngineError::OutsideBox { .. }))
+        ));
+        // Mismatched i-buffers.
+        assert_eq!(
+            g6.calc_firsthalf(&[Vec3::ZERO, Vec3::ZERO], &[Vec3::ZERO], 1e-4),
+            Err(SessionError::LengthMismatch { xi: 2, vi: 1 })
+        );
+        // The session survived all of it.
+        assert!(g6.engine().is_some());
+        assert!(!g6.is_busy());
     }
 
     #[test]

@@ -81,6 +81,7 @@ pub fn stats_state(stats: &RunStats) -> RunStatState {
             reselftests: stats.recovery.reselftests,
             redistributions: stats.recovery.redistributions,
             recovery_seconds: bits(stats.recovery.recovery_seconds),
+            step_retries: stats.recovery.step_retries,
         },
     }
 }
@@ -108,6 +109,7 @@ pub fn stats_from_state(st: &RunStatState) -> RunStats {
             reselftests: st.recovery.reselftests,
             redistributions: st.recovery.redistributions,
             recovery_seconds: unbits(st.recovery.recovery_seconds),
+            step_retries: st.recovery.step_retries,
         },
     }
 }
@@ -210,6 +212,67 @@ pub fn restore(
         )));
     }
     let engine = Grape6Engine::restore_from_state(cfg, plan, es)?;
+    let set = particles_from_state(ist);
+    let stats = stats_from_state(&ist.stats);
+    Ok(HermiteIntegrator::resume(
+        engine,
+        set,
+        icfg,
+        unbits(ist.t),
+        stats,
+    ))
+}
+
+/// Restore a checkpoint onto *different* hardware — the migration path a
+/// board farm uses when the original board is gone (evicted session
+/// resumed elsewhere, or a faulted board rotated out of service).
+///
+/// Where [`restore`] rebuilds the original board — same fault plan, same
+/// masked-unit set, same pending scheduled deaths — this rebuilds the run
+/// on the board described by `cfg`/`plan`:
+///
+/// * the plan-seed guard is skipped and the engine takes the *new* board's
+///   seed (the checkpoint's seed describes hardware we no longer run on);
+/// * the old board's masked-unit set is **not** re-applied, and its
+///   pending scheduled deaths are **not** re-armed — faults belong to the
+///   physical board, not to the session, and must not follow a migration;
+/// * the new board's own plan (if any) is injected and self-tested as at
+///   any power-on.
+///
+/// Machine *geometry* must still match the checkpoint fingerprint — a
+/// farm's pool is homogeneous, and the block-FP reduction tree is shaped
+/// by it.  Everything bitwise-critical (particle bits, magnitude
+/// estimates, pass clocks) transfers unchanged, and §3.4 summation makes
+/// the new board's partitioning invisible in the force bits, so the
+/// migrated run continues bit-for-bit like the uninterrupted one.
+pub fn restore_migrate(
+    cfg: &MachineConfig,
+    plan: Option<&FaultPlan>,
+    icfg: IntegratorConfig,
+    ckpt: &Checkpoint,
+) -> Result<HermiteIntegrator<Grape6Engine>, RestoreError> {
+    let es = ckpt
+        .engine
+        .as_ref()
+        .ok_or_else(|| RestoreError::Mismatch("checkpoint has no engine state".into()))?;
+    let mut es = es.clone();
+    es.plan_seed = plan.map(|p| p.seed).unwrap_or(0);
+    es.masked.clear();
+    es.pending_deaths.clear();
+    let ist = &ckpt.integrator;
+    if !ist.is_consistent() {
+        return Err(RestoreError::Mismatch(
+            "integrator arrays are inconsistent".into(),
+        ));
+    }
+    let eps = icfg.softening.epsilon(ist.n);
+    if bits(eps) != ist.eps {
+        return Err(RestoreError::Mismatch(format!(
+            "softening ε from the configuration is {eps:e}; the checkpoint was taken at {:e}",
+            unbits(ist.eps)
+        )));
+    }
+    let engine = Grape6Engine::restore_from_state(cfg, plan, &es)?;
     let set = particles_from_state(ist);
     let stats = stats_from_state(&ist.stats);
     Ok(HermiteIntegrator::resume(

@@ -99,6 +99,11 @@ pub struct Grape6Engine {
     /// oracle for A/B verification).  Bitwise-invisible, so deliberately
     /// *not* part of the checkpoint state.
     kernel: KernelMode,
+    /// Set when a j-memory reload failed after masking: the hardware no
+    /// longer holds the full j-set, so any force it computed would be
+    /// silently missing contributions.  Every compute refuses with this
+    /// error until a successful reload clears it.
+    poisoned: Option<EngineError>,
 }
 
 impl Grape6Engine {
@@ -211,6 +216,7 @@ impl Grape6Engine {
             timebase: None,
             vt: 0.0,
             kernel: KernelMode::default(),
+            poisoned: None,
         }
     }
 
@@ -449,10 +455,15 @@ impl Grape6Engine {
         // Re-apply every masked unit.  Self-test already masked some of
         // them (mask_path is idempotent and returns false then); the rest
         // are mid-run deaths the original run had already discovered.
+        // The bookkeeping list is the union — construction's self-test
+        // masks first, then whatever the checkpoint adds — so a restore
+        // onto a board with its own faults (migration) keeps both sets.
         for path in &st.masked {
             engine.hw.mask_path(path);
+            if !engine.masked.contains(path) {
+                engine.masked.push(path.clone());
+            }
         }
-        engine.masked = st.masked.clone();
         let available = engine.hw.capacity();
         if st.n_slots > available {
             return Err(EngineError::InsufficientCapacity {
@@ -598,13 +609,22 @@ impl Grape6Engine {
     }
 
     /// Reload every mirrored j-particle onto the (newly smaller) machine.
+    ///
+    /// Failure poisons the engine: once a unit is masked the hardware's
+    /// j-partitioning no longer matches the mirror, and computing anyway
+    /// would return forces silently missing the lost unit's particles.
+    /// A later successful reload (capacity restored by a different mask
+    /// set) clears the poison; in practice recovery means restoring the
+    /// checkpoint onto healthier hardware.
     fn reload_from_mirror(&mut self) -> Result<(), EngineError> {
         let available = self.hw.capacity();
         if self.n_slots > available {
-            return Err(EngineError::InsufficientCapacity {
+            let e = EngineError::InsufficientCapacity {
                 needed: self.n_slots,
                 available,
-            });
+            };
+            self.poisoned = Some(e.clone());
+            return Err(e);
         }
         // `clear` also resets the chips' predictor time — restore it before
         // reloading so the redistributed particles predict identically.
@@ -621,6 +641,7 @@ impl Grape6Engine {
                     })?;
             }
         }
+        self.poisoned = None;
         Ok(())
     }
 
@@ -633,6 +654,9 @@ impl Grape6Engine {
         regs: &[HwIParticle],
         h2: Option<&[f64]>,
     ) -> Result<(Vec<PartialForce>, Option<Vec<Vec<u32>>>), EngineError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
         self.pass += 1;
         self.apply_due_deaths()?;
         let n_i = regs.len();
@@ -761,13 +785,65 @@ impl Grape6Engine {
         }
     }
 
+    /// Fallible j-memory write: the typed-error twin of
+    /// [`ForceEngine::set_j_particle`].  Rejects out-of-range addresses and
+    /// coordinates outside the ±64 fixed-point box (NaN included) instead
+    /// of panicking, so a misbehaving tenant cannot take the host down.
+    pub fn try_set_j_particle_checked(
+        &mut self,
+        addr: usize,
+        p: &JParticle,
+    ) -> Result<(), EngineError> {
+        if addr >= self.n_slots {
+            return Err(EngineError::BadJAddress {
+                addr,
+                slots: self.n_slots,
+            });
+        }
+        // The fixed-point coordinate box covers ±64 length units; a
+        // coordinate outside it would silently wrap in the memory format
+        // (hardware semantics).  NaN must be rejected too.
+        for c in p.pos.to_array() {
+            if c.is_nan() || c.abs() >= 64.0 {
+                return Err(EngineError::OutsideBox { addr, coord: c });
+            }
+        }
+        self.mirror[addr] = Some(*p);
+        if let Some(tb) = self.timebase {
+            // j writeback crosses the same host↔GRAPE interface as the
+            // i/force traffic (the j term of the model's interface time).
+            self.trace_span(
+                Phase::Interface,
+                tb.j_write_time(),
+                SpanCounters {
+                    items: 1,
+                    bytes: tb.j_word_bytes as u64,
+                    ..Default::default()
+                },
+            );
+        }
+        // addr < n_slots ≤ capacity (checked at construction and on every
+        // reload), so a hardware write failure is a machine defect.
+        self.hw
+            .load_j(addr, p)
+            .map_err(|e| EngineError::HardwareFault {
+                detail: format!("j-memory load failed: {e}"),
+            })
+    }
+
     /// Fallible compute: the typed-error twin of [`ForceEngine::compute`].
     pub fn try_compute_forces(
         &mut self,
         i: &[IParticle],
         out: &mut [ForceResult],
     ) -> Result<(), EngineError> {
-        assert_eq!(i.len(), out.len());
+        if i.len() != out.len() {
+            return Err(EngineError::BufferMismatch {
+                what: "out",
+                expected: i.len(),
+                got: out.len(),
+            });
+        }
         for (chunk_i, chunk_o) in i
             .chunks(self.i_parallel)
             .zip(out.chunks_mut(self.i_parallel))
@@ -792,38 +868,13 @@ impl ForceEngine for Grape6Engine {
     }
 
     fn set_j_particle(&mut self, addr: usize, p: &JParticle) {
-        assert!(addr < self.n_slots, "j address {addr} out of range");
-        // The fixed-point coordinate box covers ±64 length units; a
-        // coordinate outside it would silently wrap in the memory format
-        // (hardware semantics).  The real host library rescales systems to
-        // fit; this simulator refuses loudly instead of corrupting forces.
-        for c in p.pos.to_array() {
-            assert!(
-                c.abs() < 64.0,
-                "particle {addr} position {c} outside the ±64 fixed-point box; \
-                 rescale the system (the paper's host library kept systems \
-                 well inside the box for exactly this reason)"
-            );
+        if let Err(e) = self.try_set_j_particle_checked(addr, p) {
+            panic!("{e}");
         }
-        self.mirror[addr] = Some(*p);
-        // addr < n_slots ≤ capacity (checked at construction and on every
-        // reload), so the hardware write cannot fail here.
-        if let Some(tb) = self.timebase {
-            // j writeback crosses the same host↔GRAPE interface as the
-            // i/force traffic (the j term of the model's interface time).
-            self.trace_span(
-                Phase::Interface,
-                tb.j_write_time(),
-                SpanCounters {
-                    items: 1,
-                    bytes: tb.j_word_bytes as u64,
-                    ..Default::default()
-                },
-            );
-        }
-        self.hw
-            .load_j(addr, p)
-            .expect("j capacity verified against n_slots");
+    }
+
+    fn try_set_j_particle(&mut self, addr: usize, p: &JParticle) -> Result<(), EngineError> {
+        self.try_set_j_particle_checked(addr, p)
     }
 
     fn set_time(&mut self, t: f64) {
@@ -892,8 +943,20 @@ impl Grape6Engine {
         h2: &[f64],
         out: &mut [ForceResult],
     ) -> Result<Vec<Vec<u32>>, EngineError> {
-        assert_eq!(i.len(), out.len());
-        assert_eq!(i.len(), h2.len());
+        if i.len() != out.len() {
+            return Err(EngineError::BufferMismatch {
+                what: "out",
+                expected: i.len(),
+                got: out.len(),
+            });
+        }
+        if i.len() != h2.len() {
+            return Err(EngineError::BufferMismatch {
+                what: "h2",
+                expected: i.len(),
+                got: h2.len(),
+            });
+        }
         let mut all_lists = Vec::with_capacity(i.len());
         for ((chunk_i, chunk_o), chunk_h) in i
             .chunks(self.i_parallel)

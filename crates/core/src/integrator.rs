@@ -92,14 +92,30 @@ pub struct HermiteIntegrator<E: ForceEngine> {
 impl<E: ForceEngine> HermiteIntegrator<E> {
     /// Initialise: load every particle into the engine, evaluate initial
     /// forces and jerks, assign startup timesteps.
-    pub fn new(mut engine: E, mut set: ParticleSet, cfg: IntegratorConfig) -> Self {
+    pub fn new(engine: E, set: ParticleSet, cfg: IntegratorConfig) -> Self {
+        match Self::try_new(engine, set, cfg) {
+            Ok(it) => it,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible twin of [`HermiteIntegrator::new`]: a bad particle (outside
+    /// the engine's coordinate box) or an engine failure during the initial
+    /// force evaluation comes back as a typed [`EngineError`] instead of a
+    /// panic — what a multi-tenant host needs when activating a job it did
+    /// not author.
+    pub fn try_new(
+        mut engine: E,
+        mut set: ParticleSet,
+        cfg: IntegratorConfig,
+    ) -> Result<Self, EngineError> {
         let n = set.n();
         assert!(n >= 2, "need at least two particles");
         let eps = cfg.softening.epsilon(n);
         let eps2 = eps * eps;
         for i in 0..n {
             set.t[i] = 0.0;
-            engine.set_j_particle(i, &j_of(&set, i));
+            engine.try_set_j_particle(i, &j_of(&set, i))?;
         }
         engine.set_time(0.0);
         let iparts: Vec<IParticle> = (0..n)
@@ -110,7 +126,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             })
             .collect();
         let mut forces = vec![ForceResult::default(); n];
-        engine.compute(&iparts, &mut forces);
+        engine.try_compute(&iparts, &mut forces)?;
         for (i, force) in forces.iter().enumerate() {
             let f = corrected_pot(force, set.mass[i], eps);
             set.acc[i] = f.acc;
@@ -128,7 +144,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
         }
         let mut stats = RunStats::new();
         stats.faults = engine.fault_counters();
-        Self {
+        Ok(Self {
             engine,
             set,
             cfg,
@@ -141,7 +157,7 @@ impl<E: ForceEngine> HermiteIntegrator<E> {
             forces: Vec::new(),
             tracer: Tracer::disabled(),
             host_rates: None,
-        }
+        })
     }
 
     /// Rebuild an integrator around previously-integrated state without

@@ -45,7 +45,7 @@ pub mod stats;
 pub mod supervisor;
 
 pub use api::{SessionError, G6};
-pub use checkpoint::{capture, restore, RestoreError};
+pub use checkpoint::{capture, restore, restore_migrate, RestoreError};
 pub use engine::Grape6Engine;
 pub use grape6_chip::kernel::KernelMode;
 pub use integrator::{HermiteIntegrator, IntegratorConfig};

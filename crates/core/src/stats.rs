@@ -31,10 +31,18 @@ pub struct RunStats {
 }
 
 /// What a run supervisor did to keep the run alive, and what it cost.
+///
+/// The four ladder counters (`step_retries`, `reselftests`,
+/// `redistributions`, `restores`) attribute every recovery to the rung
+/// that performed it, so a fleet operator can tell "this session burned
+/// retries" from "this session's board had to be re-proven".
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RecoveryStats {
     /// Checkpoints taken.
     pub checkpoints_taken: u64,
+    /// Plain blockstep recomputes (recovery ladder rung 1): the step was
+    /// simply tried again on the same hardware.
+    pub step_retries: u64,
     /// Restores from a checkpoint (recovery ladder rung 4).
     pub restores: u64,
     /// Mid-run re-self-tests (rung 2).

@@ -291,7 +291,7 @@ impl RunSupervisor {
                     // Rung 1: plain recompute.  The engine's bounded
                     // internal retries have already absorbed transients;
                     // this catches one-shot scheduling faults.
-                    0 => {}
+                    0 => self.it.stats_mut().recovery.step_retries += 1,
                     1 => self.reselftest()?,
                     2 => self.redistribute()?,
                     3 => self.restore_last()?,

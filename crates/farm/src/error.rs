@@ -1,0 +1,88 @@
+//! Typed errors for the farm's admission and scheduling layers.
+//!
+//! Every rejection a tenant can see is a value, not a panic: a client
+//! library can match on [`FarmError::Saturated`] and retry after the
+//! suggested backoff, or on [`FarmError::QueueFull`] and stop producing.
+
+use crate::session::{SessionId, TenantId};
+
+/// Why the farm refused a submission or aborted a run.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FarmError {
+    /// The farm is at its multiprogramming ceiling.  `retry_after` is a
+    /// deterministic, load-derived estimate (virtual seconds) of when a
+    /// slot should free up — it grows with the number of sessions ahead
+    /// of the rejected one and with the job size.
+    Saturated {
+        /// Suggested virtual-time backoff before resubmitting.
+        retry_after: f64,
+    },
+    /// The tenant's bounded submission queue is full (backpressure).
+    QueueFull {
+        /// The tenant whose queue overflowed.
+        tenant: TenantId,
+        /// The configured per-tenant depth that was hit.
+        depth: usize,
+    },
+    /// The job needs more j-memory slots than one board provides; no
+    /// amount of waiting will make it schedulable.
+    JobTooLarge {
+        /// Particles requested.
+        n: usize,
+        /// Slots a single (healthy) board offers.
+        capacity: usize,
+    },
+    /// The job is malformed (too few particles, non-finite or
+    /// out-of-box coordinates).  The reason says which check failed.
+    InvalidJob {
+        /// Human-readable description of the failed check.
+        reason: String,
+    },
+    /// The tenant id was never registered with [`Farm::add_tenant`].
+    ///
+    /// [`Farm::add_tenant`]: crate::Farm::add_tenant
+    UnknownTenant(TenantId),
+    /// The session id does not exist.
+    UnknownSession(SessionId),
+    /// Every board in the pool has been retired; the remaining live
+    /// sessions cannot be placed anywhere.
+    PoolExhausted,
+    /// The scheduler completed a full round without granting a quantum
+    /// while live sessions remain — a deadlock.  This is the typed
+    /// signal the CI soak turns into a nonzero exit.
+    Stalled {
+        /// The scheduler round that made no progress.
+        round: u64,
+    },
+    /// The farm was configured with zero boards or a zero quantum.
+    BadConfig {
+        /// Which parameter is unusable.
+        reason: String,
+    },
+}
+
+impl std::fmt::Display for FarmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Saturated { retry_after } => {
+                write!(f, "farm saturated; retry after {retry_after:.3e} virtual s")
+            }
+            Self::QueueFull { tenant, depth } => {
+                write!(f, "tenant {tenant} queue full (depth {depth})")
+            }
+            Self::JobTooLarge { n, capacity } => {
+                write!(f, "job of {n} particles exceeds board capacity {capacity}")
+            }
+            Self::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
+            Self::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
+            Self::UnknownSession(s) => write!(f, "unknown session {s}"),
+            Self::PoolExhausted => write!(f, "every board in the pool is retired"),
+            Self::Stalled { round } => {
+                write!(f, "scheduler stalled at round {round} with live sessions")
+            }
+            Self::BadConfig { reason } => write!(f, "bad farm config: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FarmError {}

@@ -1,0 +1,45 @@
+//! # grape6-farm — a multi-tenant GRAPE farm
+//!
+//! The SC'03 paper's machines were *shared*: a few host+GRAPE units
+//! served a whole institute, and the host software's real job was to
+//! keep many users' week-long runs alive on hardware that failed weekly
+//! (§2).  This crate reproduces that operational layer as a
+//! deterministic, virtual-time service:
+//!
+//! * [`Farm`] multiplexes many sessions (each the same supervised
+//!   integrator+engine pair a `G6` session wraps) over a shared
+//!   [`BoardPool`];
+//! * **admission control** rejects work beyond a multiprogramming
+//!   ceiling with [`FarmError::Saturated`] (carrying a deterministic
+//!   `retry_after`) and beyond a per-tenant queue depth with
+//!   [`FarmError::QueueFull`] — typed backpressure, not panics;
+//! * a **deficit weighted-round-robin scheduler** grants quanta of
+//!   blocksteps in proportion to tenant weights, enforces per-session
+//!   grant deadlines, and retries transient failures with the fault
+//!   subsystem's deterministic-jitter exponential backoff;
+//! * **checkpoint eviction**: when sessions outnumber boards, the
+//!   least-recently-granted session is parked as a bitwise-exact
+//!   checkpoint and later resumed — possibly on a *different* board —
+//!   via `restore_migrate`;
+//! * **fault-aware rotation**: boards failing the known-answer
+//!   self-test, or on which the supervisor's recovery ladder is
+//!   exhausted, are retired from the pool and their sessions
+//!   redistributed.
+//!
+//! The §3.4 block floating-point force summation makes all of this
+//! invisible in the particle bits: every tenant finishes **bitwise
+//! identical** to a dedicated single-tenant run, which the crate's
+//! tests, `tests/farm_bitwise.rs`, and the `farm_soak` bench binary all
+//! assert.
+
+pub mod error;
+pub mod farm;
+pub mod pool;
+pub mod session;
+pub mod stats;
+
+pub use error::FarmError;
+pub use farm::{Farm, FarmConfig};
+pub use pool::{BoardHealth, BoardPool, BoardSlot};
+pub use session::{Job, SessionId, SessionOutcome, TenantId};
+pub use stats::{FarmReport, FarmStats, TenantReport};

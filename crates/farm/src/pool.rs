@@ -1,0 +1,173 @@
+//! The shared board pool and its health states.
+//!
+//! The farm owns a pool of identical board units (each described by one
+//! [`MachineConfig`], typically a single physical board).  Every unit
+//! carries an optional seeded [`FaultPlan`] — the same plans PR 1's
+//! self-test and the chaos soak use — so a pool can be built with known
+//! bad hardware and the rotation logic exercised deterministically.
+//!
+//! Health is a one-way ladder: `Healthy` → `Degraded` (self-test masked
+//! some units but capacity still suffices) → `Retired` (the known-answer
+//! self-test failed hard enough that sessions no longer fit, or a
+//! session's recovery ladder was exhausted on this board).  Retired
+//! boards are never offered to the scheduler again.
+
+use grape6_fault::FaultPlan;
+use grape6_system::machine::MachineConfig;
+
+use crate::session::SessionId;
+
+/// Health of one pool unit.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoardHealth {
+    /// Full capacity.
+    Healthy,
+    /// Self-test masked some units; remaining capacity still serves jobs.
+    Degraded {
+        /// Units masked out by the known-answer self-test.
+        masked: usize,
+    },
+    /// Pulled from rotation.
+    Retired,
+}
+
+/// One board unit in the pool.
+#[derive(Clone, Debug)]
+pub struct BoardSlot {
+    /// Seeded fault plan this unit was provisioned with, if any.
+    pub plan: Option<FaultPlan>,
+    /// Current health.
+    pub health: BoardHealth,
+    /// Session currently resident on this unit.
+    pub occupant: Option<SessionId>,
+    /// Why the unit was retired, when it was.
+    pub retired_reason: Option<String>,
+}
+
+/// The shared pool.
+#[derive(Clone, Debug)]
+pub struct BoardPool {
+    machine: MachineConfig,
+    slots: Vec<BoardSlot>,
+}
+
+impl BoardPool {
+    /// Build a pool of `boards` identical units.  `plans` provisions the
+    /// first `plans.len()` units with fault plans; the rest are healthy.
+    pub fn new(machine: MachineConfig, boards: usize, plans: Vec<Option<FaultPlan>>) -> Self {
+        let mut plans = plans;
+        plans.resize(boards, None);
+        let slots = plans
+            .into_iter()
+            .map(|plan| BoardSlot {
+                plan,
+                health: BoardHealth::Healthy,
+                occupant: None,
+                retired_reason: None,
+            })
+            .collect();
+        Self { machine, slots }
+    }
+
+    /// The per-unit machine description.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// j-memory slots one healthy unit offers (the admission size limit).
+    pub fn unit_capacity(&self) -> usize {
+        self.machine.boards
+            * self.machine.modules_per_board
+            * self.machine.chips_per_module
+            * self.machine.chip.jmem_capacity
+    }
+
+    /// All slots (reporting).
+    pub fn slots(&self) -> &[BoardSlot] {
+        &self.slots
+    }
+
+    /// Index of the first unoccupied, unretired unit.
+    pub fn free_slot(&self) -> Option<usize> {
+        self.slots
+            .iter()
+            .position(|s| s.health != BoardHealth::Retired && s.occupant.is_none())
+    }
+
+    /// Units still in rotation (healthy or degraded).
+    pub fn in_service(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| s.health != BoardHealth::Retired)
+            .count()
+    }
+
+    /// Units currently hosting a session.
+    pub fn occupied(&self) -> usize {
+        self.slots.iter().filter(|s| s.occupant.is_some()).count()
+    }
+
+    pub(crate) fn occupy(&mut self, idx: usize, sid: SessionId) {
+        self.slots[idx].occupant = Some(sid);
+    }
+
+    pub(crate) fn release(&mut self, idx: usize) {
+        self.slots[idx].occupant = None;
+    }
+
+    /// Pull a unit from rotation, recording why (its occupant, if any,
+    /// is the caller's problem — the farm parks it first).
+    pub(crate) fn retire(&mut self, idx: usize, reason: String) {
+        self.slots[idx].health = BoardHealth::Retired;
+        self.slots[idx].occupant = None;
+        self.slots[idx].retired_reason = Some(reason);
+    }
+
+    /// Record self-test degradation observed at activation.
+    pub(crate) fn note_masked(&mut self, idx: usize, masked: usize) {
+        if masked > 0 && self.slots[idx].health == BoardHealth::Healthy {
+            self.slots[idx].health = BoardHealth::Degraded { masked };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> MachineConfig {
+        MachineConfig::builder()
+            .boards(1)
+            .modules_per_board(2)
+            .chips_per_module(2)
+            .jmem_capacity(16)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn pool_lifecycle() {
+        let mut pool = BoardPool::new(small(), 3, vec![None]);
+        assert_eq!(pool.unit_capacity(), 64);
+        assert_eq!(pool.in_service(), 3);
+        assert_eq!(pool.free_slot(), Some(0));
+        let sid = SessionId {
+            tenant: 0,
+            index: 0,
+        };
+        pool.occupy(0, sid);
+        assert_eq!(pool.free_slot(), Some(1));
+        assert_eq!(pool.occupied(), 1);
+        pool.retire(1, "test".into());
+        assert_eq!(pool.free_slot(), Some(2));
+        assert_eq!(pool.in_service(), 2);
+        pool.release(0);
+        assert_eq!(pool.free_slot(), Some(0));
+        pool.note_masked(2, 1);
+        assert_eq!(pool.slots()[2].health, BoardHealth::Degraded { masked: 1 });
+        pool.retire(0, "test".into());
+        pool.retire(2, "test".into());
+        assert_eq!(pool.free_slot(), None);
+        assert_eq!(pool.in_service(), 0);
+    }
+}

@@ -1,0 +1,135 @@
+//! Sessions and their lifecycle.
+//!
+//! A *session* is one tenant job making its way through the farm:
+//!
+//! ```text
+//! Queued ──▶ Resident ⇄ Parked ──▶ Done | Failed
+//! ```
+//!
+//! `Resident` holds a live [`RunSupervisor`] bound to a pool board;
+//! `Parked` holds only the session's last [`Checkpoint`] — eviction is
+//! literally "checkpoint, drop the engine, free the board", and resume
+//! is [`restore_migrate`](grape6_core::restore_migrate) onto whichever
+//! board is free next.  Because checkpoints are bitwise-exact and §3.4
+//! block-FP summation makes board migration invisible in the force
+//! bits, a session evicted and resumed any number of times finishes
+//! with the same particle bits as an uninterrupted run.
+
+use grape6_ckpt::Checkpoint;
+use grape6_core::{RunStats, RunSupervisor};
+use nbody_core::particle::ParticleSet;
+
+/// A tenant identifier (registration order).
+pub type TenantId = u32;
+
+/// A session identifier: the owning tenant plus a per-tenant index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SessionId {
+    /// The owning tenant.
+    pub tenant: TenantId,
+    /// Submission index within the tenant.
+    pub index: u32,
+}
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t{}.s{}", self.tenant, self.index)
+    }
+}
+
+/// What a tenant submits: initial conditions plus a target time.
+#[derive(Clone, Debug)]
+pub struct Job {
+    /// Initial particle set.
+    pub set: ParticleSet,
+    /// Integrate until `time >= t_end` (same loop as `run_until`).
+    pub t_end: f64,
+    /// Free-form label stamped into checkpoints and reports.
+    pub label: String,
+}
+
+/// Where a session is in its lifecycle.
+pub(crate) enum SessionState {
+    /// Admitted, never run.
+    Queued {
+        /// The submitted initial conditions.
+        set: Box<ParticleSet>,
+    },
+    /// Live on a board.
+    Resident {
+        /// The supervised integrator+engine pair.
+        sup: Box<RunSupervisor>,
+        /// Pool slot index it occupies.
+        board: usize,
+    },
+    /// Evicted: only the checkpoint survives.
+    Parked {
+        /// The bitwise-exact resume point.
+        ckpt: Box<Checkpoint>,
+    },
+    /// Finished; the outcome lives in the farm report.
+    Done,
+    /// Gave up; the outcome lives in the farm report.
+    Failed,
+    /// Transient placeholder while ownership moves (never observable
+    /// between scheduler calls).
+    Moving,
+}
+
+impl SessionState {
+    pub(crate) fn is_live(&self) -> bool {
+        matches!(
+            self,
+            Self::Queued { .. } | Self::Resident { .. } | Self::Parked { .. } | Self::Moving
+        )
+    }
+}
+
+/// One session's bookkeeping.
+pub(crate) struct Session {
+    pub(crate) id: SessionId,
+    pub(crate) t_end: f64,
+    pub(crate) label: String,
+    pub(crate) n: usize,
+    pub(crate) state: SessionState,
+    /// Scheduler quanta consumed (compared against the deadline).
+    pub(crate) grants_used: u64,
+    /// Blocksteps actually executed.
+    pub(crate) blocksteps: u64,
+    /// Global grant sequence number of the last grant (LRU eviction key).
+    pub(crate) last_grant_seq: u64,
+    /// Times this session was resumed from a parked checkpoint.
+    pub(crate) resumes: u64,
+}
+
+/// How a session ended.
+#[derive(Clone, Debug)]
+pub enum SessionOutcome {
+    /// Ran to `t_end`.
+    Completed {
+        /// Final particle state (bitwise comparable to a dedicated run).
+        particles: Box<ParticleSet>,
+        /// Final integrator statistics (recovery counters included).
+        stats: Box<RunStats>,
+    },
+    /// Did not finish.
+    Failed {
+        /// What killed it (deadline, pool exhaustion, engine error…).
+        reason: String,
+    },
+}
+
+impl SessionOutcome {
+    /// Final particles, if the session completed.
+    pub fn particles(&self) -> Option<&ParticleSet> {
+        match self {
+            Self::Completed { particles, .. } => Some(particles),
+            Self::Failed { .. } => None,
+        }
+    }
+
+    /// True if the session ran to its target time.
+    pub fn is_completed(&self) -> bool {
+        matches!(self, Self::Completed { .. })
+    }
+}

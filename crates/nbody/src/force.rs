@@ -107,6 +107,32 @@ pub enum EngineError {
         /// Slots still in service.
         available: usize,
     },
+    /// A j-memory write addressed a slot outside the configured range.
+    BadJAddress {
+        /// The offending address.
+        addr: usize,
+        /// Slots the engine was configured with.
+        slots: usize,
+    },
+    /// A particle coordinate falls outside the ±64 fixed-point coordinate
+    /// box the j-memory format covers.  The real host library rescaled
+    /// systems to fit; accepting the write would silently wrap coordinates
+    /// and corrupt every force.
+    OutsideBox {
+        /// Address of the offending particle.
+        addr: usize,
+        /// The coordinate that does not fit (NaN also lands here).
+        coord: f64,
+    },
+    /// Caller-provided buffers disagree in length.
+    BufferMismatch {
+        /// Which buffer is wrong (`"out"`, `"h2"`, …).
+        what: &'static str,
+        /// Length it must have.
+        expected: usize,
+        /// Length it had.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for EngineError {
@@ -121,6 +147,23 @@ impl std::fmt::Display for EngineError {
                 f,
                 "degraded hardware capacity {available} below the {needed} slots required"
             ),
+            EngineError::BadJAddress { addr, slots } => {
+                write!(
+                    f,
+                    "j address {addr} out of range (engine has {slots} slots)"
+                )
+            }
+            EngineError::OutsideBox { addr, coord } => write!(
+                f,
+                "particle {addr} position {coord} outside the ±64 fixed-point box; \
+                 rescale the system (the paper's host library kept systems \
+                 well inside the box for exactly this reason)"
+            ),
+            EngineError::BufferMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "buffer `{what}` has length {got}, expected {expected}"),
         }
     }
 }
@@ -134,6 +177,15 @@ pub trait ForceEngine {
 
     /// Store (or update) the j-particle at address `addr`.
     fn set_j_particle(&mut self, addr: usize, p: &JParticle);
+
+    /// Fallible twin of [`ForceEngine::set_j_particle`] for engines that
+    /// validate writes (address range, fixed-point coordinate box).  The
+    /// default delegates to the infallible path — host-side f64 engines
+    /// accept anything finite.
+    fn try_set_j_particle(&mut self, addr: usize, p: &JParticle) -> Result<(), EngineError> {
+        self.set_j_particle(addr, p);
+        Ok(())
+    }
 
     /// Set the system time to which j-particles are predicted.
     fn set_time(&mut self, t: f64);

@@ -131,10 +131,45 @@ impl MeasuredBlockTime {
     }
 }
 
+/// Fold spans into one breakdown per track id, in track order.
+///
+/// Multi-tenant consumers (the farm) tag every span of a grant with the
+/// owning tenant's id in [`Span::track`]; this splits a mixed span log
+/// back into per-tenant six-term breakdowns.  Tracks appear in ascending
+/// id order, so the result is deterministic for a deterministic log.
+pub fn per_track(spans: &[Span]) -> Vec<(u32, MeasuredBlockTime)> {
+    let mut tracks: Vec<u32> = spans.iter().map(|s| s.track).collect();
+    tracks.sort_unstable();
+    tracks.dedup();
+    tracks
+        .into_iter()
+        .map(|track| {
+            let mine: Vec<Span> = spans.iter().filter(|s| s.track == track).cloned().collect();
+            (track, MeasuredBlockTime::from_spans(&mine))
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::span::{Phase, Span};
+
+    #[test]
+    fn per_track_splits_a_mixed_log() {
+        let mut a = Span::new(Phase::Grape, 0.0, 1.0);
+        a.track = 2;
+        let mut b = Span::new(Phase::Host, 1.0, 1.5);
+        b.track = 0;
+        let mut c = Span::new(Phase::Grape, 2.0, 2.25);
+        c.track = 2;
+        let folded = per_track(&[a, b, c]);
+        assert_eq!(folded.len(), 2);
+        assert_eq!(folded[0].0, 0);
+        assert!((folded[0].1.host - 0.5).abs() < 1e-12);
+        assert_eq!(folded[1].0, 2);
+        assert!((folded[1].1.grape - 1.25).abs() < 1e-12);
+    }
 
     #[test]
     fn aggregation_maps_phases_to_terms() {

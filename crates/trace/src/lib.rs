@@ -31,7 +31,7 @@ pub mod chrome;
 pub mod span;
 pub mod tracer;
 
-pub use breakdown::MeasuredBlockTime;
+pub use breakdown::{per_track, MeasuredBlockTime};
 pub use chrome::{chrome_trace, chrome_trace_to_string};
 pub use span::{KernelTag, Phase, Span, SpanCounters, Term};
 pub use tracer::Tracer;

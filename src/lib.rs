@@ -14,6 +14,8 @@
 //! * [`system`] — modules, boards, network boards, clusters
 //! * [`ckpt`] — versioned, digest-guarded checkpoints for bitwise resume
 //! * [`core`] — the host library and the Hermite block-timestep integrator
+//! * [`farm`] — the multi-tenant farm: admission control, fair-share
+//!   scheduling, checkpoint eviction/resume, fault-aware board rotation
 //! * [`net`] — the simulated Gigabit-Ethernet interconnect
 //! * [`parallel`] — the copy / ring / 2-D grid / multi-cluster algorithms
 //! * [`model`] — the analytic performance model of the SC'03 paper
@@ -28,6 +30,7 @@ pub use grape6_arith as arith;
 pub use grape6_chip as chip;
 pub use grape6_ckpt as ckpt;
 pub use grape6_core as core;
+pub use grape6_farm as farm;
 pub use grape6_fault as fault;
 pub use grape6_model as model;
 pub use grape6_net as net;

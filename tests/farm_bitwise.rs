@@ -1,0 +1,176 @@
+//! Acceptance: multi-tenancy must not change a single bit.
+//!
+//! Four tenants share a two-board farm, so sessions are continually
+//! checkpoint-evicted and resumed (often onto the *other* board).  A
+//! second scenario injects both kinds of board fault — a power-on
+//! self-test failure and a mid-run module death — on an oversubscribed
+//! farm, so sessions additionally ride the recovery ladder, the retry
+//! backoff, and a board rotation.  In every case each tenant's final
+//! particle state must be **bitwise identical** to a dedicated
+//! single-tenant run on a healthy board: admission control, fair-share
+//! scheduling, eviction, migration and replay are all invisible in the
+//! §3.4 force bits.
+
+use grape6_core::{Grape6Engine, HermiteIntegrator, IntegratorConfig};
+use grape6_farm::{Farm, FarmConfig, FarmError, Job, SessionId};
+use grape6_fault::FaultPlan;
+use grape6_system::machine::MachineConfig;
+use nbody_core::ic::plummer::plummer_model;
+use nbody_core::particle::ParticleSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One pool unit: 2 modules × 2 chips × 16 j-slots = 64 particle slots.
+fn unit() -> MachineConfig {
+    MachineConfig::builder()
+        .boards(1)
+        .modules_per_board(2)
+        .chips_per_module(2)
+        .jmem_capacity(16)
+        .build()
+        .unwrap()
+}
+
+fn ic(n: usize, seed: u64) -> ParticleSet {
+    plummer_model(n, &mut StdRng::seed_from_u64(seed))
+}
+
+fn bits_equal(a: &ParticleSet, b: &ParticleSet) -> bool {
+    a.n() == b.n()
+        && a.pos == b.pos
+        && a.vel == b.vel
+        && a.acc == b.acc
+        && a.jerk == b.jerk
+        && (0..a.n()).all(|i| a.t[i].to_bits() == b.t[i].to_bits())
+        && (0..a.n()).all(|i| a.dt[i].to_bits() == b.dt[i].to_bits())
+}
+
+/// The reference: the same job on a dedicated healthy board, never
+/// evicted, never migrated.
+fn dedicated(n: usize, seed: u64, t_end: f64) -> ParticleSet {
+    let engine = Grape6Engine::try_new(&unit(), n).unwrap();
+    let mut it = HermiteIntegrator::new(engine, ic(n, seed), IntegratorConfig::default());
+    it.run_until(t_end);
+    it.particles().clone()
+}
+
+#[test]
+fn four_tenants_on_two_boards_match_dedicated_runs_bitwise() {
+    let n = 24;
+    let t_end = 0.125;
+    let mut cfg = FarmConfig::new(unit());
+    cfg.boards = 2;
+    cfg.quantum = 4;
+    cfg.ckpt_every = 4;
+    let mut farm = Farm::new(cfg).unwrap();
+
+    let mut sessions: Vec<(SessionId, u64)> = Vec::new();
+    for t in 0..4u64 {
+        let tid = farm.add_tenant(1 + (t as u32 % 2));
+        let seed = 1000 + t;
+        let sid = farm
+            .submit(
+                tid,
+                Job {
+                    set: ic(n, seed),
+                    t_end,
+                    label: format!("tenant {t}"),
+                },
+            )
+            .unwrap();
+        sessions.push((sid, seed));
+    }
+
+    let report = farm.run().unwrap();
+    assert!(
+        report.all_completed(),
+        "not all sessions completed: {:?}",
+        report.stats
+    );
+    // Four sessions over two boards: the scheduler must have evicted and
+    // resumed at least two sessions mid-run.
+    assert!(
+        report.stats.evictions >= 2,
+        "expected eviction churn, stats: {:?}",
+        report.stats
+    );
+    assert!(report.stats.resumes >= 2, "stats: {:?}", report.stats);
+
+    for (sid, seed) in sessions {
+        let got = report.outcomes[&sid]
+            .particles()
+            .expect("session completed");
+        assert!(
+            bits_equal(got, &dedicated(n, seed, t_end)),
+            "tenant session {sid} diverged from its dedicated single-tenant run"
+        );
+    }
+}
+
+#[test]
+fn oversubscribed_farm_with_injected_faults_completes_every_admission_bitwise() {
+    // The ISSUE acceptance scenario: more tenants than board capacity
+    // plus injected board faults.  Board 1 flunks power-on self-test
+    // (dead module: 32 < 48 slots), board 2 dies mid-run.  Jobs beyond
+    // the ceiling get typed rejections; every admitted session must
+    // still complete, bitwise equal to its dedicated run.
+    let n = 48;
+    let t_end = 0.0625;
+    let mut cfg = FarmConfig::new(unit());
+    cfg.boards = 3;
+    cfg.board_plans = vec![
+        None,
+        Some(FaultPlan::none().with_dead_module(0, 0)),
+        Some(FaultPlan::none().with_midrun_death(vec![0, 1], 5)),
+    ];
+    cfg.max_live_sessions = 4;
+    cfg.queue_depth = 1;
+    cfg.quantum = 4;
+    cfg.ckpt_every = 4;
+    let mut farm = Farm::new(cfg).unwrap();
+
+    let tenants: Vec<_> = (0..6).map(|_| farm.add_tenant(1)).collect();
+    let mut admitted: Vec<(SessionId, u64)> = Vec::new();
+    let mut saturated = 0;
+    for (t, &tid) in tenants.iter().enumerate() {
+        let seed = 2000 + t as u64;
+        let job = Job {
+            set: ic(n, seed),
+            t_end,
+            label: format!("tenant {t}"),
+        };
+        match farm.submit(tid, job) {
+            Ok(sid) => admitted.push((sid, seed)),
+            Err(FarmError::Saturated { retry_after }) => {
+                assert!(retry_after > 0.0, "retry hint must be positive");
+                saturated += 1;
+            }
+            Err(e) => panic!("unexpected rejection: {e}"),
+        }
+    }
+    assert_eq!(admitted.len(), 4, "ceiling admits exactly four");
+    assert_eq!(saturated, 2, "the two extra tenants get typed backpressure");
+
+    let report = farm.run().unwrap();
+    assert!(
+        report.all_completed(),
+        "board faults must stall nobody: {:?}",
+        report.stats
+    );
+    assert!(
+        report.stats.board_rotations >= 2,
+        "both faulted boards rotate out: {:?}",
+        report.stats
+    );
+    assert!(report.stats.resumes >= 1, "stats: {:?}", report.stats);
+
+    for (sid, seed) in admitted {
+        let got = report.outcomes[&sid]
+            .particles()
+            .expect("session completed");
+        assert!(
+            bits_equal(got, &dedicated(n, seed, t_end)),
+            "session {sid} diverged despite faults/evictions/migration"
+        );
+    }
+}
