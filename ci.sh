@@ -47,6 +47,32 @@ if batched < scalar:
     raise SystemExit("REGRESSION: batched kernel slower than the scalar oracle")
 EOF
 
+echo "==> crossover bench smoke (release): 1-16 nodes x 3 network schedules"
+# Verifies the chained wave digests are identical across virtual /
+# split-phase / TCP / UDS backends (exit 1 otherwise) and emits
+# BENCH_crossover.json.  The guard: the coalesced + overlapped schedule's
+# 4-node network share must beat the committed sequential baseline from
+# BENCH_breakdown.json.
+cargo run --release --locked -p grape6-bench --bin crossover_bench -- 128 0.03125
+python3 - <<'EOF'
+import json
+with open("BENCH_crossover.json") as f:
+    r = json.load(f)
+if not r["bitwise"]["identical"]:
+    raise SystemExit("REGRESSION: wave digests diverged across transports/schedules")
+with open("BENCH_breakdown.json") as f:
+    b = json.load(f)
+base = next(e for e in b if e["layout"] == "4-node cluster")
+base_share = (base["measured"]["sync"] + base["measured"]["exchange"]) / base["measured"]["total"]
+ovl = r["four_node"]["coalesced_overlapped_share"]
+seq = r["four_node"]["sequential_share"]
+print(f"crossover guard: 4-node net share baseline {base_share:.3f}, "
+      f"sequential {seq:.3f}, coalesced+overlapped {ovl:.3f}")
+if ovl >= base_share:
+    raise SystemExit("REGRESSION: coalesced+overlapped schedule no longer beats "
+                     "the committed sequential network share")
+EOF
+
 echo "==> example smoke tests (release)"
 cargo run --release --locked --example quickstart
 cargo run --release --locked --example fault_tour

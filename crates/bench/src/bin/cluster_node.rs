@@ -1,0 +1,67 @@
+//! One rank of a real multi-process cluster: connect the TCP/UDS mesh,
+//! run the chained coalesced waves, print the state digest.
+//!
+//! This is the per-OS-process half of the transport bitwise gate: the
+//! `tests/transport_procs.rs` integration test (and any hand-driven
+//! cluster) spawns `n_ranks` copies of this bin, which rendezvous
+//! through the shared directory, exchange the deterministic wave
+//! sequence of `grape6_bench::wavecheck`, and print
+//! `digest=<16 hex digits>` — every process must print the same value,
+//! and it must equal the virtual-fabric digest for the same parameters.
+//!
+//! Usage: `cluster_node <rank> <n_ranks> <dir> <tcp|uds> [steps] [recs]`
+//! (defaults: 8 steps, 3 records/rank).  Exit codes: 2 bad usage,
+//! 3 rendezvous failure, 1 exchange failure.
+
+use grape6_bench::wavecheck::run_waves;
+use grape6_net::transport::{StreamKind, StreamTransport};
+
+fn usage() -> ! {
+    eprintln!("usage: cluster_node <rank> <n_ranks> <dir> <tcp|uds> [steps] [recs]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 4 {
+        usage();
+    }
+    let rank: usize = args[0].parse().unwrap_or_else(|_| usage());
+    let n_ranks: usize = args[1].parse().unwrap_or_else(|_| usage());
+    let dir = std::path::PathBuf::from(&args[2]);
+    let kind = match args[3].as_str() {
+        "tcp" => StreamKind::Tcp,
+        "uds" => StreamKind::Uds,
+        _ => usage(),
+    };
+    let steps: u64 = args
+        .get(4)
+        .map(|a| a.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(8);
+    let recs: usize = args
+        .get(5)
+        .map(|a| a.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(3);
+
+    let mut tr = match StreamTransport::connect(rank, n_ranks, &dir, kind) {
+        Ok(tr) => tr,
+        Err(e) => {
+            eprintln!("rank {rank}: rendezvous failed: {e}");
+            std::process::exit(3);
+        }
+    };
+    match run_waves(&mut tr, steps, recs, false) {
+        Ok(digest) => {
+            println!("digest={digest:016x}");
+            eprintln!(
+                "rank {rank}/{n_ranks}: {} frames, {} bytes on the wire",
+                tr.messages_sent(),
+                tr.bytes_sent()
+            );
+        }
+        Err(e) => {
+            eprintln!("rank {rank}: exchange failed: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -33,12 +33,17 @@ use grape6_core::engine::Grape6Engine;
 use grape6_core::integrator::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::calib::{GrapeTiming, NicProfile, BARRIER_SW_OVERHEAD};
 use grape6_model::perf::{BlockTime, MachineLayout, PerfModel};
-use grape6_net::collectives::{butterfly_barrier, traced};
+use grape6_net::collectives::{butterfly_barrier, traced, traced_sync};
+use grape6_net::exchange::Wave;
 use grape6_net::fabric::{run_ranks, Endpoint};
 use grape6_net::link::LinkProfile;
+use grape6_net::transport::VirtualTransport;
 use grape6_system::machine::MachineConfig;
 use grape6_system::unit::GrapeUnit;
-use grape6_trace::{HostRates, MeasuredBlockTime, OverlapMode, Phase, Span, SpanCounters, Tracer};
+use grape6_trace::{
+    BarrierAlgo, HostRates, MeasuredBlockTime, NetSchedule, OverlapMode, Phase, Span, SpanCounters,
+    Tracer,
+};
 use nbody_core::ic::plummer::plummer_model;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -89,6 +94,9 @@ pub struct BreakdownRun {
     pub model_wall: f64,
     /// The schedule this run executed (and the model wall assumed).
     pub overlap: OverlapMode,
+    /// The network schedule this run executed (sequential collectives,
+    /// one coalesced wave per blockstep, or the split-phase wave).
+    pub sched: NetSchedule,
     /// Per-rank span streams (for Chrome-trace export).
     pub streams: Vec<(String, Vec<Span>)>,
 }
@@ -110,7 +118,7 @@ impl BreakdownRun {
             .collect();
         format!(
             "{{\"layout\":\"{}\",\"n\":{},\"blocksteps\":{},\"particle_steps\":{},\
-             \"overlap\":\"{}\",\
+             \"overlap\":\"{}\",\"schedule\":\"{}\",\
              \"measured\":{},\"model\":{{{},\"total\":{:e},\"wall\":{:e}}}}}",
             self.layout.label(),
             self.n,
@@ -120,6 +128,7 @@ impl BreakdownRun {
                 OverlapMode::Sequential => "sequential",
                 OverlapMode::Overlapped => "overlapped",
             },
+            self.sched.name(),
             self.measured.to_json(),
             model_body.join(","),
             self.model.total(),
@@ -150,10 +159,38 @@ pub fn measure_breakdown(
     t_end: f64,
     seed: u64,
 ) -> BreakdownRun {
+    measure_breakdown_net(
+        model,
+        machine,
+        layout,
+        n,
+        t_end,
+        seed,
+        NetSchedule::Sequential,
+    )
+}
+
+/// [`measure_breakdown`] under an explicit network schedule.  Sequential
+/// runs the PR 5 collectives (agreement barrier / commit barrier /
+/// exchange / post barrier); the coalesced schedules run one
+/// [`Wave`] per blockstep instead, split-phase when overlapped.  The
+/// integrator state is bit-identical across schedules by construction
+/// (every rank advances a full replicated copy); only the network terms
+/// of the breakdown move.
+#[allow(clippy::too_many_arguments)]
+pub fn measure_breakdown_net(
+    model: &PerfModel,
+    machine: &MachineConfig,
+    layout: MachineLayout,
+    n: usize,
+    t_end: f64,
+    seed: u64,
+    sched: NetSchedule,
+) -> BreakdownRun {
     match layout {
         MachineLayout::SingleHost => measure_single_host(model, machine, n, t_end, seed),
         MachineLayout::Cluster { hosts } => {
-            measure_ranks(model, machine, layout, 1, hosts, n, t_end, seed)
+            measure_ranks(model, machine, layout, 1, hosts, n, t_end, seed, sched)
         }
         MachineLayout::MultiCluster {
             clusters,
@@ -167,6 +204,7 @@ pub fn measure_breakdown(
             n,
             t_end,
             seed,
+            sched,
         ),
     }
 }
@@ -239,6 +277,7 @@ pub fn measure_single_host_mode(
         model: model_sum,
         model_wall,
         overlap,
+        sched: NetSchedule::Sequential,
         streams: vec![("host".into(), all_spans)],
     }
 }
@@ -267,7 +306,7 @@ fn stamp(tracer: &mut Tracer, vt: &mut f64, phase: Phase, dur: f64, items: u64, 
 /// over the cluster's `streams` concurrently-receiving hosts, so only
 /// ranks with in-cluster index below `streams` touch the wire.
 fn exchange_blocks(
-    ep: &mut Endpoint<u8>,
+    ep: &mut Endpoint<Vec<u8>>,
     clusters: usize,
     hosts_per_cluster: usize,
     streams: usize,
@@ -292,9 +331,27 @@ fn exchange_blocks(
         } else {
             1
         };
-        ep.send(partner, 0, wire.max(1));
+        ep.send(partner, Vec::new(), wire.max(1));
         ep.recv_checked(partner).expect("lossless fabric");
     }
+}
+
+/// The synthetic pad (wire bytes) each wave stage carries: intra-cluster
+/// stages are sentinel-only (the hardware network moves the j-data, as in
+/// the sequential schedule); each inter-cluster stage `kk` forwards the
+/// recursively-doubled accumulation, striped over the cluster's
+/// concurrent streams — the same bytes [`exchange_blocks`] puts on the
+/// wire, coalesced into the wave's frames.
+fn wave_pads(n_stages: u32, intra: u32, hi: usize, streams: usize, per_cluster: f64) -> Vec<u64> {
+    let mut pads = vec![0u64; n_stages as usize];
+    for kk in 0..n_stages.saturating_sub(intra) {
+        pads[(intra + kk) as usize] = if hi < streams {
+            (per_cluster * (1u64 << kk) as f64 / streams as f64).ceil() as u64
+        } else {
+            0
+        };
+    }
+    pads
 }
 
 /// Cluster / multi-cluster: one fabric rank per host.
@@ -308,6 +365,7 @@ fn measure_ranks(
     n: usize,
     t_end: f64,
     seed: u64,
+    sched: NetSchedule,
 ) -> BreakdownRun {
     let p = clusters * hosts_per_cluster;
     let tb = model.grape.engine_timebase();
@@ -321,10 +379,16 @@ fn measure_ranks(
     let i_par = model.grape.i_parallel.max(1);
     let j_bytes = model.grape.j_word_bytes;
     let link = nic_link(&model.nic);
+    let algo = if p.is_power_of_two() {
+        BarrierAlgo::Butterfly
+    } else {
+        BarrierAlgo::Dissemination
+    };
     // (per-step breakdowns, per-step block sizes, particle steps, spans)
     type RankOut = (Vec<MeasuredBlockTime>, Vec<usize>, u64, Vec<Span>);
-    let results = run_ranks::<u8, RankOut, _>(p, link, |mut ep| {
+    let results = run_ranks::<Vec<u8>, RankOut, _>(p, link, move |mut ep| {
         let rank = ep.rank();
+        let hi = rank % hosts_per_cluster;
         // Full bit-identical copy of the system on every rank: identical
         // arithmetic means identical blockstep schedules, so the fabric
         // carries only timing (empty payloads with explicit wire bytes).
@@ -336,11 +400,15 @@ fn measure_ranks(
         let mut per_step = Vec::new();
         let mut sizes = Vec::new();
         let mut all_spans = Vec::new();
+        let mut stepno = 0u64;
         while it.time() < t_end {
-            // Block-agreement barrier opens the step.
-            traced(&mut ep, Phase::Sync, |ep| {
-                butterfly_barrier(ep).expect("lossless fabric")
-            });
+            // Sequential: the block-agreement barrier opens the step.  The
+            // coalesced schedules skip it — the previous step's wave
+            // already all-reduced the next block time, which *is* the
+            // agreement (that is one of the collectives it absorbs).
+            if !sched.coalesced() {
+                traced_sync(&mut ep, butterfly_barrier).expect("lossless fabric");
+            }
             let (_, n_b) = it.step();
             let pass_cycles = it.engine().hardware().last_pass_cycles();
             // This rank's share of the block: balanced round-robin over
@@ -353,6 +421,63 @@ fn measure_ranks(
             // the counters keep the true ownership.)
             let owned = n_b / p + usize::from(rank < n_b % p);
             let share = n_b.div_ceil(p);
+            // Coalesced: one wave replaces commit barrier + agreement
+            // all-reduce + j-exchange + post barrier.  Its high stages
+            // pair hosts across clusters (the exchange topology is
+            // contained in the butterfly), so they are attributed to the
+            // exchange term and carry the j-volume as synthetic pad.
+            let mut wave = if sched.coalesced() {
+                let w = Wave::new(rank, p, stepno, it.time(), Vec::new());
+                let x_stages = if clusters > 1 {
+                    (clusters as f64).log2().ceil() as u32
+                } else {
+                    0
+                };
+                let intra = w.n_stages() - x_stages;
+                let pads = wave_pads(
+                    w.n_stages(),
+                    intra,
+                    hi,
+                    streams,
+                    n_b as f64 * j_bytes / clusters as f64,
+                );
+                Some((w, intra, pads))
+            } else {
+                None
+            };
+            // Split-phase overlap: post the wave's first stage *before*
+            // charging the step's compute, so its latency hides behind
+            // the force pass — the message sequence (and therefore the
+            // folded state) is identical to the back-to-back wave.
+            let mut posted = false;
+            if let Some((w, intra, pads)) = wave.as_mut() {
+                if sched.overlapped() && w.n_stages() > 0 {
+                    let t0 = ep.clock();
+                    let b0 = ep.stats().bytes_sent;
+                    {
+                        let mut tr = VirtualTransport::new(&mut ep);
+                        w.post_stage(&mut tr, pads[0]).expect("lossless fabric");
+                    }
+                    tracer.record(Span {
+                        phase: if *intra > 0 {
+                            Phase::Sync
+                        } else {
+                            Phase::Exchange
+                        },
+                        t0,
+                        t1: ep.clock(),
+                        track: 0,
+                        counters: SpanCounters {
+                            items: 1,
+                            bytes: ep.stats().bytes_sent - b0,
+                            records: 2,
+                            algo: Some(algo),
+                            ..Default::default()
+                        },
+                    });
+                    posted = true;
+                }
+            }
             // Stamp the share's host + hardware time at the fabric clock.
             let mut vt = ep.clock();
             stamp(
@@ -416,26 +541,63 @@ fn measure_ranks(
                 0,
             );
             ep.advance_to(vt);
-            // Commit barrier.
-            traced(&mut ep, Phase::Sync, |ep| {
-                butterfly_barrier(ep).expect("lossless fabric")
-            });
-            if clusters > 1 {
-                traced(&mut ep, Phase::Exchange, |ep| {
-                    exchange_blocks(
-                        ep,
-                        clusters,
-                        hosts_per_cluster,
-                        streams,
-                        n_b as f64 * j_bytes,
-                    )
-                });
-                // The post-exchange barrier is the extra round the paper
-                // blames for the multi-cluster sync overhead (§4.4).
-                traced(&mut ep, Phase::Sync, |ep| {
-                    butterfly_barrier(ep).expect("lossless fabric")
-                });
+            if let Some((mut w, intra, pads)) = wave.take() {
+                // Finish the posted stage (its frame arrived during the
+                // compute) and run the rest, each attributed to the sync
+                // or exchange term by its pairing topology.
+                for k in 0..w.n_stages() {
+                    let phase = if k < intra {
+                        Phase::Sync
+                    } else {
+                        Phase::Exchange
+                    };
+                    let t0 = ep.clock();
+                    let b0 = ep.stats().bytes_sent;
+                    {
+                        let mut tr = VirtualTransport::new(&mut ep);
+                        if k > 0 || !posted {
+                            w.post_stage(&mut tr, pads[k as usize])
+                                .expect("lossless fabric");
+                        }
+                        w.finish_stage(&mut tr).expect("lossless fabric");
+                    }
+                    tracer.record(Span {
+                        phase,
+                        t0,
+                        t1: ep.clock(),
+                        track: 0,
+                        counters: SpanCounters {
+                            items: 1,
+                            bytes: ep.stats().bytes_sent - b0,
+                            records: 2,
+                            algo: Some(algo),
+                            ..Default::default()
+                        },
+                    });
+                }
+                // Replicated copies agree on the next block time: the
+                // all-reduced minimum is this rank's own candidate.
+                let out = w.outcome();
+                debug_assert_eq!(out.t_min, it.time());
+            } else {
+                // Commit barrier.
+                traced_sync(&mut ep, butterfly_barrier).expect("lossless fabric");
+                if clusters > 1 {
+                    traced(&mut ep, Phase::Exchange, |ep| {
+                        exchange_blocks(
+                            ep,
+                            clusters,
+                            hosts_per_cluster,
+                            streams,
+                            n_b as f64 * j_bytes,
+                        )
+                    });
+                    // The post-exchange barrier is the extra round the paper
+                    // blames for the multi-cluster sync overhead (§4.4).
+                    traced_sync(&mut ep, butterfly_barrier).expect("lossless fabric");
+                }
             }
+            stepno += 1;
             let mut spans = tracer.take();
             spans.extend(ep.take_spans());
             per_step.push(MeasuredBlockTime::from_spans(&spans));
@@ -458,7 +620,7 @@ fn measure_ranks(
     let mut model_sum = BlockTime::default();
     let mut model_wall = 0.0f64;
     for &n_b in &results[0].1 {
-        let bt = model.block_time(layout, n, n_b);
+        let bt = model.block_time_net(layout, n, n_b, sched);
         add_block_time(&mut model_sum, &bt);
         model_wall += bt.wall(OverlapMode::Sequential);
     }
@@ -476,6 +638,7 @@ fn measure_ranks(
         model: model_sum,
         model_wall,
         overlap: OverlapMode::Sequential,
+        sched,
         streams: streams_out,
     }
 }
@@ -523,6 +686,79 @@ mod tests {
         // they must agree essentially exactly.
         assert!((run.measured.host / run.model.host - 1.0).abs() < 1e-9);
         assert!((run.measured.dma / run.model.dma - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coalesced_wave_cuts_network_time_and_keeps_the_run_identical() {
+        let (model, machine) = small_model();
+        let layout = MachineLayout::MultiCluster {
+            clusters: 2,
+            hosts_per_cluster: 2,
+        };
+        let run = |sched| measure_breakdown_net(&model, &machine, layout, 48, 0.0625, 44, sched);
+        let seq = run(NetSchedule::Sequential);
+        let coa = run(NetSchedule::Coalesced);
+        let ovl = run(NetSchedule::CoalescedOverlapped);
+        // The integration itself is schedule-independent: same steps, and
+        // the stamped compute terms agree to rounding (span durations are
+        // differences of absolute clocks, which sit at schedule-dependent
+        // offsets).
+        let close = |a: f64, b: f64| (a / b - 1.0).abs() < 1e-12;
+        for r in [&coa, &ovl] {
+            assert_eq!(r.blocksteps, seq.blocksteps);
+            assert_eq!(r.particle_steps, seq.particle_steps);
+            assert!(close(r.measured.host, seq.measured.host));
+            assert!(close(r.measured.dma, seq.measured.dma));
+            assert!(close(r.measured.grape, seq.measured.grape));
+            assert!(close(r.measured.interface, seq.measured.interface));
+        }
+        // One wave per step instead of three collectives: the measured
+        // network time must drop, and overlap must not cost anything.
+        let net = |r: &BreakdownRun| r.measured.sync + r.measured.exchange;
+        assert!(
+            net(&coa) < 0.6 * net(&seq),
+            "coalesced {} vs sequential {}",
+            net(&coa),
+            net(&seq)
+        );
+        assert!(
+            net(&ovl) <= net(&coa) + 1e-12,
+            "{} vs {}",
+            net(&ovl),
+            net(&coa)
+        );
+        // Both terms are genuinely exercised (butterfly low stages are
+        // sync, high stages carry the exchange volume).
+        assert!(coa.measured.sync > 0.0 && coa.measured.exchange > 0.0);
+        // The model side follows the same schedule.
+        assert!(coa.model.sync < seq.model.sync);
+        assert!(coa.to_json().contains("\"schedule\":\"coalesced\""));
+    }
+
+    #[test]
+    fn wave_spans_carry_the_algorithm_tag() {
+        let (model, machine) = small_model();
+        let run = measure_breakdown_net(
+            &model,
+            &machine,
+            MachineLayout::Cluster { hosts: 2 },
+            48,
+            0.0625,
+            45,
+            NetSchedule::Coalesced,
+        );
+        let sync_spans: Vec<&Span> = run
+            .streams
+            .iter()
+            .flat_map(|(_, s)| s.iter())
+            .filter(|s| s.phase == Phase::Sync)
+            .collect();
+        assert!(!sync_spans.is_empty());
+        for s in &sync_spans {
+            assert_eq!(s.counters.algo, Some(BarrierAlgo::Butterfly));
+            assert_eq!(s.counters.records, 2);
+            assert!(s.counters.bytes > 0);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@ pub mod chaos;
 pub mod farm;
 pub mod kernel;
 pub mod overlap;
+pub mod wavecheck;
 
 use grape6_core::{HermiteIntegrator, IntegratorConfig};
 use grape6_model::BlockStatsModel;

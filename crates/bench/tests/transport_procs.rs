@@ -1,0 +1,73 @@
+//! The real-cluster smoke test: four OS *processes* exchange the chained
+//! coalesced waves over TCP and Unix sockets, and every process's state
+//! digest must equal the virtual-time fabric's digest for the same
+//! parameters — the transport backends differ only in what a message
+//! costs, never in what it delivers.
+
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use grape6_bench::wavecheck::virtual_wave_digests;
+
+const P: usize = 4;
+const STEPS: u64 = 8;
+const RECS: usize = 3;
+
+fn spawn_rank(rank: usize, dir: &PathBuf, kind: &str) -> Child {
+    Command::new(env!("CARGO_BIN_EXE_cluster_node"))
+        .args([
+            &rank.to_string(),
+            &P.to_string(),
+            dir.to_str().unwrap(),
+            kind,
+            &STEPS.to_string(),
+            &RECS.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn cluster_node")
+}
+
+fn digest_of(out: std::process::Output, rank: usize, kind: &str) -> u64 {
+    assert!(
+        out.status.success(),
+        "{kind} rank {rank} failed: {}\n{}",
+        out.status,
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let line = stdout
+        .lines()
+        .find_map(|l| l.strip_prefix("digest="))
+        .unwrap_or_else(|| panic!("{kind} rank {rank}: no digest line in {stdout:?}"));
+    u64::from_str_radix(line.trim(), 16).expect("hex digest")
+}
+
+fn run_cluster(kind: &str) -> Vec<u64> {
+    let dir =
+        std::env::temp_dir().join(format!("g6-transport-procs-{kind}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let children: Vec<Child> = (0..P).map(|r| spawn_rank(r, &dir, kind)).collect();
+    let digests = children
+        .into_iter()
+        .enumerate()
+        .map(|(r, c)| digest_of(c.wait_with_output().expect("wait"), r, kind))
+        .collect();
+    std::fs::remove_dir_all(&dir).ok();
+    digests
+}
+
+#[test]
+fn four_tcp_processes_match_the_virtual_fabric_bitwise() {
+    let want = virtual_wave_digests(P, STEPS, RECS, false);
+    let got = run_cluster("tcp");
+    assert_eq!(got, want);
+}
+
+#[test]
+fn four_uds_processes_match_the_virtual_fabric_bitwise() {
+    let want = virtual_wave_digests(P, STEPS, RECS, false);
+    let got = run_cluster("uds");
+    assert_eq!(got, want);
+}

@@ -22,7 +22,7 @@
 //! 1/n_b ∝ 1/N` (figs. 16, 18); for large N the GRAPE term wins and speed
 //! saturates near the layout's peak (figs. 13, 15, 17).
 
-use grape6_trace::OverlapMode;
+use grape6_trace::{NetSchedule, OverlapMode};
 use serde::{Deserialize, Serialize};
 
 use crate::blockstats::{BlockStatsModel, SyntheticWorkload};
@@ -225,6 +225,97 @@ impl PerfModel {
             sync,
             exchange,
         }
+    }
+
+    /// [`PerfModel::block_time`] under an explicit network schedule.
+    ///
+    /// The sequential schedule is the paper's measured code: per blockstep
+    /// it pays `SYNC_ROUNDS` separate barriers plus (multi-cluster) a
+    /// separate block exchange, each charged per message.  The coalesced
+    /// schedule packs the commit sentinel, the next-time all-reduce and
+    /// the j-records bound for the same partner into **one** butterfly
+    /// wave of `⌈log₂ p⌉` stages — per-message costs are paid once per
+    /// stage instead of once per collective.  Over `p = c·h` hosts the
+    /// wave's high `⌈log₂ c⌉` stages pair hosts across clusters and carry
+    /// the j-volume (booked as `exchange`); the rest stay intra-cluster
+    /// (`sync`).
+    ///
+    /// The overlapped schedule additionally posts the wave's first stage
+    /// before the force pass, so up to one stage latency hides behind the
+    /// GRAPE-side compute of the same blockstep.
+    pub fn block_time_net(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        n_b: usize,
+        sched: NetSchedule,
+    ) -> BlockTime {
+        let mut bt = self.block_time(layout, n, n_b);
+        let p = layout.hosts();
+        if !sched.coalesced() || p <= 1 {
+            return bt;
+        }
+        let stage = self.nic.rtt + BARRIER_SW_OVERHEAD;
+        let stages = (p as f64).log2().ceil();
+        match layout {
+            MachineLayout::SingleHost => {}
+            MachineLayout::Cluster { .. } => {
+                // One wave replaces SYNC_ROUNDS_CLUSTER barriers; the
+                // j-updates still travel the hardware network for free.
+                bt.sync = stages * stage;
+                bt.exchange = 0.0;
+            }
+            MachineLayout::MultiCluster {
+                clusters,
+                hosts_per_cluster,
+            } => {
+                let x_stages = if clusters > 1 {
+                    (clusters as f64).log2().ceil()
+                } else {
+                    0.0
+                };
+                bt.sync = (stages - x_stages) * stage;
+                // Same block volume as the sequential exchange — coalescing
+                // removes per-message charges, not bytes on the wire.
+                let incoming = n_b as f64 * self.grape.j_word_bytes * (clusters as f64 - 1.0)
+                    / clusters as f64;
+                let streams = (hosts_per_cluster as f64).min(self.nic.concurrency);
+                bt.exchange = x_stages * stage + incoming / streams / self.nic.bandwidth;
+            }
+        }
+        if sched.overlapped() {
+            // The first stage is posted before the force pass; its latency
+            // hides behind the engine side of the blockstep.
+            let hidden = stage.min(bt.dma + bt.interface + bt.grape);
+            let from_sync = hidden.min(bt.sync);
+            bt.sync -= from_sync;
+            bt.exchange = (bt.exchange - (hidden - from_sync)).max(0.0);
+        }
+        bt
+    }
+
+    /// Mean time per particle step under an explicit network schedule.
+    pub fn time_per_step_net(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        stats: &BlockStatsModel,
+        sched: NetSchedule,
+    ) -> f64 {
+        let nf = n as f64;
+        let n_b = stats.mean_block(nf).round().max(1.0) as usize;
+        self.block_time_net(layout, n, n_b, sched).total() / n_b as f64
+    }
+
+    /// Sustained speed in flops under an explicit network schedule.
+    pub fn speed_net(
+        &self,
+        layout: MachineLayout,
+        n: usize,
+        stats: &BlockStatsModel,
+        sched: NetSchedule,
+    ) -> f64 {
+        57.0 * n as f64 / self.time_per_step_net(layout, n, stats, sched)
     }
 
     /// Mean time per *particle step* (the fig. 14/16/18 quantity), using
@@ -649,6 +740,100 @@ mod tests {
             },
             seq
         );
+    }
+
+    #[test]
+    fn sequential_schedule_is_the_baseline_block_time() {
+        let m = PerfModel::default();
+        for layout in [
+            MachineLayout::SingleHost,
+            MachineLayout::Cluster { hosts: 4 },
+            MachineLayout::MultiCluster {
+                clusters: 4,
+                hosts_per_cluster: 4,
+            },
+        ] {
+            assert_eq!(
+                m.block_time_net(layout, 100_000, 500, NetSchedule::Sequential),
+                m.block_time(layout, 100_000, 500)
+            );
+        }
+    }
+
+    #[test]
+    fn coalescing_cuts_network_time_and_overlap_cuts_more() {
+        let m = PerfModel::default();
+        let layout = MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        };
+        let seq = m.block_time_net(layout, 100_000, 500, NetSchedule::Sequential);
+        let coa = m.block_time_net(layout, 100_000, 500, NetSchedule::Coalesced);
+        let ovl = m.block_time_net(layout, 100_000, 500, NetSchedule::CoalescedOverlapped);
+        // Compute terms are untouched by the schedule.
+        for bt in [coa, ovl] {
+            assert_eq!(bt.host, seq.host);
+            assert_eq!(bt.dma, seq.dma);
+            assert_eq!(bt.interface, seq.interface);
+            assert_eq!(bt.grape, seq.grape);
+        }
+        // 16 hosts: sequential pays 3 barriers (4 stages each) + 2 exchange
+        // stages; one coalesced wave pays 4 stages total.
+        assert!(
+            coa.sync + coa.exchange < 0.5 * (seq.sync + seq.exchange),
+            "coalesced {} vs sequential {}",
+            coa.sync + coa.exchange,
+            seq.sync + seq.exchange
+        );
+        // The wave's stage split: 2 intra-cluster + 2 inter-cluster stages.
+        let stage = m.nic.rtt + BARRIER_SW_OVERHEAD;
+        assert!((coa.sync - 2.0 * stage).abs() < 1e-15);
+        assert!(coa.exchange > 2.0 * stage, "volume term must remain");
+        // Overlap hides exactly one stage (compute is long at this N).
+        let hidden = (seq.sync + seq.exchange - ovl.sync - ovl.exchange)
+            - (seq.sync + seq.exchange - coa.sync - coa.exchange);
+        assert!((hidden - stage).abs() < 1e-12, "hidden {hidden} vs {stage}");
+        // Bytes on the wire are schedule-independent: the volume term never
+        // drops below the sequential bandwidth share minus one stage.
+        assert!(ovl.exchange > 0.0);
+    }
+
+    #[test]
+    fn single_cluster_wave_replaces_two_barriers() {
+        let m = PerfModel::default();
+        let layout = MachineLayout::Cluster { hosts: 4 };
+        let seq = m.block_time_net(layout, 50_000, 300, NetSchedule::Sequential);
+        let coa = m.block_time_net(layout, 50_000, 300, NetSchedule::Coalesced);
+        // Sequential: SYNC_ROUNDS_CLUSTER × butterfly; coalesced: one wave.
+        assert!((seq.sync / coa.sync - SYNC_ROUNDS_CLUSTER).abs() < 1e-9);
+        assert_eq!(coa.exchange, 0.0);
+    }
+
+    #[test]
+    fn coalescing_moves_the_multicluster_crossover_down() {
+        // The schedule attacks exactly the per-message costs that set the
+        // fig. 17/18 crossover, so the crossover N must drop.
+        let m = PerfModel::default();
+        let one = MachineLayout::Cluster { hosts: 4 };
+        let four = MachineLayout::MultiCluster {
+            clusters: 4,
+            hosts_per_cluster: 4,
+        };
+        let find = |sched: NetSchedule| -> f64 {
+            let mut n = 5_000usize;
+            while n <= 4 << 20 {
+                if m.speed_net(four, n, &stats(), sched) > m.speed_net(one, n, &stats(), sched) {
+                    return n as f64;
+                }
+                n = (n as f64 * 1.1) as usize;
+            }
+            f64::INFINITY
+        };
+        let c_seq = find(NetSchedule::Sequential);
+        let c_coa = find(NetSchedule::Coalesced);
+        let c_ovl = find(NetSchedule::CoalescedOverlapped);
+        assert!(c_coa < c_seq, "coalesced crossover {c_coa} vs {c_seq}");
+        assert!(c_ovl <= c_coa, "overlapped crossover {c_ovl} vs {c_coa}");
     }
 
     #[test]

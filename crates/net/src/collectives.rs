@@ -8,17 +8,27 @@
 //! and the true pairwise butterfly ([`butterfly_barrier`], power-of-two
 //! `p`), both ⌈log₂p⌉ rounds, not a central coordinator.
 //!
-//! All collectives are built from [`Endpoint::send`] /
+//! All collectives are built from [`Endpoint::send_lossy`] /
 //! [`Endpoint::recv_checked`], so their virtual-time cost emerges from the
 //! message flow rather than a formula — the analytic model in
-//! `grape6-model` is validated against these.  A link whose retry budget
-//! runs out underneath a collective surfaces as
-//! [`CollectiveError::Link`]; on a lossless fabric the collectives are
+//! `grape6-model` is validated against these.  Every failure is a typed
+//! [`CollectiveError`]: a link whose retry budget runs out surfaces as
+//! [`CollectiveError::Link`], a peer that died mid-collective as
+//! [`CollectiveError::Down`], and a malformed call (missing broadcast
+//! payload, empty reduction) as its own variant — nothing on the message
+//! path panics.  On a lossless fabric with live peers the collectives are
 //! infallible and callers may `expect` accordingly.
+//!
+//! Barriers return the [`BarrierAlgo`] that *actually ran*:
+//! [`butterfly_barrier`] falls back to the dissemination pattern for
+//! non-power-of-two `p`, and the §4 model validation charges the butterfly
+//! stage cost, so a silent substitution would corrupt the sync-term
+//! comparison.  [`CollectiveCost::algo`] and the Sync span counters carry
+//! the same tag (see [`traced_sync`]).
 
-use grape6_trace::{Phase, Span, SpanCounters};
+use grape6_trace::{BarrierAlgo, Phase, Span, SpanCounters};
 
-use crate::fabric::{Endpoint, LinkError};
+use crate::fabric::{Endpoint, LinkError, RecvError};
 
 /// A collective operation failed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -26,11 +36,29 @@ pub enum CollectiveError {
     /// A point-to-point link under the collective exhausted its retry
     /// budget.
     Link(LinkError),
+    /// A peer dropped its endpoint (rank died) mid-collective.
+    Down {
+        /// The departed peer.
+        from: usize,
+        /// The rank that observed the departure.
+        to: usize,
+    },
     /// [`broadcast`] was called with `mine = None` on the root rank.
     MissingRootPayload {
         /// The broadcast root.
         root: usize,
         /// The rank that noticed (always the root itself).
+        rank: usize,
+    },
+    /// The broadcast doubling front never delivered a payload to this
+    /// rank — a topology bug surfaced as data instead of a panic.
+    MissingPayload {
+        /// The rank left without a value.
+        rank: usize,
+    },
+    /// A reduction had no contributions to fold.
+    EmptyReduce {
+        /// The rank whose fold came up empty.
         rank: usize,
     },
 }
@@ -39,8 +67,17 @@ impl std::fmt::Display for CollectiveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Link(e) => write!(f, "collective failed: {e}"),
+            Self::Down { from, to } => {
+                write!(f, "collective failed: rank {from} down (observed by {to})")
+            }
             Self::MissingRootPayload { root, rank } => {
                 write!(f, "broadcast root {root} (rank {rank}) supplied no payload")
+            }
+            Self::MissingPayload { rank } => {
+                write!(f, "broadcast never reached rank {rank}")
+            }
+            Self::EmptyReduce { rank } => {
+                write!(f, "reduction at rank {rank} had nothing to fold")
             }
         }
     }
@@ -50,7 +87,7 @@ impl std::error::Error for CollectiveError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Link(e) => Some(e),
-            Self::MissingRootPayload { .. } => None,
+            _ => None,
         }
     }
 }
@@ -58,6 +95,15 @@ impl std::error::Error for CollectiveError {
 impl From<LinkError> for CollectiveError {
     fn from(e: LinkError) -> Self {
         Self::Link(e)
+    }
+}
+
+impl From<RecvError> for CollectiveError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Lost(le) => Self::Link(le),
+            RecvError::Down { from, to } => Self::Down { from, to },
+        }
     }
 }
 
@@ -78,6 +124,11 @@ pub struct CollectiveCost {
     pub retries: u64,
     /// Retransmission backoff charged to this rank's clock, seconds.
     pub backoff_seconds: f64,
+    /// The wave pattern that actually ran, where the operation was a
+    /// barrier (or barrier-shaped coalesced wave); `None` for data
+    /// collectives.  This is how the model validation detects the
+    /// dissemination fallback at non-power-of-two `p`.
+    pub algo: Option<BarrierAlgo>,
 }
 
 /// Run `op` on the endpoint and measure what it cost this rank (clock and
@@ -101,6 +152,7 @@ where
         bytes: s1.bytes_sent.saturating_sub(s0.bytes_sent),
         retries: s1.retransmits.saturating_sub(s0.retransmits),
         backoff_seconds: (s1.backoff_seconds - s0.backoff_seconds).max(0.0),
+        algo: None,
     };
     (out, cost)
 }
@@ -136,25 +188,58 @@ where
     (out, cost)
 }
 
+/// Run a barrier-shaped `op` (returning the [`BarrierAlgo`] that ran),
+/// measure it, and record a [`Phase::Sync`] span whose counters carry the
+/// algorithm tag — so a dissemination fallback is visible in the trace,
+/// not just in the return value.  The span is recorded even when the
+/// barrier fails (the time was spent either way); `algo` is then absent.
+pub fn traced_sync<T, F>(
+    ep: &mut Endpoint<T>,
+    op: F,
+) -> Result<(BarrierAlgo, CollectiveCost), CollectiveError>
+where
+    T: Send,
+    F: FnOnce(&mut Endpoint<T>) -> Result<BarrierAlgo, CollectiveError>,
+{
+    let t0 = ep.clock();
+    let (out, mut cost) = measured(ep, op);
+    let t1 = ep.clock();
+    cost.algo = out.as_ref().ok().copied();
+    ep.tracer_mut().record(Span {
+        phase: Phase::Sync,
+        t0,
+        t1,
+        track: 0,
+        counters: SpanCounters {
+            items: cost.messages,
+            bytes: cost.bytes,
+            retries: cost.retries,
+            algo: cost.algo,
+            ..Default::default()
+        },
+    });
+    Ok((out?, cost))
+}
+
 /// Dissemination barrier (the paper's butterfly): ⌈log₂ p⌉ rounds; in round
 /// `k` rank `r` signals `(r + 2^k) mod p` and waits for `(r − 2^k) mod p`.
 ///
 /// `T` must provide a sentinel payload via `Default`.
-pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), CollectiveError> {
+pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<BarrierAlgo, CollectiveError> {
     let p = ep.n_ranks();
     if p == 1 {
-        return Ok(());
+        return Ok(BarrierAlgo::Dissemination);
     }
     let me = ep.rank();
     let mut step = 1usize;
     while step < p {
         let to = (me + step) % p;
         let from = (me + p - step) % p;
-        ep.send(to, T::default(), 8);
+        ep.send_lossy(to, T::default(), 8);
         ep.recv_checked(from)?;
         step <<= 1;
     }
-    Ok(())
+    Ok(BarrierAlgo::Dissemination)
 }
 
 /// True butterfly barrier: for power-of-two `p`, round `k` pairs rank `r`
@@ -164,11 +249,15 @@ pub fn barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), Collective
 /// clocks exactly.  (The dissemination variant above costs the same
 /// number of rounds but its exits can spread by up to a round, because
 /// each rank waits on a different chain of predecessors.)  Falls back to
-/// the dissemination barrier when `p` is not a power of two.
-pub fn butterfly_barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), CollectiveError> {
+/// the dissemination barrier when `p` is not a power of two — the return
+/// value reports which pattern actually ran, so the fallback can never be
+/// silently misattributed as butterfly time.
+pub fn butterfly_barrier<T: Send + Default>(
+    ep: &mut Endpoint<T>,
+) -> Result<BarrierAlgo, CollectiveError> {
     let p = ep.n_ranks();
     if p == 1 {
-        return Ok(());
+        return Ok(BarrierAlgo::Butterfly);
     }
     if !p.is_power_of_two() {
         return barrier(ep);
@@ -177,11 +266,11 @@ pub fn butterfly_barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), 
     let mut bit = 1usize;
     while bit < p {
         let partner = me ^ bit;
-        ep.send(partner, T::default(), 8);
+        ep.send_lossy(partner, T::default(), 8);
         ep.recv_checked(partner)?;
         bit <<= 1;
     }
-    Ok(())
+    Ok(BarrierAlgo::Butterfly)
 }
 
 /// Central-coordinator barrier: every rank reports to rank 0, rank 0
@@ -189,23 +278,25 @@ pub fn butterfly_barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), 
 /// the shape of a naive implementation (and of MPICH/p4's barrier, which
 /// the paper found "about two times" slower than its hand-rolled
 /// butterfly).  Kept for the synchronisation ablation study.
-pub fn central_barrier<T: Send + Default>(ep: &mut Endpoint<T>) -> Result<(), CollectiveError> {
+pub fn central_barrier<T: Send + Default>(
+    ep: &mut Endpoint<T>,
+) -> Result<BarrierAlgo, CollectiveError> {
     let p = ep.n_ranks();
     if p == 1 {
-        return Ok(());
+        return Ok(BarrierAlgo::Central);
     }
     if ep.rank() == 0 {
         for from in 1..p {
             ep.recv_checked(from)?;
         }
         for to in 1..p {
-            ep.send(to, T::default(), 8);
+            ep.send_lossy(to, T::default(), 8);
         }
     } else {
-        ep.send(0, T::default(), 8);
+        ep.send_lossy(0, T::default(), 8);
         ep.recv_checked(0)?;
     }
-    Ok(())
+    Ok(BarrierAlgo::Central)
 }
 
 /// Binomial-tree broadcast from `root`.  Ranks other than the root pass
@@ -237,9 +328,12 @@ pub fn broadcast<T: Send + Clone>(
             let dst = vrank + bit;
             if dst < p {
                 let real = (dst + root) % p;
-                // Structurally unreachable: every vrank < bit received (or
-                // originated) the value in an earlier round.
-                ep.send(real, value.clone().expect("holder has value"), bytes);
+                // Every vrank < bit received (or originated) the value in
+                // an earlier round; a hole is a typed error, not a panic.
+                let v = value
+                    .clone()
+                    .ok_or(CollectiveError::MissingPayload { rank: me })?;
+                ep.send_lossy(real, v, bytes);
             }
         } else if vrank < 2 * bit {
             let src = vrank - bit;
@@ -248,8 +342,8 @@ pub fn broadcast<T: Send + Clone>(
         }
         bit <<= 1;
     }
-    // Structurally unreachable: the doubling front covers every vrank < p.
-    Ok(value.expect("broadcast did not reach this rank"))
+    // The doubling front covers every vrank < p; surface a gap as data.
+    value.ok_or(CollectiveError::MissingPayload { rank: me })
 }
 
 /// Ring all-gather: every rank contributes `mine`; returns the
@@ -274,7 +368,7 @@ pub fn allgather<T: Send + Clone>(
     let mut out: Vec<T> = Vec::with_capacity(p);
     out.push(mine);
     for round in 0..p - 1 {
-        ep.send(right, out[round].clone(), bytes);
+        ep.send_lossy(right, out[round].clone(), bytes);
         out.push(ep.recv_checked(left)?);
     }
     out.reverse();
@@ -294,10 +388,13 @@ where
     T: Send + Clone,
     F: Fn(T, T) -> T,
 {
+    let rank = ep.rank();
     let all = allgather(ep, mine, bytes)?;
-    // Structurally unreachable: allgather returns one element per rank and
-    // the fabric has ≥ 1 rank.
-    Ok(all.into_iter().reduce(fold).expect("p ≥ 1"))
+    // allgather returns one element per rank and the fabric has ≥ 1 rank;
+    // an empty fold is a typed error rather than a panic all the same.
+    all.into_iter()
+        .reduce(fold)
+        .ok_or(CollectiveError::EmptyReduce { rank })
 }
 
 /// Global minimum of an `f64` across ranks (used for the next block time).
@@ -305,12 +402,13 @@ pub fn allreduce_min_f64(ep: &mut Endpoint<f64>, mine: f64) -> Result<f64, Colle
     allreduce(ep, mine, 8, f64::min)
 }
 
-/// [`barrier`] with a per-rank cost breakdown.
+/// [`barrier`] with a per-rank cost breakdown (algorithm tag included).
 pub fn barrier_measured<T: Send + Default>(
     ep: &mut Endpoint<T>,
 ) -> Result<CollectiveCost, CollectiveError> {
-    let (out, cost) = measured(ep, barrier);
-    out.map(|()| cost)
+    let (out, mut cost) = measured(ep, barrier);
+    cost.algo = Some(out?);
+    Ok(cost)
 }
 
 /// [`allgather`] with a per-rank cost breakdown.
@@ -380,7 +478,7 @@ mod tests {
             // Aligned entries leave exactly aligned: every rank walks the
             // same pairwise exchange pattern.
             let clocks = run_ranks::<u8, f64, _>(p, link, |mut ep| {
-                butterfly_barrier(&mut ep).unwrap();
+                assert_eq!(butterfly_barrier(&mut ep).unwrap(), BarrierAlgo::Butterfly);
                 ep.clock()
             });
             let lo = clocks.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -408,10 +506,14 @@ mod tests {
             );
         }
         // Non-power-of-two sizes fall back to dissemination and still
-        // synchronise (everyone past the slowest entry).
+        // synchronise (everyone past the slowest entry) — and the fallback
+        // is *reported*, not silent.
         let clocks = run_ranks::<u8, f64, _>(6, link, |mut ep| {
             ep.advance(ep.rank() as f64 * 1e-6);
-            butterfly_barrier(&mut ep).unwrap();
+            assert_eq!(
+                butterfly_barrier(&mut ep).unwrap(),
+                BarrierAlgo::Dissemination
+            );
             ep.clock()
         });
         for &c in &clocks {
@@ -546,6 +648,87 @@ mod tests {
             // Clean fabric: no retries, no backoff.
             assert_eq!(c.retries, 0, "rank {r}");
             assert_eq!(c.backoff_seconds, 0.0, "rank {r}");
+            // The cost report carries the pattern that ran.
+            assert_eq!(c.algo, Some(BarrierAlgo::Dissemination), "rank {r}");
+        }
+    }
+
+    #[test]
+    fn traced_sync_tags_the_span_with_the_algorithm() {
+        // p = 4 runs the true butterfly; p = 6 reports the fallback.
+        for (p, want) in [
+            (4usize, BarrierAlgo::Butterfly),
+            (6, BarrierAlgo::Dissemination),
+        ] {
+            let out = run_ranks::<u8, (BarrierAlgo, Vec<grape6_trace::Span>), _>(
+                p,
+                LinkProfile::ideal(),
+                move |mut ep| {
+                    ep.set_tracer(grape6_trace::Tracer::enabled());
+                    let (algo, cost) = traced_sync(&mut ep, butterfly_barrier).unwrap();
+                    assert_eq!(cost.algo, Some(algo));
+                    (algo, ep.take_spans())
+                },
+            );
+            for (r, (algo, spans)) in out.iter().enumerate() {
+                assert_eq!(*algo, want, "p={p} rank {r}");
+                let sync = spans
+                    .iter()
+                    .find(|s| s.phase == Phase::Sync)
+                    .unwrap_or_else(|| panic!("p={p} rank {r}: no Sync span"));
+                assert_eq!(sync.counters.algo, Some(want), "p={p} rank {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn dead_rank_mid_collective_is_a_typed_down_error() {
+        // Rank 2 dies before the collectives; the survivors' barrier,
+        // butterfly and broadcast (rooted at the dead rank, so every
+        // survivor depends on it) must all surface Down — never panic.
+        let out =
+            run_ranks::<u64, Option<Vec<CollectiveError>>, _>(4, LinkProfile::ideal(), |mut ep| {
+                if ep.rank() == 2 {
+                    return None; // endpoint drops immediately
+                }
+                let mut errs = Vec::new();
+                errs.push(barrier(&mut ep).unwrap_err());
+                errs.push(butterfly_barrier(&mut ep).unwrap_err());
+                errs.push(broadcast(&mut ep, 2, None, 8).unwrap_err());
+                Some(errs)
+            });
+        for (r, errs) in out.iter().enumerate() {
+            let Some(errs) = errs else { continue };
+            assert_eq!(errs.len(), 3, "rank {r}");
+            for e in errs {
+                // The Down may name the dead rank directly or a survivor
+                // that exited after erroring itself; either way it is a
+                // typed event, observed by this rank.
+                match e {
+                    CollectiveError::Down { to, .. } => assert_eq!(*to, r),
+                    other => panic!("rank {r}: expected Down, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn dead_rank_fails_allreduce_with_down_not_panic() {
+        let out =
+            run_ranks::<f64, Option<CollectiveError>, _>(3, LinkProfile::ideal(), |mut ep| {
+                if ep.rank() == 1 {
+                    return None; // dies; the ring through it is severed
+                }
+                let mine = ep.rank() as f64;
+                Some(allreduce_min_f64(&mut ep, mine).unwrap_err())
+            });
+        for (r, e) in out.iter().enumerate() {
+            let Some(e) = e else { continue };
+            match e {
+                CollectiveError::Down { to, .. } => assert_eq!(*to, r),
+                other => panic!("rank {r}: expected Down, got {other:?}"),
+            }
+            assert!(e.to_string().contains("down"), "{e}");
         }
     }
 

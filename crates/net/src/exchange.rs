@@ -1,0 +1,522 @@
+//! The coalesced per-blockstep wave: barrier + all-reduce-min +
+//! j-exchange in one butterfly.
+//!
+//! ## Why one wave
+//!
+//! The PR 5 sequential schedule pays three collectives per blockstep on a
+//! multi-node cluster: a commit barrier, the next-block-time all-reduce,
+//! and the inter-cluster j-exchange (plus its post-barrier) — every one a
+//! full ⌈log₂ p⌉-stage pattern charging per-message latency and switch
+//! overhead.  But the butterfly over `p = c × h` ranks *already contains*
+//! the exchange topology: with ranks numbered `ci·h + hi`, the low
+//! `log₂ h` stages pair ranks within a cluster and the high `log₂ c`
+//! stages pair the same host-index across clusters — exactly the
+//! recursive-doubling partners of the j-exchange.  So one wave per
+//! blockstep, whose frames coalesce the barrier sentinel, the running
+//! min and the j-records ([`Frame::Stage`]), does the work of all three
+//! collectives at a third of the message count.
+//!
+//! ## Split-phase overlap
+//!
+//! [`Wave`] is a stage-stepped state machine: [`Wave::post_stage`] only
+//! *sends* the current stage's frame, [`Wave::finish_stage`] receives
+//! and folds it.  Posting stage 0 before the force pass and finishing it
+//! after lets the first stage's latency hide behind compute — on the
+//! virtual fabric the clock has advanced past the frame's arrival by the
+//! time the receive happens, so the wait is absorbed, and on a real
+//! socket the kernel buffers the frame meanwhile.  The message sequence
+//! is **identical** in all schedules (same frames, same per-peer order),
+//! which is the bitwise argument: the folded state can not depend on
+//! when the receives were executed.
+//!
+//! ## Determinism of the fold
+//!
+//! `t_min` folds through `f64::min` — associative and commutative over
+//! the totally-ordered non-NaN floats, so any fold order yields the same
+//! bits.  J-records merge into a map keyed by particle index; each
+//! particle is updated by exactly one owner per step, so duplicates
+//! (possible under the dissemination fallback, which re-forwards) are
+//! bitwise-identical copies and the merged set is order-independent.
+
+use std::collections::BTreeMap;
+
+use grape6_trace::BarrierAlgo;
+
+use crate::transport::{Transport, TransportError};
+use crate::wire::{Frame, JRecord};
+
+/// The folded result of a completed [`Wave`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct WaveOutcome {
+    /// Global minimum of the per-rank inputs (the next block time).
+    pub t_min: f64,
+    /// The wave pattern that ran (butterfly, or dissemination fallback
+    /// for non-power-of-two rank counts).
+    pub algo: BarrierAlgo,
+    /// Every rank's j-records, merged, ascending by particle index.
+    pub merged: Vec<JRecord>,
+    /// Frames this rank sent.
+    pub messages: u64,
+    /// Logical records coalesced into those frames (sentinel + min +
+    /// j-records per frame) — `records / messages` is the coalescing
+    /// factor.
+    pub records: u64,
+    /// Wire bytes this rank sent (encoded + synthetic pad).
+    pub bytes: u64,
+}
+
+/// One rank's in-flight coalesced wave for one blockstep.
+pub struct Wave {
+    rank: usize,
+    p: usize,
+    step: u64,
+    algo: BarrierAlgo,
+    n_stages: u32,
+    /// Stages fully folded so far.
+    done: u32,
+    /// Receive partner of a posted-but-unfinished stage.
+    pending_from: Option<usize>,
+    t_min: f64,
+    acc: BTreeMap<u64, JRecord>,
+    messages: u64,
+    records: u64,
+    bytes: u64,
+}
+
+impl Wave {
+    /// Start a wave at this rank: `t_min` is the rank's candidate next
+    /// block time, `records` its j-updates for this step.
+    pub fn new(rank: usize, p: usize, step: u64, t_min: f64, records: Vec<JRecord>) -> Self {
+        assert!(p >= 1 && rank < p);
+        let algo = if p.is_power_of_two() {
+            BarrierAlgo::Butterfly
+        } else {
+            BarrierAlgo::Dissemination
+        };
+        let n_stages = if p > 1 {
+            usize::BITS - (p - 1).leading_zeros()
+        } else {
+            0
+        };
+        let acc = records.into_iter().map(|r| (r.index, r)).collect();
+        Self {
+            rank,
+            p,
+            step,
+            algo,
+            n_stages,
+            done: 0,
+            pending_from: None,
+            t_min,
+            acc,
+            messages: 0,
+            records: 0,
+            bytes: 0,
+        }
+    }
+
+    /// Total stages (⌈log₂ p⌉).
+    pub fn n_stages(&self) -> u32 {
+        self.n_stages
+    }
+
+    /// Stages fully folded so far.
+    pub fn stages_done(&self) -> u32 {
+        self.done
+    }
+
+    /// Whether every stage has been folded.
+    pub fn is_complete(&self) -> bool {
+        self.done == self.n_stages && self.pending_from.is_none()
+    }
+
+    /// (send-to, receive-from) partners of stage `k`.  Butterfly pairs
+    /// are symmetric (`me XOR 2^k`); dissemination sends ahead and
+    /// receives from behind.
+    fn partners(&self, k: u32) -> (usize, usize) {
+        let dist = 1usize << k;
+        match self.algo {
+            BarrierAlgo::Butterfly => {
+                let partner = self.rank ^ dist;
+                (partner, partner)
+            }
+            _ => (
+                (self.rank + dist) % self.p,
+                (self.rank + self.p - dist) % self.p,
+            ),
+        }
+    }
+
+    /// Send the current stage's frame (everything accumulated so far,
+    /// coalesced into one message) without waiting for the partner's.
+    /// `pad` is the synthetic extra wire volume the virtual link charges
+    /// for this stage (models j-payload size without allocating it).
+    pub fn post_stage<T: Transport>(&mut self, tr: &mut T, pad: u64) -> Result<(), TransportError> {
+        assert!(self.pending_from.is_none(), "stage already posted");
+        assert!(self.done < self.n_stages, "wave already complete");
+        let (to, from) = self.partners(self.done);
+        let frame = Frame::Stage {
+            step: self.step,
+            stage: self.done,
+            t_min: self.t_min,
+            records: self.acc.values().cloned().collect(),
+            pad,
+        };
+        self.messages += 1;
+        self.records += frame.logical_records();
+        self.bytes += frame.wire_len() as u64;
+        tr.send_frame(to, &frame)?;
+        self.pending_from = Some(from);
+        Ok(())
+    }
+
+    /// Receive and fold the posted stage's frame.
+    pub fn finish_stage<T: Transport>(&mut self, tr: &mut T) -> Result<(), TransportError> {
+        let from = self.pending_from.expect("no stage posted");
+        let frame = tr.recv_frame(from)?;
+        let Frame::Stage {
+            step,
+            stage,
+            t_min,
+            records,
+            ..
+        } = frame
+        else {
+            return Err(TransportError::Protocol("data frame where a stage was due"));
+        };
+        if step != self.step {
+            return Err(TransportError::Protocol(
+                "stage frame from a different blockstep",
+            ));
+        }
+        if stage != self.done {
+            return Err(TransportError::Protocol("stage frame out of order"));
+        }
+        self.t_min = self.t_min.min(t_min);
+        for r in records {
+            self.acc.insert(r.index, r);
+        }
+        self.pending_from = None;
+        self.done += 1;
+        Ok(())
+    }
+
+    /// Run stages `[stages_done, until)` to completion (post + finish
+    /// each).  `pads[k]` is the synthetic pad for absolute stage `k`
+    /// (missing entries are 0).
+    pub fn run_stages<T: Transport>(
+        &mut self,
+        tr: &mut T,
+        until: u32,
+        pads: &[u64],
+    ) -> Result<(), TransportError> {
+        while self.done < until.min(self.n_stages) {
+            let pad = pads.get(self.done as usize).copied().unwrap_or(0);
+            self.post_stage(tr, pad)?;
+            self.finish_stage(tr)?;
+        }
+        Ok(())
+    }
+
+    /// Fold result.  Panics if the wave is incomplete — completing it is
+    /// the caller's schedule's job.
+    pub fn outcome(self) -> WaveOutcome {
+        assert!(self.is_complete(), "wave has unfinished stages");
+        WaveOutcome {
+            t_min: self.t_min,
+            algo: self.algo,
+            merged: self.acc.into_values().collect(),
+            messages: self.messages,
+            records: self.records,
+            bytes: self.bytes,
+        }
+    }
+}
+
+/// The whole wave, sequentially: post + finish every stage back to back.
+/// This is the *coalesced* schedule (one collective instead of three);
+/// the overlapped schedule drives [`Wave`] directly to hide stage 0
+/// behind compute.
+pub fn coalesced_wave<T: Transport>(
+    tr: &mut T,
+    step: u64,
+    t_min: f64,
+    records: Vec<JRecord>,
+    pads: &[u64],
+) -> Result<WaveOutcome, TransportError> {
+    let mut w = Wave::new(tr.rank(), tr.n_ranks(), step, t_min, records);
+    let n = w.n_stages();
+    w.run_stages(tr, n, pads)?;
+    Ok(w.outcome())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::run_ranks;
+    use crate::link::LinkProfile;
+    use crate::transport::VirtualTransport;
+
+    fn rec(index: u64, word: f64) -> JRecord {
+        JRecord {
+            index,
+            words: vec![word.to_bits()],
+        }
+    }
+
+    #[test]
+    fn wave_computes_allreduce_min_and_merges_records_any_p() {
+        for p in [1usize, 2, 3, 4, 6, 8, 16] {
+            let out =
+                run_ranks::<Vec<u8>, WaveOutcome, _>(p, LinkProfile::ideal(), move |mut ep| {
+                    let r = ep.rank();
+                    let mut tr = VirtualTransport::new(&mut ep);
+                    coalesced_wave(
+                        &mut tr,
+                        42,
+                        (r as f64 + 1.0) * 0.125,
+                        vec![rec(r as u64, r as f64)],
+                        &[],
+                    )
+                    .unwrap()
+                });
+            let want_algo = if p.is_power_of_two() {
+                BarrierAlgo::Butterfly
+            } else {
+                BarrierAlgo::Dissemination
+            };
+            for (r, o) in out.iter().enumerate() {
+                assert_eq!(o.t_min, 0.125, "p={p} rank {r}");
+                assert_eq!(o.algo, want_algo, "p={p} rank {r}");
+                // Every rank ends with every rank's record, index-sorted.
+                let want: Vec<JRecord> = (0..p as u64).map(|i| rec(i, i as f64)).collect();
+                assert_eq!(o.merged, want, "p={p} rank {r}");
+                if p > 1 {
+                    // One frame per stage, nothing more.
+                    assert_eq!(o.messages, u64::from((p - 1).ilog2() + 1), "p={p}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_wave_sends_fewer_messages_than_three_collectives() {
+        // 4 ranks: the wave is 2 frames/rank; the sequential schedule's
+        // commit barrier (2) + allreduce ring (3) + post barrier (2) is 7.
+        let out = run_ranks::<Vec<u8>, WaveOutcome, _>(4, LinkProfile::ideal(), |mut ep| {
+            let r = ep.rank();
+            let mut tr = VirtualTransport::new(&mut ep);
+            coalesced_wave(&mut tr, 0, r as f64, vec![rec(r as u64, 0.0)], &[]).unwrap()
+        });
+        for o in &out {
+            assert_eq!(o.messages, 2);
+            // Coalescing factor > 1: each frame carries sentinel + min +
+            // accumulated j-records.
+            assert!(o.records > o.messages, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn split_phase_wave_is_bitwise_identical_to_sequential() {
+        let link = LinkProfile {
+            latency: 1e-4,
+            bandwidth: 1e8,
+            overhead: 1e-5,
+        };
+        let run = |overlap: bool| {
+            run_ranks::<Vec<u8>, (WaveOutcome, f64), _>(8, link, move |mut ep| {
+                let r = ep.rank();
+                let t_mine = 1.0 / (r as f64 + 2.0);
+                let recs = vec![rec(r as u64, t_mine)];
+                let out = if overlap {
+                    let mut w = Wave::new(r, 8, 7, t_mine, recs);
+                    {
+                        let mut tr = VirtualTransport::new(&mut ep);
+                        w.post_stage(&mut tr, 64).unwrap();
+                    }
+                    // "Compute" while stage 0 is in flight.
+                    ep.advance(5e-3);
+                    let mut tr = VirtualTransport::new(&mut ep);
+                    w.finish_stage(&mut tr).unwrap();
+                    w.run_stages(&mut tr, 3, &[64, 64, 64]).unwrap();
+                    w.outcome()
+                } else {
+                    let mut w = Wave::new(r, 8, 7, t_mine, recs);
+                    w.run_stages(&mut VirtualTransport::new(&mut ep), 3, &[64, 64, 64])
+                        .unwrap();
+                    let o = w.outcome();
+                    ep.advance(5e-3);
+                    o
+                };
+                (out, ep.clock())
+            })
+        };
+        let seq = run(false);
+        let ovl = run(true);
+        for (r, (s, o)) in seq.iter().zip(&ovl).enumerate() {
+            // Identical folded state, bit for bit.
+            assert_eq!(s.0, o.0, "rank {r}");
+            // The overlapped schedule hid stage-0 latency behind the
+            // compute: its clock is strictly earlier.
+            assert!(o.1 < s.1, "rank {r}: {} !< {}", o.1, s.1);
+        }
+    }
+
+    #[test]
+    fn wave_counters_account_pads_and_coalescing() {
+        let out = run_ranks::<Vec<u8>, WaveOutcome, _>(2, LinkProfile::ideal(), |mut ep| {
+            let r = ep.rank();
+            let mut tr = VirtualTransport::new(&mut ep);
+            coalesced_wave(&mut tr, 1, 0.5, vec![rec(r as u64, 0.0)], &[1000]).unwrap()
+        });
+        for o in &out {
+            assert_eq!(o.messages, 1);
+            assert_eq!(o.records, 3); // sentinel + min + 1 j-record
+            assert!(o.bytes > 1000, "pad must be charged: {o:?}");
+        }
+    }
+
+    #[test]
+    fn lossy_fabric_waves_are_bitwise_identical_to_lossless() {
+        use crate::fabric::run_ranks_faulty;
+        use grape6_fault::NetFaultPlan;
+        // 40% drop with a generous retry budget: every message eventually
+        // arrives, so both the back-to-back and the split-phase schedule
+        // must fold the exact bits of the lossless run — retransmission
+        // changes when a frame lands, never what it says.
+        let link = LinkProfile {
+            latency: 50.0e-6,
+            bandwidth: 1.0e8,
+            overhead: 10.0e-6,
+        };
+        let p = 8;
+        let chain = move |ep: &mut crate::fabric::Endpoint<Vec<u8>>, split: bool| {
+            let r = ep.rank();
+            let mut outs = Vec::new();
+            let mut t_seed = 0.5f64;
+            for step in 0..4u64 {
+                let t_mine = t_seed * (1.0 + r as f64 * 0.125);
+                let recs = vec![rec(r as u64 * 8 + step, t_mine)];
+                let mut tr = VirtualTransport::new(ep);
+                let out = if split {
+                    let mut w = Wave::new(r, p, step, t_mine, recs);
+                    w.post_stage(&mut tr, 64)?;
+                    w.finish_stage(&mut tr)?;
+                    let n = w.n_stages();
+                    w.run_stages(&mut tr, n, &[64; 8])?;
+                    w.outcome()
+                } else {
+                    coalesced_wave(&mut tr, step, t_mine, recs, &[64; 8])?
+                };
+                t_seed = out.t_min * 0.75 + 1e-3;
+                outs.push(out);
+            }
+            Ok::<_, TransportError>(outs)
+        };
+        let run = |plan: NetFaultPlan, split: bool| {
+            run_ranks_faulty::<Vec<u8>, (Vec<WaveOutcome>, u64), _>(p, link, plan, move |mut ep| {
+                let outs = chain(&mut ep, split).expect("recoverable loss");
+                let retransmits = ep.stats().retransmits;
+                (outs, retransmits)
+            })
+        };
+        let lossy = NetFaultPlan::lossy(5, 400, 32, 1e-4);
+        let clean = run(NetFaultPlan::none(), false);
+        let lossy_seq = run(lossy, false);
+        let lossy_split = run(lossy, true);
+        assert!(
+            lossy_seq.iter().map(|(_, r)| r).sum::<u64>() > 0,
+            "a 40%-lossy fabric must retransmit"
+        );
+        for (r, ((c, _), ((ls, _), (lo, _)))) in clean
+            .iter()
+            .zip(lossy_seq.iter().zip(&lossy_split))
+            .enumerate()
+        {
+            assert_eq!(c, ls, "rank {r}: lossy sequential diverged");
+            assert_eq!(c, lo, "rank {r}: lossy split-phase diverged");
+        }
+    }
+
+    #[test]
+    fn exhausted_retry_budget_fails_the_wave_with_a_typed_lost_error() {
+        use crate::fabric::run_ranks_faulty;
+        use grape6_fault::NetFaultPlan;
+        // 100% drop, 2-attempt budget: stage 0 times out on both ranks.
+        let plan = NetFaultPlan::lossy(9, 1000, 2, 1e-4);
+        let errs = run_ranks_faulty::<Vec<u8>, TransportError, _>(
+            2,
+            LinkProfile::ideal(),
+            plan,
+            |mut ep| {
+                let mut tr = VirtualTransport::new(&mut ep);
+                coalesced_wave(&mut tr, 0, 0.5, vec![], &[]).unwrap_err()
+            },
+        );
+        for (r, e) in errs.iter().enumerate() {
+            match e {
+                TransportError::Lost(le) => {
+                    assert_eq!(le.to, r);
+                    assert_eq!(le.attempts, 2);
+                }
+                other => panic!("rank {r}: expected Lost, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn mid_wave_rank_death_surfaces_as_typed_down_errors() {
+        // Rank 3 completes stage 0 of the 4-rank butterfly, then dies.
+        // Its stage-0 partner (rank 2) already holds its records, so the
+        // fold keeps flowing through the survivors on the 0↔2 edge; only
+        // rank 1, whose stage-1 partner is the corpse, observes the death
+        // — as a typed Down, never a panic.
+        let out = run_ranks::<Vec<u8>, Result<WaveOutcome, TransportError>, _>(
+            4,
+            LinkProfile::ideal(),
+            |mut ep| {
+                let r = ep.rank();
+                let mut tr = VirtualTransport::new(&mut ep);
+                let mut w = Wave::new(r, 4, 0, (r as f64 + 1.0) * 0.125, vec![rec(r as u64, 0.0)]);
+                w.post_stage(&mut tr, 0)?;
+                w.finish_stage(&mut tr)?;
+                if r == 3 {
+                    return Err(TransportError::Down { from: 3, to: 3 }); // dies here
+                }
+                w.run_stages(&mut tr, 2, &[])?;
+                Ok(w.outcome())
+            },
+        );
+        for r in [0usize, 2] {
+            let o = out[r].as_ref().expect("survivor on the live edge");
+            // Global fold still complete: rank 3's input crossed the 2↔3
+            // edge in stage 0 and the 0↔2 edge in stage 1.
+            assert_eq!(o.t_min, 0.125, "rank {r}");
+            assert_eq!(o.merged.len(), 4, "rank {r}");
+        }
+        assert_eq!(
+            out[1],
+            Err(TransportError::Down { from: 3, to: 1 }),
+            "rank 1's stage-1 partner died"
+        );
+    }
+
+    #[test]
+    fn mixed_step_waves_are_a_protocol_error() {
+        let errs =
+            run_ranks::<Vec<u8>, Option<TransportError>, _>(2, LinkProfile::ideal(), |mut ep| {
+                let r = ep.rank();
+                let step = if r == 0 { 1 } else { 2 }; // skewed fabric
+                let mut tr = VirtualTransport::new(&mut ep);
+                coalesced_wave(&mut tr, step, 0.0, vec![], &[]).err()
+            });
+        for e in errs.iter() {
+            assert_eq!(
+                *e,
+                Some(TransportError::Protocol(
+                    "stage frame from a different blockstep"
+                ))
+            );
+        }
+    }
+}

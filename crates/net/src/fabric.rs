@@ -26,8 +26,18 @@
 //! decided by a stateless hash, so two runs with the same seed replay the
 //! identical event sequence); what the fault plan changes is virtual time
 //! and the [`EndpointStats`] counters, plus [`Endpoint::recv_checked`]
-//! returning [`LinkError`] when the retry budget is exhausted.  The clean
-//! plan leaves every clock bit-identical to the plain fabric.
+//! returning [`RecvError::Lost`] when the retry budget is exhausted.  The
+//! clean plan leaves every clock bit-identical to the plain fabric.
+//!
+//! ## Typed receive paths
+//!
+//! Every way a receive can fail is an observable event, not a panic:
+//! [`Endpoint::recv_checked`] returns [`RecvError`] (a fault-plan loss or
+//! a peer that dropped its endpoint), and [`Endpoint::recv_or_down`]
+//! separates orderly departure (`Ok(None)`, after the peer's in-flight
+//! traffic has drained) from link loss (`Err(LinkError)`).  The bare
+//! panicking [`Endpoint::recv`] is deprecated and kept only for external
+//! callers mid-migration.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use grape6_fault::{Delivery, NetFaultPlan};
@@ -93,6 +103,50 @@ impl std::fmt::Display for LinkError {
 }
 
 impl std::error::Error for LinkError {}
+
+/// Why a typed receive failed.
+///
+/// Both variants are events a deployed process must survive: a link whose
+/// retry budget ran out, and a peer whose endpoint is gone (the rank
+/// exited or died) once its in-flight traffic has drained.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RecvError {
+    /// The fault plan exhausted the retry budget on this message.
+    Lost(LinkError),
+    /// The peer dropped its endpoint and its per-peer FIFO is empty.
+    Down {
+        /// The departed peer.
+        from: usize,
+        /// The rank that observed the departure.
+        to: usize,
+    },
+}
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lost(e) => write!(f, "{e}"),
+            Self::Down { from, to } => {
+                write!(f, "rank {from} is down (observed by rank {to})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RecvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Lost(e) => Some(e),
+            Self::Down { .. } => None,
+        }
+    }
+}
+
+impl From<LinkError> for RecvError {
+    fn from(e: LinkError) -> Self {
+        Self::Lost(e)
+    }
+}
 
 /// One rank's view of the fabric.
 pub struct Endpoint<T> {
@@ -270,31 +324,33 @@ impl<T: Send> Endpoint<T> {
     ///
     /// Under a fault plan, retransmission backoff and in-network delays are
     /// added to the arrival time, and a message whose retry budget runs out
-    /// returns [`LinkError`]; the clock still advances to the moment the
-    /// timeout was declared.
-    pub fn recv_checked(&mut self, from: usize) -> Result<T, LinkError> {
+    /// returns [`RecvError::Lost`]; the clock still advances to the moment
+    /// the timeout was declared.  A peer that dropped its endpoint (after
+    /// its in-flight traffic drained) returns [`RecvError::Down`] instead
+    /// of panicking — on a lossless fabric with live peers the call is
+    /// infallible and callers may `expect("lossless fabric")`.
+    pub fn recv_checked(&mut self, from: usize) -> Result<T, RecvError> {
+        let to = self.rank;
         let msg = self.rx[from]
             .recv()
-            .expect("peer endpoint dropped while fabric in use");
-        self.process_incoming(from, msg)
+            .map_err(|_| RecvError::Down { from, to })?;
+        self.process_incoming(from, msg).map_err(RecvError::Lost)
     }
 
     /// Blocking receive from `from` that treats a departed peer as an
-    /// observable event instead of a fabric-integrity panic: returns
-    /// `None` once `from` has dropped its endpoint *and* every message it
-    /// sent before dying has been consumed (per-peer FIFO drains first, so
-    /// a rank is never declared gone while its traffic is still in
-    /// flight).  This is the primitive the
+    /// observable event: returns `Ok(None)` once `from` has dropped its
+    /// endpoint *and* every message it sent before dying has been consumed
+    /// (per-peer FIFO drains first, so a rank is never declared gone while
+    /// its traffic is still in flight).  This is the primitive the
     /// [`crate::failover::RankMonitor`] builds missed-heartbeat detection
-    /// on.  A message declared lost by the fault plan still panics here —
-    /// use a clean plan or [`Self::recv_checked`] where losses are
-    /// expected.
-    pub fn recv_or_down(&mut self, from: usize) -> Option<T> {
-        let msg = self.rx[from].recv().ok()?;
-        match self.process_incoming(from, msg) {
-            Ok(v) => Some(v),
-            Err(e) => panic!("{e}"),
-        }
+    /// on.  A message declared lost by the fault plan is a distinct event
+    /// — the peer may still be alive behind a bad link — and surfaces as
+    /// `Err(LinkError)`.
+    pub fn recv_or_down(&mut self, from: usize) -> Result<Option<T>, LinkError> {
+        let Ok(msg) = self.rx[from].recv() else {
+            return Ok(None);
+        };
+        self.process_incoming(from, msg).map(Some)
     }
 
     /// Apply causality, the fault plan and tracing to one received message.
@@ -379,8 +435,12 @@ impl<T: Send> Endpoint<T> {
     }
 
     /// Blocking receive from `from`; panics if the fault plan declares the
-    /// message lost (the plain fabric has no losses, so this is infallible
-    /// there).
+    /// message lost or the peer drops its endpoint.
+    #[deprecated(
+        since = "0.2.0",
+        note = "panics on lost messages and departed peers — use \
+                `recv_checked` (typed errors) or `recv_or_down` instead"
+    )]
     pub fn recv(&mut self, from: usize) -> T {
         match self.recv_checked(from) {
             Ok(v) => v,
@@ -466,10 +526,10 @@ mod tests {
         let clocks = run_ranks::<u64, f64, _>(2, link, |mut ep| {
             if ep.rank() == 0 {
                 ep.send(1, 42, 1000);
-                let x = ep.recv(1);
+                let x = ep.recv_checked(1).unwrap();
                 assert_eq!(x, 43);
             } else {
-                let x = ep.recv(0);
+                let x = ep.recv_checked(0).unwrap();
                 assert_eq!(x, 42);
                 ep.send(0, x + 1, 1000);
             }
@@ -491,7 +551,7 @@ mod tests {
                 ep.send(1, (), 0);
             } else {
                 ep.advance(5.0); // busy long past the message arrival
-                ep.recv(0);
+                ep.recv_checked(0).unwrap();
             }
             ep.clock()
         });
@@ -518,8 +578,8 @@ mod tests {
                 ep.send(1, 1, 100);
                 ep.send(1, 2, 200);
             } else {
-                ep.recv(0);
-                ep.recv(0);
+                ep.recv_checked(0).unwrap();
+                ep.recv_checked(0).unwrap();
             }
             (ep.bytes_sent(), ep.messages_sent())
         });
@@ -543,9 +603,9 @@ mod tests {
                 _ => {
                     // Per-peer FIFO: 10 before 11; rank1's message can be
                     // taken independently.
-                    let a = ep.recv(0);
-                    let b = ep.recv(1);
-                    let c = ep.recv(0);
+                    let a = ep.recv_checked(0).unwrap();
+                    let b = ep.recv_checked(1).unwrap();
+                    let c = ep.recv_checked(0).unwrap();
                     vec![a, b, c]
                 }
             }
@@ -572,9 +632,9 @@ mod tests {
             run_ranks_faulty::<u64, f64, _>(2, link, plan, |mut ep| {
                 if ep.rank() == 0 {
                     ep.send(1, 42, 1000);
-                    ep.recv(1);
+                    ep.recv_checked(1).unwrap();
                 } else {
-                    let x = ep.recv(0);
+                    let x = ep.recv_checked(0).unwrap();
                     ep.send(0, x + 1, 1000);
                 }
                 ep.clock()
@@ -605,7 +665,7 @@ mod tests {
                     }
                 } else {
                     for k in 0..200 {
-                        assert_eq!(ep.recv(0), k);
+                        assert_eq!(ep.recv_checked(0).unwrap(), k);
                     }
                 }
                 (ep.clock(), ep.stats())
@@ -626,7 +686,7 @@ mod tests {
                 }
             } else {
                 for _ in 0..200 {
-                    ep.recv(0);
+                    ep.recv_checked(0).unwrap();
                 }
             }
             ep.clock()
@@ -643,7 +703,7 @@ mod tests {
         // 100% drop with a 3-attempt budget: every receive must time out.
         let plan = NetFaultPlan::lossy(7, 1000, 3, 1e-4);
         let link = LinkProfile::ideal();
-        let out = run_ranks_faulty::<u8, Option<LinkError>, _>(2, link, plan, |mut ep| {
+        let out = run_ranks_faulty::<u8, Option<RecvError>, _>(2, link, plan, |mut ep| {
             if ep.rank() == 0 {
                 ep.send(1, 9, 64);
                 None
@@ -654,11 +714,34 @@ mod tests {
                 Some(err)
             }
         });
-        let e = out[1].unwrap();
+        let RecvError::Lost(e) = out[1].unwrap() else {
+            panic!("expected a fault-plan loss, got {:?}", out[1]);
+        };
         assert_eq!((e.from, e.to, e.seq, e.attempts), (0, 1, 0, 3));
         assert_eq!(
             e.to_string(),
             "link 0 -> 1: message #0 lost after 3 attempts"
+        );
+        assert_eq!(RecvError::Lost(e).to_string(), e.to_string());
+    }
+
+    #[test]
+    fn departed_peer_surfaces_as_recv_error_down() {
+        let out = run_ranks::<u8, Option<RecvError>, _>(2, LinkProfile::ideal(), |mut ep| {
+            if ep.rank() == 0 {
+                ep.send(1, 5, 8);
+                None // exits; its endpoint drops
+            } else {
+                // The buffered message arrives first (FIFO drains)…
+                assert_eq!(ep.recv_checked(0).unwrap(), 5);
+                // …then the departure is a typed error, not a panic.
+                Some(ep.recv_checked(0).unwrap_err())
+            }
+        });
+        assert_eq!(out[1], Some(RecvError::Down { from: 0, to: 1 }));
+        assert_eq!(
+            out[1].unwrap().to_string(),
+            "rank 0 is down (observed by rank 1)"
         );
     }
 }

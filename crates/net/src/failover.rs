@@ -26,6 +26,7 @@
 
 use crate::collectives::CollectiveError;
 use crate::fabric::Endpoint;
+use grape6_trace::BarrierAlgo;
 
 /// Wire size of one heartbeat message (epoch counter + framing).
 pub const HEARTBEAT_BYTES: usize = 16;
@@ -171,7 +172,9 @@ impl RankMonitor {
 
     /// One heartbeat round: send a beat to every live peer, then collect
     /// one from each.  A peer whose endpoint is gone (after its traffic
-    /// drained) is declared dead: the missed-heartbeat timeout
+    /// drained) — or whose heartbeat the fault plan declared lost after
+    /// exhausting the retry budget, which is indistinguishable from an
+    /// unreachable host — is declared dead: the missed-heartbeat timeout
     /// `period × miss_budget` is charged to this rank's clock, and the
     /// peer leaves the live set.  Returns the ranks newly declared dead,
     /// in ascending order.
@@ -197,7 +200,7 @@ impl RankMonitor {
         let mut dead = Vec::new();
         for &p in &peers {
             match ep.recv_or_down(p) {
-                Some(msg) => {
+                Ok(Some(msg)) => {
                     let got =
                         decode(msg).expect("protocol violation: data where a heartbeat was due");
                     assert_eq!(
@@ -205,7 +208,10 @@ impl RankMonitor {
                         "heartbeat epoch skew from rank {p}: the fabric is not in lockstep"
                     );
                 }
-                None => {
+                // Endpoint gone, or heartbeat lost after every retry: the
+                // peer is unreachable either way — that is precisely what
+                // missed-heartbeat detection exists to catch.
+                Ok(None) | Err(_) => {
                     let timeout = self.cfg.period * self.cfg.miss_budget as f64;
                     ep.advance(timeout);
                     self.timeout_seconds += timeout;
@@ -220,24 +226,25 @@ impl RankMonitor {
 
 /// Dissemination barrier over a [`Group`]: ⌈log₂ m⌉ rounds among the `m`
 /// members, any group size.  A rank outside the group returns
-/// immediately.
+/// immediately.  Returns the algorithm that ran (always
+/// [`BarrierAlgo::Dissemination`] — groups are arbitrary survivor sets).
 pub fn group_barrier<T: Send + Default>(
     ep: &mut Endpoint<T>,
     group: &Group,
-) -> Result<(), CollectiveError> {
+) -> Result<BarrierAlgo, CollectiveError> {
     let m = group.len();
     let Some(vr) = group.vrank(ep.rank()) else {
-        return Ok(());
+        return Ok(BarrierAlgo::Dissemination);
     };
     let mut step = 1usize;
     while step < m {
         let to = group.rank_at((vr + step) % m);
         let from = group.rank_at((vr + m - step) % m);
-        ep.send(to, T::default(), 8);
+        ep.send_lossy(to, T::default(), 8);
         ep.recv_checked(from)?;
         step <<= 1;
     }
-    Ok(())
+    Ok(BarrierAlgo::Dissemination)
 }
 
 /// Ring all-gather over a [`Group`]: every member contributes `mine`;
@@ -264,7 +271,7 @@ pub fn group_allgather<T: Send + Clone>(
     let mut out: Vec<T> = Vec::with_capacity(m);
     out.push(mine);
     for round in 0..m - 1 {
-        ep.send(right, out[round].clone(), bytes);
+        ep.send_lossy(right, out[round].clone(), bytes);
         out.push(ep.recv_checked(left)?);
     }
     out.reverse();
@@ -367,7 +374,7 @@ mod tests {
             }
             // The peer may or may not have exited yet; drain until the
             // channel reports it gone, then further sends must fail soft.
-            while ep.recv_or_down(1).is_some() {}
+            while ep.recv_or_down(1).expect("lossless fabric").is_some() {}
             Some(ep.send_lossy(1, 7, 8))
         });
         assert_eq!(flags[0], Some(false));
@@ -382,7 +389,7 @@ mod tests {
                 return vec![]; // dies with two messages in flight
             }
             let mut got = Vec::new();
-            while let Some(v) = ep.recv_or_down(1) {
+            while let Some(v) = ep.recv_or_down(1).expect("lossless fabric") {
                 got.push(v);
             }
             got
@@ -397,7 +404,7 @@ mod tests {
                 ep.send(1, 1, 100);
                 ep.advance(0.5);
             } else {
-                ep.recv(0);
+                ep.recv_checked(0).expect("lossless fabric");
             }
             let st = ep.checkpoint_state();
             assert_eq!(st.rank, ep.rank());

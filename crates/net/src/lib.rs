@@ -28,16 +28,34 @@
 //! corruption, retransmission backoff and timeouts — and every
 //! [`fabric::Endpoint`] counts what happened ([`fabric::EndpointStats`]).
 //!
+//! On top of the point-to-point substrate sit the deployable layers:
+//!
+//! * [`wire`] — the little-endian [`wire::Frame`] format (built on
+//!   `grape6-ckpt`'s encoder) that coalesces barrier sentinel,
+//!   all-reduce payload and j-records into one message per partner;
+//! * [`transport`] — the pluggable [`transport::Transport`] trait with
+//!   the virtual-time endpoint as one backend and a real TCP/UDS mesh
+//!   ([`transport::StreamTransport`], ranks as OS processes) as another;
+//! * [`exchange`] — the coalesced per-blockstep [`exchange::Wave`]
+//!   (split-phase capable, so its first stage hides behind compute),
+//!   bitwise identical across schedules and backends.
+//!
 //! Nothing here knows about particles; `grape6-parallel` composes this
 //! fabric with the machine simulator to run the paper's parallel
 //! algorithms end to end.
 
 pub mod collectives;
+pub mod exchange;
 pub mod fabric;
 pub mod failover;
 pub mod link;
+pub mod transport;
+pub mod wire;
 
 pub use collectives::{CollectiveCost, CollectiveError};
-pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError};
+pub use exchange::{coalesced_wave, Wave, WaveOutcome};
+pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError, RecvError};
 pub use failover::{group_allgather, group_barrier, Group, HeartbeatConfig, RankMonitor};
 pub use link::LinkProfile;
+pub use transport::{StreamKind, StreamTransport, Transport, TransportError, VirtualTransport};
+pub use wire::{Frame, JRecord};

@@ -1,0 +1,490 @@
+//! Pluggable transport: the same exchange code over virtual time or real
+//! sockets.
+//!
+//! The exchange algorithms in [`crate::exchange`] are generic over
+//! [`Transport`], which moves [`Frame`]s between ranks.  Two backends:
+//!
+//! * [`VirtualTransport`] — borrows a virtual-time [`Endpoint`]; sends
+//!   charge the link's per-message overhead and receives advance the
+//!   clock by causality, exactly like every other fabric message.  The
+//!   frame's [`Frame::wire_len`] (encoded bytes + synthetic pad) is what
+//!   the link model charges.
+//! * [`StreamTransport`] — real OS processes on TCP (loopback) or Unix
+//!   domain sockets, with a filesystem rendezvous: every rank binds a
+//!   listener, publishes its address under the rendezvous directory,
+//!   connects to all lower ranks and accepts from all higher ranks.
+//!   Frames travel length-prefixed (u64 LE); a closed stream surfaces as
+//!   [`TransportError::Down`].
+//!
+//! The bitwise contract: both backends deliver the *identical decoded
+//! frames* in the identical per-peer order (the exchange algorithms only
+//! ever match sends to receives pairwise), so any state computed from
+//! frame payloads is independent of the backend.  What differs is cost
+//! accounting — virtual time on one side, real wall-clock on the other.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use crate::fabric::{Endpoint, LinkError, RecvError};
+use crate::wire::Frame;
+use grape6_ckpt::wire::WireError;
+
+/// A transport operation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TransportError {
+    /// The virtual fault plan exhausted a message's retry budget.
+    Lost(LinkError),
+    /// The peer is gone (endpoint dropped / stream closed).
+    Down {
+        /// The departed peer.
+        from: usize,
+        /// The rank that observed it.
+        to: usize,
+    },
+    /// A frame failed to decode (format bug or corrupted stream).
+    Wire(WireError),
+    /// A well-formed frame arrived out of protocol (wrong step or stage
+    /// — the fabric is not in lockstep).
+    Protocol(&'static str),
+    /// An OS-level socket error (real transport only).
+    Io(String),
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Lost(e) => write!(f, "transport: {e}"),
+            Self::Down { from, to } => {
+                write!(f, "transport: rank {from} down (observed by {to})")
+            }
+            Self::Wire(e) => write!(f, "transport: bad frame: {e}"),
+            Self::Protocol(e) => write!(f, "transport: protocol violation: {e}"),
+            Self::Io(e) => write!(f, "transport: io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<RecvError> for TransportError {
+    fn from(e: RecvError) -> Self {
+        match e {
+            RecvError::Lost(le) => Self::Lost(le),
+            RecvError::Down { from, to } => Self::Down { from, to },
+        }
+    }
+}
+
+impl From<WireError> for TransportError {
+    fn from(e: WireError) -> Self {
+        Self::Wire(e)
+    }
+}
+
+/// Frame movement between ranks — the only surface the exchange
+/// algorithms see.
+pub trait Transport {
+    /// This rank's id.
+    fn rank(&self) -> usize;
+    /// Total ranks.
+    fn n_ranks(&self) -> usize;
+    /// Send one frame to `to`.  Must tolerate a departed peer (the
+    /// matching receive is where the departure is observed).
+    fn send_frame(&mut self, to: usize, frame: &Frame) -> Result<(), TransportError>;
+    /// Blocking receive of one frame from `from`.
+    fn recv_frame(&mut self, from: usize) -> Result<Frame, TransportError>;
+}
+
+/// The virtual-time backend: a thin borrow of a fabric [`Endpoint`]
+/// carrying encoded frames.  Time accounting is the endpoint's — the
+/// link model charges [`Frame::wire_len`] per message, so a coalesced
+/// frame pays one latency + one overhead where k separate messages would
+/// pay k.
+pub struct VirtualTransport<'a> {
+    ep: &'a mut Endpoint<Vec<u8>>,
+}
+
+impl<'a> VirtualTransport<'a> {
+    /// Wrap an endpoint for the duration of an exchange.
+    pub fn new(ep: &'a mut Endpoint<Vec<u8>>) -> Self {
+        Self { ep }
+    }
+
+    /// The wrapped endpoint (clock, stats, tracer).
+    pub fn endpoint(&mut self) -> &mut Endpoint<Vec<u8>> {
+        self.ep
+    }
+}
+
+impl Transport for VirtualTransport<'_> {
+    fn rank(&self) -> usize {
+        self.ep.rank()
+    }
+
+    fn n_ranks(&self) -> usize {
+        self.ep.n_ranks()
+    }
+
+    fn send_frame(&mut self, to: usize, frame: &Frame) -> Result<(), TransportError> {
+        let wire = frame.wire_len();
+        // Lossy: a departed peer is observed at the receive side.
+        self.ep.send_lossy(to, frame.encode(), wire);
+        Ok(())
+    }
+
+    fn recv_frame(&mut self, from: usize) -> Result<Frame, TransportError> {
+        let bytes = self.ep.recv_checked(from)?;
+        Ok(Frame::decode(&bytes)?)
+    }
+}
+
+/// Socket flavour for [`StreamTransport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StreamKind {
+    /// TCP over loopback.
+    Tcp,
+    /// Unix domain sockets.
+    Uds,
+}
+
+enum Stream {
+    Tcp(TcpStream),
+    Uds(UnixStream),
+}
+
+impl Stream {
+    fn reader(&mut self) -> &mut dyn Read {
+        match self {
+            Stream::Tcp(s) => s,
+            Stream::Uds(s) => s,
+        }
+    }
+
+    fn writer(&mut self) -> &mut dyn Write {
+        match self {
+            Stream::Tcp(s) => s,
+            Stream::Uds(s) => s,
+        }
+    }
+}
+
+/// How long the rendezvous waits for peers before giving up.
+const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// The real-socket backend: one OS process per rank, fully connected.
+///
+/// Rendezvous protocol (pure filesystem, no coordinator): rank k binds a
+/// listener, atomically publishes its address as `<dir>/rank<k>.addr`,
+/// then *connects* to every rank below it (polling for their address
+/// files) and *accepts* one connection from every rank above it.  Each
+/// connector opens with an 8-byte hello (its rank, u64 LE) so the
+/// acceptor knows who arrived.  Wire format: u64 LE length prefix, then
+/// the encoded [`Frame`].
+pub struct StreamTransport {
+    rank: usize,
+    n_ranks: usize,
+    /// Per-peer stream, `None` at the self index and after a peer closed.
+    streams: Vec<Option<Stream>>,
+    /// Bytes moved, for reporting.
+    bytes_sent: u64,
+    messages_sent: u64,
+}
+
+impl StreamTransport {
+    /// Join the mesh as `rank` of `n_ranks` via the rendezvous directory.
+    pub fn connect(
+        rank: usize,
+        n_ranks: usize,
+        dir: &Path,
+        kind: StreamKind,
+    ) -> Result<Self, TransportError> {
+        assert!(rank < n_ranks);
+        let io = |e: std::io::Error| TransportError::Io(e.to_string());
+        std::fs::create_dir_all(dir).map_err(io)?;
+        // Bind and publish.
+        let (tcp_listener, uds_listener, addr) = match kind {
+            StreamKind::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0").map_err(io)?;
+                let a = l.local_addr().map_err(io)?.to_string();
+                (Some(l), None, a)
+            }
+            StreamKind::Uds => {
+                let sock = dir.join(format!("rank{rank}.sock"));
+                let _ = std::fs::remove_file(&sock);
+                let l = UnixListener::bind(&sock).map_err(io)?;
+                (None, Some(l), sock.to_string_lossy().into_owned())
+            }
+        };
+        let tmp = dir.join(format!(".rank{rank}.addr.tmp"));
+        std::fs::write(&tmp, &addr).map_err(io)?;
+        std::fs::rename(&tmp, dir.join(format!("rank{rank}.addr"))).map_err(io)?;
+
+        let mut streams: Vec<Option<Stream>> = (0..n_ranks).map(|_| None).collect();
+        // Connect to every lower rank (they may not have published yet).
+        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
+            let peer_addr = wait_for_addr(dir, peer)?;
+            let mut s = connect_with_retry(&peer_addr, kind)?;
+            s.writer()
+                .write_all(&(rank as u64).to_le_bytes())
+                .map_err(io)?;
+            *slot = Some(s);
+        }
+        // Accept one connection from every higher rank.
+        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+        for _ in rank + 1..n_ranks {
+            let mut s = match (&tcp_listener, &uds_listener) {
+                (Some(l), _) => Stream::Tcp(l.accept().map_err(io)?.0),
+                (_, Some(l)) => Stream::Uds(l.accept().map_err(io)?.0),
+                _ => unreachable!("one listener flavour is always bound"),
+            };
+            let mut hello = [0u8; 8];
+            s.reader().read_exact(&mut hello).map_err(io)?;
+            let peer = u64::from_le_bytes(hello) as usize;
+            if peer <= rank || peer >= n_ranks || streams[peer].is_some() {
+                return Err(TransportError::Io(format!(
+                    "rendezvous: bogus hello from peer {peer}"
+                )));
+            }
+            streams[peer] = Some(s);
+            if Instant::now() > deadline {
+                return Err(TransportError::Io("rendezvous timed out".into()));
+            }
+        }
+        Ok(Self {
+            rank,
+            n_ranks,
+            streams,
+            bytes_sent: 0,
+            messages_sent: 0,
+        })
+    }
+
+    /// Payload bytes this rank put on its sockets.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Frames this rank sent.
+    pub fn messages_sent(&self) -> u64 {
+        self.messages_sent
+    }
+}
+
+fn wait_for_addr(dir: &Path, peer: usize) -> Result<String, TransportError> {
+    let path: PathBuf = dir.join(format!("rank{peer}.addr"));
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    loop {
+        match std::fs::read_to_string(&path) {
+            Ok(a) if !a.is_empty() => return Ok(a),
+            _ if Instant::now() > deadline => {
+                return Err(TransportError::Io(format!(
+                    "rendezvous: no address from rank {peer}"
+                )))
+            }
+            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn connect_with_retry(addr: &str, kind: StreamKind) -> Result<Stream, TransportError> {
+    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+    loop {
+        let attempt = match kind {
+            StreamKind::Tcp => TcpStream::connect(addr).map(Stream::Tcp),
+            StreamKind::Uds => UnixStream::connect(addr).map(Stream::Uds),
+        };
+        match attempt {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() > deadline => {
+                return Err(TransportError::Io(e.to_string()));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+impl Transport for StreamTransport {
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    fn n_ranks(&self) -> usize {
+        self.n_ranks
+    }
+
+    fn send_frame(&mut self, to: usize, frame: &Frame) -> Result<(), TransportError> {
+        assert!(to != self.rank, "self-send is not a network operation");
+        let Some(s) = self.streams[to].as_mut() else {
+            // Departed peer: tolerated, like Endpoint::send_lossy.
+            return Ok(());
+        };
+        let bytes = frame.encode();
+        let mut msg = Vec::with_capacity(8 + bytes.len());
+        msg.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
+        msg.extend_from_slice(&bytes);
+        match s.writer().write_all(&msg) {
+            Ok(()) => {
+                self.bytes_sent += bytes.len() as u64;
+                self.messages_sent += 1;
+                Ok(())
+            }
+            Err(_) => {
+                // Peer hung up mid-run: drop the stream, fail soft.
+                self.streams[to] = None;
+                Ok(())
+            }
+        }
+    }
+
+    fn recv_frame(&mut self, from: usize) -> Result<Frame, TransportError> {
+        let down = TransportError::Down {
+            from,
+            to: self.rank,
+        };
+        let Some(s) = self.streams[from].as_mut() else {
+            return Err(down);
+        };
+        let mut len = [0u8; 8];
+        if s.reader().read_exact(&mut len).is_err() {
+            self.streams[from] = None;
+            return Err(down);
+        }
+        let n = u64::from_le_bytes(len) as usize;
+        // Length sanity: a frame is never remotely this large; reject
+        // before allocating on a corrupt prefix.
+        if n > 1 << 30 {
+            return Err(TransportError::Wire(WireError::Oversize));
+        }
+        let mut buf = vec![0u8; n];
+        if s.reader().read_exact(&mut buf).is_err() {
+            self.streams[from] = None;
+            return Err(down);
+        }
+        Ok(Frame::decode(&buf)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fabric::run_ranks;
+    use crate::link::LinkProfile;
+    use crate::wire::JRecord;
+
+    fn stage(step: u64, t_min: f64) -> Frame {
+        Frame::Stage {
+            step,
+            stage: 0,
+            t_min,
+            records: vec![JRecord {
+                index: step,
+                words: vec![t_min.to_bits()],
+            }],
+            pad: 100,
+        }
+    }
+
+    #[test]
+    fn virtual_transport_moves_frames_and_charges_wire_len() {
+        let link = LinkProfile {
+            latency: 1e-4,
+            bandwidth: 1e8,
+            overhead: 1e-5,
+        };
+        let f = stage(3, 0.25);
+        let wire = f.wire_len();
+        let f2 = f.clone();
+        let out = run_ranks::<Vec<u8>, (f64, u64), _>(2, link, move |mut ep| {
+            let mut tr = VirtualTransport::new(&mut ep);
+            if tr.rank() == 0 {
+                tr.send_frame(1, &f2).unwrap();
+            } else {
+                let got = tr.recv_frame(0).unwrap();
+                assert_eq!(got, f2);
+            }
+            (ep.clock(), ep.bytes_sent())
+        });
+        // Sender charged the padded wire size, not just encoded bytes.
+        assert_eq!(out[0].1, wire as u64);
+        // Receiver clock: send overhead + latency + wire/bw + recv overhead.
+        let expect = 1e-5 + 1e-4 + wire as f64 / 1e8 + 1e-5;
+        assert!(
+            (out[1].0 - expect).abs() < 1e-12,
+            "{} vs {expect}",
+            out[1].0
+        );
+    }
+
+    #[test]
+    fn stream_transport_smoke_tcp_threads() {
+        // In-process smoke of the rendezvous + framing (the real
+        // multi-process test lives in grape6-bench).
+        let dir = std::env::temp_dir().join(format!("g6-rdv-tcp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = 3;
+        let hs: Vec<_> = (0..p)
+            .map(|r| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let mut tr = StreamTransport::connect(r, p, &dir, StreamKind::Tcp).unwrap();
+                    // Everyone sends its rank-stamped frame to everyone.
+                    for to in 0..p {
+                        if to != r {
+                            tr.send_frame(to, &stage(r as u64, r as f64)).unwrap();
+                        }
+                    }
+                    let mut seen = Vec::new();
+                    for from in 0..p {
+                        if from != r {
+                            seen.push(tr.recv_frame(from).unwrap());
+                        }
+                    }
+                    (tr.bytes_sent(), seen)
+                })
+            })
+            .collect();
+        let outs: Vec<_> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        for (r, (sent, seen)) in outs.iter().enumerate() {
+            assert!(*sent > 0, "rank {r}");
+            let want: Vec<Frame> = (0..p)
+                .filter(|&f| f != r)
+                .map(|f| stage(f as u64, f as f64))
+                .collect();
+            assert_eq!(*seen, want, "rank {r}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stream_transport_smoke_uds_and_down_detection() {
+        let dir = std::env::temp_dir().join(format!("g6-rdv-uds-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let p = 2;
+        let hs: Vec<_> = (0..p)
+            .map(|r| {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let mut tr = StreamTransport::connect(r, p, &dir, StreamKind::Uds).unwrap();
+                    if r == 0 {
+                        tr.send_frame(1, &stage(0, 0.5)).unwrap();
+                        // Exit; rank 1 sees the hangup as Down.
+                        None
+                    } else {
+                        let f = tr.recv_frame(0).unwrap();
+                        assert_eq!(f, stage(0, 0.5));
+                        let err = tr.recv_frame(0).unwrap_err();
+                        // After the Down, sends to the dead peer fail soft.
+                        tr.send_frame(0, &stage(9, 9.0)).unwrap();
+                        Some(err)
+                    }
+                })
+            })
+            .collect();
+        let outs: Vec<_> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(outs[1], Some(TransportError::Down { from: 0, to: 1 }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,297 @@
+//! Wire frames for the coalesced per-blockstep wave.
+//!
+//! The paper's §4.4/§6 tuning insight is that the multi-host crossover is
+//! set by *per-message* costs: every TCP message pays a round-trip share
+//! and a switch transit, so three separate collectives per blockstep
+//! (commit barrier, next-time all-reduce, j-exchange) pay three times.
+//! The coalesced schedule packs everything bound for the same partner
+//! within one butterfly stage into **one** frame — one latency and one
+//! switch charge instead of k — and this module defines that frame.
+//!
+//! Encoding is the `grape6-ckpt` little-endian format ([`Enc`]/[`Dec`]):
+//! fixed layout, `f64`s as bit patterns, length-prefixed sequences with
+//! allocation guards.  The same bytes travel over the virtual-time
+//! fabric and the real TCP/UDS transport, which is the heart of the
+//! bitwise argument: both backends decode the identical payload, so the
+//! numeric state they deliver to the integrator is identical by
+//! construction — the backends differ only in what a message *costs*.
+
+use grape6_ckpt::wire::{Dec, Enc, WireError};
+
+/// One coalesced j-update record: a particle index plus its payload words
+/// (`f64` bit patterns — position, velocity, mass, whatever the producer
+/// packs).  Records survive transport bitwise.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JRecord {
+    /// Global particle index.
+    pub index: u64,
+    /// Payload words as bit patterns.
+    pub words: Vec<u64>,
+}
+
+impl JRecord {
+    /// Encoded size in bytes (index + length prefix + words).
+    pub fn encoded_len(&self) -> usize {
+        16 + 8 * self.words.len()
+    }
+}
+
+/// A wire message.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// One stage of the coalesced per-blockstep wave: barrier sentinel
+    /// (the frame itself), the sender's running all-reduce-min of the
+    /// next block time, and every j-record bound for this partner —
+    /// all in one message.
+    Stage {
+        /// Blockstep index (frames from different steps must never mix).
+        step: u64,
+        /// Wave stage index within the step.
+        stage: u32,
+        /// Sender's running minimum of the next block time.
+        t_min: f64,
+        /// Coalesced j-updates for this partner.
+        records: Vec<JRecord>,
+        /// Synthetic extra wire bytes the virtual-time backend charges on
+        /// top of the encoded length (models j-payload volume without
+        /// allocating it).  Travels as a number; a real transport moves
+        /// only the encoded bytes.
+        pad: u64,
+    },
+    /// Uncoalesced raw data (plain point-to-point traffic).
+    Data(Vec<u8>),
+}
+
+const TAG_STAGE: u32 = 1;
+const TAG_DATA: u32 = 2;
+
+impl Frame {
+    /// Logical records coalesced into this frame: the barrier sentinel,
+    /// the all-reduce payload, and each j-record count as one apiece —
+    /// `records / messages` is the measured coalescing factor the span
+    /// counters report.
+    pub fn logical_records(&self) -> u64 {
+        match self {
+            Frame::Stage { records, .. } => 2 + records.len() as u64,
+            Frame::Data(_) => 1,
+        }
+    }
+
+    /// Wire bytes the virtual-time backend charges for this frame: the
+    /// encoded length plus the synthetic pad.
+    pub fn wire_len(&self) -> usize {
+        let pad = match self {
+            Frame::Stage { pad, .. } => *pad as usize,
+            Frame::Data(_) => 0,
+        };
+        self.encoded_len() + pad
+    }
+
+    /// Exact encoded length in bytes (without the pad).
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Frame::Stage { records, .. } => {
+                // tag + step + stage + t_min + pad + record count + records
+                4 + 8 + 4 + 8 + 8 + 8 + records.iter().map(JRecord::encoded_len).sum::<usize>()
+            }
+            Frame::Data(b) => 4 + 8 + b.len(),
+        }
+    }
+
+    /// Encode into the little-endian wire layout.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        match self {
+            Frame::Stage {
+                step,
+                stage,
+                t_min,
+                records,
+                pad,
+            } => {
+                e.u32(TAG_STAGE);
+                e.u64(*step);
+                e.u32(*stage);
+                e.u64(t_min.to_bits());
+                e.u64(*pad);
+                e.size(records.len());
+                for r in records {
+                    e.u64(r.index);
+                    e.seq_u64(&r.words);
+                }
+            }
+            Frame::Data(b) => {
+                e.u32(TAG_DATA);
+                e.size(b.len());
+                let mut bytes = e.into_bytes();
+                bytes.extend_from_slice(b);
+                return bytes;
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Decode a frame, requiring full consumption of `buf`.
+    pub fn decode(buf: &[u8]) -> Result<Frame, WireError> {
+        let mut d = Dec::new(buf);
+        let tag = d.u32()?;
+        let out = match tag {
+            TAG_STAGE => {
+                let step = d.u64()?;
+                let stage = d.u32()?;
+                let t_min = f64::from_bits(d.u64()?);
+                let pad = d.u64()?;
+                let n = d.size()?;
+                // Each record is ≥ 16 bytes on the wire; reject a length
+                // prefix the remaining payload cannot possibly hold.
+                if n.checked_mul(16).ok_or(WireError::Oversize)? > d.remaining() {
+                    return Err(WireError::Oversize);
+                }
+                let mut records = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let index = d.u64()?;
+                    let words = d.seq_u64()?;
+                    records.push(JRecord { index, words });
+                }
+                Frame::Stage {
+                    step,
+                    stage,
+                    t_min,
+                    records,
+                    pad,
+                }
+            }
+            TAG_DATA => {
+                let n = d.size()?;
+                if n > d.remaining() {
+                    return Err(WireError::Oversize);
+                }
+                if n < d.remaining() {
+                    return Err(WireError::Trailing);
+                }
+                return Ok(Frame::Data(buf[buf.len() - n..].to_vec()));
+            }
+            _ => return Err(WireError::Bool),
+        };
+        d.finish()?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_frame_roundtrips_bitwise() {
+        let f = Frame::Stage {
+            step: 176,
+            stage: 3,
+            t_min: 0.031_25_f64,
+            records: vec![
+                JRecord {
+                    index: 7,
+                    words: vec![1.5_f64.to_bits(), f64::NEG_INFINITY.to_bits()],
+                },
+                JRecord {
+                    index: 2048,
+                    words: vec![],
+                },
+            ],
+            pad: 4096,
+        };
+        let bytes = f.encode();
+        assert_eq!(bytes.len(), f.encoded_len());
+        assert_eq!(f.wire_len(), f.encoded_len() + 4096);
+        assert_eq!(Frame::decode(&bytes).unwrap(), f);
+        // NaN t_min survives as its exact bit pattern.
+        let nan = Frame::Stage {
+            step: 0,
+            stage: 0,
+            t_min: f64::from_bits(0x7ff8_0000_0000_0001),
+            records: vec![],
+            pad: 0,
+        };
+        let back = Frame::decode(&nan.encode()).unwrap();
+        let Frame::Stage { t_min, .. } = back else {
+            panic!("wrong variant");
+        };
+        assert_eq!(t_min.to_bits(), 0x7ff8_0000_0000_0001);
+    }
+
+    #[test]
+    fn data_frame_roundtrips_and_counts_one_record() {
+        let f = Frame::Data(vec![9, 8, 7, 6, 5]);
+        assert_eq!(f.logical_records(), 1);
+        assert_eq!(f.wire_len(), f.encoded_len());
+        assert_eq!(Frame::decode(&f.encode()).unwrap(), f);
+        let empty = Frame::Data(vec![]);
+        assert_eq!(Frame::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
+    fn coalescing_factor_counts_sentinel_min_and_records() {
+        let f = Frame::Stage {
+            step: 1,
+            stage: 0,
+            t_min: 1.0,
+            records: vec![
+                JRecord {
+                    index: 0,
+                    words: vec![0],
+                },
+                JRecord {
+                    index: 1,
+                    words: vec![1],
+                },
+                JRecord {
+                    index: 2,
+                    words: vec![2],
+                },
+            ],
+            pad: 0,
+        };
+        // One message, five logical records: 5× fewer messages than the
+        // uncoalesced schedule for the same traffic.
+        assert_eq!(f.logical_records(), 5);
+    }
+
+    #[test]
+    fn truncated_and_oversize_payloads_are_typed_errors() {
+        let f = Frame::Stage {
+            step: 1,
+            stage: 0,
+            t_min: 2.0,
+            records: vec![JRecord {
+                index: 3,
+                words: vec![42],
+            }],
+            pad: 0,
+        };
+        let bytes = f.encode();
+        // Truncation surfaces as a typed decode error (the record's word
+        // length prefix no longer fits → Oversize before any read).
+        assert!(matches!(
+            Frame::decode(&bytes[..bytes.len() - 1]),
+            Err(WireError::Eof | WireError::Oversize)
+        ));
+        // A record count far beyond the payload is rejected before any
+        // allocation happens.
+        let mut e = Enc::new();
+        e.u32(1); // stage tag
+        e.u64(0);
+        e.u32(0);
+        e.u64(0);
+        e.u64(0);
+        e.size(usize::MAX / 32);
+        assert_eq!(Frame::decode(&e.into_bytes()), Err(WireError::Oversize));
+        // Unknown tags are rejected.
+        let mut e = Enc::new();
+        e.u32(77);
+        assert!(Frame::decode(&e.into_bytes()).is_err());
+        // Trailing bytes are rejected.
+        let mut bytes = f.encode();
+        bytes.push(0);
+        assert_eq!(Frame::decode(&bytes), Err(WireError::Trailing));
+    }
+}

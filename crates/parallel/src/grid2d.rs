@@ -79,7 +79,7 @@ pub fn grid2d_forces(
                     continue;
                 }
                 let from = gi * r + j;
-                let incoming = ep.recv(from);
+                let incoming = ep.recv_checked(from).expect("lossless fabric");
                 for (t, inc) in total.iter_mut().zip(&incoming) {
                     t.acc += inc.acc;
                     t.jerk += inc.jerk;

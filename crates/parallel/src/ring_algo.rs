@@ -72,7 +72,7 @@ pub fn ring_forces(
             if p > 1 {
                 let bytes = block.wire_bytes();
                 ep.send(right, block, bytes);
-                block = ep.recv(left);
+                block = ep.recv_checked(left).expect("lossless fabric");
             }
             let _ = round;
         }

@@ -51,15 +51,21 @@ pub fn chrome_trace(streams: &[(String, Vec<Span>)]) -> String {
             json_escape(name)
         ));
         for s in spans {
-            let kernel = match s.counters.kernel {
-                Some(k) => format!(r#","kernel":"{}""#, k.name()),
-                None => String::new(),
-            };
+            let mut extra = String::new();
+            if let Some(k) = s.counters.kernel {
+                extra.push_str(&format!(r#","kernel":"{}""#, k.name()));
+            }
+            if s.counters.records > 0 {
+                extra.push_str(&format!(r#","records":{}"#, s.counters.records));
+            }
+            if let Some(a) = s.counters.algo {
+                extra.push_str(&format!(r#","algo":"{}""#, a.name()));
+            }
             events.push(format!(
                 concat!(
                     r#"{{"name":"{name}","cat":"grape6","ph":"X","pid":{pid},"tid":{tid},"#,
                     r#""ts":{ts},"dur":{dur},"#,
-                    r#""args":{{"items":{items},"bytes":{bytes},"cycles":{cycles},"retries":{retries}{kernel}}}}}"#
+                    r#""args":{{"items":{items},"bytes":{bytes},"cycles":{cycles},"retries":{retries}{extra}}}}}"#
                 ),
                 name = s.phase.name(),
                 pid = pid,
@@ -70,7 +76,7 @@ pub fn chrome_trace(streams: &[(String, Vec<Span>)]) -> String {
                 bytes = s.counters.bytes,
                 cycles = s.counters.cycles,
                 retries = s.counters.retries,
-                kernel = kernel,
+                extra = extra,
             ));
         }
     }

@@ -33,7 +33,7 @@ pub mod tracer;
 
 pub use breakdown::{per_track, MeasuredBlockTime};
 pub use chrome::{chrome_trace, chrome_trace_to_string};
-pub use span::{KernelTag, Phase, Span, SpanCounters, Term};
+pub use span::{BarrierAlgo, KernelTag, Phase, Span, SpanCounters, Term};
 pub use tracer::Tracer;
 
 use serde::{Deserialize, Serialize};
@@ -64,6 +64,51 @@ impl OverlapMode {
             OverlapMode::Sequential => host + engine,
             OverlapMode::Overlapped => host.max(engine),
         }
+    }
+}
+
+/// How the per-blockstep inter-host network traffic is scheduled.
+///
+/// The sequential schedule is the PR 5 shape: a commit barrier, then (on
+/// multi-node clusters) a standalone j-exchange, then a post-exchange
+/// barrier — every collective pays its own per-message latency and switch
+/// charges.  Coalescing folds all three into **one** butterfly wave per
+/// blockstep whose high stages *are* the inter-cluster exchange partners,
+/// so barrier sentinel + allreduce-min + j-records ride the same wire
+/// messages.  The overlapped variant additionally posts the first wave
+/// stage before the force pass and completes it afterwards, hiding one
+/// stage cost behind compute (split-phase, like `OverlapMode` on the
+/// host↔GRAPE side).  All three schedules are bitwise identical in
+/// results; they differ only in message count and visible network time.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NetSchedule {
+    /// Separate commit barrier, exchange, post barrier (PR 5 baseline).
+    #[default]
+    Sequential,
+    /// One coalesced butterfly wave per blockstep.
+    Coalesced,
+    /// Coalesced wave with its first stage hidden behind compute.
+    CoalescedOverlapped,
+}
+
+impl NetSchedule {
+    /// Stable display name (JSON reports, bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            NetSchedule::Sequential => "sequential",
+            NetSchedule::Coalesced => "coalesced",
+            NetSchedule::CoalescedOverlapped => "coalesced-overlapped",
+        }
+    }
+
+    /// Whether j-exchange traffic rides the barrier wave.
+    pub fn coalesced(self) -> bool {
+        !matches!(self, NetSchedule::Sequential)
+    }
+
+    /// Whether the first wave stage is hidden behind compute.
+    pub fn overlapped(self) -> bool {
+        matches!(self, NetSchedule::CoalescedOverlapped)
     }
 }
 
@@ -144,6 +189,21 @@ mod tests {
         assert!((tb.dma_call() - 36.0e-6).abs() < 1e-12);
         assert!((tb.if_time(48) - 48.0 * 104.0 / 200.0e6).abs() < 1e-12);
         assert!((tb.j_write_time() - 0.4e-6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn net_schedule_names_and_flags() {
+        assert_eq!(NetSchedule::default(), NetSchedule::Sequential);
+        assert_eq!(NetSchedule::Sequential.name(), "sequential");
+        assert_eq!(NetSchedule::Coalesced.name(), "coalesced");
+        assert_eq!(
+            NetSchedule::CoalescedOverlapped.name(),
+            "coalesced-overlapped"
+        );
+        assert!(!NetSchedule::Sequential.coalesced());
+        assert!(NetSchedule::Coalesced.coalesced());
+        assert!(!NetSchedule::Coalesced.overlapped());
+        assert!(NetSchedule::CoalescedOverlapped.overlapped());
     }
 
     #[test]

@@ -133,11 +133,42 @@ impl KernelTag {
     }
 }
 
+/// Which barrier/collective wave pattern actually ran behind a Sync or
+/// Exchange span.
+///
+/// `butterfly_barrier` silently falls back to the dissemination pattern
+/// for non-power-of-two rank counts; the §4 model validation charges the
+/// *butterfly* stage cost, so a misattributed fallback would corrupt the
+/// sync-term comparison.  Recording the algorithm that actually ran makes
+/// the substitution observable in both [`SpanCounters`] and the
+/// collective cost report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BarrierAlgo {
+    /// Pairwise XOR exchange (power-of-two ranks, clock-aligning).
+    Butterfly,
+    /// Dissemination rounds (any rank count; exits can spread).
+    Dissemination,
+    /// Central coordinator (the MPICH/p4-like ablation shape).
+    Central,
+}
+
+impl BarrierAlgo {
+    /// Stable display name (exported into Chrome-trace args).
+    pub fn name(self) -> &'static str {
+        match self {
+            BarrierAlgo::Butterfly => "butterfly",
+            BarrierAlgo::Dissemination => "dissemination",
+            BarrierAlgo::Central => "central",
+        }
+    }
+}
+
 /// Payload counters attached to a span; zero-initialised, fill what
 /// applies.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpanCounters {
-    /// Particles (i or j) the span processed.
+    /// Particles (i or j) the span processed — for network spans, the
+    /// *wire messages* put on the link.
     pub items: u64,
     /// Bytes moved (interface words, wire bytes).
     pub bytes: u64,
@@ -149,6 +180,17 @@ pub struct SpanCounters {
     /// that are not force passes.
     #[serde(default)]
     pub kernel: Option<KernelTag>,
+    /// Logical records packed into the span's wire messages.  A coalesced
+    /// network span has `records > items` — k payloads rode one message;
+    /// uncoalesced traffic has `records == items` (or 0 where the
+    /// distinction does not apply).  The records-per-message ratio is the
+    /// measured coalescing factor.
+    #[serde(default)]
+    pub records: u64,
+    /// The barrier/collective wave pattern behind a Sync/Exchange span;
+    /// `None` for spans that are not collectives.
+    #[serde(default)]
+    pub algo: Option<BarrierAlgo>,
 }
 
 /// One interval of virtual time.
@@ -232,6 +274,17 @@ mod tests {
         assert_eq!(KernelTag::Batched.name(), "batched");
         // Untagged is the default so non-pipeline spans need no opt-out.
         assert_eq!(SpanCounters::default().kernel, None);
+    }
+
+    #[test]
+    fn barrier_algos_have_stable_names_and_default_off() {
+        assert_eq!(BarrierAlgo::Butterfly.name(), "butterfly");
+        assert_eq!(BarrierAlgo::Dissemination.name(), "dissemination");
+        assert_eq!(BarrierAlgo::Central.name(), "central");
+        // Non-collective spans carry no algorithm and no record count.
+        let c = SpanCounters::default();
+        assert_eq!(c.algo, None);
+        assert_eq!(c.records, 0);
     }
 
     #[test]

@@ -205,7 +205,10 @@ fn dead_link_times_out_with_typed_error() {
                 ep.send(1, 77, 32);
                 None
             } else {
-                let err = ep.recv_checked(0).unwrap_err();
+                let err = match ep.recv_checked(0).unwrap_err() {
+                    grape6::net::RecvError::Lost(le) => le,
+                    other => panic!("expected a lost link, got {other:?}"),
+                };
                 Some((err.from, err.to, err.seq, err.attempts, ep.clock()))
             }
         },
