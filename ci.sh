@@ -81,6 +81,40 @@ cargo run --release --locked --example farm_tour
 echo "==> chaos soak: seeded fault schedules against the recovery stack"
 cargo run --release --locked -p grape6-bench --bin chaos_soak
 
+echo "==> cluster chaos: SIGKILL + SIGSTOP real rank processes mid-run"
+# Four supervised cluster_node processes on loopback TCP: one rank is
+# killed mid-wave and respawned from its coordinated checkpoint, another
+# is stalled past the read-deadline budget, shrunk, and evicted on wake.
+# The binary exits 1 unless every finisher prints the unfaulted digest
+# and both recovery modes ran; the guard re-checks from BENCH_chaos.json.
+cargo build --release --locked -p grape6-bench --bin cluster_node
+cargo run --release --locked -p grape6-bench --bin cluster_chaos
+python3 - <<'EOF'
+import json
+with open("BENCH_chaos.json") as f:
+    r = json.load(f)
+if r["violations"]:
+    raise SystemExit(f"REGRESSION: cluster chaos violations: {r['violations']}")
+if not r["digests_match"]:
+    raise SystemExit("REGRESSION: a recovered rank diverged from the clean digest")
+if r["recoveries"] < 2:
+    raise SystemExit("REGRESSION: kill+stall schedule ran fewer than 2 recoveries")
+finishers = [n for n in r["nodes"] if n["exit"] == 0]
+if any(n["digest"] != r["clean_digest"] for n in finishers):
+    raise SystemExit("REGRESSION: finisher digest mismatch in BENCH_chaos.json")
+if not any(n["respawned"] for n in finishers):
+    raise SystemExit("REGRESSION: the respawned rank did not finish")
+stalled = [n for n in r["nodes"] if n["rank"] == r["schedule"]["stall_rank"]]
+if not any(n["exit"] == 4 for n in stalled):
+    raise SystemExit("REGRESSION: the stalled rank was not evicted (exit 4)")
+cost = r["recovery_cost"]
+if cost["term"] != "sync" or cost["recover_seconds"] <= 0:
+    raise SystemExit("REGRESSION: recovery cost not recorded under the sync term")
+print(f"chaos guard: {len(finishers)} finishers on digest {r['clean_digest']}, "
+      f"{r['recoveries']} recoveries, {cost['recover_seconds']:.3f} s sync-term "
+      f"recovery cost — ok")
+EOF
+
 echo "==> farm soak: multi-tenant scenarios against the shared board pool"
 # Oversubscribed seeded runs with two injected board faults.  The binary
 # exits 1 on any missed rejection/rotation, incomplete session, bitwise

@@ -1,0 +1,130 @@
+//! Kill and stall real OS ranks mid-run; demand the clean digest back.
+//!
+//! The CI smoke for the real-transport recovery stack: spawns a 4-rank
+//! TCP cluster of `cluster_node` processes in supervised mode, SIGKILLs
+//! one rank mid-wave (then respawns it from its coordinated
+//! checkpoint), SIGSTOPs another past the read-deadline budget (the
+//! survivors shrink it away; SIGCONT later must end in eviction), and
+//! verifies every finisher prints the digest an unfaulted run prints —
+//! bit for bit.  See `grape6_bench::chaos_cluster` for the schedule and
+//! the judged invariants.
+//!
+//! Writes `BENCH_chaos.json` (digest match, recovery counts, the
+//! recovery wall clock that folds into the six-term breakdown's sync
+//! term) and exits 1 on any violated invariant.
+//!
+//! Usage: `cluster_chaos [steps] [step_delay_ms]` (defaults 280, 20).
+
+use std::io::Write;
+
+use grape6_bench::chaos_cluster::{run_cluster_chaos, ClusterChaosConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let node_bin = std::env::current_exe()
+        .expect("own path")
+        .with_file_name("cluster_node");
+    if !node_bin.exists() {
+        eprintln!("cluster_chaos: sibling binary {node_bin:?} not built");
+        std::process::exit(2);
+    }
+    let dir = std::env::temp_dir().join(format!("g6-cluster-chaos-{}", std::process::id()));
+    let mut cfg = ClusterChaosConfig::new(node_bin, dir);
+    if let Some(steps) = args.first().and_then(|a| a.parse().ok()) {
+        cfg.steps = steps;
+    }
+    if let Some(delay) = args.get(1).and_then(|a| a.parse().ok()) {
+        cfg.step_delay_ms = delay;
+    }
+
+    println!(
+        "cluster_chaos: {} ranks x {} waves (delay {} ms): SIGKILL rank {} at {} ms (respawn \
+         +{} ms), SIGSTOP rank {} at {} ms (SIGCONT +{} ms)",
+        cfg.p,
+        cfg.steps,
+        cfg.step_delay_ms,
+        cfg.kill_rank,
+        cfg.kill_after_ms,
+        cfg.respawn_after_ms,
+        cfg.stall_rank,
+        cfg.stall_after_ms,
+        cfg.resume_after_ms
+    );
+    let report = run_cluster_chaos(&cfg);
+    for n in &report.nodes {
+        println!(
+            "  rank {}{}: exit {:?}, digest {}",
+            n.orank,
+            if n.respawned { " (respawned)" } else { "" },
+            n.exit,
+            n.digest
+                .map(|d| format!("{d:016x}"))
+                .unwrap_or_else(|| "-".into())
+        );
+    }
+    println!(
+        "  clean digest {:016x}; {} recoveries, {:.3} s inside recovery, {} heartbeats, {} \
+         deadline expiries",
+        report.clean_digest,
+        report.recoveries,
+        report.recover_seconds,
+        report.heartbeats,
+        report.recv_timeouts
+    );
+
+    let schedule = serde_json::json!({
+        "kill_rank": cfg.kill_rank,
+        "kill_after_ms": cfg.kill_after_ms,
+        "respawn_after_ms": cfg.respawn_after_ms,
+        "stall_rank": cfg.stall_rank,
+        "stall_after_ms": cfg.stall_after_ms,
+        "resume_after_ms": cfg.resume_after_ms,
+    });
+    // Recovery coordination is synchronisation traffic: heartbeats and
+    // recover rounds both fold into Term::Sync in the six-term
+    // breakdown, so the wall clock is recorded under that name.
+    let recovery_cost = serde_json::json!({
+        "term": "sync",
+        "recover_seconds": report.recover_seconds,
+        "heartbeats": report.heartbeats,
+        "recv_timeouts": report.recv_timeouts,
+    });
+    let nodes: Vec<serde_json::Value> = report
+        .nodes
+        .iter()
+        .map(|n| {
+            serde_json::json!({
+                "rank": n.orank,
+                "respawned": n.respawned,
+                "exit": n.exit,
+                "digest": n.digest.map(|d| format!("{d:016x}")),
+            })
+        })
+        .collect();
+    let payload = serde_json::json!({
+        "ranks": cfg.p,
+        "steps": cfg.steps,
+        "recs_per_rank": cfg.recs,
+        "schedule": schedule,
+        "clean_digest": format!("{:016x}", report.clean_digest),
+        "digests_match": report.ok() || report
+            .violations
+            .iter()
+            .all(|v| !v.contains("digest")),
+        "recoveries": report.recoveries,
+        "recovery_cost": recovery_cost,
+        "nodes": nodes,
+        "violations": report.violations,
+    });
+    let mut f = std::fs::File::create("BENCH_chaos.json").expect("create BENCH_chaos.json");
+    writeln!(f, "{}", serde_json::to_string_pretty(&payload).unwrap()).expect("write json");
+
+    if !report.ok() {
+        eprintln!("cluster_chaos: {} violation(s):", report.violations.len());
+        for v in &report.violations {
+            eprintln!("  - {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("cluster_chaos: all invariants held; BENCH_chaos.json written");
+}

@@ -9,41 +9,263 @@
 //! `digest=<16 hex digits>` — every process must print the same value,
 //! and it must equal the virtual-fabric digest for the same parameters.
 //!
-//! Usage: `cluster_node <rank> <n_ranks> <dir> <tcp|uds> [steps] [recs]`
-//! (defaults: 8 steps, 3 records/rank).  Exit codes: 2 bad usage,
-//! 3 rendezvous failure, 1 exchange failure.
+//! Usage:
+//!
+//! ```text
+//! cluster_node <rank> <n_ranks> <dir> <tcp|uds> [steps] [recs] [flags]
+//! ```
+//!
+//! Defaults: 8 steps, 3 records/rank.  Without flags the bin runs the
+//! bare `run_waves` chain (no fault tolerance) exactly as before.
+//! Flags select the fault-tolerant paths:
+//!
+//! * `--supervised` — drive the chain under a
+//!   `grape6_net::cluster::ClusterSupervisor`: heartbeats, deadlines,
+//!   coordinated checkpoints, shrink-or-respawn recovery.  Prints a
+//!   second machine-readable `report …` line for the chaos harness.
+//! * `--rejoin` — re-enter a supervised run after this rank was killed:
+//!   poll the manifest for the rejoin invitation, restore from the
+//!   coordinated checkpoint, reconnect at the manifest generation.
+//! * `--torn` — fault injector: speak just enough of the rendezvous
+//!   protocol to reach rank 0, then die mid-frame (length prefix
+//!   promising 64 bytes, 3 bytes delivered).  The peer must count a
+//!   torn frame and see `Down`, never a panic.
+//! * `--nonce=N --ckpt-every=N --hb-every=N --read-deadline-ms=N`
+//!   `--respawn-wait-ms=N --step-delay-ms=N --grace-ms=N`
+//!   `--recover-window-ms=N` — supervised-run tuning knobs.
+//!
+//! Exit codes: 0 ok, 1 exchange/cluster failure, 2 bad usage,
+//! 3 rendezvous failure, 4 evicted (stalled past a recovery, woke up
+//! shrunk), 5 unrecoverable cluster state.
 
-use grape6_bench::wavecheck::run_waves;
-use grape6_net::transport::{StreamKind, StreamTransport};
+use std::io::Write;
+use std::time::Duration;
+
+use grape6_bench::wavecheck::{run_waves, WaveChainApp};
+use grape6_net::cluster::{ClusterConfig, ClusterError, ClusterReport, ClusterSupervisor};
+use grape6_net::transport::{StreamConfig, StreamKind, StreamTransport};
 
 fn usage() -> ! {
-    eprintln!("usage: cluster_node <rank> <n_ranks> <dir> <tcp|uds> [steps] [recs]");
+    eprintln!(
+        "usage: cluster_node <rank> <n_ranks> <dir> <tcp|uds> [steps] [recs] \
+         [--supervised] [--rejoin] [--torn] [--nonce=N] [--ckpt-every=N] [--hb-every=N] \
+         [--read-deadline-ms=N] [--respawn-wait-ms=N] [--step-delay-ms=N] [--grace-ms=N] \
+         [--recover-window-ms=N]"
+    );
     std::process::exit(2);
 }
 
+/// CSV of a rank list, `-` when empty (keeps the report line splittable
+/// on spaces).
+fn csv(v: &[usize]) -> String {
+    if v.is_empty() {
+        "-".into()
+    } else {
+        v.iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn print_report(rank: usize, n: usize, r: &ClusterReport) {
+    println!(
+        "report waves={} recoveries={} rejoined={} shrunk={} group={} recover_s={:.3} \
+         hb={} timeouts={} torn={} bytes={} msgs={}",
+        r.waves_folded,
+        r.recoveries,
+        csv(&r.rejoined),
+        csv(&r.shrunk),
+        csv(&r.group),
+        r.recover_seconds,
+        r.heartbeats_sent,
+        r.recv_timeouts,
+        r.torn_frames,
+        r.bytes_sent,
+        r.messages_sent,
+    );
+    eprintln!(
+        "rank {rank}/{n}: {} frames, {} bytes on the wire, {} recoveries",
+        r.messages_sent, r.bytes_sent, r.recoveries
+    );
+}
+
+/// Die mid-frame on rank 0's doorstep: poll for its nonce-stamped
+/// address file, connect, send a well-formed 24-byte hello, then write
+/// a length prefix promising 64 bytes and only 3 of them before
+/// exiting.  This reproduces, from a *separate OS process*, exactly
+/// the torn write a SIGKILL between two `write(2)` calls produces.
+fn torn_exit(rank: usize, dir: &std::path::Path, kind: StreamKind, nonce: u64) -> ! {
+    let fail = |msg: String| -> ! {
+        eprintln!("rank {rank}: torn injector: {msg}");
+        std::process::exit(3);
+    };
+    let addr_file = dir.join("rank0.addr");
+    let deadline = std::time::Instant::now() + Duration::from_secs(10);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            let mut it = text.split_whitespace();
+            let stamped = it
+                .next()
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+                .unwrap_or_else(|| fail(format!("malformed address file {addr_file:?}")));
+            if stamped != nonce {
+                fail(format!("nonce mismatch: file {stamped:#x}, run {nonce:#x}"));
+            }
+            match it.next() {
+                Some(a) => break a.to_string(),
+                None => fail(format!("malformed address file {addr_file:?}")),
+            }
+        }
+        if std::time::Instant::now() > deadline {
+            fail("rank 0 never published an address".into());
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    };
+    let mut stream: Box<dyn Write> = match kind {
+        StreamKind::Tcp => Box::new(
+            std::net::TcpStream::connect(&addr).unwrap_or_else(|e| fail(format!("connect: {e}"))),
+        ),
+        StreamKind::Uds => Box::new(
+            std::os::unix::net::UnixStream::connect(&addr)
+                .unwrap_or_else(|e| fail(format!("connect: {e}"))),
+        ),
+    };
+    // Hello: (rank, nonce, generation), u64 LE each.
+    let mut hello = Vec::with_capacity(24);
+    hello.extend_from_slice(&(rank as u64).to_le_bytes());
+    hello.extend_from_slice(&nonce.to_le_bytes());
+    hello.extend_from_slice(&0u64.to_le_bytes());
+    stream
+        .write_all(&hello)
+        .unwrap_or_else(|e| fail(format!("hello: {e}")));
+    // The torn frame: promise 64 bytes, deliver 3, die.
+    stream
+        .write_all(&64u64.to_le_bytes())
+        .unwrap_or_else(|e| fail(format!("prefix: {e}")));
+    stream
+        .write_all(&[0xde, 0xad, 0xbe])
+        .unwrap_or_else(|e| fail(format!("partial body: {e}")));
+    stream.flush().ok();
+    std::process::exit(0);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.len() < 4 {
+    let all: Vec<String> = std::env::args().skip(1).collect();
+    let (pos, flags): (Vec<&String>, Vec<&String>) = all.iter().partition(|a| !a.starts_with("--"));
+    if pos.len() < 4 {
         usage();
     }
-    let rank: usize = args[0].parse().unwrap_or_else(|_| usage());
-    let n_ranks: usize = args[1].parse().unwrap_or_else(|_| usage());
-    let dir = std::path::PathBuf::from(&args[2]);
-    let kind = match args[3].as_str() {
+    let rank: usize = pos[0].parse().unwrap_or_else(|_| usage());
+    let n_ranks: usize = pos[1].parse().unwrap_or_else(|_| usage());
+    let dir = std::path::PathBuf::from(pos[2]);
+    let kind = match pos[3].as_str() {
         "tcp" => StreamKind::Tcp,
         "uds" => StreamKind::Uds,
         _ => usage(),
     };
-    let steps: u64 = args
+    let steps: u64 = pos
         .get(4)
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(8);
-    let recs: usize = args
+    let recs: usize = pos
         .get(5)
         .map(|a| a.parse().unwrap_or_else(|_| usage()))
         .unwrap_or(3);
 
-    let mut tr = match StreamTransport::connect(rank, n_ranks, &dir, kind) {
+    let (mut supervised, mut rejoin, mut torn) = (false, false, false);
+    let mut nonce = 0u64;
+    let mut ckpt_every = 8u64;
+    let mut hb_every = 4u64;
+    let mut read_deadline_ms = 50u64;
+    let mut respawn_wait_ms = 5_000u64;
+    let mut step_delay_ms = 0u64;
+    let mut grace_ms = 300u64;
+    let mut recover_window_ms = 3_000u64;
+    for f in flags {
+        let (key, val) = match f.split_once('=') {
+            Some((k, v)) => (k, Some(v)),
+            None => (f.as_str(), None),
+        };
+        let num = || -> u64 { val.and_then(|v| v.parse().ok()).unwrap_or_else(|| usage()) };
+        match key {
+            "--supervised" => supervised = true,
+            "--rejoin" => rejoin = true,
+            "--torn" => torn = true,
+            "--nonce" => nonce = num(),
+            "--ckpt-every" => ckpt_every = num(),
+            "--hb-every" => hb_every = num(),
+            "--read-deadline-ms" => read_deadline_ms = num(),
+            "--respawn-wait-ms" => respawn_wait_ms = num(),
+            "--step-delay-ms" => step_delay_ms = num(),
+            "--grace-ms" => grace_ms = num(),
+            "--recover-window-ms" => recover_window_ms = num(),
+            _ => usage(),
+        }
+    }
+
+    if torn {
+        torn_exit(rank, &dir, kind, nonce);
+    }
+
+    if supervised || rejoin {
+        let scfg = StreamConfig {
+            nonce,
+            read_deadline: Duration::from_millis(read_deadline_ms),
+            read_attempts: 2,
+            ..StreamConfig::default()
+        };
+        let ccfg = ClusterConfig {
+            ckpt_every,
+            hb_every,
+            grace: Duration::from_millis(grace_ms),
+            recover_window: Duration::from_millis(recover_window_ms),
+            respawn_wait: Duration::from_millis(respawn_wait_ms),
+            step_delay: Duration::from_millis(step_delay_ms),
+            ..ClusterConfig::new(&dir)
+        };
+        let app = WaveChainApp::new(steps, recs);
+        let sup = if rejoin {
+            match ClusterSupervisor::respawned(rank, n_ranks, kind, &scfg, ccfg, app) {
+                Ok(sup) => sup,
+                Err(e) => {
+                    eprintln!("rank {rank}: rejoin failed: {e}");
+                    std::process::exit(5);
+                }
+            }
+        } else {
+            let tr = match StreamTransport::connect_with(rank, n_ranks, &dir, kind, &scfg) {
+                Ok(tr) => tr,
+                Err(e) => {
+                    eprintln!("rank {rank}: rendezvous failed: {e}");
+                    std::process::exit(3);
+                }
+            };
+            ClusterSupervisor::new(tr, app, ccfg)
+        };
+        match sup.run() {
+            Ok((app, report)) => {
+                println!("digest={:016x}", app.digest());
+                print_report(rank, n_ranks, &report);
+            }
+            Err(ClusterError::Evicted { gen }) => {
+                eprintln!("rank {rank}: evicted at generation {gen}");
+                std::process::exit(4);
+            }
+            Err(e) => {
+                eprintln!("rank {rank}: cluster run failed: {e}");
+                std::process::exit(5);
+            }
+        }
+        return;
+    }
+
+    // Bare mode: the original digest smoke, generous default deadlines.
+    let scfg = StreamConfig {
+        nonce,
+        ..StreamConfig::default()
+    };
+    let mut tr = match StreamTransport::connect_with(rank, n_ranks, &dir, kind, &scfg) {
         Ok(tr) => tr,
         Err(e) => {
             eprintln!("rank {rank}: rendezvous failed: {e}");

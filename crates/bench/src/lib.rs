@@ -24,6 +24,7 @@
 
 pub mod breakdown;
 pub mod chaos;
+pub mod chaos_cluster;
 pub mod farm;
 pub mod kernel;
 pub mod overlap;

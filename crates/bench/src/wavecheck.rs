@@ -16,6 +16,8 @@
 
 use std::path::Path;
 
+use grape6_ckpt::wire::{Dec, Enc};
+use grape6_net::cluster::ClusterApp;
 use grape6_net::exchange::{coalesced_wave, Wave, WaveOutcome};
 use grape6_net::fabric::run_ranks;
 use grape6_net::link::LinkProfile;
@@ -44,8 +46,10 @@ pub fn synthetic_records(rank: usize, step: u64, count: usize) -> Vec<JRecord> {
 
 /// Fold one wave outcome's *numeric state* into an FNV-1a digest.  The
 /// traffic counters (messages, bytes) are deliberately excluded: they
-/// are backend-specific costs, not results.
-fn eat_outcome(h: &mut u64, o: &WaveOutcome) {
+/// are backend-specific costs, not results.  Public so every harness
+/// that chains waves — [`run_waves`], the supervised [`WaveChainApp`],
+/// the chaos bin — folds the same bits the same way.
+pub fn eat_outcome(h: &mut u64, o: &WaveOutcome) {
     let mut eat = |x: u64| {
         for b in x.to_le_bytes() {
             *h ^= b as u64;
@@ -93,6 +97,87 @@ pub fn run_waves(
         t_seed = out.t_min * 0.75 + 1e-3;
     }
     Ok(h)
+}
+
+/// The chained wave sequence of [`run_waves`] as a [`ClusterApp`], so
+/// the fault-tolerant [`grape6_net::cluster::ClusterSupervisor`] can
+/// drive it across rank deaths and stalls.
+///
+/// The digest chain is *identical* to [`run_waves`]: same FNV seed,
+/// same [`eat_outcome`] fold, same `t_seed` recurrence, and the same
+/// [`synthetic_records`] per original rank — so a supervised run that
+/// lost a rank, shrank, rewound and replayed must still print the very
+/// digest an unfaulted `run_waves` (or the virtual fabric) prints.
+/// That is the whole point: the app's inputs are pure functions of
+/// `(orank, step, folded state)`, so survivors reproduce a dead rank's
+/// contribution bit for bit.
+#[derive(Clone, Debug)]
+pub struct WaveChainApp {
+    steps: u64,
+    recs_per_rank: usize,
+    step: u64,
+    t_seed: f64,
+    h: u64,
+}
+
+impl WaveChainApp {
+    /// A fresh chain of `steps` waves, `recs_per_rank` records per
+    /// original rank per step.
+    pub fn new(steps: u64, recs_per_rank: usize) -> Self {
+        Self {
+            steps,
+            recs_per_rank,
+            step: 0,
+            t_seed: 0.5,
+            h: 0xcbf2_9ce4_8422_2325,
+        }
+    }
+
+    /// The folded digest so far (final state once the run is done).
+    pub fn digest(&self) -> u64 {
+        self.h
+    }
+}
+
+impl ClusterApp for WaveChainApp {
+    fn step(&self) -> u64 {
+        self.step
+    }
+
+    fn is_done(&self) -> bool {
+        self.step >= self.steps
+    }
+
+    fn t_candidate(&self, orank: usize) -> f64 {
+        self.t_seed * (1.0 + orank as f64 * 0.125)
+    }
+
+    fn records(&self, orank: usize) -> Vec<JRecord> {
+        synthetic_records(orank, self.step, self.recs_per_rank)
+    }
+
+    fn fold(&mut self, out: &WaveOutcome) {
+        eat_outcome(&mut self.h, out);
+        self.t_seed = out.t_min * 0.75 + 1e-3;
+        self.step += 1;
+    }
+
+    fn save(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u64(self.step);
+        e.u64(self.t_seed.to_bits());
+        e.u64(self.h);
+        e.into_bytes()
+    }
+
+    fn restore(&mut self, payload: &[u8]) -> Result<(), String> {
+        let s = |e: grape6_ckpt::wire::WireError| e.to_string();
+        let mut d = Dec::new(payload);
+        self.step = d.u64().map_err(s)?;
+        self.t_seed = f64::from_bits(d.u64().map_err(s)?);
+        self.h = d.u64().map_err(s)?;
+        d.finish().map_err(s)
+    }
 }
 
 /// Per-rank digests of the chained waves on the virtual-time fabric.
@@ -152,6 +237,74 @@ mod tests {
         let v = virtual_wave_digests(4, 5, 2, false);
         let t = stream_wave_digests(4, 5, 2, StreamKind::Tcp, &dir);
         assert_eq!(v, t);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wave_chain_app_save_restore_roundtrips_bitwise() {
+        let mut a = WaveChainApp::new(9, 2);
+        // Advance a few steps through fake outcomes so the state is
+        // mid-chain, not pristine.
+        for step in 0..4u64 {
+            let out = WaveOutcome {
+                t_min: 0.25 + step as f64 * 1e-3,
+                ckpt_min: 0,
+                algo: grape6_trace::BarrierAlgo::Dissemination,
+                merged: synthetic_records(0, step, 2),
+                messages: 0,
+                records: 0,
+                bytes: 0,
+            };
+            a.fold(&out);
+        }
+        let mut b = WaveChainApp::new(9, 2);
+        b.restore(&a.save()).expect("restore");
+        assert_eq!(b.step(), 4);
+        assert_eq!(b.digest(), a.digest());
+        assert_eq!(b.t_candidate(3).to_bits(), a.t_candidate(3).to_bits());
+        // Truncated payloads are a typed error, never a panic.
+        assert!(b.restore(&a.save()[..12]).is_err());
+    }
+
+    #[test]
+    fn supervised_fault_free_cluster_matches_run_waves_digest() {
+        use grape6_net::cluster::{ClusterConfig, ClusterSupervisor};
+        use grape6_net::transport::StreamConfig;
+        use std::time::Duration;
+
+        let (p, steps, recs) = (3usize, 7u64, 2usize);
+        let dir = std::env::temp_dir().join(format!("g6-wavechain-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let scfg = StreamConfig {
+            nonce: 31,
+            read_deadline: Duration::from_millis(50),
+            read_attempts: 3,
+            ..StreamConfig::default()
+        };
+        let want = virtual_wave_digests(p, steps, recs, false);
+        let got: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..p)
+                .map(|rank| {
+                    let (dir, scfg) = (dir.clone(), scfg);
+                    s.spawn(move || {
+                        let tr =
+                            StreamTransport::connect_with(rank, p, &dir, StreamKind::Tcp, &scfg)
+                                .expect("rendezvous");
+                        let cfg = ClusterConfig::new(&dir);
+                        let sup = ClusterSupervisor::new(tr, WaveChainApp::new(steps, recs), cfg);
+                        let (app, report) = sup.run().expect("supervised run");
+                        assert_eq!(report.recoveries, 0);
+                        assert_eq!(report.waves_folded, steps);
+                        app.digest()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank"))
+                .collect()
+        });
+        assert_eq!(got, want);
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -3,11 +3,20 @@
 //! digest must equal the virtual-time fabric's digest for the same
 //! parameters — the transport backends differ only in what a message
 //! costs, never in what it delivers.
+//!
+//! On top of the clean-run gate sit the survival gates: a seeded
+//! kill/stall schedule against four real supervised rank processes
+//! (SIGKILL → respawn-from-checkpoint, SIGSTOP → shrink → eviction,
+//! digests bitwise equal to the unfaulted run throughout), and a
+//! torn-frame injector that dies mid-`Frame` on a live mesh.
 
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
+use std::time::Duration;
 
+use grape6_bench::chaos_cluster::{run_cluster_chaos, ClusterChaosConfig};
 use grape6_bench::wavecheck::virtual_wave_digests;
+use grape6_net::transport::{StreamConfig, StreamKind, StreamTransport, TransportError};
 
 const P: usize = 4;
 const STEPS: u64 = 8;
@@ -70,4 +79,77 @@ fn four_uds_processes_match_the_virtual_fabric_bitwise() {
     let want = virtual_wave_digests(P, STEPS, RECS, false);
     let got = run_cluster("uds");
     assert_eq!(got, want);
+}
+
+/// The acceptance gate of the recovery tentpole: a 4-rank real-process
+/// TCP run has one rank SIGKILLed mid-wave (respawned from its
+/// coordinated checkpoint) and one rank SIGSTOPped past the read
+/// deadline (shrunk, then evicted when SIGCONT wakes it) — and every
+/// process that finishes prints the digest an unfaulted run prints.
+#[test]
+fn chaos_kill_and_stall_recover_bitwise_identical() {
+    let dir = std::env::temp_dir().join(format!("g6-proc-chaos-{}", std::process::id()));
+    let cfg = ClusterChaosConfig::new(PathBuf::from(env!("CARGO_BIN_EXE_cluster_node")), dir);
+    let report = run_cluster_chaos(&cfg);
+    assert!(
+        report.ok(),
+        "chaos violations: {:#?}\nnodes: {:#?}",
+        report.violations,
+        report
+            .nodes
+            .iter()
+            .map(|n| (n.orank, n.respawned, n.exit, n.stderr.clone()))
+            .collect::<Vec<_>>()
+    );
+    // Both recovery modes ran: the respawned second life finished with
+    // the clean digest, and the stalled rank was evicted.
+    assert!(report.recoveries >= 2);
+    assert!(report
+        .nodes
+        .iter()
+        .any(|n| n.respawned && n.digest == Some(report.clean_digest)));
+    assert!(report.recover_seconds > 0.0);
+}
+
+/// A peer that dies between two `write(2)` calls of one frame — length
+/// prefix promising more than it delivers — must surface as a typed
+/// `Down` with the torn frame counted, never a panic or a truncated
+/// decode.  The injector is a separate OS process (`cluster_node
+/// --torn`), so the tear crosses a real socket.
+#[test]
+fn torn_frame_from_a_dying_process_is_typed_down() {
+    let dir = std::env::temp_dir().join(format!("g6-proc-torn-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let nonce = 0x7042;
+    let child = Command::new(env!("CARGO_BIN_EXE_cluster_node"))
+        .args([
+            "1",
+            "2",
+            dir.to_str().unwrap(),
+            "tcp",
+            "--torn",
+            &format!("--nonce={nonce:}"),
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn torn injector");
+    let scfg = StreamConfig {
+        nonce,
+        ..StreamConfig::default()
+    };
+    let mut tr =
+        StreamTransport::connect_with(0, 2, &dir, StreamKind::Tcp, &scfg).expect("rendezvous");
+    let err = tr
+        .recv_frame_deadline(1, Duration::from_millis(200), 5)
+        .expect_err("torn frame must be a typed error");
+    assert_eq!(err, TransportError::Down { from: 1, to: 0 });
+    assert_eq!(tr.torn_frames(), 1);
+    let out = child.wait_with_output().expect("injector exit");
+    assert!(
+        out.status.success(),
+        "injector failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_dir_all(&dir).ok();
 }

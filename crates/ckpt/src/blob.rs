@@ -1,0 +1,207 @@
+//! Digest-guarded generic state blobs.
+//!
+//! The full [`Checkpoint`](crate::Checkpoint) captures an integrator +
+//! engine pair; the cluster recovery layer also needs to persist *small,
+//! caller-defined* state (a rank's wave-chain state at a coordinated
+//! cut, a recovery manifest) with the same guarantees: versioned header,
+//! FNV-1a payload digest checked before parsing, atomic publication, and
+//! typed [`CkptError`]s instead of panics.  [`Blob`] is that container —
+//! the header carries a caller-chosen `kind` tag so a manifest can never
+//! be mistaken for a rank checkpoint.
+
+use std::path::Path;
+
+use crate::digest::fnv1a64;
+use crate::CkptError;
+
+/// Magic string opening every blob header (distinct from the full
+/// checkpoint magic, so the two file families never cross-load).
+const BLOB_MAGIC: &str = "GRAPE6-BLOB";
+
+/// A digest-guarded, kind-tagged byte payload.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Blob {
+    /// Caller-defined family tag (e.g. `"cluster-rank"`), checked on
+    /// load.  Must contain no whitespace.
+    pub kind: String,
+    /// Caller-defined format version of the payload.
+    pub version: u32,
+    /// The payload bytes (typically a `wire::Enc` encoding).
+    pub payload: Vec<u8>,
+}
+
+impl Blob {
+    /// Wrap a payload.  Panics if `kind` contains whitespace (the header
+    /// is a whitespace-separated line).
+    pub fn new(kind: &str, version: u32, payload: Vec<u8>) -> Self {
+        assert!(
+            !kind.is_empty() && !kind.contains(char::is_whitespace),
+            "blob kind must be a single non-empty token"
+        );
+        Self {
+            kind: kind.to_string(),
+            version,
+            payload,
+        }
+    }
+
+    /// Serialise: `GRAPE6-BLOB <kind> <version> <digest:016x> <len>\n`
+    /// followed by the payload bytes.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = format!(
+            "{BLOB_MAGIC} {} {} {:016x} {}\n",
+            self.kind,
+            self.version,
+            fnv1a64(&self.payload),
+            self.payload.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&self.payload);
+        out
+    }
+
+    /// Parse and validate. Order: magic, kind, version ceiling, declared
+    /// length, digest — the payload is never interpreted before its
+    /// integrity is established.
+    pub fn from_bytes(bytes: &[u8], kind: &str, max_version: u32) -> Result<Self, CkptError> {
+        let bad = |m: String| CkptError::Format(m);
+        let nl = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| bad("blob: missing header line".into()))?;
+        let line = std::str::from_utf8(&bytes[..nl])
+            .map_err(|_| bad("blob: header line is not UTF-8".into()))?;
+        let mut parts = line.split_whitespace();
+        let magic = parts.next().unwrap_or_default();
+        if magic != BLOB_MAGIC {
+            return Err(bad(format!(
+                "blob: bad magic {magic:?} (expected {BLOB_MAGIC:?})"
+            )));
+        }
+        let found_kind = parts
+            .next()
+            .ok_or_else(|| bad("blob: missing kind".into()))?;
+        if found_kind != kind {
+            return Err(bad(format!(
+                "blob: kind {found_kind:?} where {kind:?} was expected"
+            )));
+        }
+        let version = parts
+            .next()
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| bad("blob: missing or non-numeric version".into()))?;
+        if version > max_version {
+            return Err(CkptError::Version {
+                found: version,
+                supported: max_version,
+            });
+        }
+        let digest = parts
+            .next()
+            .and_then(|s| u64::from_str_radix(s, 16).ok())
+            .ok_or_else(|| bad("blob: missing or non-hex digest".into()))?;
+        let payload_len = parts
+            .next()
+            .and_then(|s| s.parse::<u64>().ok())
+            .ok_or_else(|| bad("blob: missing or non-numeric length".into()))?;
+        if parts.next().is_some() {
+            return Err(bad("blob: trailing header fields".into()));
+        }
+        let payload = &bytes[nl + 1..];
+        if (payload.len() as u64) < payload_len {
+            return Err(CkptError::Truncated {
+                expected: payload_len,
+                got: payload.len() as u64,
+            });
+        }
+        let payload = &payload[..payload_len as usize];
+        let got = fnv1a64(payload);
+        if got != digest {
+            return Err(CkptError::BadDigest {
+                expected: digest,
+                got,
+            });
+        }
+        Ok(Self {
+            kind: kind.to_string(),
+            version,
+            payload: payload.to_vec(),
+        })
+    }
+
+    /// Write atomically: the bytes land under a temporary name in the
+    /// same directory and are renamed into place, so a reader polling for
+    /// `path` (a respawned rank looking for its checkpoint or a recovery
+    /// manifest) can never observe a half-written file.
+    pub fn save(&self, path: &Path) -> Result<(), CkptError> {
+        let dir = path.parent().unwrap_or_else(|| Path::new("."));
+        let base = path
+            .file_name()
+            .ok_or_else(|| CkptError::Format("blob: path has no file name".into()))?;
+        let tmp = dir.join(format!(".{}.tmp", base.to_string_lossy()));
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Read and validate a blob of the given kind from disk.
+    pub fn load(path: &Path, kind: &str, max_version: u32) -> Result<Self, CkptError> {
+        let bytes = std::fs::read(path)?;
+        Self::from_bytes(&bytes, kind, max_version)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrips_through_disk() {
+        let dir = std::env::temp_dir().join(format!("g6-blob-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.blob");
+        let b = Blob::new("cluster-rank", 3, vec![1, 2, 3, 255, 0]);
+        b.save(&path).unwrap();
+        assert_eq!(Blob::load(&path, "cluster-rank", 3).unwrap(), b);
+        // No temp file left behind.
+        assert!(!dir.join(".state.blob.tmp").exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corruption_truncation_and_wrong_kind_are_typed_errors() {
+        let b = Blob::new("manifest", 1, b"recovery manifest payload".to_vec());
+        let bytes = b.to_bytes();
+        // Wrong kind never parses.
+        assert!(matches!(
+            Blob::from_bytes(&bytes, "cluster-rank", 1),
+            Err(CkptError::Format(_))
+        ));
+        // Newer version is refused before the payload is touched.
+        assert!(matches!(
+            Blob::from_bytes(&bytes, "manifest", 0),
+            Err(CkptError::Version {
+                found: 1,
+                supported: 0
+            })
+        ));
+        // Truncation is detected by length, not by a parse failure.
+        assert!(matches!(
+            Blob::from_bytes(&bytes[..bytes.len() - 3], "manifest", 1),
+            Err(CkptError::Truncated { .. })
+        ));
+        // A flipped payload byte fails the digest.
+        let mut corrupt = bytes.clone();
+        let at = corrupt.len() - 5;
+        corrupt[at] ^= 0x40;
+        assert!(matches!(
+            Blob::from_bytes(&corrupt, "manifest", 1),
+            Err(CkptError::BadDigest { .. })
+        ));
+        // Extra trailing bytes beyond the declared length are ignored
+        // (a torn append cannot poison an otherwise-valid blob).
+        let mut extended = bytes.clone();
+        extended.extend_from_slice(b"junk");
+        assert_eq!(Blob::from_bytes(&extended, "manifest", 1).unwrap(), b);
+    }
+}

@@ -30,6 +30,7 @@
 //! Conversions between live state and this model live with the live state
 //! (`grape6_core::checkpoint`), keeping this crate dependency-free.
 
+pub mod blob;
 pub mod digest;
 pub mod state;
 pub mod wire;
@@ -38,6 +39,7 @@ use std::fs::File;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+pub use blob::Blob;
 pub use digest::fnv1a64;
 pub use state::{
     bits, bits3, unbits, unbits3, Checkpoint, EngineState, FaultCounterState, IntegratorState,

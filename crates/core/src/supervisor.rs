@@ -74,6 +74,11 @@ pub struct SupervisorConfig {
     pub label: String,
     /// Recovery actions attempted per blockstep before giving up.
     pub max_ladder_rounds: u32,
+    /// Persist every checkpoint to this file as it is taken, so a
+    /// killed *process* (not just a failed step) can be restored — the
+    /// same durability contract the cluster supervisor's coordinated
+    /// checkpoints rely on.  `None` keeps checkpoints in memory only.
+    pub save_path: Option<std::path::PathBuf>,
 }
 
 impl SupervisorConfig {
@@ -87,6 +92,7 @@ impl SupervisorConfig {
             timing: GrapeTiming::paper_host(),
             label: "supervised run".into(),
             max_ladder_rounds: 6,
+            save_path: None,
         }
     }
 }
@@ -199,6 +205,19 @@ impl RunSupervisor {
         self.it.stats_mut().recovery.checkpoints_taken += 1;
         self.charge(Phase::Ckpt, self.cfg.timing.checkpoint_time(n));
         let ckpt = capture(&self.it, &self.cfg.label);
+        if let Some(path) = &self.cfg.save_path {
+            // Write-then-rename so a process killed mid-write never
+            // leaves a torn file at the canonical name; persistence
+            // failures degrade to in-memory checkpoints (warned, not
+            // fatal — the run itself is still healthy).
+            let tmp = path.with_extension("tmp");
+            let moved = ckpt
+                .save(&tmp)
+                .and_then(|()| std::fs::rename(&tmp, path).map_err(Into::into));
+            if let Err(e) = moved {
+                eprintln!("warning: could not persist checkpoint to {path:?}: {e}");
+            }
+        }
         self.last_ckpt_blockstep = ckpt.blockstep;
         self.last_ckpt_vt = self.it.engine().vt();
         self.last_ckpt = Some(ckpt);
@@ -395,6 +414,44 @@ mod tests {
             sup.step().unwrap();
         }
         assert!(sup.integrator().stats().recovery.checkpoints_taken >= 5);
+    }
+
+    #[test]
+    fn save_path_persists_checkpoints_a_killed_process_can_restore() {
+        let path = std::env::temp_dir().join(format!("g6-sup-ckpt-{}.ckpt", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let n = 24;
+        let set = plummer_model(n, &mut StdRng::seed_from_u64(25));
+        let machine = MachineConfig::test_small();
+        let engine = Grape6Engine::try_new(&machine, n).unwrap();
+        let it = HermiteIntegrator::new(engine, set, IntegratorConfig::default());
+        let mut cfg = SupervisorConfig::for_machine(machine);
+        cfg.policy = CheckpointPolicy {
+            every_blocksteps: Some(4),
+            every_virtual_seconds: None,
+        };
+        cfg.save_path = Some(path.clone());
+        let mut sup = RunSupervisor::new(it, cfg);
+        for _ in 0..10 {
+            sup.step().unwrap();
+        }
+        // The canonical file always holds the *latest* checkpoint, byte
+        // for byte, and no torn `.tmp` is left behind.
+        let loaded = Checkpoint::load(&path).expect("persisted checkpoint loads");
+        assert_eq!(loaded.to_bytes(), sup.last_checkpoint().unwrap().to_bytes());
+        assert!(!path.with_extension("tmp").exists());
+        // ...and it restores into a working integrator even after every
+        // live object is gone — the killed-process path.
+        drop(sup);
+        let mut it2 = restore(
+            &MachineConfig::test_small(),
+            None,
+            IntegratorConfig::default(),
+            &loaded,
+        )
+        .expect("restore from disk");
+        it2.step();
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

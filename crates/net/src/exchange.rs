@@ -50,6 +50,9 @@ use crate::wire::{Frame, JRecord};
 pub struct WaveOutcome {
     /// Global minimum of the per-rank inputs (the next block time).
     pub t_min: f64,
+    /// Global minimum of the per-rank last-captured checkpoint epochs —
+    /// the most recent *coordinated* cut every rank can rewind to.
+    pub ckpt_min: u64,
     /// The wave pattern that ran (butterfly, or dissemination fallback
     /// for non-power-of-two rank counts).
     pub algo: BarrierAlgo,
@@ -69,6 +72,9 @@ pub struct WaveOutcome {
 pub struct Wave {
     rank: usize,
     p: usize,
+    /// Recovery generation this wave speaks; frames from an older
+    /// generation are stale in-flight leftovers and are discarded.
+    gen: u32,
     step: u64,
     algo: BarrierAlgo,
     n_stages: u32,
@@ -77,7 +83,12 @@ pub struct Wave {
     /// Receive partner of a posted-but-unfinished stage.
     pending_from: Option<usize>,
     t_min: f64,
+    /// This rank's last-captured checkpoint epoch, folded via min.
+    ckpt: u64,
     acc: BTreeMap<u64, JRecord>,
+    /// Heartbeat observations skipped over while waiting for stage
+    /// frames: `(peer, epoch)` pairs for the liveness monitor.
+    beats: Vec<(usize, u64)>,
     messages: u64,
     records: u64,
     bytes: u64,
@@ -85,8 +96,25 @@ pub struct Wave {
 
 impl Wave {
     /// Start a wave at this rank: `t_min` is the rank's candidate next
-    /// block time, `records` its j-updates for this step.
+    /// block time, `records` its j-updates for this step.  Generation
+    /// and checkpoint epoch default to 0 (no recovery machinery).
     pub fn new(rank: usize, p: usize, step: u64, t_min: f64, records: Vec<JRecord>) -> Self {
+        Self::with_meta(rank, p, 0, step, t_min, 0, records)
+    }
+
+    /// Start a wave carrying recovery metadata: `gen` is the current
+    /// recovery generation, `ckpt` this rank's last-captured checkpoint
+    /// epoch (folded via min across ranks, so the outcome names the most
+    /// recent cut *everyone* holds).
+    pub fn with_meta(
+        rank: usize,
+        p: usize,
+        gen: u32,
+        step: u64,
+        t_min: f64,
+        ckpt: u64,
+        records: Vec<JRecord>,
+    ) -> Self {
         assert!(p >= 1 && rank < p);
         let algo = if p.is_power_of_two() {
             BarrierAlgo::Butterfly
@@ -102,13 +130,16 @@ impl Wave {
         Self {
             rank,
             p,
+            gen,
             step,
             algo,
             n_stages,
             done: 0,
             pending_from: None,
             t_min,
+            ckpt,
             acc,
+            beats: Vec::new(),
             messages: 0,
             records: 0,
             bytes: 0,
@@ -128,6 +159,18 @@ impl Wave {
     /// Whether every stage has been folded.
     pub fn is_complete(&self) -> bool {
         self.done == self.n_stages && self.pending_from.is_none()
+    }
+
+    /// The partner a posted stage is waiting on, if any — the rank to
+    /// attribute a receive failure (timeout, hangup) to.
+    pub fn pending_partner(&self) -> Option<usize> {
+        self.pending_from
+    }
+
+    /// Drain the heartbeat observations skipped while waiting for stage
+    /// frames, for the caller's liveness monitor.
+    pub fn take_beats(&mut self) -> Vec<(usize, u64)> {
+        std::mem::take(&mut self.beats)
     }
 
     /// (send-to, receive-from) partners of stage `k`.  Butterfly pairs
@@ -156,9 +199,11 @@ impl Wave {
         assert!(self.done < self.n_stages, "wave already complete");
         let (to, from) = self.partners(self.done);
         let frame = Frame::Stage {
+            gen: self.gen,
             step: self.step,
             stage: self.done,
             t_min: self.t_min,
+            ckpt: self.ckpt,
             records: self.acc.values().cloned().collect(),
             pad,
         };
@@ -171,34 +216,68 @@ impl Wave {
     }
 
     /// Receive and fold the posted stage's frame.
+    ///
+    /// Three frame kinds can legitimately arrive ahead of the expected
+    /// stage: heartbeats (liveness only — recorded for
+    /// [`Self::take_beats`] and skipped), stage frames from an *older*
+    /// recovery generation (stale in-flight leftovers of a rewound wave
+    /// — discarded), and [`Frame::Recover`] (a peer pre-empted the
+    /// collective — surfaced as [`TransportError::Interrupted`] so the
+    /// cluster layer joins the recovery round).
     pub fn finish_stage<T: Transport>(&mut self, tr: &mut T) -> Result<(), TransportError> {
         let from = self.pending_from.expect("no stage posted");
-        let frame = tr.recv_frame(from)?;
-        let Frame::Stage {
-            step,
-            stage,
-            t_min,
-            records,
-            ..
-        } = frame
-        else {
-            return Err(TransportError::Protocol("data frame where a stage was due"));
-        };
-        if step != self.step {
-            return Err(TransportError::Protocol(
-                "stage frame from a different blockstep",
-            ));
+        loop {
+            let frame = tr.recv_frame(from)?;
+            let (gen, step, stage, t_min, ckpt, records) = match frame {
+                Frame::Heartbeat { epoch, .. } => {
+                    self.beats.push((from, epoch));
+                    continue;
+                }
+                f @ Frame::Recover { .. } => {
+                    return Err(TransportError::Interrupted {
+                        from,
+                        frame: Box::new(f),
+                    });
+                }
+                Frame::Stage {
+                    gen,
+                    step,
+                    stage,
+                    t_min,
+                    ckpt,
+                    records,
+                    ..
+                } => (gen, step, stage, t_min, ckpt, records),
+                Frame::Data { .. } => {
+                    return Err(TransportError::Protocol("data frame where a stage was due"));
+                }
+            };
+            if gen < self.gen {
+                // A stale frame from before the last recovery rewind.
+                continue;
+            }
+            if gen > self.gen {
+                return Err(TransportError::Protocol(
+                    "stage frame from a future recovery generation",
+                ));
+            }
+            if step != self.step {
+                return Err(TransportError::Protocol(
+                    "stage frame from a different blockstep",
+                ));
+            }
+            if stage != self.done {
+                return Err(TransportError::Protocol("stage frame out of order"));
+            }
+            self.t_min = self.t_min.min(t_min);
+            self.ckpt = self.ckpt.min(ckpt);
+            for r in records {
+                self.acc.insert(r.index, r);
+            }
+            self.pending_from = None;
+            self.done += 1;
+            return Ok(());
         }
-        if stage != self.done {
-            return Err(TransportError::Protocol("stage frame out of order"));
-        }
-        self.t_min = self.t_min.min(t_min);
-        for r in records {
-            self.acc.insert(r.index, r);
-        }
-        self.pending_from = None;
-        self.done += 1;
-        Ok(())
     }
 
     /// Run stages `[stages_done, until)` to completion (post + finish
@@ -224,6 +303,7 @@ impl Wave {
         assert!(self.is_complete(), "wave has unfinished stages");
         WaveOutcome {
             t_min: self.t_min,
+            ckpt_min: self.ckpt,
             algo: self.algo,
             merged: self.acc.into_values().collect(),
             messages: self.messages,
@@ -498,6 +578,87 @@ mod tests {
             out[1],
             Err(TransportError::Down { from: 3, to: 1 }),
             "rank 1's stage-1 partner died"
+        );
+    }
+
+    #[test]
+    fn wave_folds_ckpt_epoch_min_and_skips_heartbeats_and_stale_generations() {
+        use crate::wire::Frame;
+        let out = run_ranks::<Vec<u8>, (WaveOutcome, Vec<(usize, u64)>), _>(
+            2,
+            LinkProfile::ideal(),
+            |mut ep| {
+                let r = ep.rank();
+                let mut tr = VirtualTransport::new(&mut ep);
+                // Rank 0 front-runs its stage frame with a heartbeat and
+                // a stale generation-0 leftover; rank 1 must skip both.
+                if r == 0 {
+                    tr.send_frame(1, &Frame::Heartbeat { gen: 1, epoch: 41 })
+                        .expect("send");
+                    tr.send_frame(
+                        1,
+                        &Frame::Stage {
+                            gen: 0,
+                            step: 7,
+                            stage: 0,
+                            t_min: 0.001, // would corrupt the fold if not discarded
+                            ckpt: 0,
+                            records: vec![],
+                            pad: 0,
+                        },
+                    )
+                    .expect("send");
+                }
+                let ckpt = if r == 0 { 12 } else { 9 };
+                let mut w = Wave::with_meta(r, 2, 1, 7, (r as f64 + 1.0) * 0.25, ckpt, vec![]);
+                w.post_stage(&mut tr, 0).expect("post");
+                w.finish_stage(&mut tr).expect("finish");
+                let beats = w.take_beats();
+                (w.outcome(), beats)
+            },
+        );
+        for (r, (o, _)) in out.iter().enumerate() {
+            // The stale frame's 0.001 must not have leaked into the fold.
+            assert_eq!(o.t_min, 0.25, "rank {r}");
+            // Checkpoint epoch folds to the *oldest* capture: min(12, 9).
+            assert_eq!(o.ckpt_min, 9, "rank {r}");
+        }
+        assert_eq!(out[1].1, vec![(0, 41)], "rank 1 observed rank 0's beat");
+        assert!(out[0].1.is_empty());
+    }
+
+    #[test]
+    fn recover_frame_interrupts_the_wave_with_the_carried_frame() {
+        use crate::wire::Frame;
+        let recover = Frame::Recover {
+            gen: 1,
+            round: 1,
+            dead: vec![3],
+            ckpt: 5,
+        };
+        let rec2 = recover.clone();
+        let out = run_ranks::<Vec<u8>, Option<TransportError>, _>(
+            2,
+            LinkProfile::ideal(),
+            move |mut ep| {
+                let r = ep.rank();
+                let mut tr = VirtualTransport::new(&mut ep);
+                if r == 0 {
+                    tr.send_frame(1, &rec2).expect("send");
+                    None
+                } else {
+                    let mut w = Wave::new(1, 2, 0, 0.5, vec![]);
+                    w.post_stage(&mut tr, 0).expect("post");
+                    Some(w.finish_stage(&mut tr).expect_err("must interrupt"))
+                }
+            },
+        );
+        assert_eq!(
+            out[1],
+            Some(TransportError::Interrupted {
+                from: 0,
+                frame: Box::new(recover)
+            })
         );
     }
 

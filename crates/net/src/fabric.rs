@@ -36,8 +36,8 @@
 //! a peer that dropped its endpoint), and [`Endpoint::recv_or_down`]
 //! separates orderly departure (`Ok(None)`, after the peer's in-flight
 //! traffic has drained) from link loss (`Err(LinkError)`).  The bare
-//! panicking [`Endpoint::recv`] is deprecated and kept only for external
-//! callers mid-migration.
+//! panicking `recv` of earlier revisions is gone — every caller sees
+//! typed errors.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use grape6_fault::{Delivery, NetFaultPlan};
@@ -432,20 +432,6 @@ impl<T: Send> Endpoint<T> {
             }
         }
         out.map(|(payload, ..)| payload)
-    }
-
-    /// Blocking receive from `from`; panics if the fault plan declares the
-    /// message lost or the peer drops its endpoint.
-    #[deprecated(
-        since = "0.2.0",
-        note = "panics on lost messages and departed peers — use \
-                `recv_checked` (typed errors) or `recv_or_down` instead"
-    )]
-    pub fn recv(&mut self, from: usize) -> T {
-        match self.recv_checked(from) {
-            Ok(v) => v,
-            Err(e) => panic!("{e}"),
-        }
     }
 }
 

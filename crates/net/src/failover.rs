@@ -124,6 +124,9 @@ impl Group {
 pub struct RankMonitor {
     me: usize,
     alive: Vec<bool>,
+    /// Consecutive silent observations per peer (observation API only;
+    /// reset by [`RankMonitor::observe_beat`]).
+    misses: Vec<u32>,
     epoch: u64,
     cfg: HeartbeatConfig,
     timeout_seconds: f64,
@@ -137,6 +140,7 @@ impl RankMonitor {
         Self {
             me,
             alive: vec![true; p],
+            misses: vec![0; p],
             epoch: 0,
             cfg,
             timeout_seconds: 0.0,
@@ -168,6 +172,54 @@ impl RankMonitor {
     /// — the detection cost of every death this rank observed.
     pub fn timeout_seconds(&self) -> f64 {
         self.timeout_seconds
+    }
+
+    /// Observation API, for transports that deliver heartbeats inline
+    /// with data (the real [`StreamTransport`](crate::StreamTransport)
+    /// cluster) rather than through a dedicated [`Self::exchange`]
+    /// round: record a heartbeat (or any live traffic) seen from `rank`,
+    /// clearing its silence streak.
+    pub fn observe_beat(&mut self, rank: usize) {
+        self.misses[rank] = 0;
+    }
+
+    /// Record one silent deadline window for `rank`.  At
+    /// [`HeartbeatConfig::miss_budget`] consecutive silences the rank is
+    /// declared dead — the cumulative `period × miss_budget` detection
+    /// time is charged to [`Self::timeout_seconds`] — and `true` is
+    /// returned.  Already-dead ranks stay dead and return `true`.
+    pub fn observe_silence(&mut self, rank: usize) -> bool {
+        if !self.alive[rank] {
+            return true;
+        }
+        self.misses[rank] += 1;
+        if self.misses[rank] >= self.cfg.miss_budget {
+            self.alive[rank] = false;
+            self.timeout_seconds += self.cfg.period * self.cfg.miss_budget as f64;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Declare `rank` dead immediately (a hangup is unambiguous — no
+    /// miss budget applies, and no detection timeout is charged beyond
+    /// what was already observed).
+    pub fn mark_dead(&mut self, rank: usize) {
+        self.alive[rank] = false;
+    }
+
+    /// Re-admit a rank that rejoined from a checkpoint.
+    pub fn revive(&mut self, rank: usize) {
+        self.alive[rank] = true;
+        self.misses[rank] = 0;
+    }
+
+    /// Count one heartbeat epoch driven by an external schedule (the
+    /// observation API's counterpart to the bump inside
+    /// [`Self::exchange`]).
+    pub fn advance_epoch(&mut self) {
+        self.epoch += 1;
     }
 
     /// One heartbeat round: send a beat to every live peer, then collect
@@ -330,6 +382,38 @@ mod tests {
             assert_eq!(g.members(), &[0, 1], "rank {r}");
         }
         assert!(out[2].is_none());
+    }
+
+    #[test]
+    fn observation_api_applies_the_miss_budget_and_supports_revival() {
+        let cfg = HeartbeatConfig {
+            period: 2.0e-3,
+            miss_budget: 3,
+        };
+        let mut mon = RankMonitor::new(0, 4, cfg);
+        // Two silences, then a beat: the streak resets, nobody dies.
+        assert!(!mon.observe_silence(2));
+        assert!(!mon.observe_silence(2));
+        mon.observe_beat(2);
+        assert!(!mon.observe_silence(2));
+        assert!(mon.is_alive(2));
+        assert_eq!(mon.timeout_seconds(), 0.0);
+        // Three consecutive silences exhaust the budget.
+        assert!(!mon.observe_silence(3));
+        assert!(!mon.observe_silence(3));
+        assert!(mon.observe_silence(3));
+        assert!(!mon.is_alive(3));
+        assert_eq!(mon.timeout_seconds(), 6.0e-3);
+        // Dead stays dead until revived.
+        assert!(mon.observe_silence(3));
+        mon.revive(3);
+        assert!(mon.is_alive(3));
+        assert!(!mon.observe_silence(3));
+        // A hangup is immediate.
+        mon.mark_dead(1);
+        assert_eq!(mon.group().members(), &[0, 2, 3]);
+        mon.advance_epoch();
+        assert_eq!(mon.epoch(), 1);
     }
 
     #[test]

@@ -44,6 +44,7 @@
 //! fabric with the machine simulator to run the paper's parallel
 //! algorithms end to end.
 
+pub mod cluster;
 pub mod collectives;
 pub mod exchange;
 pub mod fabric;
@@ -52,6 +53,10 @@ pub mod link;
 pub mod transport;
 pub mod wire;
 
+pub use cluster::{
+    ClusterApp, ClusterConfig, ClusterError, ClusterReport, ClusterSupervisor, FaultKind,
+    GroupTransport, Manifest,
+};
 pub use collectives::{CollectiveCost, CollectiveError};
 pub use exchange::{coalesced_wave, Wave, WaveOutcome};
 pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError, RecvError};

@@ -11,18 +11,43 @@
 //!   the link model charges.
 //! * [`StreamTransport`] — real OS processes on TCP (loopback) or Unix
 //!   domain sockets, with a filesystem rendezvous: every rank binds a
-//!   listener, publishes its address under the rendezvous directory,
-//!   connects to all lower ranks and accepts from all higher ranks.
-//!   Frames travel length-prefixed (u64 LE); a closed stream surfaces as
-//!   [`TransportError::Down`].
+//!   listener, publishes its nonce-stamped address under the rendezvous
+//!   directory, connects to all lower ranks and accepts from all higher
+//!   ranks.  Frames travel length-prefixed (u64 LE); a closed stream
+//!   surfaces as [`TransportError::Down`], a silent one as
+//!   [`TransportError::Timeout`] — *no receive path blocks forever*.
 //!
 //! The bitwise contract: both backends deliver the *identical decoded
 //! frames* in the identical per-peer order (the exchange algorithms only
 //! ever match sends to receives pairwise), so any state computed from
 //! frame payloads is independent of the backend.  What differs is cost
 //! accounting — virtual time on one side, real wall-clock on the other.
+//!
+//! # Deadlines
+//!
+//! Every blocking operation of [`StreamTransport`] carries a deadline:
+//! rendezvous polls ([`StreamConfig::rendezvous_timeout`]), the hello
+//! handshake, and frame receives.  A receive runs a deterministic
+//! exponential-backoff budget — attempt `i` waits
+//! `read_deadline * 2^i`, for [`StreamConfig::read_attempts`] attempts —
+//! and then surfaces [`TransportError::Timeout`].  A timed-out receive
+//! *preserves* the stream and any partially buffered frame bytes, so the
+//! caller can retry (or run a recovery round) without losing data from a
+//! merely-slow peer.
+//!
+//! # Rejoin
+//!
+//! Listeners stay alive for the lifetime of the transport, so a rank
+//! respawned from a checkpoint can re-enter the mesh: the rejoiner binds
+//! a fresh listener, publishes a *generation-tagged* address file, and
+//! runs the same connect-down/accept-up protocol against the survivor
+//! set ([`StreamTransport::rejoin`]); each survivor runs the mirror step
+//! ([`StreamTransport::reconnect_peer`]).  The hello handshake carries
+//! `(rank, nonce, generation)` so stale processes from a previous run or
+//! a previous recovery generation are rejected with a typed error
+//! instead of silently cross-connecting.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::{Path, PathBuf};
@@ -44,6 +69,34 @@ pub enum TransportError {
         /// The rank that observed it.
         to: usize,
     },
+    /// The peer's stream is open but no complete frame arrived within
+    /// the exponential-backoff deadline budget.  The stream (and any
+    /// partial frame bytes) are preserved for a retry.
+    Timeout {
+        /// The silent peer.
+        from: usize,
+        /// The rank that timed out waiting.
+        to: usize,
+        /// How many doubling deadline windows were exhausted.
+        attempts: u32,
+    },
+    /// A rendezvous artefact (address file or hello handshake) carried
+    /// the wrong run nonce — a stale file or process from another run.
+    RendezvousMismatch {
+        /// The nonce this run was started with.
+        expected: u64,
+        /// The nonce found on disk / on the wire.
+        found: u64,
+    },
+    /// A peer signalled cluster recovery where a collective frame was
+    /// due.  The carried frame is the interrupting [`Frame::Recover`];
+    /// the cluster layer folds it into its own recovery round.
+    Interrupted {
+        /// The peer that initiated recovery.
+        from: usize,
+        /// The recovery frame that pre-empted the expected one.
+        frame: Box<Frame>,
+    },
     /// A frame failed to decode (format bug or corrupted stream).
     Wire(WireError),
     /// A well-formed frame arrived out of protocol (wrong step or stage
@@ -59,6 +112,22 @@ impl std::fmt::Display for TransportError {
             Self::Lost(e) => write!(f, "transport: {e}"),
             Self::Down { from, to } => {
                 write!(f, "transport: rank {from} down (observed by {to})")
+            }
+            Self::Timeout { from, to, attempts } => write!(
+                f,
+                "transport: rank {from} silent past {attempts} deadline windows \
+                 (observed by {to})"
+            ),
+            Self::RendezvousMismatch { expected, found } => write!(
+                f,
+                "transport: rendezvous nonce {found:#018x} where {expected:#018x} \
+                 was expected (stale run artefact)"
+            ),
+            Self::Interrupted { from, .. } => {
+                write!(
+                    f,
+                    "transport: rank {from} pre-empted the collective with recovery"
+                )
             }
             Self::Wire(e) => write!(f, "transport: bad frame: {e}"),
             Self::Protocol(e) => write!(f, "transport: protocol violation: {e}"),
@@ -94,7 +163,9 @@ pub trait Transport {
     /// Send one frame to `to`.  Must tolerate a departed peer (the
     /// matching receive is where the departure is observed).
     fn send_frame(&mut self, to: usize, frame: &Frame) -> Result<(), TransportError>;
-    /// Blocking receive of one frame from `from`.
+    /// Blocking receive of one frame from `from`.  Real backends bound
+    /// the block with a deadline budget and surface
+    /// [`TransportError::Timeout`] rather than hanging forever.
     fn recv_frame(&mut self, from: usize) -> Result<Frame, TransportError>;
 }
 
@@ -150,6 +221,7 @@ pub enum StreamKind {
     Uds,
 }
 
+#[derive(Debug)]
 enum Stream {
     Tcp(TcpStream),
     Uds(UnixStream),
@@ -169,97 +241,345 @@ impl Stream {
             Stream::Uds(s) => s,
         }
     }
+
+    fn set_read_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_read_timeout(d),
+            Stream::Uds(s) => s.set_read_timeout(d),
+        }
+    }
+
+    fn set_write_timeout(&self, d: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_write_timeout(d),
+            Stream::Uds(s) => s.set_write_timeout(d),
+        }
+    }
+
+    fn set_blocking(&self) -> std::io::Result<()> {
+        match self {
+            Stream::Tcp(s) => s.set_nonblocking(false),
+            Stream::Uds(s) => s.set_nonblocking(false),
+        }
+    }
 }
 
-/// How long the rendezvous waits for peers before giving up.
-const RENDEZVOUS_TIMEOUT: Duration = Duration::from_secs(30);
+#[derive(Debug)]
+enum Listener {
+    Tcp(TcpListener),
+    Uds(UnixListener),
+}
+
+impl Listener {
+    /// Non-blocking accept attempt: `Ok(Some)` on a new connection,
+    /// `Ok(None)` when nobody is waiting.
+    fn try_accept(&self) -> std::io::Result<Option<Stream>> {
+        let s = match self {
+            Listener::Tcp(l) => match l.accept() {
+                Ok((s, _)) => Stream::Tcp(s),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+            Listener::Uds(l) => match l.accept() {
+                Ok((s, _)) => Stream::Uds(s),
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return Ok(None),
+                Err(e) => return Err(e),
+            },
+        };
+        // Accepted sockets must be blocking regardless of what they
+        // inherited from the non-blocking listener.
+        s.set_blocking()?;
+        Ok(Some(s))
+    }
+}
+
+/// Tunable deadlines and identity for a [`StreamTransport`] mesh.
+///
+/// Every field that was a hard-coded constant in the first cut of the
+/// transport is configurable here so tests can run with millisecond
+/// budgets and production runs with generous ones.  All ranks of one run
+/// must share the same `nonce`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct StreamConfig {
+    /// Per-run identity stamped on address files and the hello
+    /// handshake; artefacts from other runs are rejected with
+    /// [`TransportError::RendezvousMismatch`].
+    pub nonce: u64,
+    /// How long rendezvous operations (address polls, connects, accepts,
+    /// hellos) wait before giving up.
+    pub rendezvous_timeout: Duration,
+    /// Sleep between rendezvous polls.
+    pub retry_sleep: Duration,
+    /// Base window of the receive deadline budget; attempt `i` waits
+    /// `read_deadline * 2^i`.
+    pub read_deadline: Duration,
+    /// Number of doubling windows before [`TransportError::Timeout`].
+    pub read_attempts: u32,
+    /// Bound on a single frame write; a write that cannot complete
+    /// within it drops the stream (fail-soft, like a hangup).
+    pub write_deadline: Duration,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        Self {
+            nonce: 0,
+            rendezvous_timeout: Duration::from_secs(30),
+            retry_sleep: Duration::from_millis(5),
+            read_deadline: Duration::from_millis(250),
+            read_attempts: 3,
+            write_deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+/// One connected peer: its stream plus the partially received frame
+/// bytes, so a deadline expiry mid-frame loses nothing.
+#[derive(Debug)]
+struct Peer {
+    stream: Stream,
+    rx: Vec<u8>,
+}
 
 /// The real-socket backend: one OS process per rank, fully connected.
 ///
 /// Rendezvous protocol (pure filesystem, no coordinator): rank k binds a
-/// listener, atomically publishes its address as `<dir>/rank<k>.addr`,
-/// then *connects* to every rank below it (polling for their address
-/// files) and *accepts* one connection from every rank above it.  Each
-/// connector opens with an 8-byte hello (its rank, u64 LE) so the
-/// acceptor knows who arrived.  Wire format: u64 LE length prefix, then
-/// the encoded [`Frame`].
+/// listener, atomically publishes `"<nonce:016x> <addr>"` as
+/// `<dir>/rank<k>.addr`, then *connects* to every rank below it (polling
+/// for their address files and validating the nonce) and *accepts* one
+/// connection from every rank above it.  Each connector opens with a
+/// 24-byte hello (`rank`, `nonce`, `generation`, u64 LE each) so the
+/// acceptor knows who arrived and from which run/recovery generation.
+/// Wire format: u64 LE length prefix, then the encoded [`Frame`].
+#[derive(Debug)]
 pub struct StreamTransport {
     rank: usize,
     n_ranks: usize,
-    /// Per-peer stream, `None` at the self index and after a peer closed.
-    streams: Vec<Option<Stream>>,
-    /// Bytes moved, for reporting.
+    kind: StreamKind,
+    dir: PathBuf,
+    cfg: StreamConfig,
+    /// Recovery generation this rank currently speaks (stamped on
+    /// hellos; bumped by the cluster layer after each recovery).
+    gen: u32,
+    /// Kept alive for the whole run so respawned ranks can reconnect.
+    listener: Listener,
+    /// Per-peer connection, `None` at the self index and after a peer
+    /// closed or was closed.
+    peers: Vec<Option<Peer>>,
     bytes_sent: u64,
     messages_sent: u64,
+    recv_timeouts: u64,
+    torn_frames: u64,
 }
 
 impl StreamTransport {
-    /// Join the mesh as `rank` of `n_ranks` via the rendezvous directory.
+    /// Join the mesh as `rank` of `n_ranks` via the rendezvous directory
+    /// with default deadlines and a zero nonce (single-run directories).
     pub fn connect(
         rank: usize,
         n_ranks: usize,
         dir: &Path,
         kind: StreamKind,
     ) -> Result<Self, TransportError> {
+        Self::connect_with(rank, n_ranks, dir, kind, &StreamConfig::default())
+    }
+
+    /// Join the mesh with explicit deadlines and run nonce.
+    pub fn connect_with(
+        rank: usize,
+        n_ranks: usize,
+        dir: &Path,
+        kind: StreamKind,
+        cfg: &StreamConfig,
+    ) -> Result<Self, TransportError> {
         assert!(rank < n_ranks);
+        let lower: Vec<usize> = (0..rank).collect();
+        let higher: Vec<usize> = (rank + 1..n_ranks).collect();
+        Self::establish(rank, n_ranks, dir, kind, cfg, 0, &lower, &higher)
+    }
+
+    /// Re-enter an existing mesh after a respawn: bind a fresh listener,
+    /// publish a generation-tagged address, and run the same
+    /// connect-down/accept-up protocol against the *survivor* set
+    /// (`alive` excludes this rank and any other dead ranks).  Each
+    /// survivor must concurrently run [`Self::reconnect_peer`] with the
+    /// same generation.
+    pub fn rejoin(
+        rank: usize,
+        n_ranks: usize,
+        dir: &Path,
+        kind: StreamKind,
+        cfg: &StreamConfig,
+        gen: u32,
+        alive: &[usize],
+    ) -> Result<Self, TransportError> {
+        assert!(rank < n_ranks && gen > 0);
+        let lower: Vec<usize> = alive.iter().copied().filter(|&a| a < rank).collect();
+        let higher: Vec<usize> = alive.iter().copied().filter(|&a| a > rank).collect();
+        Self::establish(rank, n_ranks, dir, kind, cfg, gen, &lower, &higher)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn establish(
+        rank: usize,
+        n_ranks: usize,
+        dir: &Path,
+        kind: StreamKind,
+        cfg: &StreamConfig,
+        gen: u32,
+        lower: &[usize],
+        higher: &[usize],
+    ) -> Result<Self, TransportError> {
         let io = |e: std::io::Error| TransportError::Io(e.to_string());
         std::fs::create_dir_all(dir).map_err(io)?;
-        // Bind and publish.
-        let (tcp_listener, uds_listener, addr) = match kind {
+        // Bind (non-blocking, so accepts can poll against a deadline)
+        // and publish the nonce-stamped address.
+        let (listener, addr) = match kind {
             StreamKind::Tcp => {
                 let l = TcpListener::bind("127.0.0.1:0").map_err(io)?;
+                l.set_nonblocking(true).map_err(io)?;
                 let a = l.local_addr().map_err(io)?.to_string();
-                (Some(l), None, a)
+                (Listener::Tcp(l), a)
             }
             StreamKind::Uds => {
-                let sock = dir.join(format!("rank{rank}.sock"));
+                let sock = dir.join(sock_name(rank, gen));
                 let _ = std::fs::remove_file(&sock);
                 let l = UnixListener::bind(&sock).map_err(io)?;
-                (None, Some(l), sock.to_string_lossy().into_owned())
+                l.set_nonblocking(true).map_err(io)?;
+                (Listener::Uds(l), sock.to_string_lossy().into_owned())
             }
         };
-        let tmp = dir.join(format!(".rank{rank}.addr.tmp"));
-        std::fs::write(&tmp, &addr).map_err(io)?;
-        std::fs::rename(&tmp, dir.join(format!("rank{rank}.addr"))).map_err(io)?;
+        publish_addr(dir, rank, gen, cfg.nonce, &addr)?;
 
-        let mut streams: Vec<Option<Stream>> = (0..n_ranks).map(|_| None).collect();
-        // Connect to every lower rank (they may not have published yet).
-        for (peer, slot) in streams.iter_mut().enumerate().take(rank) {
-            let peer_addr = wait_for_addr(dir, peer)?;
-            let mut s = connect_with_retry(&peer_addr, kind)?;
-            s.writer()
-                .write_all(&(rank as u64).to_le_bytes())
+        let mut peers: Vec<Option<Peer>> = (0..n_ranks).map(|_| None).collect();
+        // Connect to every lower peer (they may not have published yet).
+        // A rejoiner dials the survivors' *original* (generation-0)
+        // listeners, which are kept alive for exactly this purpose.
+        for &peer in lower {
+            let peer_addr = wait_for_addr(dir, peer, 0, cfg)?;
+            let stream = connect_with_retry(&peer_addr, kind, cfg)?;
+            stream
+                .set_write_timeout(Some(cfg.write_deadline))
                 .map_err(io)?;
-            *slot = Some(s);
-        }
-        // Accept one connection from every higher rank.
-        let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
-        for _ in rank + 1..n_ranks {
-            let mut s = match (&tcp_listener, &uds_listener) {
-                (Some(l), _) => Stream::Tcp(l.accept().map_err(io)?.0),
-                (_, Some(l)) => Stream::Uds(l.accept().map_err(io)?.0),
-                _ => unreachable!("one listener flavour is always bound"),
+            let mut p = Peer {
+                stream,
+                rx: Vec::new(),
             };
-            let mut hello = [0u8; 8];
-            s.reader().read_exact(&mut hello).map_err(io)?;
-            let peer = u64::from_le_bytes(hello) as usize;
-            if peer <= rank || peer >= n_ranks || streams[peer].is_some() {
-                return Err(TransportError::Io(format!(
-                    "rendezvous: bogus hello from peer {peer}"
-                )));
-            }
-            streams[peer] = Some(s);
-            if Instant::now() > deadline {
-                return Err(TransportError::Io("rendezvous timed out".into()));
-            }
+            send_hello(&mut p.stream, rank, cfg.nonce, gen).map_err(io)?;
+            peers[peer] = Some(p);
+        }
+        // Accept one connection from every higher peer.
+        let deadline = Instant::now() + cfg.rendezvous_timeout;
+        for _ in higher {
+            let (stream, peer, _peer_gen) = accept_one(&listener, cfg, gen, deadline, |peer| {
+                higher.contains(&peer) && peers[peer].is_none()
+            })?;
+            stream
+                .set_write_timeout(Some(cfg.write_deadline))
+                .map_err(io)?;
+            peers[peer] = Some(Peer {
+                stream,
+                rx: Vec::new(),
+            });
         }
         Ok(Self {
             rank,
             n_ranks,
-            streams,
+            kind,
+            dir: dir.to_path_buf(),
+            cfg: *cfg,
+            gen,
+            listener,
+            peers,
             bytes_sent: 0,
             messages_sent: 0,
+            recv_timeouts: 0,
+            torn_frames: 0,
         })
+    }
+
+    /// Re-establish the link to a single peer that rejoined at recovery
+    /// generation `gen` (the survivor half of the rejoin handshake):
+    /// dial the rejoiner's generation-tagged listener if it is a lower
+    /// rank, or accept its incoming connection if it is a higher one.
+    /// `wait` bounds the whole operation (it covers the respawn delay,
+    /// so it is usually much longer than the rendezvous timeout).
+    pub fn reconnect_peer(
+        &mut self,
+        peer: usize,
+        gen: u32,
+        wait: Duration,
+    ) -> Result<(), TransportError> {
+        assert!(peer != self.rank && peer < self.n_ranks);
+        let io = |e: std::io::Error| TransportError::Io(e.to_string());
+        self.peers[peer] = None;
+        let mut cfg = self.cfg;
+        cfg.rendezvous_timeout = wait;
+        if peer > self.rank {
+            // The rejoiner dials us; accept and verify identity.
+            let deadline = Instant::now() + cfg.rendezvous_timeout;
+            let (stream, _, peer_gen) =
+                accept_one(&self.listener, &cfg, gen, deadline, |p| p == peer)?;
+            if peer_gen != gen {
+                return Err(TransportError::Io(format!(
+                    "rejoin: peer {peer} arrived at generation {peer_gen}, expected {gen}"
+                )));
+            }
+            stream
+                .set_write_timeout(Some(cfg.write_deadline))
+                .map_err(io)?;
+            self.peers[peer] = Some(Peer {
+                stream,
+                rx: Vec::new(),
+            });
+        } else {
+            // We dial the rejoiner's fresh generation-tagged listener.
+            let addr = wait_for_addr(&self.dir, peer, gen, &cfg)?;
+            let stream = connect_with_retry(&addr, self.kind, &cfg)?;
+            stream
+                .set_write_timeout(Some(cfg.write_deadline))
+                .map_err(io)?;
+            let mut p = Peer {
+                stream,
+                rx: Vec::new(),
+            };
+            send_hello(&mut p.stream, self.rank, cfg.nonce, gen).map_err(io)?;
+            self.peers[peer] = Some(p);
+        }
+        Ok(())
+    }
+
+    /// Drop the link to a peer declared dead; subsequent sends fail soft
+    /// and receives surface [`TransportError::Down`] immediately.
+    pub fn close_peer(&mut self, peer: usize) {
+        if peer < self.peers.len() {
+            self.peers[peer] = None;
+        }
+    }
+
+    /// Whether a live stream to `peer` exists right now.
+    pub fn is_up(&self, peer: usize) -> bool {
+        peer < self.peers.len() && self.peers[peer].is_some()
+    }
+
+    /// The recovery generation stamped on outgoing hellos.
+    pub fn gen(&self) -> u32 {
+        self.gen
+    }
+
+    /// Bump the spoken generation (after a completed recovery).
+    pub fn set_gen(&mut self, gen: u32) {
+        self.gen = gen;
+    }
+
+    /// The socket flavour of this mesh.
+    pub fn kind(&self) -> StreamKind {
+        self.kind
+    }
+
+    /// The deadline/identity configuration in force.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
     }
 
     /// Payload bytes this rank put on its sockets.
@@ -271,26 +591,203 @@ impl StreamTransport {
     pub fn messages_sent(&self) -> u64 {
         self.messages_sent
     }
-}
 
-fn wait_for_addr(dir: &Path, peer: usize) -> Result<String, TransportError> {
-    let path: PathBuf = dir.join(format!("rank{peer}.addr"));
-    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
-    loop {
-        match std::fs::read_to_string(&path) {
-            Ok(a) if !a.is_empty() => return Ok(a),
-            _ if Instant::now() > deadline => {
-                return Err(TransportError::Io(format!(
-                    "rendezvous: no address from rank {peer}"
-                )))
+    /// Receives that exhausted their full deadline budget.
+    pub fn recv_timeouts(&self) -> u64 {
+        self.recv_timeouts
+    }
+
+    /// Streams that closed mid-frame (a torn length prefix or body).
+    pub fn torn_frames(&self) -> u64 {
+        self.torn_frames
+    }
+
+    /// Receive with an explicit deadline budget: attempt `i` of
+    /// `attempts` waits `base * 2^i`, then [`TransportError::Timeout`].
+    /// A timeout leaves the stream and its partial bytes intact.
+    pub fn recv_frame_deadline(
+        &mut self,
+        from: usize,
+        base: Duration,
+        attempts: u32,
+    ) -> Result<Frame, TransportError> {
+        let mut window = base.max(Duration::from_millis(1));
+        for _ in 0..attempts.max(1) {
+            match self.try_recv_within(from, window) {
+                Err(TransportError::Timeout { .. }) => {
+                    window = window.saturating_mul(2);
+                }
+                other => return other,
             }
-            _ => std::thread::sleep(Duration::from_millis(5)),
+        }
+        self.recv_timeouts += 1;
+        Err(TransportError::Timeout {
+            from,
+            to: self.rank,
+            attempts: attempts.max(1),
+        })
+    }
+
+    /// One bounded receive window.  Buffers partial bytes across calls;
+    /// EOF mid-frame counts a torn frame and surfaces `Down`.  The peer
+    /// is taken out of its slot for the duration and restored on every
+    /// path that keeps the stream alive (success, timeout, decode
+    /// error), dropped on the paths that do not (hangup, oversize).
+    fn try_recv_within(&mut self, from: usize, window: Duration) -> Result<Frame, TransportError> {
+        let down = TransportError::Down {
+            from,
+            to: self.rank,
+        };
+        let Some(mut peer) = self.peers[from].take() else {
+            return Err(down);
+        };
+        let deadline = Instant::now() + window;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            // Header first: 8-byte LE length prefix.
+            if peer.rx.len() >= 8 {
+                let n = u64::from_le_bytes(peer.rx[..8].try_into().expect("8-byte slice"));
+                // Length sanity: a frame is never remotely this large;
+                // reject before allocating on a corrupt prefix.
+                if n > 1 << 30 {
+                    return Err(TransportError::Wire(WireError::Oversize));
+                }
+                let total = 8 + n as usize;
+                if peer.rx.len() >= total {
+                    let decoded = Frame::decode(&peer.rx[8..total]);
+                    peer.rx.drain(..total);
+                    self.peers[from] = Some(peer);
+                    return decoded.map_err(Into::into);
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                self.peers[from] = Some(peer);
+                return Err(TransportError::Timeout {
+                    from,
+                    to: self.rank,
+                    attempts: 1,
+                });
+            }
+            if let Err(e) = peer
+                .stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+            {
+                self.peers[from] = Some(peer);
+                return Err(TransportError::Io(e.to_string()));
+            }
+            match peer.stream.reader().read(&mut chunk) {
+                Ok(0) => {
+                    // Hangup. Partial bytes mean the peer died mid-frame.
+                    if !peer.rx.is_empty() {
+                        self.torn_frames += 1;
+                    }
+                    return Err(down);
+                }
+                Ok(k) => peer.rx.extend_from_slice(&chunk[..k]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    // Loop; the deadline check above decides when to stop.
+                }
+                Err(_) => {
+                    if !peer.rx.is_empty() {
+                        self.torn_frames += 1;
+                    }
+                    return Err(down);
+                }
+            }
         }
     }
 }
 
-fn connect_with_retry(addr: &str, kind: StreamKind) -> Result<Stream, TransportError> {
-    let deadline = Instant::now() + RENDEZVOUS_TIMEOUT;
+/// Generation-tagged rendezvous file names.  Generation 0 keeps the
+/// original names so existing tooling and single-run directories are
+/// unchanged.
+fn addr_name(rank: usize, gen: u32) -> String {
+    if gen == 0 {
+        format!("rank{rank}.addr")
+    } else {
+        format!("rank{rank}.addr.gen{gen}")
+    }
+}
+
+fn sock_name(rank: usize, gen: u32) -> String {
+    if gen == 0 {
+        format!("rank{rank}.sock")
+    } else {
+        format!("rank{rank}.gen{gen}.sock")
+    }
+}
+
+/// Atomically publish `"<nonce:016x> <addr>"` (tmp + rename, so a
+/// polling peer never reads a torn file).
+fn publish_addr(
+    dir: &Path,
+    rank: usize,
+    gen: u32,
+    nonce: u64,
+    addr: &str,
+) -> Result<(), TransportError> {
+    let io = |e: std::io::Error| TransportError::Io(e.to_string());
+    let name = addr_name(rank, gen);
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, format!("{nonce:016x} {addr}")).map_err(io)?;
+    std::fs::rename(&tmp, dir.join(name)).map_err(io)?;
+    Ok(())
+}
+
+/// Poll for a peer's address file, validating its nonce stamp.
+fn wait_for_addr(
+    dir: &Path,
+    peer: usize,
+    gen: u32,
+    cfg: &StreamConfig,
+) -> Result<String, TransportError> {
+    let path: PathBuf = dir.join(addr_name(peer, gen));
+    let deadline = Instant::now() + cfg.rendezvous_timeout;
+    loop {
+        if let Ok(line) = std::fs::read_to_string(&path) {
+            let mut parts = line.split_whitespace();
+            let (nonce, addr) = match (parts.next(), parts.next()) {
+                (Some(n), Some(a)) => (u64::from_str_radix(n, 16).ok(), a),
+                _ => (None, ""),
+            };
+            match nonce {
+                Some(found) if found == cfg.nonce && !addr.is_empty() => {
+                    return Ok(addr.to_string());
+                }
+                Some(found) => {
+                    return Err(TransportError::RendezvousMismatch {
+                        expected: cfg.nonce,
+                        found,
+                    });
+                }
+                None => {
+                    return Err(TransportError::Io(format!(
+                        "rendezvous: malformed address file for rank {peer}"
+                    )));
+                }
+            }
+        }
+        if Instant::now() > deadline {
+            return Err(TransportError::Io(format!(
+                "rendezvous: no address from rank {peer} within {:?}",
+                cfg.rendezvous_timeout
+            )));
+        }
+        std::thread::sleep(cfg.retry_sleep);
+    }
+}
+
+fn connect_with_retry(
+    addr: &str,
+    kind: StreamKind,
+    cfg: &StreamConfig,
+) -> Result<Stream, TransportError> {
+    let deadline = Instant::now() + cfg.rendezvous_timeout;
     loop {
         let attempt = match kind {
             StreamKind::Tcp => TcpStream::connect(addr).map(Stream::Tcp),
@@ -301,7 +798,66 @@ fn connect_with_retry(addr: &str, kind: StreamKind) -> Result<Stream, TransportE
             Err(e) if Instant::now() > deadline => {
                 return Err(TransportError::Io(e.to_string()));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            Err(_) => std::thread::sleep(cfg.retry_sleep),
+        }
+    }
+}
+
+/// The 24-byte hello a connector opens with: rank, nonce, generation.
+fn send_hello(stream: &mut Stream, rank: usize, nonce: u64, gen: u32) -> std::io::Result<()> {
+    let mut hello = [0u8; 24];
+    hello[..8].copy_from_slice(&(rank as u64).to_le_bytes());
+    hello[8..16].copy_from_slice(&nonce.to_le_bytes());
+    hello[16..24].copy_from_slice(&(gen as u64).to_le_bytes());
+    stream.writer().write_all(&hello)
+}
+
+/// Accept one connection whose hello passes the nonce check and the
+/// caller's rank admission predicate, bounded by `deadline`.
+fn accept_one(
+    listener: &Listener,
+    cfg: &StreamConfig,
+    _gen: u32,
+    deadline: Instant,
+    mut admit: impl FnMut(usize) -> bool,
+) -> Result<(Stream, usize, u32), TransportError> {
+    let io = |e: std::io::Error| TransportError::Io(e.to_string());
+    loop {
+        match listener.try_accept().map_err(io)? {
+            Some(mut stream) => {
+                // Bound the hello read by what is left of the deadline.
+                let left = deadline.saturating_duration_since(Instant::now());
+                stream
+                    .set_read_timeout(Some(left.max(Duration::from_millis(1))))
+                    .map_err(io)?;
+                let mut hello = [0u8; 24];
+                stream.reader().read_exact(&mut hello).map_err(io)?;
+                let peer = u64::from_le_bytes(hello[..8].try_into().expect("8 bytes")) as usize;
+                let nonce = u64::from_le_bytes(hello[8..16].try_into().expect("8 bytes"));
+                let peer_gen =
+                    u64::from_le_bytes(hello[16..24].try_into().expect("8 bytes")) as u32;
+                if nonce != cfg.nonce {
+                    return Err(TransportError::RendezvousMismatch {
+                        expected: cfg.nonce,
+                        found: nonce,
+                    });
+                }
+                if !admit(peer) {
+                    return Err(TransportError::Io(format!(
+                        "rendezvous: bogus hello from peer {peer}"
+                    )));
+                }
+                return Ok((stream, peer, peer_gen));
+            }
+            None => {
+                if Instant::now() > deadline {
+                    return Err(TransportError::Io(format!(
+                        "rendezvous: accept timed out after {:?}",
+                        cfg.rendezvous_timeout
+                    )));
+                }
+                std::thread::sleep(cfg.retry_sleep);
+            }
         }
     }
 }
@@ -317,7 +873,7 @@ impl Transport for StreamTransport {
 
     fn send_frame(&mut self, to: usize, frame: &Frame) -> Result<(), TransportError> {
         assert!(to != self.rank, "self-send is not a network operation");
-        let Some(s) = self.streams[to].as_mut() else {
+        let Some(p) = self.peers[to].as_mut() else {
             // Departed peer: tolerated, like Endpoint::send_lossy.
             return Ok(());
         };
@@ -325,45 +881,24 @@ impl Transport for StreamTransport {
         let mut msg = Vec::with_capacity(8 + bytes.len());
         msg.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
         msg.extend_from_slice(&bytes);
-        match s.writer().write_all(&msg) {
+        match p.stream.writer().write_all(&msg) {
             Ok(()) => {
                 self.bytes_sent += bytes.len() as u64;
                 self.messages_sent += 1;
                 Ok(())
             }
             Err(_) => {
-                // Peer hung up mid-run: drop the stream, fail soft.
-                self.streams[to] = None;
+                // Peer hung up (or stopped draining past the write
+                // deadline): drop the stream, fail soft.
+                self.peers[to] = None;
                 Ok(())
             }
         }
     }
 
     fn recv_frame(&mut self, from: usize) -> Result<Frame, TransportError> {
-        let down = TransportError::Down {
-            from,
-            to: self.rank,
-        };
-        let Some(s) = self.streams[from].as_mut() else {
-            return Err(down);
-        };
-        let mut len = [0u8; 8];
-        if s.reader().read_exact(&mut len).is_err() {
-            self.streams[from] = None;
-            return Err(down);
-        }
-        let n = u64::from_le_bytes(len) as usize;
-        // Length sanity: a frame is never remotely this large; reject
-        // before allocating on a corrupt prefix.
-        if n > 1 << 30 {
-            return Err(TransportError::Wire(WireError::Oversize));
-        }
-        let mut buf = vec![0u8; n];
-        if s.reader().read_exact(&mut buf).is_err() {
-            self.streams[from] = None;
-            return Err(down);
-        }
-        Ok(Frame::decode(&buf)?)
+        let (base, attempts) = (self.cfg.read_deadline, self.cfg.read_attempts);
+        self.recv_frame_deadline(from, base, attempts)
     }
 }
 
@@ -376,15 +911,35 @@ mod tests {
 
     fn stage(step: u64, t_min: f64) -> Frame {
         Frame::Stage {
+            gen: 0,
             step,
             stage: 0,
             t_min,
+            ckpt: 0,
             records: vec![JRecord {
                 index: step,
                 words: vec![t_min.to_bits()],
             }],
             pad: 100,
         }
+    }
+
+    /// Millisecond-budget config so failure paths resolve fast in tests.
+    fn quick(nonce: u64) -> StreamConfig {
+        StreamConfig {
+            nonce,
+            rendezvous_timeout: Duration::from_millis(400),
+            retry_sleep: Duration::from_millis(2),
+            read_deadline: Duration::from_millis(30),
+            read_attempts: 2,
+            write_deadline: Duration::from_millis(500),
+        }
+    }
+
+    fn tdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("g6-rdv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
     }
 
     #[test]
@@ -400,12 +955,13 @@ mod tests {
         let out = run_ranks::<Vec<u8>, (f64, u64), _>(2, link, move |mut ep| {
             let mut tr = VirtualTransport::new(&mut ep);
             if tr.rank() == 0 {
-                tr.send_frame(1, &f2).unwrap();
+                tr.send_frame(1, &f2).expect("virtual send is infallible");
+                (ep.clock(), ep.bytes_sent())
             } else {
-                let got = tr.recv_frame(0).unwrap();
+                let got = tr.recv_frame(0).expect("frame from rank 0");
                 assert_eq!(got, f2);
+                (ep.clock(), ep.bytes_sent())
             }
-            (ep.clock(), ep.bytes_sent())
         });
         // Sender charged the padded wire size, not just encoded bytes.
         assert_eq!(out[0].1, wire as u64);
@@ -422,31 +978,47 @@ mod tests {
     fn stream_transport_smoke_tcp_threads() {
         // In-process smoke of the rendezvous + framing (the real
         // multi-process test lives in grape6-bench).
-        let dir = std::env::temp_dir().join(format!("g6-rdv-tcp-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tdir("tcp");
         let p = 3;
         let hs: Vec<_> = (0..p)
             .map(|r| {
                 let dir = dir.clone();
                 std::thread::spawn(move || {
-                    let mut tr = StreamTransport::connect(r, p, &dir, StreamKind::Tcp).unwrap();
+                    let mut tr = StreamTransport::connect_with(
+                        r,
+                        p,
+                        &dir,
+                        StreamKind::Tcp,
+                        &StreamConfig {
+                            nonce: 0x5eed,
+                            ..StreamConfig::default()
+                        },
+                    )
+                    .expect("rendezvous");
                     // Everyone sends its rank-stamped frame to everyone.
                     for to in 0..p {
                         if to != r {
-                            tr.send_frame(to, &stage(r as u64, r as f64)).unwrap();
+                            tr.send_frame(to, &stage(r as u64, r as f64))
+                                .expect("send is fail-soft");
                         }
                     }
                     let mut seen = Vec::new();
                     for from in 0..p {
                         if from != r {
-                            seen.push(tr.recv_frame(from).unwrap());
+                            seen.push(match tr.recv_frame(from) {
+                                Ok(f) => f,
+                                Err(e) => panic!("rank {r} recv from {from}: {e}"),
+                            });
                         }
                     }
                     (tr.bytes_sent(), seen)
                 })
             })
             .collect();
-        let outs: Vec<_> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        let outs: Vec<_> = hs
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
         for (r, (sent, seen)) in outs.iter().enumerate() {
             assert!(*sent > 0, "rank {r}");
             let want: Vec<Frame> = (0..p)
@@ -460,31 +1032,205 @@ mod tests {
 
     #[test]
     fn stream_transport_smoke_uds_and_down_detection() {
-        let dir = std::env::temp_dir().join(format!("g6-rdv-uds-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tdir("uds");
         let p = 2;
         let hs: Vec<_> = (0..p)
             .map(|r| {
                 let dir = dir.clone();
                 std::thread::spawn(move || {
-                    let mut tr = StreamTransport::connect(r, p, &dir, StreamKind::Uds).unwrap();
+                    let mut tr =
+                        StreamTransport::connect(r, p, &dir, StreamKind::Uds).expect("rendezvous");
                     if r == 0 {
-                        tr.send_frame(1, &stage(0, 0.5)).unwrap();
+                        tr.send_frame(1, &stage(0, 0.5)).expect("send");
                         // Exit; rank 1 sees the hangup as Down.
                         None
                     } else {
-                        let f = tr.recv_frame(0).unwrap();
+                        let f = tr.recv_frame(0).expect("first frame");
                         assert_eq!(f, stage(0, 0.5));
-                        let err = tr.recv_frame(0).unwrap_err();
+                        let err = tr.recv_frame(0).expect_err("hangup must be typed");
                         // After the Down, sends to the dead peer fail soft.
-                        tr.send_frame(0, &stage(9, 9.0)).unwrap();
+                        tr.send_frame(0, &stage(9, 9.0)).expect("fail-soft send");
                         Some(err)
                     }
                 })
             })
             .collect();
-        let outs: Vec<_> = hs.into_iter().map(|h| h.join().unwrap()).collect();
+        let outs: Vec<_> = hs
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
         assert_eq!(outs[1], Some(TransportError::Down { from: 0, to: 1 }));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn silent_peer_times_out_with_attempt_count_and_stream_survives() {
+        let dir = tdir("silent");
+        let cfg = quick(7);
+        let h1 = {
+            let (dir, cfg) = (dir.clone(), cfg);
+            std::thread::spawn(move || {
+                let mut tr = StreamTransport::connect_with(1, 2, &dir, StreamKind::Tcp, &cfg)
+                    .expect("rendezvous");
+                // Say nothing for a while, then deliver.
+                std::thread::sleep(Duration::from_millis(250));
+                tr.send_frame(0, &stage(5, 1.5)).expect("late send");
+                // Hold the socket open until rank 0 has read the frame.
+                let f = tr.recv_frame(0).expect("ack");
+                assert_eq!(f, stage(6, 2.5));
+            })
+        };
+        let mut tr =
+            StreamTransport::connect_with(0, 2, &dir, StreamKind::Tcp, &cfg).expect("rendezvous");
+        // Budget: 30ms + 60ms < 250ms of silence → typed Timeout.
+        let err = tr.recv_frame(1).expect_err("silence must time out");
+        assert_eq!(
+            err,
+            TransportError::Timeout {
+                from: 1,
+                to: 0,
+                attempts: 2
+            }
+        );
+        assert_eq!(tr.recv_timeouts(), 1);
+        assert!(tr.is_up(1), "a timeout must not tear down the stream");
+        // A patient retry gets the frame — nothing was lost.
+        let f = tr
+            .recv_frame_deadline(1, Duration::from_millis(200), 4)
+            .expect("late frame arrives on retry");
+        assert_eq!(f, stage(5, 1.5));
+        tr.send_frame(1, &stage(6, 2.5)).expect("ack");
+        h1.join().expect("peer thread");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rendezvous_accept_and_addr_waits_are_bounded() {
+        // Nobody ever publishes rank 0's address: the connector gives up.
+        let dir = tdir("noaddr");
+        let cfg = quick(1);
+        let t0 = Instant::now();
+        let err = StreamTransport::connect_with(1, 2, &dir, StreamKind::Tcp, &cfg)
+            .expect_err("absent peer must not hang the rendezvous");
+        assert!(matches!(err, TransportError::Io(ref m) if m.contains("no address")));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+
+        // Rank 0 publishes and waits for an accept that never comes.
+        let dir2 = tdir("noaccept");
+        let t0 = Instant::now();
+        let err = StreamTransport::connect_with(0, 2, &dir2, StreamKind::Tcp, &cfg)
+            .expect_err("absent connector must not hang the accept");
+        assert!(matches!(err, TransportError::Io(ref m) if m.contains("accept timed out")));
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&dir2);
+    }
+
+    #[test]
+    fn stale_nonce_is_a_typed_rendezvous_mismatch() {
+        let dir = tdir("nonce");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A stale address file from a previous run (nonce 0xdead).
+        std::fs::write(
+            dir.join("rank0.addr"),
+            format!("{:016x} 127.0.0.1:1", 0xdead_u64),
+        )
+        .expect("write stale addr");
+        let err = StreamTransport::connect_with(1, 2, &dir, StreamKind::Tcp, &quick(0xbeef))
+            .expect_err("stale nonce must be rejected");
+        assert_eq!(
+            err,
+            TransportError::RendezvousMismatch {
+                expected: 0xbeef,
+                found: 0xdead
+            }
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_mid_frame_write_surfaces_down_not_garbage() {
+        let dir = tdir("torn");
+        let cfg = quick(3);
+        let h1 = {
+            let (dir, cfg) = (dir.clone(), cfg);
+            std::thread::spawn(move || {
+                let tr = StreamTransport::connect_with(1, 2, &dir, StreamKind::Uds, &cfg)
+                    .expect("rendezvous");
+                // Write a length prefix promising 64 bytes, deliver 3,
+                // then die — simulating a SIGKILL mid-write.
+                let mut tr = tr;
+                if let Some(p) = tr.peers[0].as_mut() {
+                    p.stream
+                        .writer()
+                        .write_all(&64u64.to_le_bytes())
+                        .expect("prefix");
+                    p.stream
+                        .writer()
+                        .write_all(&[1, 2, 3])
+                        .expect("partial body");
+                }
+            })
+        };
+        let mut tr =
+            StreamTransport::connect_with(0, 2, &dir, StreamKind::Uds, &cfg).expect("rendezvous");
+        h1.join().expect("peer thread");
+        let err = tr
+            .recv_frame_deadline(1, Duration::from_millis(100), 4)
+            .expect_err("torn frame must be typed");
+        assert_eq!(err, TransportError::Down { from: 1, to: 0 });
+        assert_eq!(tr.torn_frames(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rejoin_reconnects_both_directions_and_moves_frames() {
+        let dir = tdir("rejoin");
+        let cfg = quick(11);
+        let p = 3;
+        let hs: Vec<_> = (0..p)
+            .map(|r| {
+                let (dir, cfg) = (dir.clone(), cfg);
+                std::thread::spawn(move || {
+                    if r == 1 {
+                        // First life: connect, then vanish.
+                        let tr = StreamTransport::connect_with(r, p, &dir, StreamKind::Tcp, &cfg)
+                            .expect("rendezvous");
+                        drop(tr);
+                        // Second life: rejoin at generation 1.
+                        let mut tr =
+                            StreamTransport::rejoin(r, p, &dir, StreamKind::Tcp, &cfg, 1, &[0, 2])
+                                .expect("rejoin");
+                        assert_eq!(tr.gen(), 1);
+                        tr.send_frame(0, &stage(10, 0.125)).expect("send to 0");
+                        tr.send_frame(2, &stage(12, 0.25)).expect("send to 2");
+                        let a = tr.recv_frame(0).expect("reply from 0");
+                        let b = tr.recv_frame(2).expect("reply from 2");
+                        (a, b)
+                    } else {
+                        let mut tr =
+                            StreamTransport::connect_with(r, p, &dir, StreamKind::Tcp, &cfg)
+                                .expect("rendezvous");
+                        // Observe rank 1's death (hangup or timeout), then
+                        // reconnect to its second life.
+                        tr.close_peer(1);
+                        tr.reconnect_peer(1, 1, Duration::from_secs(10))
+                            .expect("reconnect");
+                        let f = tr.recv_frame(1).expect("frame from rejoined rank");
+                        tr.send_frame(1, &stage(20 + r as u64, r as f64))
+                            .expect("reply");
+                        (f, stage(0, 0.0))
+                    }
+                })
+            })
+            .collect();
+        let outs: Vec<_> = hs
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect();
+        assert_eq!(outs[0].0, stage(10, 0.125));
+        assert_eq!(outs[2].0, stage(12, 0.25));
+        assert_eq!(outs[1], (stage(20, 0.0), stage(22, 2.0)));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -44,12 +44,21 @@ pub enum Frame {
     /// next block time, and every j-record bound for this partner —
     /// all in one message.
     Stage {
+        /// Recovery generation (bumped on every cluster recovery; a
+        /// receiver discards frames from older generations, which is what
+        /// makes replay after a rewind immune to stale in-flight frames).
+        gen: u32,
         /// Blockstep index (frames from different steps must never mix).
         step: u64,
         /// Wave stage index within the step.
         stage: u32,
         /// Sender's running minimum of the next block time.
         t_min: f64,
+        /// Sender's running minimum of the last *coordinated checkpoint*
+        /// step — folding the agreed cut epoch into the same allreduce
+        /// that carries the block time, so every rank leaves the wave
+        /// knowing the globally-consistent rewind point.
+        ckpt: u64,
         /// Coalesced j-updates for this partner.
         records: Vec<JRecord>,
         /// Synthetic extra wire bytes the virtual-time backend charges on
@@ -60,10 +69,38 @@ pub enum Frame {
     },
     /// Uncoalesced raw data (plain point-to-point traffic).
     Data(Vec<u8>),
+    /// A liveness beat between blocksteps on the real-process transport.
+    /// Piggybacked on the same streams as the wave traffic, so per-peer
+    /// FIFO ordering keeps beats and stages aligned under the lockstep
+    /// schedule; feeds [`RankMonitor`](crate::failover::RankMonitor).
+    Heartbeat {
+        /// Recovery generation the sender is in.
+        gen: u32,
+        /// Heartbeat round counter (the supervised blockstep index).
+        epoch: u64,
+    },
+    /// Recovery coordination: the sender has detected (or been told of)
+    /// dead ranks and proposes moving to generation `gen`.  Survivors
+    /// exchange these all-to-all in a fixed number of rounds until the
+    /// dead set is agreed, then rewind to the coordinated checkpoint.
+    Recover {
+        /// The generation being formed (current + 1 at the detector).
+        gen: u32,
+        /// Agreement round within this recovery (fixed schedule, so every
+        /// survivor consumes exactly one frame per peer per round).
+        round: u32,
+        /// Ranks the sender believes dead, ascending.
+        dead: Vec<u64>,
+        /// The sender's last coordinated checkpoint step (all-reduced by
+        /// min to pick the rewind point).
+        ckpt: u64,
+    },
 }
 
 const TAG_STAGE: u32 = 1;
 const TAG_DATA: u32 = 2;
+const TAG_HEARTBEAT: u32 = 3;
+const TAG_RECOVER: u32 = 4;
 
 impl Frame {
     /// Logical records coalesced into this frame: the barrier sentinel,
@@ -73,7 +110,7 @@ impl Frame {
     pub fn logical_records(&self) -> u64 {
         match self {
             Frame::Stage { records, .. } => 2 + records.len() as u64,
-            Frame::Data(_) => 1,
+            Frame::Data(_) | Frame::Heartbeat { .. } | Frame::Recover { .. } => 1,
         }
     }
 
@@ -82,7 +119,7 @@ impl Frame {
     pub fn wire_len(&self) -> usize {
         let pad = match self {
             Frame::Stage { pad, .. } => *pad as usize,
-            Frame::Data(_) => 0,
+            _ => 0,
         };
         self.encoded_len() + pad
     }
@@ -91,10 +128,20 @@ impl Frame {
     pub fn encoded_len(&self) -> usize {
         match self {
             Frame::Stage { records, .. } => {
-                // tag + step + stage + t_min + pad + record count + records
-                4 + 8 + 4 + 8 + 8 + 8 + records.iter().map(JRecord::encoded_len).sum::<usize>()
+                // tag + gen + step + stage + t_min + ckpt + pad
+                // + record count + records
+                4 + 4
+                    + 8
+                    + 4
+                    + 8
+                    + 8
+                    + 8
+                    + 8
+                    + records.iter().map(JRecord::encoded_len).sum::<usize>()
             }
             Frame::Data(b) => 4 + 8 + b.len(),
+            Frame::Heartbeat { .. } => 4 + 4 + 8,
+            Frame::Recover { dead, .. } => 4 + 4 + 4 + 8 + 8 * dead.len() + 8,
         }
     }
 
@@ -103,16 +150,20 @@ impl Frame {
         let mut e = Enc::new();
         match self {
             Frame::Stage {
+                gen,
                 step,
                 stage,
                 t_min,
+                ckpt,
                 records,
                 pad,
             } => {
                 e.u32(TAG_STAGE);
+                e.u32(*gen);
                 e.u64(*step);
                 e.u32(*stage);
                 e.u64(t_min.to_bits());
+                e.u64(*ckpt);
                 e.u64(*pad);
                 e.size(records.len());
                 for r in records {
@@ -127,6 +178,23 @@ impl Frame {
                 bytes.extend_from_slice(b);
                 return bytes;
             }
+            Frame::Heartbeat { gen, epoch } => {
+                e.u32(TAG_HEARTBEAT);
+                e.u32(*gen);
+                e.u64(*epoch);
+            }
+            Frame::Recover {
+                gen,
+                round,
+                dead,
+                ckpt,
+            } => {
+                e.u32(TAG_RECOVER);
+                e.u32(*gen);
+                e.u32(*round);
+                e.seq_u64(dead);
+                e.u64(*ckpt);
+            }
         }
         e.into_bytes()
     }
@@ -137,9 +205,11 @@ impl Frame {
         let tag = d.u32()?;
         let out = match tag {
             TAG_STAGE => {
+                let gen = d.u32()?;
                 let step = d.u64()?;
                 let stage = d.u32()?;
                 let t_min = f64::from_bits(d.u64()?);
+                let ckpt = d.u64()?;
                 let pad = d.u64()?;
                 let n = d.size()?;
                 // Each record is ≥ 16 bytes on the wire; reject a length
@@ -154,13 +224,25 @@ impl Frame {
                     records.push(JRecord { index, words });
                 }
                 Frame::Stage {
+                    gen,
                     step,
                     stage,
                     t_min,
+                    ckpt,
                     records,
                     pad,
                 }
             }
+            TAG_HEARTBEAT => Frame::Heartbeat {
+                gen: d.u32()?,
+                epoch: d.u64()?,
+            },
+            TAG_RECOVER => Frame::Recover {
+                gen: d.u32()?,
+                round: d.u32()?,
+                dead: d.seq_u64()?,
+                ckpt: d.u64()?,
+            },
             TAG_DATA => {
                 let n = d.size()?;
                 if n > d.remaining() {
@@ -185,9 +267,11 @@ mod tests {
     #[test]
     fn stage_frame_roundtrips_bitwise() {
         let f = Frame::Stage {
+            gen: 2,
             step: 176,
             stage: 3,
             t_min: 0.031_25_f64,
+            ckpt: 160,
             records: vec![
                 JRecord {
                     index: 7,
@@ -206,9 +290,11 @@ mod tests {
         assert_eq!(Frame::decode(&bytes).unwrap(), f);
         // NaN t_min survives as its exact bit pattern.
         let nan = Frame::Stage {
+            gen: 0,
             step: 0,
             stage: 0,
             t_min: f64::from_bits(0x7ff8_0000_0000_0001),
+            ckpt: 0,
             records: vec![],
             pad: 0,
         };
@@ -230,11 +316,40 @@ mod tests {
     }
 
     #[test]
+    fn heartbeat_and_recover_frames_roundtrip() {
+        let hb = Frame::Heartbeat { gen: 5, epoch: 99 };
+        let bytes = hb.encode();
+        assert_eq!(bytes.len(), hb.encoded_len());
+        assert_eq!(Frame::decode(&bytes).unwrap(), hb);
+        assert_eq!(hb.logical_records(), 1);
+        assert_eq!(hb.wire_len(), hb.encoded_len());
+        let rec = Frame::Recover {
+            gen: 6,
+            round: 1,
+            dead: vec![3, 7],
+            ckpt: 128,
+        };
+        let bytes = rec.encode();
+        assert_eq!(bytes.len(), rec.encoded_len());
+        assert_eq!(Frame::decode(&bytes).unwrap(), rec);
+        // An empty dead set is legal (a joiner confirming membership).
+        let empty = Frame::Recover {
+            gen: 1,
+            round: 2,
+            dead: vec![],
+            ckpt: 0,
+        };
+        assert_eq!(Frame::decode(&empty.encode()).unwrap(), empty);
+    }
+
+    #[test]
     fn coalescing_factor_counts_sentinel_min_and_records() {
         let f = Frame::Stage {
+            gen: 0,
             step: 1,
             stage: 0,
             t_min: 1.0,
+            ckpt: 0,
             records: vec![
                 JRecord {
                     index: 0,
@@ -259,9 +374,11 @@ mod tests {
     #[test]
     fn truncated_and_oversize_payloads_are_typed_errors() {
         let f = Frame::Stage {
+            gen: 0,
             step: 1,
             stage: 0,
             t_min: 2.0,
+            ckpt: 0,
             records: vec![JRecord {
                 index: 3,
                 words: vec![42],
@@ -279,10 +396,12 @@ mod tests {
         // allocation happens.
         let mut e = Enc::new();
         e.u32(1); // stage tag
-        e.u64(0);
-        e.u32(0);
-        e.u64(0);
-        e.u64(0);
+        e.u32(0); // gen
+        e.u64(0); // step
+        e.u32(0); // stage
+        e.u64(0); // t_min
+        e.u64(0); // ckpt
+        e.u64(0); // pad
         e.size(usize::MAX / 32);
         assert_eq!(Frame::decode(&e.into_bytes()), Err(WireError::Oversize));
         // Unknown tags are rejected.
@@ -293,5 +412,52 @@ mod tests {
         let mut bytes = f.encode();
         bytes.push(0);
         assert_eq!(Frame::decode(&bytes), Err(WireError::Trailing));
+    }
+
+    #[test]
+    fn every_torn_prefix_of_every_frame_is_a_typed_error() {
+        // A peer that dies mid-write leaves the reader an arbitrary
+        // prefix of the encoded frame.  No prefix may decode Ok (that
+        // would be a silently-truncated frame smuggled into the fold) and
+        // none may panic — every cut is a typed WireError.
+        let frames = [
+            Frame::Stage {
+                gen: 3,
+                step: 11,
+                stage: 1,
+                t_min: 0.75,
+                ckpt: 8,
+                records: vec![
+                    JRecord {
+                        index: 5,
+                        words: vec![1, 2, 3],
+                    },
+                    JRecord {
+                        index: 9,
+                        words: vec![u64::MAX],
+                    },
+                ],
+                pad: 32,
+            },
+            Frame::Data(vec![1, 2, 3, 4, 5, 6, 7]),
+            Frame::Heartbeat { gen: 1, epoch: 42 },
+            Frame::Recover {
+                gen: 2,
+                round: 1,
+                dead: vec![0, 3],
+                ckpt: 16,
+            },
+        ];
+        for f in &frames {
+            let bytes = f.encode();
+            for cut in 0..bytes.len() {
+                assert!(
+                    Frame::decode(&bytes[..cut]).is_err(),
+                    "{f:?} cut at {cut}/{} decoded Ok",
+                    bytes.len()
+                );
+            }
+            assert_eq!(Frame::decode(&bytes).as_ref(), Ok(f));
+        }
     }
 }

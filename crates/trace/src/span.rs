@@ -54,7 +54,7 @@ pub enum Phase {
     Exchange,
     /// An `Endpoint::send` (sub-span of Sync/Exchange).
     Send,
-    /// An `Endpoint::recv`, including the wait (sub-span of Sync/Exchange).
+    /// An endpoint receive, including the wait (sub-span of Sync/Exchange).
     Recv,
     /// Congestion backoff charged on a retried delivery.
     Backoff,
@@ -66,6 +66,13 @@ pub enum Phase {
     Reload,
     /// Writing or restoring a checkpoint — host-side work.
     Ckpt,
+    /// A liveness heartbeat round on the real-transport cluster —
+    /// synchronisation traffic, charged like a barrier.
+    Heartbeat,
+    /// Cluster recovery coordination after a detected rank death or
+    /// stall: suspicion broadcast, dead-set agreement, rejoin-or-shrink,
+    /// and the rewind to the last coordinated checkpoint.
+    Recover,
 }
 
 impl Phase {
@@ -79,7 +86,7 @@ impl Phase {
             Phase::Grape | Phase::WidenRetry | Phase::SanityRecompute | Phase::Selftest => {
                 Some(Term::Grape)
             }
-            Phase::Sync => Some(Term::Sync),
+            Phase::Sync | Phase::Heartbeat | Phase::Recover => Some(Term::Sync),
             Phase::Exchange => Some(Term::Exchange),
             Phase::Reload => Some(Term::Interface),
             Phase::Ckpt => Some(Term::Host),
@@ -106,6 +113,8 @@ impl Phase {
             Phase::Selftest => "selftest",
             Phase::Reload => "reload",
             Phase::Ckpt => "ckpt",
+            Phase::Heartbeat => "heartbeat",
+            Phase::Recover => "recover",
         }
     }
 }
