@@ -78,6 +78,29 @@ cargo run --release --locked --example quickstart
 cargo run --release --locked --example fault_tour
 cargo run --release --locked --example farm_tour
 
+echo "==> farm service smoke (release): one server, two client processes"
+# The wire-protocol happy path without fault injection: a farm_server on
+# TCP and on UDS, two farm_client tenants each submitting one job and
+# checking its digest; the server drains, idles out, and exits 0.
+cargo build --release --locked -p grape6-bench --bin farm_server --bin farm_client
+for kind in tcp uds; do
+  smoke_dir=$(mktemp -d "${TMPDIR:-/tmp}/farm_smoke_${kind}.XXXXXX")
+  ./target/release/farm_server "$smoke_dir" "$kind" --nonce=0xc1 --boards=2 \
+    --max-live=2 --idle-exit-ms=1500 --max-wall-ms=60000 &
+  server_pid=$!
+  ./target/release/farm_client "$smoke_dir" "$kind" --nonce=0xc1 --mode=run \
+    --jobs=1 --n=32 --t-end=0.03125 --seed=21 &
+  client_a=$!
+  ./target/release/farm_client "$smoke_dir" "$kind" --nonce=0xc1 --mode=run \
+    --jobs=1 --n=32 --t-end=0.03125 --seed=22 &
+  client_b=$!
+  wait "$client_a"
+  wait "$client_b"
+  wait "$server_pid"
+  rm -rf "$smoke_dir"
+  echo "farm service smoke ($kind): ok"
+done
+
 echo "==> chaos soak: seeded fault schedules against the recovery stack"
 cargo run --release --locked -p grape6-bench --bin chaos_soak
 
@@ -139,6 +162,46 @@ for run in r["runs"]:
         raise SystemExit(f"REGRESSION: seed {seed}: no eviction/resume traffic")
     print(f"farm guard: seed {seed}: {run['completed']}/{run['admitted']} done, "
           f"{run['board_rotations']} rotations, {run['evictions']} evictions — ok")
+EOF
+
+echo "==> farm net soak: the farm behind a socket, clients as processes"
+# The full acceptance scenario on both transports: an oversubscribed
+# farm_server with two injected board faults, a SIGKILLed client whose
+# session is detached, torn-frame + mid-handshake vandal connections,
+# and two surviving workers whose fetched results must be bitwise
+# identical to dedicated in-process runs.  The binary exits 1 on any
+# violation and emits BENCH_farm_net.json; the guard re-checks the JSON.
+cargo run --release --locked -p grape6-bench --bin farm_net_soak
+python3 - <<'EOF'
+import json
+with open("BENCH_farm_net.json") as f:
+    r = json.load(f)
+if not r["bitwise_ok"]:
+    raise SystemExit("REGRESSION: a wire-fetched result diverged from its dedicated run")
+for run in r["runs"]:
+    kind = run["kind"]
+    if not run["ok"]:
+        raise SystemExit(f"REGRESSION: {kind}: run-level invariants failed")
+    if run["digests_ok"] != run["jobs_done"] or run["jobs_done"] < 4:
+        raise SystemExit(f"REGRESSION: {kind}: {run['digests_ok']}/{run['jobs_done']} "
+                         "bitwise results (want 4/4)")
+    if run["saturated_denials"] < 1:
+        raise SystemExit(f"REGRESSION: {kind}: backpressure never crossed the wire")
+    if run["torn_frames"] < 1:
+        raise SystemExit(f"REGRESSION: {kind}: the torn frame was not classified")
+    if run["client_deaths"] < 1:
+        raise SystemExit(f"REGRESSION: {kind}: no client death was detected")
+    if run["detached"] < 1:
+        raise SystemExit(f"REGRESSION: {kind}: the killed client's session "
+                         "was not detached")
+    if run["completed"] < 4:
+        raise SystemExit(f"REGRESSION: {kind}: fewer than 4 sessions completed")
+    if run["board_rotations"] < 2:
+        raise SystemExit(f"REGRESSION: {kind}: a faulted board was not rotated out")
+    print(f"farm net guard: {kind}: {run['digests_ok']}/{run['jobs_done']} bitwise, "
+          f"{run['saturated_denials']} saturated denials, {run['torn_frames']} torn, "
+          f"{run['client_deaths']} deaths, {run['detached']} detached, "
+          f"{run['board_rotations']} rotations — ok")
 EOF
 
 echo "==> ci.sh: all green"

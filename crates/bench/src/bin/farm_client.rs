@@ -1,0 +1,199 @@
+//! A farm tenant as an OS process: submit over the wire, fetch bits.
+//!
+//! The counterpart to `farm_server` and the per-process half of the
+//! `farm_net_soak` gate.  Four modes:
+//!
+//! * `--mode=run` (default) — connect, submit `--jobs` Plummer jobs
+//!   through the deterministic backoff ladder (each typed `Saturated`
+//!   denial prints a `saturated …` line), wait for every result, and
+//!   print one `result job=<j> session=<sid> digest=<16 hex>` line per
+//!   job.  The digest is `grape6_farm::particles_digest` of the fetched
+//!   particles — comparable bit for bit with an in-process dedicated
+//!   run of the same IC (see `grape6_bench::farm_net::job_ic`).
+//! * `--mode=hang` — connect, submit one long job, print
+//!   `submitted session=<sid>`, then sleep forever: the harness's
+//!   SIGKILL target.  The server must detach the session and reclaim
+//!   the board.
+//! * `--mode=torn` — fault injector: dial, then die mid-frame (length
+//!   prefix promising 80 bytes, 12 delivered).  The server must count a
+//!   torn frame, never panic.
+//! * `--mode=midhello` — dial the published address and hang up before
+//!   saying anything at all.
+//!
+//! Usage:
+//!
+//! ```text
+//! farm_client <dir> <tcp|uds> [--nonce=N] [--mode=run|hang|torn|midhello]
+//!             [--jobs=N] [--n=N] [--t-end=F] [--seed=N] [--weight=N]
+//!             [--max-attempts=N] [--wait-ms=N]
+//! ```
+//!
+//! Exit codes: 0 ok, 1 a submit/fetch failed or a job timed out, 2 bad
+//! usage, 3 rendezvous/handshake failure.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use grape6_bench::farm_net::job_ic;
+use grape6_farm::{particles_digest, DenyReason, FarmClient, FarmClientError, Job, TenantSpec};
+use grape6_net::transport::{dial_service, wait_for_service_addr, StreamConfig, StreamKind};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: farm_client <dir> <tcp|uds> [--nonce=N] [--mode=run|hang|torn|midhello] \
+         [--jobs=N] [--n=N] [--t-end=F] [--seed=N] [--weight=N] [--max-attempts=N] \
+         [--wait-ms=N]"
+    );
+    std::process::exit(2);
+}
+
+fn flag(args: &[String], name: &str) -> Option<u64> {
+    args.iter()
+        .find_map(|a| a.strip_prefix(&format!("--{name}=")))
+        .map(|v| {
+            let parsed = match v.strip_prefix("0x") {
+                Some(hex) => u64::from_str_radix(hex, 16),
+                None => v.parse(),
+            };
+            parsed.unwrap_or_else(|_| usage())
+        })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        usage();
+    }
+    let dir = PathBuf::from(&args[0]);
+    let kind = match args[1].as_str() {
+        "tcp" => StreamKind::Tcp,
+        "uds" => StreamKind::Uds,
+        _ => usage(),
+    };
+    let nonce = flag(&args, "nonce").unwrap_or(0);
+    let mode = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--mode="))
+        .unwrap_or("run");
+    let seed = flag(&args, "seed").unwrap_or(1);
+    let n = flag(&args, "n").unwrap_or(48) as usize;
+    let t_end = args
+        .iter()
+        .find_map(|a| a.strip_prefix("--t-end="))
+        .map(|v| v.parse().unwrap_or_else(|_| usage()))
+        .unwrap_or(0.0625f64);
+    let jobs = flag(&args, "jobs").unwrap_or(2);
+    let wait = Duration::from_millis(flag(&args, "wait-ms").unwrap_or(120_000));
+
+    // The vandal modes speak raw transport, below the typed client.
+    if mode == "torn" || mode == "midhello" {
+        let stream = StreamConfig {
+            nonce,
+            ..StreamConfig::default()
+        };
+        let addr = wait_for_service_addr(&dir, "farm", &stream).unwrap_or_else(|e| {
+            eprintln!("farm_client: rendezvous failed: {e}");
+            std::process::exit(3);
+        });
+        let mut conn = dial_service(&addr, kind, &stream).unwrap_or_else(|e| {
+            eprintln!("farm_client: dial failed: {e}");
+            std::process::exit(3);
+        });
+        if mode == "torn" {
+            let mut partial = (80u64).to_le_bytes().to_vec();
+            partial.extend_from_slice(&[0xAB; 12]);
+            if conn.send_raw(&partial).is_err() {
+                eprintln!("farm_client: torn injection write failed");
+                std::process::exit(1);
+            }
+            println!("torn sent=12 promised=80");
+        } else {
+            println!("midhello");
+        }
+        return; // drop the socket mid-protocol — that IS the fault
+    }
+
+    let mut client = FarmClient::builder(&dir)
+        .kind(kind)
+        .nonce(nonce)
+        .seed(seed)
+        .tenant(TenantSpec::new(flag(&args, "weight").unwrap_or(1) as u32))
+        .connect()
+        .unwrap_or_else(|e| {
+            eprintln!("farm_client: connect failed: {e}");
+            std::process::exit(3);
+        });
+
+    if mode == "hang" {
+        let job = Job::builder(job_ic(seed, 0, n))
+            .t_end(t_end)
+            .label(format!("hang {seed:#x}"))
+            .build()
+            .expect("hang job is valid");
+        match client.submit(&job) {
+            Ok(sid) => {
+                println!("submitted session={sid}");
+                // Make sure the harness sees the line before the murder.
+                use std::io::Write;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => {
+                eprintln!("farm_client: hang submit failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        loop {
+            std::thread::sleep(Duration::from_secs(600));
+        }
+    }
+
+    // run mode: submit everything first (so the ceiling is actually
+    // contested), then wait for each result.
+    let max_attempts = flag(&args, "max-attempts").unwrap_or(64) as u32;
+    let mut tickets = Vec::new();
+    for j in 0..jobs {
+        let job = Job::builder(job_ic(seed, j, n))
+            .t_end(t_end)
+            .label(format!("net {seed:#x} j{j}"))
+            .build()
+            .expect("worker jobs are valid");
+        let mut attempt = 0u32;
+        let sid = loop {
+            attempt += 1;
+            match client.submit(&job) {
+                Ok(sid) => break sid,
+                Err(FarmClientError::Denied(DenyReason::Saturated { retry_after }))
+                    if attempt < max_attempts =>
+                {
+                    println!("saturated job={j} attempt={attempt} hint={retry_after}");
+                    std::thread::sleep(client.backoff_after(&retry_after, attempt));
+                }
+                Err(e) => {
+                    eprintln!("farm_client: submit job {j} failed: {e}");
+                    std::process::exit(1);
+                }
+            }
+        };
+        println!("ticket job={j} session={sid}");
+        tickets.push((j, sid));
+    }
+    for (j, sid) in tickets {
+        match client.wait_result(sid, wait) {
+            Ok(res) => {
+                println!(
+                    "result job={j} session={sid} digest={:016x}",
+                    particles_digest(&res.particles)
+                );
+            }
+            Err(e) => {
+                eprintln!("farm_client: job {j} ({sid}) failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    if let Err(e) = client.bye() {
+        eprintln!("farm_client: bye failed: {e}");
+        std::process::exit(1);
+    }
+    println!("done jobs={jobs}");
+}

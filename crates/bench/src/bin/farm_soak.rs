@@ -39,7 +39,7 @@ fn main() {
             out.completed.to_string(),
             out.rejected_saturated.to_string(),
             out.rejected_queue_full.to_string(),
-            format!("{:.2e}", out.retry_after_hint),
+            out.retry_after_hint.to_string(),
             out.board_rotations.to_string(),
             out.evictions.to_string(),
             out.resumes.to_string(),
@@ -67,7 +67,7 @@ fn main() {
             "done",
             "saturated",
             "queuefull",
-            "retry_hint",
+            "retry_bsteps",
             "rotations",
             "evictions",
             "resumes",

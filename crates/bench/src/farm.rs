@@ -26,7 +26,7 @@
 //!   ([`grape6_trace::per_track`]) whose totals are positive.
 
 use grape6_core::{Grape6Engine, HermiteIntegrator, IntegratorConfig};
-use grape6_farm::{Farm, FarmConfig, FarmError, Job, SessionId};
+use grape6_farm::{Farm, FarmConfig, FarmError, Job, SessionId, TenantSpec};
 use grape6_fault::rng::mix;
 use grape6_fault::FaultPlan;
 use grape6_system::machine::MachineConfig;
@@ -95,8 +95,9 @@ pub struct FarmSoakOutcome {
     pub rejected_saturated: u64,
     /// Per-tenant queue rejections seen.
     pub rejected_queue_full: u64,
-    /// The `retry_after` hint from the first saturation rejection.
-    pub retry_after_hint: f64,
+    /// The `retry_after` hint from the first saturation rejection, in
+    /// scheduler blocksteps (the in-process unit of [`grape6_farm::RetryAfter`]).
+    pub retry_after_hint: u64,
     /// Checkpoint evictions.
     pub evictions: u64,
     /// Parked → resident resumes.
@@ -127,7 +128,7 @@ impl FarmSoakOutcome {
             concat!(
                 "{{\"seed\":{},\"submitted\":{},\"admitted\":{},\"completed\":{},",
                 "\"rejected_saturated\":{},\"rejected_queue_full\":{},",
-                "\"retry_after_hint\":{:.6e},\"evictions\":{},\"resumes\":{},",
+                "\"retry_after_hint\":{},\"evictions\":{},\"resumes\":{},",
                 "\"board_rotations\":{},\"grant_retries\":{},",
                 "\"backoff_seconds\":{:.6e},\"tenants_traced\":{},",
                 "\"bitwise_ok\":{},\"ok\":{}}}"
@@ -195,40 +196,45 @@ pub fn farm_soak_run(seed: u64, cfg: &FarmSoakConfig) -> FarmSoakOutcome {
         plans[2] = Some(FaultPlan::none().with_midrun_death(vec![0, 1], at_pass));
     }
 
-    let mut fcfg = FarmConfig::new(machine);
-    fcfg.boards = cfg.boards;
-    fcfg.board_plans = plans;
-    fcfg.queue_depth = cfg.queue_depth;
-    fcfg.max_live_sessions = cfg.max_live;
-    fcfg.quantum = cfg.quantum;
-    fcfg.ckpt_every = cfg.ckpt_every;
-    fcfg.seed = seed;
-    let mut farm = Farm::new(fcfg).expect("soak config is valid");
+    let fcfg = FarmConfig::builder(machine)
+        .boards(cfg.boards)
+        .board_plans(plans)
+        .queue_depth(cfg.queue_depth)
+        .max_live_sessions(cfg.max_live)
+        .quantum(cfg.quantum)
+        .ckpt_every(cfg.ckpt_every)
+        .seed(seed)
+        .build()
+        .expect("soak config is valid");
+    let mut farm = Farm::open(fcfg).expect("soak config is valid");
 
     let tenants: Vec<_> = (0..cfg.tenants)
-        .map(|t| farm.add_tenant(1 + (t as u32 % 3)))
+        .map(|t| {
+            farm.register(TenantSpec::new(1 + (t as u32 % 3)))
+                .expect("soak tenant spec is valid")
+        })
         .collect();
 
     // Submit round-robin so saturation lands across tenants, remembering
     // each admitted session's IC seed for the dedicated replay.
     let mut admitted: Vec<(SessionId, u64)> = Vec::new();
-    let mut retry_after_hint = 0.0f64;
+    let mut retry_after_hint = 0u64;
     for j in 0..cfg.jobs_per_tenant {
         for (t, &tid) in tenants.iter().enumerate() {
             let ic_seed = mix(seed, t as u64, j as u64, 0xfa52, 1);
-            let job = Job {
-                set: ic(cfg.n, ic_seed),
-                t_end: cfg.t_end,
-                label: format!("soak t{t} j{j}"),
-            };
+            let job = Job::builder(ic(cfg.n, ic_seed))
+                .t_end(cfg.t_end)
+                .label(format!("soak t{t} j{j}"))
+                .build()
+                .expect("soak jobs are valid");
             match farm.submit(tid, job) {
                 Ok(sid) => admitted.push((sid, ic_seed)),
                 Err(FarmError::Saturated { retry_after }) => {
-                    if retry_after <= 0.0 {
+                    if !retry_after.is_positive() {
                         violations.push(format!("saturated with non-positive hint {retry_after}"));
                     }
-                    if retry_after_hint == 0.0 {
-                        retry_after_hint = retry_after;
+                    if retry_after_hint == 0 {
+                        retry_after_hint = retry_after.blocksteps().unwrap_or(0);
                     }
                 }
                 Err(FarmError::QueueFull { .. }) => {}
@@ -237,11 +243,11 @@ pub fn farm_soak_run(seed: u64, cfg: &FarmSoakConfig) -> FarmSoakOutcome {
         }
     }
     // One deliberate overflow against tenant 0's bounded queue.
-    let overflow = Job {
-        set: ic(cfg.n, mix(seed, 0, 0, 0xfa52, 2)),
-        t_end: cfg.t_end,
-        label: "soak overflow".into(),
-    };
+    let overflow = Job::builder(ic(cfg.n, mix(seed, 0, 0, 0xfa52, 2)))
+        .t_end(cfg.t_end)
+        .label("soak overflow")
+        .build()
+        .expect("soak jobs are valid");
     match farm.submit(tenants[0], overflow) {
         Err(FarmError::QueueFull { .. }) | Err(FarmError::Saturated { .. }) => {}
         Ok(sid) => admitted.push((sid, mix(seed, 0, 0, 0xfa52, 2))),
@@ -264,17 +270,22 @@ pub fn farm_soak_run(seed: u64, cfg: &FarmSoakConfig) -> FarmSoakOutcome {
     };
 
     // Every admitted session completed, bitwise equal to dedicated.
+    // `take_result` is the one claim path for both the in-process and
+    // wire frontends; it hands each outcome over exactly once.
     let mut bitwise_ok = 0u64;
     for (sid, ic_seed) in &admitted {
-        match report.outcomes.get(sid).and_then(|o| o.particles()) {
-            Some(got) => {
-                if bits_equal(got, &dedicated(&machine, cfg.n, *ic_seed, cfg.t_end)) {
+        match farm.take_result(*sid) {
+            Ok(res) => {
+                if bits_equal(
+                    &res.particles,
+                    &dedicated(&machine, cfg.n, *ic_seed, cfg.t_end),
+                ) {
                     bitwise_ok += 1;
                 } else {
                     violations.push(format!("session {sid}: bits diverge from dedicated run"));
                 }
             }
-            None => violations.push(format!("session {sid}: did not complete")),
+            Err(e) => violations.push(format!("session {sid}: did not complete ({e})")),
         }
     }
     if report.stats.completed != report.stats.admitted {
@@ -325,7 +336,7 @@ pub fn farm_soak_run(seed: u64, cfg: &FarmSoakConfig) -> FarmSoakOutcome {
 fn summarize(
     seed: u64,
     stats: grape6_farm::FarmStats,
-    retry_after_hint: f64,
+    retry_after_hint: u64,
     tenants_traced: usize,
     bitwise_ok: u64,
     violations: Vec<String>,

@@ -26,6 +26,7 @@ pub mod breakdown;
 pub mod chaos;
 pub mod chaos_cluster;
 pub mod farm;
+pub mod farm_net;
 pub mod kernel;
 pub mod overlap;
 pub mod wavecheck;

@@ -6,22 +6,78 @@
 
 use crate::session::{SessionId, TenantId};
 
+/// An explicit-unit backpressure hint: when to retry a rejected
+/// submission.
+///
+/// The farm schedules in *blocksteps* (virtual-time work quanta), so the
+/// in-process admission path emits [`RetryAfter::Blocksteps`] — a
+/// deterministic, load-derived count of scheduler progress that has to
+/// happen before a slot frees up.  Only something that observes real
+/// time can turn that into a wall-clock promise: the wire server
+/// measures its own blockstep rate and converts the hint to
+/// [`RetryAfter::Millis`] before it crosses the network, so a remote
+/// client can sleep honestly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RetryAfter {
+    /// Farm-wide scheduler progress (blocksteps) expected before a
+    /// session slot frees up.  Unitless in wall-clock terms.
+    Blocksteps(u64),
+    /// Wall-clock milliseconds, converted by a server that measures its
+    /// real blockstep rate.
+    Millis(u64),
+}
+
+impl RetryAfter {
+    /// The hint is nonzero (every saturation rejection must carry one).
+    pub fn is_positive(&self) -> bool {
+        match self {
+            Self::Blocksteps(b) => *b > 0,
+            Self::Millis(ms) => *ms > 0,
+        }
+    }
+
+    /// The blockstep count, if that is the unit.
+    pub fn blocksteps(&self) -> Option<u64> {
+        match self {
+            Self::Blocksteps(b) => Some(*b),
+            Self::Millis(_) => None,
+        }
+    }
+
+    /// The millisecond count, if that is the unit.
+    pub fn millis(&self) -> Option<u64> {
+        match self {
+            Self::Millis(ms) => Some(*ms),
+            Self::Blocksteps(_) => None,
+        }
+    }
+}
+
+impl std::fmt::Display for RetryAfter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Blocksteps(b) => write!(f, "{b} blocksteps"),
+            Self::Millis(ms) => write!(f, "{ms} ms"),
+        }
+    }
+}
+
 /// Why the farm refused a submission or aborted a run.
 #[derive(Clone, Debug, PartialEq)]
 pub enum FarmError {
     /// The farm is at its multiprogramming ceiling.  `retry_after` is a
-    /// deterministic, load-derived estimate (virtual seconds) of when a
-    /// slot should free up — it grows with the number of sessions ahead
-    /// of the rejected one and with the job size.
+    /// deterministic, load-derived hint with an explicit unit — see
+    /// [`RetryAfter`] for who emits which.
     Saturated {
-        /// Suggested virtual-time backoff before resubmitting.
-        retry_after: f64,
+        /// Suggested backoff before resubmitting.
+        retry_after: RetryAfter,
     },
     /// The tenant's bounded submission queue is full (backpressure).
     QueueFull {
         /// The tenant whose queue overflowed.
         tenant: TenantId,
-        /// The configured per-tenant depth that was hit.
+        /// The per-tenant depth that was hit (the tenant's own
+        /// `queue_cap` if set, the farm default otherwise).
         depth: usize,
     },
     /// The job needs more j-memory slots than one board provides; no
@@ -33,17 +89,35 @@ pub enum FarmError {
         capacity: usize,
     },
     /// The job is malformed (too few particles, non-finite or
-    /// out-of-box coordinates).  The reason says which check failed.
+    /// out-of-box coordinates).  Produced by [`Job::builder`] at
+    /// construction, so a [`Job`] value that exists is always valid.
+    ///
+    /// [`Job::builder`]: crate::Job::builder
+    /// [`Job`]: crate::Job
     InvalidJob {
         /// Human-readable description of the failed check.
         reason: String,
     },
-    /// The tenant id was never registered with [`Farm::add_tenant`].
+    /// The tenant id was never registered with [`Farm::register`].
     ///
-    /// [`Farm::add_tenant`]: crate::Farm::add_tenant
+    /// [`Farm::register`]: crate::Farm::register
     UnknownTenant(TenantId),
-    /// The session id does not exist.
+    /// The session id does not exist (or its result was already taken).
     UnknownSession(SessionId),
+    /// The session exists but has not reached a terminal state yet —
+    /// poll again after more scheduling.
+    NotReady {
+        /// The still-live session.
+        session: SessionId,
+    },
+    /// The session finished, but by failing; there are no result
+    /// particles to take.
+    JobFailed {
+        /// The failed session.
+        session: SessionId,
+        /// What killed it (deadline, pool exhaustion, cancellation…).
+        reason: String,
+    },
     /// Every board in the pool has been retired; the remaining live
     /// sessions cannot be placed anywhere.
     PoolExhausted,
@@ -54,8 +128,13 @@ pub enum FarmError {
         /// The scheduler round that made no progress.
         round: u64,
     },
-    /// The farm was configured with zero boards or a zero quantum.
-    BadConfig {
+    /// A farm or tenant configuration value is unusable (zero boards,
+    /// zero quantum, zero-weight tenant…).  Produced by
+    /// [`FarmConfig::builder`] and [`Farm::register`] at construction.
+    ///
+    /// [`FarmConfig::builder`]: crate::FarmConfig::builder
+    /// [`Farm::register`]: crate::Farm::register
+    InvalidConfig {
         /// Which parameter is unusable.
         reason: String,
     },
@@ -65,7 +144,7 @@ impl std::fmt::Display for FarmError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Saturated { retry_after } => {
-                write!(f, "farm saturated; retry after {retry_after:.3e} virtual s")
+                write!(f, "farm saturated; retry after {retry_after}")
             }
             Self::QueueFull { tenant, depth } => {
                 write!(f, "tenant {tenant} queue full (depth {depth})")
@@ -76,11 +155,17 @@ impl std::fmt::Display for FarmError {
             Self::InvalidJob { reason } => write!(f, "invalid job: {reason}"),
             Self::UnknownTenant(t) => write!(f, "unknown tenant {t}"),
             Self::UnknownSession(s) => write!(f, "unknown session {s}"),
+            Self::NotReady { session } => {
+                write!(f, "session {session} has not finished yet")
+            }
+            Self::JobFailed { session, reason } => {
+                write!(f, "session {session} failed: {reason}")
+            }
             Self::PoolExhausted => write!(f, "every board in the pool is retired"),
             Self::Stalled { round } => {
                 write!(f, "scheduler stalled at round {round} with live sessions")
             }
-            Self::BadConfig { reason } => write!(f, "bad farm config: {reason}"),
+            Self::InvalidConfig { reason } => write!(f, "invalid farm config: {reason}"),
         }
     }
 }

@@ -25,6 +25,13 @@
 //! replayed past a board failure.  `tests/farm_bitwise.rs` and the
 //! `farm_soak` bench binary assert exactly that.
 //!
+//! Construction is builder-first: [`FarmConfig::builder`] validates the
+//! farm geometry, [`Farm::open`] takes the result, and tenants arrive as
+//! typed [`TenantSpec`]s through [`Farm::register`].  Results come back
+//! through [`Farm::take_result`] as a typed [`JobResult`] — the same
+//! shape the wire client returns, so in-process and networked callers
+//! are interchangeable.
+//!
 //! Everything is driven in *virtual* time with seeded randomness (the
 //! retry backoff jitter comes from the fault subsystem's deterministic
 //! [`mix`]), so a farm run is reproducible bit for bit.
@@ -42,13 +49,16 @@ use grape6_system::machine::MachineConfig;
 use grape6_trace::{HostRates, MeasuredBlockTime, Phase, Span, Tracer};
 use nbody_core::force::{EngineError, ForceEngine};
 
-use crate::error::FarmError;
+use crate::error::{FarmError, RetryAfter};
 use crate::pool::BoardPool;
-use crate::session::{Job, Session, SessionId, SessionOutcome, SessionState, TenantId};
+use crate::session::{
+    Job, JobResult, Session, SessionId, SessionOutcome, SessionState, SessionStatus, TenantId,
+};
 use crate::stats::{FarmReport, TenantReport};
 
-/// Everything a farm needs to be built.  `new(board_machine)` gives
-/// usable defaults; override fields before constructing the [`Farm`].
+/// Everything a farm needs to be built.  Obtain one through
+/// [`FarmConfig::builder`], which validates at `build()`; the fields
+/// stay public for inspection.
 #[derive(Clone, Debug)]
 pub struct FarmConfig {
     /// Geometry of one pool unit (typically a single board).
@@ -57,7 +67,8 @@ pub struct FarmConfig {
     pub boards: usize,
     /// Fault plans for the first units (rest are healthy).
     pub board_plans: Vec<Option<FaultPlan>>,
-    /// Per-tenant bound on concurrently live sessions (backpressure).
+    /// Default per-tenant bound on concurrently live sessions
+    /// (backpressure); a tenant's [`TenantSpec::queue_cap`] overrides it.
     pub queue_depth: usize,
     /// Farm-wide multiprogramming ceiling (admission control).
     pub max_live_sessions: usize,
@@ -65,7 +76,8 @@ pub struct FarmConfig {
     pub quantum: u64,
     /// Supervisor checkpoint cadence (blocksteps).
     pub ckpt_every: u64,
-    /// Kill a session after this many grants (`None` = no deadline).
+    /// Default grant budget per session (`None` = no deadline); a
+    /// tenant's [`TenantSpec::deadline_grants`] overrides it.
     pub deadline_grants: Option<u64>,
     /// Supervisor step failures retried (with backoff) per grant before
     /// the board is rotated out.
@@ -110,11 +122,218 @@ impl FarmConfig {
             trace: true,
         }
     }
+
+    /// Start building a validated config around one board geometry.
+    pub fn builder(board_machine: MachineConfig) -> FarmConfigBuilder {
+        FarmConfigBuilder {
+            cfg: Self::new(board_machine),
+        }
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), FarmError> {
+        for (what, bad) in [
+            ("boards", self.boards == 0),
+            ("quantum", self.quantum == 0),
+            ("ckpt_every", self.ckpt_every == 0),
+            ("queue_depth", self.queue_depth == 0),
+            ("max_live_sessions", self.max_live_sessions == 0),
+            ("deadline_grants", self.deadline_grants == Some(0)),
+            ("max_grant_retries", self.max_grant_retries == 0),
+        ] {
+            if bad {
+                return Err(FarmError::InvalidConfig {
+                    reason: format!("{what} must be nonzero"),
+                });
+            }
+        }
+        if !(self.backoff_base.is_finite() && self.backoff_base > 0.0) {
+            return Err(FarmError::InvalidConfig {
+                reason: format!(
+                    "backoff_base must be finite and positive, got {}",
+                    self.backoff_base
+                ),
+            });
+        }
+        if self.board_plans.len() > self.boards {
+            return Err(FarmError::InvalidConfig {
+                reason: format!(
+                    "{} board plans for {} boards",
+                    self.board_plans.len(),
+                    self.boards
+                ),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Builder for [`FarmConfig`]: override what you need, then
+/// [`build`](Self::build) to validate (typed
+/// [`FarmError::InvalidConfig`] instead of a panic or a silently broken
+/// farm), mirroring `MachineConfig::builder()`.
+#[derive(Clone, Debug)]
+pub struct FarmConfigBuilder {
+    cfg: FarmConfig,
+}
+
+impl FarmConfigBuilder {
+    /// Units in the pool.
+    pub fn boards(mut self, boards: usize) -> Self {
+        self.cfg.boards = boards;
+        self
+    }
+
+    /// Fault plans for the first units (rest are healthy).
+    pub fn board_plans(mut self, plans: Vec<Option<FaultPlan>>) -> Self {
+        self.cfg.board_plans = plans;
+        self
+    }
+
+    /// Default per-tenant bound on concurrently live sessions.
+    pub fn queue_depth(mut self, depth: usize) -> Self {
+        self.cfg.queue_depth = depth;
+        self
+    }
+
+    /// Farm-wide multiprogramming ceiling.
+    pub fn max_live_sessions(mut self, ceiling: usize) -> Self {
+        self.cfg.max_live_sessions = ceiling;
+        self
+    }
+
+    /// Blocksteps per scheduler grant.
+    pub fn quantum(mut self, quantum: u64) -> Self {
+        self.cfg.quantum = quantum;
+        self
+    }
+
+    /// Supervisor checkpoint cadence (blocksteps).
+    pub fn ckpt_every(mut self, every: u64) -> Self {
+        self.cfg.ckpt_every = every;
+        self
+    }
+
+    /// Default grant budget per session (`None` = no deadline).
+    pub fn deadline_grants(mut self, deadline: Option<u64>) -> Self {
+        self.cfg.deadline_grants = deadline;
+        self
+    }
+
+    /// Supervisor step failures retried per grant before board rotation.
+    pub fn max_grant_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_grant_retries = retries;
+        self
+    }
+
+    /// First retry backoff, virtual seconds (doubles per attempt).
+    pub fn backoff_base(mut self, base: f64) -> Self {
+        self.cfg.backoff_base = base;
+        self
+    }
+
+    /// Deterministic backoff jitter, permille of the exponential term.
+    pub fn backoff_jitter_permille(mut self, permille: u64) -> Self {
+        self.cfg.backoff_jitter_permille = permille;
+        self
+    }
+
+    /// Integrator accuracy/scheduling parameters for every session.
+    pub fn icfg(mut self, icfg: IntegratorConfig) -> Self {
+        self.cfg.icfg = icfg;
+        self
+    }
+
+    /// Timing model charging checkpoints, reloads and self-tests.
+    pub fn timing(mut self, timing: GrapeTiming) -> Self {
+        self.cfg.timing = timing;
+        self
+    }
+
+    /// Host profile for the per-tenant measured breakdown.
+    pub fn host(mut self, host: HostProfile) -> Self {
+        self.cfg.host = host;
+        self
+    }
+
+    /// Seed for the backoff jitter stream.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.cfg.seed = seed;
+        self
+    }
+
+    /// Record per-tenant spans (the six-term breakdown needs this).
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.cfg.trace = trace;
+        self
+    }
+
+    /// Validate and produce the config.
+    pub fn build(self) -> Result<FarmConfig, FarmError> {
+        self.cfg.validate()?;
+        Ok(self.cfg)
+    }
+}
+
+/// What a tenant registers with: a scheduler weight plus optional
+/// per-tenant overrides of the farm defaults.  Validated by
+/// [`Farm::register`] (typed [`FarmError::InvalidConfig`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TenantSpec {
+    /// Deficit-WRR scheduler weight (must be nonzero).
+    pub weight: u32,
+    /// Per-tenant bound on concurrently live sessions; `None` uses the
+    /// farm's `queue_depth`.
+    pub queue_cap: Option<usize>,
+    /// Per-session grant budget; `None` uses the farm's
+    /// `deadline_grants`.
+    pub deadline_grants: Option<u64>,
+}
+
+impl TenantSpec {
+    /// A spec with the given weight and farm-default queue/deadline.
+    pub fn new(weight: u32) -> Self {
+        Self {
+            weight,
+            queue_cap: None,
+            deadline_grants: None,
+        }
+    }
+
+    /// Override the per-tenant live-session bound.
+    pub fn queue_cap(mut self, cap: usize) -> Self {
+        self.queue_cap = Some(cap);
+        self
+    }
+
+    /// Override the per-session grant budget.
+    pub fn deadline_grants(mut self, deadline: u64) -> Self {
+        self.deadline_grants = Some(deadline);
+        self
+    }
+
+    pub(crate) fn validate(&self) -> Result<(), FarmError> {
+        if self.weight == 0 {
+            return Err(FarmError::InvalidConfig {
+                reason: "tenant weight must be nonzero".into(),
+            });
+        }
+        if self.queue_cap == Some(0) {
+            return Err(FarmError::InvalidConfig {
+                reason: "tenant queue_cap must be nonzero".into(),
+            });
+        }
+        if self.deadline_grants == Some(0) {
+            return Err(FarmError::InvalidConfig {
+                reason: "tenant deadline_grants must be nonzero".into(),
+            });
+        }
+        Ok(())
+    }
 }
 
 /// Scheduler-side tenant bookkeeping.
 struct Tenant {
-    weight: u32,
+    spec: TenantSpec,
     /// Deficit-WRR credit (grants owed this round).
     credit: u32,
     /// Round-robin rotation of this tenant's live sessions.
@@ -166,22 +385,12 @@ pub struct Farm {
 }
 
 impl Farm {
-    /// Build a farm.  Fails with [`FarmError::BadConfig`] on unusable
-    /// parameters (zero boards, zero quantum, zero queue depth…).
-    pub fn new(cfg: FarmConfig) -> Result<Self, FarmError> {
-        for (what, bad) in [
-            ("boards", cfg.boards == 0),
-            ("quantum", cfg.quantum == 0),
-            ("ckpt_every", cfg.ckpt_every == 0),
-            ("queue_depth", cfg.queue_depth == 0),
-            ("max_live_sessions", cfg.max_live_sessions == 0),
-        ] {
-            if bad {
-                return Err(FarmError::BadConfig {
-                    reason: format!("{what} must be nonzero"),
-                });
-            }
-        }
+    /// Open a farm over a validated config.  Fails with
+    /// [`FarmError::InvalidConfig`] on unusable parameters (zero boards,
+    /// zero quantum, zero queue depth…) — configs from
+    /// [`FarmConfig::builder`] have already passed these checks.
+    pub fn open(cfg: FarmConfig) -> Result<Self, FarmError> {
+        cfg.validate()?;
         let pool = BoardPool::new(cfg.board_machine, cfg.boards, cfg.board_plans.clone());
         Ok(Self {
             cfg,
@@ -195,15 +404,25 @@ impl Farm {
         })
     }
 
-    /// Register a tenant with a scheduler weight (`0` is clamped to 1).
-    /// Returns the id used in [`submit`](Self::submit).
-    pub fn add_tenant(&mut self, weight: u32) -> TenantId {
+    /// Build a farm.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Farm::open` with a `FarmConfig::builder()` config"
+    )]
+    pub fn new(cfg: FarmConfig) -> Result<Self, FarmError> {
+        Self::open(cfg)
+    }
+
+    /// Register a tenant from a validated spec.  Returns the id used in
+    /// [`submit`](Self::submit).
+    pub fn register(&mut self, spec: TenantSpec) -> Result<TenantId, FarmError> {
+        spec.validate()?;
         let id = self.next_tenant;
         self.next_tenant += 1;
         self.tenants.insert(
             id,
             Tenant {
-                weight: weight.max(1),
+                spec,
                 credit: 0,
                 rotation: VecDeque::new(),
                 next_index: 0,
@@ -212,11 +431,26 @@ impl Farm {
         self.report.tenants.insert(
             id,
             TenantReport {
-                weight: weight.max(1),
+                weight: spec.weight,
                 ..TenantReport::default()
             },
         );
-        id
+        Ok(id)
+    }
+
+    /// Register a tenant with a scheduler weight (`0` is clamped to 1).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `Farm::register` with a typed `TenantSpec`"
+    )]
+    pub fn add_tenant(&mut self, weight: u32) -> TenantId {
+        self.register(TenantSpec::new(weight.max(1)))
+            .expect("clamped weight is always valid")
+    }
+
+    /// The configuration this farm was opened with.
+    pub fn config(&self) -> &FarmConfig {
+        &self.cfg
     }
 
     /// The board pool (inspection).
@@ -239,59 +473,69 @@ impl Farm {
         &self.spans
     }
 
-    /// Sessions not yet terminal.
+    /// Sessions the scheduler still owes work: live and not detached.
+    /// (Detached sessions hold only a checkpoint; their board is
+    /// reclaimed and they do not count against the admission ceiling.)
     pub fn live_sessions(&self) -> usize {
-        self.sessions.values().filter(|s| s.state.is_live()).count()
+        self.sessions
+            .values()
+            .filter(|s| s.state.is_live() && !s.detached)
+            .count()
     }
 
-    /// Offer a job.  Checks run in order: tenant known → job well-formed
-    /// → per-tenant queue depth ([`FarmError::QueueFull`]) → farm-wide
-    /// ceiling ([`FarmError::Saturated`]).  An accepted job becomes a
-    /// queued session awaiting its first grant.
+    /// A point-in-time snapshot of one session, `None` if unknown.
+    pub fn session_status(&self, sid: SessionId) -> Option<SessionStatus> {
+        self.sessions.get(&sid).map(|s| SessionStatus {
+            session: sid,
+            phase: s.phase(),
+            blocksteps: s.blocksteps,
+            resumes: s.resumes,
+        })
+    }
+
+    /// Offer a job.  Checks run in order: tenant known → job fits one
+    /// board ([`FarmError::JobTooLarge`]) → per-tenant queue cap
+    /// ([`FarmError::QueueFull`]) → farm-wide ceiling
+    /// ([`FarmError::Saturated`] with a blockstep-denominated
+    /// [`RetryAfter`]).  Shape validity is the [`Job`] builder's job —
+    /// a `Job` value that exists has already passed those checks.  An
+    /// accepted job becomes a queued session awaiting its first grant.
     pub fn submit(&mut self, tenant: TenantId, job: Job) -> Result<SessionId, FarmError> {
         self.report.stats.submitted += 1;
-        if !self.tenants.contains_key(&tenant) {
+        let Some(spec) = self.tenants.get(&tenant).map(|t| t.spec) else {
             self.report.stats.rejected_invalid += 1;
             return Err(FarmError::UnknownTenant(tenant));
-        }
+        };
         let n = job.set.n();
-        if let Some(reason) = validate_job(&job) {
-            self.report.stats.rejected_invalid += 1;
-            return Err(reason);
-        }
         let capacity = self.pool.unit_capacity();
         if n > capacity {
             self.report.stats.rejected_invalid += 1;
             return Err(FarmError::JobTooLarge { n, capacity });
         }
+        let depth = spec.queue_cap.unwrap_or(self.cfg.queue_depth);
         let tenant_live = self
             .sessions
             .values()
-            .filter(|s| s.id.tenant == tenant && s.state.is_live())
+            .filter(|s| s.id.tenant == tenant && s.state.is_live() && !s.detached)
             .count();
-        if tenant_live >= self.cfg.queue_depth {
+        if tenant_live >= depth {
             self.report.stats.rejected_queue_full += 1;
-            return Err(FarmError::QueueFull {
-                tenant,
-                depth: self.cfg.queue_depth,
-            });
+            return Err(FarmError::QueueFull { tenant, depth });
         }
         let live = self.live_sessions();
         if live >= self.cfg.max_live_sessions {
             self.report.stats.rejected_saturated += 1;
-            // Load-derived, deterministic: one checkpoint-write worth of
-            // virtual time per quantum each session ahead of this one
-            // still has to run.  Coarse, but monotonic in both load and
-            // job size — exactly what a polite client needs.
-            let excess = (live + 1 - self.cfg.max_live_sessions) as f64;
-            let per_grant = self
-                .cfg
-                .timing
-                .checkpoint_time(n)
-                .max(self.cfg.backoff_base);
-            let retry_after = excess * self.cfg.quantum as f64 * per_grant;
-            return Err(FarmError::Saturated { retry_after });
+            // Load-derived and deterministic: each excess session ahead
+            // of this one still has to burn roughly a quantum of
+            // scheduler progress before a slot frees up.  Blockstep-
+            // denominated — only something that observes wall time (the
+            // wire server) may convert it to milliseconds.
+            let excess = (live + 1 - self.cfg.max_live_sessions) as u64;
+            return Err(FarmError::Saturated {
+                retry_after: RetryAfter::Blocksteps(excess * self.cfg.quantum),
+            });
         }
+        let deadline = spec.deadline_grants.or(self.cfg.deadline_grants);
         let t = self.tenants.get_mut(&tenant).expect("checked above");
         let index = t.next_index;
         t.next_index += 1;
@@ -311,16 +555,100 @@ impl Farm {
                 blocksteps: 0,
                 last_grant_seq: 0,
                 resumes: 0,
+                deadline_grants: deadline,
+                detached: false,
             },
         );
         self.report.stats.admitted += 1;
         Ok(sid)
     }
 
-    /// Drive every admitted session to a terminal state and return the
-    /// report.  Fails only on a scheduler deadlock
-    /// ([`FarmError::Stalled`]) — board failures and deadline kills are
-    /// *outcomes*, not errors.
+    /// Take a finished session's result: its final particles plus a
+    /// snapshot of the owning tenant's accounting.  The same typed
+    /// [`JobResult`] the wire client returns.
+    ///
+    /// * `Done` → `Ok(JobResult)`; the outcome is consumed, so a second
+    ///   call returns [`FarmError::UnknownSession`];
+    /// * `Failed` → [`FarmError::JobFailed`] with the reason (retained,
+    ///   so repeated calls answer the same);
+    /// * still live → [`FarmError::NotReady`];
+    /// * never admitted → [`FarmError::UnknownSession`].
+    pub fn take_result(&mut self, sid: SessionId) -> Result<JobResult, FarmError> {
+        let Some(sess) = self.sessions.get(&sid) else {
+            return Err(FarmError::UnknownSession(sid));
+        };
+        if sess.state.is_live() {
+            return Err(FarmError::NotReady { session: sid });
+        }
+        match self.report.outcomes.get(&sid) {
+            Some(SessionOutcome::Failed { reason }) => Err(FarmError::JobFailed {
+                session: sid,
+                reason: reason.clone(),
+            }),
+            Some(SessionOutcome::Completed { .. }) => {
+                let Some(SessionOutcome::Completed { particles, .. }) =
+                    self.report.outcomes.remove(&sid)
+                else {
+                    unreachable!("matched Completed above");
+                };
+                let report = self
+                    .report
+                    .tenants
+                    .get(&sid.tenant)
+                    .cloned()
+                    .unwrap_or_default();
+                Ok(JobResult {
+                    session: sid,
+                    particles: *particles,
+                    report,
+                })
+            }
+            // Terminal session with no outcome: the result was already
+            // taken.
+            None => Err(FarmError::UnknownSession(sid)),
+        }
+    }
+
+    /// Detach a session whose client vanished: checkpoint-evict it if
+    /// resident (the PR 6 park path — its board is reclaimed
+    /// immediately), keep the checkpoint, and stop scheduling it.  The
+    /// session stops counting against queues and the admission ceiling.
+    /// Idempotent; terminal sessions are left as they are.
+    pub fn detach(&mut self, sid: SessionId) -> Result<SessionStatus, FarmError> {
+        let Some(sess) = self.sessions.get(&sid) else {
+            return Err(FarmError::UnknownSession(sid));
+        };
+        if sess.state.is_live() && !sess.detached {
+            if matches!(sess.state, SessionState::Resident { .. }) {
+                self.park(sid);
+            }
+            let sess = self.sessions.get_mut(&sid).expect("session exists");
+            sess.detached = true;
+            self.report.stats.detached += 1;
+        }
+        Ok(self.session_status(sid).expect("session exists"))
+    }
+
+    /// Cancel a session: a live one (detached included) is finished as
+    /// `Failed` with a "cancelled" reason and its board freed; a
+    /// terminal one is left as it is.  Idempotent.
+    pub fn cancel(&mut self, sid: SessionId) -> Result<SessionStatus, FarmError> {
+        let Some(sess) = self.sessions.get(&sid) else {
+            return Err(FarmError::UnknownSession(sid));
+        };
+        if sess.state.is_live() {
+            self.finish_failed(sid, "cancelled by client".into());
+            self.report.stats.cancelled += 1;
+        }
+        Ok(self.session_status(sid).expect("session exists"))
+    }
+
+    /// Drive every schedulable session to a terminal state and return a
+    /// snapshot of the report.  Detached sessions are left parked on
+    /// their checkpoints.  Outcomes stay claimable through
+    /// [`take_result`](Self::take_result) afterwards.  Fails only on a
+    /// scheduler deadlock ([`FarmError::Stalled`]) — board failures and
+    /// deadline kills are *outcomes*, not errors.
     pub fn run(&mut self) -> Result<FarmReport, FarmError> {
         while self.live_sessions() > 0 {
             let grants = self.round()?;
@@ -330,18 +658,7 @@ impl Farm {
                 });
             }
         }
-        let report = std::mem::take(&mut self.report);
-        // Keep tenant registrations alive for a next batch.
-        for (id, t) in &self.tenants {
-            self.report.tenants.insert(
-                *id,
-                TenantReport {
-                    weight: t.weight,
-                    ..TenantReport::default()
-                },
-            );
-        }
-        Ok(report)
+        Ok(self.report.clone())
     }
 
     /// One deficit-WRR scheduler round: every tenant accrues `weight`
@@ -357,7 +674,7 @@ impl Farm {
         for tid in tids {
             {
                 let t = self.tenants.get_mut(&tid).expect("registered");
-                t.credit += t.weight;
+                t.credit += t.spec.weight;
             }
             loop {
                 let t = self.tenants.get_mut(&tid).expect("registered");
@@ -382,7 +699,11 @@ impl Farm {
                     }
                     Err(e) => return Err(e),
                 }
-                if self.sessions.get(&sid).is_some_and(|s| s.state.is_live()) {
+                if self
+                    .sessions
+                    .get(&sid)
+                    .is_some_and(|s| s.state.is_live() && !s.detached)
+                {
                     self.tenants
                         .get_mut(&tid)
                         .expect("registered")
@@ -555,12 +876,11 @@ impl Farm {
         let backoff_base = self.cfg.backoff_base;
         let jitter_permille = self.cfg.backoff_jitter_permille;
         let seed = self.cfg.seed;
-        let deadline = self.cfg.deadline_grants;
 
         let sess = self.sessions.get_mut(&sid).expect("session exists");
         sess.grants_used += 1;
         sess.last_grant_seq = self.grant_seq;
-        if let Some(d) = deadline {
+        if let Some(d) = sess.deadline_grants {
             if sess.grants_used > d {
                 self.report.stats.deadline_failures += 1;
                 self.finish_failed(sid, format!("deadline exceeded after {d} grants"));
@@ -751,42 +1071,16 @@ impl Farm {
     }
 }
 
-/// Pop the next live session from the tenant's rotation, discarding
-/// finished ones.
+/// Pop the next schedulable session from the tenant's rotation,
+/// discarding finished and detached ones.
 fn pick_live(t: &mut Tenant, sessions: &BTreeMap<SessionId, Session>) -> Option<SessionId> {
     while let Some(sid) = t.rotation.pop_front() {
-        if sessions.get(&sid).is_some_and(|s| s.state.is_live()) {
+        if sessions
+            .get(&sid)
+            .is_some_and(|s| s.state.is_live() && !s.detached)
+        {
             return Some(sid);
         }
-    }
-    None
-}
-
-/// Shape checks that do not depend on farm state.  `None` means valid.
-fn validate_job(job: &Job) -> Option<FarmError> {
-    let n = job.set.n();
-    if n < 2 {
-        return Some(FarmError::InvalidJob {
-            reason: format!("need at least two particles, got {n}"),
-        });
-    }
-    if !job.set.validate_finite() {
-        return Some(FarmError::InvalidJob {
-            reason: "non-finite particle data".into(),
-        });
-    }
-    // The engine's fixed-point coordinate box covers ±64 length units.
-    // (`validate_finite` above already rejected NaN coordinates.)
-    let mc = job.set.max_coordinate();
-    if mc >= 64.0 {
-        return Some(FarmError::InvalidJob {
-            reason: format!("coordinate {mc:.3} outside the ±64 fixed-point box"),
-        });
-    }
-    if !job.t_end.is_finite() || job.t_end <= 0.0 {
-        return Some(FarmError::InvalidJob {
-            reason: format!("t_end must be finite and positive, got {}", job.t_end),
-        });
     }
     None
 }
@@ -816,11 +1110,11 @@ mod tests {
     }
 
     fn job(n: usize, seed: u64, t_end: f64) -> Job {
-        Job {
-            set: ic(n, seed),
-            t_end,
-            label: format!("test seed {seed}"),
-        }
+        Job::builder(ic(n, seed))
+            .t_end(t_end)
+            .label(format!("test seed {seed}"))
+            .build()
+            .unwrap()
     }
 
     fn bits_equal(a: &ParticleSet, b: &ParticleSet) -> bool {
@@ -843,14 +1137,96 @@ mod tests {
     }
 
     #[test]
+    fn config_builder_rejects_unusable_parameters() {
+        for (what, b) in [
+            ("boards", FarmConfig::builder(unit()).boards(0)),
+            ("quantum", FarmConfig::builder(unit()).quantum(0)),
+            ("queue_depth", FarmConfig::builder(unit()).queue_depth(0)),
+            (
+                "max_live_sessions",
+                FarmConfig::builder(unit()).max_live_sessions(0),
+            ),
+            (
+                "deadline_grants",
+                FarmConfig::builder(unit()).deadline_grants(Some(0)),
+            ),
+            (
+                "backoff_base",
+                FarmConfig::builder(unit()).backoff_base(f64::NAN),
+            ),
+        ] {
+            match b.build() {
+                Err(FarmError::InvalidConfig { reason }) => {
+                    assert!(reason.contains(what), "{what}: {reason}")
+                }
+                other => panic!("{what}: expected InvalidConfig, got {other:?}"),
+            }
+        }
+        let ok = FarmConfig::builder(unit())
+            .boards(3)
+            .quantum(4)
+            .seed(9)
+            .build()
+            .unwrap();
+        assert_eq!((ok.boards, ok.quantum, ok.seed), (3, 4, 9));
+    }
+
+    #[test]
+    fn tenant_spec_validation_is_typed() {
+        let cfg = FarmConfig::builder(unit()).build().unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        for spec in [
+            TenantSpec::new(0),
+            TenantSpec::new(1).queue_cap(0),
+            TenantSpec {
+                weight: 1,
+                queue_cap: None,
+                deadline_grants: Some(0),
+            },
+        ] {
+            match farm.register(spec) {
+                Err(FarmError::InvalidConfig { .. }) => {}
+                other => panic!("expected InvalidConfig, got {other:?}"),
+            }
+        }
+        let t = farm
+            .register(TenantSpec::new(2).queue_cap(1).deadline_grants(64))
+            .unwrap();
+        assert_eq!(farm.tenant_report(t).unwrap().weight, 2);
+    }
+
+    #[test]
+    fn job_builder_validates_at_construction() {
+        let mut lonely = ParticleSet::with_capacity(1);
+        lonely.push(1.0, [0.0; 3].into(), [0.0; 3].into());
+        match Job::builder(lonely).t_end(0.125).build() {
+            Err(FarmError::InvalidJob { reason }) => assert!(reason.contains("2 particles")),
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+        match Job::builder(ic(8, 1)).t_end(-1.0).build() {
+            Err(FarmError::InvalidJob { reason }) => assert!(reason.contains("t_end")),
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+        match Job::builder(ic(8, 1)).build() {
+            Err(FarmError::InvalidJob { .. }) => {} // t_end never set
+            other => panic!("expected InvalidJob, got {other:?}"),
+        }
+        let j = job(8, 1, 0.125);
+        assert_eq!((j.n(), j.t_end()), (8, 0.125));
+        assert_eq!(j.label(), "test seed 1");
+    }
+
+    #[test]
     fn admission_typed_rejections() {
-        let mut cfg = FarmConfig::new(unit());
-        cfg.max_live_sessions = 2;
-        cfg.queue_depth = 1;
-        let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
-        let t1 = farm.add_tenant(1);
-        let t2 = farm.add_tenant(1);
+        let cfg = FarmConfig::builder(unit())
+            .max_live_sessions(2)
+            .queue_depth(1)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
+        let t1 = farm.register(TenantSpec::new(1)).unwrap();
+        let t2 = farm.register(TenantSpec::new(1)).unwrap();
 
         assert!(farm.submit(t0, job(8, 1, 0.125)).is_ok());
         // Per-tenant queue bound fires before the global ceiling.
@@ -861,22 +1237,13 @@ mod tests {
             other => panic!("expected QueueFull, got {other:?}"),
         }
         assert!(farm.submit(t1, job(8, 3, 0.125)).is_ok());
-        // Farm-wide ceiling with a positive, load-derived retry hint.
+        // Farm-wide ceiling with a positive, blockstep-denominated hint.
         match farm.submit(t2, job(8, 4, 0.125)) {
-            Err(FarmError::Saturated { retry_after }) => assert!(retry_after > 0.0),
+            Err(FarmError::Saturated { retry_after }) => {
+                assert!(retry_after.is_positive());
+                assert!(retry_after.blocksteps().is_some());
+            }
             other => panic!("expected Saturated, got {other:?}"),
-        }
-        // Malformed jobs are typed, too.
-        let mut lonely = ParticleSet::with_capacity(1);
-        lonely.push(1.0, [0.0; 3].into(), [0.0; 3].into());
-        let bad = Job {
-            set: lonely,
-            t_end: 0.125,
-            label: "one particle".into(),
-        };
-        match farm.submit(t2, bad) {
-            Err(FarmError::InvalidJob { .. }) => {}
-            other => panic!("expected InvalidJob, got {other:?}"),
         }
         match farm.submit(t2, job(128, 6, 0.125)) {
             Err(FarmError::JobTooLarge { n, capacity }) => {
@@ -892,15 +1259,138 @@ mod tests {
         assert_eq!(stats.admitted, 2);
         assert_eq!(stats.rejected_queue_full, 1);
         assert_eq!(stats.rejected_saturated, 1);
-        assert_eq!(stats.rejected_invalid, 3);
+        // Malformed jobs never reach submit any more (Job::builder
+        // catches them), so only UnknownTenant and JobTooLarge count.
+        assert_eq!(stats.rejected_invalid, 2);
+    }
+
+    #[test]
+    fn per_tenant_queue_cap_overrides_farm_default() {
+        let cfg = FarmConfig::builder(unit())
+            .queue_depth(4)
+            .max_live_sessions(8)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let narrow = farm.register(TenantSpec::new(1).queue_cap(1)).unwrap();
+        assert!(farm.submit(narrow, job(8, 1, 0.125)).is_ok());
+        match farm.submit(narrow, job(8, 2, 0.125)) {
+            Err(FarmError::QueueFull { depth, .. }) => assert_eq!(depth, 1),
+            other => panic!("expected QueueFull at the tenant cap, got {other:?}"),
+        }
     }
 
     #[test]
     fn single_session_matches_dedicated_run() {
+        let cfg = FarmConfig::builder(unit()).boards(1).build().unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
+        let sid = farm.submit(t0, job(16, 42, 0.25)).unwrap();
+        let report = farm.run().unwrap();
+        assert!(report.all_completed());
+        let res = farm.take_result(sid).unwrap();
+        assert_eq!(res.session, sid);
+        assert!(res.report.completed >= 1);
+        assert!(bits_equal(&res.particles, &dedicated(16, 42, 0.25)));
+        // The result is consumed: a second take is UnknownSession.
+        match farm.take_result(sid) {
+            Err(FarmError::UnknownSession(s)) => assert_eq!(s, sid),
+            other => panic!("expected UnknownSession on re-take, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_result_is_typed_for_every_lifecycle_stage() {
+        let cfg = FarmConfig::builder(unit()).boards(1).build().unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
+        let ghost = SessionId {
+            tenant: t0,
+            index: 99,
+        };
+        match farm.take_result(ghost) {
+            Err(FarmError::UnknownSession(s)) => assert_eq!(s, ghost),
+            other => panic!("expected UnknownSession, got {other:?}"),
+        }
+        let sid = farm.submit(t0, job(16, 5, 0.25)).unwrap();
+        match farm.take_result(sid) {
+            Err(FarmError::NotReady { session }) => assert_eq!(session, sid),
+            other => panic!("expected NotReady while queued, got {other:?}"),
+        }
+        farm.run().unwrap();
+        assert!(farm.take_result(sid).is_ok());
+    }
+
+    #[test]
+    fn cancel_finishes_a_live_session_and_is_idempotent() {
+        let cfg = FarmConfig::builder(unit()).boards(1).build().unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
+        let sid = farm.submit(t0, job(16, 13, 4.0)).unwrap();
+        farm.round().unwrap();
+        let st = farm.cancel(sid).unwrap();
+        assert_eq!(st.phase, crate::session::SessionPhase::Failed);
+        assert_eq!(farm.stats().cancelled, 1);
+        assert_eq!(farm.live_sessions(), 0);
+        // Idempotent: a second cancel neither errors nor double-counts.
+        let st = farm.cancel(sid).unwrap();
+        assert_eq!(st.phase, crate::session::SessionPhase::Failed);
+        assert_eq!(farm.stats().cancelled, 1);
+        match farm.take_result(sid) {
+            Err(FarmError::JobFailed { reason, .. }) => assert!(reason.contains("cancelled")),
+            other => panic!("expected JobFailed after cancel, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn detach_reclaims_the_board_and_stops_scheduling() {
+        // Two boards, two resident sessions.  Detach the first: its
+        // board frees immediately (checkpoint-eviction), the second
+        // completes bitwise, and run() terminates with the detached
+        // session still parked on its checkpoint.
+        let cfg = FarmConfig::builder(unit())
+            .boards(2)
+            .quantum(4)
+            .ckpt_every(4)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
+        let t1 = farm.register(TenantSpec::new(1)).unwrap();
+        let victim = farm.submit(t0, job(16, 31, 4.0)).unwrap();
+        let survivor = farm.submit(t1, job(12, 32, 0.125)).unwrap();
+        farm.round().unwrap();
+        let st = farm.detach(victim).unwrap();
+        assert_eq!(st.phase, crate::session::SessionPhase::Detached);
+        assert_eq!(farm.stats().detached, 1);
+        assert!(
+            farm.pool().free_slot().is_some(),
+            "board reclaimed on detach"
+        );
+        assert_eq!(farm.live_sessions(), 1, "detached does not count");
+        let report = farm.run().unwrap();
+        assert_eq!(report.stats.completed, 1);
+        let got = farm.take_result(survivor).unwrap();
+        assert!(bits_equal(&got.particles, &dedicated(12, 32, 0.125)));
+        // The victim is parked, not lost, and a later cancel reaps it.
+        assert_eq!(
+            farm.session_status(victim).unwrap().phase,
+            crate::session::SessionPhase::Detached
+        );
+        farm.cancel(victim).unwrap();
+        assert!(matches!(
+            farm.take_result(victim),
+            Err(FarmError::JobFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn deprecated_shims_still_work() {
+        #![allow(deprecated)]
         let mut cfg = FarmConfig::new(unit());
         cfg.boards = 1;
         let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
+        let t0 = farm.add_tenant(0); // clamped to weight 1
         let sid = farm.submit(t0, job(16, 42, 0.25)).unwrap();
         let report = farm.run().unwrap();
         assert!(report.all_completed());
@@ -912,12 +1402,16 @@ mod tests {
     fn eviction_and_resume_stay_bitwise_identical() {
         // Three sessions share ONE board: every grant for a non-resident
         // session evicts the current occupant.
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 1;
-        cfg.quantum = 4;
-        cfg.ckpt_every = 4;
-        let mut farm = Farm::new(cfg).unwrap();
-        let tenants: Vec<TenantId> = (0..3).map(|_| farm.add_tenant(1)).collect();
+        let cfg = FarmConfig::builder(unit())
+            .boards(1)
+            .quantum(4)
+            .ckpt_every(4)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let tenants: Vec<TenantId> = (0..3)
+            .map(|_| farm.register(TenantSpec::new(1)).unwrap())
+            .collect();
         let mut sids = Vec::new();
         for (k, &t) in tenants.iter().enumerate() {
             sids.push((k, farm.submit(t, job(12, 100 + k as u64, 0.125)).unwrap()));
@@ -927,9 +1421,9 @@ mod tests {
         assert!(report.stats.evictions >= 2, "stats: {:?}", report.stats);
         assert!(report.stats.resumes >= 2, "stats: {:?}", report.stats);
         for (k, sid) in sids {
-            let got = report.outcomes[&sid].particles().unwrap();
+            let got = farm.take_result(sid).unwrap();
             assert!(
-                bits_equal(got, &dedicated(12, 100 + k as u64, 0.125)),
+                bits_equal(&got.particles, &dedicated(12, 100 + k as u64, 0.125)),
                 "session {sid} diverged from its dedicated run"
             );
         }
@@ -940,19 +1434,21 @@ mod tests {
         // Board 0 powers on with a dead module: 32 of 64 slots gone, so
         // a 48-particle session cannot fit and the board is retired at
         // first activation.  The session completes on board 1.
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 2;
-        cfg.board_plans = vec![Some(FaultPlan::none().with_dead_module(0, 0))];
-        let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
+        let cfg = FarmConfig::builder(unit())
+            .boards(2)
+            .board_plans(vec![Some(FaultPlan::none().with_dead_module(0, 0))])
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
         let sid = farm.submit(t0, job(48, 7, 0.125)).unwrap();
         let report = farm.run().unwrap();
         assert!(report.all_completed());
         assert_eq!(report.stats.board_rotations, 1);
         assert_eq!(farm.pool().in_service(), 1);
         assert!(farm.pool().slots()[0].retired_reason.is_some());
-        let got = report.outcomes[&sid].particles().unwrap();
-        assert!(bits_equal(got, &dedicated(48, 7, 0.125)));
+        let got = farm.take_result(sid).unwrap();
+        assert!(bits_equal(&got.particles, &dedicated(48, 7, 0.125)));
     }
 
     #[test]
@@ -962,12 +1458,16 @@ mod tests {
         // supervisor ladder is exhausted, and the farm parks the session
         // at its last checkpoint, retires the board, and resumes on
         // board 1 — with the particle bits of an uninterrupted run.
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 2;
-        cfg.board_plans = vec![Some(FaultPlan::none().with_midrun_death(vec![0, 0], 40))];
-        cfg.ckpt_every = 4;
-        let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
+        let cfg = FarmConfig::builder(unit())
+            .boards(2)
+            .board_plans(vec![Some(
+                FaultPlan::none().with_midrun_death(vec![0, 0], 40),
+            )])
+            .ckpt_every(4)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
         let sid = farm.submit(t0, job(48, 11, 0.125)).unwrap();
         let report = farm.run().unwrap();
         assert!(report.all_completed(), "stats: {:?}", report.stats);
@@ -979,39 +1479,65 @@ mod tests {
         assert!(report.stats.resumes >= 1, "stats: {:?}", report.stats);
         assert!(report.stats.grant_retries >= 1, "stats: {:?}", report.stats);
         assert!(report.stats.backoff_seconds > 0.0);
-        let got = report.outcomes[&sid].particles().unwrap();
-        assert!(bits_equal(got, &dedicated(48, 11, 0.125)));
+        let got = farm.take_result(sid).unwrap();
+        assert!(bits_equal(&got.particles, &dedicated(48, 11, 0.125)));
     }
 
     #[test]
     fn deadline_kills_slow_session() {
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 1;
-        cfg.deadline_grants = Some(2);
-        cfg.quantum = 2;
-        let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
+        let cfg = FarmConfig::builder(unit())
+            .boards(1)
+            .deadline_grants(Some(2))
+            .quantum(2)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
         let sid = farm.submit(t0, job(16, 9, 4.0)).unwrap();
         let report = farm.run().unwrap();
         assert_eq!(report.stats.deadline_failures, 1);
         assert_eq!(report.stats.failed, 1);
-        match &report.outcomes[&sid] {
-            SessionOutcome::Failed { reason } => assert!(reason.contains("deadline")),
-            other => panic!("expected deadline failure, got {other:?}"),
+        match farm.take_result(sid) {
+            Err(FarmError::JobFailed { reason, .. }) => assert!(reason.contains("deadline")),
+            other => panic!("expected JobFailed with a deadline reason, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tenant_deadline_overrides_farm_default() {
+        // Farm default has no deadline; the tenant sets a 2-grant budget
+        // and a long job dies by it.
+        let cfg = FarmConfig::builder(unit())
+            .boards(1)
+            .quantum(2)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm
+            .register(TenantSpec::new(1).deadline_grants(2))
+            .unwrap();
+        let sid = farm.submit(t0, job(16, 9, 4.0)).unwrap();
+        let report = farm.run().unwrap();
+        assert_eq!(report.stats.deadline_failures, 1);
+        match farm.take_result(sid) {
+            Err(FarmError::JobFailed { reason, .. }) => assert!(reason.contains("deadline")),
+            other => panic!("expected JobFailed, got {other:?}"),
         }
     }
 
     #[test]
     fn pool_exhaustion_fails_sessions_gracefully() {
         // Every board is missing a module; 48-particle jobs fit nowhere.
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 2;
-        cfg.board_plans = vec![
-            Some(FaultPlan::none().with_dead_module(0, 0)),
-            Some(FaultPlan::none().with_dead_module(0, 1)),
-        ];
-        let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
+        let cfg = FarmConfig::builder(unit())
+            .boards(2)
+            .board_plans(vec![
+                Some(FaultPlan::none().with_dead_module(0, 0)),
+                Some(FaultPlan::none().with_dead_module(0, 1)),
+            ])
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
         farm.submit(t0, job(48, 3, 0.125)).unwrap();
         let report = farm.run().unwrap();
         assert_eq!(report.stats.completed, 0);
@@ -1027,12 +1553,14 @@ mod tests {
     fn weighted_round_robin_is_proportional() {
         // Drive rounds by hand: while both tenants are live, grants
         // accrue exactly in weight proportion (3:1).
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 2;
-        cfg.quantum = 2;
-        let mut farm = Farm::new(cfg).unwrap();
-        let light = farm.add_tenant(1);
-        let heavy = farm.add_tenant(3);
+        let cfg = FarmConfig::builder(unit())
+            .boards(2)
+            .quantum(2)
+            .build()
+            .unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let light = farm.register(TenantSpec::new(1)).unwrap();
+        let heavy = farm.register(TenantSpec::new(3)).unwrap();
         farm.submit(light, job(12, 21, 0.5)).unwrap();
         farm.submit(heavy, job(12, 22, 0.5)).unwrap();
         let mut checked = 0;
@@ -1053,10 +1581,9 @@ mod tests {
 
     #[test]
     fn per_tenant_breakdown_accumulates() {
-        let mut cfg = FarmConfig::new(unit());
-        cfg.boards = 1;
-        let mut farm = Farm::new(cfg).unwrap();
-        let t0 = farm.add_tenant(1);
+        let cfg = FarmConfig::builder(unit()).boards(1).build().unwrap();
+        let mut farm = Farm::open(cfg).unwrap();
+        let t0 = farm.register(TenantSpec::new(1)).unwrap();
         farm.submit(t0, job(16, 5, 0.125)).unwrap();
         let report = farm.run().unwrap();
         let tr = &report.tenants[&t0];

@@ -31,15 +31,33 @@
 //! identical** to a dedicated single-tenant run, which the crate's
 //! tests, `tests/farm_bitwise.rs`, and the `farm_soak` bench binary all
 //! assert.
+//!
+//! Since PR 9 the farm is also a *network service*: [`server::FarmServer`]
+//! accepts sessions over TCP/UDS (the `grape6-net` stream transport) and
+//! [`client::FarmClient`] is the typed submit/poll/fetch/cancel RPC
+//! surface.  The wire protocol ([`wire::FarmFrame`]) rides the same
+//! little-endian `grape6-ckpt` encoding as checkpoints, and every
+//! admission rejection crosses the wire as a typed
+//! [`wire::DenyReason`] — never a closed socket.  A client that dies
+//! mid-job (missed heartbeats) triggers the checkpoint-eviction path:
+//! its board is reclaimed, its session parked.
 
+pub mod client;
 pub mod error;
 pub mod farm;
 pub mod pool;
+pub mod server;
 pub mod session;
 pub mod stats;
+pub mod wire;
 
-pub use error::FarmError;
-pub use farm::{Farm, FarmConfig};
+pub use client::{FarmClient, FarmClientBuilder, FarmClientError};
+pub use error::{FarmError, RetryAfter};
+pub use farm::{Farm, FarmConfig, FarmConfigBuilder, TenantSpec};
 pub use pool::{BoardHealth, BoardPool, BoardSlot};
-pub use session::{Job, SessionId, SessionOutcome, TenantId};
+pub use server::{FarmServer, FarmServerConfig, ServeOptions, ServeReport, ServerError};
+pub use session::{
+    Job, JobBuilder, JobResult, SessionId, SessionOutcome, SessionPhase, SessionStatus, TenantId,
+};
 pub use stats::{FarmReport, FarmStats, TenantReport};
+pub use wire::{particles_digest, DenyReason, FarmFrame, FARM_PROTO};

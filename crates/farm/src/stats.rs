@@ -44,6 +44,10 @@ pub struct FarmStats {
     pub backoff_seconds: f64,
     /// Sessions killed by their grant deadline.
     pub deadline_failures: u64,
+    /// Live sessions cancelled by their client.
+    pub cancelled: u64,
+    /// Sessions detached (client vanished; checkpoint retained).
+    pub detached: u64,
 }
 
 /// Per-tenant accounting.

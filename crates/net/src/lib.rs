@@ -62,5 +62,9 @@ pub use exchange::{coalesced_wave, Wave, WaveOutcome};
 pub use fabric::{run_ranks, run_ranks_faulty, Endpoint, EndpointStats, LinkError, RecvError};
 pub use failover::{group_allgather, group_barrier, Group, HeartbeatConfig, RankMonitor};
 pub use link::LinkProfile;
-pub use transport::{StreamKind, StreamTransport, Transport, TransportError, VirtualTransport};
+pub use transport::{
+    dial_service, publish_service_addr, wait_for_service_addr, FrameIoError, FramedConn,
+    ServiceListener, StreamConfig, StreamKind, StreamTransport, Transport, TransportError,
+    VirtualTransport,
+};
 pub use wire::{Frame, JRecord};

@@ -153,6 +153,52 @@ impl From<WireError> for TransportError {
     }
 }
 
+/// A byte-level framing failure on one [`FramedConn`].
+///
+/// This is the connection-scoped sibling of [`TransportError`]: it
+/// carries no rank identity, because a framed connection (unlike a mesh
+/// peer slot) may belong to an anonymous client that never introduced
+/// itself.  Callers that know who the peer is map these into their own
+/// error space ([`StreamTransport`] maps them to rank-addressed
+/// [`TransportError`]s; the farm service maps them to client-session
+/// errors).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameIoError {
+    /// The stream hung up.  `torn` is true when it died *mid-frame* —
+    /// partial bytes after a length prefix — the SIGKILL signature.
+    Closed {
+        /// Whether a partially received frame was lost.
+        torn: bool,
+    },
+    /// No complete frame arrived within the deadline budget.  The
+    /// stream and any partial bytes are preserved for a retry.
+    Timeout {
+        /// Deadline windows exhausted.
+        attempts: u32,
+    },
+    /// A length prefix claimed more than the 1 GiB frame bound —
+    /// a corrupt or hostile prefix, rejected before allocation.
+    Oversize,
+    /// An OS-level socket error.
+    Io(String),
+}
+
+impl std::fmt::Display for FrameIoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Closed { torn: true } => f.write_str("stream closed mid-frame (torn)"),
+            Self::Closed { torn: false } => f.write_str("stream closed"),
+            Self::Timeout { attempts } => {
+                write!(f, "no frame within {attempts} deadline windows")
+            }
+            Self::Oversize => f.write_str("frame length prefix exceeds the 1 GiB bound"),
+            Self::Io(e) => write!(f, "io: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameIoError {}
+
 /// Frame movement between ranks — the only surface the exchange
 /// algorithms see.
 pub trait Transport {
@@ -333,12 +379,136 @@ impl Default for StreamConfig {
     }
 }
 
-/// One connected peer: its stream plus the partially received frame
+/// One framed byte stream: a socket plus the partially received frame
 /// bytes, so a deadline expiry mid-frame loses nothing.
+///
+/// This is the reusable half of [`StreamTransport`]: the u64-LE
+/// length-prefixed framing, the deadline-budgeted buffered receive, and
+/// the torn-frame classification, with no rank/mesh identity attached.
+/// [`StreamTransport`] holds one per mesh peer; service frontends (the
+/// farm server/client) hold one per connection accepted from a
+/// [`ServiceListener`] or dialled via [`dial_service`].
 #[derive(Debug)]
-struct Peer {
+pub struct FramedConn {
     stream: Stream,
     rx: Vec<u8>,
+}
+
+impl FramedConn {
+    fn new(stream: Stream) -> Self {
+        Self {
+            stream,
+            rx: Vec::new(),
+        }
+    }
+
+    /// Bytes buffered from a partially received frame.
+    pub fn buffered(&self) -> usize {
+        self.rx.len()
+    }
+
+    /// Bound every subsequent write; a write that cannot complete within
+    /// the deadline fails like a hangup.
+    pub fn set_write_deadline(&self, d: Duration) -> Result<(), FrameIoError> {
+        self.stream
+            .set_write_timeout(Some(d))
+            .map_err(|e| FrameIoError::Io(e.to_string()))
+    }
+
+    /// Send one length-prefixed frame payload.
+    pub fn send_payload(&mut self, payload: &[u8]) -> Result<(), FrameIoError> {
+        let mut msg = Vec::with_capacity(8 + payload.len());
+        msg.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        msg.extend_from_slice(payload);
+        self.send_raw(&msg)
+    }
+
+    /// Write raw bytes with *no* framing.  Fault injectors use this to
+    /// produce torn frames (a length prefix promising more bytes than
+    /// ever arrive); everything else wants [`send_payload`].
+    ///
+    /// [`send_payload`]: Self::send_payload
+    pub fn send_raw(&mut self, bytes: &[u8]) -> Result<(), FrameIoError> {
+        self.stream
+            .writer()
+            .write_all(bytes)
+            .map_err(|_| FrameIoError::Closed { torn: false })
+    }
+
+    /// One bounded receive window for a complete frame payload.  Partial
+    /// bytes are buffered across calls; EOF mid-frame surfaces
+    /// [`FrameIoError::Closed`] with `torn = true`.  A timeout preserves
+    /// the stream and its partial bytes.
+    pub fn try_recv_payload(&mut self, window: Duration) -> Result<Vec<u8>, FrameIoError> {
+        let deadline = Instant::now() + window;
+        let mut chunk = [0u8; 64 * 1024];
+        loop {
+            // Header first: 8-byte LE length prefix.
+            if self.rx.len() >= 8 {
+                let n = u64::from_le_bytes(self.rx[..8].try_into().expect("8-byte slice"));
+                // Length sanity: a frame is never remotely this large;
+                // reject before allocating on a corrupt prefix.
+                if n > 1 << 30 {
+                    return Err(FrameIoError::Oversize);
+                }
+                let total = 8 + n as usize;
+                if self.rx.len() >= total {
+                    let payload = self.rx[8..total].to_vec();
+                    self.rx.drain(..total);
+                    return Ok(payload);
+                }
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(FrameIoError::Timeout { attempts: 1 });
+            }
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(|e| FrameIoError::Io(e.to_string()))?;
+            match self.stream.reader().read(&mut chunk) {
+                Ok(0) => {
+                    // Hangup. Partial bytes mean the peer died mid-frame.
+                    return Err(FrameIoError::Closed {
+                        torn: !self.rx.is_empty(),
+                    });
+                }
+                Ok(k) => self.rx.extend_from_slice(&chunk[..k]),
+                Err(e)
+                    if e.kind() == ErrorKind::WouldBlock
+                        || e.kind() == ErrorKind::TimedOut
+                        || e.kind() == ErrorKind::Interrupted =>
+                {
+                    // Loop; the deadline check above decides when to stop.
+                }
+                Err(_) => {
+                    return Err(FrameIoError::Closed {
+                        torn: !self.rx.is_empty(),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Receive with the exponential deadline budget: attempt `i` of
+    /// `attempts` waits `base * 2^i`, then [`FrameIoError::Timeout`].
+    pub fn recv_payload_deadline(
+        &mut self,
+        base: Duration,
+        attempts: u32,
+    ) -> Result<Vec<u8>, FrameIoError> {
+        let mut window = base.max(Duration::from_millis(1));
+        for _ in 0..attempts.max(1) {
+            match self.try_recv_payload(window) {
+                Err(FrameIoError::Timeout { .. }) => {
+                    window = window.saturating_mul(2);
+                }
+                other => return other,
+            }
+        }
+        Err(FrameIoError::Timeout {
+            attempts: attempts.max(1),
+        })
+    }
 }
 
 /// The real-socket backend: one OS process per rank, fully connected.
@@ -365,7 +535,7 @@ pub struct StreamTransport {
     listener: Listener,
     /// Per-peer connection, `None` at the self index and after a peer
     /// closed or was closed.
-    peers: Vec<Option<Peer>>,
+    peers: Vec<Option<FramedConn>>,
     bytes_sent: u64,
     messages_sent: u64,
     recv_timeouts: u64,
@@ -451,7 +621,7 @@ impl StreamTransport {
         };
         publish_addr(dir, rank, gen, cfg.nonce, &addr)?;
 
-        let mut peers: Vec<Option<Peer>> = (0..n_ranks).map(|_| None).collect();
+        let mut peers: Vec<Option<FramedConn>> = (0..n_ranks).map(|_| None).collect();
         // Connect to every lower peer (they may not have published yet).
         // A rejoiner dials the survivors' *original* (generation-0)
         // listeners, which are kept alive for exactly this purpose.
@@ -461,10 +631,7 @@ impl StreamTransport {
             stream
                 .set_write_timeout(Some(cfg.write_deadline))
                 .map_err(io)?;
-            let mut p = Peer {
-                stream,
-                rx: Vec::new(),
-            };
+            let mut p = FramedConn::new(stream);
             send_hello(&mut p.stream, rank, cfg.nonce, gen).map_err(io)?;
             peers[peer] = Some(p);
         }
@@ -477,10 +644,7 @@ impl StreamTransport {
             stream
                 .set_write_timeout(Some(cfg.write_deadline))
                 .map_err(io)?;
-            peers[peer] = Some(Peer {
-                stream,
-                rx: Vec::new(),
-            });
+            peers[peer] = Some(FramedConn::new(stream));
         }
         Ok(Self {
             rank,
@@ -528,10 +692,7 @@ impl StreamTransport {
             stream
                 .set_write_timeout(Some(cfg.write_deadline))
                 .map_err(io)?;
-            self.peers[peer] = Some(Peer {
-                stream,
-                rx: Vec::new(),
-            });
+            self.peers[peer] = Some(FramedConn::new(stream));
         } else {
             // We dial the rejoiner's fresh generation-tagged listener.
             let addr = wait_for_addr(&self.dir, peer, gen, &cfg)?;
@@ -539,10 +700,7 @@ impl StreamTransport {
             stream
                 .set_write_timeout(Some(cfg.write_deadline))
                 .map_err(io)?;
-            let mut p = Peer {
-                stream,
-                rx: Vec::new(),
-            };
+            let mut p = FramedConn::new(stream);
             send_hello(&mut p.stream, self.rank, cfg.nonce, gen).map_err(io)?;
             self.peers[peer] = Some(p);
         }
@@ -628,77 +786,36 @@ impl StreamTransport {
         })
     }
 
-    /// One bounded receive window.  Buffers partial bytes across calls;
-    /// EOF mid-frame counts a torn frame and surfaces `Down`.  The peer
-    /// is taken out of its slot for the duration and restored on every
-    /// path that keeps the stream alive (success, timeout, decode
-    /// error), dropped on the paths that do not (hangup, oversize).
+    /// One bounded receive window, delegated to the peer's
+    /// [`FramedConn`].  The stream survives success, timeout, and decode
+    /// errors; hangup and oversize prefixes drop it.
     fn try_recv_within(&mut self, from: usize, window: Duration) -> Result<Frame, TransportError> {
         let down = TransportError::Down {
             from,
             to: self.rank,
         };
-        let Some(mut peer) = self.peers[from].take() else {
+        let Some(conn) = self.peers[from].as_mut() else {
             return Err(down);
         };
-        let deadline = Instant::now() + window;
-        let mut chunk = [0u8; 64 * 1024];
-        loop {
-            // Header first: 8-byte LE length prefix.
-            if peer.rx.len() >= 8 {
-                let n = u64::from_le_bytes(peer.rx[..8].try_into().expect("8-byte slice"));
-                // Length sanity: a frame is never remotely this large;
-                // reject before allocating on a corrupt prefix.
-                if n > 1 << 30 {
-                    return Err(TransportError::Wire(WireError::Oversize));
-                }
-                let total = 8 + n as usize;
-                if peer.rx.len() >= total {
-                    let decoded = Frame::decode(&peer.rx[8..total]);
-                    peer.rx.drain(..total);
-                    self.peers[from] = Some(peer);
-                    return decoded.map_err(Into::into);
-                }
+        match conn.try_recv_payload(window) {
+            Ok(bytes) => Frame::decode(&bytes).map_err(Into::into),
+            Err(FrameIoError::Timeout { .. }) => Err(TransportError::Timeout {
+                from,
+                to: self.rank,
+                attempts: 1,
+            }),
+            Err(FrameIoError::Oversize) => {
+                self.peers[from] = None;
+                Err(TransportError::Wire(WireError::Oversize))
             }
-            let remaining = deadline.saturating_duration_since(Instant::now());
-            if remaining.is_zero() {
-                self.peers[from] = Some(peer);
-                return Err(TransportError::Timeout {
-                    from,
-                    to: self.rank,
-                    attempts: 1,
-                });
-            }
-            if let Err(e) = peer
-                .stream
-                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
-            {
-                self.peers[from] = Some(peer);
-                return Err(TransportError::Io(e.to_string()));
-            }
-            match peer.stream.reader().read(&mut chunk) {
-                Ok(0) => {
-                    // Hangup. Partial bytes mean the peer died mid-frame.
-                    if !peer.rx.is_empty() {
-                        self.torn_frames += 1;
-                    }
-                    return Err(down);
+            Err(FrameIoError::Closed { torn }) => {
+                if torn {
+                    self.torn_frames += 1;
                 }
-                Ok(k) => peer.rx.extend_from_slice(&chunk[..k]),
-                Err(e)
-                    if e.kind() == ErrorKind::WouldBlock
-                        || e.kind() == ErrorKind::TimedOut
-                        || e.kind() == ErrorKind::Interrupted =>
-                {
-                    // Loop; the deadline check above decides when to stop.
-                }
-                Err(_) => {
-                    if !peer.rx.is_empty() {
-                        self.torn_frames += 1;
-                    }
-                    return Err(down);
-                }
+                self.peers[from] = None;
+                Err(down)
             }
+            Err(FrameIoError::Io(e)) => Err(TransportError::Io(e)),
         }
     }
 }
@@ -722,8 +839,17 @@ fn sock_name(rank: usize, gen: u32) -> String {
     }
 }
 
-/// Atomically publish `"<nonce:016x> <addr>"` (tmp + rename, so a
-/// polling peer never reads a torn file).
+/// Atomically publish `"<nonce:016x> <addr>"` under `name` (tmp +
+/// rename, so a polling peer never reads a torn file).
+fn publish_file(dir: &Path, name: &str, nonce: u64, addr: &str) -> Result<(), TransportError> {
+    let io = |e: std::io::Error| TransportError::Io(e.to_string());
+    let tmp = dir.join(format!(".{name}.tmp"));
+    std::fs::write(&tmp, format!("{nonce:016x} {addr}")).map_err(io)?;
+    std::fs::rename(&tmp, dir.join(name)).map_err(io)?;
+    Ok(())
+}
+
+/// Atomically publish a rank's nonce-stamped address.
 fn publish_addr(
     dir: &Path,
     rank: usize,
@@ -731,22 +857,18 @@ fn publish_addr(
     nonce: u64,
     addr: &str,
 ) -> Result<(), TransportError> {
-    let io = |e: std::io::Error| TransportError::Io(e.to_string());
-    let name = addr_name(rank, gen);
-    let tmp = dir.join(format!(".{name}.tmp"));
-    std::fs::write(&tmp, format!("{nonce:016x} {addr}")).map_err(io)?;
-    std::fs::rename(&tmp, dir.join(name)).map_err(io)?;
-    Ok(())
+    publish_file(dir, &addr_name(rank, gen), nonce, addr)
 }
 
-/// Poll for a peer's address file, validating its nonce stamp.
-fn wait_for_addr(
+/// Poll for a published address file, validating its nonce stamp.
+/// `what` names the awaited party in error messages.
+fn wait_for_file(
     dir: &Path,
-    peer: usize,
-    gen: u32,
+    name: &str,
+    what: &str,
     cfg: &StreamConfig,
 ) -> Result<String, TransportError> {
-    let path: PathBuf = dir.join(addr_name(peer, gen));
+    let path: PathBuf = dir.join(name);
     let deadline = Instant::now() + cfg.rendezvous_timeout;
     loop {
         if let Ok(line) = std::fs::read_to_string(&path) {
@@ -767,19 +889,123 @@ fn wait_for_addr(
                 }
                 None => {
                     return Err(TransportError::Io(format!(
-                        "rendezvous: malformed address file for rank {peer}"
+                        "rendezvous: malformed address file for {what}"
                     )));
                 }
             }
         }
         if Instant::now() > deadline {
             return Err(TransportError::Io(format!(
-                "rendezvous: no address from rank {peer} within {:?}",
+                "rendezvous: no address from {what} within {:?}",
                 cfg.rendezvous_timeout
             )));
         }
         std::thread::sleep(cfg.retry_sleep);
     }
+}
+
+/// Poll for a peer rank's address file, validating its nonce stamp.
+fn wait_for_addr(
+    dir: &Path,
+    peer: usize,
+    gen: u32,
+    cfg: &StreamConfig,
+) -> Result<String, TransportError> {
+    wait_for_file(dir, &addr_name(peer, gen), &format!("rank {peer}"), cfg)
+}
+
+/// A listening socket for a *service* (many anonymous clients), as
+/// opposed to the mesh's one-listener-per-rank.  Bind, publish the
+/// address with [`publish_service_addr`], then poll [`try_accept`] from
+/// the service loop.
+///
+/// [`try_accept`]: Self::try_accept
+#[derive(Debug)]
+pub struct ServiceListener {
+    inner: Listener,
+    addr: String,
+}
+
+impl ServiceListener {
+    /// Bind a non-blocking listener: TCP on an ephemeral loopback port,
+    /// or a UDS socket named `<service>.sock` under `dir`.
+    pub fn bind(kind: StreamKind, dir: &Path, service: &str) -> Result<Self, TransportError> {
+        let io = |e: std::io::Error| TransportError::Io(e.to_string());
+        std::fs::create_dir_all(dir).map_err(io)?;
+        let (inner, addr) = match kind {
+            StreamKind::Tcp => {
+                let l = TcpListener::bind("127.0.0.1:0").map_err(io)?;
+                l.set_nonblocking(true).map_err(io)?;
+                let a = l.local_addr().map_err(io)?.to_string();
+                (Listener::Tcp(l), a)
+            }
+            StreamKind::Uds => {
+                let sock = dir.join(format!("{service}.sock"));
+                let _ = std::fs::remove_file(&sock);
+                let l = UnixListener::bind(&sock).map_err(io)?;
+                l.set_nonblocking(true).map_err(io)?;
+                (Listener::Uds(l), sock.to_string_lossy().into_owned())
+            }
+        };
+        Ok(Self { inner, addr })
+    }
+
+    /// The bound address (publish it via [`publish_service_addr`]).
+    pub fn addr(&self) -> &str {
+        &self.addr
+    }
+
+    /// Non-blocking accept: `Ok(Some)` wraps the new connection in a
+    /// [`FramedConn`], `Ok(None)` means nobody is waiting.
+    pub fn try_accept(&self) -> Result<Option<FramedConn>, TransportError> {
+        let io = |e: std::io::Error| TransportError::Io(e.to_string());
+        Ok(self.inner.try_accept().map_err(io)?.map(FramedConn::new))
+    }
+}
+
+/// Atomically publish a service's nonce-stamped address as
+/// `<service>.addr` (same format and torn-read-free rename as the rank
+/// address files).
+pub fn publish_service_addr(
+    dir: &Path,
+    service: &str,
+    nonce: u64,
+    addr: &str,
+) -> Result<(), TransportError> {
+    let io = |e: std::io::Error| TransportError::Io(e.to_string());
+    std::fs::create_dir_all(dir).map_err(io)?;
+    publish_file(dir, &format!("{service}.addr"), nonce, addr)
+}
+
+/// Poll for a service's published address, validating the nonce stamp
+/// exactly like the rank rendezvous ([`TransportError::RendezvousMismatch`]
+/// on a stale file).
+pub fn wait_for_service_addr(
+    dir: &Path,
+    service: &str,
+    cfg: &StreamConfig,
+) -> Result<String, TransportError> {
+    wait_for_file(
+        dir,
+        &format!("{service}.addr"),
+        &format!("service {service}"),
+        cfg,
+    )
+}
+
+/// Dial a service address (from [`wait_for_service_addr`]) with the
+/// rendezvous retry budget, returning a write-deadline-bounded
+/// [`FramedConn`].
+pub fn dial_service(
+    addr: &str,
+    kind: StreamKind,
+    cfg: &StreamConfig,
+) -> Result<FramedConn, TransportError> {
+    let stream = connect_with_retry(addr, kind, cfg)?;
+    stream
+        .set_write_timeout(Some(cfg.write_deadline))
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    Ok(FramedConn::new(stream))
 }
 
 fn connect_with_retry(
@@ -878,10 +1104,7 @@ impl Transport for StreamTransport {
             return Ok(());
         };
         let bytes = frame.encode();
-        let mut msg = Vec::with_capacity(8 + bytes.len());
-        msg.extend_from_slice(&(bytes.len() as u64).to_le_bytes());
-        msg.extend_from_slice(&bytes);
-        match p.stream.writer().write_all(&msg) {
+        match p.send_payload(&bytes) {
             Ok(()) => {
                 self.bytes_sent += bytes.len() as u64;
                 self.messages_sent += 1;
@@ -1161,14 +1384,8 @@ mod tests {
                 // then die — simulating a SIGKILL mid-write.
                 let mut tr = tr;
                 if let Some(p) = tr.peers[0].as_mut() {
-                    p.stream
-                        .writer()
-                        .write_all(&64u64.to_le_bytes())
-                        .expect("prefix");
-                    p.stream
-                        .writer()
-                        .write_all(&[1, 2, 3])
-                        .expect("partial body");
+                    p.send_raw(&64u64.to_le_bytes()).expect("prefix");
+                    p.send_raw(&[1, 2, 3]).expect("partial body");
                 }
             })
         };
@@ -1180,6 +1397,85 @@ mod tests {
             .expect_err("torn frame must be typed");
         assert_eq!(err, TransportError::Down { from: 1, to: 0 });
         assert_eq!(tr.torn_frames(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn service_listener_rendezvous_and_framed_payloads_roundtrip() {
+        for kind in [StreamKind::Tcp, StreamKind::Uds] {
+            let dir = tdir(&format!("svc-{kind:?}"));
+            let cfg = quick(0xfa51);
+            let listener = ServiceListener::bind(kind, &dir, "farm").expect("bind");
+            publish_service_addr(&dir, "farm", cfg.nonce, listener.addr()).expect("publish");
+            let client = {
+                let dir = dir.clone();
+                std::thread::spawn(move || {
+                    let addr = wait_for_service_addr(&dir, "farm", &cfg).expect("addr");
+                    let mut conn = dial_service(&addr, kind, &cfg).expect("dial");
+                    conn.send_payload(b"ping").expect("send");
+                    let reply = conn
+                        .recv_payload_deadline(Duration::from_millis(100), 4)
+                        .expect("reply");
+                    assert_eq!(reply, b"pong");
+                })
+            };
+            // Poll-accept, echo the transformed payload back.
+            let deadline = Instant::now() + Duration::from_secs(5);
+            let mut conn = loop {
+                if let Some(c) = listener.try_accept().expect("accept") {
+                    break c;
+                }
+                assert!(Instant::now() < deadline, "no client within 5 s");
+                std::thread::sleep(Duration::from_millis(2));
+            };
+            let got = conn
+                .recv_payload_deadline(Duration::from_millis(100), 4)
+                .expect("request");
+            assert_eq!(got, b"ping");
+            conn.send_payload(b"pong").expect("reply");
+            client.join().expect("client thread");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn framed_conn_torn_frame_and_timeout_are_typed() {
+        let dir = tdir("svc-torn");
+        let cfg = quick(0x7042);
+        let listener = ServiceListener::bind(StreamKind::Uds, &dir, "farm").expect("bind");
+        publish_service_addr(&dir, "farm", cfg.nonce, listener.addr()).expect("publish");
+        let client = {
+            let dir = dir.clone();
+            std::thread::spawn(move || {
+                let addr = wait_for_service_addr(&dir, "farm", &cfg).expect("addr");
+                let mut conn = dial_service(&addr, StreamKind::Uds, &cfg).expect("dial");
+                // Promise 32 bytes, deliver 3, hold the socket open a
+                // moment (so the server's first bounded read is a plain
+                // timeout), then die mid-frame.
+                conn.send_raw(&32u64.to_le_bytes()).expect("prefix");
+                conn.send_raw(&[9, 9, 9]).expect("partial");
+                std::thread::sleep(Duration::from_millis(300));
+            })
+        };
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let mut conn = loop {
+            if let Some(c) = listener.try_accept().expect("accept") {
+                break c;
+            }
+            assert!(Instant::now() < deadline, "no client within 5 s");
+            std::thread::sleep(Duration::from_millis(2));
+        };
+        // While the client lives the partial frame is a plain timeout…
+        let err = conn
+            .try_recv_payload(Duration::from_millis(5))
+            .expect_err("partial frame is not a payload");
+        assert_eq!(err, FrameIoError::Timeout { attempts: 1 });
+        client.join().expect("client thread");
+        // …after it dies, the same read is a *torn* close.
+        let err = conn
+            .recv_payload_deadline(Duration::from_millis(50), 4)
+            .expect_err("torn close is typed");
+        assert_eq!(err, FrameIoError::Closed { torn: true });
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -26,7 +26,7 @@
 //!    dedicated single-tenant run on a healthy board.
 
 use grape6::core::{Grape6Engine, HermiteIntegrator, IntegratorConfig};
-use grape6::farm::{Farm, FarmConfig, FarmError, Job, SessionId};
+use grape6::farm::{Farm, FarmConfig, FarmError, Job, SessionId, TenantSpec};
 use grape6::fault::FaultPlan;
 use grape6::nbody::ic::plummer::plummer_model;
 use grape6::system::MachineConfig;
@@ -51,19 +51,21 @@ fn main() {
 
     // 1. Three boards: #1 healthy, #2 has a dead module (self-test will
     //    mask it, leaving too few slots), #3 dies mid-run.
-    let mut cfg = FarmConfig::new(board);
-    cfg.boards = 3;
-    cfg.board_plans = vec![
-        None,
-        Some(FaultPlan::none().with_dead_module(0, 0)),
-        Some(FaultPlan::none().with_midrun_death(vec![0, 1], 5)),
-    ];
-    cfg.max_live_sessions = 4;
-    cfg.queue_depth = 1;
-    cfg.quantum = 4;
-    cfg.ckpt_every = 4;
-    cfg.seed = seed;
-    let mut farm = Farm::new(cfg).unwrap();
+    let cfg = FarmConfig::builder(board)
+        .boards(3)
+        .board_plans(vec![
+            None,
+            Some(FaultPlan::none().with_dead_module(0, 0)),
+            Some(FaultPlan::none().with_midrun_death(vec![0, 1], 5)),
+        ])
+        .max_live_sessions(4)
+        .queue_depth(1)
+        .quantum(4)
+        .ckpt_every(4)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let mut farm = Farm::open(cfg).unwrap();
     println!("farm: 3 boards (1 healthy, 1 dead module, 1 mid-run death), ceiling 4 sessions");
 
     // 2. Six tenants race for four session slots.  Weights 2:1 — the
@@ -71,20 +73,22 @@ fn main() {
     let mut admitted: Vec<(SessionId, u64)> = Vec::new();
     println!("\nsubmissions:");
     for t in 0..6u64 {
-        let tid = farm.add_tenant(if t % 2 == 0 { 2 } else { 1 });
+        let tid = farm
+            .register(TenantSpec::new(if t % 2 == 0 { 2 } else { 1 }))
+            .unwrap();
         let ic_seed = 100 * seed + t;
-        let job = Job {
-            set: plummer_model(n, &mut StdRng::seed_from_u64(ic_seed)),
-            t_end,
-            label: format!("group {t}"),
-        };
+        let job = Job::builder(plummer_model(n, &mut StdRng::seed_from_u64(ic_seed)))
+            .t_end(t_end)
+            .label(format!("group {t}"))
+            .build()
+            .unwrap();
         match farm.submit(tid, job) {
             Ok(sid) => {
                 println!("  tenant {tid}: admitted as session {sid}");
                 admitted.push((sid, ic_seed));
             }
             Err(FarmError::Saturated { retry_after }) => {
-                println!("  tenant {tid}: REJECTED Saturated, retry in ~{retry_after:.2e} s");
+                println!("  tenant {tid}: REJECTED Saturated, retry after {retry_after}");
             }
             Err(e) => println!("  tenant {tid}: REJECTED {e}"),
         }
@@ -134,7 +138,8 @@ fn main() {
         IntegratorConfig::default(),
     );
     dedicated.run_until(t_end);
-    let farm_set = report.outcomes[&sid].particles().unwrap();
+    let farm_res = farm.take_result(sid).unwrap();
+    let farm_set = &farm_res.particles;
     let identical =
         farm_set.pos == dedicated.particles().pos && farm_set.vel == dedicated.particles().vel;
     println!("\nsession {sid} vs dedicated single-tenant run: bitwise identical = {identical}");

@@ -12,7 +12,7 @@
 //! §3.4 force bits.
 
 use grape6_core::{Grape6Engine, HermiteIntegrator, IntegratorConfig};
-use grape6_farm::{Farm, FarmConfig, FarmError, Job, SessionId};
+use grape6_farm::{Farm, FarmConfig, FarmError, Job, RetryAfter, SessionId, TenantSpec};
 use grape6_fault::FaultPlan;
 use grape6_system::machine::MachineConfig;
 use nbody_core::ic::plummer::plummer_model;
@@ -58,26 +58,24 @@ fn dedicated(n: usize, seed: u64, t_end: f64) -> ParticleSet {
 fn four_tenants_on_two_boards_match_dedicated_runs_bitwise() {
     let n = 24;
     let t_end = 0.125;
-    let mut cfg = FarmConfig::new(unit());
-    cfg.boards = 2;
-    cfg.quantum = 4;
-    cfg.ckpt_every = 4;
-    let mut farm = Farm::new(cfg).unwrap();
+    let cfg = FarmConfig::builder(unit())
+        .boards(2)
+        .quantum(4)
+        .ckpt_every(4)
+        .build()
+        .unwrap();
+    let mut farm = Farm::open(cfg).unwrap();
 
     let mut sessions: Vec<(SessionId, u64)> = Vec::new();
     for t in 0..4u64 {
-        let tid = farm.add_tenant(1 + (t as u32 % 2));
+        let tid = farm.register(TenantSpec::new(1 + (t as u32 % 2))).unwrap();
         let seed = 1000 + t;
-        let sid = farm
-            .submit(
-                tid,
-                Job {
-                    set: ic(n, seed),
-                    t_end,
-                    label: format!("tenant {t}"),
-                },
-            )
+        let job = Job::builder(ic(n, seed))
+            .t_end(t_end)
+            .label(format!("tenant {t}"))
+            .build()
             .unwrap();
+        let sid = farm.submit(tid, job).unwrap();
         sessions.push((sid, seed));
     }
 
@@ -97,13 +95,12 @@ fn four_tenants_on_two_boards_match_dedicated_runs_bitwise() {
     assert!(report.stats.resumes >= 2, "stats: {:?}", report.stats);
 
     for (sid, seed) in sessions {
-        let got = report.outcomes[&sid]
-            .particles()
-            .expect("session completed");
+        let got = farm.take_result(sid).expect("session completed");
         assert!(
-            bits_equal(got, &dedicated(n, seed, t_end)),
+            bits_equal(&got.particles, &dedicated(n, seed, t_end)),
             "tenant session {sid} diverged from its dedicated single-tenant run"
         );
+        assert_eq!(got.session, sid);
     }
 }
 
@@ -116,33 +113,41 @@ fn oversubscribed_farm_with_injected_faults_completes_every_admission_bitwise() 
     // still complete, bitwise equal to its dedicated run.
     let n = 48;
     let t_end = 0.0625;
-    let mut cfg = FarmConfig::new(unit());
-    cfg.boards = 3;
-    cfg.board_plans = vec![
-        None,
-        Some(FaultPlan::none().with_dead_module(0, 0)),
-        Some(FaultPlan::none().with_midrun_death(vec![0, 1], 5)),
-    ];
-    cfg.max_live_sessions = 4;
-    cfg.queue_depth = 1;
-    cfg.quantum = 4;
-    cfg.ckpt_every = 4;
-    let mut farm = Farm::new(cfg).unwrap();
+    let cfg = FarmConfig::builder(unit())
+        .boards(3)
+        .board_plans(vec![
+            None,
+            Some(FaultPlan::none().with_dead_module(0, 0)),
+            Some(FaultPlan::none().with_midrun_death(vec![0, 1], 5)),
+        ])
+        .max_live_sessions(4)
+        .queue_depth(1)
+        .quantum(4)
+        .ckpt_every(4)
+        .build()
+        .unwrap();
+    let mut farm = Farm::open(cfg).unwrap();
 
-    let tenants: Vec<_> = (0..6).map(|_| farm.add_tenant(1)).collect();
+    let tenants: Vec<_> = (0..6)
+        .map(|_| farm.register(TenantSpec::new(1)).unwrap())
+        .collect();
     let mut admitted: Vec<(SessionId, u64)> = Vec::new();
     let mut saturated = 0;
     for (t, &tid) in tenants.iter().enumerate() {
         let seed = 2000 + t as u64;
-        let job = Job {
-            set: ic(n, seed),
-            t_end,
-            label: format!("tenant {t}"),
-        };
+        let job = Job::builder(ic(n, seed))
+            .t_end(t_end)
+            .label(format!("tenant {t}"))
+            .build()
+            .unwrap();
         match farm.submit(tid, job) {
             Ok(sid) => admitted.push((sid, seed)),
             Err(FarmError::Saturated { retry_after }) => {
-                assert!(retry_after > 0.0, "retry hint must be positive");
+                assert!(retry_after.is_positive(), "retry hint must be positive");
+                assert!(
+                    matches!(retry_after, RetryAfter::Blocksteps(_)),
+                    "the in-process farm hints in blocksteps"
+                );
                 saturated += 1;
             }
             Err(e) => panic!("unexpected rejection: {e}"),
@@ -165,11 +170,9 @@ fn oversubscribed_farm_with_injected_faults_completes_every_admission_bitwise() 
     assert!(report.stats.resumes >= 1, "stats: {:?}", report.stats);
 
     for (sid, seed) in admitted {
-        let got = report.outcomes[&sid]
-            .particles()
-            .expect("session completed");
+        let got = farm.take_result(sid).expect("session completed");
         assert!(
-            bits_equal(got, &dedicated(n, seed, t_end)),
+            bits_equal(&got.particles, &dedicated(n, seed, t_end)),
             "session {sid} diverged despite faults/evictions/migration"
         );
     }

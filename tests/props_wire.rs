@@ -1,0 +1,177 @@
+//! Property-based tests (proptest) on the farm wire protocol.
+//!
+//! The farm frames carry particle bits end to end, so the encoding must
+//! be a bitwise bijection on everything it accepts: decode(encode(f))
+//! re-encodes to the exact original bytes for *any* field values —
+//! including NaN payloads, infinities and negative zero in the f64
+//! lanes — and every strict prefix of every encoding is a typed
+//! [`WireError`], never a panic or a wrong frame.
+
+// The offline `proptest` stub type-checks but swallows the `proptest!`
+// body, so in that environment rustc sees the imports and strategy
+// helpers below as unused.
+#![allow(unused_imports, dead_code)]
+
+use grape6::farm::{DenyReason, FarmFrame, RetryAfter, SessionPhase, SessionStatus, TenantSpec};
+use grape6::farm::{SessionId, TenantReport};
+use grape6::nbody::particle::ParticleSet;
+use grape6::nbody::Vec3;
+use proptest::prelude::*;
+
+/// A particle set whose every f64 lane is an arbitrary bit pattern.
+fn particles(bits: &[u64]) -> ParticleSet {
+    let n = (bits.len() / 3).max(2);
+    let f = |k: usize| f64::from_bits(bits[k % bits.len()]);
+    let v = |k: usize| Vec3::new(f(k), f(k + 1), f(k + 2));
+    let mut s = ParticleSet::with_capacity(n);
+    for i in 0..n {
+        s.push(f(i), v(i + 1), v(i + 4));
+    }
+    for i in 0..n {
+        s.pot[i] = f(i + 7);
+        s.t[i] = f(i + 8);
+        s.dt[i] = f(i + 9);
+        s.acc[i] = v(i + 10);
+        s.jerk[i] = v(i + 13);
+        s.snap[i] = v(i + 16);
+        s.crackle[i] = v(i + 19);
+    }
+    s
+}
+
+fn retry(unit: bool, x: u64) -> RetryAfter {
+    if unit {
+        RetryAfter::Blocksteps(x)
+    } else {
+        RetryAfter::Millis(x)
+    }
+}
+
+fn deny(tag: u8, a: u64, s: String) -> DenyReason {
+    match tag % 11 {
+        0 => DenyReason::Saturated {
+            retry_after: retry(a.is_multiple_of(2), a),
+        },
+        1 => DenyReason::QueueFull { depth: a },
+        2 => DenyReason::JobTooLarge {
+            n: a,
+            capacity: a / 2,
+        },
+        3 => DenyReason::InvalidJob { reason: s },
+        4 => DenyReason::InvalidSpec { reason: s },
+        5 => DenyReason::BadHello { reason: s },
+        6 => DenyReason::UnknownSession,
+        7 => DenyReason::NotReady,
+        8 => DenyReason::JobFailed { reason: s },
+        9 => DenyReason::Shutdown,
+        _ => DenyReason::Internal { reason: s },
+    }
+}
+
+fn phase(tag: u8) -> SessionPhase {
+    [
+        SessionPhase::Queued,
+        SessionPhase::Resident,
+        SessionPhase::Parked,
+        SessionPhase::Detached,
+        SessionPhase::Done,
+        SessionPhase::Failed,
+    ][tag as usize % 6]
+}
+
+/// decode(encode(f)) must re-encode to the original bytes, and every
+/// strict prefix must be a typed error.
+fn roundtrips_bitwise(frame: &FarmFrame) {
+    let bytes = frame.encode();
+    let back = FarmFrame::decode(&bytes);
+    assert!(back.is_ok(), "own encoding rejected: {back:?}");
+    assert_eq!(
+        back.unwrap().encode(),
+        bytes,
+        "re-encode is not bitwise identical"
+    );
+    for cut in 0..bytes.len() {
+        assert!(
+            FarmFrame::decode(&bytes[..cut]).is_err(),
+            "torn prefix of {cut} bytes decoded as a frame"
+        );
+    }
+}
+
+proptest! {
+    /// Submit and Result — the frames that carry physics — round-trip
+    /// bitwise for arbitrary f64 bit patterns in every particle lane.
+    #[test]
+    fn particle_frames_roundtrip_any_bits(
+        bits in prop::collection::vec(any::<u64>(), 6..24),
+        seq in any::<u64>(),
+        t_end in any::<u64>(),
+        label in ".{0,24}",
+        tenant in any::<u32>(),
+        index in any::<u32>(),
+    ) {
+        let set = particles(&bits);
+        roundtrips_bitwise(&FarmFrame::Submit {
+            seq,
+            t_end,
+            label,
+            set: set.clone(),
+        });
+        let mut report = TenantReport::default();
+        report.weight = tenant.max(1);
+        report.grants = seq;
+        report.blocksteps = t_end;
+        report.breakdown.host = f64::from_bits(bits[0]);
+        report.recovery.restores = bits[1 % bits.len()];
+        roundtrips_bitwise(&FarmFrame::Result {
+            session: SessionId { tenant, index },
+            particles: set,
+            report,
+        });
+    }
+
+    /// The control-plane frames round-trip for arbitrary field values,
+    /// every deny reason and every session phase included.
+    #[test]
+    fn control_frames_roundtrip(
+        nonce in any::<u64>(),
+        weight in 1u32..u32::MAX,
+        cap in proptest::option::of(any::<u64>()),
+        deadline in proptest::option::of(any::<u64>()),
+        tenant in any::<u32>(),
+        index in any::<u32>(),
+        a in any::<u64>(),
+        tag in any::<u8>(),
+        text in ".{0,40}",
+    ) {
+        let mut spec = TenantSpec::new(weight);
+        if let Some(c) = cap {
+            spec = spec.queue_cap(c as usize);
+        }
+        if let Some(d) = deadline {
+            spec = spec.deadline_grants(d);
+        }
+        let session = SessionId { tenant, index };
+        for frame in [
+            FarmFrame::Hello { proto: tag as u32, nonce, spec },
+            FarmFrame::HelloAck { proto: tag as u32, tenant },
+            FarmFrame::Ticket { seq: a, session },
+            FarmFrame::Query { session },
+            FarmFrame::Status {
+                status: SessionStatus {
+                    session,
+                    phase: phase(tag),
+                    blocksteps: a,
+                    resumes: nonce,
+                },
+            },
+            FarmFrame::Fetch { session },
+            FarmFrame::Cancel { session },
+            FarmFrame::Deny { seq: a, reason: deny(tag, nonce, text) },
+            FarmFrame::Beat { epoch: a },
+            FarmFrame::Bye,
+        ] {
+            roundtrips_bitwise(&frame);
+        }
+    }
+}
