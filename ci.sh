@@ -30,21 +30,42 @@ echo "==> overlap bench smoke (release): serial vs parallel vs overlapped"
 # and emits BENCH_overlap.json with the per-schedule walls.
 cargo run --release --locked -p grape6-bench --bin overlap_bench -- 96 16 2
 
-echo "==> force-kernel A/B smoke (release): scalar oracle vs batched SoA"
-# Verifies the two kernels land on bitwise-identical state over a whole
-# integration (exit 1 otherwise) and emits BENCH_kernel.json.  The
-# regression guard: the batched kernel must never be slower than the
-# oracle it replaces on the hot path.
-cargo run --release --locked -p grape6-bench --bin kernel_bench -- 256 16 2
+echo "==> SIMD dispatch fallback: kernel A/B + bitwise suite with lanes forced off"
+# GRAPE6_FORCE_SCALAR=1 disables runtime SIMD dispatch, so KernelMode::Simd
+# drops to the batched scalar path.  The whole bitwise matrix and a kernel
+# A/B pass must still hold — same bits, no panics — proving the fallback
+# is a first-class citizen, not dead code.  Runs *before* the real kernel
+# matrix so the final BENCH_kernel.json reflects the SIMD-enabled machine.
+GRAPE6_FORCE_SCALAR=1 RAYON_NUM_THREADS=1 cargo test -q --locked --test overlap_bitwise
+GRAPE6_FORCE_SCALAR=1 cargo run --release --locked -p grape6-bench --bin kernel_bench -- 8 2 128
+
+echo "==> force-kernel matrix (release): scalar vs batched vs SIMD lanes"
+# Runs every kernel variant the host supports (scalar, batched, simd-avx2,
+# simd-avx512 where detected) at N=256 and N=512, asserts all land on
+# bitwise-identical state over a whole integration (exit 1 otherwise) and
+# emits BENCH_kernel.json.  The relational regression guard: the batched
+# kernel must never be slower than the oracle it replaces, and the best
+# SIMD variant must never be slower than the batched kernel it replaces.
+cargo run --release --locked -p grape6-bench --bin kernel_bench -- 16 2 256 512
 python3 - <<'EOF'
 import json
 with open("BENCH_kernel.json") as f:
     r = json.load(f)
-scalar = r["scalar"]["interactions_per_sec"]
-batched = r["batched"]["interactions_per_sec"]
-print(f"kernel guard: scalar {scalar:.3e} inter/s, batched {batched:.3e} inter/s")
-if batched < scalar:
-    raise SystemExit("REGRESSION: batched kernel slower than the scalar oracle")
+if not r["bitwise_identical"]:
+    raise SystemExit("REGRESSION: kernel variants diverged bitwise")
+for entry in r["entries"]:
+    n = entry["n"]
+    if not entry["bitwise_identical"]:
+        raise SystemExit(f"REGRESSION: N={n}: kernel variants diverged bitwise")
+    by = {v["label"]: v["interactions_per_sec"] for v in entry["variants"]}
+    scalar, batched = by["scalar"], by["batched"]
+    simd = {k: v for k, v in by.items() if k.startswith("simd")}
+    row = ", ".join(f"{k} {v:.3e}" for k, v in by.items())
+    print(f"kernel guard: N={n}: {row} inter/s")
+    if batched < scalar:
+        raise SystemExit(f"REGRESSION: N={n}: batched kernel slower than the scalar oracle")
+    if simd and max(simd.values()) < batched:
+        raise SystemExit(f"REGRESSION: N={n}: best SIMD variant slower than the batched kernel")
 EOF
 
 echo "==> crossover bench smoke (release): 1-16 nodes x 3 network schedules"

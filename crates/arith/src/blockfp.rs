@@ -207,7 +207,20 @@ impl BatchLane {
     /// detection to the sticky flag.
     #[inline(always)]
     pub fn add(&mut self, x: f64) {
-        let q = (x * self.scale).round_ties_even();
+        self.add_rounded((x * self.scale).round_ties_even());
+    }
+
+    /// Add a summand that the caller has already shifted onto the block
+    /// grid: `q` must be `(x * self.scale()).round_ties_even()` for the
+    /// value `x` being accumulated.  This is the SIMD kernel's entry
+    /// point — the scale-and-round runs lane-parallel, while the `i64`
+    /// accumulation stays **sequential** here so the sticky overflow
+    /// flag raises for exactly the same prefixes as [`add`](Self::add)
+    /// (wrap-around is order-dependent; a strided vector sum could miss
+    /// an intermediate wrap the scalar path sees, or see one it
+    /// doesn't).
+    #[inline(always)]
+    pub fn add_rounded(&mut self, q: f64) {
         // Same deliberately negated predicate as `BlockAccum::add`, so NaN
         // also raises the flag.
         #[allow(clippy::neg_cmp_op_on_partial_ord, clippy::excessive_precision)]
@@ -215,6 +228,14 @@ impl BatchLane {
         let (sum, carry) = self.mant.overflowing_add(q as i64);
         self.mant = sum;
         self.flagged |= too_big | carry;
+    }
+
+    /// The grid shift factor `2^(63 − exp)` applied to every summand.
+    /// Callers pre-scaling summands for [`add_rounded`](Self::add_rounded)
+    /// must use exactly this value.
+    #[inline]
+    pub const fn scale(&self) -> f64 {
+        self.scale
     }
 
     /// Has any summand or the running sum overflowed the window?
@@ -451,6 +472,33 @@ mod tests {
         lane.add(1.9);
         lane.add(-1.9);
         assert!(lane.flagged());
+    }
+
+    #[test]
+    fn add_rounded_is_equivalent_to_add() {
+        // `add_rounded(round(x·scale))` must reproduce `add(x)` exactly —
+        // mantissa bits and flag — for arbitrary bit patterns, including
+        // NaN/inf payloads and values that wrap the window.  This is the
+        // contract the SIMD kernel's pre-scaled accumulation relies on.
+        let mut s: u64 = 0x243f_6a88_85a3_08d3;
+        for exp in [-40i32, -3, 0, 5, 62, 120] {
+            let mut a = BatchLane::new(exp);
+            let mut b = BatchLane::new(exp);
+            for _ in 0..20_000 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                let x = f64::from_bits(s);
+                a.add(x);
+                b.add_rounded((x * b.scale()).round_ties_even());
+                assert_eq!(a.flagged(), b.flagged(), "exp={exp} bits={s:#018x}");
+            }
+            assert_eq!(a.flagged(), b.flagged());
+            if let (Some(aa), Some(bb)) = (a.into_accum(), b.into_accum()) {
+                assert_eq!(aa.mant(), bb.mant());
+                assert_eq!(aa.exp(), bb.exp());
+            }
+        }
     }
 
     fn sum_mant(vals: &[f64], exp: i32) -> i64 {

@@ -28,8 +28,10 @@ pub mod blockfp;
 pub mod fixed;
 pub mod pfloat;
 pub mod rsqrt;
+pub mod simd;
 
 pub use blockfp::{BlockAccum, BlockFpError, ForceWord};
 pub use fixed::{Fix64, PosFix, POS_FRAC_BITS};
 pub use pfloat::{quantize_sig, quantize_sig_branchless, PFloat, PipeFloat, PIPE_SIG_BITS};
 pub use rsqrt::RsqrtCubedUnit;
+pub use simd::{active_level, set_dispatch_override, DispatchOverride, SimdLevel};

@@ -30,8 +30,10 @@ pub const PIPE_SIG_BITS: u32 = 24;
 /// produces the f32-like grid (with f64's exponent range).  Zero, infinities
 /// and NaN pass through unchanged.
 #[inline]
-pub fn quantize_sig(x: f64, sig: u32) -> f64 {
-    debug_assert!((1..=53).contains(&sig));
+// `RangeInclusive::contains` is not const-callable, hence the manual range.
+#[allow(clippy::manual_range_contains)]
+pub const fn quantize_sig(x: f64, sig: u32) -> f64 {
+    debug_assert!(1 <= sig && sig <= 53);
     if sig >= 53 || x == 0.0 || !x.is_finite() {
         return x;
     }
@@ -76,8 +78,10 @@ pub fn quantize_sig(x: f64, sig: u32) -> f64 {
 /// enforced bit-for-bit over structured sweeps and random bit patterns in
 /// the tests below.
 #[inline(always)]
-pub fn quantize_sig_branchless(x: f64, sig: u32) -> f64 {
-    debug_assert!((1..=53).contains(&sig));
+// `RangeInclusive::contains` is not const-callable, hence the manual range.
+#[allow(clippy::manual_range_contains)]
+pub const fn quantize_sig_branchless(x: f64, sig: u32) -> f64 {
+    debug_assert!(1 <= sig && sig <= 53);
     if sig >= 53 {
         return x;
     }
@@ -112,8 +116,11 @@ impl<const SIG: u32> PFloat<SIG> {
     pub const ZERO: Self = Self(0.0);
 
     /// Quantize a double into the format.
+    ///
+    /// `const`, so pipeline constants (`1/2`, `1/3`, …) can be quantized
+    /// once at compile time instead of per call in the hot loops.
     #[inline]
-    pub fn new(x: f64) -> Self {
+    pub const fn new(x: f64) -> Self {
         Self(quantize_sig(x, SIG))
     }
 

@@ -42,6 +42,10 @@ struct Segment {
     _pad: f64,
 }
 
+// The SIMD gather in `eval_both_lanes` addresses the table as a flat
+// array of f64 with a stride of 8 per segment — pin the layout down.
+const _: () = assert!(std::mem::size_of::<Segment>() == 64);
+
 /// Table-driven evaluator for `x^(-3/2)` and `x^(-1/2)`.
 #[derive(Clone, Debug)]
 pub struct RsqrtCubedUnit {
@@ -171,6 +175,185 @@ impl RsqrtCubedUnit {
             worst = worst.max(((approx - exact) / exact).abs());
         }
         worst
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+impl RsqrtCubedUnit {
+    /// Lane-parallel [`eval_both`](Self::eval_both): decompose a whole
+    /// vector of arguments, gather the fused 64-byte segment records for
+    /// every lane, and run the two Taylor chains lanewise — bit-identical
+    /// to the scalar evaluation on every lane.
+    ///
+    /// The fast path covers positive normal arguments whose exponent
+    /// factors `2^(−3k)` / `2^(−k)` are normal (i.e. `k ∈ [−341, 340]`,
+    /// which is every force-pass argument by ~270 binades); zeros,
+    /// negatives, subnormals, NaN/inf and out-of-window exponents drop to
+    /// a per-lane scalar [`eval_both`](Self::eval_both) fixup, so the
+    /// contract holds for *arbitrary* bit patterns.  The table gather is
+    /// in-bounds for every lane — special or not — because the index is
+    /// masked to `2^log2_segments` entries by construction.
+    ///
+    /// # Safety
+    /// `L`'s ISA must be available on the running CPU.
+    #[inline(always)]
+    pub unsafe fn eval_both_lanes<L: crate::simd::Lanes>(&self, x: L::F) -> (L::F, L::F) {
+        let bits = L::to_bits(x);
+        // bf = sign ‖ biased exponent: for positive x this *is* the biased
+        // exponent; any negative x lands ≥ 2048 and fails the window test.
+        let bf = L::shr_i(bits, 52);
+        let one = L::splat_i(1);
+        // k = ⌊e/2⌋ computed in the non-negative biased domain so a
+        // logical shift suffices: ⌊(bf−1023)/2⌋ = ((bf+1) >> 1) − 512.
+        let bf1 = L::add_i(bf, one);
+        let k = L::sub_i(L::shr_i(bf1, 1), L::splat_i(512));
+        let modd = L::and_i(bf1, one); // e − 2k ∈ {0, 1}
+                                       // Fast-path window: positive normal ∧ k ∈ [−341, 340].
+        let ok = L::mask_and(
+            L::mask_and(
+                L::cmpgt_i(bf, L::splat_i(0)),
+                L::cmpgt_i(L::splat_i(2047), bf),
+            ),
+            L::mask_and(
+                L::cmpgt_i(k, L::splat_i(-342)),
+                L::cmpgt_i(L::splat_i(341), k),
+            ),
+        );
+        // m ∈ [1, 4): the mantissa re-biased to exponent e − 2k, exactly
+        // as `split_pow4` builds it.
+        let m_bits = L::or_i(
+            L::and_i(bits, L::splat_i(0x000f_ffff_ffff_ffff)),
+            L::shl_i(L::add_i(L::splat_i(1023), modd), 52),
+        );
+        let m = L::from_bits(m_bits);
+        // Segment index straight from the mantissa bits, as in `segment`:
+        // inverted binade bit ‖ top mantissa bits — masked, so in-bounds
+        // for every lane.
+        let half_bits = self.log2_segments - 1;
+        let upper = L::and_i(L::xor_i(L::shr_i(m_bits, 52), one), one);
+        let frac = L::and_i(
+            L::shr_i(m_bits, 52 - half_bits),
+            L::splat_i((1i64 << half_bits) - 1),
+        );
+        let idx = L::or_i(L::shl_i(upper, half_bits), frac);
+        // One segment record is 64 bytes = 8 doubles; gather each field.
+        let off = L::shl_i(idx, 3);
+        let base = self.seg.as_ptr() as *const f64;
+        let m0 = L::gather(base, off);
+        let c32_0 = L::gather(base, L::add_i(off, L::splat_i(1)));
+        let c32_1 = L::gather(base, L::add_i(off, L::splat_i(2)));
+        let c32_2 = L::gather(base, L::add_i(off, L::splat_i(3)));
+        let c12_0 = L::gather(base, L::add_i(off, L::splat_i(4)));
+        let c12_1 = L::gather(base, L::add_i(off, L::splat_i(5)));
+        let c12_2 = L::gather(base, L::add_i(off, L::splat_i(6)));
+        // Taylor chains in the scalar evaluation's exact op order (no FMA).
+        let d = L::sub(m, m0);
+        let p32 = L::add(c32_0, L::mul(d, L::add(c32_1, L::mul(d, c32_2))));
+        let p12 = L::add(c12_0, L::mul(d, L::add(c12_1, L::mul(d, c12_2))));
+        // Exponent factors 2^(−3k) and 2^(−k) built like `pow2`'s
+        // from_bits arm (the window test guaranteed both are normal for
+        // ok lanes; junk in the others is overwritten below).
+        let zero = L::splat_i(0);
+        let n32 = L::sub_i(zero, L::add_i(L::add_i(k, k), k));
+        let n12 = L::sub_i(zero, k);
+        let pw32 = L::from_bits(L::shl_i(L::add_i(L::splat_i(1023), n32), 52));
+        let pw12 = L::from_bits(L::shl_i(L::add_i(L::splat_i(1023), n12), 52));
+        let mut r32 = L::mul(p32, pw32);
+        let mut r12 = L::mul(p12, pw12);
+        let okb = L::mask_bits(ok);
+        if okb != L::ALL {
+            // Rare lanes outside the fast-path window: scalar fixup,
+            // one lane at a time, through the reference evaluation.
+            let mut xs = [0.0f64; 8];
+            let mut a32 = [0.0f64; 8];
+            let mut a12 = [0.0f64; 8];
+            L::store(xs.as_mut_ptr(), x);
+            L::store(a32.as_mut_ptr(), r32);
+            L::store(a12.as_mut_ptr(), r12);
+            for lane in 0..L::WIDTH {
+                if okb & (1 << lane) == 0 {
+                    let (s32, s12) = self.eval_both(xs[lane]);
+                    a32[lane] = s32;
+                    a12[lane] = s12;
+                }
+            }
+            r32 = L::load(a32.as_ptr());
+            r12 = L::load(a12.as_ptr());
+        }
+        (r32, r12)
+    }
+
+    #[inline(always)]
+    unsafe fn eval_slice_lanes<L: crate::simd::Lanes>(
+        &self,
+        xs: &[f64],
+        out32: &mut [f64],
+        out12: &mut [f64],
+    ) {
+        let n = xs.len();
+        let mut i = 0;
+        while i + L::WIDTH <= n {
+            let v = L::load(xs.as_ptr().add(i));
+            let (r32, r12) = self.eval_both_lanes::<L>(v);
+            L::store(out32.as_mut_ptr().add(i), r32);
+            L::store(out12.as_mut_ptr().add(i), r12);
+            i += L::WIDTH;
+        }
+        for k in i..n {
+            let (r32, r12) = self.eval_both(xs[k]);
+            out32[k] = r32;
+            out12[k] = r12;
+        }
+    }
+
+    #[target_feature(enable = "avx2")]
+    unsafe fn eval_slice_avx2(&self, xs: &[f64], out32: &mut [f64], out12: &mut [f64]) {
+        self.eval_slice_lanes::<crate::simd::Avx2>(xs, out32, out12)
+    }
+
+    #[target_feature(enable = "avx512f,avx512dq")]
+    unsafe fn eval_slice_avx512(&self, xs: &[f64], out32: &mut [f64], out12: &mut [f64]) {
+        self.eval_slice_lanes::<crate::simd::Avx512>(xs, out32, out12)
+    }
+}
+
+impl RsqrtCubedUnit {
+    /// Safe slice-shaped wrapper over the lane evaluation
+    /// (`eval_both_lanes`): evaluates through the active SIMD level (tail
+    /// through the scalar [`eval_both`](Self::eval_both)) and returns the
+    /// level used, or `None` (outputs untouched) when SIMD dispatch is
+    /// off or the architecture has no lane implementation — callers then
+    /// run the scalar path themselves.
+    pub fn eval_both_slice(
+        &self,
+        xs: &[f64],
+        out32: &mut [f64],
+        out12: &mut [f64],
+    ) -> Option<crate::simd::SimdLevel> {
+        assert_eq!(xs.len(), out32.len());
+        assert_eq!(xs.len(), out12.len());
+        #[cfg(target_arch = "x86_64")]
+        {
+            use crate::simd::{active_level, SimdLevel};
+            match active_level() {
+                Some(SimdLevel::Avx2) => {
+                    // SAFETY: dispatch proved avx2 is available.
+                    unsafe { self.eval_slice_avx2(xs, out32, out12) };
+                    Some(SimdLevel::Avx2)
+                }
+                Some(SimdLevel::Avx512) => {
+                    // SAFETY: dispatch proved avx512f+dq are available.
+                    unsafe { self.eval_slice_avx512(xs, out32, out12) };
+                    Some(SimdLevel::Avx512)
+                }
+                None => None,
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        {
+            let _ = (xs, out32, out12);
+            None
+        }
     }
 }
 
@@ -423,6 +606,114 @@ mod tests {
                 u.eval_pow_m12(x).to_bits(),
                 "m12 path diverged at x = {x:e}"
             );
+        }
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn lane_gather_is_bitwise_identical_to_scalar_eval_both() {
+        use crate::simd::{Avx2, Avx512, Lanes};
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn one_avx2(u: &RsqrtCubedUnit, xs: &[f64; 4]) -> ([f64; 4], [f64; 4]) {
+            let (r32, r12) = u.eval_both_lanes::<Avx2>(<Avx2 as Lanes>::load(xs.as_ptr()));
+            let (mut a, mut b) = ([0.0; 4], [0.0; 4]);
+            <Avx2 as Lanes>::store(a.as_mut_ptr(), r32);
+            <Avx2 as Lanes>::store(b.as_mut_ptr(), r12);
+            (a, b)
+        }
+
+        #[target_feature(enable = "avx512f,avx512dq")]
+        unsafe fn one_avx512(u: &RsqrtCubedUnit, xs: &[f64; 8]) -> ([f64; 8], [f64; 8]) {
+            let (r32, r12) = u.eval_both_lanes::<Avx512>(<Avx512 as Lanes>::load(xs.as_ptr()));
+            let (mut a, mut b) = ([0.0; 8], [0.0; 8]);
+            <Avx512 as Lanes>::store(a.as_mut_ptr(), r32);
+            <Avx512 as Lanes>::store(b.as_mut_ptr(), r12);
+            (a, b)
+        }
+
+        let avx2 = is_x86_feature_detected!("avx2");
+        let avx512 = is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq");
+        if !avx2 {
+            eprintln!("skipping: no AVX2 on this host");
+            return;
+        }
+        // Default table and a non-default size (different index widths).
+        for u in [RsqrtCubedUnit::default(), RsqrtCubedUnit::new(6)] {
+            // Structured inputs: specials, segment/binade boundaries (both
+            // sides, ± one ulp), subnormals, and exponents outside the
+            // fast-path k-window (forcing the per-lane fixup).
+            let mut xs: Vec<f64> = vec![
+                0.0,
+                -0.0,
+                -1.0,
+                f64::NAN,
+                f64::from_bits(0x7ff8_dead_beef_0001), // NaN payload
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,
+                f64::MAX,
+                f64::from_bits(1),
+                f64::from_bits(0x000f_ffff_ffff_ffff),
+                2f64.powi(700),  // k outside [−341, 340]
+                2f64.powi(-700), // k outside [−341, 340]
+                1.0,
+                4.0,
+                next_up(1.0),
+                next_down(4.0),
+            ];
+            let half = u.segments() / 2;
+            for s in (0..half).step_by((half / 8).max(1)) {
+                for b in [
+                    1.0 + s as f64 / half as f64,
+                    2.0 + s as f64 * 2.0 / half as f64,
+                ] {
+                    xs.extend_from_slice(&[b, next_up(b), next_down(b)]);
+                }
+            }
+            // Random bit patterns: every float class.
+            let mut s: u64 = 0x243f_6a88_85a3_08d3;
+            for _ in 0..50_000 {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                xs.push(f64::from_bits(s));
+                // Biased toward force-pass magnitudes too.
+                xs.push(f64::from_bits(
+                    (s & 0x000f_ffff_ffff_ffff) | 0x3fe0_0000_0000_0000,
+                ));
+            }
+            while xs.len() % 8 != 0 {
+                xs.push(1.5);
+            }
+            for chunk in xs.chunks_exact(8) {
+                let want: Vec<(u64, u64)> = chunk
+                    .iter()
+                    .map(|&x| {
+                        let (a, b) = u.eval_both(x);
+                        (a.to_bits(), b.to_bits())
+                    })
+                    .collect();
+                for halfc in 0..2 {
+                    let xs4: [f64; 4] = std::array::from_fn(|i| chunk[halfc * 4 + i]);
+                    // SAFETY: avx2 checked above.
+                    let (a, b) = unsafe { one_avx2(&u, &xs4) };
+                    for i in 0..4 {
+                        let w = want[halfc * 4 + i];
+                        assert_eq!(a[i].to_bits(), w.0, "avx2 m32 x={:e}", xs4[i]);
+                        assert_eq!(b[i].to_bits(), w.1, "avx2 m12 x={:e}", xs4[i]);
+                    }
+                }
+                if avx512 {
+                    let xs8: [f64; 8] = chunk.try_into().unwrap();
+                    // SAFETY: avx512f+dq checked above.
+                    let (a, b) = unsafe { one_avx512(&u, &xs8) };
+                    for i in 0..8 {
+                        assert_eq!(a[i].to_bits(), want[i].0, "avx512 m32 x={:e}", xs8[i]);
+                        assert_eq!(b[i].to_bits(), want[i].1, "avx512 m12 x={:e}", xs8[i]);
+                    }
+                }
+            }
         }
     }
 }

@@ -1,0 +1,766 @@
+//! Hand-rolled SIMD lanes for the pipeline arithmetic, with runtime
+//! dispatch.
+//!
+//! The batched kernel (PR 5) leans on LLVM auto-vectorization plus a
+//! container-local `target-cpu=native`, which makes its speed — though
+//! never its bits — hostage to the compiler version.  This module pins
+//! the vector shape down by hand: a [`Lanes`] trait abstracts the 4-wide
+//! AVX2 and 8-wide AVX-512 register files behind the exact operations
+//! the force pass needs, and the hot helpers ([`quantize_lanes`], the
+//! gathered `RsqrtCubedUnit::eval_both_lanes`, the pre-scaled
+//! `BatchLane::add_rounded` feed) are written once, generically, and
+//! monomorphized under `#[target_feature]` entry points.
+//!
+//! **Bitwise contract.** Every lane operation used here is either pure
+//! integer manipulation (identical to scalar by definition) or an IEEE-754
+//! f64 `add`/`sub`/`mul`/`round-to-nearest-even`, which x86 vector units
+//! implement bit-identically to their scalar counterparts.  FMA is never
+//! used — the pipeline model rounds after *every* operation, so a fused
+//! multiply-add would change bits.  The SIMD kernel is therefore
+//! bit-identical to the scalar batched kernel, which is itself enforced
+//! bit-identical to the scalar oracle.
+//!
+//! **Dispatch.** [`active_level`] combines one-time hardware detection
+//! (`is_x86_feature_detected!`), the `GRAPE6_FORCE_SCALAR` /
+//! `GRAPE6_SIMD` environment overrides, and a process-wide programmatic
+//! override ([`set_dispatch_override`]) used by the kernel benchmark to
+//! time the AVX2 variant on an AVX-512 host.  When no level is active the
+//! callers fall back to the scalar batched path — same bits, fewer lanes.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// Vector ISA level the kernel can dispatch to, in increasing width.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+pub enum SimdLevel {
+    /// 4 × f64 lanes (`avx2`).
+    Avx2,
+    /// 8 × f64 lanes (`avx512f` + `avx512dq`).
+    Avx512,
+}
+
+impl SimdLevel {
+    /// Stable lower-case name, used in benchmark variant labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            SimdLevel::Avx2 => "avx2",
+            SimdLevel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// Process-wide dispatch override, applied *on top of* detection — it can
+/// only lower the active level, never enable an ISA the host lacks.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DispatchOverride {
+    /// Use whatever detection (and the environment) allows.
+    #[default]
+    Auto,
+    /// Run the scalar batched fallback even on SIMD-capable hosts.
+    ForceScalar,
+    /// Cap at AVX2 (times the 4-wide variant on an AVX-512 host).
+    CapAvx2,
+    /// Cap at AVX-512 (same as `Auto` on every real host).
+    CapAvx512,
+}
+
+static OVERRIDE: AtomicU8 = AtomicU8::new(0);
+
+/// Set the process-wide [`DispatchOverride`].  Safe to call at any time:
+/// all variants are bitwise identical, so a mid-run change can alter
+/// timing but never results.
+pub fn set_dispatch_override(o: DispatchOverride) {
+    let v = match o {
+        DispatchOverride::Auto => 0,
+        DispatchOverride::ForceScalar => 1,
+        DispatchOverride::CapAvx2 => 2,
+        DispatchOverride::CapAvx512 => 3,
+    };
+    OVERRIDE.store(v, Ordering::Relaxed);
+}
+
+/// The currently installed [`DispatchOverride`].
+pub fn dispatch_override() -> DispatchOverride {
+    match OVERRIDE.load(Ordering::Relaxed) {
+        1 => DispatchOverride::ForceScalar,
+        2 => DispatchOverride::CapAvx2,
+        3 => DispatchOverride::CapAvx512,
+        _ => DispatchOverride::Auto,
+    }
+}
+
+/// Highest level the host supports, after the environment overrides.
+/// Detection and environment are read once per process.
+///
+/// * `GRAPE6_FORCE_SCALAR` — any value other than empty or `0` disables
+///   SIMD dispatch entirely (CI uses this to keep the fallback path
+///   exercised on AVX-capable runners).
+/// * `GRAPE6_SIMD` — `off`/`scalar` disables, `avx2` caps at AVX2,
+///   `avx512` (or unset) allows full detection.
+pub fn detected_level() -> Option<SimdLevel> {
+    static DETECTED: OnceLock<Option<SimdLevel>> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        if matches!(std::env::var("GRAPE6_FORCE_SCALAR"), Ok(v) if !v.is_empty() && v != "0") {
+            return None;
+        }
+        let cap = match std::env::var("GRAPE6_SIMD").as_deref() {
+            Ok("off") | Ok("scalar") => return None,
+            Ok("avx2") => Some(SimdLevel::Avx2),
+            _ => None, // unset / "avx512" / unknown: full detection
+        };
+        let hw = hardware_level();
+        match (hw, cap) {
+            (Some(h), Some(c)) => Some(h.min(c)),
+            (h, _) => h,
+        }
+    })
+}
+
+#[cfg(target_arch = "x86_64")]
+fn hardware_level() -> Option<SimdLevel> {
+    if is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq") {
+        Some(SimdLevel::Avx512)
+    } else if is_x86_feature_detected!("avx2") {
+        Some(SimdLevel::Avx2)
+    } else {
+        None
+    }
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn hardware_level() -> Option<SimdLevel> {
+    None
+}
+
+/// The level the kernel should dispatch to right now: detection capped by
+/// the programmatic override.  `None` means "run the scalar batched
+/// fallback".
+pub fn active_level() -> Option<SimdLevel> {
+    let detected = detected_level()?;
+    match dispatch_override() {
+        DispatchOverride::Auto | DispatchOverride::CapAvx512 => Some(detected),
+        DispatchOverride::ForceScalar => None,
+        DispatchOverride::CapAvx2 => Some(detected.min(SimdLevel::Avx2)),
+    }
+}
+
+/// One vector register file's worth of f64 lanes and the operations the
+/// force pass needs on them.
+///
+/// Every method is `unsafe`: the caller must guarantee the implementing
+/// ISA is available on the running CPU (the dispatchers in this crate
+/// only reach these through `#[target_feature]` entry points selected by
+/// [`active_level`]).  All float methods are single-rounded IEEE-754
+/// operations, bit-identical to their scalar f64 counterparts; integer
+/// methods wrap like the scalar `wrapping_*` family.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::missing_safety_doc)] // blanket contract documented above
+pub trait Lanes: Copy {
+    /// Number of f64 lanes.
+    const WIDTH: usize;
+    /// `mask_bits` value when every lane is set.
+    const ALL: u32;
+    /// Float register type.
+    type F: Copy;
+    /// Integer register type (64-bit lanes).
+    type I: Copy;
+    /// Comparison mask type.
+    type M: Copy;
+
+    /// Broadcast a double into all lanes.
+    unsafe fn splat(x: f64) -> Self::F;
+    /// Broadcast an i64 into all lanes.
+    unsafe fn splat_i(x: i64) -> Self::I;
+    /// Unaligned load of `WIDTH` doubles.
+    unsafe fn load(p: *const f64) -> Self::F;
+    /// Unaligned store of `WIDTH` doubles.
+    unsafe fn store(p: *mut f64, v: Self::F);
+    /// Unaligned load of `WIDTH` i64s.
+    unsafe fn load_i(p: *const i64) -> Self::I;
+    /// Lanewise IEEE add (one rounding).
+    unsafe fn add(a: Self::F, b: Self::F) -> Self::F;
+    /// Lanewise IEEE subtract (one rounding).
+    unsafe fn sub(a: Self::F, b: Self::F) -> Self::F;
+    /// Lanewise IEEE multiply (one rounding).
+    unsafe fn mul(a: Self::F, b: Self::F) -> Self::F;
+    /// Lanewise round to nearest integer, ties to even.
+    unsafe fn round_ties_even(a: Self::F) -> Self::F;
+    /// Bit-cast f64 lanes to i64 lanes.
+    unsafe fn to_bits(a: Self::F) -> Self::I;
+    /// Bit-cast i64 lanes to f64 lanes.
+    unsafe fn from_bits(a: Self::I) -> Self::F;
+    /// Lanewise wrapping i64 add.
+    unsafe fn add_i(a: Self::I, b: Self::I) -> Self::I;
+    /// Lanewise wrapping i64 subtract.
+    unsafe fn sub_i(a: Self::I, b: Self::I) -> Self::I;
+    /// Lanewise bitwise AND.
+    unsafe fn and_i(a: Self::I, b: Self::I) -> Self::I;
+    /// Lanewise bitwise OR.
+    unsafe fn or_i(a: Self::I, b: Self::I) -> Self::I;
+    /// Lanewise bitwise XOR.
+    unsafe fn xor_i(a: Self::I, b: Self::I) -> Self::I;
+    /// Lanewise logical shift right by a uniform count.
+    unsafe fn shr_i(a: Self::I, n: u32) -> Self::I;
+    /// Lanewise logical shift left by a uniform count.
+    unsafe fn shl_i(a: Self::I, n: u32) -> Self::I;
+    /// Lanewise full-range `i64 → f64`, round-to-nearest-even — the exact
+    /// bits of Rust's scalar `as f64` cast for every input.
+    unsafe fn i64_to_f64(a: Self::I) -> Self::F;
+    /// Lanewise `a == b` on i64 lanes.
+    unsafe fn cmpeq_i(a: Self::I, b: Self::I) -> Self::M;
+    /// Lanewise signed `a > b` on i64 lanes.
+    unsafe fn cmpgt_i(a: Self::I, b: Self::I) -> Self::M;
+    /// Mask conjunction.
+    unsafe fn mask_and(a: Self::M, b: Self::M) -> Self::M;
+    /// `m ? t : f`, lanewise.
+    unsafe fn select(m: Self::M, t: Self::F, f: Self::F) -> Self::F;
+    /// One bit per lane (bit `i` = lane `i`).
+    unsafe fn mask_bits(m: Self::M) -> u32;
+    /// Gather `WIDTH` doubles from `base + idx·8` bytes (`idx` in f64
+    /// units, i64 lanes).
+    unsafe fn gather(base: *const f64, idx: Self::I) -> Self::F;
+}
+
+/// 4 × f64 AVX2 lanes.
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy, Debug)]
+pub struct Avx2;
+
+/// 8 × f64 AVX-512 lanes (`avx512f` + `avx512dq`).
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy, Debug)]
+pub struct Avx512;
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{Avx2, Avx512, Lanes};
+    use std::arch::x86_64::*;
+
+    #[allow(clippy::missing_safety_doc)]
+    impl Lanes for Avx2 {
+        const WIDTH: usize = 4;
+        const ALL: u32 = 0b1111;
+        type F = __m256d;
+        type I = __m256i;
+        type M = __m256i;
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> __m256d {
+            _mm256_set1_pd(x)
+        }
+        #[inline(always)]
+        unsafe fn splat_i(x: i64) -> __m256i {
+            _mm256_set1_epi64x(x)
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> __m256d {
+            _mm256_loadu_pd(p)
+        }
+        #[inline(always)]
+        unsafe fn store(p: *mut f64, v: __m256d) {
+            _mm256_storeu_pd(p, v)
+        }
+        #[inline(always)]
+        unsafe fn load_i(p: *const i64) -> __m256i {
+            _mm256_loadu_si256(p as *const __m256i)
+        }
+        #[inline(always)]
+        unsafe fn add(a: __m256d, b: __m256d) -> __m256d {
+            _mm256_add_pd(a, b)
+        }
+        #[inline(always)]
+        unsafe fn sub(a: __m256d, b: __m256d) -> __m256d {
+            _mm256_sub_pd(a, b)
+        }
+        #[inline(always)]
+        unsafe fn mul(a: __m256d, b: __m256d) -> __m256d {
+            _mm256_mul_pd(a, b)
+        }
+        #[inline(always)]
+        unsafe fn round_ties_even(a: __m256d) -> __m256d {
+            _mm256_round_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(a)
+        }
+        #[inline(always)]
+        unsafe fn to_bits(a: __m256d) -> __m256i {
+            _mm256_castpd_si256(a)
+        }
+        #[inline(always)]
+        unsafe fn from_bits(a: __m256i) -> __m256d {
+            _mm256_castsi256_pd(a)
+        }
+        #[inline(always)]
+        unsafe fn add_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_add_epi64(a, b)
+        }
+        #[inline(always)]
+        unsafe fn sub_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_sub_epi64(a, b)
+        }
+        #[inline(always)]
+        unsafe fn and_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_and_si256(a, b)
+        }
+        #[inline(always)]
+        unsafe fn or_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_or_si256(a, b)
+        }
+        #[inline(always)]
+        unsafe fn xor_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_xor_si256(a, b)
+        }
+        #[inline(always)]
+        unsafe fn shr_i(a: __m256i, n: u32) -> __m256i {
+            _mm256_srl_epi64(a, _mm_cvtsi32_si128(n as i32))
+        }
+        #[inline(always)]
+        unsafe fn shl_i(a: __m256i, n: u32) -> __m256i {
+            _mm256_sll_epi64(a, _mm_cvtsi32_si128(n as i32))
+        }
+        #[inline(always)]
+        unsafe fn i64_to_f64(a: __m256i) -> __m256d {
+            // AVX2 has no 64-bit int → double conversion; split each lane
+            // into its low and high 32-bit halves and rebuild the value as
+            // `(hi·2^32 − 2^52) + (2^52 + lo)` with magic-exponent bit
+            // tricks (the classic full-range construction).  The high part
+            // is exact (32-bit payload aligned at 2^32 inside a 2^84-scaled
+            // double), so the single rounding happens in the final add —
+            // bit-identical to the scalar `as f64` cast for every i64.
+            let magic_lo = _mm256_set1_epi64x(0x4330_0000_0000_0000); // 2^52
+            let magic_hi32 = _mm256_set1_epi64x(0x4530_0000_8000_0000u64 as i64); // 2^84 + 2^63
+            let magic_all = _mm256_set1_epi64x(0x4530_0000_8010_0000u64 as i64); // 2^84 + 2^63 + 2^52
+            let v_lo = _mm256_blend_epi32::<0b0101_0101>(magic_lo, a);
+            let v_hi = _mm256_xor_si256(_mm256_srli_epi64::<32>(a), magic_hi32);
+            let hi_dbl = _mm256_sub_pd(_mm256_castsi256_pd(v_hi), _mm256_castsi256_pd(magic_all));
+            _mm256_add_pd(hi_dbl, _mm256_castsi256_pd(v_lo))
+        }
+        #[inline(always)]
+        unsafe fn cmpeq_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_cmpeq_epi64(a, b)
+        }
+        #[inline(always)]
+        unsafe fn cmpgt_i(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_cmpgt_epi64(a, b)
+        }
+        #[inline(always)]
+        unsafe fn mask_and(a: __m256i, b: __m256i) -> __m256i {
+            _mm256_and_si256(a, b)
+        }
+        #[inline(always)]
+        unsafe fn select(m: __m256i, t: __m256d, f: __m256d) -> __m256d {
+            // blendv picks by sign bit; comparison masks are all-ones or
+            // all-zeros per lane, so the sign bit carries the full mask.
+            _mm256_blendv_pd(f, t, _mm256_castsi256_pd(m))
+        }
+        #[inline(always)]
+        unsafe fn mask_bits(m: __m256i) -> u32 {
+            _mm256_movemask_pd(_mm256_castsi256_pd(m)) as u32
+        }
+        #[inline(always)]
+        unsafe fn gather(base: *const f64, idx: __m256i) -> __m256d {
+            _mm256_i64gather_pd::<8>(base, idx)
+        }
+    }
+
+    #[allow(clippy::missing_safety_doc)]
+    impl Lanes for Avx512 {
+        const WIDTH: usize = 8;
+        const ALL: u32 = 0b1111_1111;
+        type F = __m512d;
+        type I = __m512i;
+        type M = __mmask8;
+
+        #[inline(always)]
+        unsafe fn splat(x: f64) -> __m512d {
+            _mm512_set1_pd(x)
+        }
+        #[inline(always)]
+        unsafe fn splat_i(x: i64) -> __m512i {
+            _mm512_set1_epi64(x)
+        }
+        #[inline(always)]
+        unsafe fn load(p: *const f64) -> __m512d {
+            _mm512_loadu_pd(p)
+        }
+        #[inline(always)]
+        unsafe fn store(p: *mut f64, v: __m512d) {
+            _mm512_storeu_pd(p, v)
+        }
+        #[inline(always)]
+        unsafe fn load_i(p: *const i64) -> __m512i {
+            _mm512_loadu_epi64(p)
+        }
+        #[inline(always)]
+        unsafe fn add(a: __m512d, b: __m512d) -> __m512d {
+            _mm512_add_pd(a, b)
+        }
+        #[inline(always)]
+        unsafe fn sub(a: __m512d, b: __m512d) -> __m512d {
+            _mm512_sub_pd(a, b)
+        }
+        #[inline(always)]
+        unsafe fn mul(a: __m512d, b: __m512d) -> __m512d {
+            _mm512_mul_pd(a, b)
+        }
+        #[inline(always)]
+        unsafe fn round_ties_even(a: __m512d) -> __m512d {
+            _mm512_roundscale_pd::<{ _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC }>(a)
+        }
+        #[inline(always)]
+        unsafe fn to_bits(a: __m512d) -> __m512i {
+            _mm512_castpd_si512(a)
+        }
+        #[inline(always)]
+        unsafe fn from_bits(a: __m512i) -> __m512d {
+            _mm512_castsi512_pd(a)
+        }
+        #[inline(always)]
+        unsafe fn add_i(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_add_epi64(a, b)
+        }
+        #[inline(always)]
+        unsafe fn sub_i(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_sub_epi64(a, b)
+        }
+        #[inline(always)]
+        unsafe fn and_i(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_and_si512(a, b)
+        }
+        #[inline(always)]
+        unsafe fn or_i(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_or_si512(a, b)
+        }
+        #[inline(always)]
+        unsafe fn xor_i(a: __m512i, b: __m512i) -> __m512i {
+            _mm512_xor_si512(a, b)
+        }
+        #[inline(always)]
+        unsafe fn shr_i(a: __m512i, n: u32) -> __m512i {
+            _mm512_srl_epi64(a, _mm_cvtsi32_si128(n as i32))
+        }
+        #[inline(always)]
+        unsafe fn shl_i(a: __m512i, n: u32) -> __m512i {
+            _mm512_sll_epi64(a, _mm_cvtsi32_si128(n as i32))
+        }
+        #[inline(always)]
+        unsafe fn i64_to_f64(a: __m512i) -> __m512d {
+            _mm512_cvtepi64_pd(a) // avx512dq: native, round-to-nearest-even
+        }
+        #[inline(always)]
+        unsafe fn cmpeq_i(a: __m512i, b: __m512i) -> __mmask8 {
+            _mm512_cmpeq_epi64_mask(a, b)
+        }
+        #[inline(always)]
+        unsafe fn cmpgt_i(a: __m512i, b: __m512i) -> __mmask8 {
+            _mm512_cmpgt_epi64_mask(a, b)
+        }
+        #[inline(always)]
+        unsafe fn mask_and(a: __mmask8, b: __mmask8) -> __mmask8 {
+            a & b
+        }
+        #[inline(always)]
+        unsafe fn select(m: __mmask8, t: __m512d, f: __m512d) -> __m512d {
+            _mm512_mask_blend_pd(m, f, t)
+        }
+        #[inline(always)]
+        unsafe fn mask_bits(m: __mmask8) -> u32 {
+            m as u32
+        }
+        #[inline(always)]
+        unsafe fn gather(base: *const f64, idx: __m512i) -> __m512d {
+            _mm512_i64gather_pd::<8>(idx, base)
+        }
+    }
+}
+
+/// Lanewise [`quantize_sig_branchless`](crate::quantize_sig_branchless):
+/// round every lane to a `sig`-bit significand, round-to-nearest-even,
+/// NaN/±inf passing through.  Bit-identical to the scalar function on
+/// every lane for every bit pattern (the carry chain is the same wrapping
+/// integer add; the NaN/inf select keys on the same exponent-field test).
+///
+/// # Safety
+/// `L`'s ISA must be available on the running CPU.
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+pub unsafe fn quantize_lanes<L: Lanes>(x: L::F, sig: u32) -> L::F {
+    debug_assert!((1..=52).contains(&sig));
+    let drop = 53 - sig;
+    let bits = L::to_bits(x);
+    let half_m1 = L::splat_i(((1u64 << (drop - 1)) - 1) as i64);
+    let keep_mask = L::splat_i(!((1u64 << drop) - 1) as i64);
+    let lsb = L::and_i(L::shr_i(bits, drop), L::splat_i(1));
+    let rounded = L::and_i(L::add_i(bits, L::add_i(half_m1, lsb)), keep_mask);
+    let exp_mask = L::splat_i(0x7ff0_0000_0000_0000);
+    let special = L::cmpeq_i(L::and_i(bits, exp_mask), exp_mask);
+    L::select(special, x, L::from_bits(rounded))
+}
+
+/// Quantize a slice through the active SIMD level: `out[i] =
+/// quantize_sig_branchless(xs[i], sig)` for every `i`, the bulk in
+/// 4/8-wide lanes and the tail through the scalar function.  Returns the
+/// level used, or `None` (output untouched) when no SIMD level is active
+/// — callers then run the scalar path themselves.
+///
+/// This is the safe, slice-shaped entry point used by tests and by
+/// callers outside the force kernel's hand-scheduled loops.
+pub fn quantize_slice(xs: &[f64], out: &mut [f64], sig: u32) -> Option<SimdLevel> {
+    assert_eq!(xs.len(), out.len());
+    assert!((1..=52).contains(&sig), "sig must be in 1..=52");
+    match active_level() {
+        #[cfg(target_arch = "x86_64")]
+        Some(SimdLevel::Avx2) => {
+            // SAFETY: dispatch proved avx2 is available.
+            unsafe { quantize_slice_avx2(xs, out, sig) };
+            Some(SimdLevel::Avx2)
+        }
+        #[cfg(target_arch = "x86_64")]
+        Some(SimdLevel::Avx512) => {
+            // SAFETY: dispatch proved avx512f+dq are available.
+            unsafe { quantize_slice_avx512(xs, out, sig) };
+            Some(SimdLevel::Avx512)
+        }
+        _ => None,
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+#[inline(always)]
+unsafe fn quantize_slice_lanes<L: Lanes>(xs: &[f64], out: &mut [f64], sig: u32) {
+    let n = xs.len();
+    let mut i = 0;
+    while i + L::WIDTH <= n {
+        let v = L::load(xs.as_ptr().add(i));
+        L::store(out.as_mut_ptr().add(i), quantize_lanes::<L>(v, sig));
+        i += L::WIDTH;
+    }
+    for k in i..n {
+        out[k] = crate::quantize_sig_branchless(xs[k], sig);
+    }
+}
+
+/// # Safety
+/// Requires `avx2` at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+pub unsafe fn quantize_slice_avx2(xs: &[f64], out: &mut [f64], sig: u32) {
+    quantize_slice_lanes::<Avx2>(xs, out, sig)
+}
+
+/// # Safety
+/// Requires `avx512f` and `avx512dq` at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512dq")]
+pub unsafe fn quantize_slice_avx512(xs: &[f64], out: &mut [f64], sig: u32) {
+    quantize_slice_lanes::<Avx512>(xs, out, sig)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift_sweep(mut f: impl FnMut(u64)) {
+        // Same deterministic generator as the pfloat equivalence sweep:
+        // every float class shows up (all magnitudes, subnormals, NaN
+        // payloads, infs, both signs).
+        let mut s: u64 = 0x243f_6a88_85a3_08d3;
+        for _ in 0..200_000 {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            f(s);
+        }
+    }
+
+    #[test]
+    fn dispatch_override_caps_but_never_raises() {
+        let detected = detected_level();
+        set_dispatch_override(DispatchOverride::ForceScalar);
+        assert_eq!(active_level(), None);
+        set_dispatch_override(DispatchOverride::CapAvx2);
+        assert_eq!(active_level(), detected.map(|l| l.min(SimdLevel::Avx2)));
+        set_dispatch_override(DispatchOverride::CapAvx512);
+        assert_eq!(active_level(), detected);
+        set_dispatch_override(DispatchOverride::Auto);
+        assert_eq!(active_level(), detected);
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    mod lane_equivalence {
+        use super::super::*;
+        use super::xorshift_sweep;
+
+        // Per-ISA test drivers: plain #[target_feature] wrappers over the
+        // generic bodies, called only after an explicit runtime check.
+        #[target_feature(enable = "avx2")]
+        unsafe fn quantize_one_avx2(xs: &[f64; 4], out: &mut [f64; 4], sig: u32) {
+            let v = <Avx2 as Lanes>::load(xs.as_ptr());
+            <Avx2 as Lanes>::store(out.as_mut_ptr(), quantize_lanes::<Avx2>(v, sig));
+        }
+
+        #[target_feature(enable = "avx512f,avx512dq")]
+        unsafe fn quantize_one_avx512(xs: &[f64; 8], out: &mut [f64; 8], sig: u32) {
+            let v = <Avx512 as Lanes>::load(xs.as_ptr());
+            <Avx512 as Lanes>::store(out.as_mut_ptr(), quantize_lanes::<Avx512>(v, sig));
+        }
+
+        #[target_feature(enable = "avx2")]
+        unsafe fn cvt_avx2(xs: &[i64; 4], out: &mut [f64; 4]) {
+            let v = <Avx2 as Lanes>::load_i(xs.as_ptr());
+            <Avx2 as Lanes>::store(out.as_mut_ptr(), <Avx2 as Lanes>::i64_to_f64(v));
+        }
+
+        #[target_feature(enable = "avx512f,avx512dq")]
+        unsafe fn cvt_avx512(xs: &[i64; 8], out: &mut [f64; 8]) {
+            let v = <Avx512 as Lanes>::load_i(xs.as_ptr());
+            <Avx512 as Lanes>::store(out.as_mut_ptr(), <Avx512 as Lanes>::i64_to_f64(v));
+        }
+
+        #[test]
+        fn lane_quantizer_matches_scalar_on_random_bit_patterns() {
+            let avx2 = is_x86_feature_detected!("avx2");
+            let avx512 =
+                is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq");
+            if !avx2 {
+                eprintln!("skipping: no AVX2 on this host");
+                return;
+            }
+            let mut pend: Vec<u64> = Vec::new();
+            xorshift_sweep(|s| pend.push(s));
+            // Structured extras: specials and exact grid ties.
+            for x in [
+                0.0f64,
+                -0.0,
+                f64::NAN,
+                f64::INFINITY,
+                f64::NEG_INFINITY,
+                f64::MIN_POSITIVE,
+                f64::from_bits(1),
+                f64::from_bits(0x000f_ffff_ffff_ffff),
+                1.0 + 2f64.powi(-24),
+                2.0 - 2f64.powi(-25),
+            ] {
+                pend.push(x.to_bits());
+            }
+            while pend.len() % 8 != 0 {
+                pend.push(0);
+            }
+            for sig in [24u32, 11, 50] {
+                for chunk in pend.chunks_exact(8) {
+                    let xs8: [f64; 8] = std::array::from_fn(|i| f64::from_bits(chunk[i]));
+                    let want: [u64; 8] = std::array::from_fn(|i| {
+                        crate::quantize_sig_branchless(xs8[i], sig).to_bits()
+                    });
+                    for half in 0..2 {
+                        let xs4: [f64; 4] = std::array::from_fn(|i| xs8[half * 4 + i]);
+                        let mut out4 = [0.0f64; 4];
+                        // SAFETY: avx2 checked above.
+                        unsafe { quantize_one_avx2(&xs4, &mut out4, sig) };
+                        for i in 0..4 {
+                            assert_eq!(
+                                out4[i].to_bits(),
+                                want[half * 4 + i],
+                                "avx2 sig={sig} bits={:#018x}",
+                                chunk[half * 4 + i]
+                            );
+                        }
+                    }
+                    if avx512 {
+                        let mut out8 = [0.0f64; 8];
+                        // SAFETY: avx512f+dq checked above.
+                        unsafe { quantize_one_avx512(&xs8, &mut out8, sig) };
+                        for i in 0..8 {
+                            assert_eq!(
+                                out8[i].to_bits(),
+                                want[i],
+                                "avx512 sig={sig} bits={:#018x}",
+                                chunk[i]
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn lane_i64_to_f64_matches_scalar_cast() {
+            let avx2 = is_x86_feature_detected!("avx2");
+            let avx512 =
+                is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512dq");
+            if !avx2 {
+                eprintln!("skipping: no AVX2 on this host");
+                return;
+            }
+            let mut vals: Vec<i64> = vec![
+                0,
+                1,
+                -1,
+                i64::MAX,
+                i64::MIN,
+                i64::MAX - 1,
+                i64::MIN + 1,
+                (1 << 53) + 1, // first value needing a rounded cast
+                -(1 << 53) - 1,
+                (1 << 62) | 1,
+                u32::MAX as i64,
+                -(u32::MAX as i64),
+            ];
+            xorshift_sweep(|s| vals.push(s as i64));
+            while vals.len() % 8 != 0 {
+                vals.push(0);
+            }
+            for chunk in vals.chunks_exact(8) {
+                let want: [u64; 8] = std::array::from_fn(|i| (chunk[i] as f64).to_bits());
+                for half in 0..2 {
+                    let xs4: [i64; 4] = std::array::from_fn(|i| chunk[half * 4 + i]);
+                    let mut out4 = [0.0f64; 4];
+                    // SAFETY: avx2 checked above.
+                    unsafe { cvt_avx2(&xs4, &mut out4) };
+                    for i in 0..4 {
+                        assert_eq!(
+                            out4[i].to_bits(),
+                            want[half * 4 + i],
+                            "avx2 v={}",
+                            chunk[half * 4 + i]
+                        );
+                    }
+                }
+                if avx512 {
+                    let xs8: [i64; 8] = chunk.try_into().unwrap();
+                    let mut out8 = [0.0f64; 8];
+                    // SAFETY: avx512f+dq checked above.
+                    unsafe { cvt_avx512(&xs8, &mut out8) };
+                    for i in 0..8 {
+                        assert_eq!(out8[i].to_bits(), want[i], "avx512 v={}", chunk[i]);
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn quantize_slice_matches_scalar_including_tail() {
+            if active_level().is_none() {
+                eprintln!("skipping: no SIMD level active");
+                return;
+            }
+            let mut xs = Vec::new();
+            let mut s: u64 = 0x9e37_79b9_7f4a_7c15;
+            for _ in 0..1027 {
+                // odd length: exercises the scalar tail
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                xs.push(f64::from_bits(s));
+            }
+            let mut out = vec![0.0; xs.len()];
+            let level = quantize_slice(&xs, &mut out, 24);
+            assert!(level.is_some());
+            for (i, (&x, &o)) in xs.iter().zip(&out).enumerate() {
+                assert_eq!(
+                    o.to_bits(),
+                    crate::quantize_sig_branchless(x, 24).to_bits(),
+                    "lane {i}"
+                );
+            }
+        }
+    }
+}

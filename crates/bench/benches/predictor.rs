@@ -1,0 +1,60 @@
+//! Criterion micro-benchmark of the predictor pipeline.
+//!
+//! Scalar per-particle `predict` vs the batched SoA `predict_batch` over
+//! the same j-stream — bit-identical outputs, so the only thing measured
+//! is host throughput.  The predictor runs once per chip pass over every
+//! stored j-particle, so at small-N machine shapes it is a visible slice
+//! of pass time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use grape6_chip::jmem::HwJParticle;
+use grape6_chip::predictor::{predict, predict_batch, PredictedJ};
+use nbody_core::force::JParticle;
+use nbody_core::Vec3;
+
+fn j_stream(n: usize) -> Vec<HwJParticle> {
+    (0..n)
+        .map(|k| {
+            let a = k as f64 * 0.37;
+            HwJParticle::from_host(&JParticle {
+                mass: 0.001,
+                t0: 0.0,
+                pos: Vec3::new(a.cos(), a.sin(), 0.1 * (k % 13) as f64 - 0.6),
+                vel: Vec3::new(-0.1 * a.sin(), 0.1 * a.cos(), 0.02),
+                acc: Vec3::new(0.01, -0.01, 0.003),
+                jerk: Vec3::new(0.001, 0.002, -0.001),
+                snap: Vec3::new(1e-4, -2e-4, 1e-4),
+            })
+        })
+        .collect()
+}
+
+fn bench_predictor(c: &mut Criterion) {
+    let n = 4096;
+    let stream = j_stream(n);
+    let t = 0.0625;
+    let mut g = c.benchmark_group("predictor");
+    g.sample_size(20);
+    g.throughput(Throughput::Elements(n as u64));
+    g.bench_function(format!("predict_scalar_{n}j"), |b| {
+        let mut out: Vec<PredictedJ> = Vec::with_capacity(n);
+        b.iter(|| {
+            out.clear();
+            for p in &stream {
+                out.push(predict(p, t));
+            }
+            out.len()
+        })
+    });
+    g.bench_function(format!("predict_batch_{n}j"), |b| {
+        let mut out: Vec<PredictedJ> = Vec::with_capacity(n);
+        b.iter(|| {
+            predict_batch(&stream, t, &mut out);
+            out.len()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_predictor);
+criterion_main!(benches);

@@ -1,21 +1,24 @@
-//! Force-kernel A/B comparison — `BENCH_kernel.json`.
+//! Force-kernel comparison matrix — `BENCH_kernel.json`.
 //!
-//! Runs the same Plummer integration twice — once on the per-interaction
-//! scalar reference oracle, once on the batched structure-of-arrays
-//! kernel — verifies the two land on bitwise-identical particle state,
-//! and reports host wall-clock and interactions per second per kernel.
+//! Runs the same Plummer integration once per kernel variant — the
+//! per-interaction scalar reference oracle, the auto-vectorised batched
+//! SoA kernel, and the hand-rolled SIMD-lane kernel at each dispatch
+//! level the host supports (`simd-avx2`, `simd-avx512` where detected) —
+//! across a matrix of system sizes, verifies that every variant lands on
+//! bitwise-identical particle state, and reports host wall-clock and
+//! interactions per second per variant.
 //!
-//! The bitwise verdict is **asserted** (exit 1 on divergence): the
-//! batched kernel's whole contract is same bits, less host time.  The
-//! speedup itself is printed and recorded in the JSON; `ci.sh` uses it
-//! as a regression guard (batched must not fall below the oracle).
+//! The bitwise verdict is **asserted** (exit 1 on divergence): every
+//! kernel's whole contract is same bits, less host time.  Speedups are
+//! printed and recorded in the JSON; `ci.sh` guards the relational floor
+//! (batched ≥ scalar, best SIMD ≥ batched).
 //!
-//! Usage: `kernel_bench [N] [BLOCKSTEPS] [BOARDS]`
-//! (defaults 256 / 24 / 2 — CI-sized; larger N amortises per-pass decode
-//! and shows the kernel's steady-state throughput).
+//! Usage: `kernel_bench [BLOCKSTEPS] [BOARDS] [N...]`
+//! (defaults 24 / 2 / 256 512 — CI-sized; larger N amortises per-pass
+//! decode and shows each kernel's steady-state throughput).
 //!
-//! Output: prints a table and writes `BENCH_kernel.json` to the current
-//! directory.
+//! Output: prints one table per system size and writes
+//! `BENCH_kernel.json` to the current directory.
 
 use grape6_bench::kernel::run_kernel_bench;
 use grape6_bench::print_table;
@@ -23,10 +26,6 @@ use grape6_system::machine::MachineConfig;
 
 fn main() {
     let mut args = std::env::args().skip(1);
-    let n: usize = args
-        .next()
-        .map(|a| a.parse().expect("N must be an integer"))
-        .unwrap_or(256);
     let blocksteps: usize = args
         .next()
         .map(|a| a.parse().expect("BLOCKSTEPS must be an integer"))
@@ -35,48 +34,66 @@ fn main() {
         .next()
         .map(|a| a.parse().expect("BOARDS must be an integer"))
         .unwrap_or(2);
+    let mut sizes: Vec<usize> = args
+        .map(|a| a.parse().expect("each N must be an integer"))
+        .collect();
+    if sizes.is_empty() {
+        sizes = vec![256, 512];
+    }
 
+    // One machine serves every size: j-memory sized for the largest N.
+    let n_max = *sizes.iter().max().unwrap();
     let machine = MachineConfig::builder()
         .boards(boards)
         .modules_per_board(2)
         .chips_per_module(2)
-        .jmem_capacity((n.div_ceil(4 * boards).max(64)).next_power_of_two())
+        .jmem_capacity((n_max.div_ceil(4 * boards).max(64)).next_power_of_two())
         .build()
         .expect("valid bench machine");
 
-    let report = run_kernel_bench(&machine, n, blocksteps, 2003);
+    let report = run_kernel_bench(&machine, &sizes, blocksteps, 2003);
 
-    let row = |r: &grape6_bench::kernel::KernelRunResult| {
-        vec![
-            r.label.to_string(),
-            format!("{:.3}", r.wall_seconds),
-            format!("{}", r.interactions),
-            format!("{:.4e}", r.interactions_per_sec()),
-            format!("{:016x}", r.state_hash),
-        ]
-    };
-    print_table(
-        &format!("Kernel bench — N={n}, {boards} boards, {blocksteps} blocksteps"),
-        &[
-            "kernel",
-            "wall [s]",
-            "interactions",
-            "inter/s",
-            "state hash",
-        ],
-        &[row(&report.scalar), row(&report.batched)],
-    );
-    println!(
-        "\nbitwise identical: {}   batched speedup: {:.2}x",
-        report.bitwise_identical(),
-        report.speedup(),
-    );
+    for entry in &report.entries {
+        let rows: Vec<Vec<String>> = entry
+            .variants
+            .iter()
+            .map(|r| {
+                vec![
+                    r.label.clone(),
+                    format!("{:.3}", r.wall_seconds),
+                    format!("{}", r.interactions),
+                    format!("{:.4e}", r.interactions_per_sec()),
+                    format!(
+                        "{:.2}x",
+                        entry.speedup_over_scalar(&r.label).unwrap_or(f64::NAN)
+                    ),
+                    format!("{:016x}", r.state_hash),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!(
+                "Kernel bench — N={}, {boards} boards, {blocksteps} blocksteps",
+                entry.n
+            ),
+            &[
+                "kernel",
+                "wall [s]",
+                "interactions",
+                "inter/s",
+                "vs scalar",
+                "state hash",
+            ],
+            &rows,
+        );
+        println!("bitwise identical: {}\n", entry.bitwise_identical());
+    }
 
     if !report.bitwise_identical() {
-        eprintln!("ERROR: kernels diverged bitwise — the batched kernel must reproduce the oracle");
+        eprintln!("ERROR: kernels diverged bitwise — every kernel must reproduce the oracle");
         std::process::exit(1);
     }
 
     std::fs::write("BENCH_kernel.json", report.to_json() + "\n").expect("write BENCH_kernel.json");
-    println!("\nwrote BENCH_kernel.json");
+    println!("wrote BENCH_kernel.json");
 }

@@ -1,22 +1,31 @@
-//! Kernel A/B benchmark: scalar reference oracle vs batched SoA kernel.
+//! Kernel A/B/C benchmark: scalar oracle vs batched SoA vs SIMD lanes.
 //!
 //! The simulated pipeline's results are fixed by the bit-exact arithmetic
 //! contract, so the only thing a host kernel may change is how fast the
 //! host reproduces them.  This module runs the same Plummer integration
-//! twice — once on the per-interaction scalar oracle, once on the batched
-//! structure-of-arrays kernel — and reports:
+//! once per **kernel variant** — the per-interaction scalar oracle, the
+//! auto-vectorised batched SoA kernel, and the hand-rolled SIMD-lane
+//! kernel at each dispatch level the host supports (`simd-avx2`, and
+//! `simd-avx512` where detected) — across a matrix of system sizes, and
+//! reports per variant:
 //!
-//! * a **bitwise identity** verdict over the final particle bits (the
-//!   batched kernel performs the same rounded operations in the same
-//!   order per (i, j) pair, so any divergence is a bug, and the bin
-//!   exits non-zero);
-//! * **interactions per second of host wall-clock** for each kernel, the
-//!   figure of merit for how large a functional experiment the workspace
-//!   can afford.  The speedup is *reported, not asserted* here — `ci.sh`
-//!   guards against regression (batched must not fall below scalar).
+//! * a **bitwise identity** verdict over the final particle bits (every
+//!   kernel performs the same rounded operations in the same order per
+//!   (i, j) pair, so any divergence is a bug, and the bin exits
+//!   non-zero);
+//! * **interactions per second of host wall-clock**, the figure of merit
+//!   for how large a functional experiment the workspace can afford.
+//!   Speedups are *reported, not asserted* here — `ci.sh` guards the
+//!   relational floor (batched ≥ scalar, best SIMD ≥ batched).
+//!
+//! SIMD levels are pinned per run through the dispatch override
+//! (`grape6_arith::simd::set_dispatch_override`), which can cap but never
+//! raise the detected level — so a `simd-avx2` row on an AVX-512 host
+//! really does time the 4-wide lanes.
 
 use std::time::Instant;
 
+use grape6_arith::simd::{active_level, set_dispatch_override, DispatchOverride, SimdLevel};
 use grape6_core::engine::Grape6Engine;
 use grape6_core::integrator::{HermiteIntegrator, IntegratorConfig};
 use grape6_core::KernelMode;
@@ -28,11 +37,11 @@ use rand::SeedableRng;
 
 use crate::overlap::state_hash;
 
-/// One kernel's outcome over the measured blocksteps.
+/// One kernel variant's outcome over the measured blocksteps.
 #[derive(Clone, Debug)]
 pub struct KernelRunResult {
-    /// Kernel label (`scalar`, `batched`).
-    pub label: &'static str,
+    /// Variant label (`scalar`, `batched`, `simd-avx2`, `simd-avx512`).
+    pub label: String,
     /// Real wall-clock seconds for the measured blocksteps.
     pub wall_seconds: f64,
     /// Pairwise interactions the hardware evaluated.
@@ -48,30 +57,61 @@ impl KernelRunResult {
     }
 }
 
-/// The scalar-vs-batched comparison.
+/// All variants at one system size.
 #[derive(Clone, Debug)]
-pub struct KernelReport {
+pub struct KernelEntry {
     /// System size.
     pub n: usize,
-    /// Blocksteps measured per kernel.
+    /// One result per kernel variant, scalar first.
+    pub variants: Vec<KernelRunResult>,
+}
+
+impl KernelEntry {
+    /// Did every variant land on identical particle bits?
+    pub fn bitwise_identical(&self) -> bool {
+        self.variants
+            .windows(2)
+            .all(|w| w[0].state_hash == w[1].state_hash)
+    }
+
+    /// Look a variant up by label.
+    pub fn variant(&self, label: &str) -> Option<&KernelRunResult> {
+        self.variants.iter().find(|v| v.label == label)
+    }
+
+    /// The fastest `simd-*` variant, if any ran.
+    pub fn best_simd(&self) -> Option<&KernelRunResult> {
+        self.variants
+            .iter()
+            .filter(|v| v.label.starts_with("simd"))
+            .max_by(|a, b| {
+                a.interactions_per_sec()
+                    .total_cmp(&b.interactions_per_sec())
+            })
+    }
+
+    /// Host-throughput speedup of a labelled variant over the oracle.
+    pub fn speedup_over_scalar(&self, label: &str) -> Option<f64> {
+        let s = self.variant("scalar")?.interactions_per_sec();
+        Some(self.variant(label)?.interactions_per_sec() / s.max(1e-12))
+    }
+}
+
+/// The full kernel comparison matrix.
+#[derive(Clone, Debug)]
+pub struct KernelReport {
+    /// Blocksteps measured per variant.
     pub blocksteps: usize,
     /// Boards in the machine under test.
     pub boards: usize,
-    /// The per-interaction scalar oracle.
-    pub scalar: KernelRunResult,
-    /// The batched SoA kernel.
-    pub batched: KernelRunResult,
+    /// One entry per system size.
+    pub entries: Vec<KernelEntry>,
 }
 
 impl KernelReport {
-    /// Did both kernels land on identical particle bits?
+    /// Did every variant at every size land on identical particle bits?
     pub fn bitwise_identical(&self) -> bool {
-        self.scalar.state_hash == self.batched.state_hash
-    }
-
-    /// Host-throughput speedup of the batched kernel over the oracle.
-    pub fn speedup(&self) -> f64 {
-        self.batched.interactions_per_sec() / self.scalar.interactions_per_sec().max(1e-12)
+        self.entries.iter().all(KernelEntry::bitwise_identical)
     }
 
     /// Hand-rolled JSON (offline-safe) for `BENCH_kernel.json`.
@@ -87,31 +127,80 @@ impl KernelReport {
                 r.state_hash,
             )
         };
+        let entries = self
+            .entries
+            .iter()
+            .map(|e| {
+                let variants = e.variants.iter().map(run).collect::<Vec<_>>().join(",");
+                format!(
+                    "{{\"n\":{},\"bitwise_identical\":{},\"variants\":[{}]}}",
+                    e.n,
+                    e.bitwise_identical(),
+                    variants,
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
         format!(
-            "{{\"n\":{},\"blocksteps\":{},\"boards\":{},\
-             \"bitwise_identical\":{},\"speedup\":{:e},\
-             \"scalar\":{},\"batched\":{}}}",
-            self.n,
+            "{{\"blocksteps\":{},\"boards\":{},\"bitwise_identical\":{},\
+             \"entries\":[{}]}}",
             self.blocksteps,
             self.boards,
             self.bitwise_identical(),
-            self.speedup(),
-            run(&self.scalar),
-            run(&self.batched),
+            entries,
         )
     }
 }
 
+/// The kernel variants this host can time: the two portable kernels plus
+/// one `simd-*` row per dispatch level the hardware (and environment)
+/// actually supports.
+pub fn variant_plan() -> Vec<(String, KernelMode, Option<DispatchOverride>)> {
+    let mut plan = vec![
+        ("scalar".to_string(), KernelMode::Scalar, None),
+        ("batched".to_string(), KernelMode::Batched, None),
+    ];
+    // `active_level()` under Auto = detected hardware ∧ environment; caps
+    // below it are honest timings, a cap above it would silently fall
+    // back to the batched path and mislabel the row.
+    set_dispatch_override(DispatchOverride::Auto);
+    match active_level() {
+        Some(SimdLevel::Avx512) => {
+            plan.push((
+                "simd-avx2".to_string(),
+                KernelMode::Simd,
+                Some(DispatchOverride::CapAvx2),
+            ));
+            plan.push((
+                "simd-avx512".to_string(),
+                KernelMode::Simd,
+                Some(DispatchOverride::CapAvx512),
+            ));
+        }
+        Some(SimdLevel::Avx2) => {
+            plan.push((
+                "simd-avx2".to_string(),
+                KernelMode::Simd,
+                Some(DispatchOverride::CapAvx2),
+            ));
+        }
+        None => {}
+    }
+    plan
+}
+
 /// Run `blocksteps` blocksteps of a seeded Plummer model on one kernel
-/// and measure it.
-fn run_kernel(
+/// variant and measure it.
+fn run_variant(
     machine: &MachineConfig,
     n: usize,
     blocksteps: usize,
     seed: u64,
+    label: &str,
     mode: KernelMode,
+    level: Option<DispatchOverride>,
 ) -> KernelRunResult {
-    let label = mode.name();
+    set_dispatch_override(level.unwrap_or(DispatchOverride::Auto));
     let set = plummer_model(n, &mut StdRng::seed_from_u64(seed));
     let mut engine = Grape6Engine::try_new(machine, n).unwrap();
     engine.set_kernel_mode(mode);
@@ -122,39 +211,55 @@ fn run_kernel(
         it.try_step_auto().expect("healthy hardware");
     }
     let wall_seconds = t0.elapsed().as_secs_f64();
+    set_dispatch_override(DispatchOverride::Auto);
     KernelRunResult {
-        label,
+        label: label.to_string(),
         wall_seconds,
         interactions: it.engine().interactions() - before,
         state_hash: state_hash(it.particles()),
     }
 }
 
-/// The scalar-vs-batched comparison on `machine` for `blocksteps` steps
-/// of an `n`-particle Plummer model.
+/// The full variant × size comparison on `machine` for `blocksteps`
+/// steps of seeded Plummer models.
 pub fn run_kernel_bench(
     machine: &MachineConfig,
-    n: usize,
+    sizes: &[usize],
     blocksteps: usize,
     seed: u64,
 ) -> KernelReport {
-    let scalar = run_kernel(machine, n, blocksteps, seed, KernelMode::Scalar);
-    let batched = run_kernel(machine, n, blocksteps, seed, KernelMode::Batched);
+    let plan = variant_plan();
+    let entries = sizes
+        .iter()
+        .map(|&n| KernelEntry {
+            n,
+            variants: plan
+                .iter()
+                .map(|(label, mode, level)| {
+                    run_variant(machine, n, blocksteps, seed, label, *mode, *level)
+                })
+                .collect(),
+        })
+        .collect();
     KernelReport {
-        n,
         blocksteps,
         boards: machine.boards,
-        scalar,
-        batched,
+        entries,
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
+
+    /// The dispatch override is process-global; tests that set or assert
+    /// on it serialise here.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
 
     #[test]
-    fn kernels_are_bitwise_identical_over_whole_blocksteps() {
+    fn all_variants_are_bitwise_identical_over_whole_blocksteps() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
         let machine = MachineConfig::builder()
             .boards(2)
             .modules_per_board(2)
@@ -162,13 +267,42 @@ mod tests {
             .jmem_capacity(1024)
             .build()
             .unwrap();
-        let report = run_kernel_bench(&machine, 96, 16, 7);
+        let report = run_kernel_bench(&machine, &[96], 16, 7);
         assert!(report.bitwise_identical(), "kernels diverged bitwise");
-        // Both runs drove the same hardware schedule.
-        assert_eq!(report.scalar.interactions, report.batched.interactions);
-        assert!(report.scalar.interactions > 0);
+        let entry = &report.entries[0];
+        // Scalar and batched always run; SIMD rows depend on the host.
+        assert!(entry.variant("scalar").is_some());
+        assert!(entry.variant("batched").is_some());
+        // Every variant drove the same hardware schedule.
+        let inter = entry.variant("scalar").unwrap().interactions;
+        assert!(inter > 0);
+        for v in &entry.variants {
+            assert_eq!(v.interactions, inter, "{}", v.label);
+        }
         let json = report.to_json();
         assert!(json.contains("\"bitwise_identical\":true"), "{json}");
         assert!(json.contains("\"batched\""), "{json}");
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn simd_rows_follow_the_detected_level() {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        let plan = variant_plan();
+        let labels: Vec<&str> = plan.iter().map(|(l, _, _)| l.as_str()).collect();
+        set_dispatch_override(DispatchOverride::Auto);
+        match active_level() {
+            Some(SimdLevel::Avx512) => {
+                assert!(labels.contains(&"simd-avx2"));
+                assert!(labels.contains(&"simd-avx512"));
+            }
+            Some(SimdLevel::Avx2) => {
+                assert!(labels.contains(&"simd-avx2"));
+                assert!(!labels.contains(&"simd-avx512"));
+            }
+            None => {
+                assert_eq!(labels, ["scalar", "batched"]);
+            }
+        }
     }
 }

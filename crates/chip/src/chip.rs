@@ -25,8 +25,9 @@ use nbody_core::force::JParticle;
 
 use crate::jmem::{HwJParticle, JMemory, StuckBit};
 use crate::kernel::{batched_row, batched_row_nb, KernelMode, SoaBatch};
+use crate::kernel_simd::{simd_row, simd_row_nb};
 use crate::pipeline::{interact, ExpSet, HwIParticle, PartialForce};
-use crate::predictor::{predict, PredictedJ};
+use crate::predictor::{predict, predict_batch, PredictedJ};
 
 pub use crate::pipeline::HwIParticle as IRegister;
 
@@ -265,6 +266,12 @@ impl Chip {
                     )?);
                 }
             }
+            KernelMode::Simd => {
+                self.soa.decode(&self.predicted);
+                for (ip, &exp) in i_regs.iter().zip(exps) {
+                    out.push(simd_row(&self.rsqrt, ip, &self.soa, &self.predicted, exp)?);
+                }
+            }
         }
         self.censor_dead_pipelines(&mut out, exps);
         Ok(out)
@@ -336,6 +343,22 @@ impl Chip {
                     )?);
                 }
             }
+            KernelMode::Simd => {
+                self.soa.decode(&self.predicted);
+                for (((ip, &exp), &h2i), nb) in
+                    i_regs.iter().zip(exps).zip(h2).zip(lists.iter_mut())
+                {
+                    out.push(simd_row_nb(
+                        &self.rsqrt,
+                        ip,
+                        &self.soa,
+                        &self.predicted,
+                        exp,
+                        h2i,
+                        nb,
+                    )?);
+                }
+            }
         }
         self.censor_dead_pipelines(&mut out, exps);
         if self.dead_pipelines != 0 {
@@ -351,17 +374,29 @@ impl Chip {
     /// Shared pass prologue: charge cycles up front (the hardware streams
     /// the whole memory regardless of whether the host later accepts the
     /// result) and run the predictor pipeline over every stored j.
+    ///
+    /// The batched kernels use the batched SoA predictor pass; the scalar
+    /// oracle keeps the per-particle loop so a `KernelMode::Scalar` run
+    /// remains an end-to-end independent reference.  The two are bitwise
+    /// identical (`predict_batch` contract).
     fn charge_and_predict(&mut self, n_i: usize) {
         let n_j = self.jmem.len();
         if n_j > 0 && n_i > 0 {
             self.cycles += self.cfg.pipeline_depth + (self.cfg.vmp_ways as u64) * n_j as u64;
             self.interactions += (n_i * n_j) as u64;
         }
-        self.predicted.clear();
-        self.predicted.reserve(n_j);
         let t = self.time;
-        for p in self.jmem.stream() {
-            self.predicted.push(predict(p, t));
+        match self.kernel {
+            KernelMode::Scalar => {
+                self.predicted.clear();
+                self.predicted.reserve(n_j);
+                for p in self.jmem.stream() {
+                    self.predicted.push(predict(p, t));
+                }
+            }
+            KernelMode::Batched | KernelMode::Simd => {
+                predict_batch(self.jmem.stream(), t, &mut self.predicted);
+            }
         }
     }
 }
@@ -685,17 +720,23 @@ mod tests {
             (out, chip.cycles(), chip.interactions())
         };
         let (scalar, sc_cycles, sc_inter) = run(KernelMode::Scalar);
-        let (batched, bt_cycles, bt_inter) = run(KernelMode::Batched);
-        // Identical accounting — the kernel is a host-side implementation
-        // detail, invisible to the simulated hardware.
-        assert_eq!(sc_cycles, bt_cycles);
-        assert_eq!(sc_inter, bt_inter);
-        for k in 0..48 {
-            for c in 0..3 {
-                assert_eq!(scalar[k].acc[c].mant(), batched[k].acc[c].mant(), "i={k}");
-                assert_eq!(scalar[k].jerk[c].mant(), batched[k].jerk[c].mant());
+        for mode in [KernelMode::Batched, KernelMode::Simd] {
+            let (other, cycles, inter) = run(mode);
+            // Identical accounting — the kernel is a host-side
+            // implementation detail, invisible to the simulated hardware.
+            assert_eq!(sc_cycles, cycles);
+            assert_eq!(sc_inter, inter);
+            for k in 0..48 {
+                for c in 0..3 {
+                    assert_eq!(
+                        scalar[k].acc[c].mant(),
+                        other[k].acc[c].mant(),
+                        "i={k} mode={mode:?}"
+                    );
+                    assert_eq!(scalar[k].jerk[c].mant(), other[k].jerk[c].mant());
+                }
+                assert_eq!(scalar[k].pot.mant(), other[k].pot.mant());
             }
-            assert_eq!(scalar[k].pot.mant(), batched[k].pot.mant());
         }
     }
 
@@ -724,6 +765,13 @@ mod tests {
         for k in 0..8 {
             assert_eq!(scalar[k].acc[0].mant(), batched[k].acc[0].mant());
             assert_eq!(scalar[k].pot.mant(), batched[k].pot.mant());
+        }
+        let mut simd_lists = Vec::new();
+        let simd = run(KernelMode::Simd, &mut simd_lists);
+        assert_eq!(sc_lists, simd_lists);
+        for k in 0..8 {
+            assert_eq!(scalar[k].acc[0].mant(), simd[k].acc[0].mant());
+            assert_eq!(scalar[k].pot.mant(), simd[k].pot.mant());
         }
         // A reused buffer is refilled identically (capacity retained, no
         // stale entries), and shrinks to the new i-count when smaller.

@@ -39,17 +39,25 @@ use crate::predictor::PredictedJ;
 
 /// Which force-pass implementation a chip runs.
 ///
-/// Both produce **bit-identical** forces, neighbour lists, and error
-/// values; only host wall-clock differs.  The selector threads through
-/// every layer ([`crate::Chip`], `grape6-system`, `grape6-core`) so any
-/// schedule can run on either kernel.
+/// All variants produce **bit-identical** forces, neighbour lists, and
+/// error values; only host wall-clock differs.  The selector threads
+/// through every layer ([`crate::Chip`], `grape6-system`, `grape6-core`)
+/// so any schedule can run on any kernel.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub enum KernelMode {
     /// Per-pair scalar pipeline — the reference oracle.
     Scalar,
-    /// Batched SoA kernel — bitwise identical, fast.  The default.
-    #[default]
+    /// Batched SoA kernel — bitwise identical, relies on the
+    /// auto-vectoriser for lane parallelism.
     Batched,
+    /// Hand-rolled `core::arch` SIMD lanes (AVX2 / AVX-512, selected at
+    /// runtime via `is_x86_feature_detected!`) over the batched SoA
+    /// layout — bitwise identical, and the bits no longer depend on the
+    /// compiler's auto-vectorisation choices.  Falls back to the batched
+    /// path when no SIMD level is available (non-x86 hosts, or
+    /// `GRAPE6_FORCE_SCALAR=1`).  The default.
+    #[default]
+    Simd,
 }
 
 impl KernelMode {
@@ -58,6 +66,7 @@ impl KernelMode {
         match self {
             Self::Scalar => "scalar",
             Self::Batched => "batched",
+            Self::Simd => "simd",
         }
     }
 }
@@ -67,23 +76,37 @@ impl KernelMode {
 /// retained), mirroring the `predicted` scratch buffer.
 #[derive(Clone, Debug, Default)]
 pub struct SoaBatch {
+    /// Number of real j-particles (the arrays may carry zero padding
+    /// beyond this, see [`decode`](Self::decode)).
+    n: usize,
     /// Quantised masses.
-    mass: Vec<f64>,
+    pub(crate) mass: Vec<f64>,
     /// Raw fixed-point position words, one lane per coordinate.
-    px: Vec<i64>,
-    py: Vec<i64>,
-    pz: Vec<i64>,
+    pub(crate) px: Vec<i64>,
+    pub(crate) py: Vec<i64>,
+    pub(crate) pz: Vec<i64>,
     /// Quantised predicted velocities, one lane per coordinate.
-    vx: Vec<f64>,
-    vy: Vec<f64>,
-    vz: Vec<f64>,
+    pub(crate) vx: Vec<f64>,
+    pub(crate) vy: Vec<f64>,
+    pub(crate) vz: Vec<f64>,
 }
+
+/// Widest SIMD lane count the arrays are padded for (AVX-512: 8 × f64).
+pub(crate) const MAX_LANES: usize = 8;
 
 impl SoaBatch {
     /// Decode a pass's predicted j-particles.  All stored values are
     /// already in hardware formats (quantised / fixed point); this is a
     /// pure layout transpose.
+    ///
+    /// The arrays are padded with zero-mass particles at the origin up to
+    /// a multiple of [`MAX_LANES`] so the SIMD kernel's full-width loads
+    /// never read past the end.  Padding never reaches an accumulator —
+    /// the kernels bound their accumulation and neighbour loops by
+    /// [`len`](Self::len), which reports the *real* count.
     pub fn decode(&mut self, predicted: &[PredictedJ]) {
+        self.n = predicted.len();
+        let padded = self.n.next_multiple_of(MAX_LANES);
         self.mass.clear();
         self.px.clear();
         self.py.clear();
@@ -91,13 +114,13 @@ impl SoaBatch {
         self.vx.clear();
         self.vy.clear();
         self.vz.clear();
-        self.mass.reserve(predicted.len());
-        self.px.reserve(predicted.len());
-        self.py.reserve(predicted.len());
-        self.pz.reserve(predicted.len());
-        self.vx.reserve(predicted.len());
-        self.vy.reserve(predicted.len());
-        self.vz.reserve(predicted.len());
+        self.mass.reserve(padded);
+        self.px.reserve(padded);
+        self.py.reserve(padded);
+        self.pz.reserve(padded);
+        self.vx.reserve(padded);
+        self.vy.reserve(padded);
+        self.vz.reserve(padded);
         for p in predicted {
             self.mass.push(p.mass);
             self.px.push(p.pos.x.raw());
@@ -107,16 +130,25 @@ impl SoaBatch {
             self.vy.push(p.vel[1]);
             self.vz.push(p.vel[2]);
         }
+        for _ in self.n..padded {
+            self.mass.push(0.0);
+            self.px.push(0);
+            self.py.push(0);
+            self.pz.push(0);
+            self.vx.push(0.0);
+            self.vy.push(0.0);
+            self.vz.push(0.0);
+        }
     }
 
-    /// Number of j-particles in the batch.
+    /// Number of j-particles in the batch (excluding SIMD padding).
     pub fn len(&self) -> usize {
-        self.mass.len()
+        self.n
     }
 
     /// Is the batch empty?
     pub fn is_empty(&self) -> bool {
-        self.mass.is_empty()
+        self.n == 0
     }
 }
 
@@ -124,7 +156,7 @@ impl SoaBatch {
 /// of `CHUNK` doubles) must stay L1-resident, the deferred overflow check
 /// should bail out early on a hopeless window, and the per-chunk loop
 /// overhead must vanish.  128 ⇒ ~17 KiB of scratch.
-const CHUNK: usize = 128;
+pub(crate) const CHUNK: usize = 128;
 
 /// Evaluate one i-register against the whole batch (plain force pass).
 ///
@@ -174,7 +206,7 @@ pub fn batched_row_nb(
 /// same first-overflowing summand; if it somehow completes (it cannot,
 /// by the [`BatchLane`] flag contract), its result is still the correct
 /// bits and is returned as such.
-fn scalar_fallback(
+pub(crate) fn scalar_fallback(
     rsqrt: &RsqrtCubedUnit,
     ip: &HwIParticle,
     predicted: &[PredictedJ],
@@ -205,7 +237,7 @@ fn scalar_fallback(
 // recognises, and the many-array zips clippy would prefer obscure that.
 #[allow(clippy::needless_range_loop)]
 #[inline]
-fn row<const NB: bool>(
+pub(crate) fn row<const NB: bool>(
     rsqrt: &RsqrtCubedUnit,
     ip: &HwIParticle,
     batch: &SoaBatch,

@@ -1,0 +1,493 @@
+//! The hand-rolled SIMD force kernel ([`KernelMode::Simd`]).
+//!
+//! Same SoA layout, same chunking, same per-value operation chain as the
+//! batched kernel in [`crate::kernel`] — but the lane shape is pinned
+//! down by hand through `grape6_arith::simd` instead of left to the
+//! auto-vectoriser: stages 1–4 (position deltas, r², the gathered rsqrt
+//! table lookup, the multiplier tree) run 4- or 8-wide in `core::arch`
+//! registers, and stage 5's scale-and-round runs lane-parallel with only
+//! the order-sensitive `i64` accumulation left sequential
+//! ([`BatchLane::add_rounded`]).
+//!
+//! **Why the bits cannot change.** Each lane op is the same single-rounded
+//! IEEE-754 f64 operation the scalar chain performs (no FMA anywhere);
+//! the quantiser and the rsqrt decomposition are pure integer lane math
+//! proven bit-identical in `grape6-arith`; and accumulation order per
+//! block-FP lane is untouched — ascending j, one summand at a time, so
+//! the sticky overflow flags trip for exactly the prefixes the scalar
+//! oracle's `Result` would.  SIMD padding (the zero-mass tail `SoaBatch`
+//! appends) is computed vector-side but never accumulated: the stage-5
+//! and neighbour loops stop at the batch's *real* length.
+//!
+//! Dispatch happens per row via [`grape6_arith::simd::active_level`]; with
+//! no level active (non-x86 hosts, `GRAPE6_FORCE_SCALAR=1`) the row runs
+//! the batched scalar path — same bits, fewer lanes.
+
+use grape6_arith::blockfp::{BatchLane, BlockFpError};
+use grape6_arith::rsqrt::RsqrtCubedUnit;
+
+use crate::kernel::{scalar_fallback, SoaBatch};
+use crate::pipeline::{ExpSet, HwIParticle, PartialForce};
+use crate::predictor::PredictedJ;
+
+/// Evaluate one i-register against the whole batch through the active
+/// SIMD level (plain force pass).  Bit-identical to [`crate::kernel::batched_row`]
+/// — and therefore to the scalar oracle — including the recovered error
+/// on overflow.
+pub fn simd_row(
+    rsqrt: &RsqrtCubedUnit,
+    ip: &HwIParticle,
+    batch: &SoaBatch,
+    predicted: &[PredictedJ],
+    exps: ExpSet,
+) -> Result<PartialForce, BlockFpError> {
+    let mut no_nb = Vec::new();
+    match dispatch(rsqrt, ip, batch, exps, None, &mut no_nb) {
+        Some(pf) => Ok(pf),
+        None => scalar_fallback(rsqrt, ip, predicted, exps),
+    }
+}
+
+/// Evaluate one i-register against the whole batch with neighbour
+/// detection, through the active SIMD level.  Bit-identical to
+/// [`crate::kernel::batched_row_nb`], list included.
+pub fn simd_row_nb(
+    rsqrt: &RsqrtCubedUnit,
+    ip: &HwIParticle,
+    batch: &SoaBatch,
+    predicted: &[PredictedJ],
+    exps: ExpSet,
+    h2i: f64,
+    nb: &mut Vec<u32>,
+) -> Result<PartialForce, BlockFpError> {
+    nb.clear();
+    match dispatch(rsqrt, ip, batch, exps, Some(h2i), nb) {
+        Some(pf) => Ok(pf),
+        None => {
+            // The partially filled list belongs to a discarded row.
+            nb.clear();
+            scalar_fallback(rsqrt, ip, predicted, exps)
+        }
+    }
+}
+
+/// Route one row to the widest available lane implementation, or to the
+/// batched scalar row when SIMD dispatch is off.
+#[inline]
+fn dispatch(
+    rsqrt: &RsqrtCubedUnit,
+    ip: &HwIParticle,
+    batch: &SoaBatch,
+    exps: ExpSet,
+    h2i: Option<f64>,
+    nb: &mut Vec<u32>,
+) -> Option<PartialForce> {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use grape6_arith::simd::{active_level, SimdLevel};
+        match active_level() {
+            // SAFETY: dispatch proved the respective features available.
+            Some(SimdLevel::Avx2) => {
+                return unsafe { x86::row_avx2(rsqrt, ip, batch, exps, h2i, nb) }
+            }
+            Some(SimdLevel::Avx512) => {
+                return unsafe { x86::row_avx512(rsqrt, ip, batch, exps, h2i, nb) }
+            }
+            None => {}
+        }
+    }
+    // Scalar batched fallback: bit-identical by the PR 5 contract.
+    match h2i {
+        Some(h2) => crate::kernel::row::<true>(rsqrt, ip, batch, exps, h2, nb),
+        None => crate::kernel::row::<false>(rsqrt, ip, batch, exps, 0.0, nb),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::*;
+    use crate::kernel::CHUNK;
+    use grape6_arith::fixed::PosFix;
+    use grape6_arith::simd::{quantize_lanes, Avx2, Avx512, Lanes};
+    use grape6_arith::PIPE_SIG_BITS;
+
+    /// # Safety
+    /// Requires `avx2` at runtime.
+    #[target_feature(enable = "avx2")]
+    pub(super) unsafe fn row_avx2(
+        rsqrt: &RsqrtCubedUnit,
+        ip: &HwIParticle,
+        batch: &SoaBatch,
+        exps: ExpSet,
+        h2i: Option<f64>,
+        nb: &mut Vec<u32>,
+    ) -> Option<PartialForce> {
+        row_lanes::<Avx2>(rsqrt, ip, batch, exps, h2i, nb)
+    }
+
+    /// # Safety
+    /// Requires `avx512f` and `avx512dq` at runtime.
+    #[target_feature(enable = "avx512f,avx512dq")]
+    pub(super) unsafe fn row_avx512(
+        rsqrt: &RsqrtCubedUnit,
+        ip: &HwIParticle,
+        batch: &SoaBatch,
+        exps: ExpSet,
+        h2i: Option<f64>,
+        nb: &mut Vec<u32>,
+    ) -> Option<PartialForce> {
+        row_lanes::<Avx512>(rsqrt, ip, batch, exps, h2i, nb)
+    }
+
+    /// The generic lane row.  One pass over each chunk keeps stages 1–4
+    /// entirely in registers, W lanes at a time, spilling only the eight
+    /// arrays stage 5 and the neighbour scan need.
+    ///
+    /// # Safety
+    /// `L`'s ISA must be available (callers are `#[target_feature]`
+    /// wrappers selected by runtime detection).
+    #[allow(clippy::needless_range_loop)] // counted loops mirror kernel.rs
+    #[inline(always)]
+    unsafe fn row_lanes<L: Lanes>(
+        rsqrt: &RsqrtCubedUnit,
+        ip: &HwIParticle,
+        batch: &SoaBatch,
+        exps: ExpSet,
+        h2i: Option<f64>,
+        nb: &mut Vec<u32>,
+    ) -> Option<PartialForce> {
+        #[inline(always)]
+        unsafe fn q<L: Lanes>(x: L::F) -> L::F {
+            quantize_lanes::<L>(x, PIPE_SIG_BITS)
+        }
+        // i-side invariants, splatted once.
+        let ixv = L::splat_i(ip.pos.x.raw());
+        let iyv = L::splat_i(ip.pos.y.raw());
+        let izv = L::splat_i(ip.pos.z.raw());
+        let ivxv = L::splat(ip.vel[0]);
+        let ivyv = L::splat(ip.vel[1]);
+        let ivzv = L::splat(ip.vel[2]);
+        let epsv = L::splat(ip.eps2);
+        let resv = L::splat(PosFix::RESOLUTION);
+        let threev = L::splat(3.0);
+        let signv = L::splat_i(i64::MIN);
+        // Seven block-FP lanes; their window scales feed the lane-parallel
+        // scale-and-round below (`add_rounded` contract).
+        let mut lax = BatchLane::new(exps.acc);
+        let mut lay = BatchLane::new(exps.acc);
+        let mut laz = BatchLane::new(exps.acc);
+        let mut ljx = BatchLane::new(exps.jerk);
+        let mut ljy = BatchLane::new(exps.jerk);
+        let mut ljz = BatchLane::new(exps.jerk);
+        let mut lp = BatchLane::new(exps.pot);
+        let saccv = L::splat(lax.scale());
+        let sjerkv = L::splat(ljx.scale());
+        let spotv = L::splat(lp.scale());
+
+        // Chunk scratch: the pre-scaled, pre-rounded summands plus the
+        // unsoftened r² the neighbour scan keys on.
+        let mut qax = [0.0f64; CHUNK];
+        let mut qay = [0.0f64; CHUNK];
+        let mut qaz = [0.0f64; CHUNK];
+        let mut qjx = [0.0f64; CHUNK];
+        let mut qjy = [0.0f64; CHUNK];
+        let mut qjz = [0.0f64; CHUNK];
+        let mut qpot = [0.0f64; CHUNK];
+        let mut r2_raw = [0.0f64; CHUNK];
+
+        let n = batch.len();
+        let mut j0 = 0;
+        while j0 < n {
+            let cl = (n - j0).min(CHUNK);
+            // Full vector width over the (zero-padded) tail; `SoaBatch`
+            // guarantees the arrays extend to a multiple of the widest
+            // lane count past every chunk start.
+            let clp = cl.next_multiple_of(L::WIDTH);
+            debug_assert!(j0 + clp <= batch.px.len());
+            let mut g = 0;
+            while g < clp {
+                let at = j0 + g;
+                // Stage 1: exact wrapping fixed-point delta, full-range
+                // i64→f64 (one rounding), scale to length units, quantise.
+                let dx = q::<L>(L::mul(
+                    L::i64_to_f64(L::sub_i(L::load_i(batch.px.as_ptr().add(at)), ixv)),
+                    resv,
+                ));
+                let dy = q::<L>(L::mul(
+                    L::i64_to_f64(L::sub_i(L::load_i(batch.py.as_ptr().add(at)), iyv)),
+                    resv,
+                ));
+                let dz = q::<L>(L::mul(
+                    L::i64_to_f64(L::sub_i(L::load_i(batch.pz.as_ptr().add(at)), izv)),
+                    resv,
+                ));
+                let dvx = q::<L>(L::sub(L::load(batch.vx.as_ptr().add(at)), ivxv));
+                let dvy = q::<L>(L::sub(L::load(batch.vy.as_ptr().add(at)), ivyv));
+                let dvz = q::<L>(L::sub(L::load(batch.vz.as_ptr().add(at)), ivzv));
+                // Stage 2: r² through the two-level adder tree.
+                let xx = q::<L>(L::mul(dx, dx));
+                let yy = q::<L>(L::mul(dy, dy));
+                let zz = q::<L>(L::mul(dz, dz));
+                let rr = q::<L>(L::add(q::<L>(L::add(xx, yy)), zz));
+                L::store(r2_raw.as_mut_ptr().add(g), rr);
+                let r2 = q::<L>(L::add(rr, epsv));
+                // Stage 3: the gathered table lookup, whole lane at once.
+                let (e32, e12) = rsqrt.eval_both_lanes::<L>(r2);
+                let rinv3 = q::<L>(e32);
+                let rinv = q::<L>(e12);
+                // Stage 4: multiplier tree.
+                let m = L::load(batch.mass.as_ptr().add(at));
+                let mr3 = q::<L>(L::mul(m, rinv3));
+                let ax = q::<L>(L::mul(mr3, dx));
+                let ay = q::<L>(L::mul(mr3, dy));
+                let az = q::<L>(L::mul(mr3, dz));
+                let xv = q::<L>(L::mul(dx, dvx));
+                let yv = q::<L>(L::mul(dy, dvy));
+                let zv = q::<L>(L::mul(dz, dvz));
+                let rv = q::<L>(L::add(q::<L>(L::add(xv, yv)), zv));
+                let rinv2 = q::<L>(L::mul(rinv, rinv));
+                let beta = q::<L>(L::mul(q::<L>(L::mul(threev, rv)), rinv2));
+                let jx = q::<L>(L::sub(q::<L>(L::mul(mr3, dvx)), q::<L>(L::mul(beta, ax))));
+                let jy = q::<L>(L::sub(q::<L>(L::mul(mr3, dvy)), q::<L>(L::mul(beta, ay))));
+                let jz = q::<L>(L::sub(q::<L>(L::mul(mr3, dvz)), q::<L>(L::mul(beta, az))));
+                // pot = −q(m·rinv): negation is an exact sign flip.
+                let pot = L::from_bits(L::xor_i(L::to_bits(q::<L>(L::mul(m, rinv))), signv));
+                // Stage 5a, lane-parallel half: shift onto each window's
+                // grid and round — exactly `(x·scale).round_ties_even()`.
+                L::store(
+                    qax.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(ax, saccv)),
+                );
+                L::store(
+                    qay.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(ay, saccv)),
+                );
+                L::store(
+                    qaz.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(az, saccv)),
+                );
+                L::store(
+                    qjx.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(jx, sjerkv)),
+                );
+                L::store(
+                    qjy.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(jy, sjerkv)),
+                );
+                L::store(
+                    qjz.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(jz, sjerkv)),
+                );
+                L::store(
+                    qpot.as_mut_ptr().add(g),
+                    L::round_ties_even(L::mul(pot, spotv)),
+                );
+                g += L::WIDTH;
+            }
+            // Stage 5b, sequential half: the order-sensitive i64 adds,
+            // lane-major in ascending j — the exact add sequence of the
+            // scalar kernels.  Padding (k ≥ cl) never enters.
+            for k in 0..cl {
+                lax.add_rounded(qax[k]);
+            }
+            for k in 0..cl {
+                lay.add_rounded(qay[k]);
+            }
+            for k in 0..cl {
+                laz.add_rounded(qaz[k]);
+            }
+            for k in 0..cl {
+                ljx.add_rounded(qjx[k]);
+            }
+            for k in 0..cl {
+                ljy.add_rounded(qjy[k]);
+            }
+            for k in 0..cl {
+                ljz.add_rounded(qjz[k]);
+            }
+            for k in 0..cl {
+                lp.add_rounded(qpot[k]);
+            }
+            if let Some(h2) = h2i {
+                for k in 0..cl {
+                    if r2_raw[k] < h2 && r2_raw[k] > 0.0 {
+                        nb.push((j0 + k) as u32);
+                    }
+                }
+            }
+            // Deferred overflow check, once per chunk.
+            if lax.flagged()
+                || lay.flagged()
+                || laz.flagged()
+                || ljx.flagged()
+                || ljy.flagged()
+                || ljz.flagged()
+                || lp.flagged()
+            {
+                return None;
+            }
+            j0 += cl;
+        }
+        Some(PartialForce {
+            acc: [lax.into_accum()?, lay.into_accum()?, laz.into_accum()?],
+            jerk: [ljx.into_accum()?, ljy.into_accum()?, ljz.into_accum()?],
+            pot: lp.into_accum()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jmem::HwJParticle;
+    use crate::kernel::{batched_row, batched_row_nb, CHUNK};
+    use crate::pipeline::interact;
+    use crate::predictor::predict;
+    use grape6_arith::simd::{set_dispatch_override, DispatchOverride};
+    use nbody_core::force::JParticle;
+    use nbody_core::Vec3;
+    use std::sync::Mutex;
+
+    /// The dispatch override is process-global; tests that set or assert
+    /// on it serialise here so the parallel test runner cannot race them.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    fn predicted_set(n: usize, t: f64) -> Vec<PredictedJ> {
+        let mut s = 0.731f64;
+        let mut next = || {
+            s = (s * 9301.0 + 0.2113).fract();
+            s - 0.5
+        };
+        (0..n)
+            .map(|_| {
+                let hw = HwJParticle::from_host(&JParticle {
+                    mass: 0.01 + (next() + 0.5) * 0.02,
+                    t0: 0.0,
+                    pos: Vec3::new(next(), next(), next()),
+                    vel: Vec3::new(next(), next(), next()) * 0.4,
+                    acc: Vec3::new(next(), next(), next()) * 0.05,
+                    jerk: Vec3::new(next(), next(), next()) * 0.01,
+                    snap: Vec3::ZERO,
+                });
+                predict(&hw, t)
+            })
+            .collect()
+    }
+
+    fn assert_pf_bits_equal(a: &PartialForce, b: &PartialForce) {
+        for c in 0..3 {
+            assert_eq!(a.acc[c].mant(), b.acc[c].mant(), "acc[{c}]");
+            assert_eq!(a.jerk[c].mant(), b.jerk[c].mant(), "jerk[{c}]");
+        }
+        assert_eq!(a.pot.mant(), b.pot.mant(), "pot");
+    }
+
+    /// Run `f` once per dispatch level available on this host, including
+    /// the forced-off fallback, restoring the override afterwards.
+    fn for_each_level(mut f: impl FnMut(&str)) {
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        for (label, o) in [
+            ("forced-scalar", DispatchOverride::ForceScalar),
+            ("avx2-capped", DispatchOverride::CapAvx2),
+            ("auto", DispatchOverride::Auto),
+        ] {
+            set_dispatch_override(o);
+            f(label);
+        }
+        set_dispatch_override(DispatchOverride::Auto);
+    }
+
+    #[test]
+    fn simd_row_matches_scalar_and_batched_bitwise_at_every_level() {
+        let rsqrt = RsqrtCubedUnit::default();
+        // Sizes crossing chunk and lane-width boundaries, incl. ragged
+        // tails that exercise the zero padding.
+        for n in [1, 3, 7, 8, 9, 63, CHUNK - 1, CHUNK, CHUNK + 1, CHUNK + 37] {
+            let predicted = predicted_set(n, 0.0625);
+            let mut batch = SoaBatch::default();
+            batch.decode(&predicted);
+            let exps = ExpSet::from_magnitudes(30.0, 300.0, 30.0);
+            let ip =
+                HwIParticle::from_host(Vec3::new(-0.2, -0.1, 0.3), Vec3::new(0.1, -0.2, 0.4), 1e-4);
+            let mut want = PartialForce::new(exps);
+            for jp in &predicted {
+                interact(&rsqrt, &ip, jp, &mut want).unwrap();
+            }
+            let via_batched = batched_row(&rsqrt, &ip, &batch, &predicted, exps).unwrap();
+            assert_pf_bits_equal(&via_batched, &want);
+            for_each_level(|label| {
+                let got = simd_row(&rsqrt, &ip, &batch, &predicted, exps).unwrap();
+                assert_pf_bits_equal(&got, &want);
+                let _ = label;
+            });
+        }
+    }
+
+    #[test]
+    fn simd_row_nb_matches_batched_including_lists() {
+        let rsqrt = RsqrtCubedUnit::default();
+        let predicted = predicted_set(300, 0.0);
+        let mut batch = SoaBatch::default();
+        batch.decode(&predicted);
+        let exps = ExpSet::from_magnitudes(100.0, 1000.0, 100.0);
+        let h2 = 0.09;
+        let ip = HwIParticle::from_host(Vec3::new(0.1, 0.0, -0.1), Vec3::ZERO, 1e-4);
+        let mut nb_b = Vec::new();
+        let want = batched_row_nb(&rsqrt, &ip, &batch, &predicted, exps, h2, &mut nb_b).unwrap();
+        assert!(!nb_b.is_empty(), "test data should have neighbours");
+        for_each_level(|label| {
+            let mut nb_s = Vec::new();
+            let got = simd_row_nb(&rsqrt, &ip, &batch, &predicted, exps, h2, &mut nb_s).unwrap();
+            assert_pf_bits_equal(&got, &want);
+            assert_eq!(nb_s, nb_b, "neighbour list diverged ({label})");
+        });
+    }
+
+    #[test]
+    fn simd_row_reproduces_scalar_overflow_error() {
+        let rsqrt = RsqrtCubedUnit::default();
+        let ip = HwIParticle::from_host(Vec3::ZERO, Vec3::ZERO, 0.0);
+        let predicted = vec![{
+            let hw = HwJParticle::from_host(&JParticle {
+                mass: 1.0,
+                t0: 0.0,
+                pos: Vec3::new(1e-4, 0.0, 0.0),
+                ..Default::default()
+            });
+            predict(&hw, 0.0)
+        }];
+        let mut batch = SoaBatch::default();
+        batch.decode(&predicted);
+        let exps = ExpSet {
+            acc: 2,
+            jerk: 40,
+            pot: 20,
+        };
+        let mut pf = PartialForce::new(exps);
+        let want = interact(&rsqrt, &ip, &predicted[0], &mut pf).unwrap_err();
+        for_each_level(|label| {
+            let got = simd_row(&rsqrt, &ip, &batch, &predicted, exps).unwrap_err();
+            assert_eq!(got, want, "error must equal the oracle's ({label})");
+        });
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn dispatch_reports_a_level_on_x86_hosts() {
+        use grape6_arith::simd::SimdLevel;
+        // Sanity for the CI matrix: on the hosts this repo gates on,
+        // Auto must resolve to *some* SIMD level unless the env forced
+        // it off.
+        let _guard = OVERRIDE_LOCK.lock().unwrap();
+        set_dispatch_override(DispatchOverride::Auto);
+        let lvl = grape6_arith::simd::active_level();
+        if std::env::var("GRAPE6_FORCE_SCALAR").map(|v| !v.is_empty() && v != "0") == Ok(true) {
+            assert_eq!(lvl, None);
+        } else if is_x86_feature_detected!("avx2") {
+            assert!(matches!(
+                lvl,
+                Some(SimdLevel::Avx2) | Some(SimdLevel::Avx512)
+            ));
+        }
+    }
+}

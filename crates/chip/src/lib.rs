@@ -16,6 +16,9 @@
 //!   arithmetic as [`pipeline`] evaluated batch-at-a-time for host speed,
 //!   bitwise identical to the scalar oracle and selectable per chip via
 //!   [`KernelMode`];
+//! * [`kernel_simd`] — the hand-rolled `core::arch` SIMD lanes (AVX2 /
+//!   AVX-512, runtime-dispatched) over the same SoA layout, bitwise
+//!   identical to both of the above;
 //! * [`chip`] — the assembled chip: six pipelines × 8-way virtual
 //!   multipipelining = forces on 48 i-particles per pass, block
 //!   floating-point partial-force output, and a cycle counter that feeds
@@ -24,6 +27,7 @@
 pub mod chip;
 pub mod jmem;
 pub mod kernel;
+pub mod kernel_simd;
 pub mod pipeline;
 pub mod predictor;
 

@@ -23,8 +23,19 @@
 
 use grape6_arith::fixed::PosVec;
 use grape6_arith::pfloat::PipeFloat;
+use grape6_arith::{quantize_sig_branchless, PIPE_SIG_BITS};
 
 use crate::jmem::HwJParticle;
+
+/// The Taylor coefficient ½, quantised to pipeline precision at compile
+/// time.  Hoisted out of [`predict`] — constructing these per call put a
+/// quantiser in front of every particle for values that never change.
+pub const HALF: PipeFloat = PipeFloat::new(0.5);
+/// The Taylor coefficient ⅓ on the pipeline grid (inexact in binary, so
+/// the quantisation matters).
+pub const THIRD: PipeFloat = PipeFloat::new(1.0 / 3.0);
+/// The Taylor coefficient ¼ on the pipeline grid.
+pub const QUARTER: PipeFloat = PipeFloat::new(0.25);
 
 /// Predicted j-particle state as delivered to the force pipelines.
 #[derive(Clone, Copy, Debug)]
@@ -46,9 +57,6 @@ pub fn predict(p: &HwJParticle, t: f64) -> PredictedJ {
     let dt = PipeFloat::new(t - p.t0);
     // Horner evaluation matches the hardware's chained multiply-adds:
     // dx = dt(v + dt/2(a + dt/3(j + dt/4 s)))
-    let half = PipeFloat::new(0.5);
-    let third = PipeFloat::new(1.0 / 3.0);
-    let quarter = PipeFloat::new(0.25);
     let mut dx = [0.0f64; 3];
     let mut vp = [0.0f64; 3];
     for c in 0..3 {
@@ -56,16 +64,104 @@ pub fn predict(p: &HwJParticle, t: f64) -> PredictedJ {
         let a = PipeFloat::new(p.acc[c]);
         let j = PipeFloat::new(p.jerk[c]);
         let s = PipeFloat::new(p.snap[c]);
-        let disp = dt * (v + dt * half * (a + dt * third * (j + dt * quarter * s)));
+        let disp = dt * (v + dt * HALF * (a + dt * THIRD * (j + dt * QUARTER * s)));
         dx[c] = disp.get();
         // v_p = v + dt(a + dt/2(j + dt/3 s))
-        let vel = v + dt * (a + dt * half * (j + dt * third * s));
+        let vel = v + dt * (a + dt * HALF * (j + dt * THIRD * s));
         vp[c] = vel.get();
     }
     PredictedJ {
         mass: p.mass,
         pos: p.pos.offset_f64(dx),
         vel: vp,
+    }
+}
+
+/// Particles per predictor chunk.  The stage scratch (10 lanes of `f64`)
+/// stays L1-resident and the per-chunk loop overhead amortises away.
+const PCHUNK: usize = 64;
+
+/// Evaluate the predictor for a whole j-stream at once — the batched SoA
+/// counterpart of [`predict`], **bit-identical** to calling it per
+/// particle.
+///
+/// The win is structural, not numerical: the three dt-products
+/// (`dt·½`, `dt·⅓`, `dt·¼`) are computed once per *particle* instead of
+/// hidden inside every coordinate's operator chain (safe: the same inputs
+/// round to the same bits), and the per-coordinate polynomial becomes a
+/// flat counted loop over chunk scratch the compiler can keep in vector
+/// registers.  Every individual operation is the same single-rounded
+/// `quantize_sig` the [`PipeFloat`] operators perform, in the same order.
+///
+/// Inputs are re-quantised exactly as `PipeFloat::new` does in [`predict`]
+/// — not a no-op in general, because stuck-bit memory faults
+/// ([`crate::jmem::StuckBit`]) can hold off-grid words.
+///
+/// `out` is cleared and refilled (capacity is retained across passes).
+// Counted `for k in 0..cl` loops over equal-length stack arrays are what
+// the auto-vectoriser recognises; clippy's preferred iterator zips would
+// obscure that.
+#[allow(clippy::needless_range_loop)]
+pub fn predict_batch(stream: &[HwJParticle], t: f64, out: &mut Vec<PredictedJ>) {
+    #[inline(always)]
+    fn q(x: f64) -> f64 {
+        quantize_sig_branchless(x, PIPE_SIG_BITS)
+    }
+    let half = HALF.get();
+    let third = THIRD.get();
+    let quarter = QUARTER.get();
+    out.clear();
+    out.reserve(stream.len());
+    // Per-particle dt terms, then per-coordinate polynomial scratch.
+    let mut dt = [0.0f64; PCHUNK];
+    let mut dth = [0.0f64; PCHUNK];
+    let mut dtt = [0.0f64; PCHUNK];
+    let mut dtq = [0.0f64; PCHUNK];
+    let mut dx = [[0.0f64; PCHUNK]; 3];
+    let mut vp = [[0.0f64; PCHUNK]; 3];
+    let mut j0 = 0;
+    while j0 < stream.len() {
+        let cl = (stream.len() - j0).min(PCHUNK);
+        let chunk = &stream[j0..j0 + cl];
+        // Stage 1: dt and its three hoisted coefficient products.
+        for k in 0..cl {
+            let d = q(t - chunk[k].t0);
+            dt[k] = d;
+            dth[k] = q(d * half);
+            dtt[k] = q(d * third);
+            dtq[k] = q(d * quarter);
+        }
+        // Stage 2: the two Horner chains, one flat pass per coordinate.
+        // Parenthesisation spells out the scalar operator chain: every
+        // `q(..)` below is one `PipeFloat` operation's single rounding.
+        for c in 0..3 {
+            for k in 0..cl {
+                let p = &chunk[k];
+                let v = q(p.vel[c]);
+                let a = q(p.acc[c]);
+                let j = q(p.jerk[c]);
+                let s = q(p.snap[c]);
+                // dx = dt(v + dt/2(a + dt/3(j + dt/4 s)))
+                let inner = q(j + q(dtq[k] * s));
+                let mid = q(a + q(dtt[k] * inner));
+                let outer = q(v + q(dth[k] * mid));
+                dx[c][k] = q(dt[k] * outer);
+                // v_p = v + dt(a + dt/2(j + dt/3 s))
+                let vin = q(j + q(dtt[k] * s));
+                let vmid = q(a + q(dth[k] * vin));
+                vp[c][k] = q(v + q(dt[k] * vmid));
+            }
+        }
+        // Stage 3: apply displacements to the fixed-point positions.
+        for k in 0..cl {
+            let p = &chunk[k];
+            out.push(PredictedJ {
+                mass: p.mass,
+                pos: p.pos.offset_f64([dx[0][k], dx[1][k], dx[2][k]]),
+                vel: [vp[0][k], vp[1][k], vp[2][k]],
+            });
+        }
+        j0 += cl;
     }
 }
 
@@ -154,5 +250,70 @@ mod tests {
         };
         assert!(err_at(0.500001) < 1e-9);
         assert!(err_at(0.6) < 1e-6);
+    }
+
+    #[test]
+    fn hoisted_constants_equal_runtime_construction() {
+        assert_eq!(HALF.get().to_bits(), PipeFloat::new(0.5).get().to_bits());
+        assert_eq!(
+            THIRD.get().to_bits(),
+            PipeFloat::new(1.0 / 3.0).get().to_bits()
+        );
+        assert_eq!(
+            QUARTER.get().to_bits(),
+            PipeFloat::new(0.25).get().to_bits()
+        );
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_predict() {
+        // Deterministic xorshift sweep, including off-grid words (stuck-bit
+        // faults can hold them) and odd chunk-boundary lengths.
+        let mut s = 0x243f_6a88_85a3_08d3u64;
+        let mut next = || {
+            s ^= s << 13;
+            s ^= s >> 7;
+            s ^= s << 17;
+            s
+        };
+        let mut smallf = |scale: f64| (next() as f64 / u64::MAX as f64 - 0.5) * scale;
+        for n in [0usize, 1, 3, 63, 64, 65, 200] {
+            let stream: Vec<HwJParticle> = (0..n)
+                .map(|i| {
+                    let mut hw = HwJParticle::from_host(&JParticle {
+                        mass: 0.01 + smallf(0.02).abs(),
+                        t0: 0.5,
+                        pos: Vec3::new(smallf(1.0), smallf(1.0), smallf(1.0)),
+                        vel: Vec3::new(smallf(0.8), smallf(0.8), smallf(0.8)),
+                        acc: Vec3::new(smallf(0.1), smallf(0.1), smallf(0.1)),
+                        jerk: Vec3::new(smallf(0.02), smallf(0.02), smallf(0.02)),
+                        snap: Vec3::new(smallf(0.004), smallf(0.004), smallf(0.004)),
+                    });
+                    // Every third particle gets an off-grid (un-quantised)
+                    // velocity word, as a stuck bit would leave behind.
+                    if i % 3 == 0 {
+                        hw.vel[i % 3] = f64::from_bits(hw.vel[i % 3].to_bits() | 1);
+                    }
+                    hw
+                })
+                .collect();
+            for &t in &[0.5f64, 0.5625, 0.75, 1.0] {
+                let mut got = Vec::new();
+                predict_batch(&stream, t, &mut got);
+                assert_eq!(got.len(), n);
+                for (k, (g, p)) in got.iter().zip(&stream).enumerate() {
+                    let want = predict(p, t);
+                    assert_eq!(g.pos, want.pos, "pos n={n} t={t} k={k}");
+                    for c in 0..3 {
+                        assert_eq!(
+                            g.vel[c].to_bits(),
+                            want.vel[c].to_bits(),
+                            "vel n={n} t={t} k={k} c={c}"
+                        );
+                    }
+                    assert_eq!(g.mass.to_bits(), want.mass.to_bits());
+                }
+            }
+        }
     }
 }

@@ -305,12 +305,14 @@ impl Grape6Engine {
         self.hw.is_parallel()
     }
 
-    /// Select the force-pass kernel on every chip: the batched SoA kernel
-    /// (default) or the scalar reference oracle.  The two are bitwise
-    /// identical — the batched kernel performs the same rounded operations
-    /// in the same order per (i, j) pair — so, like
-    /// [`Grape6Engine::set_board_parallel`], this only changes host
-    /// wall-clock, never results or cycle accounting.
+    /// Select the force-pass kernel on every chip: the runtime-dispatched
+    /// SIMD-lane kernel (default), the batched SoA kernel, or the scalar
+    /// reference oracle.  All are bitwise identical — each kernel performs
+    /// the same rounded operations in the same order per (i, j) pair — so,
+    /// like [`Grape6Engine::set_board_parallel`], this only changes host
+    /// wall-clock, never results or cycle accounting.  The mode is host
+    /// configuration, not machine state: it is deliberately absent from
+    /// checkpoints and may be switched freely mid-run.
     pub fn set_kernel_mode(&mut self, mode: KernelMode) {
         self.kernel = mode;
         self.hw.set_kernel_mode(mode);
@@ -716,6 +718,7 @@ impl Grape6Engine {
                         kernel: Some(match self.kernel {
                             KernelMode::Scalar => KernelTag::Scalar,
                             KernelMode::Batched => KernelTag::Batched,
+                            KernelMode::Simd => KernelTag::Simd,
                         }),
                         ..Default::default()
                     },

@@ -1,10 +1,11 @@
 //! A minimal 3-vector.
 //!
-//! Deliberately *not* a SIMD abstraction: the hot paths in this workspace
-//! either run through the bit-level hardware simulator (where every rounding
-//! is explicit) or through flat `f64` slices that the compiler vectorises on
-//! its own.  `Vec3` exists for the readable outer layers — integrators,
-//! initial conditions, diagnostics.
+//! Deliberately *not* a SIMD abstraction: explicit lanes live where the
+//! cycles do — `grape6_arith::simd` (the `Lanes` trait, the lane
+//! quantizer, the gathered rsqrt tables) and `grape6_chip::kernel_simd`
+//! (the runtime-dispatched force pass).  `Vec3` exists for the readable
+//! outer layers — integrators, initial conditions, diagnostics — where
+//! the compiler's own vectorisation of flat `f64` loops is plenty.
 
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};

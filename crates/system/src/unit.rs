@@ -169,12 +169,12 @@ pub trait GrapeUnit: Send {
         let _ = parallel;
     }
 
-    /// Select the force-pass kernel ([`KernelMode::Scalar`] oracle or the
-    /// batched SoA kernel), recursively.  Results are bitwise identical
-    /// either way — the batched kernel performs the same rounded
-    /// operations in the same order per (i, j) pair — so, like
-    /// [`GrapeUnit::set_parallel`], this only changes host wall-clock.
-    /// Exotic implementations may ignore it.
+    /// Select the force-pass kernel ([`KernelMode::Scalar`] oracle, the
+    /// batched SoA kernel, or the runtime-dispatched SIMD-lane kernel),
+    /// recursively.  Results are bitwise identical in every mode — each
+    /// kernel performs the same rounded operations in the same order per
+    /// (i, j) pair — so, like [`GrapeUnit::set_parallel`], this only
+    /// changes host wall-clock.  Exotic implementations may ignore it.
     fn set_kernel_mode(&mut self, mode: KernelMode) {
         let _ = mode;
     }

@@ -130,6 +130,8 @@ pub enum KernelTag {
     Scalar,
     /// The batched structure-of-arrays kernel.
     Batched,
+    /// The hand-rolled SIMD-lane kernel (runtime-dispatched AVX2/AVX-512).
+    Simd,
 }
 
 impl KernelTag {
@@ -138,6 +140,7 @@ impl KernelTag {
         match self {
             KernelTag::Scalar => "scalar",
             KernelTag::Batched => "batched",
+            KernelTag::Simd => "simd",
         }
     }
 }
@@ -281,6 +284,7 @@ mod tests {
     fn kernel_tags_have_stable_names() {
         assert_eq!(KernelTag::Scalar.name(), "scalar");
         assert_eq!(KernelTag::Batched.name(), "batched");
+        assert_eq!(KernelTag::Simd.name(), "simd");
         // Untagged is the default so non-pipeline spans need no opt-out.
         assert_eq!(SpanCounters::default().kernel, None);
     }

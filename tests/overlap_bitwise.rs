@@ -13,9 +13,10 @@
 //! checkpoint/restore cycle in the middle of an overlapped run.
 //!
 //! The same matrix is crossed with the force-kernel selector
-//! ([`KernelMode`]): the batched SoA kernel must land on the same bits
-//! as the scalar oracle on every schedule, on a degraded machine, and
-//! across a checkpoint/restore that switches kernels mid-run.
+//! ([`KernelMode`]): the batched SoA kernel and the runtime-dispatched
+//! SIMD-lane kernel must land on the same bits as the scalar oracle on
+//! every schedule, on a degraded machine, and across a
+//! checkpoint/restore that switches kernels mid-run.
 
 use grape6::fault::{FaultConfig, FaultPlan, MachineGeometry};
 use grape6_ckpt::Checkpoint;
@@ -117,6 +118,8 @@ fn three_schedules_are_bitwise_identical_over_100_blocksteps() {
         ("serial / batched", false, false, KernelMode::Batched),
         ("parallel / batched", true, false, KernelMode::Batched),
         ("overlapped / batched", true, true, KernelMode::Batched),
+        ("serial / simd", false, false, KernelMode::Simd),
+        ("overlapped / simd", true, true, KernelMode::Simd),
     ] {
         let (t, set) = run_schedule(n, 5, steps, board_parallel, overlap, kernel, None);
         assert_eq!(t_ref, t, "{label}: block-time sequence diverged");
@@ -158,6 +161,7 @@ fn schedules_stay_bitwise_identical_under_an_active_fault_plan() {
             true,
             KernelMode::Batched,
         ),
+        ("degraded overlapped / simd", true, true, KernelMode::Simd),
     ] {
         let (t, set) = run_schedule(n, 5, steps, board_parallel, overlap, kernel, Some(&plan));
         assert_eq!(t_clean, t, "{label}: block-time sequence diverged");
@@ -174,8 +178,9 @@ fn overlapped_run_resumes_bitwise_across_checkpoint_restore() {
     // schedule, closing the loop between all three properties.
     //
     // The gold run uses the batched kernel; the resumed run is switched
-    // to the scalar oracle.  `KernelMode` is deliberately not checkpoint
-    // state — it must be bitwise-invisible, so a restore may change it
+    // to the scalar oracle, then to the SIMD kernel mid-run.
+    // `KernelMode` is deliberately not checkpoint state — it must be
+    // bitwise-invisible, so a restore (or a live run) may change it
     // freely.
     let n = 48;
     let cfg = machine();
@@ -207,6 +212,10 @@ fn overlapped_run_resumes_bitwise_across_checkpoint_restore() {
     resumed.engine_mut().set_kernel_mode(KernelMode::Scalar);
 
     for step in 0..110 {
+        if step == 55 {
+            // Kernel switches are legal at any blockstep boundary.
+            resumed.engine_mut().set_kernel_mode(KernelMode::Simd);
+        }
         let (tg, _) = gold.try_step_auto().expect("healthy hardware");
         let (tr, _) = resumed.try_step_auto().expect("healthy hardware");
         assert_eq!(tg.to_bits(), tr.to_bits(), "block time at step {step}");

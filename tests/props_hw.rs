@@ -100,11 +100,11 @@ proptest! {
         prop_assert_eq!(a[0].pot.mant(), b[0].pot.mant());
     }
 
-    /// The batched SoA kernel lands on the scalar oracle's exact bits —
-    /// forces *and* neighbour lists — for arbitrary particle sets,
-    /// including a probe coincident with a j-particle (a softening-only
-    /// self-interaction when `eps2 > 0`, an `r = 0` hardware drop when
-    /// `eps2 == 0`).
+    /// The batched SoA kernel and the runtime-dispatched SIMD-lane kernel
+    /// land on the scalar oracle's exact bits — forces *and* neighbour
+    /// lists — for arbitrary particle sets, including a probe coincident
+    /// with a j-particle (a softening-only self-interaction when
+    /// `eps2 > 0`, an `r = 0` hardware drop when `eps2 == 0`).
     #[test]
     fn batched_kernel_bitwise_matches_scalar_oracle(
         particles in prop::collection::vec(particle_strategy(), 1..40),
@@ -113,15 +113,11 @@ proptest! {
         h2 in 1e-4f64..0.5,
     ) {
         let mut scalar_chip = Chip::new(ChipConfig::default());
-        let mut batched_chip = Chip::new(ChipConfig::default());
         scalar_chip.set_kernel_mode(KernelMode::Scalar);
-        batched_chip.set_kernel_mode(KernelMode::Batched);
         for (k, p) in particles.iter().enumerate() {
             scalar_chip.load_j(k, p);
-            batched_chip.load_j(k, p);
         }
         scalar_chip.set_time(0.0);
-        batched_chip.set_time(0.0);
         let i_regs = [
             HwIParticle::from_host(particles[0].pos, particles[0].vel, eps2),
             HwIParticle::from_host(probe.pos, probe.vel, eps2),
@@ -129,17 +125,104 @@ proptest! {
         let exps = [ExpSet::from_magnitudes(100.0, 1000.0, 100.0); 2];
         let h2v = [h2; 2];
         let mut nb_s = Vec::new();
-        let mut nb_b = Vec::new();
         let a = scalar_chip.compute_block_nb(&i_regs, &exps, &h2v, &mut nb_s).unwrap();
-        let b = batched_chip.compute_block_nb(&i_regs, &exps, &h2v, &mut nb_b).unwrap();
-        for i in 0..2 {
-            for c in 0..3 {
-                prop_assert_eq!(a[i].acc[c].mant(), b[i].acc[c].mant(), "acc[{}][{}]", i, c);
-                prop_assert_eq!(a[i].jerk[c].mant(), b[i].jerk[c].mant(), "jerk[{}][{}]", i, c);
+        for mode in [KernelMode::Batched, KernelMode::Simd] {
+            let mut chip = Chip::new(ChipConfig::default());
+            chip.set_kernel_mode(mode);
+            for (k, p) in particles.iter().enumerate() {
+                chip.load_j(k, p);
             }
-            prop_assert_eq!(a[i].pot.mant(), b[i].pot.mant(), "pot[{}]", i);
+            chip.set_time(0.0);
+            let mut nb_b = Vec::new();
+            let b = chip.compute_block_nb(&i_regs, &exps, &h2v, &mut nb_b).unwrap();
+            for i in 0..2 {
+                for c in 0..3 {
+                    prop_assert_eq!(a[i].acc[c].mant(), b[i].acc[c].mant(), "acc[{}][{}]", i, c);
+                    prop_assert_eq!(a[i].jerk[c].mant(), b[i].jerk[c].mant(), "jerk[{}][{}]", i, c);
+                }
+                prop_assert_eq!(a[i].pot.mant(), b[i].pot.mant(), "pot[{}]", i);
+            }
+            prop_assert_eq!(&nb_s, &nb_b, "neighbour lists diverged ({:?})", mode);
         }
-        prop_assert_eq!(&nb_s, &nb_b, "neighbour lists diverged");
+    }
+
+    /// The SIMD lane quantiser agrees bitwise with the scalar pipeline
+    /// quantiser on arbitrary 64-bit patterns — NaN payloads, subnormals,
+    /// infinities, everything — at every significand width the pipeline
+    /// uses, including ragged tails.
+    #[test]
+    fn lane_quantizer_matches_scalar_on_arbitrary_bits(
+        bits in prop::collection::vec(any::<u64>(), 1..64),
+        sig in prop_oneof![Just(24u32), Just(11u32), Just(50u32)],
+    ) {
+        use grape6::arith::pfloat::quantize_sig;
+        use grape6::arith::simd::quantize_slice;
+        let xs: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut out = vec![0.0f64; xs.len()];
+        if quantize_slice(&xs, &mut out, sig).is_none() {
+            // No SIMD level on this host/environment: nothing to compare.
+            return Ok(());
+        }
+        for (k, (&x, &got)) in xs.iter().zip(&out).enumerate() {
+            let want = quantize_sig(x, sig);
+            prop_assert_eq!(got.to_bits(), want.to_bits(), "k={} x={:e} sig={}", k, x, sig);
+        }
+    }
+
+    /// The gathered SIMD rsqrt evaluation agrees bitwise with the scalar
+    /// table unit on arbitrary 64-bit patterns (specials fall back to the
+    /// scalar path inside the lane, so the contract is total).
+    #[test]
+    fn lane_rsqrt_gather_matches_scalar_on_arbitrary_bits(
+        bits in prop::collection::vec(any::<u64>(), 1..48),
+    ) {
+        use grape6::arith::rsqrt::RsqrtCubedUnit;
+        let unit = RsqrtCubedUnit::default();
+        let xs: Vec<f64> = bits.iter().map(|&b| f64::from_bits(b)).collect();
+        let mut out32 = vec![0.0f64; xs.len()];
+        let mut out12 = vec![0.0f64; xs.len()];
+        if unit.eval_both_slice(&xs, &mut out32, &mut out12).is_none() {
+            // No SIMD level on this host/environment: nothing to compare.
+            return Ok(());
+        }
+        for (k, &x) in xs.iter().enumerate() {
+            let (w32, w12) = unit.eval_both(x);
+            prop_assert_eq!(out32[k].to_bits(), w32.to_bits(), "x^-3/2 at k={} x={:e}", k, x);
+            prop_assert_eq!(out12[k].to_bits(), w12.to_bits(), "x^-1/2 at k={} x={:e}", k, x);
+        }
+    }
+
+    /// The batched SoA predictor is bit-identical to the per-particle
+    /// predictor for arbitrary polynomials and times.
+    #[test]
+    fn predict_batch_bitwise_matches_predict(
+        particles in prop::collection::vec(particle_strategy(), 1..80),
+        acc in prop::array::uniform3(-1.0f64..1.0),
+        jerk in prop::array::uniform3(-1.0f64..1.0),
+        dt in 0.0f64..0.25,
+    ) {
+        use grape6::chip::jmem::HwJParticle;
+        use grape6::chip::predictor::{predict, predict_batch};
+        let stream: Vec<HwJParticle> = particles
+            .iter()
+            .map(|p| HwJParticle::from_host(&JParticle {
+                acc: Vec3::from_array(acc),
+                jerk: Vec3::from_array(jerk),
+                ..*p
+            }))
+            .collect();
+        let t = stream[0].t0 + dt;
+        let mut got = Vec::new();
+        predict_batch(&stream, t, &mut got);
+        prop_assert_eq!(got.len(), stream.len());
+        for (k, (g, p)) in got.iter().zip(&stream).enumerate() {
+            let want = predict(p, t);
+            prop_assert_eq!(g.pos, want.pos, "pos k={}", k);
+            for c in 0..3 {
+                prop_assert_eq!(g.vel[c].to_bits(), want.vel[c].to_bits(), "vel k={} c={}", k, c);
+            }
+            prop_assert_eq!(g.mass.to_bits(), want.mass.to_bits(), "mass k={}", k);
+        }
     }
 
     /// The on-chip predictor is consistent with the f64 predictor for any
